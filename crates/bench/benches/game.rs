@@ -1,0 +1,31 @@
+//! Criterion microbenches for the game engine itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trim_core::elastic::CoupledDynamics;
+use trim_core::simulation::{run_game, run_table3_point, GameConfig, Scheme};
+
+fn bench_game(c: &mut Criterion) {
+    let pool: Vec<f64> = (0..10_000).map(|i| (i % 1000) as f64).collect();
+
+    c.bench_function("run_game_elastic_20_rounds", |b| {
+        let config = GameConfig::new(Scheme::Elastic(0.5));
+        b.iter(|| run_game(&pool, &config));
+    });
+
+    c.bench_function("run_game_titfortat_20_rounds", |b| {
+        let config = GameConfig::new(Scheme::TitForTat);
+        b.iter(|| run_game(&pool, &config));
+    });
+
+    c.bench_function("coupled_dynamics_500_rounds", |b| {
+        let d = CoupledDynamics::new(0.9, 0.5).expect("valid");
+        b.iter(|| d.trajectory(500));
+    });
+
+    c.bench_function("table3_point_3_reps", |b| {
+        b.iter(|| run_table3_point(&pool, 0.5, 0.5, 3, 7));
+    });
+}
+
+criterion_group!(benches, bench_game);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion microbenches for the learners driving Figs. 4–8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trimgame_datasets::shapes::control;
+use trimgame_ml::kmeans::{KMeans, KMeansConfig};
+use trimgame_ml::som::{Som, SomConfig};
+use trimgame_ml::svm::{SvmConfig, SvmModel};
+use trimgame_numerics::rand_ext::seeded_rng;
+
+fn bench_learners(c: &mut Criterion) {
+    let data = control(&mut seeded_rng(1));
+
+    c.bench_function("kmeans_control_k6", |b| {
+        b.iter(|| KMeans::fit(&data, KMeansConfig::new(6), &mut seeded_rng(2)));
+    });
+
+    c.bench_function("svm_control_6class", |b| {
+        let config = SvmConfig {
+            epochs: 5,
+            ..SvmConfig::default()
+        };
+        b.iter(|| SvmModel::fit(&data, config, &mut seeded_rng(3)));
+    });
+
+    c.bench_function("som_control_6x6", |b| {
+        let config = SomConfig::small();
+        b.iter(|| Som::fit(&data, config, &mut seeded_rng(4)));
+    });
+}
+
+criterion_group!(benches, bench_learners);
+criterion_main!(benches);

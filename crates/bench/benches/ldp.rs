@@ -1,0 +1,57 @@
+//! Criterion microbenches for the LDP substrate (Fig. 9's inner loops).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use trimgame_ldp::duchi::Duchi;
+use trimgame_ldp::emf::EmFilter;
+use trimgame_ldp::laplace::LaplaceMechanism;
+use trimgame_ldp::mechanism::LdpMechanism;
+use trimgame_ldp::piecewise::Piecewise;
+use trimgame_numerics::rand_ext::seeded_rng;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("privatize_10k");
+    let values: Vec<f64> = (0..10_000).map(|i| (i % 200) as f64 / 100.0 - 1.0).collect();
+
+    group.bench_function("duchi", |b| {
+        let mech = Duchi::new(1.0);
+        let mut rng = seeded_rng(1);
+        b.iter(|| {
+            values
+                .iter()
+                .map(|&x| mech.privatize(black_box(x), &mut rng))
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("piecewise", |b| {
+        let mech = Piecewise::new(1.0);
+        let mut rng = seeded_rng(2);
+        b.iter(|| {
+            values
+                .iter()
+                .map(|&x| mech.privatize(black_box(x), &mut rng))
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("laplace", |b| {
+        let mech = LaplaceMechanism::new(1.0);
+        let mut rng = seeded_rng(3);
+        b.iter(|| {
+            values
+                .iter()
+                .map(|&x| mech.privatize(black_box(x), &mut rng))
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+
+    c.bench_function("emf_filter_10k_reports", |b| {
+        let mech = Piecewise::new(2.0);
+        let mut rng = seeded_rng(4);
+        let reports: Vec<f64> = values.iter().map(|&x| mech.privatize(x, &mut rng)).collect();
+        let emf = EmFilter::for_piecewise(&mech, 16, 32, 0.1);
+        b.iter(|| emf.filter_mean(black_box(&reports)));
+    });
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

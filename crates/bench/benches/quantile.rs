@@ -1,0 +1,36 @@
+//! Criterion microbenches comparing exact percentile computation against
+//! the P² streaming sketch (the `ablate-sketch` trade-off, in time).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use trimgame_numerics::quantile::{percentile, Interpolation};
+use trimgame_numerics::rand_ext::seeded_rng;
+use trimgame_numerics::sketch::P2Quantile;
+
+fn batch(n: usize) -> Vec<f64> {
+    use rand::Rng;
+    let mut rng = seeded_rng(11);
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}
+
+fn bench_quantile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantile");
+    for n in [1_000usize, 10_000, 100_000] {
+        let values = batch(n);
+        group.bench_with_input(BenchmarkId::new("exact_sort", n), &values, |b, v| {
+            b.iter(|| percentile(black_box(v), 0.9, Interpolation::Linear));
+        });
+        group.bench_with_input(BenchmarkId::new("p2_stream", n), &values, |b, v| {
+            b.iter(|| {
+                let mut sketch = P2Quantile::new(0.9);
+                for &x in v {
+                    sketch.insert(x);
+                }
+                sketch.estimate()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantile);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion microbenches for the trimming operators — the per-round hot
+//! path of the collection engine.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use trimgame_numerics::rand_ext::seeded_rng;
+use trimgame_stream::trim::{trim, TrimOp};
+
+fn batch(n: usize) -> Vec<f64> {
+    use rand::Rng;
+    let mut rng = seeded_rng(7);
+    (0..n).map(|_| rng.gen::<f64>() * 1000.0).collect()
+}
+
+fn bench_trimming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trim");
+    for n in [1_000usize, 10_000, 100_000] {
+        let values = batch(n);
+        group.bench_with_input(BenchmarkId::new("upper_percentile", n), &values, |b, v| {
+            b.iter(|| trim(black_box(v), TrimOp::UpperPercentile(0.9)));
+        });
+        group.bench_with_input(BenchmarkId::new("absolute", n), &values, |b, v| {
+            b.iter(|| trim(black_box(v), TrimOp::Absolute(900.0)));
+        });
+        group.bench_with_input(BenchmarkId::new("two_sided", n), &values, |b, v| {
+            b.iter(|| trim(black_box(v), TrimOp::TwoSided { lo: 0.05, hi: 0.95 }));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trimming);
+criterion_main!(benches);

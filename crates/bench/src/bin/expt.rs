@@ -1,0 +1,54 @@
+//! `expt` — regenerate any table or figure from the paper.
+//!
+//! ```text
+//! USAGE: expt <experiment>... | all | tables | figures | ablations
+//!
+//! experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 table3 table4 fig9
+//!              ablate-k ablate-red ablate-discount ablate-mechanism ablate-sketch
+//!
+//! env: TRIMGAME_REPS=N   repetitions per point (default 10; paper 100)
+//!      TRIMGAME_SCALE=N  dataset instance divisor (default 64; paper 1)
+//! ```
+
+use trimgame_bench::{run_experiment, EXPERIMENTS};
+
+fn usage() -> ! {
+    eprintln!("usage: expt <experiment>... | all | tables | figures | ablations");
+    eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+    eprintln!("env: TRIMGAME_REPS (default 10), TRIMGAME_SCALE (default 64)");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut ids: Vec<&str> = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "all" => ids.extend(EXPERIMENTS),
+            "tables" => ids.extend(["table1", "table2", "table3", "table4"]),
+            "figures" => ids.extend(["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]),
+            "ablations" => ids.extend(EXPERIMENTS.iter().filter(|e| e.starts_with("ablate"))),
+            id if EXPERIMENTS.contains(&id) => ids.push(
+                EXPERIMENTS
+                    .iter()
+                    .find(|e| **e == id)
+                    .expect("validated"),
+            ),
+            unknown => {
+                eprintln!("unknown experiment: {unknown}");
+                usage();
+            }
+        }
+    }
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let start = std::time::Instant::now();
+        print!("{}", run_experiment(id));
+        eprintln!("[{id} done in {:.1}s]", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,83 @@
+//! Experiment harness regenerating every table and figure in the paper's
+//! evaluation (Section VI), plus the ablations called out in `DESIGN.md`.
+//!
+//! Each experiment is a pure function returning a formatted report, so the
+//! CLI (`src/bin/expt.rs`), the criterion benches and the tests all share
+//! one implementation. Scaling knobs:
+//!
+//! * `TRIMGAME_REPS` — repetitions per point (default 10; paper used 100);
+//! * `TRIMGAME_SCALE` — instance divisor for the large datasets
+//!   (default 64; 1 = full Table II sizes).
+
+pub mod ablations;
+pub mod experiments;
+
+/// All experiment ids accepted by the `expt` binary, in paper order.
+pub const EXPERIMENTS: [&str; 15] = [
+    "table1",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table3",
+    "table4",
+    "fig9",
+    "ablate-k",
+    "ablate-red",
+    "ablate-discount",
+    "ablate-mechanism",
+    "ablate-sketch",
+];
+
+/// Runs one experiment by id, returning its report.
+///
+/// # Panics
+/// Panics on an unknown id (the CLI validates first).
+#[must_use]
+pub fn run_experiment(id: &str) -> String {
+    match id {
+        "table1" => experiments::table1(),
+        "table2" => experiments::table2(),
+        "fig4" => experiments::fig45(0.90),
+        "fig5" => experiments::fig45(0.97),
+        "fig6" => experiments::fig6(),
+        "fig7" => experiments::fig7(),
+        "fig8" => experiments::fig8(),
+        "table3" => experiments::table3(),
+        "table4" => experiments::table4(),
+        "fig9" => experiments::fig9(),
+        "ablate-k" => ablations::ablate_k(),
+        "ablate-red" => ablations::ablate_red(),
+        "ablate-discount" => ablations::ablate_discount(),
+        "ablate-mechanism" => ablations::ablate_mechanism(),
+        "ablate-sketch" => ablations::ablate_sketch(),
+        other => panic!("unknown experiment id: {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheap_experiments_produce_reports() {
+        for id in ["table1", "table2", "table4", "ablate-discount", "ablate-k"] {
+            let report = run_experiment(id);
+            assert!(!report.is_empty(), "{id} produced an empty report");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment id")]
+    fn unknown_id_panics() {
+        let _ = run_experiment("fig99");
+    }
+
+    #[test]
+    fn id_list_is_consistent() {
+        assert_eq!(EXPERIMENTS.len(), 15);
+        assert!(EXPERIMENTS.contains(&"fig9"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Adversary injection policies — the attacker side of Section VI-A.
+//!
+//! | Opposing scheme | Adversary behaviour |
+//! |---|---|
+//! | `Ostrich` | always injects at the 99th percentile |
+//! | `Baseline 0.9` | uniform random percentile in `[0.9, 1]` |
+//! | `Baseline static` | the *ideal attack*: exactly `Tth − 1%`, i.e. just below the known static threshold |
+//! | `Titfortat` (equilibrium) | complies at `Tth − 1%` (below the soft trim, within the agreed quality) |
+//! | `Elastic` | the coupled rule `A(i+1) = Tth − 3% + k(T(i) − Tth)`, `A(1) = Tth + 1%` |
+//! | Table III (non-equilibrium) | mixed: 99th percentile w.p. `p`, 90th w.p. `1 − p` |
+//!
+//! Policies see the defender's previous threshold via the public board
+//! (white-box attacker, complete information).
+
+use rand::Rng;
+
+/// What the adversary observes before choosing this round's injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdversaryObservation {
+    /// The defender's trimming percentile last round (from the public
+    /// board), if any round has completed.
+    pub last_threshold: Option<f64>,
+}
+
+/// An adversary injection-position policy (percentile of the benign
+/// distribution at which poison is placed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdversaryPolicy {
+    /// Fixed percentile (Ostrich's opponent uses 0.99).
+    Fixed {
+        /// Injection percentile.
+        percentile: f64,
+    },
+    /// Uniform percentile in `[lo, hi]` each poison value (Baseline 0.9's
+    /// opponent).
+    Uniform {
+        /// Low percentile.
+        lo: f64,
+        /// High percentile.
+        hi: f64,
+    },
+    /// Just below the defender's last threshold (`threshold − offset`) —
+    /// the "ideal attack" of Baseline static.
+    JustBelowThreshold {
+        /// Gap below the defender threshold.
+        offset: f64,
+        /// Fallback percentile before any threshold is visible.
+        fallback: f64,
+    },
+    /// Mixed strategy of Table III: high percentile w.p. `p`, low w.p.
+    /// `1 − p`, decided once per round (the whole round's poison mass is a
+    /// coordinated Sybil batch).
+    Mixed {
+        /// Probability of the high (equilibrium) position.
+        p: f64,
+        /// High percentile (paper: 0.99).
+        hi: f64,
+        /// Low percentile (paper: 0.90).
+        lo: f64,
+    },
+    /// §VI-A coupled Elastic rule.
+    Elastic {
+        /// Nominal threshold `Tth`.
+        tth: f64,
+        /// Response intensity `k`.
+        k: f64,
+        /// Current injection percentile `A(i)`.
+        current: f64,
+    },
+}
+
+impl AdversaryPolicy {
+    /// The Elastic adversary's initial injection (`A(1) = Tth + 1%`).
+    #[must_use]
+    pub fn elastic(tth: f64, k: f64) -> Self {
+        AdversaryPolicy::Elastic {
+            tth,
+            k,
+            current: tth + 0.01,
+        }
+    }
+
+    /// The equilibrium (compliant) adversary against Tit-for-tat: injects
+    /// at `Tth − 1%`.
+    #[must_use]
+    pub fn compliant(tth: f64) -> Self {
+        AdversaryPolicy::Fixed {
+            percentile: tth - 0.01,
+        }
+    }
+
+    /// Chooses this round's injection percentile. `Uniform` and `Mixed`
+    /// draw randomness once per round (colluding attackers coordinate the
+    /// round's poison batch).
+    pub fn next_injection<R: Rng + ?Sized>(
+        &mut self,
+        obs: &AdversaryObservation,
+        rng: &mut R,
+    ) -> f64 {
+        match self {
+            AdversaryPolicy::Fixed { percentile } => *percentile,
+            AdversaryPolicy::Uniform { lo, hi } => *lo + (*hi - *lo) * rng.gen::<f64>(),
+            AdversaryPolicy::JustBelowThreshold { offset, fallback } => obs
+                .last_threshold
+                .map_or(*fallback, |t| (t - *offset).max(0.0)),
+            AdversaryPolicy::Mixed { p, hi, lo } => {
+                if rng.gen::<f64>() < *p {
+                    *hi
+                } else {
+                    *lo
+                }
+            }
+            AdversaryPolicy::Elastic { tth, k, current } => {
+                if let Some(t) = obs.last_threshold {
+                    *current = *tth - 0.03 + *k * (t - *tth);
+                }
+                current.clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgame_numerics::rand_ext::seeded_rng;
+
+    fn obs(t: Option<f64>) -> AdversaryObservation {
+        AdversaryObservation { last_threshold: t }
+    }
+
+    #[test]
+    fn fixed_ignores_observations() {
+        let mut a = AdversaryPolicy::Fixed { percentile: 0.99 };
+        let mut rng = seeded_rng(1);
+        assert_eq!(a.next_injection(&obs(None), &mut rng), 0.99);
+        assert_eq!(a.next_injection(&obs(Some(0.5)), &mut rng), 0.99);
+    }
+
+    #[test]
+    fn uniform_stays_in_band() {
+        let mut a = AdversaryPolicy::Uniform { lo: 0.9, hi: 1.0 };
+        let mut rng = seeded_rng(2);
+        for _ in 0..100 {
+            let x = a.next_injection(&obs(None), &mut rng);
+            assert!((0.9..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn just_below_tracks_threshold() {
+        let mut a = AdversaryPolicy::JustBelowThreshold {
+            offset: 0.01,
+            fallback: 0.99,
+        };
+        let mut rng = seeded_rng(3);
+        assert_eq!(a.next_injection(&obs(None), &mut rng), 0.99);
+        assert!((a.next_injection(&obs(Some(0.9)), &mut rng) - 0.89).abs() < 1e-12);
+        // Never negative.
+        assert_eq!(a.next_injection(&obs(Some(0.005)), &mut rng), 0.0);
+    }
+
+    #[test]
+    fn mixed_extremes_are_pure() {
+        let mut hi = AdversaryPolicy::Mixed { p: 1.0, hi: 0.99, lo: 0.90 };
+        let mut lo = AdversaryPolicy::Mixed { p: 0.0, hi: 0.99, lo: 0.90 };
+        let mut rng = seeded_rng(4);
+        for _ in 0..20 {
+            assert_eq!(hi.next_injection(&obs(None), &mut rng), 0.99);
+            assert_eq!(lo.next_injection(&obs(None), &mut rng), 0.90);
+        }
+    }
+
+    #[test]
+    fn mixed_frequency_matches_p() {
+        let mut a = AdversaryPolicy::Mixed { p: 0.3, hi: 0.99, lo: 0.90 };
+        let mut rng = seeded_rng(5);
+        let hits = (0..10_000)
+            .filter(|_| a.next_injection(&obs(None), &mut rng) == 0.99)
+            .count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn elastic_follows_coupled_rule() {
+        let mut a = AdversaryPolicy::elastic(0.9, 0.5);
+        let mut rng = seeded_rng(6);
+        // A(1) = Tth + 1%.
+        assert!((a.next_injection(&obs(None), &mut rng) - 0.91).abs() < 1e-12);
+        // Defender trimmed at 0.87: A = 0.9 - 0.03 + 0.5*(0.87-0.9) = 0.855.
+        let x = a.next_injection(&obs(Some(0.87)), &mut rng);
+        assert!((x - 0.855).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elastic_and_dynamics_agree() {
+        // The adversary policy + defender policy reproduce the
+        // CoupledDynamics trajectory exactly.
+        use crate::elastic::CoupledDynamics;
+        use crate::strategy::{DefenderObservation, DefenderPolicy};
+        let d = CoupledDynamics::new(0.9, 0.5).unwrap();
+        let reference = d.trajectory(10);
+
+        let mut def = DefenderPolicy::elastic(0.9, 0.5);
+        let mut adv = AdversaryPolicy::elastic(0.9, 0.5);
+        let mut rng = seeded_rng(7);
+        let mut trim = def.initial_threshold();
+        let mut inject = adv.next_injection(&obs(None), &mut rng);
+        for state in &reference {
+            assert!((state.trim - trim).abs() < 1e-12);
+            assert!((state.inject - inject).abs() < 1e-12);
+            let next_trim = def.next_threshold(
+                0,
+                &DefenderObservation {
+                    quality: 1.0,
+                    injection_percentile: Some(inject),
+                },
+            );
+            let next_inject = adv.next_injection(&obs(Some(trim)), &mut rng);
+            trim = next_trim;
+            inject = next_inject;
+        }
+    }
+
+    #[test]
+    fn compliant_sits_just_below_nominal() {
+        let mut a = AdversaryPolicy::compliant(0.9);
+        let mut rng = seeded_rng(8);
+        assert!((a.next_injection(&obs(Some(0.91)), &mut rng) - 0.89).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! Experiment-scaling knobs shared by simulations and the bench harness.
+//!
+//! The paper averages over 100 repetitions on a large desktop; this
+//! workspace defaults to laptop-friendly sizes and lets the environment
+//! restore paper scale:
+//!
+//! * `TRIMGAME_REPS` — repetitions per experiment point (default 10;
+//!   paper: 100).
+//! * `TRIMGAME_SCALE` — divisor on the large dataset instance counts
+//!   (default 64; 1 reproduces full Table II sizes).
+
+/// Repetitions per experiment point (`TRIMGAME_REPS`, default 10).
+#[must_use]
+pub fn repetitions() -> usize {
+    read_env("TRIMGAME_REPS", 10)
+}
+
+/// Instance-count divisor for the large datasets (`TRIMGAME_SCALE`,
+/// default 64).
+#[must_use]
+pub fn dataset_scale() -> usize {
+    read_env("TRIMGAME_SCALE", 64)
+}
+
+fn read_env(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        assert!(repetitions() > 0);
+        assert!(dataset_scale() > 0);
+    }
+
+    #[test]
+    fn read_env_ignores_garbage() {
+        assert_eq!(read_env("TRIMGAME_DOES_NOT_EXIST", 7), 7);
+    }
+}

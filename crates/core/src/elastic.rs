@@ -1,0 +1,312 @@
+//! Elastic trigger strategy — Algorithm 2, Definition 2 and the coupled
+//! percentile dynamics of Section VI-A, plus the Table IV cost analysis.
+//!
+//! Elastic replaces Tit-for-tat's permanent termination with *forgiveness*:
+//! a detected defection incurs a next-round penalty proportional to the
+//! response intensity `k`, pulling the system back toward equilibrium like
+//! a spring (`U = k(u_a − u_c)²/2`, Definition 2 — hence Theorem 4's
+//! oscillation). Two layers are implemented:
+//!
+//! * [`ElasticThreshold`] — Algorithm 2 proper: the threshold is an affine
+//!   interpolation between the soft threshold `T̄` and the hard threshold
+//!   `T` driven by the normalized quality of the received batch. (The
+//!   paper's pseudocode mixes two sign conventions for
+//!   `Quality_Evaluation`; we use the coherent reading — worse quality ⇒
+//!   closer to the hard threshold — which is also what its experiments
+//!   do.)
+//! * [`CoupledDynamics`] — the experimental instantiation of §VI-A:
+//!   `T(i+1) = Tth + k(A(i) − Tth − 1%)`, `A(i+1) = Tth − 3% + k(T(i) − Tth)`
+//!   with `T(1) = Tth − 3%`, `A(1) = Tth + 1%`, its closed-form fixed point
+//!   and the roundwise cost of Table IV.
+
+use crate::error::CoreError;
+
+/// Algorithm 2: quality-driven elastic threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticThreshold {
+    /// Soft trimming percentile `T̄` (used on perfect-quality rounds).
+    pub soft: f64,
+    /// Hard trimming percentile `T` (approached as quality degrades).
+    pub hard: f64,
+    /// Response intensity `k ∈ (0, 1]`.
+    pub k: f64,
+}
+
+impl ElasticThreshold {
+    /// Creates the policy.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] unless
+    /// `0 <= hard < soft <= 1` and `0 < k <= 1`.
+    pub fn new(soft: f64, hard: f64, k: f64) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&soft) || !(0.0..=1.0).contains(&hard) || hard >= soft {
+            return Err(CoreError::InvalidParameter {
+                name: "soft/hard",
+                constraint: "0 <= hard < soft <= 1",
+                value: soft,
+            });
+        }
+        if !(k > 0.0 && k <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "k",
+                constraint: "0 < k <= 1",
+                value: k,
+            });
+        }
+        Ok(Self { soft, hard, k })
+    }
+
+    /// Threshold for normalized badness `b ∈ [0, 1]`
+    /// (`b = 1 − QE_i / max(QE)`): `T_th(i) = (1 − k·b)·T̄ + k·b·T`.
+    ///
+    /// Perfect quality (`b = 0`) trims at `T̄`; at full badness the
+    /// threshold has moved fraction `k` of the way to `T` — a proportional
+    /// penalty rather than a permanent termination.
+    #[must_use]
+    pub fn threshold(&self, badness: f64) -> f64 {
+        let b = badness.clamp(0.0, 1.0);
+        (1.0 - self.k * b) * self.soft + self.k * b * self.hard
+    }
+}
+
+/// The coupled percentile dynamics of the §VI-A experiments, tracked in
+/// offsets from the nominal threshold `Tth` (all quantities are percentile
+/// *fractions*; the paper's "1%" is `0.01`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoupledDynamics {
+    /// Nominal threshold `Tth` (e.g. 0.9).
+    pub tth: f64,
+    /// Response intensity `k ∈ (0, 1)`.
+    pub k: f64,
+}
+
+/// One round's positions under [`CoupledDynamics`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicsState {
+    /// Collector trim percentile `T(i)`.
+    pub trim: f64,
+    /// Adversary injection percentile `A(i)`.
+    pub inject: f64,
+}
+
+impl CoupledDynamics {
+    /// Offset of the collector's initial trim position (`T(1) = Tth − 3%`).
+    pub const TRIM_INIT_OFFSET: f64 = -0.03;
+    /// Offset of the adversary's initial injection (`A(1) = Tth + 1%`).
+    pub const INJECT_INIT_OFFSET: f64 = 0.01;
+
+    /// Creates the dynamics.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] unless `0 < k < 1` and
+    /// `0 < tth <= 1`.
+    pub fn new(tth: f64, k: f64) -> Result<Self, CoreError> {
+        if !(k > 0.0 && k < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "k",
+                constraint: "0 < k < 1",
+                value: k,
+            });
+        }
+        if !(tth > 0.0 && tth <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "tth",
+                constraint: "0 < tth <= 1",
+                value: tth,
+            });
+        }
+        Ok(Self { tth, k })
+    }
+
+    /// Initial state `(T(1), A(1))`.
+    #[must_use]
+    pub fn initial(&self) -> DynamicsState {
+        DynamicsState {
+            trim: self.tth + Self::TRIM_INIT_OFFSET,
+            inject: self.tth + Self::INJECT_INIT_OFFSET,
+        }
+    }
+
+    /// One step of the coupled updates:
+    /// `T(i+1) = Tth + k(A(i) − Tth − 1%)`,
+    /// `A(i+1) = Tth − 3% + k(T(i) − Tth)`.
+    #[must_use]
+    pub fn step(&self, state: DynamicsState) -> DynamicsState {
+        DynamicsState {
+            trim: self.tth + self.k * (state.inject - self.tth - 0.01),
+            inject: self.tth - 0.03 + self.k * (state.trim - self.tth),
+        }
+    }
+
+    /// The trajectory over `rounds` rounds (including the initial state).
+    #[must_use]
+    pub fn trajectory(&self, rounds: usize) -> Vec<DynamicsState> {
+        let mut out = Vec::with_capacity(rounds);
+        let mut s = self.initial();
+        for _ in 0..rounds {
+            out.push(s);
+            s = self.step(s);
+        }
+        out
+    }
+
+    /// Closed-form fixed point: offsets
+    /// `t* = −0.04·k / (1 − k²)`, `a* = −0.03 + k·t*`.
+    #[must_use]
+    pub fn fixed_point(&self) -> DynamicsState {
+        let t_off = -0.04 * self.k / (1.0 - self.k * self.k);
+        let a_off = -0.03 + self.k * t_off;
+        DynamicsState {
+            trim: self.tth + t_off,
+            inject: self.tth + a_off,
+        }
+    }
+
+    /// The equilibrium injection offset `|a*|` below `Tth` — the analytic
+    /// quantity whose values (0.0304 at k = 0.1, 0.0433 at k = 0.5) match
+    /// Table IV's converged totals (with the two k columns transposed; see
+    /// EXPERIMENTS.md).
+    #[must_use]
+    pub fn equilibrium_injection_offset(&self) -> f64 {
+        (self.fixed_point().inject - self.tth).abs()
+    }
+
+    /// Per-round transient cost: the deviation of the realized trim/inject
+    /// gap from its equilibrium value,
+    /// `c_i = |(T(i) − A(i)) − (T* − A*)|`. Summed over rounds it
+    /// converges, so the roundwise average decays as `~1/Round_no` —
+    /// Table IV's shape.
+    #[must_use]
+    pub fn transient_costs(&self, rounds: usize) -> Vec<f64> {
+        let eq = self.fixed_point();
+        let eq_gap = eq.trim - eq.inject;
+        self.trajectory(rounds)
+            .iter()
+            .map(|s| ((s.trim - s.inject) - eq_gap).abs())
+            .collect()
+    }
+
+    /// Table IV's roundwise cost: mean transient cost over `rounds`.
+    #[must_use]
+    pub fn roundwise_cost(&self, rounds: usize) -> f64 {
+        if rounds == 0 {
+            return 0.0;
+        }
+        self.transient_costs(rounds).iter().sum::<f64>() / rounds as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm2_interpolates_between_thresholds() {
+        let e = ElasticThreshold::new(0.91, 0.87, 0.5).unwrap();
+        // Perfect quality: soft threshold.
+        assert!((e.threshold(0.0) - 0.91).abs() < 1e-12);
+        // Worst quality: k of the way to hard: 0.5*0.91 + 0.5*0.87 = 0.89.
+        assert!((e.threshold(1.0) - 0.89).abs() < 1e-12);
+        // Monotone in badness.
+        assert!(e.threshold(0.3) > e.threshold(0.7));
+    }
+
+    #[test]
+    fn algorithm2_badness_is_clamped() {
+        let e = ElasticThreshold::new(0.91, 0.87, 1.0).unwrap();
+        assert_eq!(e.threshold(-1.0), e.threshold(0.0));
+        assert_eq!(e.threshold(2.0), e.threshold(1.0));
+    }
+
+    #[test]
+    fn stronger_k_penalizes_harder() {
+        let weak = ElasticThreshold::new(0.91, 0.87, 0.1).unwrap();
+        let strong = ElasticThreshold::new(0.91, 0.87, 0.5).unwrap();
+        assert!(strong.threshold(1.0) < weak.threshold(1.0));
+    }
+
+    #[test]
+    fn dynamics_initial_positions_match_paper() {
+        let d = CoupledDynamics::new(0.9, 0.5).unwrap();
+        let s = d.initial();
+        assert!((s.trim - 0.87).abs() < 1e-12);
+        assert!((s.inject - 0.91).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_point_is_stationary() {
+        for &k in &[0.1, 0.3, 0.5, 0.9] {
+            let d = CoupledDynamics::new(0.9, k).unwrap();
+            let fp = d.fixed_point();
+            let stepped = d.step(fp);
+            assert!((stepped.trim - fp.trim).abs() < 1e-12, "k={k}");
+            assert!((stepped.inject - fp.inject).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn trajectory_converges_to_fixed_point() {
+        for &k in &[0.1, 0.5] {
+            let d = CoupledDynamics::new(0.9, k).unwrap();
+            let traj = d.trajectory(200);
+            let fp = d.fixed_point();
+            let last = traj.last().unwrap();
+            assert!((last.trim - fp.trim).abs() < 1e-10, "k={k}");
+            assert!((last.inject - fp.inject).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn equilibrium_offsets_match_closed_form_values() {
+        // |a*| = 0.03 + 0.04 k^2/(1-k^2): 0.030404... at k=0.1 and
+        // 0.043333... at k=0.5 — the constants visible in Table IV.
+        let d01 = CoupledDynamics::new(0.9, 0.1).unwrap();
+        assert!((d01.equilibrium_injection_offset() - 0.03040404).abs() < 1e-7);
+        let d05 = CoupledDynamics::new(0.9, 0.5).unwrap();
+        assert!((d05.equilibrium_injection_offset() - 0.04333333).abs() < 1e-7);
+    }
+
+    #[test]
+    fn roundwise_cost_decays_roughly_as_one_over_n() {
+        let d = CoupledDynamics::new(0.9, 0.5).unwrap();
+        let c5 = d.roundwise_cost(5);
+        let c10 = d.roundwise_cost(10);
+        let c50 = d.roundwise_cost(50);
+        assert!(c5 > c10 && c10 > c50, "costs must decay: {c5} {c10} {c50}");
+        // Once converged, total cost is constant, so roundwise ~ 1/N:
+        // c10 * 10 within a few percent of c50 * 50.
+        let total10 = c10 * 10.0;
+        let total50 = c50 * 50.0;
+        assert!(
+            (total10 - total50).abs() < 0.05 * total50,
+            "totals {total10} vs {total50}"
+        );
+    }
+
+    #[test]
+    fn smaller_k_converges_faster_in_map_iteration() {
+        // The iteration matrix has spectral radius k, so k = 0.1 reaches
+        // the fixed point in fewer rounds than k = 0.5.
+        let d01 = CoupledDynamics::new(0.9, 0.1).unwrap();
+        let d05 = CoupledDynamics::new(0.9, 0.5).unwrap();
+        let costs01 = d01.transient_costs(30);
+        let costs05 = d05.transient_costs(30);
+        assert!(costs01[10] < costs05[10]);
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(CoupledDynamics::new(0.9, 0.0).is_err());
+        assert!(CoupledDynamics::new(0.9, 1.0).is_err());
+        assert!(CoupledDynamics::new(0.0, 0.5).is_err());
+        assert!(ElasticThreshold::new(0.87, 0.91, 0.5).is_err());
+        assert!(ElasticThreshold::new(0.91, 0.87, 0.0).is_err());
+    }
+
+    #[test]
+    fn trajectory_has_requested_length() {
+        let d = CoupledDynamics::new(0.9, 0.3).unwrap();
+        assert_eq!(d.trajectory(7).len(), 7);
+        assert_eq!(d.roundwise_cost(0), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for `trim-core`.
+
+use std::fmt;
+
+/// Errors raised by the game-theoretic core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A configuration parameter was outside its legal range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint description.
+        constraint: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The balance point `P(x_L) = T(x_L)` could not be bracketed on the
+    /// supplied domain.
+    BalancePointNotBracketed,
+    /// Best-response iteration failed to converge.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter {
+                name,
+                constraint,
+                value,
+            } => write!(f, "invalid parameter {name}={value}: requires {constraint}"),
+            CoreError::BalancePointNotBracketed => {
+                write!(f, "poison-loss and trimming-overhead curves do not cross on the domain")
+            }
+            CoreError::NoConvergence { iterations } => {
+                write!(f, "best-response iteration did not converge in {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::InvalidParameter {
+            name: "k",
+            constraint: "0 < k < 1",
+            value: 2.0,
+        };
+        assert!(e.to_string().contains("k=2"));
+        assert!(CoreError::BalancePointNotBracketed.to_string().contains("cross"));
+        assert!(CoreError::NoConvergence { iterations: 5 }.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,352 @@
+//! The LDP case study (Section V / Fig. 9): game-theoretic trimming under
+//! a non-deterministic utility, versus the EMF baseline.
+//!
+//! Honest users privatize their Taxi values with the Piecewise Mechanism;
+//! input-manipulation attackers (the strong evasion of Cheu et al.) hold a
+//! counterfeit input of `+1` and follow the protocol, so their reports are
+//! *distributed exactly like honest reports of 1.0* — undetectable
+//! pointwise. Defenses operate on the report stream:
+//!
+//! * **Tit-for-tat** (Algorithm 1): soft upper-percentile trim; permanent
+//!   hard trim once the tail-mass quality dips below the calibrated
+//!   baseline minus the redundancy `Red`. The LDP noise is exactly the
+//!   non-deterministic utility that makes the redundancy necessary
+//!   (Theorem 3).
+//! * **Elastic** (Algorithm 2): threshold interpolates between soft and
+//!   hard as the normalized quality degrades, intensity `k`.
+//! * **EMF**: no trimming; EM mixture filtering of the aggregate.
+//!
+//! The estimate is the *debiased* trimmed mean: trimming the upper tail of
+//! an unbiased report stream biases the mean down, but the collector knows
+//! the mechanism and its own cut, so it corrects each round's mean by the
+//! trim bias measured on the clean calibration distribution. What remains
+//! is the surviving attack mass below the cut plus the extra variance of
+//! trimming under heavy noise — the overhead that produces the paper's
+//! inflection at small ε.
+
+use crate::elastic::ElasticThreshold;
+use crate::titfortat::TitForTat;
+use trimgame_ldp::attack::{Attack, InputManipulation};
+use trimgame_ldp::emf::EmFilter;
+use trimgame_ldp::mechanism::LdpMechanism;
+use trimgame_ldp::piecewise::Piecewise;
+use trimgame_numerics::quantile::{ecdf, Interpolation};
+use trimgame_numerics::rand_ext::{derive_seed, seeded_rng};
+use trimgame_numerics::stats::mean;
+use trimgame_stream::trim::{trim, TrimOp};
+
+/// The Fig. 9 defense roster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LdpDefense {
+    /// Algorithm 1 (rigid trigger with redundancy).
+    TitForTat,
+    /// Algorithm 2 with response intensity `k`.
+    Elastic(f64),
+    /// The EM filter baseline (no trimming).
+    Emf,
+}
+
+impl LdpDefense {
+    /// Fig. 9's legend order.
+    #[must_use]
+    pub fn roster() -> Vec<LdpDefense> {
+        vec![
+            LdpDefense::TitForTat,
+            LdpDefense::Elastic(0.1),
+            LdpDefense::Elastic(0.5),
+            LdpDefense::Emf,
+        ]
+    }
+
+    /// Legend name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            LdpDefense::TitForTat => "Titfortat".into(),
+            LdpDefense::Elastic(k) => format!("Elastic{k}"),
+            LdpDefense::Emf => "EMF".into(),
+        }
+    }
+}
+
+/// Configuration of one Fig. 9 cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LdpSimConfig {
+    /// Privacy budget ε.
+    pub epsilon: f64,
+    /// Attack ratio (attackers per honest user).
+    pub attack_ratio: f64,
+    /// Honest users per round.
+    pub users_per_round: usize,
+    /// Collection rounds.
+    pub rounds: usize,
+    /// Soft trimming percentile `T̄` on the report stream.
+    pub soft: f64,
+    /// Hard trimming percentile `T`.
+    pub hard: f64,
+    /// Tit-for-tat redundancy on the quality scale.
+    pub red: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl LdpSimConfig {
+    /// Defaults matching the Fig. 9 regime.
+    #[must_use]
+    pub fn new(epsilon: f64, attack_ratio: f64, seed: u64) -> Self {
+        Self {
+            epsilon,
+            attack_ratio,
+            users_per_round: 2_000,
+            rounds: 10,
+            soft: 0.95,
+            hard: 0.85,
+            red: 0.03,
+            seed,
+        }
+    }
+}
+
+/// Runs one repetition of the collection under `defense` and returns the
+/// final mean estimate.
+///
+/// # Panics
+/// Panics if the population is empty or config degenerate.
+#[must_use]
+pub fn run_ldp_collection(population: &[f64], defense: LdpDefense, cfg: &LdpSimConfig) -> f64 {
+    assert!(!population.is_empty(), "empty population");
+    assert!(cfg.rounds > 0 && cfg.users_per_round > 0, "degenerate config");
+    let mech = Piecewise::new(cfg.epsilon);
+    let attack = InputManipulation::new(1.0);
+    let mut rng = seeded_rng(cfg.seed);
+    let n_attack = (cfg.users_per_round as f64 * cfg.attack_ratio).round() as usize;
+
+    // Calibration: the collector knows the honest report distribution
+    // shape (the mechanism is public; the input prior comes from history).
+    // One clean calibration round fixes the reference tail value.
+    let mut calib: Vec<f64> = (0..cfg.users_per_round)
+        .map(|i| {
+            let x = population[i % population.len()];
+            mech.privatize(x, &mut rng)
+        })
+        .collect();
+    calib.sort_by(|a, b| a.partial_cmp(b).expect("NaN report"));
+    let ref_at = |p: f64| {
+        trimgame_numerics::quantile::percentile_sorted(
+            &calib,
+            p.clamp(0.0, 1.0),
+            Interpolation::Linear,
+        )
+    };
+    // Prefix sums over the sorted calibration stream: `trim_bias(cut)` is
+    // how far the mean of an honest stream drops when values above `cut`
+    // are removed — the collector adds it back after trimming.
+    let prefix: Vec<f64> = calib
+        .iter()
+        .scan(0.0, |acc, &v| {
+            *acc += v;
+            Some(*acc)
+        })
+        .collect();
+    let calib_mean = mean(&calib);
+    let trim_bias = |cut: f64| -> f64 {
+        let n_below = calib.partition_point(|&v| v <= cut);
+        if n_below == 0 {
+            return 0.0;
+        }
+        calib_mean - prefix[n_below - 1] / n_below as f64
+    };
+    let ref_value = ref_at(cfg.soft);
+    let expected_tail = 1.0 - cfg.soft;
+    let baseline_quality = 1.0;
+
+    let mut tft = TitForTat::new(cfg.soft, cfg.hard, baseline_quality, cfg.red)
+        .expect("valid tit-for-tat parameters");
+    let elastic = match defense {
+        LdpDefense::Elastic(k) => {
+            Some(ElasticThreshold::new(cfg.soft, cfg.hard, k).expect("valid elastic parameters"))
+        }
+        _ => None,
+    };
+
+    // Weighted accumulation of per-round debiased trimmed means.
+    let mut estimate_sum = 0.0;
+    let mut kept_total = 0usize;
+    let mut all_reports: Vec<f64> = Vec::new();
+    let mut threshold = cfg.soft;
+
+    for _round in 1..=cfg.rounds {
+        // Honest reports.
+        let mut reports: Vec<f64> = (0..cfg.users_per_round)
+            .map(|_| {
+                let idx = rng.gen_range(0..population.len());
+                mech.privatize(population[idx], &mut rng)
+            })
+            .collect();
+        // Attack reports (input manipulation: protocol-compliant).
+        reports.extend(attack.reports(&mech, n_attack, &mut rng));
+
+        // Quality: excess upper-tail mass relative to calibration.
+        let above = 1.0 - ecdf(&reports, ref_value);
+        let quality = 1.0 - (above - expected_tail).max(0.0);
+
+        match defense {
+            LdpDefense::Emf => {
+                all_reports.extend_from_slice(&reports);
+            }
+            LdpDefense::TitForTat => {
+                let cut = ref_at(threshold);
+                let outcome = trim(&reports, TrimOp::Absolute(cut));
+                if !outcome.kept.is_empty() {
+                    estimate_sum +=
+                        (mean(&outcome.kept) + trim_bias(cut)) * outcome.kept.len() as f64;
+                    kept_total += outcome.kept.len();
+                }
+                threshold = tft.observe(_round, quality);
+            }
+            LdpDefense::Elastic(_) => {
+                let cut = ref_at(threshold);
+                let outcome = trim(&reports, TrimOp::Absolute(cut));
+                if !outcome.kept.is_empty() {
+                    estimate_sum +=
+                        (mean(&outcome.kept) + trim_bias(cut)) * outcome.kept.len() as f64;
+                    kept_total += outcome.kept.len();
+                }
+                let badness = 1.0 - quality;
+                threshold = elastic.as_ref().expect("elastic configured").threshold(badness);
+            }
+        }
+    }
+
+    match defense {
+        LdpDefense::Emf => {
+            let beta = cfg.attack_ratio / (1.0 + cfg.attack_ratio);
+            let emf = EmFilter::for_piecewise(&mech, 16, 32, beta.min(0.95));
+            emf.filter_mean(&all_reports)
+        }
+        _ => {
+            if kept_total == 0 {
+                0.0
+            } else {
+                estimate_sum / kept_total as f64
+            }
+        }
+    }
+}
+
+use rand::Rng;
+
+/// MSE of `defense` over `reps` repetitions against the true benign mean.
+#[must_use]
+pub fn ldp_mse(population: &[f64], defense: LdpDefense, cfg: &LdpSimConfig, reps: usize) -> f64 {
+    assert!(reps > 0, "need at least one repetition");
+    let truth = mean(population);
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let mut c = *cfg;
+        c.seed = derive_seed(cfg.seed, rep as u64);
+        let est = run_ldp_collection(population, defense, &c);
+        total += (est - truth) * (est - truth);
+    }
+    total / reps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population() -> Vec<f64> {
+        // Taxi-like bounded skewed population.
+        (0..4_000)
+            .map(|i| {
+                let t = (i % 1000) as f64 / 1000.0;
+                (2.0 * t - 1.0) * 0.7
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roster_matches_legend() {
+        let names: Vec<String> = LdpDefense::roster().iter().map(LdpDefense::name).collect();
+        assert_eq!(names, vec!["Titfortat", "Elastic0.1", "Elastic0.5", "EMF"]);
+    }
+
+    #[test]
+    fn trimming_beats_no_defense_under_attack() {
+        let pop = population();
+        let cfg = LdpSimConfig::new(3.0, 0.3, 99);
+        let truth = mean(&pop);
+        let elastic = run_ldp_collection(&pop, LdpDefense::Elastic(0.5), &cfg);
+        let mech_bias = 0.3 / 1.3 * (1.0 - truth); // poisoned mixture shift
+        assert!(
+            (elastic - truth).abs() < mech_bias,
+            "elastic {elastic} vs truth {truth} (raw shift {mech_bias})"
+        );
+    }
+
+    #[test]
+    fn mse_decreases_with_epsilon_for_trimming() {
+        let pop = population();
+        let lo = ldp_mse(&pop, LdpDefense::Elastic(0.5), &LdpSimConfig::new(1.0, 0.1, 7), 3);
+        let hi = ldp_mse(&pop, LdpDefense::Elastic(0.5), &LdpSimConfig::new(5.0, 0.1, 7), 3);
+        assert!(hi < lo, "eps=5 mse {hi} should beat eps=1 mse {lo}");
+    }
+
+    #[test]
+    fn emf_runs_and_is_finite() {
+        let pop = population();
+        let cfg = LdpSimConfig {
+            users_per_round: 800,
+            rounds: 3,
+            ..LdpSimConfig::new(2.0, 0.2, 5)
+        };
+        let est = run_ldp_collection(&pop, LdpDefense::Emf, &cfg);
+        assert!(est.is_finite());
+        assert!((-1.0..=1.0).contains(&est));
+    }
+
+    #[test]
+    fn trimming_beats_emf_against_input_manipulation() {
+        // Fig. 9's headline: input manipulation is invisible to the EM
+        // filter but not to adaptive trimming.
+        let pop = population();
+        let cfg = LdpSimConfig {
+            users_per_round: 1_000,
+            rounds: 5,
+            ..LdpSimConfig::new(3.0, 0.3, 21)
+        };
+        let mse_trim = ldp_mse(&pop, LdpDefense::Elastic(0.5), &cfg, 3);
+        let mse_emf = ldp_mse(&pop, LdpDefense::Emf, &cfg, 3);
+        assert!(
+            mse_trim < mse_emf,
+            "trimming {mse_trim} should beat EMF {mse_emf}"
+        );
+    }
+
+    #[test]
+    fn titfortat_defends_comparably_to_elastic() {
+        let pop = population();
+        let cfg = LdpSimConfig {
+            users_per_round: 1_000,
+            rounds: 5,
+            ..LdpSimConfig::new(3.0, 0.2, 31)
+        };
+        let tft = ldp_mse(&pop, LdpDefense::TitForTat, &cfg, 3);
+        let ela = ldp_mse(&pop, LdpDefense::Elastic(0.5), &cfg, 3);
+        // Same order of magnitude.
+        assert!(tft < 20.0 * ela + 1e-6, "tft {tft} vs elastic {ela}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pop = population();
+        let cfg = LdpSimConfig {
+            users_per_round: 500,
+            rounds: 2,
+            ..LdpSimConfig::new(2.0, 0.1, 77)
+        };
+        let a = run_ldp_collection(&pop, LdpDefense::TitForTat, &cfg);
+        let b = run_ldp_collection(&pop, LdpDefense::TitForTat, &cfg);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,280 @@
+//! Table I — the one-shot (ultimatum) collection game and its equilibrium
+//! (Section III-D).
+//!
+//! With payoff constants `P̄ > T̄ ≫ P > T > 0` (hard/soft poisoning gains
+//! and hard/soft trimming overheads), the single-round strategic game is:
+//!
+//! |               | Adversary Soft      | Adversary Hard      |
+//! |---------------|---------------------|---------------------|
+//! | Collector Soft| `(−P − T, P)`       | `(−P̄ − T, P̄)`      |
+//! | Collector Hard| `(−T̄, 0)`           | `(−T̄, 0)`           |
+//!
+//! A hard collector trims at `x_L`, removing all rational poison (adversary
+//! gets 0) at overhead `T̄`; a soft collector trims at `x_R`, paying the
+//! small overhead `T` but conceding whatever the adversary injected. The
+//! unique equilibrium outcome is mutual hardness — "this situation mirrors
+//! the prisoner's dilemma, culminating in a unique equilibrium wherein both
+//! the adversary and the player opt for a tough stance, despite a gentler
+//! approach being mutually beneficial" — which is precisely why Section IV
+//! moves to the *infinite* repeated game.
+
+use crate::error::CoreError;
+use std::fmt;
+
+/// A player move in the one-shot game (Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// Near `x_L` (adversary) / near `x_R` (collector).
+    Soft,
+    /// Near `x_R` (adversary) / near `x_L` (collector).
+    Hard,
+}
+
+impl Move {
+    /// Both moves.
+    pub const ALL: [Move; 2] = [Move::Soft, Move::Hard];
+}
+
+/// The four payoff constants of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UltimatumPayoffs {
+    /// `P̄`: adversary gain for hard poisoning that survives.
+    pub p_hard: f64,
+    /// `T̄`: collector overhead for hard trimming.
+    pub t_hard: f64,
+    /// `P`: adversary gain for soft poisoning that survives.
+    pub p_soft: f64,
+    /// `T`: collector overhead for soft trimming.
+    pub t_soft: f64,
+}
+
+impl UltimatumPayoffs {
+    /// Validates `P̄ > T̄ > P > T > 0` (the paper writes `T̄ ≫ P`; strict
+    /// inequality is what the equilibrium analysis needs).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if the ordering fails.
+    pub fn new(p_hard: f64, t_hard: f64, p_soft: f64, t_soft: f64) -> Result<Self, CoreError> {
+        if !(t_soft > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "t_soft",
+                constraint: "T > 0",
+                value: t_soft,
+            });
+        }
+        if !(p_soft > t_soft) {
+            return Err(CoreError::InvalidParameter {
+                name: "p_soft",
+                constraint: "P > T",
+                value: p_soft,
+            });
+        }
+        // The paper writes T̄ ≫ P; the quantitative requirement for the
+        // unique (Hard, Hard) equilibrium is T̄ > P + T (so that against a
+        // *soft* adversary the collector prefers soft trimming, killing
+        // the (Hard, Soft) profile).
+        if !(t_hard > p_soft + t_soft) {
+            return Err(CoreError::InvalidParameter {
+                name: "t_hard",
+                constraint: "T̄ >> P (at least T̄ > P + T)",
+                value: t_hard,
+            });
+        }
+        if !(p_hard > t_hard) {
+            return Err(CoreError::InvalidParameter {
+                name: "p_hard",
+                constraint: "P̄ > T̄",
+                value: p_hard,
+            });
+        }
+        Ok(Self {
+            p_hard,
+            t_hard,
+            p_soft,
+            t_soft,
+        })
+    }
+
+    /// The paper-style defaults `P̄=10 > T̄=8 ≫ P=2 > T=1 > 0`.
+    #[must_use]
+    pub fn default_paper() -> Self {
+        Self::new(10.0, 8.0, 2.0, 1.0).expect("defaults satisfy the ordering")
+    }
+
+    /// Builds the full payoff matrix.
+    #[must_use]
+    pub fn matrix(&self) -> PayoffMatrix {
+        let entry = |collector: Move, adversary: Move| -> (f64, f64) {
+            match (collector, adversary) {
+                (Move::Soft, Move::Soft) => (-self.p_soft - self.t_soft, self.p_soft),
+                (Move::Soft, Move::Hard) => (-self.p_hard - self.t_soft, self.p_hard),
+                // A hard collector trims at x_L: all rational poison is
+                // removed regardless of the adversary's move.
+                (Move::Hard, _) => (-self.t_hard, 0.0),
+            }
+        };
+        PayoffMatrix {
+            entries: [
+                [entry(Move::Soft, Move::Soft), entry(Move::Soft, Move::Hard)],
+                [entry(Move::Hard, Move::Soft), entry(Move::Hard, Move::Hard)],
+            ],
+        }
+    }
+}
+
+/// A 2×2 bimatrix game: `entries[c][a] = (collector payoff, adversary
+/// payoff)` for collector move `c` and adversary move `a`
+/// (index 0 = Soft, 1 = Hard).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PayoffMatrix {
+    /// Payoff entries.
+    pub entries: [[(f64, f64); 2]; 2],
+}
+
+impl PayoffMatrix {
+    fn idx(m: Move) -> usize {
+        match m {
+            Move::Soft => 0,
+            Move::Hard => 1,
+        }
+    }
+
+    /// Payoffs for a move pair.
+    #[must_use]
+    pub fn payoff(&self, collector: Move, adversary: Move) -> (f64, f64) {
+        self.entries[Self::idx(collector)][Self::idx(adversary)]
+    }
+
+    /// All pure-strategy Nash equilibria (allowing ties, i.e. weak
+    /// equilibria).
+    #[must_use]
+    pub fn pure_nash_equilibria(&self) -> Vec<(Move, Move)> {
+        let mut out = Vec::new();
+        for c in Move::ALL {
+            for a in Move::ALL {
+                let (pc, pa) = self.payoff(c, a);
+                let collector_ok = Move::ALL
+                    .iter()
+                    .all(|&c2| self.payoff(c2, a).0 <= pc + 1e-12);
+                let adversary_ok = Move::ALL
+                    .iter()
+                    .all(|&a2| self.payoff(c, a2).1 <= pa + 1e-12);
+                if collector_ok && adversary_ok {
+                    out.push((c, a));
+                }
+            }
+        }
+        out
+    }
+
+    /// True if outcome `b` strictly Pareto-dominates outcome `a`.
+    #[must_use]
+    pub fn pareto_dominates(&self, b: (Move, Move), a: (Move, Move)) -> bool {
+        let (bc, ba) = self.payoff(b.0, b.1);
+        let (ac, aa) = self.payoff(a.0, a.1);
+        bc > ac && ba > aa
+    }
+}
+
+impl fmt::Display for PayoffMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<16} {:>22} {:>22}", "", "Adversary Soft", "Adversary Hard")?;
+        for c in Move::ALL {
+            let row: Vec<String> = Move::ALL
+                .iter()
+                .map(|&a| {
+                    let (pc, pa) = self.payoff(c, a);
+                    format!("({pc:>7.2}, {pa:>7.2})")
+                })
+                .collect();
+            writeln!(
+                f,
+                "{:<16} {:>22} {:>22}",
+                format!("Collector {c:?}"),
+                row[0],
+                row[1]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_validated() {
+        assert!(UltimatumPayoffs::new(10.0, 8.0, 2.0, 1.0).is_ok());
+        assert!(UltimatumPayoffs::new(8.0, 10.0, 2.0, 1.0).is_err()); // P̄ < T̄
+        assert!(UltimatumPayoffs::new(10.0, 1.5, 2.0, 1.0).is_err()); // T̄ < P
+        assert!(UltimatumPayoffs::new(10.0, 8.0, 0.5, 1.0).is_err()); // P < T
+        assert!(UltimatumPayoffs::new(10.0, 8.0, 2.0, 0.0).is_err()); // T = 0
+    }
+
+    #[test]
+    fn matrix_entries_match_table_i() {
+        let u = UltimatumPayoffs::default_paper();
+        let m = u.matrix();
+        assert_eq!(m.payoff(Move::Soft, Move::Soft), (-3.0, 2.0));
+        assert_eq!(m.payoff(Move::Soft, Move::Hard), (-11.0, 10.0));
+        assert_eq!(m.payoff(Move::Hard, Move::Soft), (-8.0, 0.0));
+        assert_eq!(m.payoff(Move::Hard, Move::Hard), (-8.0, 0.0));
+    }
+
+    #[test]
+    fn hard_hard_is_an_equilibrium() {
+        let m = UltimatumPayoffs::default_paper().matrix();
+        let eq = m.pure_nash_equilibria();
+        assert!(eq.contains(&(Move::Hard, Move::Hard)), "equilibria: {eq:?}");
+        // (Soft, Soft) is NOT an equilibrium: the adversary deviates to
+        // Hard for P̄ > P.
+        assert!(!eq.contains(&(Move::Soft, Move::Soft)));
+        // (Hard, Soft) is NOT an equilibrium: against a soft adversary the
+        // collector prefers soft trimming (−P − T > −T̄).
+        assert!(!eq.contains(&(Move::Hard, Move::Soft)));
+        // (Soft, Hard) is NOT an equilibrium: the collector deviates to
+        // Hard (−T̄ > −P̄ − T).
+        assert!(!eq.contains(&(Move::Soft, Move::Hard)));
+    }
+
+    #[test]
+    fn soft_soft_pareto_dominates_the_equilibrium() {
+        // The prisoner's-dilemma structure: mutual gentleness is better for
+        // BOTH than the unique equilibrium.
+        let m = UltimatumPayoffs::default_paper().matrix();
+        assert!(m.pareto_dominates((Move::Soft, Move::Soft), (Move::Hard, Move::Hard)));
+    }
+
+    #[test]
+    fn equilibrium_is_unique() {
+        let m = UltimatumPayoffs::default_paper().matrix();
+        assert_eq!(m.pure_nash_equilibria(), vec![(Move::Hard, Move::Hard)]);
+    }
+
+    #[test]
+    fn structure_holds_across_parameterizations() {
+        for (ph, th, ps, ts) in [
+            (100.0, 50.0, 5.0, 1.0),
+            (20.0, 19.0, 3.0, 2.9),
+            (10.0, 8.0, 4.0, 3.0),
+        ] {
+            let u = UltimatumPayoffs::new(ph, th, ps, ts).unwrap();
+            let m = u.matrix();
+            assert_eq!(
+                m.pure_nash_equilibria(),
+                vec![(Move::Hard, Move::Hard)],
+                "params ({ph},{th},{ps},{ts})"
+            );
+            assert!(m.pareto_dominates((Move::Soft, Move::Soft), (Move::Hard, Move::Hard)));
+        }
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let m = UltimatumPayoffs::default_paper().matrix();
+        let s = m.to_string();
+        assert!(s.contains("Adversary Soft"));
+        assert!(s.contains("Collector Hard"));
+    }
+}

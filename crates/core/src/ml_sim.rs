@@ -1,0 +1,401 @@
+//! Multi-dimensional poisoned-collection pipeline for the k-means / SVM /
+//! SOM experiments (Figs. 4–8).
+//!
+//! For feature-vector data the trimming game is played on the classic
+//! distance scalar (Kloft & Laskov's centroid anomaly score): each point's
+//! Euclidean distance to the nearest centroid of the *clean clustering*
+//! (k-means on the collector's clean history — no labels needed). The
+//! adversary is a colluding Sybil batch that materializes its poison as a
+//! per-round point mass at a chosen score percentile of the clean
+//! reference distribution; the collector trims every point whose score
+//! exceeds the reference value of its threshold percentile. The
+//! defender/adversary position dynamics are exactly those of
+//! [`crate::simulation`]; this module adds the geometry, the retained
+//! training set, and the three learners' metrics.
+
+use crate::adversary::AdversaryObservation;
+use crate::simulation::Scheme;
+use crate::strategy::DefenderObservation;
+use rand::Rng;
+use trimgame_datasets::Dataset;
+use trimgame_ml::kmeans::{KMeans, KMeansConfig};
+use trimgame_ml::som::{Som, SomConfig};
+use trimgame_ml::svm::{SvmConfig, SvmModel};
+use trimgame_numerics::quantile::{percentile_of, Interpolation};
+use trimgame_numerics::rand_ext::{seeded_rng, standard_normal};
+use trimgame_numerics::stats::euclidean;
+
+/// Configuration of a poisoned multi-round collection over a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlSimConfig {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Nominal threshold `Tth` (0.9 for Fig. 4, 0.97 for Fig. 5, 0.95 for
+    /// Fig. 7).
+    pub tth: f64,
+    /// Rounds of collection (paper: 20).
+    pub rounds: usize,
+    /// Attack ratio.
+    pub attack_ratio: f64,
+    /// Benign rows sampled per round.
+    pub batch: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Tit-for-tat redundancy on the quality scale.
+    pub red: f64,
+}
+
+impl MlSimConfig {
+    /// Fig. 4-style defaults for `scheme` at `attack_ratio`.
+    #[must_use]
+    pub fn new(scheme: Scheme, tth: f64, attack_ratio: f64, seed: u64) -> Self {
+        Self {
+            scheme,
+            tth,
+            rounds: 20,
+            attack_ratio,
+            batch: 200,
+            seed,
+            red: 0.05,
+        }
+    }
+}
+
+/// Result of a poisoned collection: the retained training set (benign rows
+/// keep their labels, poison rows carry adversary-chosen labels) plus
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct CollectedSet {
+    /// Retained rows as a dataset (labels preserved/poisoned).
+    pub retained: Dataset,
+    /// Provenance: `true` = poison row.
+    pub is_poison: Vec<bool>,
+    /// Poison rows received / survived across all rounds.
+    pub poison_received: usize,
+    /// Poison rows that survived trimming.
+    pub poison_survived: usize,
+    /// Benign rows falsely trimmed.
+    pub benign_trimmed: usize,
+}
+
+impl CollectedSet {
+    /// Fraction of retained rows that are poison.
+    #[must_use]
+    pub fn surviving_poison_fraction(&self) -> f64 {
+        if self.is_poison.is_empty() {
+            0.0
+        } else {
+            self.is_poison.iter().filter(|&&p| p).count() as f64 / self.is_poison.len() as f64
+        }
+    }
+}
+
+/// Runs the poisoned collection and returns the retained training set.
+///
+/// # Panics
+/// Panics if the dataset is unlabelled or smaller than the batch size.
+#[must_use]
+pub fn collect_poisoned(data: &Dataset, cfg: &MlSimConfig) -> CollectedSet {
+    assert!(data.labels().is_some(), "collect_poisoned needs labels");
+    assert!(data.rows() >= 2, "dataset too small");
+    let mut rng = seeded_rng(cfg.seed);
+    // Anomaly score: distance to the nearest centroid of the *clean
+    // clustering* (Kloft & Laskov's centroid sanitization, per cluster).
+    // The collector has no labels; its public quality standard is the
+    // k-means structure of the clean history — the same centroids the
+    // Figs. 4/5 "Distance" metric is measured against.
+    let centroids = kmeans_truth(data);
+    let score = |row: &[f64]| -> f64 {
+        centroids
+            .iter()
+            .map(|c| euclidean(row, c))
+            .fold(f64::INFINITY, f64::min)
+    };
+    // Reference quantile function over the clean score distribution: both
+    // the trimming cut and the injection distance resolve percentiles
+    // against this public standard.
+    let mut clean_scores: Vec<f64> = data.iter_rows().map(score).collect();
+    clean_scores.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+    let ref_at = |p: f64| {
+        trimgame_numerics::quantile::percentile_sorted(
+            &clean_scores,
+            p.clamp(0.0, 1.0),
+            Interpolation::Linear,
+        )
+    };
+    let ref_value = ref_at(cfg.tth);
+    let expected_tail = 1.0 - cfg.tth;
+    let classes = data.clusters().max(1);
+
+    let mut defender = cfg.scheme.defender(cfg.tth, 1.0, cfg.red);
+    let mut adversary = cfg.scheme.adversary(cfg.tth);
+    let mut def_obs: Option<DefenderObservation> = None;
+    let mut adv_obs = AdversaryObservation { last_threshold: None };
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    let mut is_poison: Vec<bool> = Vec::new();
+    let mut poison_received = 0;
+    let mut poison_survived = 0;
+    let mut benign_trimmed = 0;
+
+    for round in 1..=cfg.rounds {
+        let threshold = match &def_obs {
+            None => defender.initial_threshold(),
+            Some(obs) => defender.next_threshold(round, obs),
+        };
+        let injection = adversary.next_injection(&adv_obs, &mut rng).clamp(0.0, 1.0);
+
+        // Benign sample.
+        let mut batch_rows: Vec<Vec<f64>> = Vec::with_capacity(cfg.batch);
+        let mut batch_labels: Vec<usize> = Vec::with_capacity(cfg.batch);
+        let mut batch_poison: Vec<bool> = Vec::with_capacity(cfg.batch);
+        for _ in 0..cfg.batch {
+            let i = rng.gen_range(0..data.rows());
+            batch_rows.push(data.row(i).to_vec());
+            batch_labels.push(data.label(i).expect("labelled"));
+            batch_poison.push(false);
+        }
+        // Poison points at the injection score percentile (of the clean
+        // reference distribution). The attackers are *colluding* Sybils
+        // (the paper's threat model), so the round's whole poison batch is
+        // a coordinated point mass: one target cluster, one direction, all
+        // poison at the same spot — the placement that maximizes centroid
+        // displacement at a given anomaly score. Labels are adversary
+        // chosen (random class).
+        let n_poison = (cfg.attack_ratio * cfg.batch as f64).round() as usize;
+        let poison_dist = ref_at(injection);
+        if n_poison > 0 {
+            let target = rng.gen_range(0..centroids.len().max(1));
+            let base = &centroids[target.min(centroids.len() - 1)];
+            let dir: Vec<f64> = (0..data.cols()).map(|_| standard_normal(&mut rng)).collect();
+            let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            let poison_row: Vec<f64> = base
+                .iter()
+                .zip(&dir)
+                .map(|(c, d)| c + poison_dist * d / norm)
+                .collect();
+            let poison_label = rng.gen_range(0..classes);
+            for _ in 0..n_poison {
+                batch_rows.push(poison_row.clone());
+                batch_labels.push(poison_label);
+                batch_poison.push(true);
+            }
+        }
+
+        // Score trimming at the reference value of the threshold
+        // percentile.
+        let all_dists: Vec<f64> = batch_rows.iter().map(|r| score(r)).collect();
+        let cut = ref_at(threshold);
+
+        // Quality: excess tail mass above the clean reference distance.
+        let above = all_dists.iter().filter(|&&d| d > ref_value).count() as f64
+            / all_dists.len() as f64;
+        let quality = 1.0 - (above - expected_tail).max(0.0);
+
+        for (i, row) in batch_rows.into_iter().enumerate() {
+            let keep = all_dists[i] <= cut;
+            if batch_poison[i] {
+                poison_received += 1;
+                if keep {
+                    poison_survived += 1;
+                }
+            } else if !keep {
+                benign_trimmed += 1;
+            }
+            if keep {
+                rows.push(row);
+                labels.push(batch_labels[i]);
+                is_poison.push(batch_poison[i]);
+            }
+        }
+
+        // The defender observes the adversary's realized reference
+        // percentile via the public record (complete information).
+        let observed_injection = percentile_of(&clean_scores, poison_dist);
+        def_obs = Some(DefenderObservation {
+            quality,
+            injection_percentile: Some(if n_poison > 0 { observed_injection } else { injection }),
+        });
+        adv_obs = AdversaryObservation {
+            last_threshold: Some(threshold),
+        };
+    }
+
+    let retained = Dataset::from_rows(
+        format!("{}-{}", data.name(), cfg.scheme.name()),
+        &rows,
+        Some(labels),
+        data.clusters(),
+    );
+    CollectedSet {
+        retained,
+        is_poison,
+        poison_received,
+        poison_survived,
+        benign_trimmed,
+    }
+}
+
+/// Ground-truth centroids for the Figs. 4/5 "Distance" metric: the
+/// k-means clustering of the *clean, unpoisoned* dataset (the paper's
+/// `Groundtruth` scheme — "the discrepancy between the actual centroid of
+/// the clustering and the ground truth"). Deterministic for a given clean
+/// dataset.
+#[must_use]
+pub fn kmeans_truth(clean: &Dataset) -> Vec<Vec<f64>> {
+    let k = clean.clusters().max(1);
+    let mut rng = seeded_rng(0x7471_u64); // fixed: truth depends only on the data
+    KMeans::fit_best(clean, KMeansConfig::new(k), 8, &mut rng)
+        .centroids()
+        .to_vec()
+}
+
+/// Fig. 4/5 metrics against precomputed ground-truth centroids: k-means
+/// SSE on the retained set and the matched centroid distance. Lloyd is
+/// warm-started from the truth centroids, so the Distance is the
+/// displacement the poisoned collection induces on the clean solution —
+/// deterministic, with no initialization noise.
+#[must_use]
+pub fn kmeans_metrics_vs(collected: &CollectedSet, truth: &[Vec<f64>]) -> (f64, f64) {
+    let k = truth.len().max(1);
+    let model = KMeans::fit_from(&collected.retained, truth, KMeansConfig::new(k));
+    (model.sse(), model.centroid_distance_to(truth))
+}
+
+/// Convenience wrapper computing the ground truth on the fly; prefer
+/// [`kmeans_truth`] + [`kmeans_metrics_vs`] when sweeping many schemes
+/// over one dataset.
+#[must_use]
+pub fn kmeans_metrics(collected: &CollectedSet, clean: &Dataset) -> (f64, f64) {
+    let truth = kmeans_truth(clean);
+    kmeans_metrics_vs(collected, &truth)
+}
+
+/// Fig. 7 metric: SVM accuracy on the clean dataset after training on the
+/// collected set.
+#[must_use]
+pub fn svm_accuracy(collected: &CollectedSet, clean: &Dataset, seed: u64) -> f64 {
+    let mut rng = seeded_rng(seed);
+    let model = SvmModel::fit(&collected.retained, SvmConfig::default(), &mut rng);
+    model.accuracy(clean)
+}
+
+/// Fig. 8 metrics: SOM class structure — number of perfectly separated
+/// classes and per-class footprints when the clean data is mapped onto a
+/// SOM trained on the collected set.
+#[must_use]
+pub fn som_structure(
+    collected: &CollectedSet,
+    clean: &Dataset,
+    config: SomConfig,
+    seed: u64,
+) -> (usize, Vec<usize>) {
+    let mut rng = seeded_rng(seed);
+    let som = Som::fit(&collected.retained, config, &mut rng);
+    (som.separated_classes(clean), som.class_footprint(clean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgame_datasets::synthetic::{GaussianComponent, GmmSpec};
+
+    fn blobs(seed: u64) -> Dataset {
+        let spec = GmmSpec::new(vec![
+            GaussianComponent::spherical(vec![-8.0, 0.0], 1.0, 1.0),
+            GaussianComponent::spherical(vec![8.0, 0.0], 1.0, 1.0),
+        ]);
+        spec.generate("blobs", 600, &mut seeded_rng(seed))
+    }
+
+    fn small_cfg(scheme: Scheme, ratio: f64) -> MlSimConfig {
+        MlSimConfig {
+            scheme,
+            tth: 0.9,
+            rounds: 5,
+            attack_ratio: ratio,
+            batch: 100,
+            seed: 7,
+            red: 0.05,
+        }
+    }
+
+    #[test]
+    fn ostrich_retains_all_poison() {
+        let data = blobs(1);
+        let set = collect_poisoned(&data, &small_cfg(Scheme::Ostrich, 0.2));
+        assert_eq!(set.poison_survived, set.poison_received);
+        assert_eq!(set.benign_trimmed, 0);
+        assert!(set.surviving_poison_fraction() > 0.1);
+    }
+
+    #[test]
+    fn trimming_schemes_reduce_poison_damage() {
+        // Poison survives under Elastic too, but sits at lower distance
+        // percentiles; compare kmeans centroid displacement instead of raw
+        // counts.
+        let data = blobs(2);
+        let ostrich = collect_poisoned(&data, &small_cfg(Scheme::Ostrich, 0.4));
+        let elastic = collect_poisoned(&data, &small_cfg(Scheme::Elastic(0.5), 0.4));
+        let (_, d_ostrich) = kmeans_metrics(&ostrich, &data);
+        let (_, d_elastic) = kmeans_metrics(&elastic, &data);
+        assert!(
+            d_elastic < d_ostrich,
+            "elastic {d_elastic} should beat ostrich {d_ostrich}"
+        );
+    }
+
+    #[test]
+    fn collected_set_has_consistent_provenance() {
+        let data = blobs(3);
+        let set = collect_poisoned(&data, &small_cfg(Scheme::Baseline09, 0.2));
+        assert_eq!(set.retained.rows(), set.is_poison.len());
+        let survived = set.is_poison.iter().filter(|&&p| p).count();
+        assert_eq!(survived, set.poison_survived);
+        assert!(set.poison_received >= set.poison_survived);
+    }
+
+    #[test]
+    fn zero_attack_keeps_everything_clean() {
+        let data = blobs(4);
+        let set = collect_poisoned(&data, &small_cfg(Scheme::TitForTat, 0.0));
+        assert_eq!(set.poison_received, 0);
+        assert_eq!(set.surviving_poison_fraction(), 0.0);
+        // k-means on clean retained data lands near the truth.
+        let (_, dist) = kmeans_metrics(&set, &data);
+        assert!(dist < 1.0, "distance {dist}");
+    }
+
+    #[test]
+    fn svm_accuracy_degrades_with_unchecked_poison() {
+        let data = blobs(5);
+        let clean = collect_poisoned(&data, &small_cfg(Scheme::TitForTat, 0.0));
+        let dirty = collect_poisoned(&data, &small_cfg(Scheme::Ostrich, 0.5));
+        let acc_clean = svm_accuracy(&clean, &data, 17);
+        let acc_dirty = svm_accuracy(&dirty, &data, 17);
+        assert!(
+            acc_dirty <= acc_clean + 0.02,
+            "clean {acc_clean}, dirty {acc_dirty}"
+        );
+    }
+
+    #[test]
+    fn som_structure_reports_classes() {
+        let data = blobs(6);
+        let set = collect_poisoned(&data, &small_cfg(Scheme::Elastic(0.1), 0.1));
+        let (separated, footprint) = som_structure(&set, &data, SomConfig::small(), 19);
+        assert!(footprint.len() >= 2);
+        assert!(separated <= footprint.len());
+        assert!(footprint.iter().all(|&f| f > 0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = blobs(7);
+        let a = collect_poisoned(&data, &small_cfg(Scheme::Elastic(0.5), 0.2));
+        let b = collect_poisoned(&data, &small_cfg(Scheme::Elastic(0.5), 0.2));
+        assert_eq!(a.retained.values(), b.retained.values());
+        assert_eq!(a.poison_survived, b.poison_survived);
+    }
+}

@@ -1,0 +1,122 @@
+//! Payoff functions and the balance point `x_L` (Section III-B).
+//!
+//! The game is zero-sum in the poisoning payoff `P` (any gain for the
+//! adversary is a loss for the collector), but the collector additionally
+//! pays the trimming overhead `T` for falsely removed honest values:
+//! collector payoff = `−P − T`. Rational play confines both parties to
+//! `[x_L, x_R]`, where `x_L` is the balance point `P(x_L) = T(x_L)` —
+//! "below which the collector is not motivated to trim the data any
+//! further" — and `x_R` is the largest injection a rational adversary would
+//! attempt.
+
+use crate::error::CoreError;
+use trimgame_numerics::rootfind::brent;
+
+/// The balance point between poison loss and trimming overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalancePoint {
+    /// Location `x_L` where the curves cross.
+    pub x: f64,
+    /// Common payoff magnitude `P(x_L) = T(x_L)` at the crossing.
+    pub payoff: f64,
+}
+
+/// Solves `P(x) = T(x)` on `[lo, hi]` for a poison-loss curve `poison`
+/// (typically increasing in `x`) and a trimming-overhead curve `overhead`
+/// (typically decreasing in `x`, since "the trimming overhead decreases as
+/// more data points are removed").
+///
+/// # Errors
+/// Returns [`CoreError::BalancePointNotBracketed`] if the curves do not
+/// cross on the interval.
+pub fn balance_point<P, T>(mut poison: P, mut overhead: T, lo: f64, hi: f64) -> Result<BalancePoint, CoreError>
+where
+    P: FnMut(f64) -> f64,
+    T: FnMut(f64) -> f64,
+{
+    let root = brent(|x| poison(x) - overhead(x), lo, hi, 1e-12)
+        .map_err(|_| CoreError::BalancePointNotBracketed)?;
+    Ok(BalancePoint {
+        x: root,
+        payoff: poison(root),
+    })
+}
+
+/// Per-round realized payoffs given concrete positions, following
+/// Definition 1's sign conventions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundPayoff {
+    /// Adversary gain `P` (poison damage that survived trimming).
+    pub adversary: f64,
+    /// Collector payoff `−P − T`.
+    pub collector: f64,
+    /// The trimming overhead component `T` alone.
+    pub overhead: f64,
+}
+
+/// Computes the round payoff for trim position `xc` and injection `xa`,
+/// with `damage(xa)` the poison damage if it survives and `overhead(xc)`
+/// the collector's trimming overhead. Poison survives iff `xa <= xc`.
+pub fn round_payoff<D, O>(xc: f64, xa: f64, mut damage: D, mut overhead: O) -> RoundPayoff
+where
+    D: FnMut(f64) -> f64,
+    O: FnMut(f64) -> f64,
+{
+    let p = if xa <= xc { damage(xa) } else { 0.0 };
+    let t = overhead(xc);
+    RoundPayoff {
+        adversary: p,
+        collector: -p - t,
+        overhead: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poison(x: f64) -> f64 {
+        0.8 * x
+    }
+
+    fn overhead(x: f64) -> f64 {
+        (1.0 - x) * (1.0 - x)
+    }
+
+    #[test]
+    fn balance_point_crossing() {
+        let bp = balance_point(poison, overhead, 0.0, 1.0).unwrap();
+        assert!((poison(bp.x) - overhead(bp.x)).abs() < 1e-10);
+        assert!((bp.payoff - poison(bp.x)).abs() < 1e-12);
+        assert!(bp.x > 0.0 && bp.x < 1.0);
+    }
+
+    #[test]
+    fn no_crossing_is_an_error() {
+        let err = balance_point(|_| 1.0, |_| 0.0, 0.0, 1.0).unwrap_err();
+        assert_eq!(err, CoreError::BalancePointNotBracketed);
+    }
+
+    #[test]
+    fn round_payoff_zero_sum_plus_overhead() {
+        let rp = round_payoff(0.9, 0.8, poison, overhead);
+        // Poison at 0.8 <= trim 0.9 survives.
+        assert!((rp.adversary - poison(0.8)).abs() < 1e-12);
+        assert!((rp.collector - (-poison(0.8) - overhead(0.9))).abs() < 1e-12);
+        assert!((rp.overhead - overhead(0.9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trimmed_poison_gains_nothing() {
+        let rp = round_payoff(0.5, 0.8, poison, overhead);
+        assert_eq!(rp.adversary, 0.0);
+        assert!((rp.collector + overhead(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harder_trimming_costs_more_overhead() {
+        let soft = round_payoff(0.95, 1.0, poison, overhead);
+        let hard = round_payoff(0.5, 1.0, poison, overhead);
+        assert!(hard.overhead > soft.overhead);
+    }
+}

@@ -1,0 +1,633 @@
+//! The scalar collection-game simulator (Table III and the analytical
+//! checks).
+//!
+//! Runs the full interactive loop of Fig. 3 on a 1-D value stream with the
+//! correct information structure: in round `i` the defender moves on what
+//! it saw in round `i − 1` (quality score, adversary position from the
+//! public board) and the adversary moves on the defender's round `i − 1`
+//! threshold — a complete-information sequential game.
+//!
+//! Roundwise utilities use the percentile-damage proxy: an adversary whose
+//! surviving poison sits at percentile `a` gains
+//! `(surviving poison fraction) · a`, and the collector loses that gain
+//! plus the benign trim fraction (the overhead `T`). Cumulative series
+//! feed the Section IV analytical checks in [`crate::lagrange`].
+
+use crate::adversary::{AdversaryObservation, AdversaryPolicy};
+use crate::lagrange::UtilityTrajectory;
+use crate::strategy::{DefenderObservation, DefenderPolicy};
+use trimgame_datasets::poison::{InjectionPosition, PoisonSpec};
+use trimgame_datasets::stream::RoundStream;
+use trimgame_numerics::quantile::{ecdf, Interpolation};
+use trimgame_numerics::rand_ext::seeded_rng;
+use rand::Rng;
+use trimgame_stream::round::RoundOutcome;
+use trimgame_stream::trim::{trim, TrimOp};
+
+/// The six evaluation schemes of Section VI-A.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scheme {
+    /// No defense; adversary injects at the 99th percentile.
+    Ostrich,
+    /// Static threshold; adversary uniform in `[0.9, 1]`.
+    Baseline09,
+    /// Static threshold; ideal adversary at `Tth − 1%`.
+    BaselineStatic,
+    /// Algorithm 1 around `Tth`; compliant adversary at `Tth − 1%`.
+    TitForTat,
+    /// §VI-A coupled Elastic with response intensity `k`.
+    Elastic(f64),
+}
+
+impl Scheme {
+    /// The paper's scheme roster in Fig. 4–8 legend order.
+    #[must_use]
+    pub fn roster() -> Vec<Scheme> {
+        vec![
+            Scheme::Ostrich,
+            Scheme::Baseline09,
+            Scheme::BaselineStatic,
+            Scheme::TitForTat,
+            Scheme::Elastic(0.1),
+            Scheme::Elastic(0.5),
+        ]
+    }
+
+    /// Legend name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::Ostrich => "Ostrich".into(),
+            Scheme::Baseline09 => "Baseline0.9".into(),
+            Scheme::BaselineStatic => "Baselinestatic".into(),
+            Scheme::TitForTat => "Titfortat".into(),
+            Scheme::Elastic(k) => format!("Elastic{k}"),
+        }
+    }
+
+    /// The defender policy for this scheme around nominal threshold `tth`.
+    #[must_use]
+    pub fn defender(&self, tth: f64, baseline_quality: f64, red: f64) -> DefenderPolicy {
+        match self {
+            Scheme::Ostrich => DefenderPolicy::Ostrich,
+            Scheme::Baseline09 | Scheme::BaselineStatic => DefenderPolicy::Fixed { tth },
+            Scheme::TitForTat => DefenderPolicy::titfortat(tth, baseline_quality, red),
+            Scheme::Elastic(k) => DefenderPolicy::elastic(tth, *k),
+        }
+    }
+
+    /// The adversary paired with this scheme in the paper's experiments.
+    #[must_use]
+    pub fn adversary(&self, tth: f64) -> AdversaryPolicy {
+        match self {
+            Scheme::Ostrich => AdversaryPolicy::Fixed { percentile: 0.99 },
+            Scheme::Baseline09 => AdversaryPolicy::Uniform { lo: 0.9, hi: 1.0 },
+            Scheme::BaselineStatic => AdversaryPolicy::JustBelowThreshold {
+                offset: 0.01,
+                fallback: tth - 0.01,
+            },
+            Scheme::TitForTat => AdversaryPolicy::compliant(tth),
+            Scheme::Elastic(k) => AdversaryPolicy::elastic(tth, *k),
+        }
+    }
+}
+
+/// Configuration of one scalar game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameConfig {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Nominal trimming threshold `Tth`.
+    pub tth: f64,
+    /// Number of rounds.
+    pub rounds: usize,
+    /// Attack ratio (poison per benign).
+    pub attack_ratio: f64,
+    /// Benign batch size per round.
+    pub batch: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Tit-for-tat redundancy on the quality scale.
+    pub red: f64,
+    /// Optional override of the adversary (Table III's mixed attacker).
+    pub adversary_override: Option<AdversaryPolicy>,
+}
+
+impl GameConfig {
+    /// A reasonable default configuration for `scheme` on `Tth = 0.9`.
+    #[must_use]
+    pub fn new(scheme: Scheme) -> Self {
+        Self {
+            scheme,
+            tth: 0.9,
+            rounds: 20,
+            attack_ratio: 0.2,
+            batch: 1000,
+            seed: 42,
+            red: 0.05,
+            adversary_override: None,
+        }
+    }
+}
+
+/// Result of a scalar game.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameResult {
+    /// Per-round outcomes with provenance.
+    pub outcomes: Vec<RoundOutcome>,
+    /// All retained values across rounds.
+    pub retained: Vec<f64>,
+    /// Cumulative utility trajectories (percentile-damage proxy).
+    pub utilities: UtilityTrajectory,
+    /// Round at which Tit-for-tat triggered, if it did.
+    pub termination_round: Option<usize>,
+    /// The defender's threshold sequence actually applied.
+    pub thresholds: Vec<f64>,
+    /// The adversary's injection percentile sequence.
+    pub injections: Vec<f64>,
+}
+
+impl GameResult {
+    /// Fraction of retained values that are poison, aggregated over all
+    /// rounds (Table III's metric).
+    #[must_use]
+    pub fn surviving_poison_fraction(&self) -> f64 {
+        let kept: usize = self.outcomes.iter().map(|o| o.kept.len()).sum();
+        let poison: usize = self.outcomes.iter().map(|o| o.poison_survived).sum();
+        if kept == 0 {
+            0.0
+        } else {
+            poison as f64 / kept as f64
+        }
+    }
+
+    /// Aggregate benign trim fraction (overhead).
+    #[must_use]
+    pub fn benign_trim_fraction(&self) -> f64 {
+        let benign: usize = self
+            .outcomes
+            .iter()
+            .map(|o| o.received - o.poison_received)
+            .sum();
+        let trimmed: usize = self.outcomes.iter().map(|o| o.benign_trimmed).sum();
+        if benign == 0 {
+            0.0
+        } else {
+            trimmed as f64 / benign as f64
+        }
+    }
+}
+
+/// Runs one scalar collection game over `pool`.
+///
+/// Positions — the defender's threshold and the adversary's injection —
+/// live in *reference percentile space*: the clean pool's quantile
+/// function maps them to values. This is the paper's abstract game
+/// `(x_c, x_a) ∈ [x_L, x_R]²` made concrete, and it is also what a real
+/// collector does: the trimming threshold comes from the publicly
+/// recognized quality standard (clean history), not from the current,
+/// possibly contaminated batch — otherwise a colluding point mass could
+/// drag the batch percentile onto itself and ride out any cut.
+///
+/// # Panics
+/// Panics if the pool is empty or the configuration is degenerate.
+#[must_use]
+pub fn run_game(pool: &[f64], config: &GameConfig) -> GameResult {
+    assert!(!pool.is_empty(), "empty value pool");
+    assert!(config.rounds > 0, "need at least one round");
+    let mut rng = seeded_rng(config.seed);
+    let mut stream = RoundStream::new(pool.to_vec(), config.batch);
+
+    // Reference quantile function (sorted clean pool).
+    let mut sorted_pool = pool.to_vec();
+    sorted_pool.sort_by(|a, b| a.partial_cmp(b).expect("NaN in pool"));
+    let ref_at = |p: f64| {
+        trimgame_numerics::quantile::percentile_sorted(
+            &sorted_pool,
+            p.clamp(0.0, 1.0),
+            Interpolation::Linear,
+        )
+    };
+    // Quality standard: excess mass above the Tth reference value.
+    let ref_value = ref_at(config.tth);
+    let expected_tail = 1.0 - config.tth;
+    let baseline_quality = 1.0; // clean batches carry no excess tail mass
+
+    let mut defender = config
+        .scheme
+        .defender(config.tth, baseline_quality, config.red);
+    let mut adversary = config
+        .adversary_override
+        .clone()
+        .unwrap_or_else(|| config.scheme.adversary(config.tth));
+
+    let mut def_obs: Option<DefenderObservation> = None;
+    let mut adv_obs = AdversaryObservation { last_threshold: None };
+
+    let mut outcomes = Vec::with_capacity(config.rounds);
+    let mut retained = Vec::new();
+    let mut thresholds = Vec::with_capacity(config.rounds);
+    let mut injections = Vec::with_capacity(config.rounds);
+    let mut gains_a = Vec::with_capacity(config.rounds);
+    let mut gains_c = Vec::with_capacity(config.rounds);
+
+    for round in 1..=config.rounds {
+        // Decisions from *previous* round information only.
+        let threshold = match &def_obs {
+            None => defender.initial_threshold(),
+            Some(obs) => defender.next_threshold(round, obs),
+        };
+        let injection = adversary.next_injection(&adv_obs, &mut rng);
+
+        let benign = stream.next_round(&mut rng);
+        let spec = PoisonSpec::new(
+            config.attack_ratio,
+            InjectionPosition::Value(ref_at(injection)),
+        );
+        let batch = spec.inject(&benign, &mut rng);
+        let above = 1.0 - ecdf(&batch.values, ref_value);
+        let quality = 1.0 - (above - expected_tail).max(0.0);
+        let trim_outcome = trim(&batch.values, TrimOp::Absolute(ref_at(threshold)));
+
+        let mut poison_received = 0;
+        let mut poison_survived = 0;
+        let mut benign_trimmed = 0;
+        for (idx, &is_poison) in batch.is_poison.iter().enumerate() {
+            let kept = trim_outcome.kept_mask[idx];
+            if is_poison {
+                poison_received += 1;
+                if kept {
+                    poison_survived += 1;
+                }
+            } else if !kept {
+                benign_trimmed += 1;
+            }
+        }
+
+        // Percentile-damage utility proxy.
+        let batch_len = batch.values.len().max(1);
+        let g_a = poison_survived as f64 / batch_len as f64 * injection.clamp(0.0, 1.0);
+        let overhead = benign_trimmed as f64 / batch_len as f64;
+        gains_a.push(g_a);
+        gains_c.push(-g_a - overhead);
+
+        retained.extend_from_slice(&trim_outcome.kept);
+        outcomes.push(RoundOutcome {
+            round,
+            threshold_percentile: threshold,
+            received: batch.values.len(),
+            poison_received,
+            poison_survived,
+            benign_trimmed,
+            kept: trim_outcome.kept,
+            quality,
+        });
+        thresholds.push(threshold);
+        injections.push(injection);
+
+        def_obs = Some(DefenderObservation {
+            quality,
+            injection_percentile: Some(injection),
+        });
+        adv_obs = AdversaryObservation {
+            last_threshold: Some(threshold),
+        };
+    }
+
+    let termination_round = match &defender {
+        DefenderPolicy::TitForTat { inner } => inner.triggered_at(),
+        _ => None,
+    };
+
+    GameResult {
+        outcomes,
+        retained,
+        utilities: UtilityTrajectory::from_roundwise(&gains_a, &gains_c),
+        termination_round,
+        thresholds,
+        injections,
+    }
+}
+
+/// Table III's trimmed mean over repetitions: runs the game `reps` times
+/// with derived seeds and returns the average surviving poison fraction
+/// and the average termination round (non-terminating runs count as
+/// `rounds + 1`, mirroring the paper's averages exceeding `Round_no`).
+#[must_use]
+pub fn averaged_game(pool: &[f64], config: &GameConfig, reps: usize) -> (f64, f64) {
+    assert!(reps > 0, "need at least one repetition");
+    let mut poison_total = 0.0;
+    let mut term_total = 0.0;
+    for rep in 0..reps {
+        let mut cfg = config.clone();
+        cfg.seed = trimgame_numerics::rand_ext::derive_seed(config.seed, rep as u64);
+        let result = run_game(pool, &cfg);
+        poison_total += result.surviving_poison_fraction();
+        term_total += result
+            .termination_round
+            .map_or((config.rounds + 1) as f64, |r| r as f64);
+    }
+    (poison_total / reps as f64, term_total / reps as f64)
+}
+
+/// Removes values above the `p`-percentile of a batch — convenience used
+/// by downstream consumers that only need one-shot trimming semantics
+/// identical to the game's.
+#[must_use]
+pub fn oneshot_trim(values: &[f64], p: f64) -> Vec<f64> {
+    trim(values, TrimOp::UpperPercentile(p)).kept
+}
+
+/// One row of the Table III study at mix probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Row {
+    /// The adversary's probability of the 99th-percentile position.
+    pub p: f64,
+    /// Average Tit-for-tat termination round (sentinel `rounds + 5` when
+    /// no termination occurred, matching the paper's 25 at `Round_no=20`).
+    pub avg_termination: f64,
+    /// Surviving poison fraction of retained data under Tit-for-tat.
+    pub titfortat_fraction: f64,
+    /// Surviving poison fraction under Elastic.
+    pub elastic_fraction: f64,
+}
+
+/// The §VI-D non-equilibrium protocol (Table III): the adversary mixes a
+/// defecting position — the 99th percentile — with probability `p` against
+/// an evasive (equilibrium) position just below the responsive cut with
+/// probability `1 − p`; Tit-for-tat trims softly at `Tth + 1%` until the
+/// estimated poison share of the reference tail exceeds `1 − p + 0.05` (a
+/// 5% redundancy), then permanently shifts to the `Tth` percentile;
+/// Elastic runs the coupled rule with `k`.
+///
+/// All positions are reference-percentile positions. The paper places the
+/// evasive mass "at the 90th percentile"; under batch-percentile trimming
+/// a point mass at the threshold percentile rides the cut and survives,
+/// so in reference space the operationally equivalent evasive position is
+/// just *below* the responsive cut (`Tth − 2%`). Batches are small
+/// (Control-scale: 30 rows/round), which is what gives the paper's
+/// trigger statistics their variance.
+///
+/// # Panics
+/// Panics on an empty pool or `reps == 0`.
+#[must_use]
+pub fn run_table3_point(pool: &[f64], p: f64, k: f64, reps: usize, master_seed: u64) -> Table3Row {
+    assert!(!pool.is_empty(), "empty value pool");
+    assert!(reps > 0, "need at least one repetition");
+    let tth = 0.9;
+    let rounds = 20;
+    let batch = 30;
+    let ratio = 0.2;
+    let lo_position = tth - 0.02;
+    let sentinel = (rounds + 5) as f64;
+
+    let mut sorted_pool = pool.to_vec();
+    sorted_pool.sort_by(|a, b| a.partial_cmp(b).expect("NaN in pool"));
+    let ref_at = |q: f64| {
+        trimgame_numerics::quantile::percentile_sorted(
+            &sorted_pool,
+            q.clamp(0.0, 1.0),
+            Interpolation::Linear,
+        )
+    };
+    let ref_value = ref_at(tth);
+    let expected_tail = 1.0 - tth;
+
+    let mut term_total = 0.0;
+    let mut tft_fraction_total = 0.0;
+    let mut ela_fraction_total = 0.0;
+
+    for rep in 0..reps {
+        let seed = trimgame_numerics::rand_ext::derive_seed(master_seed, rep as u64);
+        let mut rng = seeded_rng(seed);
+        let mut stream = RoundStream::new(pool.to_vec(), batch);
+
+        // Pre-draw the adversary's per-round positions so Tit-for-tat and
+        // Elastic face the *same* attack sequence.
+        let positions: Vec<f64> = (0..rounds)
+            .map(|_| if rng.gen::<f64>() < p { 0.99 } else { lo_position })
+            .collect();
+        let benign_rounds: Vec<Vec<f64>> =
+            (0..rounds).map(|_| stream.next_round(&mut rng)).collect();
+
+        // --- Tit-for-tat ---
+        let mut triggered: Option<usize> = None;
+        let mut tft_kept = 0usize;
+        let mut tft_poison = 0usize;
+        for (i, benign) in benign_rounds.iter().enumerate() {
+            let threshold = if triggered.is_some() { tth } else { tth + 0.01 };
+            let spec = PoisonSpec::new(ratio, InjectionPosition::Value(ref_at(positions[i])));
+            let batch_v = spec.inject(benign, &mut rng);
+            let cut = ref_at(threshold);
+            let outcome = trim(&batch_v.values, TrimOp::Absolute(cut));
+            for (j, &is_p) in batch_v.is_poison.iter().enumerate() {
+                if outcome.kept_mask[j] {
+                    tft_kept += 1;
+                    if is_p {
+                        tft_poison += 1;
+                    }
+                }
+            }
+            // Estimated poison share of the reference tail.
+            let above = 1.0 - ecdf(&batch_v.values, ref_value);
+            let excess = (above - expected_tail).max(0.0);
+            let share = if above > 0.0 { excess / above } else { 0.0 };
+            if triggered.is_none() && share > (1.0 - p) + 0.05 {
+                triggered = Some(i + 1);
+            }
+        }
+        term_total += triggered.map_or(sentinel, |r| r as f64);
+        tft_fraction_total += if tft_kept > 0 {
+            tft_poison as f64 / tft_kept as f64
+        } else {
+            0.0
+        };
+
+        // --- Elastic (coupled rule, same attack sequence) ---
+        let dynamics = crate::elastic::CoupledDynamics::new(tth, k).expect("valid k");
+        let mut ela_threshold = dynamics.initial().trim;
+        let mut ela_kept = 0usize;
+        let mut ela_poison = 0usize;
+        for (i, benign) in benign_rounds.iter().enumerate() {
+            let spec = PoisonSpec::new(ratio, InjectionPosition::Value(ref_at(positions[i])));
+            let batch_v = spec.inject(benign, &mut rng);
+            let outcome = trim(&batch_v.values, TrimOp::Absolute(ref_at(ela_threshold)));
+            for (j, &is_p) in batch_v.is_poison.iter().enumerate() {
+                if outcome.kept_mask[j] {
+                    ela_kept += 1;
+                    if is_p {
+                        ela_poison += 1;
+                    }
+                }
+            }
+            // Coupled response to the observed injection position.
+            ela_threshold = tth + k * (positions[i] - tth - 0.01);
+        }
+        ela_fraction_total += if ela_kept > 0 {
+            ela_poison as f64 / ela_kept as f64
+        } else {
+            0.0
+        };
+    }
+
+    Table3Row {
+        p,
+        avg_termination: term_total / reps as f64,
+        titfortat_fraction: tft_fraction_total / reps as f64,
+        elastic_fraction: ela_fraction_total / reps as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Vec<f64> {
+        (0..10_000).map(|i| (i % 1000) as f64 / 10.0).collect()
+    }
+
+    #[test]
+    fn roster_matches_legend() {
+        let names: Vec<String> = Scheme::roster().iter().map(Scheme::name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Ostrich",
+                "Baseline0.9",
+                "Baselinestatic",
+                "Titfortat",
+                "Elastic0.1",
+                "Elastic0.5"
+            ]
+        );
+    }
+
+    #[test]
+    fn ostrich_keeps_all_poison() {
+        let cfg = GameConfig::new(Scheme::Ostrich);
+        let result = run_game(&pool(), &cfg);
+        for o in &result.outcomes {
+            assert_eq!(o.poison_survived, o.poison_received);
+            assert_eq!(o.benign_trimmed, 0);
+        }
+        assert!(result.surviving_poison_fraction() > 0.15);
+    }
+
+    #[test]
+    fn baseline_static_adversary_evades() {
+        let cfg = GameConfig::new(Scheme::BaselineStatic);
+        let result = run_game(&pool(), &cfg);
+        // The ideal attacker at Tth − 1% keeps nearly all poison in play.
+        assert!(
+            result.surviving_poison_fraction() > 0.12,
+            "fraction {}",
+            result.surviving_poison_fraction()
+        );
+        // But the collector also pays overhead (benign tail above Tth).
+        assert!(result.benign_trim_fraction() > 0.05);
+    }
+
+    #[test]
+    fn elastic_drives_poison_low() {
+        let cfg = GameConfig::new(Scheme::Elastic(0.5));
+        let result = run_game(&pool(), &cfg);
+        // The coupled dynamics converge: injections approach Tth - 4.33%.
+        let last = *result.injections.last().unwrap();
+        assert!(
+            (last - (0.9 - 0.04333)).abs() < 0.01,
+            "last injection {last}"
+        );
+        // Poison survives but at a low, harmless percentile.
+        assert!(result.surviving_poison_fraction() > 0.0);
+    }
+
+    #[test]
+    fn titfortat_triggers_under_heavy_attack() {
+        let mut cfg = GameConfig::new(Scheme::TitForTat);
+        // Mixed attacker defecting to the 99th percentile at high rate.
+        cfg.adversary_override = Some(AdversaryPolicy::Mixed {
+            p: 0.0,
+            hi: 0.99,
+            lo: 0.99,
+        });
+        cfg.attack_ratio = 0.4;
+        cfg.red = 0.02;
+        let result = run_game(&pool(), &cfg);
+        assert!(
+            result.termination_round.is_some(),
+            "heavy defection should trigger"
+        );
+        // After the trigger, the threshold is the hard one.
+        let trigger = result.termination_round.unwrap();
+        for o in result.outcomes.iter().skip(trigger) {
+            assert!((o.threshold_percentile - 0.87).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn titfortat_stays_soft_against_compliance() {
+        let cfg = GameConfig::new(Scheme::TitForTat);
+        let result = run_game(&pool(), &cfg);
+        assert_eq!(result.termination_round, None);
+        for o in &result.outcomes {
+            assert!((o.threshold_percentile - 0.91).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn utilities_track_rounds() {
+        let cfg = GameConfig::new(Scheme::Baseline09);
+        let result = run_game(&pool(), &cfg);
+        assert_eq!(result.utilities.rounds(), cfg.rounds);
+        // Adversary utility is non-decreasing (gains are non-negative).
+        let ua = &result.utilities.u_a;
+        for w in ua.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        // Collector utility is non-increasing.
+        let uc = &result.utilities.u_c;
+        for w in uc.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = GameConfig::new(Scheme::Elastic(0.1));
+        let a = run_game(&pool(), &cfg);
+        let b = run_game(&pool(), &cfg);
+        assert_eq!(a.retained, b.retained);
+        assert_eq!(a.thresholds, b.thresholds);
+    }
+
+    #[test]
+    fn averaged_game_returns_means() {
+        let mut cfg = GameConfig::new(Scheme::TitForTat);
+        cfg.rounds = 5;
+        cfg.batch = 200;
+        let (poison, term) = averaged_game(&pool(), &cfg, 3);
+        assert!(poison >= 0.0 && poison <= 1.0);
+        assert!(term >= 1.0 && term <= 6.0);
+    }
+
+    #[test]
+    fn oneshot_trim_matches_trim_op() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let kept = oneshot_trim(&values, 0.9);
+        assert_eq!(kept.len(), 90);
+    }
+
+    #[test]
+    fn mixed_adversary_override_is_used() {
+        let mut cfg = GameConfig::new(Scheme::TitForTat);
+        cfg.adversary_override = Some(AdversaryPolicy::Mixed {
+            p: 1.0,
+            hi: 0.99,
+            lo: 0.90,
+        });
+        let result = run_game(&pool(), &cfg);
+        for &inj in &result.injections {
+            assert_eq!(inj, 0.99);
+        }
+    }
+}

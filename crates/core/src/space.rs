@@ -1,0 +1,211 @@
+//! The complete strategy space `[x_L, x_R]` and mixed strategies
+//! (Section III-C).
+//!
+//! Both players pick positions in `[x_L, x_R]`. Any point `x_p` in the
+//! domain decomposes as a convex combination `x_p = p_L·x_L + p_R·x_R` —
+//! "a mixed strategy in the sense of game theory" — and because the
+//! decomposition is linear and additive, *any poison value distribution*
+//! on the domain reduces to a single mixed-strategy point, making the
+//! strategy space complete (the key step that lets the model cover
+//! colluding adversaries with arbitrary poison distributions).
+
+use crate::error::CoreError;
+
+/// The strategy interval `[x_L, x_R]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategySpace {
+    /// Balance point `x_L` (soft end).
+    pub x_l: f64,
+    /// Maximum rational injection `x_R` (hard end).
+    pub x_r: f64,
+}
+
+/// A mixed strategy: play `x_L` with probability `p_l` and `x_R` with
+/// probability `1 − p_l`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedPoint {
+    /// Probability of the soft end `x_L`.
+    pub p_l: f64,
+    /// The equivalent pure position `p_l·x_L + (1−p_l)·x_R`.
+    pub position: f64,
+}
+
+impl StrategySpace {
+    /// Creates the space.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] unless `x_L < x_R`.
+    pub fn new(x_l: f64, x_r: f64) -> Result<Self, CoreError> {
+        if !(x_l < x_r) {
+            return Err(CoreError::InvalidParameter {
+                name: "x_l",
+                constraint: "x_L < x_R",
+                value: x_l,
+            });
+        }
+        Ok(Self { x_l, x_r })
+    }
+
+    /// Width of the interval.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.x_r - self.x_l
+    }
+
+    /// True if `x` is a legal (rational) position.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        (self.x_l..=self.x_r).contains(&x)
+    }
+
+    /// Decomposes a pure position into its mixed strategy
+    /// (`x = p_L x_L + p_R x_R`, Section III-C2).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if `x` is outside the space.
+    pub fn decompose(&self, x: f64) -> Result<MixedPoint, CoreError> {
+        if !self.contains(x) {
+            return Err(CoreError::InvalidParameter {
+                name: "x",
+                constraint: "x_L <= x <= x_R",
+                value: x,
+            });
+        }
+        let p_l = (self.x_r - x) / self.width();
+        Ok(MixedPoint { p_l, position: x })
+    }
+
+    /// Reduces an arbitrary poison distribution (values + weights) on the
+    /// space to its single mixed-strategy point: the weighted mean, which
+    /// by linearity carries the same expected payoff (Fig. 1b).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if any value leaves the
+    /// space, weights are non-positive, or the inputs are empty/ragged.
+    pub fn reduce_distribution(&self, values: &[f64], weights: &[f64]) -> Result<MixedPoint, CoreError> {
+        if values.is_empty() || values.len() != weights.len() {
+            return Err(CoreError::InvalidParameter {
+                name: "values",
+                constraint: "non-empty and matching weights",
+                value: values.len() as f64,
+            });
+        }
+        let mut total_w = 0.0;
+        let mut acc = 0.0;
+        for (&v, &w) in values.iter().zip(weights) {
+            if !self.contains(v) {
+                return Err(CoreError::InvalidParameter {
+                    name: "value",
+                    constraint: "inside [x_L, x_R]",
+                    value: v,
+                });
+            }
+            if w <= 0.0 {
+                return Err(CoreError::InvalidParameter {
+                    name: "weight",
+                    constraint: "positive",
+                    value: w,
+                });
+            }
+            total_w += w;
+            acc += w * v;
+        }
+        self.decompose(acc / total_w)
+    }
+
+    /// The pure position equivalent to playing `x_L` with probability
+    /// `p_l`.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] unless `p_l ∈ [0, 1]`.
+    pub fn compose(&self, p_l: f64) -> Result<MixedPoint, CoreError> {
+        if !(0.0..=1.0).contains(&p_l) {
+            return Err(CoreError::InvalidParameter {
+                name: "p_l",
+                constraint: "0 <= p_l <= 1",
+                value: p_l,
+            });
+        }
+        Ok(MixedPoint {
+            p_l,
+            position: p_l * self.x_l + (1.0 - p_l) * self.x_r,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> StrategySpace {
+        StrategySpace::new(0.9, 0.99).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_order() {
+        assert!(StrategySpace::new(0.5, 0.5).is_err());
+        assert!(StrategySpace::new(0.9, 0.1).is_err());
+        assert!(StrategySpace::new(0.1, 0.9).is_ok());
+    }
+
+    #[test]
+    fn decompose_endpoints() {
+        let s = space();
+        assert!((s.decompose(0.9).unwrap().p_l - 1.0).abs() < 1e-12);
+        assert!((s.decompose(0.99).unwrap().p_l - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decompose_midpoint() {
+        let s = space();
+        let m = s.decompose(0.945).unwrap();
+        assert!((m.p_l - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_decompose_round_trip() {
+        let s = space();
+        for &p in &[0.0, 0.25, 0.5, 0.8, 1.0] {
+            let m = s.compose(p).unwrap();
+            let back = s.decompose(m.position).unwrap();
+            assert!((back.p_l - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_space_rejected() {
+        let s = space();
+        assert!(s.decompose(0.8).is_err());
+        assert!(s.decompose(1.0).is_err());
+        assert!(s.compose(1.5).is_err());
+    }
+
+    #[test]
+    fn distribution_reduces_to_weighted_mean() {
+        let s = space();
+        // 50/50 at the endpoints -> midpoint.
+        let m = s.reduce_distribution(&[0.9, 0.99], &[1.0, 1.0]).unwrap();
+        assert!((m.position - 0.945).abs() < 1e-12);
+        assert!((m.p_l - 0.5).abs() < 1e-12);
+        // Weighted toward the hard end.
+        let m = s.reduce_distribution(&[0.9, 0.99], &[1.0, 3.0]).unwrap();
+        assert!(m.position > 0.945);
+    }
+
+    #[test]
+    fn distribution_validation() {
+        let s = space();
+        assert!(s.reduce_distribution(&[], &[]).is_err());
+        assert!(s.reduce_distribution(&[0.95], &[1.0, 2.0]).is_err());
+        assert!(s.reduce_distribution(&[0.5], &[1.0]).is_err());
+        assert!(s.reduce_distribution(&[0.95], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn contains_and_width() {
+        let s = space();
+        assert!(s.contains(0.95));
+        assert!(!s.contains(0.899));
+        assert!((s.width() - 0.09).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! Defender threshold policies — the scheme roster of Section VI-A.
+//!
+//! | Scheme | Defender behaviour |
+//! |---|---|
+//! | `Ostrich` | never trims (threshold 1.0); "no defensive measures" |
+//! | `Fixed` | static threshold `Tth` (both `Baseline 0.9` and `Baseline static`) |
+//! | `TitForTat` | soft at `Tth + 1%`; once triggered, hard at `Tth − 3%` forever |
+//! | `Elastic` | `T(1) = Tth − 3%`, then `T(i+1) = Tth + k(A(i) − Tth − 1%)` |
+//!
+//! Policies observe the previous round through [`DefenderObservation`]:
+//! the quality score (all schemes) and the adversary's realized injection
+//! percentile (Elastic's coupled rule; observable in the complete-
+//! information game via the public board).
+
+use crate::elastic::CoupledDynamics;
+use crate::titfortat::TitForTat;
+
+/// What the defender sees from the previous round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefenderObservation {
+    /// `Quality_Evaluation()` score of the received batch.
+    pub quality: f64,
+    /// The adversary's injection percentile last round, if identifiable
+    /// from the public board (complete-information assumption).
+    pub injection_percentile: Option<f64>,
+}
+
+/// A defender threshold policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefenderPolicy {
+    /// Accept everything.
+    Ostrich,
+    /// Static threshold.
+    Fixed {
+        /// The fixed trimming percentile.
+        tth: f64,
+    },
+    /// Algorithm 1 around nominal threshold `tth`.
+    TitForTat {
+        /// Trigger-strategy state.
+        inner: TitForTat,
+    },
+    /// §VI-A coupled Elastic rule.
+    Elastic {
+        /// The dynamics parameters.
+        dynamics: CoupledDynamics,
+        /// Current trim percentile `T(i)`.
+        current: f64,
+    },
+}
+
+impl DefenderPolicy {
+    /// Tit-for-tat's soft offset above `Tth` (§VI-A: `Tth + 1%`).
+    pub const TFT_SOFT_OFFSET: f64 = 0.01;
+    /// Tit-for-tat's hard offset below `Tth` (§VI-A: `Tth − 3%`).
+    pub const TFT_HARD_OFFSET: f64 = -0.03;
+
+    /// Builds the paper's Tit-for-tat configuration around `tth` with
+    /// calibration quality `baseline_quality` and redundancy `red`.
+    ///
+    /// # Panics
+    /// Panics if the offsets leave `[0, 1]`.
+    #[must_use]
+    pub fn titfortat(tth: f64, baseline_quality: f64, red: f64) -> Self {
+        let inner = TitForTat::new(
+            (tth + Self::TFT_SOFT_OFFSET).min(1.0),
+            tth + Self::TFT_HARD_OFFSET,
+            baseline_quality,
+            red,
+        )
+        .expect("paper offsets around a valid tth are valid");
+        DefenderPolicy::TitForTat { inner }
+    }
+
+    /// Builds the paper's Elastic configuration around `tth` with response
+    /// intensity `k`.
+    ///
+    /// # Panics
+    /// Panics if the parameters are out of range.
+    #[must_use]
+    pub fn elastic(tth: f64, k: f64) -> Self {
+        let dynamics = CoupledDynamics::new(tth, k).expect("valid elastic parameters");
+        DefenderPolicy::Elastic {
+            current: dynamics.initial().trim,
+            dynamics,
+        }
+    }
+
+    /// Human-readable scheme name (matches the paper's legend).
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            DefenderPolicy::Ostrich => "Ostrich".to_string(),
+            DefenderPolicy::Fixed { .. } => "Baseline".to_string(),
+            DefenderPolicy::TitForTat { .. } => "Titfortat".to_string(),
+            DefenderPolicy::Elastic { dynamics, .. } => format!("Elastic{}", dynamics.k),
+        }
+    }
+
+    /// Threshold percentile for the first round.
+    #[must_use]
+    pub fn initial_threshold(&self) -> f64 {
+        match self {
+            DefenderPolicy::Ostrich => 1.0,
+            DefenderPolicy::Fixed { tth } => *tth,
+            DefenderPolicy::TitForTat { inner } => inner.threshold(),
+            DefenderPolicy::Elastic { current, .. } => *current,
+        }
+    }
+
+    /// Consumes last round's observation and returns this round's
+    /// threshold percentile.
+    pub fn next_threshold(&mut self, round: usize, obs: &DefenderObservation) -> f64 {
+        match self {
+            DefenderPolicy::Ostrich => 1.0,
+            DefenderPolicy::Fixed { tth } => *tth,
+            DefenderPolicy::TitForTat { inner } => inner.observe(round, obs.quality),
+            DefenderPolicy::Elastic { dynamics, current } => {
+                if let Some(a) = obs.injection_percentile {
+                    *current = dynamics.tth + dynamics.k * (a - dynamics.tth - 0.01);
+                }
+                current.clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(quality: f64, inject: Option<f64>) -> DefenderObservation {
+        DefenderObservation {
+            quality,
+            injection_percentile: inject,
+        }
+    }
+
+    #[test]
+    fn ostrich_never_trims() {
+        let mut p = DefenderPolicy::Ostrich;
+        assert_eq!(p.initial_threshold(), 1.0);
+        assert_eq!(p.next_threshold(5, &obs(0.0, Some(0.99))), 1.0);
+    }
+
+    #[test]
+    fn fixed_is_static() {
+        let mut p = DefenderPolicy::Fixed { tth: 0.9 };
+        assert_eq!(p.initial_threshold(), 0.9);
+        for round in 1..5 {
+            assert_eq!(p.next_threshold(round, &obs(0.1, None)), 0.9);
+        }
+    }
+
+    #[test]
+    fn titfortat_soft_then_hard() {
+        let mut p = DefenderPolicy::titfortat(0.9, 0.95, 0.05);
+        assert!((p.initial_threshold() - 0.91).abs() < 1e-12);
+        // Good quality: stays soft.
+        assert!((p.next_threshold(1, &obs(0.94, None)) - 0.91).abs() < 1e-12);
+        // Trigger: drops to Tth - 3% and stays.
+        assert!((p.next_threshold(2, &obs(0.80, None)) - 0.87).abs() < 1e-12);
+        assert!((p.next_threshold(3, &obs(1.0, None)) - 0.87).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elastic_reacts_to_injection() {
+        let mut p = DefenderPolicy::elastic(0.9, 0.5);
+        // Initial trim Tth - 3%.
+        assert!((p.initial_threshold() - 0.87).abs() < 1e-12);
+        // Adversary injected at 0.91 -> T = 0.9 + 0.5*(0.91-0.9-0.01) = 0.9.
+        let t = p.next_threshold(2, &obs(1.0, Some(0.91)));
+        assert!((t - 0.9).abs() < 1e-12);
+        // Adversary dove to 0.85 -> T = 0.9 + 0.5*(0.85-0.91) = 0.87.
+        let t = p.next_threshold(3, &obs(1.0, Some(0.85)));
+        assert!((t - 0.87).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elastic_without_observation_keeps_current() {
+        let mut p = DefenderPolicy::elastic(0.9, 0.5);
+        let t1 = p.next_threshold(2, &obs(1.0, None));
+        assert!((t1 - 0.87).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_match_legend() {
+        assert_eq!(DefenderPolicy::Ostrich.name(), "Ostrich");
+        assert_eq!(DefenderPolicy::Fixed { tth: 0.9 }.name(), "Baseline");
+        assert_eq!(DefenderPolicy::titfortat(0.9, 1.0, 0.0).name(), "Titfortat");
+        assert_eq!(DefenderPolicy::elastic(0.9, 0.5).name(), "Elastic0.5");
+    }
+}

@@ -1,0 +1,328 @@
+//! Trigger-strategy variants — the paper's stated extension direction.
+//!
+//! "It should be noted that numerous variants of Tit-for-tat exist, such
+//! as Tits-for-two-tats (ref. 2) and Generous Tit-for-tat (ref. 23). They can also
+//! be adapted through Elastic strategies for repeated games with
+//! uncertainty" (Section V). The paper defers them to future work; this
+//! module implements the two cited variants, each with the same
+//! quality-trigger interface as [`crate::titfortat::TitForTat`]:
+//!
+//! * [`TitForTwoTats`] — punish only after `tolerated + 1` *consecutive*
+//!   defections (Axelrod's forgiving variant; robust to isolated noise
+//!   spikes without a δ compromise).
+//! * [`GenerousTitForTat`] — on each detected defection, forgive with
+//!   probability `g` (Nowak–Sigmund). The generosity that maximizes
+//!   long-run payoff under noise replaces Tit-for-tat's fixed redundancy
+//!   margin with a randomized one.
+//!
+//! Both remain *rigid* in the paper's taxonomy (punishment, once
+//! triggered, is permanent); the Elastic adaptation — a proportional
+//! penalty instead of termination — is [`crate::elastic::ElasticThreshold`]
+//! and composes with either detector via [`observe`](TriggerVariant::observe)'s
+//! boolean defection signal.
+
+use crate::error::CoreError;
+use rand::Rng;
+
+/// Common interface for trigger variants: feed per-round quality, get the
+/// next threshold.
+pub trait TriggerVariant {
+    /// Observes round `round`'s quality score and returns the trimming
+    /// percentile for the next round.
+    fn observe(&mut self, round: usize, quality: f64) -> f64;
+
+    /// The round at which punishment became permanent, if it has.
+    fn triggered_at(&self) -> Option<usize>;
+
+    /// Current threshold without new information.
+    fn threshold(&self) -> f64;
+}
+
+/// Punish only after more than `tolerated` consecutive defections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TitForTwoTats {
+    soft: f64,
+    hard: f64,
+    baseline_quality: f64,
+    red: f64,
+    /// Consecutive defections tolerated before triggering (1 = the classic
+    /// "two tats").
+    tolerated: usize,
+    consecutive: usize,
+    triggered_at: Option<usize>,
+}
+
+impl TitForTwoTats {
+    /// Creates the policy; `tolerated = 1` is the classic variant.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] unless
+    /// `0 <= hard < soft <= 1` and `red >= 0`.
+    pub fn new(
+        soft: f64,
+        hard: f64,
+        baseline_quality: f64,
+        red: f64,
+        tolerated: usize,
+    ) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&soft) || !(0.0..=1.0).contains(&hard) || hard >= soft {
+            return Err(CoreError::InvalidParameter {
+                name: "soft/hard",
+                constraint: "0 <= hard < soft <= 1",
+                value: soft,
+            });
+        }
+        if red < 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "red",
+                constraint: "red >= 0",
+                value: red,
+            });
+        }
+        Ok(Self {
+            soft,
+            hard,
+            baseline_quality,
+            red,
+            tolerated,
+            consecutive: 0,
+            triggered_at: None,
+        })
+    }
+}
+
+impl TriggerVariant for TitForTwoTats {
+    fn observe(&mut self, round: usize, quality: f64) -> f64 {
+        if self.triggered_at.is_none() {
+            if quality < self.baseline_quality - self.red {
+                self.consecutive += 1;
+                if self.consecutive > self.tolerated {
+                    self.triggered_at = Some(round);
+                }
+            } else {
+                self.consecutive = 0;
+            }
+        }
+        self.threshold()
+    }
+
+    fn triggered_at(&self) -> Option<usize> {
+        self.triggered_at
+    }
+
+    fn threshold(&self) -> f64 {
+        if self.triggered_at.is_some() {
+            self.hard
+        } else {
+            self.soft
+        }
+    }
+}
+
+/// Forgive each detected defection with probability `g`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerousTitForTat {
+    soft: f64,
+    hard: f64,
+    baseline_quality: f64,
+    red: f64,
+    /// Forgiveness probability `g ∈ [0, 1]`.
+    generosity: f64,
+    triggered_at: Option<usize>,
+}
+
+impl GenerousTitForTat {
+    /// Creates the policy.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] unless
+    /// `0 <= hard < soft <= 1`, `red >= 0` and `g ∈ [0, 1]`.
+    pub fn new(
+        soft: f64,
+        hard: f64,
+        baseline_quality: f64,
+        red: f64,
+        generosity: f64,
+    ) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&soft) || !(0.0..=1.0).contains(&hard) || hard >= soft {
+            return Err(CoreError::InvalidParameter {
+                name: "soft/hard",
+                constraint: "0 <= hard < soft <= 1",
+                value: soft,
+            });
+        }
+        if red < 0.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "red",
+                constraint: "red >= 0",
+                value: red,
+            });
+        }
+        if !(0.0..=1.0).contains(&generosity) {
+            return Err(CoreError::InvalidParameter {
+                name: "generosity",
+                constraint: "0 <= g <= 1",
+                value: generosity,
+            });
+        }
+        Ok(Self {
+            soft,
+            hard,
+            baseline_quality,
+            red,
+            generosity,
+            triggered_at: None,
+        })
+    }
+
+    /// Observes with an explicit RNG (the forgiveness coin).
+    pub fn observe_with<R: Rng + ?Sized>(&mut self, round: usize, quality: f64, rng: &mut R) -> f64 {
+        if self.triggered_at.is_none()
+            && quality < self.baseline_quality - self.red
+            && rng.gen::<f64>() >= self.generosity
+        {
+            self.triggered_at = Some(round);
+        }
+        self.threshold()
+    }
+
+    /// The round at which punishment became permanent.
+    #[must_use]
+    pub fn triggered_at(&self) -> Option<usize> {
+        self.triggered_at
+    }
+
+    /// Current threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        if self.triggered_at.is_some() {
+            self.hard
+        } else {
+            self.soft
+        }
+    }
+
+    /// Expected number of rounds until termination when each round
+    /// independently looks like a defection with probability `q`:
+    /// a geometric wait with success probability `q(1 − g)`.
+    ///
+    /// # Panics
+    /// Panics unless `q ∈ (0, 1]`.
+    #[must_use]
+    pub fn expected_termination_round(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "q={q} must be in (0,1]");
+        let eff = q * (1.0 - self.generosity);
+        if eff <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / eff
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgame_numerics::rand_ext::seeded_rng;
+
+    #[test]
+    fn two_tats_tolerates_isolated_defection() {
+        let mut t = TitForTwoTats::new(0.91, 0.87, 1.0, 0.02, 1).unwrap();
+        // Isolated bad round, then recovery: no trigger.
+        assert_eq!(t.observe(1, 0.5), 0.91);
+        assert_eq!(t.observe(2, 1.0), 0.91);
+        assert_eq!(t.observe(3, 0.5), 0.91);
+        assert_eq!(t.triggered_at(), None);
+        // Round 3 was the first of two consecutive bad rounds; round 4 is
+        // the second and triggers.
+        assert_eq!(t.observe(4, 0.5), 0.87);
+        assert_eq!(t.triggered_at(), Some(4));
+        // Permanent.
+        assert_eq!(t.observe(5, 1.0), 0.87);
+    }
+
+    #[test]
+    fn two_tats_with_zero_tolerance_is_titfortat() {
+        let mut variant = TitForTwoTats::new(0.91, 0.87, 1.0, 0.02, 0).unwrap();
+        let mut classic = crate::titfortat::TitForTat::new(0.91, 0.87, 1.0, 0.02).unwrap();
+        for (round, &q) in [1.0, 0.99, 0.5, 1.0].iter().enumerate() {
+            assert_eq!(
+                variant.observe(round + 1, q),
+                classic.observe(round + 1, q),
+                "divergence at round {}",
+                round + 1
+            );
+        }
+        assert_eq!(variant.triggered_at(), classic.triggered_at());
+    }
+
+    #[test]
+    fn generous_never_triggers_at_full_generosity() {
+        let mut g = GenerousTitForTat::new(0.91, 0.87, 1.0, 0.0, 1.0).unwrap();
+        let mut rng = seeded_rng(1);
+        for round in 1..=100 {
+            assert_eq!(g.observe_with(round, 0.0, &mut rng), 0.91);
+        }
+        assert_eq!(g.triggered_at(), None);
+    }
+
+    #[test]
+    fn generous_zero_is_strict() {
+        let mut g = GenerousTitForTat::new(0.91, 0.87, 1.0, 0.0, 0.0).unwrap();
+        let mut rng = seeded_rng(2);
+        assert_eq!(g.observe_with(1, 0.5, &mut rng), 0.87);
+        assert_eq!(g.triggered_at(), Some(1));
+    }
+
+    #[test]
+    fn generosity_extends_cooperation_statistically() {
+        // With per-round defection-looking probability ~1 (quality always
+        // bad), the strict policy dies at round 1; g = 0.8 survives ~5
+        // rounds on average.
+        let reps = 200;
+        let mut total = 0.0;
+        for rep in 0..reps {
+            let mut g = GenerousTitForTat::new(0.91, 0.87, 1.0, 0.0, 0.8).unwrap();
+            let mut rng = seeded_rng(100 + rep);
+            let mut terminated = 50;
+            for round in 1..=50 {
+                g.observe_with(round, 0.0, &mut rng);
+                if g.triggered_at().is_some() {
+                    terminated = round;
+                    break;
+                }
+            }
+            total += terminated as f64;
+        }
+        let avg = total / reps as f64;
+        let expected = GenerousTitForTat::new(0.91, 0.87, 1.0, 0.0, 0.8)
+            .unwrap()
+            .expected_termination_round(1.0);
+        assert!((avg - expected).abs() < 1.0, "avg {avg} vs expected {expected}");
+    }
+
+    #[test]
+    fn expected_termination_round_formula() {
+        let g = GenerousTitForTat::new(0.91, 0.87, 1.0, 0.0, 0.5).unwrap();
+        assert!((g.expected_termination_round(0.1) - 20.0).abs() < 1e-12);
+        let never = GenerousTitForTat::new(0.91, 0.87, 1.0, 0.0, 1.0).unwrap();
+        assert!(never.expected_termination_round(0.5).is_infinite());
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(TitForTwoTats::new(0.87, 0.91, 1.0, 0.0, 1).is_err());
+        assert!(TitForTwoTats::new(0.91, 0.87, 1.0, -0.1, 1).is_err());
+        assert!(GenerousTitForTat::new(0.91, 0.87, 1.0, 0.0, 1.5).is_err());
+        assert!(GenerousTitForTat::new(0.91, 0.87, 1.0, -0.1, 0.5).is_err());
+    }
+
+    #[test]
+    fn trigger_variant_trait_object_usable() {
+        let mut t: Box<dyn TriggerVariant> =
+            Box::new(TitForTwoTats::new(0.91, 0.87, 1.0, 0.0, 1).unwrap());
+        assert_eq!(t.threshold(), 0.91);
+        let _ = t.observe(1, 0.5);
+        assert_eq!(t.triggered_at(), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the game-theoretic core.
+
+use proptest::prelude::*;
+use trim_core::elastic::CoupledDynamics;
+use trim_core::matrix::{Move, UltimatumPayoffs};
+use trim_core::simulation::{run_game, GameConfig, Scheme};
+use trim_core::space::StrategySpace;
+use trim_core::titfortat::{adversary_complies, compliance_margin, compliant_gain, defector_gain};
+
+proptest! {
+    #[test]
+    fn theorem3_margin_is_consistent_with_gains(
+        d in 0.01_f64..0.99,
+        p in 0.0_f64..1.0,
+        g_ac in 0.1_f64..100.0,
+    ) {
+        let margin = compliance_margin(d, p, g_ac);
+        prop_assert!(margin >= -1e-12);
+        prop_assert!(margin <= d * g_ac + 1e-9);
+        // Just inside the margin: compliance; just outside: defection.
+        if margin > 1e-6 {
+            prop_assert!(adversary_complies(margin * 0.999, d, p, g_ac));
+        }
+        prop_assert!(!adversary_complies(margin * 1.001 + 1e-9, d, p, g_ac));
+        // Cross-check against the discounted-gain comparison.
+        let delta = margin / 2.0;
+        let complies = adversary_complies(delta, d, p, g_ac);
+        let by_gains = compliant_gain(g_ac - delta, d) > defector_gain(g_ac, d, p);
+        prop_assert_eq!(complies, by_gains);
+    }
+
+    #[test]
+    fn ultimatum_equilibrium_is_always_hard_hard(
+        t_soft in 0.1_f64..5.0,
+        p_gap in 0.1_f64..5.0,
+        t_gap in 0.1_f64..50.0,
+        p_hard_gap in 0.1_f64..50.0,
+    ) {
+        // Construct parameters satisfying P̄ > T̄ > P + T.
+        let p_soft = t_soft + p_gap;
+        let t_hard = p_soft + t_soft + t_gap;
+        let p_hard = t_hard + p_hard_gap;
+        let u = UltimatumPayoffs::new(p_hard, t_hard, p_soft, t_soft).unwrap();
+        let m = u.matrix();
+        prop_assert_eq!(m.pure_nash_equilibria(), vec![(Move::Hard, Move::Hard)]);
+        prop_assert!(m.pareto_dominates((Move::Soft, Move::Soft), (Move::Hard, Move::Hard)));
+    }
+
+    #[test]
+    fn coupled_dynamics_contract_to_fixed_point(k in 0.01_f64..0.95, tth in 0.5_f64..0.99) {
+        let d = CoupledDynamics::new(tth, k).unwrap();
+        let fp = d.fixed_point();
+        let traj = d.trajectory(300);
+        let last = traj.last().unwrap();
+        prop_assert!((last.trim - fp.trim).abs() < 1e-6);
+        prop_assert!((last.inject - fp.inject).abs() < 1e-6);
+        // Fixed point is below the nominal threshold on both sides.
+        prop_assert!(fp.trim < tth + 1e-12);
+        prop_assert!(fp.inject < tth);
+    }
+
+    #[test]
+    fn coupled_costs_decay(k in 0.05_f64..0.9) {
+        let d = CoupledDynamics::new(0.9, k).unwrap();
+        let c10 = d.roundwise_cost(10);
+        let c40 = d.roundwise_cost(40);
+        prop_assert!(c40 <= c10 + 1e-12);
+    }
+
+    #[test]
+    fn strategy_space_decomposition_round_trips(
+        lo in 0.0_f64..0.5,
+        width in 0.01_f64..0.5,
+        t in 0.0_f64..1.0,
+    ) {
+        let space = StrategySpace::new(lo, lo + width).unwrap();
+        let x = lo + t * width;
+        let m = space.decompose(x).unwrap();
+        prop_assert!((m.position - x).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&m.p_l));
+        let back = space.compose(m.p_l).unwrap();
+        prop_assert!((back.position - x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn game_provenance_is_conserved(
+        seed in any::<u64>(),
+        ratio in 0.0_f64..0.5,
+    ) {
+        let pool: Vec<f64> = (0..2_000).map(|i| (i % 500) as f64).collect();
+        let mut cfg = GameConfig::new(Scheme::Baseline09);
+        cfg.rounds = 5;
+        cfg.batch = 200;
+        cfg.seed = seed;
+        cfg.attack_ratio = ratio;
+        let r = run_game(&pool, &cfg);
+        for o in &r.outcomes {
+            prop_assert!(o.poison_survived <= o.poison_received);
+            prop_assert_eq!(
+                o.kept.len() + o.benign_trimmed + (o.poison_received - o.poison_survived),
+                o.received
+            );
+            let expected_poison = (ratio * 200.0).round() as usize;
+            prop_assert_eq!(o.poison_received, expected_poison);
+        }
+        let f = r.surviving_poison_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn schemes_never_panic_across_ratios(
+        ratio in 0.0_f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        let pool: Vec<f64> = (0..1_000).map(|i| (i % 250) as f64).collect();
+        for scheme in Scheme::roster() {
+            let mut cfg = GameConfig::new(scheme);
+            cfg.rounds = 3;
+            cfg.batch = 100;
+            cfg.seed = seed;
+            cfg.attack_ratio = ratio;
+            let r = run_game(&pool, &cfg);
+            prop_assert_eq!(r.outcomes.len(), 3);
+        }
+    }
+}

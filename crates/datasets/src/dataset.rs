@@ -1,0 +1,406 @@
+//! Dense row-major dataset container.
+//!
+//! All learners and simulations in the workspace consume this one type. It
+//! deliberately stays close to "a matrix plus optional labels": the paper's
+//! pipelines (k-means, SVM, SOM, LDP aggregation) need nothing richer, and
+//! a flat `Vec<f64>` keeps row access allocation-free.
+
+use std::fmt;
+
+/// A dense numeric dataset: `rows × cols` values in row-major order, with
+/// optional integer class labels and a declared cluster count (Table II's
+/// "Clusters" column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: String,
+    cols: usize,
+    data: Vec<f64>,
+    labels: Option<Vec<usize>>,
+    clusters: usize,
+}
+
+/// Summary of a dataset as reported in the paper's Table II.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetInfo {
+    /// Dataset name (upper-cased in Table II).
+    pub name: String,
+    /// Number of instances (rows).
+    pub instances: usize,
+    /// Number of features (columns).
+    pub features: usize,
+    /// Number of clusters/classes.
+    pub clusters: usize,
+}
+
+impl fmt::Display for DatasetInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} {:>9} {:>9} {:>9}",
+            self.name, self.instances, self.features, self.clusters
+        )
+    }
+}
+
+impl Dataset {
+    /// Creates a dataset from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `cols`, if `cols == 0`,
+    /// or if `labels` is present with a length different from the row count.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        cols: usize,
+        data: Vec<f64>,
+        labels: Option<Vec<usize>>,
+        clusters: usize,
+    ) -> Self {
+        assert!(cols > 0, "a dataset needs at least one column");
+        assert!(
+            data.len() % cols == 0,
+            "data length {} is not a multiple of cols {}",
+            data.len(),
+            cols
+        );
+        if let Some(ref l) = labels {
+            assert_eq!(
+                l.len(),
+                data.len() / cols,
+                "labels length must equal the row count"
+            );
+        }
+        Self {
+            name: name.into(),
+            cols,
+            data,
+            labels,
+            clusters,
+        }
+    }
+
+    /// Builds a dataset from per-row slices.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths or `rows` is empty.
+    #[must_use]
+    pub fn from_rows(
+        name: impl Into<String>,
+        rows: &[Vec<f64>],
+        labels: Option<Vec<usize>>,
+        clusters: usize,
+    ) -> Self {
+        assert!(!rows.is_empty(), "from_rows needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "inconsistent row length");
+            data.extend_from_slice(row);
+        }
+        Self::new(name, cols, data, labels, clusters)
+    }
+
+    /// Dataset name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows (instances).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.cols
+    }
+
+    /// Number of columns (features).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Declared number of clusters/classes.
+    #[must_use]
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// Borrow of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over all rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Copies column `j` into a new vector.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of range.
+    #[must_use]
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column {j} out of range");
+        self.iter_rows().map(|r| r[j]).collect()
+    }
+
+    /// The raw row-major buffer.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Class labels if present.
+    #[must_use]
+    pub fn labels(&self) -> Option<&[usize]> {
+        self.labels.as_deref()
+    }
+
+    /// Label of row `i`, if labels are present.
+    #[must_use]
+    pub fn label(&self, i: usize) -> Option<usize> {
+        self.labels.as_ref().map(|l| l[i])
+    }
+
+    /// Table II style summary.
+    #[must_use]
+    pub fn info(&self) -> DatasetInfo {
+        DatasetInfo {
+            name: self.name.to_uppercase(),
+            instances: self.rows(),
+            features: self.cols,
+            clusters: self.clusters,
+        }
+    }
+
+    /// Appends a row (and optional label; required iff the dataset is
+    /// labelled).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch between the row, the dataset width, and the
+    /// labelling state.
+    pub fn push_row(&mut self, row: &[f64], label: Option<usize>) {
+        assert_eq!(row.len(), self.cols, "row arity mismatch");
+        match (&mut self.labels, label) {
+            (Some(labels), Some(l)) => labels.push(l),
+            (None, None) => {}
+            (Some(_), None) => panic!("labelled dataset requires a label"),
+            (None, Some(_)) => panic!("unlabelled dataset cannot take a label"),
+        }
+        self.data.extend_from_slice(row);
+    }
+
+    /// Returns the subset of rows for which `keep` is true, preserving
+    /// labels.
+    ///
+    /// # Panics
+    /// Panics if `keep.len() != rows()`.
+    #[must_use]
+    pub fn filter(&self, keep: &[bool]) -> Dataset {
+        assert_eq!(keep.len(), self.rows(), "mask length mismatch");
+        let mut data = Vec::new();
+        let mut labels = self.labels.as_ref().map(|_| Vec::new());
+        for (i, row) in self.iter_rows().enumerate() {
+            if keep[i] {
+                data.extend_from_slice(row);
+                if let (Some(out), Some(all)) = (&mut labels, &self.labels) {
+                    out.push(all[i]);
+                }
+            }
+        }
+        Dataset {
+            name: self.name.clone(),
+            cols: self.cols,
+            data,
+            labels,
+            clusters: self.clusters,
+        }
+    }
+
+    /// Mean of every column (the global centroid).
+    #[must_use]
+    pub fn centroid(&self) -> Vec<f64> {
+        let n = self.rows();
+        let mut c = vec![0.0; self.cols];
+        if n == 0 {
+            return c;
+        }
+        for row in self.iter_rows() {
+            for (acc, v) in c.iter_mut().zip(row) {
+                *acc += v;
+            }
+        }
+        for acc in &mut c {
+            *acc /= n as f64;
+        }
+        c
+    }
+
+    /// Per-row Euclidean distance to `point`.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != cols()`.
+    #[must_use]
+    pub fn distances_to(&self, point: &[f64]) -> Vec<f64> {
+        assert_eq!(point.len(), self.cols, "point arity mismatch");
+        self.iter_rows()
+            .map(|r| trimgame_numerics::stats::euclidean(r, point))
+            .collect()
+    }
+
+    /// Min-max normalizes every column into `[lo, hi]` in place. Constant
+    /// columns map to the interval midpoint.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn normalize_columns(&mut self, lo: f64, hi: f64) {
+        assert!(lo < hi, "invalid target interval [{lo}, {hi}]");
+        let rows = self.rows();
+        if rows == 0 {
+            return;
+        }
+        for j in 0..self.cols {
+            let mut cmin = f64::INFINITY;
+            let mut cmax = f64::NEG_INFINITY;
+            for i in 0..rows {
+                let v = self.data[i * self.cols + j];
+                cmin = cmin.min(v);
+                cmax = cmax.max(v);
+            }
+            let span = cmax - cmin;
+            for i in 0..rows {
+                let v = &mut self.data[i * self.cols + j];
+                *v = if span == 0.0 {
+                    0.5 * (lo + hi)
+                } else {
+                    lo + (*v - cmin) / span * (hi - lo)
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::new(
+            "toy",
+            2,
+            vec![0.0, 0.0, 1.0, 0.0, 0.0, 2.0, 3.0, 2.0],
+            Some(vec![0, 0, 1, 1]),
+            2,
+        )
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let d = small();
+        assert_eq!(d.rows(), 4);
+        assert_eq!(d.cols(), 2);
+        assert_eq!(d.clusters(), 2);
+        assert_eq!(d.name(), "toy");
+        assert_eq!(d.row(2), &[0.0, 2.0]);
+        assert_eq!(d.column(1), vec![0.0, 0.0, 2.0, 2.0]);
+        assert_eq!(d.label(3), Some(1));
+    }
+
+    #[test]
+    fn info_matches_table_ii_format() {
+        let d = small();
+        let info = d.info();
+        assert_eq!(info.name, "TOY");
+        assert_eq!(info.instances, 4);
+        assert_eq!(info.features, 2);
+        assert_eq!(info.clusters, 2);
+        let line = info.to_string();
+        assert!(line.contains("TOY"));
+        assert!(line.contains('4'));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of cols")]
+    fn ragged_data_rejected() {
+        let _ = Dataset::new("bad", 3, vec![1.0, 2.0], None, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels length")]
+    fn bad_labels_rejected() {
+        let _ = Dataset::new("bad", 1, vec![1.0, 2.0], Some(vec![0]), 1);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let d = Dataset::from_rows("r", &rows, None, 1);
+        assert_eq!(d.row(0), &[1.0, 2.0]);
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn push_row_labelled() {
+        let mut d = small();
+        d.push_row(&[9.0, 9.0], Some(0));
+        assert_eq!(d.rows(), 5);
+        assert_eq!(d.label(4), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a label")]
+    fn push_row_needs_label_when_labelled() {
+        let mut d = small();
+        d.push_row(&[9.0, 9.0], None);
+    }
+
+    #[test]
+    fn filter_keeps_labels_aligned() {
+        let d = small();
+        let kept = d.filter(&[true, false, false, true]);
+        assert_eq!(kept.rows(), 2);
+        assert_eq!(kept.row(0), &[0.0, 0.0]);
+        assert_eq!(kept.row(1), &[3.0, 2.0]);
+        assert_eq!(kept.labels(), Some(&[0, 1][..]));
+    }
+
+    #[test]
+    fn centroid_of_small() {
+        let d = small();
+        let c = d.centroid();
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        assert!((c[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances_to_centroid() {
+        let d = small();
+        let dist = d.distances_to(&[0.0, 0.0]);
+        assert!((dist[0] - 0.0).abs() < 1e-12);
+        assert!((dist[1] - 1.0).abs() < 1e-12);
+        assert!((dist[3] - (13.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_columns_unit_interval() {
+        let mut d = Dataset::new("n", 2, vec![0.0, 5.0, 10.0, 5.0, 5.0, 5.0], None, 1);
+        d.normalize_columns(-1.0, 1.0);
+        assert_eq!(d.row(0)[0], -1.0);
+        assert_eq!(d.row(1)[0], 1.0);
+        assert_eq!(d.row(2)[0], 0.0);
+        // Constant column maps to midpoint 0.
+        for i in 0..3 {
+            assert_eq!(d.row(i)[1], 0.0);
+        }
+    }
+
+    #[test]
+    fn iter_rows_covers_all() {
+        let d = small();
+        assert_eq!(d.iter_rows().count(), 4);
+    }
+}

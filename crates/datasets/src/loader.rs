@@ -1,0 +1,310 @@
+//! CSV loading for real datasets.
+//!
+//! The synthetic generators in [`crate::shapes`] stand in for the paper's
+//! datasets; users who *do* have the real files (UCI Control/Vehicle/
+//! Letter, the Kaggle credit-card set, NYC taxi extracts) can load them
+//! here and run every experiment unchanged. The format is minimal,
+//! dependency-free CSV: one row per line, numeric feature columns, with
+//! an optional integer label column.
+
+use crate::dataset::Dataset;
+use std::fmt;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors raised while loading a CSV dataset.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell could not be parsed as a number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column index.
+        column: usize,
+        /// The offending cell content.
+        cell: String,
+    },
+    /// A row had a different arity than the first row.
+    Ragged {
+        /// 1-based line number.
+        line: usize,
+        /// Expected column count.
+        expected: usize,
+        /// Found column count.
+        found: usize,
+    },
+    /// The file contained no data rows.
+    Empty,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Parse { line, column, cell } => {
+                write!(f, "line {line}, column {column}: cannot parse {cell:?} as a number")
+            }
+            LoadError::Ragged {
+                line,
+                expected,
+                found,
+            } => write!(f, "line {line}: expected {expected} columns, found {found}"),
+            LoadError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Options for CSV parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsvOptions {
+    /// Skip the first line (header).
+    pub has_header: bool,
+    /// Treat the *last* column as an integer class label.
+    pub label_last_column: bool,
+    /// Field delimiter.
+    pub delimiter: char,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            has_header: false,
+            label_last_column: false,
+            delimiter: ',',
+        }
+    }
+}
+
+/// Parses a dataset from any reader.
+///
+/// # Errors
+/// Returns [`LoadError`] on I/O failure, unparsable cells, ragged rows or
+/// an empty body. Blank lines are skipped.
+pub fn read_csv<R: BufRead>(
+    reader: R,
+    name: &str,
+    clusters: usize,
+    options: CsvOptions,
+) -> Result<Dataset, LoadError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    let mut expected_cols: Option<usize> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        if options.has_header && idx == 0 {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(options.delimiter).collect();
+        if let Some(expected) = expected_cols {
+            if cells.len() != expected {
+                return Err(LoadError::Ragged {
+                    line: line_no,
+                    expected,
+                    found: cells.len(),
+                });
+            }
+        } else {
+            expected_cols = Some(cells.len());
+        }
+        let feature_count = if options.label_last_column {
+            cells.len() - 1
+        } else {
+            cells.len()
+        };
+        let mut row = Vec::with_capacity(feature_count);
+        for (col, cell) in cells.iter().take(feature_count).enumerate() {
+            let v: f64 = cell.trim().parse().map_err(|_| LoadError::Parse {
+                line: line_no,
+                column: col,
+                cell: (*cell).to_string(),
+            })?;
+            row.push(v);
+        }
+        if options.label_last_column {
+            let cell = cells[cells.len() - 1].trim();
+            // Accept both integer labels and float-formatted integers.
+            let label = cell
+                .parse::<usize>()
+                .or_else(|_| cell.parse::<f64>().map(|f| f as usize))
+                .map_err(|_| LoadError::Parse {
+                    line: line_no,
+                    column: cells.len() - 1,
+                    cell: cell.to_string(),
+                })?;
+            labels.push(label);
+        }
+        rows.push(row);
+    }
+
+    if rows.is_empty() {
+        return Err(LoadError::Empty);
+    }
+    let labels = options.label_last_column.then_some(labels);
+    Ok(Dataset::from_rows(name, &rows, labels, clusters))
+}
+
+/// Loads a dataset from a CSV file on disk.
+///
+/// # Errors
+/// See [`read_csv`].
+pub fn load_csv(
+    path: impl AsRef<Path>,
+    name: &str,
+    clusters: usize,
+    options: CsvOptions,
+) -> Result<Dataset, LoadError> {
+    let file = std::fs::File::open(path)?;
+    read_csv(std::io::BufReader::new(file), name, clusters, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_unlabelled_csv() {
+        let csv = "1.0,2.0,3.0\n4.0,5.0,6.0\n";
+        let d = read_csv(Cursor::new(csv), "t", 2, CsvOptions::default()).unwrap();
+        assert_eq!(d.rows(), 2);
+        assert_eq!(d.cols(), 3);
+        assert_eq!(d.row(1), &[4.0, 5.0, 6.0]);
+        assert!(d.labels().is_none());
+        assert_eq!(d.clusters(), 2);
+    }
+
+    #[test]
+    fn parses_labelled_csv_with_header() {
+        let csv = "f1,f2,class\n0.5,1.5,0\n2.5,3.5,1\n";
+        let opts = CsvOptions {
+            has_header: true,
+            label_last_column: true,
+            ..CsvOptions::default()
+        };
+        let d = read_csv(Cursor::new(csv), "t", 2, opts).unwrap();
+        assert_eq!(d.rows(), 2);
+        assert_eq!(d.cols(), 2);
+        assert_eq!(d.labels(), Some(&[0, 1][..]));
+    }
+
+    #[test]
+    fn accepts_float_formatted_labels() {
+        let csv = "1.0,0.0\n2.0,1.0\n";
+        let opts = CsvOptions {
+            label_last_column: true,
+            ..CsvOptions::default()
+        };
+        let d = read_csv(Cursor::new(csv), "t", 2, opts).unwrap();
+        assert_eq!(d.labels(), Some(&[0, 1][..]));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let csv = "1.0\n\n2.0\n\n";
+        let d = read_csv(Cursor::new(csv), "t", 1, CsvOptions::default()).unwrap();
+        assert_eq!(d.rows(), 2);
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let csv = "1.0;2.0\n3.0;4.0\n";
+        let opts = CsvOptions {
+            delimiter: ';',
+            ..CsvOptions::default()
+        };
+        let d = read_csv(Cursor::new(csv), "t", 1, opts).unwrap();
+        assert_eq!(d.cols(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_rejected_with_location() {
+        let csv = "1.0,2.0\n3.0\n";
+        let err = read_csv(Cursor::new(csv), "t", 1, CsvOptions::default()).unwrap_err();
+        match err {
+            LoadError::Ragged { line, expected, found } => {
+                assert_eq!(line, 2);
+                assert_eq!(expected, 2);
+                assert_eq!(found, 1);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_location() {
+        let csv = "1.0,oops\n";
+        let err = read_csv(Cursor::new(csv), "t", 1, CsvOptions::default()).unwrap_err();
+        match err {
+            LoadError::Parse { line, column, cell } => {
+                assert_eq!(line, 1);
+                assert_eq!(column, 1);
+                assert_eq!(cell, "oops");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let err = read_csv(Cursor::new(""), "t", 1, CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, LoadError::Empty));
+        // Header-only file is also empty.
+        let opts = CsvOptions {
+            has_header: true,
+            ..CsvOptions::default()
+        };
+        let err = read_csv(Cursor::new("a,b\n"), "t", 1, opts).unwrap_err();
+        assert!(matches!(err, LoadError::Empty));
+    }
+
+    #[test]
+    fn load_csv_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("trimgame_loader_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.csv");
+        std::fs::write(&path, "1.0,2.0\n3.0,4.0\n").unwrap();
+        let d = load_csv(&path, "disk", 1, CsvOptions::default()).unwrap();
+        assert_eq!(d.rows(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = LoadError::Parse {
+            line: 3,
+            column: 1,
+            cell: "x".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = LoadError::Ragged {
+            line: 2,
+            expected: 5,
+            found: 4,
+        };
+        assert!(e.to_string().contains("expected 5"));
+        assert!(LoadError::Empty.to_string().contains("no data rows"));
+    }
+}

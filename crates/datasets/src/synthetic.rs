@@ -1,0 +1,238 @@
+//! Gaussian-mixture dataset generation.
+//!
+//! The substitution policy (DESIGN.md §3): where the paper uses a real
+//! dataset we cannot redistribute, we generate a seeded Gaussian mixture
+//! with the same instance/feature/cluster shape. This module is the
+//! machinery; [`crate::shapes`] instantiates it for the five named sets.
+
+use crate::dataset::Dataset;
+use rand::Rng;
+use trimgame_numerics::rand_ext::standard_normal;
+
+/// One spherical-ish Gaussian component: a mean vector with per-feature
+/// standard deviations and a mixture weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianComponent {
+    /// Component mean (length = feature count).
+    pub mean: Vec<f64>,
+    /// Per-feature standard deviation (length = feature count).
+    pub sd: Vec<f64>,
+    /// Relative weight (need not be normalized across components).
+    pub weight: f64,
+}
+
+impl GaussianComponent {
+    /// Spherical component: equal standard deviation in every dimension.
+    ///
+    /// # Panics
+    /// Panics if `sd < 0` or `weight <= 0`.
+    #[must_use]
+    pub fn spherical(mean: Vec<f64>, sd: f64, weight: f64) -> Self {
+        assert!(sd >= 0.0, "sd must be non-negative");
+        assert!(weight > 0.0, "weight must be positive");
+        let dim = mean.len();
+        Self {
+            mean,
+            sd: vec![sd; dim],
+            weight,
+        }
+    }
+}
+
+/// A Gaussian mixture specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GmmSpec {
+    components: Vec<GaussianComponent>,
+}
+
+impl GmmSpec {
+    /// Creates a spec from components.
+    ///
+    /// # Panics
+    /// Panics if components are empty or have inconsistent dimensions.
+    #[must_use]
+    pub fn new(components: Vec<GaussianComponent>) -> Self {
+        assert!(!components.is_empty(), "GMM needs at least one component");
+        let dim = components[0].mean.len();
+        for c in &components {
+            assert_eq!(c.mean.len(), dim, "inconsistent component dimension");
+            assert_eq!(c.sd.len(), dim, "inconsistent sd dimension");
+        }
+        Self { components }
+    }
+
+    /// Generates `k` well-separated spherical components in `dim`
+    /// dimensions: means on a scaled random hypercube lattice, separation
+    /// `sep`, standard deviation `sd`.
+    #[must_use]
+    pub fn separated<R: Rng + ?Sized>(
+        k: usize,
+        dim: usize,
+        sep: f64,
+        sd: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(k > 0 && dim > 0, "k and dim must be positive");
+        let mut components = Vec::with_capacity(k);
+        for i in 0..k {
+            // Deterministic lattice direction per component + small jitter:
+            // component i gets mean sep * e_{i mod dim} * (1 + i / dim).
+            let mut mean = vec![0.0; dim];
+            let axis = i % dim;
+            let ring = (i / dim + 1) as f64;
+            mean[axis] = sep * ring;
+            // Alternate sign per ring to spread components around origin.
+            if (i / dim) % 2 == 1 {
+                mean[axis] = -mean[axis];
+            }
+            for m in &mut mean {
+                *m += 0.05 * sep * standard_normal(rng);
+            }
+            components.push(GaussianComponent::spherical(mean, sd, 1.0));
+        }
+        Self::new(components)
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Feature dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.components[0].mean.len()
+    }
+
+    /// Component means.
+    #[must_use]
+    pub fn means(&self) -> Vec<&[f64]> {
+        self.components.iter().map(|c| c.mean.as_slice()).collect()
+    }
+
+    /// Samples `n` points, returning a labelled [`Dataset`] whose labels are
+    /// the generating component indices.
+    #[must_use]
+    pub fn generate<R: Rng + ?Sized>(&self, name: &str, n: usize, rng: &mut R) -> Dataset {
+        let dim = self.dim();
+        let total_w: f64 = self.components.iter().map(|c| c.weight).sum();
+        let mut data = Vec::with_capacity(n * dim);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut t = rng.gen::<f64>() * total_w;
+            let mut idx = 0;
+            for (i, c) in self.components.iter().enumerate() {
+                if t < c.weight {
+                    idx = i;
+                    break;
+                }
+                t -= c.weight;
+                idx = i;
+            }
+            let c = &self.components[idx];
+            for d in 0..dim {
+                data.push(c.mean[d] + c.sd[d] * standard_normal(rng));
+            }
+            labels.push(idx);
+        }
+        Dataset::new(name, dim, data, Some(labels), self.k())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgame_numerics::rand_ext::seeded_rng;
+    use trimgame_numerics::stats::mean;
+
+    #[test]
+    fn generate_has_requested_shape() {
+        let mut rng = seeded_rng(1);
+        let spec = GmmSpec::separated(3, 4, 10.0, 0.5, &mut rng);
+        let d = spec.generate("g", 300, &mut rng);
+        assert_eq!(d.rows(), 300);
+        assert_eq!(d.cols(), 4);
+        assert_eq!(d.clusters(), 3);
+        assert!(d.labels().is_some());
+        assert!(d.labels().unwrap().iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn component_means_are_recovered() {
+        let mut rng = seeded_rng(2);
+        let spec = GmmSpec::new(vec![
+            GaussianComponent::spherical(vec![-5.0, 0.0], 0.1, 1.0),
+            GaussianComponent::spherical(vec![5.0, 0.0], 0.1, 1.0),
+        ]);
+        let d = spec.generate("two", 2000, &mut rng);
+        let labels = d.labels().unwrap().to_vec();
+        for cls in 0..2 {
+            let xs: Vec<f64> = d
+                .iter_rows()
+                .zip(&labels)
+                .filter(|(_, &l)| l == cls)
+                .map(|(r, _)| r[0])
+                .collect();
+            let target = if cls == 0 { -5.0 } else { 5.0 };
+            assert!(
+                (mean(&xs) - target).abs() < 0.05,
+                "class {cls} mean {}",
+                mean(&xs)
+            );
+        }
+    }
+
+    #[test]
+    fn weights_control_proportions() {
+        let mut rng = seeded_rng(3);
+        let spec = GmmSpec::new(vec![
+            GaussianComponent::spherical(vec![0.0], 1.0, 9.0),
+            GaussianComponent::spherical(vec![10.0], 1.0, 1.0),
+        ]);
+        let d = spec.generate("w", 10_000, &mut rng);
+        let minority = d.labels().unwrap().iter().filter(|&&l| l == 1).count();
+        let frac = minority as f64 / 10_000.0;
+        assert!((frac - 0.1).abs() < 0.02, "minority fraction {frac}");
+    }
+
+    #[test]
+    fn separated_components_are_distinct() {
+        let mut rng = seeded_rng(4);
+        let spec = GmmSpec::separated(6, 8, 20.0, 1.0, &mut rng);
+        let means = spec.means();
+        for i in 0..means.len() {
+            for j in (i + 1)..means.len() {
+                let dist = trimgame_numerics::stats::euclidean(means[i], means[j]);
+                assert!(dist > 5.0, "components {i},{j} too close ({dist})");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let spec = {
+            let mut rng = seeded_rng(5);
+            GmmSpec::separated(2, 3, 10.0, 1.0, &mut rng)
+        };
+        let a = spec.generate("a", 50, &mut seeded_rng(9));
+        let b = spec.generate("b", 50, &mut seeded_rng(9));
+        assert_eq!(a.values(), b.values());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_spec_rejected() {
+        let _ = GmmSpec::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent component dimension")]
+    fn mismatched_dims_rejected() {
+        let _ = GmmSpec::new(vec![
+            GaussianComponent::spherical(vec![0.0], 1.0, 1.0),
+            GaussianComponent::spherical(vec![0.0, 1.0], 1.0, 1.0),
+        ]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the dataset substrate.
+
+use proptest::prelude::*;
+use trimgame_datasets::poison::{InjectionPosition, PoisonSpec};
+use trimgame_datasets::stream::RoundStream;
+use trimgame_datasets::Dataset;
+use trimgame_numerics::rand_ext::seeded_rng;
+
+proptest! {
+    #[test]
+    fn inject_poison_count_matches_ratio(
+        n in 10_usize..500,
+        ratio in 0.0_f64..0.6,
+        p in 0.0_f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let benign: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let spec = PoisonSpec::new(ratio, InjectionPosition::Percentile(p));
+        let batch = spec.inject(&benign, &mut seeded_rng(seed));
+        let expected = (ratio * n as f64).round() as usize;
+        prop_assert_eq!(batch.poison_count(), expected);
+        prop_assert_eq!(batch.values.len(), n + expected);
+    }
+
+    #[test]
+    fn injected_poison_within_benign_range_for_percentile_modes(
+        n in 10_usize..300,
+        ratio in 0.01_f64..0.5,
+        lo in 0.0_f64..0.5,
+        width in 0.0_f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let benign: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 100.0).collect();
+        let bmin = benign.iter().copied().fold(f64::INFINITY, f64::min);
+        let bmax = benign.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let spec = PoisonSpec::new(ratio, InjectionPosition::Range { lo, hi: lo + width });
+        let batch = spec.inject(&benign, &mut seeded_rng(seed));
+        for (v, &is_p) in batch.values.iter().zip(&batch.is_poison) {
+            if is_p {
+                prop_assert!(*v >= bmin - 1e-9 && *v <= bmax + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_strategy_extremes_are_pure(
+        n in 50_usize..200,
+        seed in any::<u64>(),
+    ) {
+        let benign: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        // p = 1 behaves like pure hi injection; p = 0 like pure lo.
+        for (p, pct) in [(1.0, 0.99), (0.0, 0.90)] {
+            let mixed = PoisonSpec::new(0.5, InjectionPosition::Mixed { p, hi: 0.99, lo: 0.90 });
+            let pure = PoisonSpec::new(0.5, InjectionPosition::Percentile(pct));
+            let a = mixed.inject(&benign, &mut seeded_rng(seed));
+            let b = pure.inject(&benign, &mut seeded_rng(seed));
+            prop_assert_eq!(a.values, b.values);
+        }
+    }
+
+    #[test]
+    fn round_stream_draws_from_pool(
+        pool in prop::collection::vec(-1e3_f64..1e3, 1..100),
+        batch in 1_usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut s = RoundStream::new(pool.clone(), batch);
+        let round = s.next_round(&mut seeded_rng(seed));
+        prop_assert_eq!(round.len(), batch);
+        for v in round {
+            prop_assert!(pool.contains(&v));
+        }
+    }
+
+    #[test]
+    fn dataset_filter_preserves_row_content(
+        rows in prop::collection::vec(prop::collection::vec(-10.0_f64..10.0, 3), 1..40),
+        mask_seed in any::<u64>(),
+    ) {
+        let d = Dataset::from_rows("p", &rows, None, 1);
+        let mut rng = seeded_rng(mask_seed);
+        let mask: Vec<bool> = (0..d.rows()).map(|_| rand::Rng::gen::<bool>(&mut rng)).collect();
+        let kept = d.filter(&mask);
+        prop_assert_eq!(kept.rows(), mask.iter().filter(|&&b| b).count());
+        let mut j = 0;
+        for (i, &keep) in mask.iter().enumerate() {
+            if keep {
+                prop_assert_eq!(kept.row(j), d.row(i));
+                j += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_columns_bounds(
+        rows in prop::collection::vec(prop::collection::vec(-100.0_f64..100.0, 2), 2..50),
+    ) {
+        let mut d = Dataset::from_rows("n", &rows, None, 1);
+        d.normalize_columns(-1.0, 1.0);
+        for row in d.iter_rows() {
+            for &v in row {
+                prop_assert!((-1.0..=1.0).contains(&v), "value {v} out of range");
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Manipulation attacks against LDP protocols (Cheu, Smith, Ullman, S&P'21).
+//!
+//! Two attacker models from the paper's Section VII:
+//!
+//! * **General manipulation** ([`GeneralManipulation`]): Byzantine users
+//!   "freely choose to report any poison values in the domain without
+//!   following a distribution imposed by the LDP perturbation". Maximally
+//!   damaging, but the reports need not look like protocol outputs.
+//! * **Input manipulation** ([`InputManipulation`]): adversaries
+//!   "counterfeit some poison values *before* perturbation and strictly
+//!   follow the LDP perturbation protocol". Fully deniable — each poison
+//!   report is distributed exactly like some honest report — which is "a
+//!   potent evasion strategy against detection mechanisms within
+//!   LDP-driven data collection" and the attacker used in Fig. 9.
+
+use crate::mechanism::LdpMechanism;
+use rand::Rng;
+
+/// An attack strategy producing one malicious report per call.
+pub trait Attack<M: LdpMechanism> {
+    /// Produces one malicious report against `mechanism`.
+    fn report<R: Rng + ?Sized>(&self, mechanism: &M, rng: &mut R) -> f64;
+
+    /// Produces `n` malicious reports.
+    fn reports<R: Rng + ?Sized>(&self, mechanism: &M, n: usize, rng: &mut R) -> Vec<f64> {
+        (0..n).map(|_| self.report(mechanism, rng)).collect()
+    }
+}
+
+/// General (output) manipulation: report a fixed fraction `position` of the
+/// mechanism's maximum output. `position = 1.0` reports the largest output
+/// the protocol could ever emit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneralManipulation {
+    /// Fraction of the maximum output magnitude to report, in `[−1, 1]`.
+    pub position: f64,
+}
+
+impl GeneralManipulation {
+    /// Attack reporting `position · C` where `C` is the output bound.
+    ///
+    /// # Panics
+    /// Panics if `position ∉ [−1, 1]`.
+    #[must_use]
+    pub fn new(position: f64) -> Self {
+        assert!(
+            (-1.0..=1.0).contains(&position),
+            "position {position} not in [-1, 1]"
+        );
+        Self { position }
+    }
+}
+
+impl<M: LdpMechanism> Attack<M> for GeneralManipulation {
+    fn report<R: Rng + ?Sized>(&self, mechanism: &M, _rng: &mut R) -> f64 {
+        let (lo, hi) = mechanism.output_range();
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "general manipulation needs a bounded output range"
+        );
+        if self.position >= 0.0 {
+            hi * self.position
+        } else {
+            lo * (-self.position)
+        }
+    }
+}
+
+/// Input manipulation: hold a counterfeit input value and follow the
+/// protocol honestly. Indistinguishable from an honest user holding that
+/// value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputManipulation {
+    /// The counterfeit input, clamped by the mechanism into `[−1, 1]`.
+    pub input: f64,
+}
+
+impl InputManipulation {
+    /// Attack privatizing the fixed counterfeit `input`.
+    #[must_use]
+    pub fn new(input: f64) -> Self {
+        Self { input }
+    }
+}
+
+impl<M: LdpMechanism> Attack<M> for InputManipulation {
+    fn report<R: Rng + ?Sized>(&self, mechanism: &M, rng: &mut R) -> f64 {
+        mechanism.privatize(self.input, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duchi::Duchi;
+    use crate::piecewise::Piecewise;
+    use trimgame_numerics::rand_ext::seeded_rng;
+    use trimgame_numerics::stats::mean;
+
+    #[test]
+    fn general_manipulation_reports_extreme_output() {
+        let m = Piecewise::new(1.0);
+        let atk = GeneralManipulation::new(1.0);
+        let mut rng = seeded_rng(1);
+        let r = atk.report(&m, &mut rng);
+        assert_eq!(r, m.c());
+    }
+
+    #[test]
+    fn general_manipulation_negative_position() {
+        let m = Duchi::new(1.0);
+        let atk = GeneralManipulation::new(-1.0);
+        let mut rng = seeded_rng(2);
+        assert_eq!(atk.report(&m, &mut rng), -m.c());
+    }
+
+    #[test]
+    fn input_manipulation_is_protocol_compliant_for_duchi() {
+        // Every report must be exactly +/-C, like honest reports.
+        let m = Duchi::new(1.0);
+        let atk = InputManipulation::new(1.0);
+        let mut rng = seeded_rng(3);
+        for r in atk.reports(&m, 1000, &mut rng) {
+            assert!(r == m.c() || r == -m.c());
+        }
+    }
+
+    #[test]
+    fn input_manipulation_mean_equals_input() {
+        let m = Piecewise::new(2.0);
+        let atk = InputManipulation::new(0.9);
+        let mut rng = seeded_rng(4);
+        let reports = atk.reports(&m, 100_000, &mut rng);
+        assert!((mean(&reports) - 0.9).abs() < 0.02);
+    }
+
+    #[test]
+    fn general_beats_input_in_shift_magnitude() {
+        // With the same attacker count, general manipulation shifts the
+        // aggregate further than input manipulation (deniability costs
+        // attack strength, as the paper notes).
+        let m = Piecewise::new(1.0);
+        let mut rng = seeded_rng(5);
+        let general = GeneralManipulation::new(1.0).reports(&m, 20_000, &mut rng);
+        let input = InputManipulation::new(1.0).reports(&m, 20_000, &mut rng);
+        assert!(mean(&general) > mean(&input) + 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounded output range")]
+    fn general_manipulation_rejects_unbounded_mechanisms() {
+        let m = crate::laplace::LaplaceMechanism::new(1.0);
+        let atk = GeneralManipulation::new(1.0);
+        let mut rng = seeded_rng(6);
+        let _ = atk.report(&m, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [-1, 1]")]
+    fn bad_position_rejected() {
+        let _ = GeneralManipulation::new(1.5);
+    }
+}

@@ -1,0 +1,151 @@
+//! Duchi et al.'s binary mechanism for 1-D mean estimation.
+//!
+//! For input `x ∈ [−1, 1]` and budget ε, the report is `+C` with
+//! probability `(x(e^ε − 1) + e^ε + 1) / (2(e^ε + 1))` and `−C` otherwise,
+//! where `C = (e^ε + 1)/(e^ε − 1)`. The report is unbiased:
+//! `E[report] = x`. This is the minimax-optimal mechanism cited in the
+//! paper as reference 10 (Duchi, Jordan, Wainwright).
+
+use crate::mechanism::{clamp_input, LdpMechanism};
+use rand::Rng;
+
+/// The Duchi binary mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Duchi {
+    epsilon: f64,
+    c: f64,
+}
+
+impl Duchi {
+    /// Creates the mechanism for budget `epsilon`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon <= 0`.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+        let e = epsilon.exp();
+        Self {
+            epsilon,
+            c: (e + 1.0) / (e - 1.0),
+        }
+    }
+
+    /// The output magnitude `C`.
+    #[must_use]
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// Probability of reporting `+C` for input `x`.
+    #[must_use]
+    pub fn positive_probability(&self, x: f64) -> f64 {
+        let x = clamp_input(x);
+        let e = self.epsilon.exp();
+        (x * (e - 1.0) + e + 1.0) / (2.0 * (e + 1.0))
+    }
+}
+
+impl LdpMechanism for Duchi {
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn privatize<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64 {
+        if rng.gen::<f64>() < self.positive_probability(value) {
+            self.c
+        } else {
+            -self.c
+        }
+    }
+
+    fn output_range(&self) -> (f64, f64) {
+        (-self.c, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgame_numerics::rand_ext::seeded_rng;
+    use trimgame_numerics::stats::mean;
+
+    #[test]
+    fn outputs_are_plus_minus_c() {
+        let m = Duchi::new(1.0);
+        let mut rng = seeded_rng(1);
+        for _ in 0..100 {
+            let r = m.privatize(0.3, &mut rng);
+            assert!(r == m.c() || r == -m.c());
+        }
+    }
+
+    #[test]
+    fn unbiased_for_several_inputs() {
+        let m = Duchi::new(1.0);
+        let mut rng = seeded_rng(2);
+        for &x in &[-1.0, -0.5, 0.0, 0.4, 1.0] {
+            let reports: Vec<f64> = (0..200_000).map(|_| m.privatize(x, &mut rng)).collect();
+            assert!(
+                (mean(&reports) - x).abs() < 0.02,
+                "x={x}, estimate={}",
+                mean(&reports)
+            );
+        }
+    }
+
+    #[test]
+    fn probability_respects_epsilon_ratio() {
+        // LDP constraint: P(+C | x) / P(+C | x') <= e^eps for any x, x'.
+        let eps = 0.8;
+        let m = Duchi::new(eps);
+        let p_hi = m.positive_probability(1.0);
+        let p_lo = m.positive_probability(-1.0);
+        assert!(p_hi / p_lo <= eps.exp() + 1e-9);
+        assert!((1.0 - p_lo) / (1.0 - p_hi) <= eps.exp() + 1e-9);
+    }
+
+    #[test]
+    fn probability_bounds() {
+        let m = Duchi::new(2.0);
+        for &x in &[-1.0, 0.0, 1.0, 5.0, -5.0] {
+            let p = m.positive_probability(x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        // Extreme inputs clamp.
+        assert_eq!(m.positive_probability(5.0), m.positive_probability(1.0));
+    }
+
+    #[test]
+    fn c_grows_as_epsilon_shrinks() {
+        assert!(Duchi::new(0.5).c() > Duchi::new(1.0).c());
+        assert!(Duchi::new(1.0).c() > Duchi::new(3.0).c());
+    }
+
+    #[test]
+    fn estimate_mean_tracks_population() {
+        let m = Duchi::new(1.5);
+        let mut rng = seeded_rng(3);
+        let population: Vec<f64> = (0..50_000)
+            .map(|i| ((i % 100) as f64 / 50.0 - 1.0) * 0.8)
+            .collect();
+        let truth = mean(&population);
+        let reports: Vec<f64> = population.iter().map(|&x| m.privatize(x, &mut rng)).collect();
+        let est = m.estimate_mean(&reports);
+        assert!((est - truth).abs() < 0.03, "estimate {est} vs truth {truth}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_epsilon_rejected() {
+        let _ = Duchi::new(0.0);
+    }
+
+    #[test]
+    fn output_range_is_symmetric() {
+        let m = Duchi::new(1.0);
+        let (lo, hi) = m.output_range();
+        assert_eq!(lo, -hi);
+        assert_eq!(hi, m.c());
+    }
+}

@@ -1,0 +1,170 @@
+//! MSE evaluation harness for LDP collection under attack.
+//!
+//! Fig. 9 reports the mean squared error of the final mean estimate versus
+//! the true (benign) mean, across privacy budgets and attack ratios. This
+//! module wires population → mechanism → attack → arbitrary defense into a
+//! repeated-measurement harness; the *defenses* themselves (trimming
+//! strategies from `trim-core`, or [`crate::emf::EmFilter`]) are passed in
+//! as closures so the harness stays policy-free.
+
+use crate::attack::Attack;
+use crate::mechanism::LdpMechanism;
+use rand::Rng;
+use trimgame_numerics::rand_ext::{derive_seed, seeded_rng};
+use trimgame_numerics::stats::mean;
+
+/// One collected round: honest + attacker reports, with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectedReports {
+    /// All reports (honest first, then attack).
+    pub reports: Vec<f64>,
+    /// Provenance: `true` = attack report.
+    pub is_attack: Vec<bool>,
+}
+
+impl CollectedReports {
+    /// Number of attack reports.
+    #[must_use]
+    pub fn attack_count(&self) -> usize {
+        self.is_attack.iter().filter(|&&a| a).count()
+    }
+}
+
+/// Collects one batch: every member of `population` privatizes their value
+/// honestly, then `attack_ratio · population.len()` attack reports are
+/// appended.
+pub fn collect_batch<M, A, R>(
+    mechanism: &M,
+    attack: &A,
+    population: &[f64],
+    attack_ratio: f64,
+    rng: &mut R,
+) -> CollectedReports
+where
+    M: LdpMechanism,
+    A: Attack<M>,
+    R: Rng + ?Sized,
+{
+    let n_attack = (population.len() as f64 * attack_ratio).round() as usize;
+    let mut reports = Vec::with_capacity(population.len() + n_attack);
+    let mut is_attack = Vec::with_capacity(population.len() + n_attack);
+    for &x in population {
+        reports.push(mechanism.privatize(x, rng));
+        is_attack.push(false);
+    }
+    for _ in 0..n_attack {
+        reports.push(attack.report(mechanism, rng));
+        is_attack.push(true);
+    }
+    CollectedReports { reports, is_attack }
+}
+
+/// Mean squared error of `estimator` over `reps` independent collections.
+///
+/// `estimator` receives the combined reports and returns a mean estimate;
+/// the error is measured against the true mean of the benign population.
+pub fn estimator_mse<M, A, F>(
+    mechanism: &M,
+    attack: &A,
+    population: &[f64],
+    attack_ratio: f64,
+    reps: usize,
+    master_seed: u64,
+    mut estimator: F,
+) -> f64
+where
+    M: LdpMechanism,
+    A: Attack<M>,
+    F: FnMut(&CollectedReports) -> f64,
+{
+    assert!(reps > 0, "need at least one repetition");
+    let truth = mean(population);
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let mut rng = seeded_rng(derive_seed(master_seed, rep as u64));
+        let batch = collect_batch(mechanism, attack, population, attack_ratio, &mut rng);
+        let est = estimator(&batch);
+        total += (est - truth) * (est - truth);
+    }
+    total / reps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{GeneralManipulation, InputManipulation};
+    use crate::piecewise::Piecewise;
+
+    fn population() -> Vec<f64> {
+        (0..5_000).map(|i| ((i % 100) as f64 / 50.0 - 1.0) * 0.6).collect()
+    }
+
+    #[test]
+    fn batch_counts_attackers() {
+        let mech = Piecewise::new(1.0);
+        let atk = GeneralManipulation::new(1.0);
+        let mut rng = seeded_rng(1);
+        let batch = collect_batch(&mech, &atk, &population(), 0.1, &mut rng);
+        assert_eq!(batch.attack_count(), 500);
+        assert_eq!(batch.reports.len(), 5_500);
+    }
+
+    #[test]
+    fn mse_of_honest_collection_shrinks_with_population() {
+        let mech = Piecewise::new(2.0);
+        let atk = GeneralManipulation::new(0.0); // reports 0.0: mild
+        let small: Vec<f64> = population()[..500].to_vec();
+        let large = population();
+        let mse_small = estimator_mse(&mech, &atk, &small, 0.0, 20, 7, |b| {
+            mech.estimate_mean(&b.reports)
+        });
+        let mse_large = estimator_mse(&mech, &atk, &large, 0.0, 20, 7, |b| {
+            mech.estimate_mean(&b.reports)
+        });
+        assert!(mse_large < mse_small, "large {mse_large} vs small {mse_small}");
+    }
+
+    #[test]
+    fn attack_increases_raw_mse() {
+        let mech = Piecewise::new(1.0);
+        let atk = InputManipulation::new(1.0);
+        let pop = population();
+        let clean = estimator_mse(&mech, &atk, &pop, 0.0, 10, 11, |b| {
+            mech.estimate_mean(&b.reports)
+        });
+        let attacked = estimator_mse(&mech, &atk, &pop, 0.3, 10, 11, |b| {
+            mech.estimate_mean(&b.reports)
+        });
+        assert!(attacked > 5.0 * clean, "attacked {attacked} vs clean {clean}");
+    }
+
+    #[test]
+    fn oracle_estimator_achieves_near_zero_mse() {
+        // An estimator that drops attack reports using provenance should be
+        // nearly unbiased.
+        let mech = Piecewise::new(2.0);
+        let atk = GeneralManipulation::new(1.0);
+        let pop = population();
+        let mse = estimator_mse(&mech, &atk, &pop, 0.3, 10, 13, |b| {
+            let honest: Vec<f64> = b
+                .reports
+                .iter()
+                .zip(&b.is_attack)
+                .filter(|(_, &a)| !a)
+                .map(|(&r, _)| r)
+                .collect();
+            mech.estimate_mean(&honest)
+        });
+        assert!(mse < 0.01, "oracle mse {mse}");
+    }
+
+    #[test]
+    fn deterministic_under_master_seed() {
+        let mech = Piecewise::new(1.0);
+        let atk = InputManipulation::new(0.5);
+        let pop = population();
+        let a = estimator_mse(&mech, &atk, &pop, 0.1, 5, 42, |b| mech.estimate_mean(&b.reports));
+        let b = estimator_mse(&mech, &atk, &pop, 0.1, 5, 42, |b| mech.estimate_mean(&b.reports));
+        assert_eq!(a, b);
+    }
+}

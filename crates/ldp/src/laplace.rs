@@ -1,0 +1,102 @@
+//! The Laplace mechanism for 1-D mean estimation on `[−1, 1]`.
+//!
+//! Report = `x + Lap(2/ε)` (sensitivity of the identity query on `[−1, 1]`
+//! is 2). Unbiased but with *unbounded* output range, which is exactly why
+//! the paper notes that under LDP "the injected poison values may locate
+//! anywhere... and may even exceed the upper bound of the input domain" —
+//! general manipulation against Laplace is unboundedly destructive, making
+//! the bounded mechanisms preferable and trimming indispensable.
+
+use crate::mechanism::{clamp_input, LdpMechanism};
+use rand::Rng;
+use trimgame_numerics::rand_ext::laplace;
+
+/// The Laplace mechanism with sensitivity 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplaceMechanism {
+    epsilon: f64,
+}
+
+impl LaplaceMechanism {
+    /// Creates the mechanism for budget `epsilon`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon <= 0`.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+        Self { epsilon }
+    }
+
+    /// Noise scale `b = 2/ε`.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        2.0 / self.epsilon
+    }
+}
+
+impl LdpMechanism for LaplaceMechanism {
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn privatize<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64 {
+        laplace(rng, clamp_input(value), self.scale())
+    }
+
+    fn output_range(&self) -> (f64, f64) {
+        (f64::NEG_INFINITY, f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgame_numerics::rand_ext::seeded_rng;
+    use trimgame_numerics::stats::{mean, variance};
+
+    #[test]
+    fn unbiased() {
+        let m = LaplaceMechanism::new(1.0);
+        let mut rng = seeded_rng(1);
+        for &x in &[-0.9, 0.0, 0.9] {
+            let reports: Vec<f64> = (0..100_000).map(|_| m.privatize(x, &mut rng)).collect();
+            assert!((mean(&reports) - x).abs() < 0.05, "x={x}");
+        }
+    }
+
+    #[test]
+    fn variance_matches_2b2() {
+        let m = LaplaceMechanism::new(2.0);
+        let b = m.scale();
+        let mut rng = seeded_rng(2);
+        let reports: Vec<f64> = (0..200_000).map(|_| m.privatize(0.0, &mut rng)).collect();
+        assert!((variance(&reports) - 2.0 * b * b).abs() < 0.1);
+    }
+
+    #[test]
+    fn smaller_epsilon_means_more_noise() {
+        assert!(LaplaceMechanism::new(0.5).scale() > LaplaceMechanism::new(2.0).scale());
+    }
+
+    #[test]
+    fn output_range_unbounded() {
+        let (lo, hi) = LaplaceMechanism::new(1.0).output_range();
+        assert!(lo.is_infinite() && lo < 0.0);
+        assert!(hi.is_infinite() && hi > 0.0);
+    }
+
+    #[test]
+    fn input_is_clamped() {
+        let m = LaplaceMechanism::new(1000.0); // nearly noiseless
+        let mut rng = seeded_rng(3);
+        let r = m.privatize(50.0, &mut rng);
+        assert!((r - 1.0).abs() < 0.1, "clamped report {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_epsilon_rejected() {
+        let _ = LaplaceMechanism::new(0.0);
+    }
+}

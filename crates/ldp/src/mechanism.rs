@@ -1,0 +1,51 @@
+//! The LDP mechanism abstraction for mean estimation on `[−1, 1]`.
+//!
+//! All three mechanisms in this crate are *unbiased*: `E[report] = value`,
+//! so the aggregate mean of reports estimates the population mean. This is
+//! the "non-deterministic utility" of Section V — even a fully honest
+//! round produces a noisy quality evaluation, which is what forces the
+//! redundancy margin in Tit-for-tat (Theorem 3) and motivates Elastic.
+
+use rand::Rng;
+
+/// A local randomizer for one numeric value in `[−1, 1]`.
+pub trait LdpMechanism {
+    /// The privacy budget ε this mechanism instance satisfies.
+    fn epsilon(&self) -> f64;
+
+    /// Privatizes one value.
+    ///
+    /// Implementations clamp the input into `[−1, 1]` first; honest users
+    /// are assumed to hold in-domain values, but clamping keeps the
+    /// ε-guarantee meaningful for adversarial inputs too.
+    fn privatize<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64;
+
+    /// The output range `[lo, hi]` of the randomizer. A *general*
+    /// manipulation attacker can report anything in this range; an honest
+    /// report never leaves it. Unbounded mechanisms return infinite bounds.
+    fn output_range(&self) -> (f64, f64);
+
+    /// Unbiased estimate of the population mean from raw reports (for the
+    /// mechanisms here, the sample mean — each report is already unbiased).
+    fn estimate_mean(&self, reports: &[f64]) -> f64 {
+        trimgame_numerics::stats::mean(reports)
+    }
+}
+
+/// Clamps a value into the input domain `[−1, 1]`.
+#[must_use]
+pub fn clamp_input(value: f64) -> f64 {
+    value.clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_input_bounds() {
+        assert_eq!(clamp_input(2.0), 1.0);
+        assert_eq!(clamp_input(-3.0), -1.0);
+        assert_eq!(clamp_input(0.25), 0.25);
+    }
+}

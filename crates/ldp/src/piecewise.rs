@@ -1,0 +1,219 @@
+//! The Piecewise Mechanism (Wang et al., 2019) for 1-D mean estimation.
+//!
+//! For input `x ∈ [−1, 1]` and budget ε, let `C = (e^{ε/2} + 1)/(e^{ε/2} − 1)`.
+//! The output domain is `[−C, C]`. A "centre" interval
+//! `[l(x), r(x)]` of width `C − 1` around (a scaled image of) `x` receives
+//! high density `p = e^{ε/2} · q`, and the rest of the domain low density
+//! `q`; the report is unbiased with variance strictly smaller than Duchi's
+//! for moderate ε. Its continuous output space is also what makes
+//! histogram-based filters (EMF) meaningful, so Fig. 9 runs on this
+//! mechanism.
+
+use crate::mechanism::{clamp_input, LdpMechanism};
+use rand::Rng;
+
+/// The Piecewise Mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Piecewise {
+    epsilon: f64,
+    c: f64,
+}
+
+impl Piecewise {
+    /// Creates the mechanism for budget `epsilon`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon <= 0`.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+        let e2 = (epsilon / 2.0).exp();
+        Self {
+            epsilon,
+            c: (e2 + 1.0) / (e2 - 1.0),
+        }
+    }
+
+    /// Output bound `C`.
+    #[must_use]
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// Left edge of the high-density interval for input `x`.
+    #[must_use]
+    pub fn l(&self, x: f64) -> f64 {
+        let x = clamp_input(x);
+        (self.c + 1.0) / 2.0 * x - (self.c - 1.0) / 2.0
+    }
+
+    /// Right edge of the high-density interval for input `x`.
+    #[must_use]
+    pub fn r(&self, x: f64) -> f64 {
+        self.l(x) + self.c - 1.0
+    }
+
+    /// Probability that the report falls inside the high-density interval.
+    #[must_use]
+    pub fn center_probability(&self) -> f64 {
+        let e2 = (self.epsilon / 2.0).exp();
+        e2 / (e2 + 1.0)
+    }
+
+    /// Density of the output distribution for input `x` at output `t`
+    /// (used by the EM filter to build its mechanism matrix).
+    #[must_use]
+    pub fn density(&self, x: f64, t: f64) -> f64 {
+        if t < -self.c || t > self.c {
+            return 0.0;
+        }
+        let e2 = (self.epsilon / 2.0).exp();
+        // q = low density; p = e^{eps/2} q. Normalization:
+        // p (C-1) + q (2C - (C-1)) = 1  =>  q (e2 (C-1) + C + 1) = 1.
+        let q = 1.0 / (e2 * (self.c - 1.0) + self.c + 1.0);
+        let p = e2 * q;
+        if t >= self.l(x) && t <= self.r(x) {
+            p
+        } else {
+            q
+        }
+    }
+}
+
+impl LdpMechanism for Piecewise {
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn privatize<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64 {
+        let x = clamp_input(value);
+        let l = self.l(x);
+        let r = self.r(x);
+        if rng.gen::<f64>() < self.center_probability() {
+            // Uniform on the centre interval.
+            l + (r - l) * rng.gen::<f64>()
+        } else {
+            // Uniform on the two side intervals [-C, l) and (r, C].
+            let left_w = l + self.c;
+            let right_w = self.c - r;
+            let total = left_w + right_w;
+            if total <= 0.0 {
+                // Degenerate (x at a domain edge with zero side mass on one
+                // side only happens at numerically extreme epsilon).
+                return l + (r - l) * rng.gen::<f64>();
+            }
+            let u = rng.gen::<f64>() * total;
+            if u < left_w {
+                -self.c + u
+            } else {
+                r + (u - left_w)
+            }
+        }
+    }
+
+    fn output_range(&self) -> (f64, f64) {
+        (-self.c, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgame_numerics::rand_ext::seeded_rng;
+    use trimgame_numerics::stats::{mean, variance};
+
+    #[test]
+    fn outputs_within_range() {
+        let m = Piecewise::new(1.0);
+        let mut rng = seeded_rng(1);
+        for _ in 0..10_000 {
+            let r = m.privatize(0.2, &mut rng);
+            assert!(r >= -m.c() - 1e-12 && r <= m.c() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn unbiased_for_several_inputs() {
+        let m = Piecewise::new(1.0);
+        let mut rng = seeded_rng(2);
+        for &x in &[-1.0, -0.3, 0.0, 0.6, 1.0] {
+            let reports: Vec<f64> = (0..200_000).map(|_| m.privatize(x, &mut rng)).collect();
+            assert!(
+                (mean(&reports) - x).abs() < 0.03,
+                "x={x}, estimate={}",
+                mean(&reports)
+            );
+        }
+    }
+
+    #[test]
+    fn lower_variance_than_duchi_at_moderate_epsilon() {
+        let eps = 3.0;
+        let pw = Piecewise::new(eps);
+        let duchi = crate::duchi::Duchi::new(eps);
+        let mut rng = seeded_rng(3);
+        let x = 0.0;
+        let pw_reports: Vec<f64> = (0..100_000).map(|_| pw.privatize(x, &mut rng)).collect();
+        let du_reports: Vec<f64> =
+            (0..100_000).map(|_| duchi.privatize(x, &mut rng)).collect();
+        assert!(
+            variance(&pw_reports) < variance(&du_reports),
+            "pw {} vs duchi {}",
+            variance(&pw_reports),
+            variance(&du_reports)
+        );
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let m = Piecewise::new(1.5);
+        for &x in &[-0.8, 0.0, 0.5] {
+            let n = 20_000;
+            let h = 2.0 * m.c() / n as f64;
+            let integral: f64 = (0..n)
+                .map(|i| m.density(x, -m.c() + (i as f64 + 0.5) * h) * h)
+                .sum();
+            assert!((integral - 1.0).abs() < 1e-3, "x={x}, integral={integral}");
+        }
+    }
+
+    #[test]
+    fn density_ratio_respects_epsilon() {
+        let eps = 1.0;
+        let m = Piecewise::new(eps);
+        // Worst-case ratio across inputs at any output point is e^{eps/2}
+        // for the point densities; end-to-end the mechanism satisfies
+        // eps-LDP.
+        let t = 0.0;
+        let d1 = m.density(-1.0, t);
+        let d2 = m.density(1.0, t);
+        let ratio = (d1 / d2).max(d2 / d1);
+        assert!(ratio <= eps.exp() + 1e-9);
+    }
+
+    #[test]
+    fn centre_interval_has_width_c_minus_1() {
+        let m = Piecewise::new(2.0);
+        for &x in &[-1.0, 0.0, 0.7] {
+            assert!((m.r(x) - m.l(x) - (m.c() - 1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn estimate_mean_tracks_population() {
+        let m = Piecewise::new(2.0);
+        let mut rng = seeded_rng(4);
+        let population: Vec<f64> = (0..50_000)
+            .map(|i| ((i % 200) as f64 / 100.0 - 1.0) * 0.5)
+            .collect();
+        let truth = mean(&population);
+        let reports: Vec<f64> = population.iter().map(|&x| m.privatize(x, &mut rng)).collect();
+        assert!((m.estimate_mean(&reports) - truth).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_epsilon_rejected() {
+        let _ = Piecewise::new(-1.0);
+    }
+}

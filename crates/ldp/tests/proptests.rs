@@ -1,0 +1,101 @@
+//! Property-based tests for the LDP substrate.
+
+use proptest::prelude::*;
+use trimgame_ldp::attack::{Attack, GeneralManipulation, InputManipulation};
+use trimgame_ldp::duchi::Duchi;
+use trimgame_ldp::laplace::LaplaceMechanism;
+use trimgame_ldp::mechanism::LdpMechanism;
+use trimgame_ldp::piecewise::Piecewise;
+use trimgame_numerics::rand_ext::seeded_rng;
+
+proptest! {
+    #[test]
+    fn duchi_outputs_are_binary(eps in 0.1_f64..6.0, x in -2.0_f64..2.0, seed in any::<u64>()) {
+        let m = Duchi::new(eps);
+        let mut rng = seeded_rng(seed);
+        for _ in 0..16 {
+            let r = m.privatize(x, &mut rng);
+            prop_assert!(r == m.c() || r == -m.c());
+        }
+    }
+
+    #[test]
+    fn piecewise_outputs_in_range(eps in 0.1_f64..6.0, x in -2.0_f64..2.0, seed in any::<u64>()) {
+        let m = Piecewise::new(eps);
+        let mut rng = seeded_rng(seed);
+        for _ in 0..16 {
+            let r = m.privatize(x, &mut rng);
+            prop_assert!(r >= -m.c() - 1e-12 && r <= m.c() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn piecewise_density_nonnegative_and_bounded(
+        eps in 0.2_f64..5.0,
+        x in -1.0_f64..1.0,
+        t in -5.0_f64..5.0,
+    ) {
+        let m = Piecewise::new(eps);
+        let d = m.density(x, t);
+        prop_assert!(d >= 0.0);
+        // High density p = e^{eps/2} q with q < 1/(C+1) < 1/2.
+        prop_assert!(d <= (eps / 2.0).exp() / 2.0 + 1e-9, "density {d} above analytic bound");
+    }
+
+    #[test]
+    fn piecewise_center_probability_increases_with_eps(e1 in 0.2_f64..3.0, delta in 0.1_f64..3.0) {
+        let lo = Piecewise::new(e1);
+        let hi = Piecewise::new(e1 + delta);
+        prop_assert!(hi.center_probability() > lo.center_probability());
+    }
+
+    #[test]
+    fn general_manipulation_is_within_output_range(
+        eps in 0.2_f64..5.0,
+        pos in -1.0_f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let m = Piecewise::new(eps);
+        let atk = GeneralManipulation::new(pos);
+        let mut rng = seeded_rng(seed);
+        let (lo, hi) = m.output_range();
+        let r = atk.report(&m, &mut rng);
+        prop_assert!(r >= lo - 1e-12 && r <= hi + 1e-12);
+    }
+
+    #[test]
+    fn input_manipulation_reports_look_honest_for_duchi(
+        eps in 0.2_f64..5.0,
+        input in -2.0_f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        // Deniability: every attack report is a legal protocol output.
+        let m = Duchi::new(eps);
+        let atk = InputManipulation::new(input);
+        let mut rng = seeded_rng(seed);
+        for r in atk.reports(&m, 32, &mut rng) {
+            prop_assert!(r == m.c() || r == -m.c());
+        }
+    }
+
+    #[test]
+    fn laplace_reports_are_finite(eps in 0.05_f64..6.0, x in -3.0_f64..3.0, seed in any::<u64>()) {
+        let m = LaplaceMechanism::new(eps);
+        let mut rng = seeded_rng(seed);
+        for _ in 0..16 {
+            prop_assert!(m.privatize(x, &mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn estimate_mean_is_within_output_hull(eps in 0.3_f64..4.0, seed in any::<u64>()) {
+        let m = Piecewise::new(eps);
+        let mut rng = seeded_rng(seed);
+        let reports: Vec<f64> = (0..200).map(|i| {
+            let x = (i as f64 / 100.0) - 1.0;
+            m.privatize(x, &mut rng)
+        }).collect();
+        let est = m.estimate_mean(&reports);
+        prop_assert!(est >= -m.c() && est <= m.c());
+    }
+}

@@ -1,0 +1,437 @@
+//! k-means clustering (k-means++ initialization, Lloyd iterations).
+//!
+//! Figs. 4/5 of the paper run k-means over Control, Vehicle and Letter and
+//! report two metrics per scheme: **SSE** (within-cluster sum of squared
+//! errors) and **Distance** (Euclidean discrepancy between fitted centroids
+//! and ground-truth centroids). [`KMeans::fit`] produces a model exposing
+//! both.
+
+use crate::matching::matched_centroid_distance;
+use rand::Rng;
+use trimgame_datasets::Dataset;
+use trimgame_numerics::stats::sq_euclidean;
+
+/// Configuration for a k-means fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on total centroid movement.
+    pub tol: f64,
+}
+
+impl KMeansConfig {
+    /// Default-ish configuration for `k` clusters.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iters: 100,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    assignments: Vec<usize>,
+    sse: f64,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Fits k-means to a dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset has fewer rows than `config.k` or `k == 0`.
+    #[must_use]
+    pub fn fit<R: Rng + ?Sized>(data: &Dataset, config: KMeansConfig, rng: &mut R) -> Self {
+        let n = data.rows();
+        let k = config.k;
+        assert!(k > 0, "k must be positive");
+        assert!(n >= k, "need at least k rows ({k}), got {n}");
+
+        let mut centroids = kmeans_pp_init(data, k, rng);
+        let mut assignments = vec![0usize; n];
+        let mut iterations = 0;
+
+        for iter in 0..config.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            for (i, row) in data.iter_rows().enumerate() {
+                assignments[i] = nearest(&centroids, row).0;
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0; data.cols()]; k];
+            let mut counts = vec![0usize; k];
+            for (i, row) in data.iter_rows().enumerate() {
+                let c = assignments[i];
+                counts[c] += 1;
+                for (s, v) in sums[c].iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            let mut movement = 0.0;
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Empty cluster: re-seed at the point farthest from its
+                    // centroid to keep k clusters alive.
+                    let (far_idx, _) = data
+                        .iter_rows()
+                        .enumerate()
+                        .map(|(i, row)| (i, sq_euclidean(row, &centroids[assignments[i]])))
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN distance"))
+                        .expect("non-empty dataset");
+                    centroids[c] = data.row(far_idx).to_vec();
+                    movement += f64::INFINITY;
+                    continue;
+                }
+                let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+                movement += sq_euclidean(&new, &centroids[c]).sqrt();
+                centroids[c] = new;
+            }
+            if movement <= config.tol {
+                break;
+            }
+        }
+
+        // Final assignment + SSE.
+        let mut sse = 0.0;
+        for (i, row) in data.iter_rows().enumerate() {
+            let (c, d2) = nearest(&centroids, row);
+            assignments[i] = c;
+            sse += d2;
+        }
+
+        Self {
+            centroids,
+            assignments,
+            sse,
+            iterations,
+        }
+    }
+
+    /// Fits k-means by Lloyd iterations warm-started from the given
+    /// centroids (MATLAB's `'Start', matrix`). Deterministic. This is how
+    /// the Figs. 4/5 "Distance" metric is computed: starting from the
+    /// clean data's clustering and letting the poisoned collection pull
+    /// the centroids measures displacement without local-minima noise.
+    ///
+    /// # Panics
+    /// Panics if `initial` is empty, row arities mismatch, or the dataset
+    /// has fewer rows than centroids.
+    #[must_use]
+    pub fn fit_from(data: &Dataset, initial: &[Vec<f64>], config: KMeansConfig) -> Self {
+        assert!(!initial.is_empty(), "need at least one initial centroid");
+        assert!(
+            initial.iter().all(|c| c.len() == data.cols()),
+            "centroid arity mismatch"
+        );
+        assert!(data.rows() >= initial.len(), "fewer rows than centroids");
+        let k = initial.len();
+        let n = data.rows();
+        let mut centroids = initial.to_vec();
+        let mut assignments = vec![0usize; n];
+        let mut iterations = 0;
+        for iter in 0..config.max_iters {
+            iterations = iter + 1;
+            for (i, row) in data.iter_rows().enumerate() {
+                assignments[i] = nearest(&centroids, row).0;
+            }
+            let mut sums = vec![vec![0.0; data.cols()]; k];
+            let mut counts = vec![0usize; k];
+            for (i, row) in data.iter_rows().enumerate() {
+                let c = assignments[i];
+                counts[c] += 1;
+                for (s, v) in sums[c].iter_mut().zip(row) {
+                    *s += v;
+                }
+            }
+            let mut movement = 0.0;
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Empty cluster: keep the previous centroid (it may
+                    // re-acquire points as others move).
+                    continue;
+                }
+                let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+                movement += sq_euclidean(&new, &centroids[c]).sqrt();
+                centroids[c] = new;
+            }
+            if movement <= config.tol {
+                break;
+            }
+        }
+        let mut sse = 0.0;
+        for (i, row) in data.iter_rows().enumerate() {
+            let (c, d2) = nearest(&centroids, row);
+            assignments[i] = c;
+            sse += d2;
+        }
+        Self {
+            centroids,
+            assignments,
+            sse,
+            iterations,
+        }
+    }
+
+    /// Fits k-means `restarts` times with different seedings and keeps the
+    /// lowest-SSE model (the standard guard against k-means++ local
+    /// minima; MATLAB's `kmeans` does the same via `Replicates`).
+    ///
+    /// # Panics
+    /// Panics if `restarts == 0` or the dataset is smaller than `k`.
+    #[must_use]
+    pub fn fit_best<R: Rng + ?Sized>(
+        data: &Dataset,
+        config: KMeansConfig,
+        restarts: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(restarts > 0, "need at least one restart");
+        let mut best: Option<KMeans> = None;
+        for _ in 0..restarts {
+            let model = KMeans::fit(data, config, rng);
+            if best.as_ref().map_or(true, |b| model.sse() < b.sse()) {
+                best = Some(model);
+            }
+        }
+        best.expect("restarts > 0")
+    }
+
+    /// Fitted centroids.
+    #[must_use]
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Cluster index per input row.
+    #[must_use]
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Within-cluster sum of squared errors (the paper's SSE metric).
+    #[must_use]
+    pub fn sse(&self) -> f64 {
+        self.sse
+    }
+
+    /// Lloyd iterations executed.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Predicts the cluster of a new row.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    #[must_use]
+    pub fn predict(&self, row: &[f64]) -> usize {
+        nearest(&self.centroids, row).0
+    }
+
+    /// The paper's "Distance" metric: total Euclidean distance between these
+    /// centroids and reference centroids under the optimal (Hungarian)
+    /// matching.
+    #[must_use]
+    pub fn centroid_distance_to(&self, reference: &[Vec<f64>]) -> f64 {
+        matched_centroid_distance(&self.centroids, reference)
+    }
+}
+
+/// Nearest centroid index and squared distance.
+fn nearest(centroids: &[Vec<f64>], row: &[f64]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = sq_euclidean(centroid, row);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ seeding: first centre uniform, subsequent centres with
+/// probability proportional to squared distance to the nearest chosen
+/// centre.
+fn kmeans_pp_init<R: Rng + ?Sized>(data: &Dataset, k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let n = data.rows();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(data.row(rng.gen_range(0..n)).to_vec());
+    let mut d2 = vec![0.0f64; n];
+    while centroids.len() < k {
+        let last = centroids.last().expect("non-empty");
+        let mut total = 0.0;
+        for (i, row) in data.iter_rows().enumerate() {
+            let d = sq_euclidean(row, last);
+            if centroids.len() == 1 || d < d2[i] {
+                d2[i] = d;
+            }
+            total += d2[i];
+        }
+        if total == 0.0 {
+            // All points coincide with chosen centres; duplicate one.
+            centroids.push(data.row(rng.gen_range(0..n)).to_vec());
+            continue;
+        }
+        let mut t = rng.gen::<f64>() * total;
+        let mut chosen = n - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            if t < d {
+                chosen = i;
+                break;
+            }
+            t -= d;
+        }
+        centroids.push(data.row(chosen).to_vec());
+    }
+    centroids
+}
+
+/// Ground-truth centroids of a labelled dataset: per-class feature means.
+///
+/// # Panics
+/// Panics if the dataset is unlabelled.
+#[must_use]
+pub fn class_centroids(data: &Dataset) -> Vec<Vec<f64>> {
+    let labels = data.labels().expect("class_centroids needs labels");
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sums = vec![vec![0.0; data.cols()]; k];
+    let mut counts = vec![0usize; k];
+    for (row, &l) in data.iter_rows().zip(labels) {
+        counts[l] += 1;
+        for (s, v) in sums[l].iter_mut().zip(row) {
+            *s += v;
+        }
+    }
+    sums.iter()
+        .zip(&counts)
+        .filter(|(_, &c)| c > 0)
+        .map(|(s, &c)| s.iter().map(|v| v / c as f64).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgame_datasets::synthetic::{GaussianComponent, GmmSpec};
+    use trimgame_numerics::rand_ext::seeded_rng;
+
+    fn two_blob_data(seed: u64) -> Dataset {
+        let spec = GmmSpec::new(vec![
+            GaussianComponent::spherical(vec![-10.0, 0.0], 0.5, 1.0),
+            GaussianComponent::spherical(vec![10.0, 0.0], 0.5, 1.0),
+        ]);
+        spec.generate("blobs", 400, &mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn recovers_two_well_separated_blobs() {
+        let data = two_blob_data(1);
+        let model = KMeans::fit(&data, KMeansConfig::new(2), &mut seeded_rng(2));
+        let mut c: Vec<f64> = model.centroids().iter().map(|c| c[0]).collect();
+        c.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((c[0] + 10.0).abs() < 0.3, "centroid {}", c[0]);
+        assert!((c[1] - 10.0).abs() < 0.3, "centroid {}", c[1]);
+    }
+
+    #[test]
+    fn sse_is_small_for_tight_clusters() {
+        let data = two_blob_data(3);
+        let model = KMeans::fit(&data, KMeansConfig::new(2), &mut seeded_rng(4));
+        // 400 points with per-coordinate variance 0.25 in 2D: expected SSE
+        // ~ n * 2 * 0.25 = 200. A bad clustering would be in the tens of
+        // thousands.
+        assert!(model.sse() < 400.0, "sse {}", model.sse());
+    }
+
+    #[test]
+    fn predict_matches_assignments() {
+        let data = two_blob_data(5);
+        let model = KMeans::fit(&data, KMeansConfig::new(2), &mut seeded_rng(6));
+        for (i, row) in data.iter_rows().enumerate() {
+            assert_eq!(model.predict(row), model.assignments()[i]);
+        }
+    }
+
+    #[test]
+    fn centroid_distance_to_truth_is_small() {
+        let data = two_blob_data(7);
+        let truth = class_centroids(&data);
+        let model = KMeans::fit(&data, KMeansConfig::new(2), &mut seeded_rng(8));
+        let d = model.centroid_distance_to(&truth);
+        assert!(d < 0.5, "matched centroid distance {d}");
+    }
+
+    #[test]
+    fn poisoned_data_increases_centroid_distance() {
+        let data = two_blob_data(9);
+        let truth = class_centroids(&data);
+        let clean = KMeans::fit(&data, KMeansConfig::new(2), &mut seeded_rng(10));
+
+        // Add 15% poison far away.
+        let mut poisoned = data.clone();
+        for _ in 0..60 {
+            poisoned.push_row(&[200.0, 200.0], Some(0));
+        }
+        let dirty = KMeans::fit(&poisoned, KMeansConfig::new(2), &mut seeded_rng(10));
+        assert!(
+            dirty.centroid_distance_to(&truth) > clean.centroid_distance_to(&truth),
+            "poison should displace centroids"
+        );
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_sse() {
+        let data = Dataset::new("t", 1, vec![1.0, 5.0, 9.0], None, 3);
+        let model = KMeans::fit(&data, KMeansConfig::new(3), &mut seeded_rng(11));
+        assert!(model.sse() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k rows")]
+    fn too_few_rows_rejected() {
+        let data = Dataset::new("t", 1, vec![1.0], None, 1);
+        let _ = KMeans::fit(&data, KMeansConfig::new(2), &mut seeded_rng(0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = two_blob_data(12);
+        let a = KMeans::fit(&data, KMeansConfig::new(2), &mut seeded_rng(13));
+        let b = KMeans::fit(&data, KMeansConfig::new(2), &mut seeded_rng(13));
+        assert_eq!(a.centroids(), b.centroids());
+        assert_eq!(a.sse(), b.sse());
+    }
+
+    #[test]
+    fn class_centroids_per_class_means() {
+        let data = Dataset::new(
+            "t",
+            1,
+            vec![0.0, 2.0, 10.0, 14.0],
+            Some(vec![0, 0, 1, 1]),
+            2,
+        );
+        let c = class_centroids(&data);
+        assert_eq!(c.len(), 2);
+        assert!((c[0][0] - 1.0).abs() < 1e-12);
+        assert!((c[1][0] - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash() {
+        let data = Dataset::new("dup", 1, vec![3.0; 20], None, 2);
+        let model = KMeans::fit(&data, KMeansConfig::new(2), &mut seeded_rng(14));
+        assert!(model.sse() < 1e-9);
+    }
+}

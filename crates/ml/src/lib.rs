@@ -1,0 +1,28 @@
+//! ML substrate for the `trimgame` workspace.
+//!
+//! Section VI of the paper evaluates the trimming game through three
+//! learners, all re-implemented here from scratch:
+//!
+//! * [`kmeans`] — k-means clustering (k-means++ initialization + Lloyd
+//!   iterations) with the SSE and centroid-distance metrics of Figs. 4/5.
+//! * [`svm`] — linear multiclass SVM trained with the Pegasos subgradient
+//!   method, one-vs-rest (Figs. 6a/7).
+//! * [`som`] — self-organizing map with Gaussian neighbourhood and the
+//!   U-matrix visualization of Figs. 6b/8.
+//! * [`metrics`] — confusion matrices with the PPV/FDR rows the paper's
+//!   Fig. 6a/7 panels display, plus accuracy.
+//! * [`matching`] — the Hungarian algorithm for optimal assignment, used to
+//!   align fitted centroids with ground-truth centroids ("Distance" in
+//!   Figs. 4/5) and predicted clusters with true classes.
+
+pub mod kmeans;
+pub mod matching;
+pub mod metrics;
+pub mod som;
+pub mod svm;
+
+pub use kmeans::{class_centroids, KMeans, KMeansConfig};
+pub use matching::{align_clusters, hungarian, matched_centroid_distance};
+pub use metrics::ConfusionMatrix;
+pub use som::{Som, SomConfig};
+pub use svm::{LinearSvm, SvmConfig, SvmModel};

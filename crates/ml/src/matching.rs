@@ -1,0 +1,296 @@
+//! Optimal assignment (Hungarian algorithm) and its two uses in the paper's
+//! evaluation:
+//!
+//! * the **Distance** metric of Figs. 4/5 — fitted k-means centroids must be
+//!   matched to ground-truth centroids before summing Euclidean distances,
+//!   otherwise cluster permutation would dominate the metric;
+//! * aligning predicted cluster indices with true class labels when
+//!   computing clustering accuracy/confusions.
+
+/// Solves the assignment problem for a rectangular cost matrix
+/// (`rows × cols`), minimizing total cost.
+///
+/// Returns `assign` with `assign[i] = Some(j)` if row `i` is matched to
+/// column `j`; when `rows > cols` the unmatched rows get `None`.
+///
+/// Implementation: the classic O(n²m) shortest-augmenting-path formulation
+/// with row/column potentials (Kuhn–Munkres).
+///
+/// # Panics
+/// Panics if the matrix is empty or ragged.
+#[must_use]
+pub fn hungarian(cost: &[Vec<f64>]) -> Vec<Option<usize>> {
+    let rows = cost.len();
+    assert!(rows > 0, "empty cost matrix");
+    let cols = cost[0].len();
+    assert!(cols > 0, "empty cost matrix");
+    for row in cost {
+        assert_eq!(row.len(), cols, "ragged cost matrix");
+    }
+
+    if rows > cols {
+        // Transpose so the classic n <= m precondition holds.
+        let t: Vec<Vec<f64>> = (0..cols)
+            .map(|j| (0..rows).map(|i| cost[i][j]).collect())
+            .collect();
+        let col_assign = hungarian(&t);
+        let mut assign = vec![None; rows];
+        for (j, a) in col_assign.iter().enumerate() {
+            if let Some(i) = a {
+                assign[*i] = Some(j);
+            }
+        }
+        return assign;
+    }
+
+    let n = rows;
+    let m = cols;
+    // 1-based arrays per the standard formulation.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // row matched to column j
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assign = vec![None; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            assign[p[j] - 1] = Some(j - 1);
+        }
+    }
+    assign
+}
+
+/// Total Euclidean distance between two centroid sets under the optimal
+/// matching — the Figs. 4/5 "Distance" metric.
+///
+/// If the sets have different sizes, only `min(len)` pairs are matched and
+/// summed.
+///
+/// # Panics
+/// Panics if either set is empty or dimensions mismatch.
+#[must_use]
+pub fn matched_centroid_distance(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "empty centroid set");
+    let cost: Vec<Vec<f64>> = a
+        .iter()
+        .map(|ca| {
+            b.iter()
+                .map(|cb| trimgame_numerics::stats::euclidean(ca, cb))
+                .collect()
+        })
+        .collect();
+    let assign = hungarian(&cost);
+    assign
+        .iter()
+        .enumerate()
+        .filter_map(|(i, j)| j.map(|j| cost[i][j]))
+        .sum()
+}
+
+/// Remaps predicted cluster indices so they agree maximally with true
+/// labels (Hungarian on the negated co-occurrence matrix). Returns the
+/// remapped predictions.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn align_clusters(predicted: &[usize], truth: &[usize]) -> Vec<usize> {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "empty label arrays");
+    let kp = predicted.iter().copied().max().unwrap() + 1;
+    let kt = truth.iter().copied().max().unwrap() + 1;
+    let k = kp.max(kt);
+    // co[i][j] = #points with predicted i and true j.
+    let mut co = vec![vec![0.0f64; k]; k];
+    for (&p, &t) in predicted.iter().zip(truth) {
+        co[p][t] += 1.0;
+    }
+    let cost: Vec<Vec<f64>> = co
+        .iter()
+        .map(|row| row.iter().map(|&c| -c).collect())
+        .collect();
+    let assign = hungarian(&cost);
+    predicted
+        .iter()
+        .map(|&p| assign[p].unwrap_or(p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_assignment_for_diagonal() {
+        let cost = vec![
+            vec![0.0, 9.0, 9.0],
+            vec![9.0, 0.0, 9.0],
+            vec![9.0, 9.0, 0.0],
+        ];
+        let assign = hungarian(&cost);
+        assert_eq!(assign, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn picks_global_optimum_not_greedy() {
+        // Greedy (row 0 takes col 0 at cost 1) forces total 1 + 10 = 11;
+        // optimal is 2 + 2 = 4.
+        let cost = vec![vec![1.0, 2.0], vec![2.0, 10.0]];
+        let assign = hungarian(&cost);
+        assert_eq!(assign, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn known_3x3_optimum() {
+        // Classic example: optimal assignment cost 5 (0->1:2, 1->0:3 ... ).
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let assign = hungarian(&cost);
+        let total: f64 = assign
+            .iter()
+            .enumerate()
+            .map(|(i, j)| cost[i][j.unwrap()])
+            .sum();
+        assert_eq!(total, 5.0);
+    }
+
+    #[test]
+    fn rectangular_wide_matrix() {
+        // 2 rows, 3 cols: every row matched.
+        let cost = vec![vec![5.0, 1.0, 9.0], vec![1.0, 5.0, 9.0]];
+        let assign = hungarian(&cost);
+        assert_eq!(assign, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn rectangular_tall_matrix() {
+        // 3 rows, 2 cols: one row left unmatched.
+        let cost = vec![vec![1.0, 9.0], vec![9.0, 1.0], vec![8.0, 8.0]];
+        let assign = hungarian(&cost);
+        assert_eq!(assign[0], Some(0));
+        assert_eq!(assign[1], Some(1));
+        assert_eq!(assign[2], None);
+    }
+
+    #[test]
+    fn matched_distance_invariant_to_permutation() {
+        let a = vec![vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0]];
+        let mut b = a.clone();
+        b.rotate_left(1);
+        assert!(matched_centroid_distance(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn matched_distance_measures_displacement() {
+        let a = vec![vec![0.0], vec![10.0]];
+        let b = vec![vec![1.0], vec![12.0]];
+        assert!((matched_centroid_distance(&a, &b) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn align_clusters_fixes_permutation() {
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        let predicted = vec![2, 2, 0, 0, 1, 1];
+        let aligned = align_clusters(&predicted, &truth);
+        assert_eq!(aligned, truth);
+    }
+
+    #[test]
+    fn align_clusters_tolerates_noise() {
+        let truth = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let predicted = vec![1, 1, 1, 0, 0, 0, 0, 0];
+        let aligned = align_clusters(&predicted, &truth);
+        // Majority agreement after alignment: predicted 1 -> 0, 0 -> 1.
+        let agree = aligned.iter().zip(&truth).filter(|(a, b)| a == b).count();
+        assert!(agree >= 6, "agreement {agree}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_rejected() {
+        let _ = hungarian(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn large_random_matrix_beats_greedy() {
+        use rand::Rng;
+        let mut rng = trimgame_numerics::rand_ext::seeded_rng(31);
+        let n = 20;
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let assign = hungarian(&cost);
+        let optimal: f64 = assign
+            .iter()
+            .enumerate()
+            .map(|(i, j)| cost[i][j.unwrap()])
+            .sum();
+        // Greedy row-wise baseline.
+        let mut used = vec![false; n];
+        let mut greedy = 0.0;
+        for i in 0..n {
+            let (j, c) = (0..n)
+                .filter(|&j| !used[j])
+                .map(|j| (j, cost[i][j]))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            used[j] = true;
+            greedy += c;
+        }
+        assert!(optimal <= greedy + 1e-9, "optimal {optimal} > greedy {greedy}");
+        // All columns distinct.
+        let mut cols: Vec<usize> = assign.iter().map(|j| j.unwrap()).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(cols.len(), n);
+    }
+}

@@ -1,0 +1,358 @@
+//! Self-organizing map (SOM) with Gaussian neighbourhood and U-matrix.
+//!
+//! Fig. 6(b)/Fig. 8 of the paper train a 20×20 SOM on the Creditcard data
+//! and read the **U-matrix** — "the color depth between adjacent neurons
+//! represents their distance" — to see whether trimming schemes preserve
+//! the dataset's skewed class structure (one bulk class, two isolated
+//! outliers, a five-point "green" class). [`Som::fit`] implements the
+//! classic online SOM; [`Som::u_matrix`] and the class-structure helpers
+//! quantify what the paper reads off the picture.
+
+use rand::Rng;
+use trimgame_datasets::Dataset;
+use trimgame_numerics::stats::sq_euclidean;
+
+/// SOM training configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SomConfig {
+    /// Grid width (paper: 20).
+    pub width: usize,
+    /// Grid height (paper: 20).
+    pub height: usize,
+    /// Training epochs (passes over the dataset).
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub lr0: f64,
+    /// Initial neighbourhood radius (in grid cells); decays exponentially.
+    pub sigma0: f64,
+}
+
+impl SomConfig {
+    /// The paper's 20×20 configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            width: 20,
+            height: 20,
+            epochs: 5,
+            lr0: 0.5,
+            sigma0: 5.0,
+        }
+    }
+
+    /// A small grid for quick tests.
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            width: 6,
+            height: 6,
+            epochs: 8,
+            lr0: 0.5,
+            sigma0: 2.0,
+        }
+    }
+}
+
+/// A trained self-organizing map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Som {
+    width: usize,
+    height: usize,
+    dim: usize,
+    /// Neuron weights, row-major over the grid.
+    weights: Vec<Vec<f64>>,
+}
+
+impl Som {
+    /// Trains a SOM on the dataset rows.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or the grid is degenerate.
+    #[must_use]
+    pub fn fit<R: Rng + ?Sized>(data: &Dataset, config: SomConfig, rng: &mut R) -> Self {
+        assert!(data.rows() > 0, "empty dataset");
+        assert!(config.width > 0 && config.height > 0, "degenerate grid");
+        let dim = data.cols();
+        let n_neurons = config.width * config.height;
+        // Initialize neurons at random data points (plus tiny jitter) so the
+        // map starts inside the data support.
+        let mut weights: Vec<Vec<f64>> = (0..n_neurons)
+            .map(|_| {
+                let base = data.row(rng.gen_range(0..data.rows()));
+                base.iter()
+                    .map(|v| v + 1e-3 * trimgame_numerics::rand_ext::standard_normal(rng))
+                    .collect()
+            })
+            .collect();
+
+        let total_steps = (config.epochs * data.rows()).max(1) as f64;
+        let mut step = 0f64;
+        let mut order: Vec<usize> = (0..data.rows()).collect();
+        for _ in 0..config.epochs {
+            // Shuffled full pass (Fisher–Yates): every row — including
+            // rare outliers — is visited exactly once per epoch, which is
+            // what lets isolated single-point classes claim their own
+            // neurons as the neighbourhood shrinks.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for &row_idx in &order {
+                let x = data.row(row_idx);
+                let t = step / total_steps;
+                let lr = config.lr0 * (1.0 - t).max(0.01);
+                let sigma = (config.sigma0 * (-3.0 * t).exp()).max(0.5);
+                let bmu = bmu_index(&weights, x);
+                let (bx, by) = (bmu % config.width, bmu / config.width);
+                let reach = (3.0 * sigma).ceil() as isize;
+                for dy in -reach..=reach {
+                    for dx in -reach..=reach {
+                        let nx = bx as isize + dx;
+                        let ny = by as isize + dy;
+                        if nx < 0
+                            || ny < 0
+                            || nx >= config.width as isize
+                            || ny >= config.height as isize
+                        {
+                            continue;
+                        }
+                        let grid_d2 = (dx * dx + dy * dy) as f64;
+                        let h = (-grid_d2 / (2.0 * sigma * sigma)).exp();
+                        let idx = ny as usize * config.width + nx as usize;
+                        for (w, &xv) in weights[idx].iter_mut().zip(x) {
+                            *w += lr * h * (xv - *w);
+                        }
+                    }
+                }
+                step += 1.0;
+            }
+        }
+
+        Self {
+            width: config.width,
+            height: config.height,
+            dim,
+            weights,
+        }
+    }
+
+    /// Grid width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Neuron weight vector at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[must_use]
+    pub fn neuron(&self, x: usize, y: usize) -> &[f64] {
+        assert!(x < self.width && y < self.height, "neuron out of range");
+        &self.weights[y * self.width + x]
+    }
+
+    /// Best-matching unit for an input row, as `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    #[must_use]
+    pub fn bmu(&self, row: &[f64]) -> (usize, usize) {
+        assert_eq!(row.len(), self.dim, "row arity mismatch");
+        let idx = bmu_index(&self.weights, row);
+        (idx % self.width, idx / self.width)
+    }
+
+    /// The U-matrix: per neuron, the mean Euclidean distance to its grid
+    /// neighbours (4-neighbourhood). Large values mark cluster boundaries —
+    /// the "darker colors" of Fig. 6(b).
+    #[must_use]
+    pub fn u_matrix(&self) -> Vec<Vec<f64>> {
+        let mut u = vec![vec![0.0; self.width]; self.height];
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let here = self.neuron(x, y);
+                let mut total = 0.0;
+                let mut count = 0;
+                let neighbours: [(isize, isize); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
+                for (dx, dy) in neighbours {
+                    let nx = x as isize + dx;
+                    let ny = y as isize + dy;
+                    if nx < 0 || ny < 0 || nx >= self.width as isize || ny >= self.height as isize
+                    {
+                        continue;
+                    }
+                    total +=
+                        sq_euclidean(here, self.neuron(nx as usize, ny as usize)).sqrt();
+                    count += 1;
+                }
+                u[y][x] = total / count as f64;
+            }
+        }
+        u
+    }
+
+    /// Maps a labelled dataset onto the grid and reports, per class, the
+    /// number of *distinct* neurons its rows activate. The paper reads
+    /// exactly this off Fig. 8: did the small classes keep their own
+    /// territory or were they absorbed?
+    ///
+    /// # Panics
+    /// Panics if the dataset is unlabelled.
+    #[must_use]
+    pub fn class_footprint(&self, data: &Dataset) -> Vec<usize> {
+        let labels = data.labels().expect("class_footprint needs labels");
+        let classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut cells: Vec<std::collections::BTreeSet<usize>> =
+            vec![std::collections::BTreeSet::new(); classes];
+        for (row, &l) in data.iter_rows().zip(labels) {
+            let (x, y) = self.bmu(row);
+            cells[l].insert(y * self.width + x);
+        }
+        cells.iter().map(std::collections::BTreeSet::len).collect()
+    }
+
+    /// Number of classes whose footprint is disjoint from every other
+    /// class's footprint (their BMUs are exclusively theirs) — a scalar
+    /// summary of "distinct classes visible on the map".
+    ///
+    /// # Panics
+    /// Panics if the dataset is unlabelled.
+    #[must_use]
+    pub fn separated_classes(&self, data: &Dataset) -> usize {
+        let labels = data.labels().expect("separated_classes needs labels");
+        let classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut owner: std::collections::BTreeMap<usize, std::collections::BTreeSet<usize>> =
+            std::collections::BTreeMap::new();
+        for (row, &l) in data.iter_rows().zip(labels) {
+            let (x, y) = self.bmu(row);
+            owner.entry(y * self.width + x).or_default().insert(l);
+        }
+        (0..classes)
+            .filter(|&c| {
+                let mut appears = false;
+                for owners in owner.values() {
+                    if owners.contains(&c) {
+                        appears = true;
+                        if owners.len() > 1 {
+                            return false;
+                        }
+                    }
+                }
+                appears
+            })
+            .count()
+    }
+}
+
+fn bmu_index(weights: &[Vec<f64>], x: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, w) in weights.iter().enumerate() {
+        let d = sq_euclidean(w, x);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgame_datasets::synthetic::{GaussianComponent, GmmSpec};
+    use trimgame_numerics::rand_ext::seeded_rng;
+
+    fn blobs(seed: u64) -> Dataset {
+        let spec = GmmSpec::new(vec![
+            GaussianComponent::spherical(vec![-10.0, -10.0], 0.5, 1.0),
+            GaussianComponent::spherical(vec![10.0, 10.0], 0.5, 1.0),
+        ]);
+        spec.generate("blobs", 200, &mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn grid_shape_is_respected() {
+        let data = blobs(1);
+        let som = Som::fit(&data, SomConfig::small(), &mut seeded_rng(2));
+        assert_eq!(som.width(), 6);
+        assert_eq!(som.height(), 6);
+        let _ = som.neuron(5, 5);
+    }
+
+    #[test]
+    fn separated_blobs_map_to_separated_regions() {
+        let data = blobs(3);
+        let som = Som::fit(&data, SomConfig::small(), &mut seeded_rng(4));
+        // BMUs of the two classes should not coincide.
+        let labels = data.labels().unwrap();
+        let mut cells = [std::collections::BTreeSet::new(), std::collections::BTreeSet::new()];
+        for (row, &l) in data.iter_rows().zip(labels) {
+            let (x, y) = som.bmu(row);
+            cells[l].insert((x, y));
+        }
+        assert!(cells[0].is_disjoint(&cells[1]), "class BMU regions overlap");
+        assert_eq!(som.separated_classes(&data), 2);
+    }
+
+    #[test]
+    fn u_matrix_shows_boundary() {
+        let data = blobs(5);
+        let som = Som::fit(&data, SomConfig::small(), &mut seeded_rng(6));
+        let u = som.u_matrix();
+        let mut values: Vec<f64> = u.iter().flatten().copied().collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // A boundary exists: the largest neighbour distance dwarfs the
+        // smallest (interior of a tight cluster).
+        assert!(values[values.len() - 1] > 5.0 * values[0].max(1e-9));
+    }
+
+    #[test]
+    fn class_footprint_counts_distinct_cells() {
+        let data = blobs(7);
+        let som = Som::fit(&data, SomConfig::small(), &mut seeded_rng(8));
+        let fp = som.class_footprint(&data);
+        assert_eq!(fp.len(), 2);
+        assert!(fp[0] >= 1 && fp[1] >= 1);
+    }
+
+    #[test]
+    fn bmu_of_training_point_is_close() {
+        let data = blobs(9);
+        let som = Som::fit(&data, SomConfig::small(), &mut seeded_rng(10));
+        let row = data.row(0);
+        let (x, y) = som.bmu(row);
+        let d = trimgame_numerics::stats::euclidean(som.neuron(x, y), row);
+        assert!(d < 5.0, "BMU distance {d}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = blobs(11);
+        let a = Som::fit(&data, SomConfig::small(), &mut seeded_rng(12));
+        let b = Som::fit(&data, SomConfig::small(), &mut seeded_rng(12));
+        assert_eq!(a.neuron(0, 0), b.neuron(0, 0));
+        assert_eq!(a.u_matrix(), b.u_matrix());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let data = Dataset::new("e", 1, vec![], None, 1);
+        let _ = Som::fit(&data, SomConfig::small(), &mut seeded_rng(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn neuron_bounds_checked() {
+        let data = blobs(13);
+        let som = Som::fit(&data, SomConfig::small(), &mut seeded_rng(14));
+        let _ = som.neuron(6, 0);
+    }
+}

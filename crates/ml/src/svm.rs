@@ -1,0 +1,350 @@
+//! Linear SVM trained with Pegasos, one-vs-rest for multiclass.
+//!
+//! The Fig. 6(a)/Fig. 7 experiments run MATLAB's SVM on the labelled
+//! Control dataset; the standard linear classifier for that task is a
+//! hinge-loss SVM. Pegasos (Shalev-Shwartz et al.) is the classic
+//! primal subgradient solver: at step `t`, with regularization `λ`,
+//! `η_t = 1/(λ t)`, update on a single example, then optionally project
+//! onto the `1/√λ` ball. One-vs-rest reduction handles the six classes.
+
+use rand::Rng;
+use trimgame_datasets::Dataset;
+
+/// Pegasos training configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvmConfig {
+    /// Regularization parameter λ.
+    pub lambda: f64,
+    /// Number of epochs (passes over the data).
+    pub epochs: usize,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 1e-4,
+            epochs: 20,
+        }
+    }
+}
+
+/// A binary linear classifier `sign(w·x + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSvm {
+    w: Vec<f64>,
+    b: f64,
+}
+
+impl LinearSvm {
+    /// Trains a binary SVM on rows with ±1 targets via Pegasos.
+    ///
+    /// # Panics
+    /// Panics if inputs are empty, lengths mismatch, or targets are not ±1.
+    #[must_use]
+    pub fn fit<R: Rng + ?Sized>(
+        rows: &[&[f64]],
+        targets: &[f64],
+        config: SvmConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!rows.is_empty(), "empty training set");
+        assert_eq!(rows.len(), targets.len(), "rows/targets length mismatch");
+        assert!(
+            targets.iter().all(|&y| y == 1.0 || y == -1.0),
+            "targets must be +1/-1"
+        );
+        let dim = rows[0].len();
+        let n = rows.len();
+        let mut w = vec![0.0f64; dim];
+        let mut b = 0.0f64;
+        let mut t: u64 = 0;
+        for _ in 0..config.epochs {
+            for _ in 0..n {
+                t += 1;
+                let i = rng.gen_range(0..n);
+                let x = rows[i];
+                let y = targets[i];
+                let eta = 1.0 / (config.lambda * t as f64);
+                let margin = y * (dot(&w, x) + b);
+                // Subgradient step: shrink w, and add the hinge term when
+                // the margin is violated.
+                let shrink = 1.0 - eta * config.lambda;
+                for wi in &mut w {
+                    *wi *= shrink;
+                }
+                if margin < 1.0 {
+                    for (wi, &xi) in w.iter_mut().zip(x) {
+                        *wi += eta * y * xi;
+                    }
+                    b += eta * y;
+                }
+                // Projection onto the 1/sqrt(lambda) ball.
+                let norm = dot(&w, &w).sqrt();
+                let radius = 1.0 / config.lambda.sqrt();
+                if norm > radius {
+                    let scale = radius / norm;
+                    for wi in &mut w {
+                        *wi *= scale;
+                    }
+                }
+            }
+        }
+        Self { w, b }
+    }
+
+    /// Decision value `w·x + b`.
+    #[must_use]
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        dot(&self.w, x) + self.b
+    }
+
+    /// Predicted class in {−1, +1}.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.decision(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Weight vector.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Bias term.
+    #[must_use]
+    pub fn bias(&self) -> f64 {
+        self.b
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// A one-vs-rest multiclass linear SVM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvmModel {
+    machines: Vec<LinearSvm>,
+    /// Per-feature means/scales used to standardize inputs.
+    mean: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl SvmModel {
+    /// Trains one binary machine per class on a labelled dataset.
+    /// Features are standardized (zero mean, unit variance) internally.
+    ///
+    /// # Panics
+    /// Panics if the dataset is unlabelled or has no rows.
+    #[must_use]
+    pub fn fit<R: Rng + ?Sized>(data: &Dataset, config: SvmConfig, rng: &mut R) -> Self {
+        let labels = data.labels().expect("SvmModel::fit needs labels");
+        assert!(data.rows() > 0, "empty dataset");
+        let classes = labels.iter().copied().max().unwrap() + 1;
+        let dim = data.cols();
+        let n = data.rows();
+
+        // Standardization statistics.
+        let mut mean = vec![0.0; dim];
+        for row in data.iter_rows() {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut var = vec![0.0; dim];
+        for row in data.iter_rows() {
+            for ((s, v), m) in var.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let scale: Vec<f64> = var
+            .iter()
+            .map(|&s| {
+                let sd = (s / n as f64).sqrt();
+                if sd > 1e-12 {
+                    sd
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+
+        let standardized: Vec<Vec<f64>> = data
+            .iter_rows()
+            .map(|row| {
+                row.iter()
+                    .zip(&mean)
+                    .zip(&scale)
+                    .map(|((v, m), s)| (v - m) / s)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = standardized.iter().map(Vec::as_slice).collect();
+
+        let machines = (0..classes)
+            .map(|c| {
+                let targets: Vec<f64> = labels
+                    .iter()
+                    .map(|&l| if l == c { 1.0 } else { -1.0 })
+                    .collect();
+                LinearSvm::fit(&refs, &targets, config, rng)
+            })
+            .collect();
+        Self {
+            machines,
+            mean,
+            scale,
+        }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Predicts the class of a raw (unstandardized) row: argmax of the
+    /// one-vs-rest decision values.
+    #[must_use]
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let x: Vec<f64> = row
+            .iter()
+            .zip(&self.mean)
+            .zip(&self.scale)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect();
+        let mut best = 0;
+        let mut best_v = f64::NEG_INFINITY;
+        for (c, m) in self.machines.iter().enumerate() {
+            let v = m.decision(&x);
+            if v > best_v {
+                best_v = v;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Accuracy over a labelled dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is unlabelled.
+    #[must_use]
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let labels = data.labels().expect("accuracy needs labels");
+        let correct = data
+            .iter_rows()
+            .zip(labels)
+            .filter(|(row, &l)| self.predict(row) == l)
+            .count();
+        correct as f64 / data.rows() as f64
+    }
+
+    /// Predictions for every row of a dataset.
+    #[must_use]
+    pub fn predict_all(&self, data: &Dataset) -> Vec<usize> {
+        data.iter_rows().map(|r| self.predict(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgame_datasets::synthetic::{GaussianComponent, GmmSpec};
+    use trimgame_numerics::rand_ext::seeded_rng;
+
+    fn separable(seed: u64, n: usize) -> Dataset {
+        let spec = GmmSpec::new(vec![
+            GaussianComponent::spherical(vec![-4.0, -4.0], 0.8, 1.0),
+            GaussianComponent::spherical(vec![4.0, 4.0], 0.8, 1.0),
+        ]);
+        spec.generate("sep", n, &mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn binary_svm_separates_blobs() {
+        let data = separable(1, 300);
+        let labels = data.labels().unwrap();
+        let rows: Vec<&[f64]> = data.iter_rows().collect();
+        let targets: Vec<f64> = labels.iter().map(|&l| if l == 1 { 1.0 } else { -1.0 }).collect();
+        let svm = LinearSvm::fit(&rows, &targets, SvmConfig::default(), &mut seeded_rng(2));
+        let correct = rows
+            .iter()
+            .zip(&targets)
+            .filter(|(x, &y)| svm.predict(x) == y)
+            .count();
+        assert!(correct as f64 / rows.len() as f64 > 0.98);
+    }
+
+    #[test]
+    fn multiclass_svm_on_three_blobs() {
+        let spec = GmmSpec::new(vec![
+            GaussianComponent::spherical(vec![-6.0, 0.0], 0.7, 1.0),
+            GaussianComponent::spherical(vec![6.0, 0.0], 0.7, 1.0),
+            GaussianComponent::spherical(vec![0.0, 6.0], 0.7, 1.0),
+        ]);
+        let data = spec.generate("three", 450, &mut seeded_rng(3));
+        let model = SvmModel::fit(&data, SvmConfig::default(), &mut seeded_rng(4));
+        assert_eq!(model.classes(), 3);
+        assert!(model.accuracy(&data) > 0.95, "accuracy {}", model.accuracy(&data));
+    }
+
+    #[test]
+    fn poisoning_reduces_accuracy() {
+        let clean = separable(5, 300);
+        let model_clean = SvmModel::fit(&clean, SvmConfig::default(), &mut seeded_rng(6));
+        let acc_clean = model_clean.accuracy(&clean);
+
+        // Flip-label poison: points of class 1's region labelled 0.
+        let mut dirty = clean.clone();
+        for _ in 0..90 {
+            dirty.push_row(&[4.0, 4.0], Some(0));
+        }
+        let model_dirty = SvmModel::fit(&dirty, SvmConfig::default(), &mut seeded_rng(6));
+        let acc_dirty = model_dirty.accuracy(&clean);
+        assert!(
+            acc_dirty <= acc_clean + 1e-9,
+            "poison should not improve accuracy: clean {acc_clean}, dirty {acc_dirty}"
+        );
+    }
+
+    #[test]
+    fn predict_all_matches_predict() {
+        let data = separable(7, 100);
+        let model = SvmModel::fit(&data, SvmConfig::default(), &mut seeded_rng(8));
+        let all = model.predict_all(&data);
+        for (i, row) in data.iter_rows().enumerate() {
+            assert_eq!(all[i], model.predict(row));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "targets must be")]
+    fn bad_targets_rejected() {
+        let rows: Vec<&[f64]> = vec![&[1.0]];
+        let _ = LinearSvm::fit(&rows, &[0.5], SvmConfig::default(), &mut seeded_rng(0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = separable(9, 100);
+        let a = SvmModel::fit(&data, SvmConfig::default(), &mut seeded_rng(10));
+        let b = SvmModel::fit(&data, SvmConfig::default(), &mut seeded_rng(10));
+        assert_eq!(a.predict_all(&data), b.predict_all(&data));
+    }
+
+    #[test]
+    fn weights_accessible() {
+        let rows: Vec<&[f64]> = vec![&[0.0, 1.0], &[0.0, -1.0]];
+        let svm = LinearSvm::fit(&rows, &[1.0, -1.0], SvmConfig::default(), &mut seeded_rng(11));
+        assert_eq!(svm.weights().len(), 2);
+        let _ = svm.bias();
+    }
+}

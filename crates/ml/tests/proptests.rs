@@ -1,0 +1,128 @@
+//! Property-based tests for the ML substrate.
+
+use proptest::prelude::*;
+use trimgame_datasets::Dataset;
+use trimgame_ml::matching::{align_clusters, hungarian, matched_centroid_distance};
+use trimgame_ml::metrics::ConfusionMatrix;
+use trimgame_ml::{KMeans, KMeansConfig};
+use trimgame_numerics::rand_ext::seeded_rng;
+
+fn square_cost(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0_f64..100.0, n), n)
+}
+
+proptest! {
+    #[test]
+    fn hungarian_is_a_permutation(cost in (2_usize..8).prop_flat_map(square_cost)) {
+        let assign = hungarian(&cost);
+        let mut cols: Vec<usize> = assign.iter().map(|j| j.unwrap()).collect();
+        cols.sort_unstable();
+        for (i, &c) in cols.iter().enumerate() {
+            prop_assert_eq!(c, i, "assignment is not a permutation");
+        }
+    }
+
+    #[test]
+    fn hungarian_beats_identity_and_reverse(cost in (2_usize..7).prop_flat_map(square_cost)) {
+        let n = cost.len();
+        let assign = hungarian(&cost);
+        let optimal: f64 = assign.iter().enumerate().map(|(i, j)| cost[i][j.unwrap()]).sum();
+        let identity: f64 = (0..n).map(|i| cost[i][i]).sum();
+        let reverse: f64 = (0..n).map(|i| cost[i][n - 1 - i]).sum();
+        prop_assert!(optimal <= identity + 1e-9);
+        prop_assert!(optimal <= reverse + 1e-9);
+    }
+
+    #[test]
+    fn matched_distance_is_symmetric(
+        a in prop::collection::vec(prop::collection::vec(-50.0_f64..50.0, 3), 1..6),
+        b in prop::collection::vec(prop::collection::vec(-50.0_f64..50.0, 3), 1..6),
+    ) {
+        let ab = matched_centroid_distance(&a, &b);
+        let ba = matched_centroid_distance(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn matched_distance_zero_iff_same_set(
+        a in prop::collection::vec(prop::collection::vec(-50.0_f64..50.0, 2), 1..6),
+    ) {
+        prop_assert!(matched_centroid_distance(&a, &a) < 1e-9);
+    }
+
+    #[test]
+    fn align_clusters_never_reduces_agreement(
+        labels in prop::collection::vec(0_usize..4, 8..64),
+        perm_seed in 0_usize..24,
+    ) {
+        // Apply a fixed permutation of 4 symbols to produce "predictions".
+        let perms: Vec<Vec<usize>> = {
+            let mut all = Vec::new();
+            let symbols = [0usize, 1, 2, 3];
+            // Generate all 24 permutations of 4 symbols.
+            fn heap(arr: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+                if k == 1 {
+                    out.push(arr.clone());
+                    return;
+                }
+                for i in 0..k {
+                    heap(arr, k - 1, out);
+                    if k % 2 == 0 {
+                        arr.swap(i, k - 1);
+                    } else {
+                        arr.swap(0, k - 1);
+                    }
+                }
+            }
+            let mut arr = symbols.to_vec();
+            heap(&mut arr, 4, &mut all);
+            all
+        };
+        let perm = &perms[perm_seed % perms.len()];
+        let predicted: Vec<usize> = labels.iter().map(|&l| perm[l]).collect();
+        let aligned = align_clusters(&predicted, &labels);
+        // A pure permutation must be perfectly unscrambled.
+        prop_assert_eq!(aligned, labels);
+    }
+
+    #[test]
+    fn confusion_accuracy_in_unit_interval(
+        pairs in prop::collection::vec((0_usize..5, 0_usize..5), 1..100),
+    ) {
+        let actual: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let predicted: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        let cm = ConfusionMatrix::from_predictions(&actual, &predicted, 5);
+        let acc = cm.accuracy();
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert_eq!(cm.total(), pairs.len() as u64);
+    }
+
+    #[test]
+    fn kmeans_sse_non_increasing_in_k(
+        seed in any::<u64>(),
+    ) {
+        let mut rng = seeded_rng(seed);
+        let data: Vec<f64> = (0..60).map(|_| rand::Rng::gen::<f64>(&mut rng) * 100.0).collect();
+        let d = Dataset::new("p", 1, data, None, 1);
+        let sse2 = KMeans::fit(&d, KMeansConfig::new(2), &mut seeded_rng(seed)).sse();
+        let sse6 = KMeans::fit(&d, KMeansConfig::new(6), &mut seeded_rng(seed)).sse();
+        // More clusters cannot fit worse by much (local minima allow tiny
+        // slack).
+        prop_assert!(sse6 <= sse2 * 1.05 + 1e-9, "sse2={sse2} sse6={sse6}");
+    }
+
+    #[test]
+    fn kmeans_assignments_are_valid(seed in any::<u64>(), k in 1_usize..5) {
+        let mut rng = seeded_rng(seed);
+        let data: Vec<f64> = (0..40).map(|_| rand::Rng::gen::<f64>(&mut rng) * 10.0).collect();
+        let d = Dataset::new("p", 1, data, None, 1);
+        let model = KMeans::fit(&d, KMeansConfig::new(k), &mut rng);
+        prop_assert_eq!(model.assignments().len(), 40);
+        for &a in model.assignments() {
+            prop_assert!(a < k);
+        }
+        prop_assert!(model.sse().is_finite());
+        prop_assert!(model.sse() >= 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Greenwald–Khanna ε-approximate streaming quantiles.
+//!
+//! The P² sketch ([`crate::sketch`]) tracks *one* pre-declared quantile in
+//! O(1) space; a collector running the trimming game, however, adjusts
+//! its threshold percentile every round (Tit-for-tat switches between
+//! `T̄` and `T`, Elastic moves continuously), so it needs *any* quantile
+//! of the stream on demand. The GK summary (Greenwald & Khanna, SIGMOD
+//! 2001) answers rank queries within `ε·n` using
+//! `O((1/ε)·log(ε·n))` tuples — the standard database-systems answer.
+//!
+//! Each tuple `(v, g, Δ)` covers a band of ranks: `g` is the gap from the
+//! previous tuple's minimum rank, and `Δ` the extra rank uncertainty. The
+//! invariant `g + Δ ≤ ⌊2εn⌋` is maintained by periodic compression.
+
+/// One GK summary tuple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Tuple {
+    v: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// A Greenwald–Khanna quantile summary with error bound `epsilon`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GkSummary {
+    epsilon: f64,
+    tuples: Vec<Tuple>,
+    n: u64,
+    since_compress: u64,
+}
+
+impl GkSummary {
+    /// Creates a summary with rank error `ε ∈ (0, 0.5)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 0.5`.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 0.5,
+            "GkSummary requires 0 < epsilon < 0.5, got {epsilon}"
+        );
+        Self {
+            epsilon,
+            tuples: Vec::new(),
+            n: 0,
+            since_compress: 0,
+        }
+    }
+
+    /// The configured rank-error bound.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of observations consumed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of summary tuples currently held (the space cost).
+    #[must_use]
+    pub fn tuples_len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Inserts one observation.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    pub fn insert(&mut self, v: f64) {
+        assert!(!v.is_nan(), "GkSummary cannot ingest NaN");
+        let cap = (2.0 * self.epsilon * self.n as f64).floor() as u64;
+        // Find insertion position (first tuple with value >= v).
+        let pos = self.tuples.partition_point(|t| t.v < v);
+        let delta = if pos == 0 || pos == self.tuples.len() {
+            // New minimum or maximum: exact rank.
+            0
+        } else {
+            cap.saturating_sub(1)
+        };
+        self.tuples.insert(pos, Tuple { v, g: 1, delta });
+        self.n += 1;
+        self.since_compress += 1;
+        // Compress every ~1/(2ε) insertions (standard schedule).
+        if self.since_compress as f64 >= 1.0 / (2.0 * self.epsilon) {
+            self.compress();
+            self.since_compress = 0;
+        }
+    }
+
+    /// Merges adjacent tuples whose combined band still satisfies the
+    /// invariant `g_i + g_{i+1} + Δ_{i+1} ≤ ⌊2εn⌋`.
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let cap = (2.0 * self.epsilon * self.n as f64).floor() as u64;
+        let mut out: Vec<Tuple> = Vec::with_capacity(self.tuples.len());
+        out.push(self.tuples[0]);
+        for &t in &self.tuples[1..] {
+            let len = out.len();
+            let last = out.last_mut().expect("non-empty");
+            // Keep the first tuple intact (exact minimum). Merging folds
+            // the predecessor INTO the successor, so the maximum value is
+            // always preserved as the last tuple's value.
+            if len > 1 && last.g + t.g + t.delta <= cap {
+                let merged = Tuple {
+                    v: t.v,
+                    g: last.g + t.g,
+                    delta: t.delta,
+                };
+                *last = merged;
+            } else {
+                out.push(t);
+            }
+        }
+        self.tuples = out;
+    }
+
+    /// Queries the value at quantile `q ∈ [0, 1]` (rank error ≤ `ε·n`).
+    /// Returns `None` before any observation.
+    ///
+    /// # Panics
+    /// Panics unless `q ∈ [0, 1]`.
+    #[must_use]
+    pub fn query(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} not in [0,1]");
+        if self.tuples.is_empty() {
+            return None;
+        }
+        let target = (q * self.n as f64).ceil() as u64;
+        let bound = (self.epsilon * self.n as f64) as u64;
+        let mut rank_min = 0u64;
+        for (i, t) in self.tuples.iter().enumerate() {
+            rank_min += t.g;
+            let rank_max = rank_min + t.delta;
+            if target <= rank_max + bound || i == self.tuples.len() - 1 {
+                if rank_max >= target.saturating_sub(bound) {
+                    return Some(t.v);
+                }
+            }
+        }
+        self.tuples.last().map(|t| t.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::{percentile, Interpolation};
+    use crate::rand_ext::{seeded_rng, standard_normal};
+    use rand::Rng;
+
+    #[test]
+    fn empty_summary_returns_none() {
+        let s = GkSummary::new(0.01);
+        assert_eq!(s.query(0.5), None);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < epsilon < 0.5")]
+    fn bad_epsilon_rejected() {
+        let _ = GkSummary::new(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let mut s = GkSummary::new(0.01);
+        s.insert(f64::NAN);
+    }
+
+    #[test]
+    fn rank_error_within_epsilon_uniform() {
+        let eps = 0.01;
+        let n = 50_000usize;
+        let mut rng = seeded_rng(1);
+        let mut s = GkSummary::new(eps);
+        let mut all = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            s.insert(x);
+            all.push(x);
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let est = s.query(q).unwrap();
+            // True rank of the estimate must be within 2*eps*n of target.
+            let rank = all.partition_point(|&v| v < est) as f64 / n as f64;
+            assert!(
+                (rank - q).abs() <= 2.0 * eps + 1e-9,
+                "q={q}: rank {rank} too far"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_error_within_epsilon_gaussian() {
+        let eps = 0.005;
+        let n = 100_000usize;
+        let mut rng = seeded_rng(2);
+        let mut s = GkSummary::new(eps);
+        let mut all = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            s.insert(x);
+            all.push(x);
+        }
+        let exact = percentile(&all, 0.99, Interpolation::Linear);
+        let est = s.query(0.99).unwrap();
+        assert!((est - exact).abs() < 0.1, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let eps = 0.01;
+        let mut rng = seeded_rng(3);
+        let mut s = GkSummary::new(eps);
+        for _ in 0..100_000 {
+            s.insert(rng.gen::<f64>());
+        }
+        // O((1/eps) log(eps n)) ~ 100 * log(1000) ~ 700; assert well below
+        // the raw stream size.
+        assert!(
+            s.tuples_len() < 4_000,
+            "summary too large: {} tuples",
+            s.tuples_len()
+        );
+    }
+
+    #[test]
+    fn min_and_max_are_exact() {
+        let mut s = GkSummary::new(0.05);
+        let values = [5.0, -2.0, 9.0, 0.5, 7.5, -1.0, 3.3];
+        for &v in &values {
+            s.insert(v);
+        }
+        assert_eq!(s.query(0.0), Some(-2.0));
+        assert_eq!(s.query(1.0), Some(9.0));
+    }
+
+    #[test]
+    fn sorted_and_reversed_streams_agree() {
+        let eps = 0.02;
+        let n = 20_000;
+        let mut asc = GkSummary::new(eps);
+        let mut desc = GkSummary::new(eps);
+        for i in 0..n {
+            asc.insert(f64::from(i));
+            desc.insert(f64::from(n - 1 - i));
+        }
+        for &q in &[0.1, 0.5, 0.9] {
+            let a = asc.query(q).unwrap();
+            let d = desc.query(q).unwrap();
+            let target = q * f64::from(n);
+            assert!((a - target).abs() <= 2.0 * eps * f64::from(n) + 1.0, "asc q={q}: {a}");
+            assert!((d - target).abs() <= 2.0 * eps * f64::from(n) + 1.0, "desc q={q}: {d}");
+        }
+    }
+
+    #[test]
+    fn supports_on_demand_threshold_changes() {
+        // The collection-game use case: one summary, many different
+        // percentile queries as the strategy moves its threshold.
+        let mut rng = seeded_rng(4);
+        let mut s = GkSummary::new(0.01);
+        let mut all = Vec::new();
+        for _ in 0..30_000 {
+            let x = rng.gen::<f64>() * 100.0;
+            s.insert(x);
+            all.push(x);
+        }
+        for &t in &[0.87, 0.873, 0.89, 0.90, 0.91, 0.95] {
+            let est = s.query(t).unwrap();
+            let exact = percentile(&all, t, Interpolation::Linear);
+            assert!((est - exact).abs() < 2.5, "t={t}: {est} vs {exact}");
+        }
+    }
+}

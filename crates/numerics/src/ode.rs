@@ -1,0 +1,242 @@
+//! Fixed-step RK4 integration of second-order systems.
+//!
+//! The Euler–Lagrange equation (Lemma 2) is a set of second-order ODEs in
+//! the round index `r`. This integrator evolves `(q, q̇)` given the
+//! accelerations, producing the trajectories against which we verify the
+//! analytical results (constant velocity at equilibrium, Theorem 1;
+//! periodic oscillation off equilibrium, Theorem 4).
+
+use crate::lagrangian::{CoupledOscillatorLagrangian, FreeLagrangian};
+
+/// A second-order system `q̈ = f(r, q, q̇)`.
+pub trait SecondOrderSystem {
+    /// Number of coordinates.
+    fn dof(&self) -> usize;
+
+    /// Writes the accelerations at `(r, q, q̇)` into `out`.
+    fn accel(&self, r: f64, q: &[f64], qdot: &[f64], out: &mut [f64]);
+}
+
+impl SecondOrderSystem for CoupledOscillatorLagrangian {
+    fn dof(&self) -> usize {
+        2
+    }
+
+    fn accel(&self, _r: f64, q: &[f64], _qdot: &[f64], out: &mut [f64]) {
+        let (aa, ac) = self.accelerations(q);
+        out[0] = aa;
+        out[1] = ac;
+    }
+}
+
+impl SecondOrderSystem for FreeLagrangian {
+    fn dof(&self) -> usize {
+        self.masses().len()
+    }
+
+    fn accel(&self, _r: f64, _q: &[f64], _qdot: &[f64], out: &mut [f64]) {
+        out.fill(0.0);
+    }
+}
+
+/// A sampled trajectory of a second-order system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// Sample times (round indices).
+    pub r: Vec<f64>,
+    /// Positions at each sample, one `Vec` per sample.
+    pub q: Vec<Vec<f64>>,
+    /// Velocities at each sample.
+    pub qdot: Vec<Vec<f64>>,
+}
+
+impl Trajectory {
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.r.len()
+    }
+
+    /// True if the trajectory has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.r.is_empty()
+    }
+
+    /// Step size between consecutive samples (assumes uniform sampling).
+    ///
+    /// # Panics
+    /// Panics on trajectories with fewer than two samples.
+    #[must_use]
+    pub fn step(&self) -> f64 {
+        assert!(self.r.len() >= 2, "step() needs at least two samples");
+        self.r[1] - self.r[0]
+    }
+
+    /// Extracts the time series of coordinate `i`.
+    #[must_use]
+    pub fn coordinate(&self, i: usize) -> Vec<f64> {
+        self.q.iter().map(|q| q[i]).collect()
+    }
+}
+
+/// One RK4 step of size `h` for a second-order system, updating `(q, q̇)`
+/// in place.
+pub fn rk4_step<S: SecondOrderSystem>(sys: &S, r: f64, q: &mut [f64], qdot: &mut [f64], h: f64) {
+    let n = sys.dof();
+    debug_assert_eq!(q.len(), n);
+    debug_assert_eq!(qdot.len(), n);
+
+    let mut a1 = vec![0.0; n];
+    let mut a2 = vec![0.0; n];
+    let mut a3 = vec![0.0; n];
+    let mut a4 = vec![0.0; n];
+    let mut qt = vec![0.0; n];
+    let mut vt = vec![0.0; n];
+
+    // k1
+    sys.accel(r, q, qdot, &mut a1);
+    // k2 at r + h/2
+    for i in 0..n {
+        qt[i] = q[i] + 0.5 * h * qdot[i];
+        vt[i] = qdot[i] + 0.5 * h * a1[i];
+    }
+    sys.accel(r + 0.5 * h, &qt, &vt, &mut a2);
+    // k3 at r + h/2: position argument advances along the k2 velocity stage.
+    for i in 0..n {
+        qt[i] = q[i] + 0.5 * h * (qdot[i] + 0.5 * h * a1[i]);
+        vt[i] = qdot[i] + 0.5 * h * a2[i];
+    }
+    sys.accel(r + 0.5 * h, &qt, &vt, &mut a3);
+    // k4 at r + h: position argument advances along the k3 velocity stage.
+    for i in 0..n {
+        qt[i] = q[i] + h * (qdot[i] + 0.5 * h * a2[i]);
+        vt[i] = qdot[i] + h * a3[i];
+    }
+    sys.accel(r + h, &qt, &vt, &mut a4);
+
+    // Combine. Position uses velocity stages; velocity uses acceleration
+    // stages (standard RK4 on the first-order system y = (q, qdot)).
+    for i in 0..n {
+        let k1q = qdot[i];
+        let k2q = qdot[i] + 0.5 * h * a1[i];
+        let k3q = qdot[i] + 0.5 * h * a2[i];
+        let k4q = qdot[i] + h * a3[i];
+        q[i] += h / 6.0 * (k1q + 2.0 * k2q + 2.0 * k3q + k4q);
+        qdot[i] += h / 6.0 * (a1[i] + 2.0 * a2[i] + 2.0 * a3[i] + a4[i]);
+    }
+}
+
+/// Integrates from `r0` with initial state `(q0, v0)` for `steps` steps of
+/// size `h`, recording every sample (including the initial one).
+///
+/// # Panics
+/// Panics if the state dimensions do not match `sys.dof()` or `h <= 0`.
+#[must_use]
+pub fn rk4_integrate<S: SecondOrderSystem>(
+    sys: &S,
+    r0: f64,
+    q0: &[f64],
+    v0: &[f64],
+    h: f64,
+    steps: usize,
+) -> Trajectory {
+    assert_eq!(q0.len(), sys.dof(), "q0 dimension mismatch");
+    assert_eq!(v0.len(), sys.dof(), "v0 dimension mismatch");
+    assert!(h > 0.0, "step size must be positive");
+
+    let mut q = q0.to_vec();
+    let mut v = v0.to_vec();
+    let mut traj = Trajectory {
+        r: Vec::with_capacity(steps + 1),
+        q: Vec::with_capacity(steps + 1),
+        qdot: Vec::with_capacity(steps + 1),
+    };
+    traj.r.push(r0);
+    traj.q.push(q.clone());
+    traj.qdot.push(v.clone());
+    let mut r = r0;
+    for _ in 0..steps {
+        rk4_step(sys, r, &mut q, &mut v, h);
+        r += h;
+        traj.r.push(r);
+        traj.q.push(q.clone());
+        traj.qdot.push(v.clone());
+    }
+    traj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lagrangian::{CoupledOscillatorLagrangian, FreeLagrangian};
+
+    #[test]
+    fn free_system_has_constant_velocity() {
+        let sys = FreeLagrangian::new(vec![1.0, 2.0]);
+        let traj = rk4_integrate(&sys, 0.0, &[0.0, 1.0], &[0.5, -0.25], 0.1, 100);
+        for sample in &traj.qdot {
+            assert!((sample[0] - 0.5).abs() < 1e-12);
+            assert!((sample[1] + 0.25).abs() < 1e-12);
+        }
+        // Positions grow linearly: q(10) = q0 + v * 10.
+        let last = traj.q.last().unwrap();
+        assert!((last[0] - 5.0).abs() < 1e-9);
+        assert!((last[1] - (1.0 - 2.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oscillator_energy_is_conserved() {
+        let sys = CoupledOscillatorLagrangian::new(1.0, 2.0, 3.0);
+        let traj = rk4_integrate(&sys, 0.0, &[1.0, 0.0], &[0.0, 0.0], 0.01, 5_000);
+        let e0 = sys.energy(&traj.q[0], &traj.qdot[0]);
+        for (q, v) in traj.q.iter().zip(&traj.qdot) {
+            let e = sys.energy(q, v);
+            assert!((e - e0).abs() < 1e-6 * e0.max(1.0), "energy drift: {e} vs {e0}");
+        }
+    }
+
+    #[test]
+    fn oscillator_matches_single_dof_closed_form() {
+        // Equal masses, symmetric start: w = ua - uc obeys w'' = -(2k/m) w.
+        let (m, k) = (1.0, 4.0);
+        let sys = CoupledOscillatorLagrangian::new(m, m, k);
+        let w0 = 2.0;
+        let traj = rk4_integrate(&sys, 0.0, &[w0 / 2.0, -w0 / 2.0], &[0.0, 0.0], 0.001, 10_000);
+        let omega = (2.0 * k / m).sqrt();
+        for (idx, q) in traj.q.iter().enumerate() {
+            let r = traj.r[idx];
+            let w = q[0] - q[1];
+            let expected = w0 * (omega * r).cos();
+            assert!(
+                (w - expected).abs() < 1e-5,
+                "at r={r}: w={w}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_helpers() {
+        let sys = FreeLagrangian::new(vec![1.0]);
+        let traj = rk4_integrate(&sys, 0.0, &[0.0], &[1.0], 0.5, 4);
+        assert_eq!(traj.len(), 5);
+        assert!(!traj.is_empty());
+        assert!((traj.step() - 0.5).abs() < 1e-12);
+        let c = traj.coordinate(0);
+        assert!((c[4] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let sys = FreeLagrangian::new(vec![1.0, 1.0]);
+        let _ = rk4_integrate(&sys, 0.0, &[0.0], &[0.0], 0.1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_step_panics() {
+        let sys = FreeLagrangian::new(vec![1.0]);
+        let _ = rk4_integrate(&sys, 0.0, &[0.0], &[0.0], 0.0, 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! Scalar root finding.
+//!
+//! Section III-B defines the balance point `x_L` by `P(x_L) = T(x_L)` — the
+//! position where the loss from accepted poison equals the trimming
+//! overhead. Solving it means finding a root of `P − T` over the input
+//! domain, for arbitrary user-supplied payoff curves; [`brent`] is the
+//! workhorse and [`bisect`] the simple fallback.
+
+/// Error raised by the root finders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RootError {
+    /// `f(a)` and `f(b)` have the same sign, so no root is bracketed.
+    NotBracketed {
+        /// Function value at the left endpoint.
+        fa: f64,
+        /// Function value at the right endpoint.
+        fb: f64,
+    },
+    /// The iteration budget was exhausted before reaching the tolerance.
+    MaxIterations {
+        /// Best estimate of the root when the budget ran out.
+        best: f64,
+    },
+    /// An endpoint or function value was NaN.
+    NotFinite,
+}
+
+impl std::fmt::Display for RootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RootError::NotBracketed { fa, fb } => {
+                write!(f, "root not bracketed: f(a)={fa}, f(b)={fb}")
+            }
+            RootError::MaxIterations { best } => {
+                write!(f, "max iterations exceeded; best estimate {best}")
+            }
+            RootError::NotFinite => write!(f, "non-finite endpoint or function value"),
+        }
+    }
+}
+
+impl std::error::Error for RootError {}
+
+const MAX_ITER: usize = 200;
+
+/// Bisection on `[a, b]`. Requires `f(a)` and `f(b)` to have opposite signs.
+///
+/// Converges linearly; guaranteed as long as `f` is continuous.
+pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result<f64, RootError> {
+    if !(a.is_finite() && b.is_finite()) {
+        return Err(RootError::NotFinite);
+    }
+    let (mut lo, mut hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if !(flo.is_finite() && fhi.is_finite()) {
+        return Err(RootError::NotFinite);
+    }
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(RootError::NotBracketed { fa: flo, fb: fhi });
+    }
+    for _ in 0..MAX_ITER {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if !fmid.is_finite() {
+            return Err(RootError::NotFinite);
+        }
+        if fmid == 0.0 || (hi - lo) / 2.0 < tol {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(RootError::MaxIterations { best: 0.5 * (lo + hi) })
+}
+
+/// Brent's method on `[a, b]`: inverse quadratic interpolation with a
+/// bisection safeguard. Requires a sign change between the endpoints.
+pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result<f64, RootError> {
+    if !(a.is_finite() && b.is_finite()) {
+        return Err(RootError::NotFinite);
+    }
+    let (mut a, mut b) = (a, b);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if !(fa.is_finite() && fb.is_finite()) {
+        return Err(RootError::NotFinite);
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(RootError::NotBracketed { fa, fb });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+
+    for _ in 0..MAX_ITER {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let between = {
+            let lo = (3.0 * a + b) / 4.0;
+            let (lo, hi) = if lo < b { (lo, b) } else { (b, lo) };
+            s > lo && s < hi
+        };
+        let cond = !between
+            || (mflag && (s - b).abs() >= (b - c).abs() / 2.0)
+            || (!mflag && (s - b).abs() >= (c - d).abs() / 2.0)
+            || (mflag && (b - c).abs() < tol)
+            || (!mflag && (c - d).abs() < tol);
+        if cond {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        if !fs.is_finite() {
+            return Err(RootError::NotFinite);
+        }
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(RootError::MaxIterations { best: b })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_sqrt2() {
+        let root = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-14).unwrap();
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_cos_root() {
+        let root = brent(f64::cos, 0.0, 3.0, 1e-14).unwrap();
+        assert!((root - std::f64::consts::FRAC_PI_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn unbracketed_root_is_rejected() {
+        let err = brent(|x| x * x + 1.0, -1.0, 1.0, 1e-12).unwrap_err();
+        assert!(matches!(err, RootError::NotBracketed { .. }));
+        let err = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12).unwrap_err();
+        assert!(matches!(err, RootError::NotBracketed { .. }));
+    }
+
+    #[test]
+    fn endpoint_roots_returned_immediately() {
+        assert_eq!(brent(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn non_finite_endpoints_rejected() {
+        assert_eq!(brent(|x| x, f64::NAN, 1.0, 1e-9).unwrap_err(), RootError::NotFinite);
+        assert_eq!(bisect(|x| x, 0.0, f64::INFINITY, 1e-9).unwrap_err(), RootError::NotFinite);
+    }
+
+    #[test]
+    fn brent_handles_reversed_interval_signs() {
+        // Root of a decreasing function.
+        let root = brent(|x| 1.0 - x, 0.0, 5.0, 1e-14).unwrap();
+        assert!((root - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn balance_point_style_problem() {
+        // Poison loss grows with x, trimming overhead shrinks with x;
+        // balance point solves p(x) = t(x) as in Section III-B.
+        let poison = |x: f64| 0.8 * x;
+        let overhead = |x: f64| (1.0 - x).powi(2);
+        let xl = brent(|x| poison(x) - overhead(x), 0.0, 1.0, 1e-14).unwrap();
+        assert!((poison(xl) - overhead(xl)).abs() < 1e-10);
+        assert!(xl > 0.0 && xl < 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = RootError::NotBracketed { fa: 1.0, fb: 2.0 };
+        assert!(e.to_string().contains("not bracketed"));
+        let e = RootError::MaxIterations { best: 0.5 };
+        assert!(e.to_string().contains("max iterations"));
+        assert!(RootError::NotFinite.to_string().contains("non-finite"));
+    }
+}

@@ -1,0 +1,252 @@
+//! P² (piecewise-parabolic) streaming quantile estimation.
+//!
+//! The infinite collection game of Fig. 3 is a streaming process: the
+//! collector must know "the `T_th` percentile of the data seen so far"
+//! without buffering every round. The P² algorithm (Jain & Chlamtac, 1985)
+//! maintains a single quantile with five markers in O(1) memory and O(1)
+//! time per observation, which is the classic database-systems answer to
+//! this problem. The [`crate::quantile`] module provides the exact
+//! (buffered) alternative; the `ablate-sketch` experiment quantifies the
+//! threshold error the sketch introduces.
+
+/// Streaming estimator of a single quantile via the P² algorithm.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimated values).
+    q: [f64; 5],
+    /// Marker positions (1-based ranks), kept as f64 per the original paper.
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired position increments per observation.
+    dn: [f64; 5],
+    /// Number of observations seen.
+    count: usize,
+    /// Initial buffer until five observations have been seen.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p < 1`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "P2Quantile requires 0 < p < 1, got {p}");
+        Self {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// The target quantile probability.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations consumed.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn insert(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            self.init.push(x);
+            if self.count == 5 {
+                self.init
+                    .sort_by(|a, b| a.partial_cmp(b).expect("P2Quantile: NaN observation"));
+                for i in 0..5 {
+                    self.q[i] = self.init[i];
+                }
+            }
+            return;
+        }
+
+        // Locate the cell containing x and update extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x < self.q[1] {
+            0
+        } else if x < self.q[2] {
+            1
+        } else if x < self.q[3] {
+            2
+        } else if x <= self.q[4] {
+            3
+        } else {
+            self.q[4] = x;
+            3
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust the three interior markers if they drifted off their
+        // desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            let right_gap = self.n[i + 1] - self.n[i];
+            let left_gap = self.n[i - 1] - self.n[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < candidate && candidate < self.q[i + 1] {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate of the quantile. Returns `None` before any
+    /// observation; with fewer than five observations, falls back to the
+    /// exact small-sample quantile.
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut buf = self.init.clone();
+            buf.sort_by(|a, b| a.partial_cmp(b).expect("P2Quantile: NaN observation"));
+            return Some(crate::quantile::percentile_sorted(
+                &buf,
+                self.p,
+                crate::quantile::Interpolation::Linear,
+            ));
+        }
+        Some(self.q[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::{percentile, Interpolation};
+    use crate::rand_ext::seeded_rng;
+    use rand::Rng;
+
+    #[test]
+    fn empty_has_no_estimate() {
+        let sketch = P2Quantile::new(0.5);
+        assert_eq!(sketch.estimate(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < p < 1")]
+    fn rejects_degenerate_probability() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut sketch = P2Quantile::new(0.5);
+        sketch.insert(3.0);
+        sketch.insert(1.0);
+        sketch.insert(2.0);
+        assert!((sketch.estimate().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut rng = seeded_rng(42);
+        let mut sketch = P2Quantile::new(0.5);
+        let mut all = Vec::new();
+        for _ in 0..20_000 {
+            let x: f64 = rng.gen();
+            sketch.insert(x);
+            all.push(x);
+        }
+        let exact = percentile(&all, 0.5, Interpolation::Linear);
+        let est = sketch.estimate().unwrap();
+        assert!(
+            (est - exact).abs() < 0.01,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn tail_quantile_of_gaussian_stream() {
+        let mut rng = seeded_rng(7);
+        let mut sketch = P2Quantile::new(0.99);
+        let mut all = Vec::new();
+        for _ in 0..50_000 {
+            let x = crate::rand_ext::standard_normal(&mut rng);
+            sketch.insert(x);
+            all.push(x);
+        }
+        let exact = percentile(&all, 0.99, Interpolation::Linear);
+        let est = sketch.estimate().unwrap();
+        // The 99th percentile of N(0,1) is ~2.326; allow a generous
+        // absolute error for the five-marker sketch.
+        assert!(
+            (est - exact).abs() < 0.12,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn markers_stay_ordered() {
+        let mut rng = seeded_rng(123);
+        let mut sketch = P2Quantile::new(0.9);
+        for _ in 0..5_000 {
+            sketch.insert(rng.gen::<f64>() * 100.0);
+            if sketch.count() >= 5 {
+                for i in 0..4 {
+                    assert!(
+                        sketch.q[i] <= sketch.q[i + 1] + 1e-9,
+                        "markers out of order at n={}",
+                        sketch.count()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_within_observed_range() {
+        let mut rng = seeded_rng(5);
+        let mut sketch = P2Quantile::new(0.25);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..1_000 {
+            let x = rng.gen::<f64>() * 10.0 - 5.0;
+            lo = lo.min(x);
+            hi = hi.max(x);
+            sketch.insert(x);
+        }
+        let est = sketch.estimate().unwrap();
+        assert!(est >= lo && est <= hi);
+    }
+}

@@ -1,0 +1,355 @@
+//! Descriptive statistics used across the workspace.
+//!
+//! The evaluation section of the paper reports SSE (sum of squared errors,
+//! Fig. 4/5), Euclidean centroid distance (Fig. 4/5) and MSE (Fig. 9). These
+//! helpers implement those metrics plus the usual moments. [`OnlineStats`]
+//! is a Welford accumulator so round-wise collectors can track data quality
+//! without buffering values.
+
+/// Arithmetic mean of a slice. Returns `0.0` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (dividing by `n`). Returns `0.0` for fewer than two
+/// elements.
+#[must_use]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (dividing by `n - 1`). Returns `0.0` for fewer
+/// than two elements.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let ss = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Sum of squared errors between observations and predictions,
+/// `SSE = Σ (y_i − ŷ_i)²` (the Fig. 4/5 y-axis metric).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn sse(observed: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(
+        observed.len(),
+        predicted.len(),
+        "sse: length mismatch ({} vs {})",
+        observed.len(),
+        predicted.len()
+    );
+    observed
+        .iter()
+        .zip(predicted)
+        .map(|(y, yhat)| (y - yhat) * (y - yhat))
+        .sum()
+}
+
+/// Mean squared error (the Fig. 9 y-axis metric). Returns `0.0` for empty
+/// input.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn mse(observed: &[f64], predicted: &[f64]) -> f64 {
+    if observed.is_empty() {
+        return 0.0;
+    }
+    sse(observed, predicted) / observed.len() as f64
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sq_euclidean: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two equal-length vectors.
+#[must_use]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    sq_euclidean(a, b).sqrt()
+}
+
+/// Minimum of a slice ignoring NaNs. Returns `None` on empty input or if all
+/// entries are NaN.
+#[must_use]
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| {
+        Some(match acc {
+            Some(m) if m <= x => m,
+            _ => x,
+        })
+    })
+}
+
+/// Maximum of a slice ignoring NaNs. Returns `None` on empty input or if all
+/// entries are NaN.
+#[must_use]
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| {
+        Some(match acc {
+            Some(m) if m >= x => m,
+            _ => x,
+        })
+    })
+}
+
+/// Numerically stable streaming moments (Welford's algorithm).
+///
+/// Used by the collector to keep per-round quality statistics without
+/// retaining raw values, mirroring the "public board" which records only
+/// retained data summaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Feeds every value of a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (`0.0` before any observation).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Running population variance (`0.0` before two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Running sample variance (`0.0` before two observations).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Smallest observation (`None` before any observation).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` before any observation).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_simple() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_constant_is_zero() {
+        assert_eq!(variance(&[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // Population variance of [2, 4, 4, 4, 5, 5, 7, 9] is 4.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_matches_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let m = mean(&xs);
+        let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+        assert!((std_dev(&xs) - (ss / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sse_zero_for_identical() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(sse(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn sse_known_value() {
+        assert!((sse(&[1.0, 2.0], &[0.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_is_sse_over_n() {
+        assert!((mse(&[1.0, 2.0], &[0.0, 4.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_empty_is_zero() {
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sse_panics_on_mismatch() {
+        let _ = sse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn euclidean_345() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let xs = [f64::NAN, 2.0, -1.0, f64::NAN, 7.0];
+        assert_eq!(min(&xs), Some(-1.0));
+        assert_eq!(max(&xs), Some(7.0));
+    }
+
+    #[test]
+    fn min_max_empty() {
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+    }
+
+    #[test]
+    fn online_stats_matches_batch() {
+        let xs = [0.3, -1.2, 4.5, 2.2, 0.0, -0.7, 9.1];
+        let mut acc = OnlineStats::new();
+        acc.extend(&xs);
+        assert_eq!(acc.count(), xs.len() as u64);
+        assert!((acc.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((acc.variance() - variance(&xs)).abs() < 1e-12);
+        assert_eq!(acc.min(), Some(-1.2));
+        assert_eq!(acc.max(), Some(9.1));
+    }
+
+    #[test]
+    fn online_stats_merge_matches_single_pass() {
+        let xs = [0.3, -1.2, 4.5, 2.2];
+        let ys = [0.0, -0.7, 9.1];
+        let mut a = OnlineStats::new();
+        a.extend(&xs);
+        let mut b = OnlineStats::new();
+        b.extend(&ys);
+        a.merge(&b);
+
+        let mut all = OnlineStats::new();
+        all.extend(&xs);
+        all.extend(&ys);
+
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_stats_merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.extend(&[1.0, 2.0]);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+}

@@ -1,0 +1,226 @@
+//! Discrete variational machinery: action functionals and Euler–Lagrange
+//! residuals.
+//!
+//! Axiom 1 of the paper states that the infinite collection game follows
+//! the least action principle `δS = δ∫L dr = 0` (Eq. 3), and Lemma 2 gives
+//! the corresponding Euler–Lagrange equations (Eq. 4). This module makes
+//! those statements *testable*:
+//!
+//! * [`discrete_action`] evaluates `S ≈ Σ L(q_i, (q_{i+1}−q_i)/h, r_i)·h`
+//!   along a sampled path;
+//! * [`euler_lagrange_residual`] computes
+//!   `∂L/∂q_i − d/dr (∂L/∂q̇_i)` along a trajectory by finite differences —
+//!   near zero exactly when the trajectory satisfies the equations of
+//!   motion;
+//! * [`action_of_perturbed`] perturbs a path with endpoints fixed, so tests
+//!   can confirm that true trajectories are stationary (indeed minimal for
+//!   the kinetic-dominated Lagrangians used here).
+
+use crate::lagrangian::Lagrangian;
+use crate::ode::Trajectory;
+use rand::Rng;
+
+/// Discrete action of a uniformly sampled path.
+///
+/// `path[i]` is the coordinate vector at `r0 + i·h`; velocities are forward
+/// differences, so the last sample contributes no term (rectangle rule over
+/// the `len − 1` intervals).
+///
+/// # Panics
+/// Panics if the path has fewer than two samples or `h <= 0`.
+#[must_use]
+pub fn discrete_action<L: Lagrangian>(lag: &L, path: &[Vec<f64>], r0: f64, h: f64) -> f64 {
+    assert!(path.len() >= 2, "action needs at least two samples");
+    assert!(h > 0.0, "step must be positive");
+    let dof = lag.dof();
+    let mut qdot = vec![0.0; dof];
+    let mut action = 0.0;
+    for i in 0..path.len() - 1 {
+        debug_assert_eq!(path[i].len(), dof);
+        for d in 0..dof {
+            qdot[d] = (path[i + 1][d] - path[i][d]) / h;
+        }
+        action += lag.eval(&path[i], &qdot, r0 + i as f64 * h) * h;
+    }
+    action
+}
+
+/// Euler–Lagrange residuals `∂L/∂q_i − d/dr(∂L/∂q̇_i)` along a trajectory.
+///
+/// Returns one vector per interior sample (the first and last samples are
+/// skipped because `d/dr` is taken by central differences). A trajectory
+/// satisfies the equations of motion iff all residuals vanish.
+#[must_use]
+pub fn euler_lagrange_residual<L: Lagrangian>(lag: &L, traj: &Trajectory) -> Vec<Vec<f64>> {
+    let n = traj.len();
+    if n < 3 {
+        return Vec::new();
+    }
+    let h = traj.step();
+    let dof = lag.dof();
+    let mut out = Vec::with_capacity(n - 2);
+    for i in 1..n - 1 {
+        let mut res = vec![0.0; dof];
+        for d in 0..dof {
+            let dl_dq = lag.dl_dq(&traj.q[i], &traj.qdot[i], traj.r[i], d);
+            let p_next = lag.dl_dqdot(&traj.q[i + 1], &traj.qdot[i + 1], traj.r[i + 1], d);
+            let p_prev = lag.dl_dqdot(&traj.q[i - 1], &traj.qdot[i - 1], traj.r[i - 1], d);
+            let dp_dr = (p_next - p_prev) / (2.0 * h);
+            res[d] = dl_dq - dp_dr;
+        }
+        out.push(res);
+    }
+    out
+}
+
+/// Largest absolute Euler–Lagrange residual along a trajectory — a single
+/// figure of merit for "does this trajectory obey the equations of motion".
+#[must_use]
+pub fn max_residual<L: Lagrangian>(lag: &L, traj: &Trajectory) -> f64 {
+    euler_lagrange_residual(lag, traj)
+        .iter()
+        .flat_map(|v| v.iter().map(|x| x.abs()))
+        .fold(0.0, f64::max)
+}
+
+/// Action of a path after adding a smooth random perturbation that vanishes
+/// at both endpoints (the admissible variations of Eq. 1).
+///
+/// The perturbation for coordinate `d` is
+/// `amp · ξ_d · sin(π i / (n−1))`, with `ξ_d` drawn uniformly from
+/// `[−1, 1]`. Returns `(perturbed_action, perturbed_path)`.
+pub fn action_of_perturbed<L: Lagrangian, R: Rng + ?Sized>(
+    lag: &L,
+    path: &[Vec<f64>],
+    r0: f64,
+    h: f64,
+    amp: f64,
+    rng: &mut R,
+) -> (f64, Vec<Vec<f64>>) {
+    let n = path.len();
+    let dof = lag.dof();
+    let xi: Vec<f64> = (0..dof).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+    let mut perturbed = path.to_vec();
+    for (i, q) in perturbed.iter_mut().enumerate() {
+        let shape = (std::f64::consts::PI * i as f64 / (n - 1) as f64).sin();
+        for d in 0..dof {
+            q[d] += amp * xi[d] * shape;
+        }
+    }
+    (discrete_action(lag, &perturbed, r0, h), perturbed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lagrangian::{CoupledOscillatorLagrangian, FreeLagrangian};
+    use crate::ode::rk4_integrate;
+    use crate::rand_ext::seeded_rng;
+
+    /// Straight-line path between two points, sampled uniformly.
+    fn straight_path(q0: &[f64], q1: &[f64], n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                q0.iter().zip(q1).map(|(a, b)| a + t * (b - a)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn action_of_uniform_motion() {
+        // L = m v^2 / 2 along q(t) = v t for t in [0, 1]: S = m v^2 / 2.
+        let lag = FreeLagrangian::new(vec![2.0]);
+        let n = 1001;
+        let h = 1.0 / (n - 1) as f64;
+        let path = straight_path(&[0.0], &[3.0], n);
+        let action = discrete_action(&lag, &path, 0.0, h);
+        assert!((action - 0.5 * 2.0 * 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straight_line_minimizes_free_action() {
+        let lag = FreeLagrangian::new(vec![1.0, 1.0]);
+        let n = 200;
+        let h = 1.0 / (n - 1) as f64;
+        let path = straight_path(&[0.0, 1.0], &[2.0, -1.0], n);
+        let s_true = discrete_action(&lag, &path, 0.0, h);
+        let mut rng = seeded_rng(17);
+        for _ in 0..50 {
+            let (s_pert, perturbed) =
+                action_of_perturbed(&lag, &path, 0.0, h, 0.3, &mut rng);
+            // Endpoints stay fixed.
+            assert_eq!(perturbed[0], path[0]);
+            assert_eq!(perturbed[n - 1], path[n - 1]);
+            assert!(
+                s_pert >= s_true - 1e-12,
+                "perturbed action {s_pert} below true action {s_true}"
+            );
+        }
+    }
+
+    #[test]
+    fn oscillator_trajectory_is_stationary() {
+        // Compare the action of the true (RK4) trajectory against paths
+        // perturbed around it: within a half period, the true path is a
+        // minimum of the action.
+        let lag = CoupledOscillatorLagrangian::new(1.0, 1.0, 1.0);
+        let h = 0.002;
+        let steps = 500; // duration 1.0, well under half period (~4.44)
+        let traj = rk4_integrate(&lag, 0.0, &[1.0, 0.0], &[0.0, 0.0], h, steps);
+        let s_true = discrete_action(&lag, &traj.q, 0.0, h);
+        let mut rng = seeded_rng(23);
+        for _ in 0..30 {
+            let (s_pert, _) = action_of_perturbed(&lag, &traj.q, 0.0, h, 0.05, &mut rng);
+            assert!(
+                s_pert >= s_true - 1e-7,
+                "perturbed action {s_pert} below true {s_true}"
+            );
+        }
+    }
+
+    #[test]
+    fn residual_vanishes_on_true_trajectory() {
+        let lag = CoupledOscillatorLagrangian::new(1.0, 2.0, 1.5);
+        let traj = rk4_integrate(&lag, 0.0, &[0.5, -0.5], &[0.1, 0.0], 0.001, 2_000);
+        let r = max_residual(&lag, &traj);
+        assert!(r < 1e-4, "max residual {r}");
+    }
+
+    #[test]
+    fn residual_large_on_wrong_trajectory() {
+        // A path that ignores the spring: straight lines are NOT solutions
+        // of the coupled oscillator when the spring is stretched.
+        let lag = CoupledOscillatorLagrangian::new(1.0, 1.0, 5.0);
+        let n = 101;
+        let h = 0.01;
+        let q: Vec<Vec<f64>> = (0..n).map(|i| vec![1.0 + i as f64 * h, 0.0]).collect();
+        let qdot: Vec<Vec<f64>> = (0..n).map(|_| vec![1.0, 0.0]).collect();
+        let traj = Trajectory {
+            r: (0..n).map(|i| i as f64 * h).collect(),
+            q,
+            qdot,
+        };
+        let r = max_residual(&lag, &traj);
+        assert!(r > 1.0, "expected a large residual, got {r}");
+    }
+
+    #[test]
+    fn residual_empty_for_short_trajectories() {
+        let lag = FreeLagrangian::new(vec![1.0]);
+        let traj = Trajectory {
+            r: vec![0.0, 0.1],
+            q: vec![vec![0.0], vec![0.1]],
+            qdot: vec![vec![1.0], vec![1.0]],
+        };
+        assert!(euler_lagrange_residual(&lag, &traj).is_empty());
+        assert_eq!(max_residual(&lag, &traj), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn action_needs_two_samples() {
+        let lag = FreeLagrangian::new(vec![1.0]);
+        let _ = discrete_action(&lag, &[vec![0.0]], 0.0, 0.1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the numerical substrate.
+
+use proptest::prelude::*;
+use trimgame_numerics::quantile::{percentile, percentile_of, Interpolation};
+use trimgame_numerics::rand_ext::{derive_seed, laplace, seeded_rng, NormalSampler};
+use trimgame_numerics::sketch::P2Quantile;
+use trimgame_numerics::stats::{mean, mse, sse, variance, OnlineStats};
+use trimgame_numerics::{bisect, brent};
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6_f64..1e6_f64, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn percentile_is_monotone_in_p(data in finite_vec(64), p1 in 0.0_f64..1.0, p2 in 0.0_f64..1.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        for interp in [Interpolation::Linear, Interpolation::Matlab, Interpolation::Lower, Interpolation::Nearest] {
+            let a = percentile(&data, lo, interp);
+            let b = percentile(&data, hi, interp);
+            prop_assert!(a <= b + 1e-9, "p={lo}->{a}, p={hi}->{b}, {interp:?}");
+        }
+    }
+
+    #[test]
+    fn percentile_within_data_range(data in finite_vec(64), p in 0.0_f64..1.0) {
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for interp in [Interpolation::Linear, Interpolation::Matlab, Interpolation::Lower, Interpolation::Nearest] {
+            let v = percentile(&data, p, interp);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn percentile_invariant_to_shuffling(mut data in finite_vec(32), p in 0.0_f64..1.0) {
+        let original = percentile(&data, p, Interpolation::Linear);
+        data.reverse();
+        let reversed = percentile(&data, p, Interpolation::Linear);
+        prop_assert!((original - reversed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_of_is_bounded(data in finite_vec(64), x in -1e6_f64..1e6) {
+        let p = percentile_of(&data, x);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn percentile_of_is_monotone_in_x(data in finite_vec(64), x1 in -1e6_f64..1e6, x2 in -1e6_f64..1e6) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(percentile_of(&data, lo) <= percentile_of(&data, hi) + 1e-12);
+    }
+
+    #[test]
+    fn mean_within_range(data in finite_vec(64)) {
+        let m = mean(&data);
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+    }
+
+    #[test]
+    fn variance_non_negative(data in finite_vec(64)) {
+        prop_assert!(variance(&data) >= -1e-9);
+    }
+
+    #[test]
+    fn mean_shift_equivariance(data in finite_vec(64), c in -1e3_f64..1e3) {
+        let shifted: Vec<f64> = data.iter().map(|x| x + c).collect();
+        prop_assert!((mean(&shifted) - (mean(&data) + c)).abs() < 1e-6);
+        // Variance is shift-invariant.
+        let tol = f64::max(1e-3, variance(&data) * 1e-9);
+        prop_assert!((variance(&shifted) - variance(&data)).abs() < tol);
+    }
+
+    #[test]
+    fn sse_mse_relation(a in finite_vec(64)) {
+        let b: Vec<f64> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+        let s = sse(&a, &b);
+        let m = mse(&a, &b);
+        prop_assert!(s >= 0.0);
+        prop_assert!((m * a.len() as f64 - s).abs() < 1e-6 * s.max(1.0));
+    }
+
+    #[test]
+    fn online_stats_agree_with_batch(data in finite_vec(128)) {
+        let mut acc = OnlineStats::new();
+        acc.extend(&data);
+        prop_assert!((acc.mean() - mean(&data)).abs() < 1e-6 * mean(&data).abs().max(1.0));
+        prop_assert!((acc.variance() - variance(&data)).abs() < 1e-6 * variance(&data).max(1.0));
+    }
+
+    #[test]
+    fn online_stats_merge_is_associative_enough(a in finite_vec(64), b in finite_vec(64)) {
+        let mut left = OnlineStats::new();
+        left.extend(&a);
+        let mut right = OnlineStats::new();
+        right.extend(&b);
+        left.merge(&right);
+
+        let mut combined = OnlineStats::new();
+        combined.extend(&a);
+        combined.extend(&b);
+
+        prop_assert_eq!(left.count(), combined.count());
+        prop_assert!((left.mean() - combined.mean()).abs() < 1e-6 * combined.mean().abs().max(1.0));
+        prop_assert!((left.variance() - combined.variance()).abs() < 1e-6 * combined.variance().max(1.0));
+    }
+
+    #[test]
+    fn derive_seed_deterministic_and_spread(master in any::<u64>(), s1 in 0_u64..1000, s2 in 0_u64..1000) {
+        prop_assert_eq!(derive_seed(master, s1), derive_seed(master, s1));
+        if s1 != s2 {
+            prop_assert_ne!(derive_seed(master, s1), derive_seed(master, s2));
+        }
+    }
+
+    #[test]
+    fn brent_and_bisect_agree_on_linear_roots(a in 0.1_f64..10.0, b in -5.0_f64..5.0) {
+        // f(x) = a x + b has root -b/a; bracket it generously.
+        let root = -b / a;
+        let lo = root - 10.0;
+        let hi = root + 10.0;
+        let rb = brent(|x| a * x + b, lo, hi, 1e-12).unwrap();
+        let rr = bisect(|x| a * x + b, lo, hi, 1e-10).unwrap();
+        prop_assert!((rb - root).abs() < 1e-8);
+        prop_assert!((rr - root).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_sampler_is_deterministic_under_seed(seed in any::<u64>(), mean_v in -10.0_f64..10.0, sd in 0.0_f64..5.0) {
+        let sampler = NormalSampler::new(mean_v, sd);
+        let mut r1 = seeded_rng(seed);
+        let mut r2 = seeded_rng(seed);
+        for _ in 0..8 {
+            prop_assert_eq!(sampler.sample(&mut r1), sampler.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn laplace_is_finite(seed in any::<u64>(), mu in -10.0_f64..10.0, b in 0.01_f64..10.0) {
+        let mut rng = seeded_rng(seed);
+        for _ in 0..16 {
+            let x = laplace(&mut rng, mu, b);
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn p2_sketch_stays_in_range(data in prop::collection::vec(-1e3_f64..1e3, 8..256), p in 0.05_f64..0.95) {
+        let mut sketch = P2Quantile::new(p);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in &data {
+            sketch.insert(x);
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        let est = sketch.estimate().unwrap();
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "estimate {est} outside [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,175 @@
+//! The public board of Fig. 3.
+//!
+//! "A public board, accessible to the adversary, enables the collector to
+//! record the untrimmed data (step ①, ⑥)." The board is the white-box
+//! channel of the threat model: the adversary "has full knowledge of the
+//! strategy employed by the data collector in the previous round, for
+//! example, the data collector's trimming positions". It is append-only
+//! and thread-safe so concurrent adversary/collector tasks can share it.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+use trimgame_numerics::stats::OnlineStats;
+
+/// One round's public record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// 1-based round number.
+    pub round: usize,
+    /// The trimming percentile the collector applied this round.
+    pub threshold_percentile: f64,
+    /// The absolute threshold value that percentile resolved to.
+    pub threshold_value: Option<f64>,
+    /// Values received this round (benign + poison).
+    pub received: usize,
+    /// Values trimmed this round.
+    pub trimmed: usize,
+    /// Summary statistics of the retained (untrimmed) data.
+    pub retained: OnlineStats,
+    /// `Quality_Evaluation()` score of the received batch.
+    pub quality: f64,
+}
+
+/// Append-only, thread-safe board of [`RoundRecord`]s. Cloning shares the
+/// underlying storage (both the collector and the adversary hold the same
+/// board).
+#[derive(Debug, Clone, Default)]
+pub struct PublicBoard {
+    inner: Arc<RwLock<Vec<RoundRecord>>>,
+}
+
+impl PublicBoard {
+    /// Creates an empty board.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a round record.
+    pub fn post(&self, record: RoundRecord) {
+        self.inner.write().push(record);
+    }
+
+    /// Number of recorded rounds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True if no rounds have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// The most recent record, if any (what the adversary reads in step ⑥
+    /// to verify last round's trimming threshold).
+    #[must_use]
+    pub fn latest(&self) -> Option<RoundRecord> {
+        self.inner.read().last().cloned()
+    }
+
+    /// Record of a specific round (1-based), if recorded.
+    #[must_use]
+    pub fn round(&self, round: usize) -> Option<RoundRecord> {
+        self.inner.read().iter().find(|r| r.round == round).cloned()
+    }
+
+    /// Snapshot of the full history.
+    #[must_use]
+    pub fn history(&self) -> Vec<RoundRecord> {
+        self.inner.read().clone()
+    }
+
+    /// Cumulative fraction of received values that were trimmed.
+    #[must_use]
+    pub fn cumulative_trim_fraction(&self) -> f64 {
+        let guard = self.inner.read();
+        let received: usize = guard.iter().map(|r| r.received).sum();
+        let trimmed: usize = guard.iter().map(|r| r.trimmed).sum();
+        if received == 0 {
+            0.0
+        } else {
+            trimmed as f64 / received as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(round: usize, trimmed: usize) -> RoundRecord {
+        let mut retained = OnlineStats::new();
+        retained.extend(&[1.0, 2.0, 3.0]);
+        RoundRecord {
+            round,
+            threshold_percentile: 0.9,
+            threshold_value: Some(10.0),
+            received: 100,
+            trimmed,
+            retained,
+            quality: 0.95,
+        }
+    }
+
+    #[test]
+    fn post_and_read_back() {
+        let board = PublicBoard::new();
+        assert!(board.is_empty());
+        board.post(record(1, 5));
+        board.post(record(2, 7));
+        assert_eq!(board.len(), 2);
+        assert_eq!(board.latest().unwrap().round, 2);
+        assert_eq!(board.round(1).unwrap().trimmed, 5);
+        assert!(board.round(9).is_none());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let board = PublicBoard::new();
+        let adversary_view = board.clone();
+        board.post(record(1, 3));
+        assert_eq!(adversary_view.len(), 1);
+        assert_eq!(adversary_view.latest().unwrap().trimmed, 3);
+    }
+
+    #[test]
+    fn cumulative_trim_fraction_aggregates() {
+        let board = PublicBoard::new();
+        board.post(record(1, 10));
+        board.post(record(2, 30));
+        assert!((board.cumulative_trim_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_board_fraction_zero() {
+        assert_eq!(PublicBoard::new().cumulative_trim_fraction(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_posting_is_safe() {
+        let board = PublicBoard::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let b = board.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        b.post(record(t * 50 + i + 1, 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(board.len(), 200);
+    }
+
+    #[test]
+    fn history_snapshot_is_detached() {
+        let board = PublicBoard::new();
+        board.post(record(1, 1));
+        let snapshot = board.history();
+        board.post(record(2, 2));
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(board.len(), 2);
+    }
+}

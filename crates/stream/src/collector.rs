@@ -1,0 +1,135 @@
+//! The data collector's per-round pipeline.
+//!
+//! In each round the collector (Fig. 3, steps ③–⑥): receives a batch,
+//! evaluates its quality against the public standard, trims at the
+//! percentile its strategy chose, and posts the round record to the public
+//! board. The threshold *choice* is a policy concern and arrives as a
+//! plain percentile — the engine stays strategy-agnostic.
+
+use crate::board::{PublicBoard, RoundRecord};
+use crate::quality::QualityEvaluation;
+use crate::trim::{trim, TrimOp, TrimOutcome};
+use trimgame_numerics::stats::OnlineStats;
+
+/// Collect → evaluate → trim → record pipeline around a [`PublicBoard`].
+pub struct Collector<Q: QualityEvaluation> {
+    board: PublicBoard,
+    quality: Q,
+    rounds_processed: usize,
+}
+
+impl<Q: QualityEvaluation> Collector<Q> {
+    /// Creates a collector posting to `board` and scoring with `quality`.
+    #[must_use]
+    pub fn new(board: PublicBoard, quality: Q) -> Self {
+        Self {
+            board,
+            quality,
+            rounds_processed: 0,
+        }
+    }
+
+    /// The shared public board.
+    #[must_use]
+    pub fn board(&self) -> &PublicBoard {
+        &self.board
+    }
+
+    /// The quality standard in use.
+    #[must_use]
+    pub fn quality(&self) -> &Q {
+        &self.quality
+    }
+
+    /// Number of rounds processed by this collector.
+    #[must_use]
+    pub fn rounds_processed(&self) -> usize {
+        self.rounds_processed
+    }
+
+    /// Processes one round: trims `batch` at `threshold_percentile`,
+    /// evaluates quality on the *received* batch (the standard judges what
+    /// the adversary sent, not what survived), posts the record, and
+    /// returns the trim outcome together with the quality score.
+    pub fn process_round(&mut self, batch: &[f64], threshold_percentile: f64) -> (TrimOutcome, f64) {
+        self.rounds_processed += 1;
+        let quality = self.quality.evaluate(batch);
+        let outcome = trim(batch, TrimOp::UpperPercentile(threshold_percentile));
+        let mut retained = OnlineStats::new();
+        retained.extend(&outcome.kept);
+        self.board.post(RoundRecord {
+            round: self.rounds_processed,
+            threshold_percentile,
+            threshold_value: outcome.threshold_value,
+            received: batch.len(),
+            trimmed: outcome.trimmed,
+            retained,
+            quality,
+        });
+        (outcome, quality)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::TailMassQuality;
+
+    fn collector() -> Collector<TailMassQuality> {
+        Collector::new(PublicBoard::new(), TailMassQuality::new(95.0, 0.05))
+    }
+
+    fn benign() -> Vec<f64> {
+        (0..1000).map(|i| i as f64 / 10.0).collect()
+    }
+
+    #[test]
+    fn round_is_recorded_on_board() {
+        let mut c = collector();
+        let batch = benign();
+        let (outcome, quality) = c.process_round(&batch, 0.9);
+        assert_eq!(c.rounds_processed(), 1);
+        let record = c.board().latest().unwrap();
+        assert_eq!(record.round, 1);
+        assert_eq!(record.received, 1000);
+        assert_eq!(record.trimmed, outcome.trimmed);
+        assert_eq!(record.threshold_percentile, 0.9);
+        assert!((record.quality - quality).abs() < 1e-12);
+        assert!(quality > 0.99);
+    }
+
+    #[test]
+    fn quality_judged_before_trimming() {
+        let mut c = collector();
+        let mut poisoned = benign();
+        poisoned.extend(std::iter::repeat(99.9).take(300));
+        // Trimming at 0.7 removes the poison, but quality is still low
+        // because it is evaluated on the received batch.
+        let (outcome, quality) = c.process_round(&poisoned, 0.7);
+        assert!(quality < 0.85, "quality {quality}");
+        let kept_poison = outcome.kept.iter().filter(|&&v| v == 99.9).count();
+        assert_eq!(kept_poison, 0);
+    }
+
+    #[test]
+    fn successive_rounds_accumulate() {
+        let mut c = collector();
+        let batch = benign();
+        for expected in 1..=5 {
+            c.process_round(&batch, 0.9);
+            assert_eq!(c.board().len(), expected);
+        }
+        assert_eq!(c.board().history().last().unwrap().round, 5);
+    }
+
+    #[test]
+    fn retained_summary_matches_kept_values() {
+        let mut c = collector();
+        let batch = benign();
+        let (outcome, _) = c.process_round(&batch, 0.5);
+        let record = c.board().latest().unwrap();
+        assert_eq!(record.retained.count(), outcome.kept.len() as u64);
+        let m = trimgame_numerics::stats::mean(&outcome.kept);
+        assert!((record.retained.mean() - m).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! Online collection engine — the system of the paper's Fig. 3.
+//!
+//! The infinite collection game runs on a concrete streaming substrate:
+//! a data collector gathers a fixed-size batch per round (step ③), trims it
+//! at a threshold (step ④), records the retained data on a **public board**
+//! readable by the adversary (steps ①/⑥), evaluates data quality with a
+//! publicly recognized `Quality_Evaluation()` standard, and determines the
+//! next round's trimming threshold (step ⑤). This crate implements that
+//! machinery; the *policies* that choose thresholds (Tit-for-tat, Elastic,
+//! baselines) live in `trim-core`.
+//!
+//! * [`trim`] — trimming operators over scalar batches.
+//! * [`quality`] — `Quality_Evaluation()` implementations.
+//! * [`board`] — the thread-safe, append-only public board.
+//! * [`collector`] — per-round collect → trim → record pipeline.
+//! * [`round`] — the generic round loop gluing streams, injectors and
+//!   threshold policies together.
+
+pub mod board;
+pub mod collector;
+pub mod quality;
+pub mod round;
+pub mod trim;
+
+pub use board::{PublicBoard, RoundRecord};
+pub use collector::Collector;
+pub use quality::{MeanShiftQuality, QualityEvaluation, TailMassQuality};
+pub use round::{run_rounds, RoundOutcome};
+pub use trim::{trim, TrimOp, TrimOutcome};

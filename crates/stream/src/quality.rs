@@ -1,0 +1,205 @@
+//! `Quality_Evaluation()` — the publicly recognized data quality standard.
+//!
+//! Section III-B: "Assuming a publicly recognized data quality standard
+//! denoted by Quality_Evaluation(), we establish payoff functions for both
+//! parties... Equipped with this standard, the collector can assess the
+//! intensity of poison values based on the data provided by the adversary
+//! and further determine the subsequent strategy. The existence of this
+//! metric is necessary for building up a game-theoretic model."
+//!
+//! Two standards are provided. Both return *higher = better quality* so
+//! Algorithm 1's trigger condition `Quality_Evaluation(X_i) <
+//! Quality_Evaluation(X_0) + Red` reads naturally.
+
+use trimgame_numerics::quantile::ecdf;
+use trimgame_numerics::stats::{mean, std_dev};
+
+/// A data-quality standard over a received batch.
+pub trait QualityEvaluation {
+    /// Scores a batch; higher is better. The score scale is implementation
+    /// specific but must be consistent across rounds.
+    fn evaluate(&self, batch: &[f64]) -> f64;
+
+    /// Normalizing constant: the best achievable score, used by Algorithm 2
+    /// (`QE_i = Quality_Evaluation(X_i) / max(Quality_Evaluation(·))`).
+    fn max_score(&self) -> f64;
+
+    /// Algorithm 2's normalized *badness*: `1 − score/max` in `[0, 1]`,
+    /// rising as data quality degrades.
+    fn normalized_badness(&self, batch: &[f64]) -> f64 {
+        let s = (self.evaluate(batch) / self.max_score()).clamp(0.0, 1.0);
+        1.0 - s
+    }
+}
+
+/// Quality = `1 −` (excess mass above a reference tail value).
+///
+/// The collector knows (from the public board's history of clean rounds)
+/// the value `v_ref` that the benign distribution exceeds with probability
+/// `tail`. A poisoned batch carries extra mass above `v_ref`; the score
+/// drops by that excess.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailMassQuality {
+    /// Reference value: benign data exceeds this with probability `tail`.
+    pub reference_value: f64,
+    /// Benign exceedance probability at `reference_value`.
+    pub tail: f64,
+}
+
+impl TailMassQuality {
+    /// Creates the standard.
+    ///
+    /// # Panics
+    /// Panics if `tail ∉ [0, 1]`.
+    #[must_use]
+    pub fn new(reference_value: f64, tail: f64) -> Self {
+        assert!((0.0..=1.0).contains(&tail), "tail {tail} not in [0,1]");
+        Self {
+            reference_value,
+            tail,
+        }
+    }
+}
+
+impl QualityEvaluation for TailMassQuality {
+    fn evaluate(&self, batch: &[f64]) -> f64 {
+        if batch.is_empty() {
+            return 1.0;
+        }
+        let above = 1.0 - ecdf(batch, self.reference_value);
+        let excess = (above - self.tail).max(0.0);
+        1.0 - excess
+    }
+
+    fn max_score(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Quality = `1 − |batch mean − reference mean| / (scale · reference sd)`,
+/// clamped at zero. Detects location shifts caused by poison mass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanShiftQuality {
+    /// Benign mean.
+    pub reference_mean: f64,
+    /// Benign standard deviation.
+    pub reference_sd: f64,
+    /// Shift (in reference sds) at which quality reaches zero.
+    pub scale: f64,
+}
+
+impl MeanShiftQuality {
+    /// Creates the standard from benign statistics.
+    ///
+    /// # Panics
+    /// Panics if `reference_sd <= 0` or `scale <= 0`.
+    #[must_use]
+    pub fn new(reference_mean: f64, reference_sd: f64, scale: f64) -> Self {
+        assert!(reference_sd > 0.0, "reference sd must be positive");
+        assert!(scale > 0.0, "scale must be positive");
+        Self {
+            reference_mean,
+            reference_sd,
+            scale,
+        }
+    }
+
+    /// Fits the standard to a clean calibration batch with a default scale
+    /// of 3 sds.
+    ///
+    /// # Panics
+    /// Panics if the batch has fewer than two values.
+    #[must_use]
+    pub fn fit(clean: &[f64]) -> Self {
+        assert!(clean.len() >= 2, "need at least two calibration values");
+        Self::new(mean(clean), std_dev(clean).max(1e-12), 3.0)
+    }
+}
+
+impl QualityEvaluation for MeanShiftQuality {
+    fn evaluate(&self, batch: &[f64]) -> f64 {
+        if batch.is_empty() {
+            return 1.0;
+        }
+        let shift = (mean(batch) - self.reference_mean).abs();
+        (1.0 - shift / (self.scale * self.reference_sd)).max(0.0)
+    }
+
+    fn max_score(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn benign() -> Vec<f64> {
+        (0..1000).map(|i| i as f64 / 10.0).collect() // uniform 0..100
+    }
+
+    #[test]
+    fn tail_mass_full_quality_on_clean_data() {
+        let data = benign();
+        // Reference: 5% of benign data above 95.0.
+        let q = TailMassQuality::new(95.0, 0.05);
+        let score = q.evaluate(&data);
+        assert!(score > 0.99, "clean score {score}");
+    }
+
+    #[test]
+    fn tail_mass_drops_with_poison() {
+        let mut data = benign();
+        let q = TailMassQuality::new(95.0, 0.05);
+        let clean = q.evaluate(&data);
+        data.extend(std::iter::repeat(99.0).take(200));
+        let dirty = q.evaluate(&data);
+        assert!(dirty < clean - 0.1, "clean {clean} vs dirty {dirty}");
+    }
+
+    #[test]
+    fn tail_mass_empty_batch_is_perfect() {
+        let q = TailMassQuality::new(95.0, 0.05);
+        assert_eq!(q.evaluate(&[]), 1.0);
+    }
+
+    #[test]
+    fn mean_shift_full_quality_when_centered() {
+        let data = benign();
+        let q = MeanShiftQuality::fit(&data);
+        assert!(q.evaluate(&data) > 0.99);
+    }
+
+    #[test]
+    fn mean_shift_detects_location_poison() {
+        let data = benign();
+        let q = MeanShiftQuality::fit(&data);
+        let mut poisoned = data.clone();
+        poisoned.extend(std::iter::repeat(500.0).take(300));
+        assert!(q.evaluate(&poisoned) < q.evaluate(&data) - 0.3);
+    }
+
+    #[test]
+    fn normalized_badness_in_unit_interval() {
+        let data = benign();
+        let q = MeanShiftQuality::fit(&data);
+        let mut poisoned = data.clone();
+        poisoned.extend(std::iter::repeat(1e6).take(100));
+        for b in [q.normalized_badness(&data), q.normalized_badness(&poisoned)] {
+            assert!((0.0..=1.0).contains(&b));
+        }
+        assert!(q.normalized_badness(&poisoned) > q.normalized_badness(&data));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0,1]")]
+    fn bad_tail_rejected() {
+        let _ = TailMassQuality::new(0.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_sd_rejected() {
+        let _ = MeanShiftQuality::new(0.0, 0.0, 3.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! The generic round loop of the infinite collection game.
+//!
+//! Wires together a benign [`RoundStream`], an adversary injection policy
+//! and a collector threshold policy, producing per-round outcomes with
+//! full provenance (which poison survived, which benign values were
+//! falsely trimmed). The game-theoretic *strategies* of the paper are
+//! closures from the `trim-core` crate; this module is the referee that
+//! executes them.
+
+use crate::board::PublicBoard;
+use crate::collector::Collector;
+use crate::quality::QualityEvaluation;
+use rand::Rng;
+use trimgame_datasets::poison::PoisonBatch;
+use trimgame_datasets::stream::RoundStream;
+
+/// Everything that happened in one round, with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// 1-based round number.
+    pub round: usize,
+    /// Percentile the collector trimmed at.
+    pub threshold_percentile: f64,
+    /// Values received (benign + poison).
+    pub received: usize,
+    /// Poison values received.
+    pub poison_received: usize,
+    /// Poison values that survived trimming.
+    pub poison_survived: usize,
+    /// Benign values that were (falsely) trimmed — the trimming overhead.
+    pub benign_trimmed: usize,
+    /// Retained values (benign + surviving poison), input order.
+    pub kept: Vec<f64>,
+    /// `Quality_Evaluation()` score of the received batch.
+    pub quality: f64,
+}
+
+impl RoundOutcome {
+    /// Fraction of retained values that are poison — Table III's headline
+    /// number ("the proportion of untrimmed poison values in the remaining
+    /// data").
+    #[must_use]
+    pub fn surviving_poison_fraction(&self) -> f64 {
+        if self.kept.is_empty() {
+            0.0
+        } else {
+            self.poison_survived as f64 / self.kept.len() as f64
+        }
+    }
+
+    /// Fraction of benign values lost to trimming.
+    #[must_use]
+    pub fn benign_trim_fraction(&self) -> f64 {
+        let benign = self.received - self.poison_received;
+        if benign == 0 {
+            0.0
+        } else {
+            self.benign_trimmed as f64 / benign as f64
+        }
+    }
+}
+
+/// Runs `rounds` rounds of the collection game.
+///
+/// * `threshold_policy(round, board)` returns the trimming percentile for
+///   the round — this is the defender's strategy, with white-box access to
+///   the public board.
+/// * `injector(round, benign, board, rng)` returns the combined
+///   benign+poison batch — the adversary's strategy, with the same
+///   white-box access (complete information game).
+pub fn run_rounds<Q, R, FT, FI>(
+    stream: &mut RoundStream,
+    collector: &mut Collector<Q>,
+    rounds: usize,
+    rng: &mut R,
+    mut threshold_policy: FT,
+    mut injector: FI,
+) -> Vec<RoundOutcome>
+where
+    Q: QualityEvaluation,
+    R: Rng + ?Sized,
+    FT: FnMut(usize, &PublicBoard) -> f64,
+    FI: FnMut(usize, &[f64], &PublicBoard, &mut R) -> PoisonBatch,
+{
+    let mut outcomes = Vec::with_capacity(rounds);
+    for round in 1..=rounds {
+        let benign = stream.next_round(rng);
+        let board = collector.board().clone();
+        let batch = injector(round, &benign, &board, rng);
+        let threshold = threshold_policy(round, &board).clamp(0.0, 1.0);
+        let (trim_outcome, quality) = collector.process_round(&batch.values, threshold);
+
+        let mut poison_received = 0;
+        let mut poison_survived = 0;
+        let mut benign_trimmed = 0;
+        for (i, &is_poison) in batch.is_poison.iter().enumerate() {
+            let kept = trim_outcome.kept_mask[i];
+            if is_poison {
+                poison_received += 1;
+                if kept {
+                    poison_survived += 1;
+                }
+            } else if !kept {
+                benign_trimmed += 1;
+            }
+        }
+
+        outcomes.push(RoundOutcome {
+            round,
+            threshold_percentile: threshold,
+            received: batch.values.len(),
+            poison_received,
+            poison_survived,
+            benign_trimmed,
+            kept: trim_outcome.kept,
+            quality,
+        });
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::TailMassQuality;
+    use trimgame_datasets::poison::{InjectionPosition, PoisonSpec};
+    use trimgame_numerics::rand_ext::seeded_rng;
+
+    fn setup() -> (RoundStream, Collector<TailMassQuality>) {
+        let pool: Vec<f64> = (0..10_000).map(|i| (i % 1000) as f64 / 10.0).collect();
+        let stream = RoundStream::new(pool, 1000);
+        let collector = Collector::new(PublicBoard::new(), TailMassQuality::new(95.0, 0.05));
+        (stream, collector)
+    }
+
+    #[test]
+    fn static_threshold_vs_static_adversary() {
+        let (mut stream, mut collector) = setup();
+        let mut rng = seeded_rng(1);
+        let spec = PoisonSpec::new(0.1, InjectionPosition::Percentile(0.99));
+        // Trim at p80 of the combined batch: decisively below the poison
+        // point mass at the benign p99 value.
+        let outcomes = run_rounds(
+            &mut stream,
+            &mut collector,
+            10,
+            &mut rng,
+            |_, _| 0.8,
+            move |_, benign, _, rng| spec.inject(benign, rng),
+        );
+        assert_eq!(outcomes.len(), 10);
+        for o in &outcomes {
+            assert_eq!(o.round, outcomes[o.round - 1].round);
+            assert_eq!(o.poison_received, 100);
+            assert_eq!(o.poison_survived, 0, "round {}", o.round);
+            assert!(o.benign_trimmed > 0, "some benign tail is the overhead");
+        }
+        assert_eq!(collector.board().len(), 10);
+    }
+
+    #[test]
+    fn poison_just_below_threshold_survives() {
+        // The paper's "Baseline static" ideal attack: the adversary knows
+        // the collector trims at Tth and injects at percentile Tth − 1%.
+        // Poison strictly below the cut survives in full while still being
+        // the most damaging admissible position.
+        let (mut stream, mut collector) = setup();
+        let mut rng = seeded_rng(11);
+        let spec = PoisonSpec::new(0.1, InjectionPosition::Percentile(0.86));
+        let outcomes = run_rounds(
+            &mut stream,
+            &mut collector,
+            3,
+            &mut rng,
+            |_, _| 0.9,
+            move |_, benign, _, rng| spec.inject(benign, rng),
+        );
+        for o in &outcomes {
+            assert!(
+                o.poison_survived as f64 / o.poison_received as f64 > 0.9,
+                "below-threshold poison should survive: {}/{}",
+                o.poison_survived,
+                o.poison_received
+            );
+        }
+    }
+
+    #[test]
+    fn ostrich_threshold_keeps_poison() {
+        let (mut stream, mut collector) = setup();
+        let mut rng = seeded_rng(2);
+        let spec = PoisonSpec::new(0.1, InjectionPosition::Percentile(0.99));
+        let outcomes = run_rounds(
+            &mut stream,
+            &mut collector,
+            5,
+            &mut rng,
+            |_, _| 1.0, // never trim
+            move |_, benign, _, rng| spec.inject(benign, rng),
+        );
+        for o in &outcomes {
+            assert_eq!(o.poison_survived, o.poison_received);
+            assert_eq!(o.benign_trimmed, 0);
+            assert!(o.surviving_poison_fraction() > 0.08);
+        }
+    }
+
+    #[test]
+    fn policies_can_react_to_board() {
+        let (mut stream, mut collector) = setup();
+        let mut rng = seeded_rng(3);
+        let spec = PoisonSpec::new(0.3, InjectionPosition::Percentile(0.99));
+        // Policy: start soft (0.99), harden to 0.7 once quality drops
+        // (0.7 is below the rank band the 30% poison point mass occupies).
+        let outcomes = run_rounds(
+            &mut stream,
+            &mut collector,
+            6,
+            &mut rng,
+            |_, board| match board.latest() {
+                Some(r) if r.quality < 0.9 => 0.7,
+                _ => 0.99,
+            },
+            move |_, benign, _, rng| spec.inject(benign, rng),
+        );
+        // First round is soft; later rounds hardened.
+        assert!((outcomes[0].threshold_percentile - 0.99).abs() < 1e-12);
+        assert!(outcomes
+            .iter()
+            .skip(1)
+            .all(|o| (o.threshold_percentile - 0.7).abs() < 1e-12));
+        // Hardened rounds remove more poison than the soft round.
+        assert!(outcomes[5].poison_survived < outcomes[0].poison_survived);
+    }
+
+    #[test]
+    fn adversary_can_react_to_board() {
+        let (mut stream, mut collector) = setup();
+        let mut rng = seeded_rng(4);
+        // Adversary injects just below the last threshold percentile.
+        let outcomes = run_rounds(
+            &mut stream,
+            &mut collector,
+            4,
+            &mut rng,
+            |_, _| 0.9,
+            |_, benign, board, rng| {
+                let pos = board
+                    .latest()
+                    .map_or(0.99, |r| (r.threshold_percentile - 0.02).max(0.0));
+                PoisonSpec::new(0.1, InjectionPosition::Percentile(pos)).inject(benign, rng)
+            },
+        );
+        // After round 1 the adversary dodges under the threshold and most
+        // poison survives.
+        let late = &outcomes[3];
+        assert!(
+            late.poison_survived as f64 / late.poison_received as f64 > 0.5,
+            "evasive poison should mostly survive: {}/{}",
+            late.poison_survived,
+            late.poison_received
+        );
+    }
+
+    #[test]
+    fn fractions_are_consistent() {
+        let (mut stream, mut collector) = setup();
+        let mut rng = seeded_rng(5);
+        let spec = PoisonSpec::new(0.2, InjectionPosition::Percentile(0.95));
+        let outcomes = run_rounds(
+            &mut stream,
+            &mut collector,
+            3,
+            &mut rng,
+            |_, _| 0.85,
+            move |_, benign, _, rng| spec.inject(benign, rng),
+        );
+        for o in outcomes {
+            assert!(o.surviving_poison_fraction() >= 0.0);
+            assert!(o.benign_trim_fraction() >= 0.0 && o.benign_trim_fraction() <= 1.0);
+            assert_eq!(
+                o.kept.len(),
+                o.received - o.benign_trimmed - (o.poison_received - o.poison_survived)
+            );
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Trimming operators.
+//!
+//! "A classic method is distance-based sanitization, also known as
+//! trimming, where the defender calculates the distance `d_i` for each data
+//! point `i` and removes any point with `d_i > θ_d`" (Section I). On a
+//! scalar batch the operators here implement exactly that: an upper
+//! percentile cut (the game's main move), a two-sided cut, and an absolute
+//! threshold cut.
+
+use trimgame_numerics::quantile::{percentile, Interpolation};
+
+/// A trimming operator over a scalar batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrimOp {
+    /// Remove every value strictly above the batch's `p`-percentile
+    /// (`p ∈ [0, 1]`). This is the collector's move in the trimming game:
+    /// the threshold *percentile* is the strategy, the threshold *value* is
+    /// computed per round.
+    UpperPercentile(f64),
+    /// Keep values between the `lo` and `hi` percentiles inclusive.
+    TwoSided {
+        /// Lower percentile.
+        lo: f64,
+        /// Upper percentile.
+        hi: f64,
+    },
+    /// Remove every value strictly above an absolute threshold.
+    Absolute(f64),
+    /// Keep everything (the Ostrich non-defense).
+    None,
+}
+
+/// Result of trimming a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrimOutcome {
+    /// Values retained, in input order.
+    pub kept: Vec<f64>,
+    /// Parallel to the input: `true` = retained.
+    pub kept_mask: Vec<bool>,
+    /// The absolute threshold value applied (upper cut), if any.
+    pub threshold_value: Option<f64>,
+    /// Number of values removed.
+    pub trimmed: usize,
+}
+
+impl TrimOutcome {
+    /// Fraction of the batch removed.
+    #[must_use]
+    pub fn trimmed_fraction(&self) -> f64 {
+        let total = self.kept.len() + self.trimmed;
+        if total == 0 {
+            0.0
+        } else {
+            self.trimmed as f64 / total as f64
+        }
+    }
+}
+
+/// Applies a trimming operator to a batch.
+///
+/// # Panics
+/// Panics if a percentile parameter is outside `[0, 1]` or `lo > hi`, or if
+/// a percentile cut is requested on an empty batch.
+#[must_use]
+pub fn trim(values: &[f64], op: TrimOp) -> TrimOutcome {
+    match op {
+        TrimOp::None => TrimOutcome {
+            kept: values.to_vec(),
+            kept_mask: vec![true; values.len()],
+            threshold_value: None,
+            trimmed: 0,
+        },
+        TrimOp::Absolute(threshold) => cut_above(values, threshold),
+        TrimOp::UpperPercentile(p) => {
+            assert!((0.0..=1.0).contains(&p), "percentile {p} not in [0,1]");
+            let threshold = percentile(values, p, Interpolation::Linear);
+            cut_above(values, threshold)
+        }
+        TrimOp::TwoSided { lo, hi } => {
+            assert!((0.0..=1.0).contains(&lo), "lo {lo} not in [0,1]");
+            assert!((0.0..=1.0).contains(&hi), "hi {hi} not in [0,1]");
+            assert!(lo <= hi, "inverted percentile band [{lo}, {hi}]");
+            let lo_v = percentile(values, lo, Interpolation::Linear);
+            let hi_v = percentile(values, hi, Interpolation::Linear);
+            let mut kept = Vec::with_capacity(values.len());
+            let mut kept_mask = Vec::with_capacity(values.len());
+            let mut trimmed = 0;
+            for &v in values {
+                if v >= lo_v && v <= hi_v {
+                    kept.push(v);
+                    kept_mask.push(true);
+                } else {
+                    kept_mask.push(false);
+                    trimmed += 1;
+                }
+            }
+            TrimOutcome {
+                kept,
+                kept_mask,
+                threshold_value: Some(hi_v),
+                trimmed,
+            }
+        }
+    }
+}
+
+fn cut_above(values: &[f64], threshold: f64) -> TrimOutcome {
+    let mut kept = Vec::with_capacity(values.len());
+    let mut kept_mask = Vec::with_capacity(values.len());
+    let mut trimmed = 0;
+    for &v in values {
+        if v <= threshold {
+            kept.push(v);
+            kept_mask.push(true);
+        } else {
+            kept_mask.push(false);
+            trimmed += 1;
+        }
+    }
+    TrimOutcome {
+        kept,
+        kept_mask,
+        threshold_value: Some(threshold),
+        trimmed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Vec<f64> {
+        (0..100).map(f64::from).collect()
+    }
+
+    #[test]
+    fn none_keeps_everything() {
+        let out = trim(&batch(), TrimOp::None);
+        assert_eq!(out.trimmed, 0);
+        assert_eq!(out.kept.len(), 100);
+        assert_eq!(out.threshold_value, None);
+        assert_eq!(out.trimmed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn upper_percentile_removes_tail() {
+        let out = trim(&batch(), TrimOp::UpperPercentile(0.9));
+        // Threshold = 89.1 (linear interpolation on 0..=99); keeps 0..=89.
+        assert_eq!(out.trimmed, 10);
+        assert!(out.kept.iter().all(|&v| v <= 89.1));
+        assert!((out.trimmed_fraction() - 0.1).abs() < 1e-12);
+        assert!(out.threshold_value.unwrap() > 89.0);
+    }
+
+    #[test]
+    fn absolute_threshold() {
+        let out = trim(&batch(), TrimOp::Absolute(49.5));
+        assert_eq!(out.kept.len(), 50);
+        assert_eq!(out.trimmed, 50);
+    }
+
+    #[test]
+    fn two_sided_keeps_band() {
+        let out = trim(&batch(), TrimOp::TwoSided { lo: 0.1, hi: 0.9 });
+        assert!(out.kept.iter().all(|&v| (9.9..=89.1).contains(&v)));
+        assert_eq!(out.trimmed, 20);
+    }
+
+    #[test]
+    fn kept_mask_aligns_with_input() {
+        let values = vec![5.0, 50.0, 95.0];
+        let out = trim(&values, TrimOp::Absolute(60.0));
+        assert_eq!(out.kept_mask, vec![true, true, false]);
+        assert_eq!(out.kept, vec![5.0, 50.0]);
+    }
+
+    #[test]
+    fn full_percentile_keeps_everything() {
+        let out = trim(&batch(), TrimOp::UpperPercentile(1.0));
+        assert_eq!(out.trimmed, 0);
+    }
+
+    #[test]
+    fn zero_percentile_keeps_minimum_only() {
+        let out = trim(&batch(), TrimOp::UpperPercentile(0.0));
+        assert_eq!(out.kept, vec![0.0]);
+        assert_eq!(out.trimmed, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0,1]")]
+    fn bad_percentile_rejected() {
+        let _ = trim(&batch(), TrimOp::UpperPercentile(1.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted percentile band")]
+    fn inverted_band_rejected() {
+        let _ = trim(&batch(), TrimOp::TwoSided { lo: 0.9, hi: 0.1 });
+    }
+
+    #[test]
+    fn trimming_removes_injected_tail_poison() {
+        let mut values = batch();
+        values.extend(std::iter::repeat(99.0).take(20)); // poison at p99
+        let out = trim(&values, TrimOp::UpperPercentile(0.8));
+        let poison_kept = out.kept.iter().filter(|&&v| v == 99.0).count();
+        assert_eq!(poison_kept, 0, "tail poison should be trimmed");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the collection engine.
+
+use proptest::prelude::*;
+use trimgame_stream::board::{PublicBoard, RoundRecord};
+use trimgame_stream::quality::{MeanShiftQuality, QualityEvaluation, TailMassQuality};
+use trimgame_stream::trim::{trim, TrimOp};
+
+fn records(n: usize) -> Vec<RoundRecord> {
+    (1..=n)
+        .map(|round| RoundRecord {
+            round,
+            threshold_percentile: 0.9,
+            threshold_value: Some(1.0),
+            received: 10,
+            trimmed: round % 3,
+            retained: trimgame_numerics::stats::OnlineStats::new(),
+            quality: 1.0,
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn trim_partitions_the_batch(
+        values in prop::collection::vec(-1e3_f64..1e3, 1..200),
+        p in 0.0_f64..1.0,
+    ) {
+        let out = trim(&values, TrimOp::UpperPercentile(p));
+        prop_assert_eq!(out.kept.len() + out.trimmed, values.len());
+        prop_assert_eq!(out.kept_mask.len(), values.len());
+        let kept_from_mask: Vec<f64> = values
+            .iter()
+            .zip(&out.kept_mask)
+            .filter(|(_, &m)| m)
+            .map(|(&v, _)| v)
+            .collect();
+        prop_assert_eq!(out.kept, kept_from_mask);
+    }
+
+    #[test]
+    fn trim_never_keeps_values_above_threshold(
+        values in prop::collection::vec(-1e3_f64..1e3, 1..200),
+        cut in -1e3_f64..1e3,
+    ) {
+        let out = trim(&values, TrimOp::Absolute(cut));
+        prop_assert!(out.kept.iter().all(|&v| v <= cut));
+        prop_assert!(values
+            .iter()
+            .zip(&out.kept_mask)
+            .all(|(&v, &m)| m == (v <= cut)));
+    }
+
+    #[test]
+    fn higher_percentile_trims_no_more(
+        values in prop::collection::vec(-1e3_f64..1e3, 2..200),
+        p1 in 0.0_f64..1.0,
+        p2 in 0.0_f64..1.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = trim(&values, TrimOp::UpperPercentile(lo));
+        let b = trim(&values, TrimOp::UpperPercentile(hi));
+        prop_assert!(b.trimmed <= a.trimmed);
+    }
+
+    #[test]
+    fn tail_mass_quality_monotone_in_poison(
+        base in prop::collection::vec(0.0_f64..100.0, 50..150),
+        extra in 1_usize..50,
+    ) {
+        let q = TailMassQuality::new(90.0, 0.1);
+        let clean_score = q.evaluate(&base);
+        let mut poisoned = base.clone();
+        poisoned.extend(std::iter::repeat(99.0).take(extra));
+        prop_assert!(q.evaluate(&poisoned) <= clean_score + 1e-12);
+    }
+
+    #[test]
+    fn quality_scores_bounded(
+        values in prop::collection::vec(-1e3_f64..1e3, 2..100),
+    ) {
+        let tail = TailMassQuality::new(0.0, 0.5);
+        let s = tail.evaluate(&values);
+        prop_assert!((0.0..=1.0).contains(&s));
+        let shift = MeanShiftQuality::new(0.0, 100.0, 3.0);
+        let s = shift.evaluate(&values);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((0.0..=1.0).contains(&tail.normalized_badness(&values)));
+    }
+
+    #[test]
+    fn board_preserves_order_and_counts(n in 1_usize..60) {
+        let board = PublicBoard::new();
+        for r in records(n) {
+            board.post(r);
+        }
+        prop_assert_eq!(board.len(), n);
+        let history = board.history();
+        for (i, rec) in history.iter().enumerate() {
+            prop_assert_eq!(rec.round, i + 1);
+        }
+        prop_assert_eq!(board.latest().unwrap().round, n);
+    }
+}

@@ -1,0 +1,67 @@
+//! Defending k-means clustering against online poisoning (a miniature of
+//! the paper's Fig. 4 row for the Control dataset).
+//!
+//! Collects the synthetic-control dataset over 20 rounds under each of the
+//! six schemes at a heavy attack ratio, then fits k-means on what each
+//! scheme retained and reports SSE and the centroid displacement from the
+//! clean ground truth.
+//!
+//! Run with: `cargo run --release --example kmeans_defense`
+
+use trimgame::core::ml_sim::{collect_poisoned, kmeans_metrics, MlSimConfig};
+use trimgame::core::simulation::Scheme;
+use trimgame::datasets::shapes::control;
+use trimgame::numerics::rand_ext::seeded_rng;
+
+fn main() {
+    let data = control(&mut seeded_rng(2024));
+    println!(
+        "Dataset: {} ({} rows × {} features, {} clusters)",
+        data.name(),
+        data.rows(),
+        data.cols(),
+        data.clusters()
+    );
+
+    let tth = 0.9;
+    let ratio = 0.35;
+    println!("Tth = {tth}, attack ratio = {ratio}, 20 rounds\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>14} {:>12}",
+        "scheme", "SSE", "distance", "poison kept", "benign lost"
+    );
+
+    let reps = 5;
+    for scheme in Scheme::roster() {
+        let mut sse_sum = 0.0;
+        let mut dist_sum = 0.0;
+        let mut poison_sum = 0.0;
+        let mut lost_sum = 0.0;
+        for rep in 0..reps {
+            let seed = trimgame::numerics::rand_ext::derive_seed(7, rep);
+            let cfg = MlSimConfig::new(scheme, tth, ratio, seed);
+            let collected = collect_poisoned(&data, &cfg);
+            let (sse, distance) = kmeans_metrics(&collected, &data);
+            sse_sum += sse;
+            dist_sum += distance;
+            poison_sum += collected.surviving_poison_fraction();
+            lost_sum += collected.benign_trimmed as f64
+                / (collected.benign_trimmed + collected.retained.rows()
+                    - collected.poison_survived) as f64;
+        }
+        let n = reps as f64;
+        println!(
+            "{:<16} {:>12.1} {:>12.3} {:>13.1}% {:>11.1}%",
+            scheme.name(),
+            sse_sum / n,
+            dist_sum / n,
+            poison_sum / n * 100.0,
+            lost_sum / n * 100.0,
+        );
+    }
+
+    println!();
+    println!("Expected shape (paper Fig. 4g–i): Ostrich's SSE is the worst at");
+    println!("heavy attack; the game-theoretic schemes push poison to lower,");
+    println!("less damaging positions, with Elastic 0.5 the strongest on SSE.");
+}

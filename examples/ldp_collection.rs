@@ -1,0 +1,53 @@
+//! Privacy-preserving collection under manipulation attack (a miniature of
+//! the paper's Fig. 9).
+//!
+//! Honest users privatize Taxi-like pick-up times with the Piecewise
+//! Mechanism; input-manipulation attackers report counterfeit maxima
+//! through the same protocol (fully deniable). The trimming strategies and
+//! the EMF baseline then estimate the population mean; the table shows MSE
+//! across privacy budgets.
+//!
+//! Run with: `cargo run --release --example ldp_collection`
+
+use trimgame::core::ldp_sim::{ldp_mse, LdpDefense, LdpSimConfig};
+use trimgame::datasets::shapes::taxi;
+use trimgame::numerics::rand_ext::seeded_rng;
+
+fn main() {
+    // Scaled-down Taxi (1-D pick-up seconds normalized to [-1, 1]).
+    let data = taxi(&mut seeded_rng(99), 100);
+    let population: Vec<f64> = data.values().to_vec();
+    println!(
+        "Population: {} taxi pick-up times in [-1, 1], true mean {:.4}",
+        population.len(),
+        trimgame::numerics::stats::mean(&population)
+    );
+
+    let attack_ratio = 0.2;
+    let reps = 5;
+    println!("Attack: input manipulation at +1.0, ratio {attack_ratio}, {reps} reps\n");
+
+    let epsilons = [1.0, 2.0, 3.0, 4.0, 5.0];
+    print!("{:<12}", "defense");
+    for eps in epsilons {
+        print!(" {:>10}", format!("eps={eps}"));
+    }
+    println!();
+
+    for defense in LdpDefense::roster() {
+        print!("{:<12}", defense.name());
+        for eps in epsilons {
+            let mut cfg = LdpSimConfig::new(eps, attack_ratio, 31);
+            cfg.users_per_round = 1_000;
+            cfg.rounds = 5;
+            let mse = ldp_mse(&population, defense, &cfg, reps);
+            print!(" {:>10.5}", mse);
+        }
+        println!();
+    }
+
+    println!();
+    println!("Expected shape (paper Fig. 9): EMF cannot separate deniable");
+    println!("input manipulation and stays worst; the trimming strategies");
+    println!("improve with epsilon (less noise => cleaner trimming).");
+}

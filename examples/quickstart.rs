@@ -1,0 +1,62 @@
+//! Quickstart: one interactive trimming game, round by round.
+//!
+//! Plays the paper's Elastic (k = 0.5) scheme against its coupled
+//! adaptive adversary on a synthetic value stream, and prints the
+//! per-round positions so you can watch the coupled dynamics converge to
+//! the analytic fixed point.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use trimgame::core::elastic::CoupledDynamics;
+use trimgame::core::simulation::{run_game, GameConfig, Scheme};
+
+fn main() {
+    // A benign population: values 0.0 .. 99.9 (percentile space is what
+    // matters; any 1-D pool works).
+    let pool: Vec<f64> = (0..10_000).map(|i| (i % 1000) as f64 / 10.0).collect();
+
+    let mut config = GameConfig::new(Scheme::Elastic(0.5));
+    config.attack_ratio = 0.2;
+    config.rounds = 15;
+
+    let result = run_game(&pool, &config);
+
+    println!("Interactive trimming game — Elastic k=0.5, Tth=0.9, attack ratio 0.2");
+    println!();
+    println!(
+        "{:>5} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "round", "trim T(i)", "inject A(i)", "poison in", "survived", "quality"
+    );
+    for (i, o) in result.outcomes.iter().enumerate() {
+        println!(
+            "{:>5} {:>12.4} {:>12.4} {:>10} {:>10} {:>9.4}",
+            o.round,
+            result.thresholds[i],
+            result.injections[i],
+            o.poison_received,
+            o.poison_survived,
+            o.quality,
+        );
+    }
+
+    let dynamics = CoupledDynamics::new(config.tth, 0.5).expect("valid parameters");
+    let fp = dynamics.fixed_point();
+    println!();
+    println!(
+        "analytic fixed point: T* = {:.4}, A* = {:.4} (|A* - Tth| = {:.4})",
+        fp.trim,
+        fp.inject,
+        dynamics.equilibrium_injection_offset()
+    );
+    println!(
+        "surviving poison fraction: {:.4}  |  benign trim overhead: {:.4}",
+        result.surviving_poison_fraction(),
+        result.benign_trim_fraction()
+    );
+    println!();
+    println!(
+        "Interpretation: the adversary is pushed {:.1} percentiles below the",
+        (config.tth - result.injections.last().unwrap()) * 100.0
+    );
+    println!("nominal threshold — its poison survives, but in a harmless position.");
+}

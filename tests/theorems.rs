@@ -1,0 +1,142 @@
+//! Numeric verification of the paper's analytical results (Theorems 1–4)
+//! through the public API.
+
+use trimgame::core::elastic::CoupledDynamics;
+use trimgame::core::lagrange::{
+    fit_constant_velocity, is_constant_velocity, oscillation_metrics, UtilityTrajectory,
+};
+use trimgame::core::matrix::{Move, UltimatumPayoffs};
+use trimgame::core::simulation::{run_game, GameConfig, Scheme};
+use trimgame::core::titfortat::{compliance_margin, compliant_gain, defector_gain};
+use trimgame::numerics::lagrangian::{CoupledOscillatorLagrangian, FreeLagrangian};
+use trimgame::numerics::ode::rk4_integrate;
+use trimgame::numerics::oscillator::CoupledOscillator;
+use trimgame::numerics::rand_ext::seeded_rng;
+use trimgame::numerics::variational::{action_of_perturbed, discrete_action, max_residual};
+
+/// Theorem 1: at a Stackelberg equilibrium the cumulative utilities grow
+/// at constant rates. We run the Elastic game to convergence and check
+/// the post-transient utility series for linearity.
+#[test]
+fn theorem1_equilibrium_velocities_are_constant() {
+    let pool: Vec<f64> = (0..20_000).map(|i| (i % 2000) as f64).collect();
+    let mut cfg = GameConfig::new(Scheme::Elastic(0.5));
+    cfg.rounds = 60;
+    cfg.batch = 2_000;
+    let result = run_game(&pool, &cfg);
+    // Discard the transient (the coupled dynamics converge geometrically;
+    // 20 rounds is far past the k=0.5 time constant).
+    let steady_a: Vec<f64> = result.utilities.u_a[20..].to_vec();
+    let steady_c: Vec<f64> = result.utilities.u_c[20..].to_vec();
+    assert!(
+        is_constant_velocity(&steady_a, 0.05),
+        "adversary utility not linear after convergence"
+    );
+    assert!(
+        is_constant_velocity(&steady_c, 0.05),
+        "collector utility not linear after convergence"
+    );
+    // Velocities are the equilibrium roundwise gains.
+    let (va, _, _) = fit_constant_velocity(&steady_a);
+    assert!(va > 0.0, "adversary gains at equilibrium (poison survives low)");
+    let (vc, _, _) = fit_constant_velocity(&steady_c);
+    assert!(vc < 0.0, "collector pays at equilibrium");
+}
+
+/// Theorem 2: the equilibrium Lagrangian is the free kinetic form; true
+/// equilibrium trajectories have vanishing Euler–Lagrange residuals and
+/// minimize the discrete action among perturbed paths.
+#[test]
+fn theorem2_equilibrium_lagrangian_is_free_and_minimal() {
+    // Constant-velocity trajectories (the Theorem 1 conclusion).
+    let gains_a = vec![0.4; 80];
+    let gains_c = vec![-0.6; 80];
+    let traj = UtilityTrajectory::from_roundwise(&gains_a, &gains_c);
+    let free = FreeLagrangian::new(vec![1.0, 1.0]);
+    let t = traj.to_trajectory();
+    assert!(max_residual(&free, &t) < 1e-9);
+
+    // Least action: the linear path beats endpoint-fixed perturbations.
+    let s_true = discrete_action(&free, &t.q, 0.0, 1.0);
+    let mut rng = seeded_rng(42);
+    for _ in 0..25 {
+        let (s_pert, _) = action_of_perturbed(&free, &t.q, 0.0, 1.0, 0.5, &mut rng);
+        assert!(s_pert >= s_true - 1e-9);
+    }
+}
+
+/// Theorem 3: the compliance condition δ < (d − dp)/(1 − dp)·g_ac is
+/// exactly the comparison of the discounted gain streams (Eqs. 10–11).
+#[test]
+fn theorem3_compliance_condition_matches_gain_streams() {
+    let g_ac = 2.5;
+    for d in [0.3, 0.6, 0.9, 0.97] {
+        for p in [0.0, 0.2, 0.5, 0.8, 1.0] {
+            let margin = compliance_margin(d, p, g_ac);
+            // At the margin the two streams are equal (within float noise).
+            let g_com = compliant_gain(g_ac - margin, d);
+            let g_def = defector_gain(g_ac, d, p);
+            assert!(
+                (g_com - g_def).abs() < 1e-9,
+                "margin not the indifference point at d={d}, p={p}"
+            );
+        }
+    }
+}
+
+/// Theorem 4: with the Elastic interaction the relative utility
+/// oscillates periodically; closed form, RK4 and the oscillation detector
+/// all agree on the period.
+#[test]
+fn theorem4_elastic_relative_utility_oscillates() {
+    let (ma, mc, k) = (1.0, 1.0, 0.8);
+    let lag = CoupledOscillatorLagrangian::new(ma, mc, k);
+    let h = 0.05;
+    let traj = rk4_integrate(&lag, 0.0, &[1.5, -0.5], &[0.0, 0.0], h, 4_000);
+    let relative: Vec<f64> = traj.q.iter().map(|q| q[0] - q[1]).collect();
+
+    let osc = CoupledOscillator::new(ma, mc, k, 1.5, -0.5, 0.0, 0.0);
+    let metrics = oscillation_metrics(&relative);
+    assert!(metrics.zero_crossings >= 20);
+    // Empirical half period (in samples) vs closed form.
+    let half_period_samples = osc.period() / 2.0 / h;
+    assert!(
+        (metrics.mean_crossing_gap - half_period_samples).abs() < 0.1 * half_period_samples,
+        "measured {} vs closed form {}",
+        metrics.mean_crossing_gap,
+        half_period_samples
+    );
+    // Amplitude matches |w0| = 2.0 (started at rest).
+    assert!((metrics.amplitude - 2.0).abs() < 0.05);
+}
+
+/// Table I: the one-shot game has the prisoner's-dilemma structure — a
+/// unique mutually-hard equilibrium Pareto-dominated by mutual softness.
+#[test]
+fn table1_oneshot_game_structure() {
+    let m = UltimatumPayoffs::default_paper().matrix();
+    assert_eq!(m.pure_nash_equilibria(), vec![(Move::Hard, Move::Hard)]);
+    assert!(m.pareto_dominates((Move::Soft, Move::Soft), (Move::Hard, Move::Hard)));
+}
+
+/// The Elastic fixed point derived in closed form is the limit of the
+/// simulated coupled game.
+#[test]
+fn elastic_game_converges_to_analytic_fixed_point() {
+    let pool: Vec<f64> = (0..10_000).map(|i| (i % 1000) as f64).collect();
+    for k in [0.1, 0.5] {
+        let mut cfg = GameConfig::new(Scheme::Elastic(k));
+        cfg.rounds = 60;
+        let result = run_game(&pool, &cfg);
+        let dynamics = CoupledDynamics::new(cfg.tth, k).unwrap();
+        let fp = dynamics.fixed_point();
+        let last_t = *result.thresholds.last().unwrap();
+        let last_a = *result.injections.last().unwrap();
+        assert!((last_t - fp.trim).abs() < 1e-6, "k={k}: trim {last_t} vs {}", fp.trim);
+        assert!(
+            (last_a - fp.inject).abs() < 1e-6,
+            "k={k}: inject {last_a} vs {}",
+            fp.inject
+        );
+    }
+}
