@@ -10,7 +10,9 @@ use trimgame_numerics::rand_ext::seeded_rng;
 
 fn bench_mechanisms(c: &mut Criterion) {
     let mut group = c.benchmark_group("privatize_10k");
-    let values: Vec<f64> = (0..10_000).map(|i| (i % 200) as f64 / 100.0 - 1.0).collect();
+    let values: Vec<f64> = (0..10_000)
+        .map(|i| (i % 200) as f64 / 100.0 - 1.0)
+        .collect();
 
     group.bench_function("duchi", |b| {
         let mech = Duchi::new(1.0);
@@ -47,7 +49,10 @@ fn bench_mechanisms(c: &mut Criterion) {
     c.bench_function("emf_filter_10k_reports", |b| {
         let mech = Piecewise::new(2.0);
         let mut rng = seeded_rng(4);
-        let reports: Vec<f64> = values.iter().map(|&x| mech.privatize(x, &mut rng)).collect();
+        let reports: Vec<f64> = values
+            .iter()
+            .map(|&x| mech.privatize(x, &mut rng))
+            .collect();
         let emf = EmFilter::for_piecewise(&mech, 16, 32, 0.1);
         b.iter(|| emf.filter_mean(black_box(&reports)));
     });

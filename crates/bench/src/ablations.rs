@@ -50,8 +50,14 @@ pub fn ablate_k() -> String {
         );
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "larger k responds harder (bigger |A*-Tth|, faster oscillation)");
-    let _ = writeln!(out, "but the discrete map contracts at rate k, so transients last longer.");
+    let _ = writeln!(
+        out,
+        "larger k responds harder (bigger |A*-Tth|, faster oscillation)"
+    );
+    let _ = writeln!(
+        out,
+        "but the discrete map contracts at rate k, so transients last longer."
+    );
     out
 }
 
@@ -65,7 +71,10 @@ pub fn ablate_red() -> String {
     let users = 500;
     let mech = Piecewise::new(epsilon);
     let mut out = String::new();
-    let _ = writeln!(out, "== Ablation: Tit-for-tat redundancy Red (eps={epsilon}, {rounds} rounds) ==");
+    let _ = writeln!(
+        out,
+        "== Ablation: Tit-for-tat redundancy Red (eps={epsilon}, {rounds} rounds) =="
+    );
     let _ = writeln!(out);
     let _ = writeln!(
         out,
@@ -137,8 +146,14 @@ pub fn ablate_red() -> String {
         );
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "Theorem 3's trade-off made operational: tiny Red false-triggers on");
-    let _ = writeln!(out, "LDP jitter (early termination); large Red delays real detection.");
+    let _ = writeln!(
+        out,
+        "Theorem 3's trade-off made operational: tiny Red false-triggers on"
+    );
+    let _ = writeln!(
+        out,
+        "LDP jitter (early termination); large Red delays real detection."
+    );
     out
 }
 
@@ -146,8 +161,14 @@ pub fn ablate_red() -> String {
 #[must_use]
 pub fn ablate_discount() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Ablation: compliance margin delta_max = (d-dp)/(1-dp)*g_ac ==");
-    let _ = writeln!(out, "(g_ac = 1; rows d = discount, cols p = undetected-defection prob.)");
+    let _ = writeln!(
+        out,
+        "== Ablation: compliance margin delta_max = (d-dp)/(1-dp)*g_ac =="
+    );
+    let _ = writeln!(
+        out,
+        "(g_ac = 1; rows d = discount, cols p = undetected-defection prob.)"
+    );
     let _ = writeln!(out);
     let ps = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
     let _ = write!(out, "{:<7}", "d\\p");
@@ -163,7 +184,10 @@ pub fn ablate_discount() -> String {
         let _ = writeln!(out);
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "margin -> 0 as p -> 1 (defection undetectable => no compromise");
+    let _ = writeln!(
+        out,
+        "margin -> 0 as p -> 1 (defection undetectable => no compromise"
+    );
     let _ = writeln!(out, "sustains cooperation); margin -> d*g_ac as p -> 0.");
     out
 }
@@ -176,7 +200,10 @@ pub fn ablate_mechanism() -> String {
     let ratio = 0.2;
     let users = 2_000;
     let mut out = String::new();
-    let _ = writeln!(out, "== Ablation: mechanism choice (ratio {ratio}, debiased trim at p95) ==");
+    let _ = writeln!(
+        out,
+        "== Ablation: mechanism choice (ratio {ratio}, debiased trim at p95) =="
+    );
     let _ = writeln!(out);
     let _ = write!(out, "{:<12}", "mechanism");
     let epsilons = [1.0, 2.0, 3.0, 4.0, 5.0];
@@ -228,8 +255,11 @@ pub fn ablate_mechanism() -> String {
                             mech.privatize(population[idx], &mut rng)
                         })
                         .collect();
-                    reports
-                        .extend(attack.reports(&mech, (users as f64 * ratio) as usize, &mut rng));
+                    reports.extend(attack.reports(
+                        &mech,
+                        (users as f64 * ratio) as usize,
+                        &mut rng,
+                    ));
                     let kept = trim(&reports, TrimOp::Absolute(cut)).kept;
                     let est = mean(&kept) + bias;
                     total += (est - truth) * (est - truth);
@@ -242,11 +272,27 @@ pub fn ablate_mechanism() -> String {
     let rows: Vec<(&str, Vec<f64>)> = vec![
         (
             "Piecewise",
-            trimmed_mse(Piecewise::new, &epsilons, &population, truth, ratio, users, reps),
+            trimmed_mse(
+                Piecewise::new,
+                &epsilons,
+                &population,
+                truth,
+                ratio,
+                users,
+                reps,
+            ),
         ),
         (
             "Duchi",
-            trimmed_mse(Duchi::new, &epsilons, &population, truth, ratio, users, reps),
+            trimmed_mse(
+                Duchi::new,
+                &epsilons,
+                &population,
+                truth,
+                ratio,
+                users,
+                reps,
+            ),
         ),
         (
             "Laplace",
@@ -269,9 +315,18 @@ pub fn ablate_mechanism() -> String {
         let _ = writeln!(out);
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "Duchi's binary output defeats value trimming (attack reports are");
-    let _ = writeln!(out, "literally honest outputs), so the defense needs a rich output");
-    let _ = writeln!(out, "space — which is why Fig. 9 runs on the Piecewise Mechanism.");
+    let _ = writeln!(
+        out,
+        "Duchi's binary output defeats value trimming (attack reports are"
+    );
+    let _ = writeln!(
+        out,
+        "literally honest outputs), so the defense needs a rich output"
+    );
+    let _ = writeln!(
+        out,
+        "space — which is why Fig. 9 runs on the Piecewise Mechanism."
+    );
     out
 }
 
@@ -279,11 +334,16 @@ pub fn ablate_mechanism() -> String {
 #[must_use]
 pub fn ablate_sketch() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Ablation: exact percentile vs P^2 streaming sketch ==");
+    let _ = writeln!(
+        out,
+        "== Ablation: exact percentile vs P^2 streaming sketch =="
+    );
     let _ = writeln!(out);
     let n = 100_000;
     let mut rng = seeded_rng(123);
-    let values: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng) * 10.0 + 50.0).collect();
+    let values: Vec<f64> = (0..n)
+        .map(|_| standard_normal(&mut rng) * 10.0 + 50.0)
+        .collect();
 
     let _ = writeln!(
         out,
@@ -299,7 +359,11 @@ pub fn ablate_sketch() -> String {
         let est = sketch.estimate().expect("non-empty stream");
         // How many points land between the two cuts (trimmed by one
         // threshold but not the other)?
-        let (lo, hi) = if exact <= est { (exact, est) } else { (est, exact) };
+        let (lo, hi) = if exact <= est {
+            (exact, est)
+        } else {
+            (est, exact)
+        };
         let between = values.iter().filter(|&&v| v > lo && v <= hi).count();
         let _ = writeln!(
             out,
@@ -312,8 +376,14 @@ pub fn ablate_sketch() -> String {
         );
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "the sketch holds 5 markers in O(1) memory; threshold error stays");
-    let _ = writeln!(out, "well below the 1-percentile granularity the game plays at.");
+    let _ = writeln!(
+        out,
+        "the sketch holds 5 markers in O(1) memory; threshold error stays"
+    );
+    let _ = writeln!(
+        out,
+        "well below the 1-percentile granularity the game plays at."
+    );
     out
 }
 
@@ -327,7 +397,13 @@ mod tests {
     fn ablate_k_lists_all_ks() {
         let report = ablate_k();
         for k in ["0.05", "0.10", "0.90"] {
-            assert!(report.contains(&format!("{:>6}", format!("{:.2}", k.parse::<f64>().unwrap()))), "missing k={k}");
+            assert!(
+                report.contains(&format!(
+                    "{:>6}",
+                    format!("{:.2}", k.parse::<f64>().unwrap())
+                )),
+                "missing k={k}"
+            );
         }
     }
 

@@ -31,12 +31,9 @@ fn main() {
             "tables" => ids.extend(["table1", "table2", "table3", "table4"]),
             "figures" => ids.extend(["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]),
             "ablations" => ids.extend(EXPERIMENTS.iter().filter(|e| e.starts_with("ablate"))),
-            id if EXPERIMENTS.contains(&id) => ids.push(
-                EXPERIMENTS
-                    .iter()
-                    .find(|e| **e == id)
-                    .expect("validated"),
-            ),
+            id if EXPERIMENTS.contains(&id) => {
+                ids.push(EXPERIMENTS.iter().find(|e| **e == id).expect("validated"))
+            }
             unknown => {
                 eprintln!("unknown experiment: {unknown}");
                 usage();

@@ -10,9 +10,7 @@ use trim_core::config;
 use trim_core::elastic::CoupledDynamics;
 use trim_core::ldp_sim::{ldp_mse, LdpDefense, LdpSimConfig};
 use trim_core::matrix::UltimatumPayoffs;
-use trim_core::ml_sim::{
-    collect_poisoned, som_structure, svm_accuracy, MlSimConfig,
-};
+use trim_core::ml_sim::{collect_poisoned, som_structure, svm_accuracy, MlSimConfig};
 use trim_core::simulation::{run_table3_point, Scheme};
 use trimgame_datasets::shapes::{control, creditcard, taxi, vehicle, Shape};
 use trimgame_datasets::Dataset;
@@ -61,7 +59,10 @@ pub fn table2() -> String {
     let mut rng = seeded_rng(2024);
     let mut out = String::new();
     let _ = writeln!(out, "== Table II: dataset information ==");
-    let _ = writeln!(out, "(generated at TRIMGAME_SCALE={scale}; paper sizes in brackets)");
+    let _ = writeln!(
+        out,
+        "(generated at TRIMGAME_SCALE={scale}; paper sizes in brackets)"
+    );
     let _ = writeln!(out);
     let _ = writeln!(
         out,
@@ -111,9 +112,19 @@ pub fn fig45(tth: f64) -> String {
     let reps = config::repetitions().min(10);
     let schemes = Scheme::roster();
     let mut out = String::new();
-    let fig = if (tth - 0.9).abs() < 1e-9 { "Fig. 4" } else { "Fig. 5" };
-    let _ = writeln!(out, "== {fig}: k-means over Control/Vehicle/Letter, Tth={tth} ==");
-    let _ = writeln!(out, "({reps} repetitions per point; SSE normalized per retained row)");
+    let fig = if (tth - 0.9).abs() < 1e-9 {
+        "Fig. 4"
+    } else {
+        "Fig. 5"
+    };
+    let _ = writeln!(
+        out,
+        "== {fig}: k-means over Control/Vehicle/Letter, Tth={tth} =="
+    );
+    let _ = writeln!(
+        out,
+        "({reps} repetitions per point; SSE normalized per retained row)"
+    );
 
     for data in fig45_datasets() {
         let truth = trim_core::ml_sim::kmeans_truth(&data);
@@ -137,8 +148,7 @@ pub fn fig45(tth: f64) -> String {
                             ..MlSimConfig::new(scheme, tth, ratio, derive_seed(5, rep as u64))
                         };
                         let collected = collect_poisoned(&data, &cfg);
-                        let (sse, dist) =
-                            trim_core::ml_sim::kmeans_metrics_vs(&collected, &truth);
+                        let (sse, dist) = trim_core::ml_sim::kmeans_metrics_vs(&collected, &truth);
                         // Normalize SSE by retained rows so schemes with
                         // different retention are comparable.
                         sse_sum += sse / collected.retained.rows().max(1) as f64;
@@ -167,14 +177,21 @@ pub fn fig45(tth: f64) -> String {
 #[must_use]
 pub fn fig6() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Fig. 6: ground truth of SVM and SOM classification ==");
+    let _ = writeln!(
+        out,
+        "== Fig. 6: ground truth of SVM and SOM classification =="
+    );
     // (a) SVM on Control with labels.
     let data = control(&mut seeded_rng(2024));
     let model = SvmModel::fit(&data, SvmConfig::default(), &mut seeded_rng(1));
     let predictions = model.predict_all(&data);
     let cm = ConfusionMatrix::from_predictions(data.labels().unwrap(), &predictions, 6);
     let _ = writeln!(out);
-    let _ = writeln!(out, "(a) SVM on Control — accuracy {:.1}%", cm.accuracy() * 100.0);
+    let _ = writeln!(
+        out,
+        "(a) SVM on Control — accuracy {:.1}%",
+        cm.accuracy() * 100.0
+    );
     let _ = writeln!(out, "{cm}");
     let _ = writeln!(out);
 
@@ -182,7 +199,10 @@ pub fn fig6() -> String {
     let scale = config::dataset_scale();
     let cc = creditcard(&mut seeded_rng(31), scale);
     let som = Som::fit(&cc, SomConfig::paper(), &mut seeded_rng(32));
-    let _ = writeln!(out, "(b) SOM 20x20 on Creditcard — U-matrix (darker = larger distance)");
+    let _ = writeln!(
+        out,
+        "(b) SOM 20x20 on Creditcard — U-matrix (darker = larger distance)"
+    );
     let _ = write!(out, "{}", render_u_matrix(&som));
     let footprint = som.class_footprint(&cc);
     let _ = writeln!(out);
@@ -223,12 +243,20 @@ pub fn fig7() -> String {
     let reps = config::repetitions().min(10);
     let data = control(&mut seeded_rng(2024));
     let mut out = String::new();
-    let _ = writeln!(out, "== Fig. 7: SVM accuracy, Control, Tth=0.95, ratio=0.4 ==");
+    let _ = writeln!(
+        out,
+        "== Fig. 7: SVM accuracy, Control, Tth=0.95, ratio=0.4 =="
+    );
     let _ = writeln!(out, "({reps} repetitions)");
     let _ = writeln!(out);
 
     let gt_model = SvmModel::fit(&data, SvmConfig::default(), &mut seeded_rng(3));
-    let _ = writeln!(out, "{:<16} {:>10}", "Groundtruth", format!("{:.1}%", gt_model.accuracy(&data) * 100.0));
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10}",
+        "Groundtruth",
+        format!("{:.1}%", gt_model.accuracy(&data) * 100.0)
+    );
 
     for scheme in Scheme::roster() {
         let mut acc_sum = 0.0;
@@ -249,7 +277,10 @@ pub fn fig7() -> String {
         );
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "shape: ours > Ostrich > static baselines (paper: 96.8 GT;");
+    let _ = writeln!(
+        out,
+        "shape: ours > Ostrich > static baselines (paper: 96.8 GT;"
+    );
     let _ = writeln!(out, "95.5/95.1/94.9 baselines; 96.1/95.6/95.7 ours)");
     out
 }
@@ -260,7 +291,10 @@ pub fn fig8() -> String {
     let scale = config::dataset_scale();
     let data = creditcard(&mut seeded_rng(31), scale.max(32));
     let mut out = String::new();
-    let _ = writeln!(out, "== Fig. 8: SOM class structure, Creditcard, Tth=0.95, ratio=0.4 ==");
+    let _ = writeln!(
+        out,
+        "== Fig. 8: SOM class structure, Creditcard, Tth=0.95, ratio=0.4 =="
+    );
     let _ = writeln!(out);
     let _ = writeln!(
         out,
@@ -302,11 +336,26 @@ pub fn fig8() -> String {
         );
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "shape: the poison 'expands the area' of the small green class");
-    let _ = writeln!(out, "(footprint grows beyond the ground truth's single cell) exactly as");
-    let _ = writeln!(out, "the paper describes for its schemes, and unchecked poison (Ostrich)");
-    let _ = writeln!(out, "erodes the bulk class's footprint the most. Our synthetic stand-in");
-    let _ = writeln!(out, "keeps the two singletons separable under all schemes (their anomaly");
+    let _ = writeln!(
+        out,
+        "shape: the poison 'expands the area' of the small green class"
+    );
+    let _ = writeln!(
+        out,
+        "(footprint grows beyond the ground truth's single cell) exactly as"
+    );
+    let _ = writeln!(
+        out,
+        "the paper describes for its schemes, and unchecked poison (Ostrich)"
+    );
+    let _ = writeln!(
+        out,
+        "erodes the bulk class's footprint the most. Our synthetic stand-in"
+    );
+    let _ = writeln!(
+        out,
+        "keeps the two singletons separable under all schemes (their anomaly"
+    );
     let _ = writeln!(out, "scores are zero by construction); see EXPERIMENTS.md.");
     out
 }
@@ -318,8 +367,14 @@ pub fn table3() -> String {
     let data = control(&mut seeded_rng(5));
     let pool = trimgame_datasets::percentile::centroid_distances(&data);
     let mut out = String::new();
-    let _ = writeln!(out, "== Table III: non-equilibrium results, Control, ratio 0.2 ==");
-    let _ = writeln!(out, "({reps} repetitions; sentinel 25 = no termination in 20 rounds)");
+    let _ = writeln!(
+        out,
+        "== Table III: non-equilibrium results, Control, ratio 0.2 =="
+    );
+    let _ = writeln!(
+        out,
+        "({reps} repetitions; sentinel 25 = no termination in 20 rounds)"
+    );
     let _ = writeln!(out);
     let _ = writeln!(
         out,
@@ -336,8 +391,14 @@ pub fn table3() -> String {
         );
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "shape: termination rounds fall as defection grows; surviving");
-    let _ = writeln!(out, "poison falls with p — deviating from rational play loses utility.");
+    let _ = writeln!(
+        out,
+        "shape: termination rounds fall as defection grows; surviving"
+    );
+    let _ = writeln!(
+        out,
+        "poison falls with p — deviating from rational play loses utility."
+    );
     out
 }
 
@@ -345,11 +406,18 @@ pub fn table3() -> String {
 #[must_use]
 pub fn table4() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Table IV: roundwise cost of Elastic 0.1 and Elastic 0.5 ==");
+    let _ = writeln!(
+        out,
+        "== Table IV: roundwise cost of Elastic 0.1 and Elastic 0.5 =="
+    );
     let _ = writeln!(out);
     let d01 = CoupledDynamics::new(0.9, 0.1).expect("valid k");
     let d05 = CoupledDynamics::new(0.9, 0.5).expect("valid k");
-    let _ = writeln!(out, "{:>9} {:>12} {:>12}", "Round_no", "k=0.5 (%)", "k=0.1 (%)");
+    let _ = writeln!(
+        out,
+        "{:>9} {:>12} {:>12}",
+        "Round_no", "k=0.5 (%)", "k=0.1 (%)"
+    );
     for n in (5..=50).step_by(5) {
         let _ = writeln!(
             out,
@@ -366,8 +434,14 @@ pub fn table4() -> String {
         d01.equilibrium_injection_offset() * 100.0,
         d05.equilibrium_injection_offset() * 100.0
     );
-    let _ = writeln!(out, "note: the paper's converged totals (3.0404% / 4.3334%) equal these");
-    let _ = writeln!(out, "offsets with the two k columns transposed — see EXPERIMENTS.md.");
+    let _ = writeln!(
+        out,
+        "note: the paper's converged totals (3.0404% / 4.3334%) equal these"
+    );
+    let _ = writeln!(
+        out,
+        "offsets with the two k columns transposed — see EXPERIMENTS.md."
+    );
     out
 }
 
@@ -381,7 +455,10 @@ pub fn fig9() -> String {
     let epsilons = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0];
     let ratios = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45];
     let mut out = String::new();
-    let _ = writeln!(out, "== Fig. 9: LDP MSE vs epsilon, Taxi, input manipulation ==");
+    let _ = writeln!(
+        out,
+        "== Fig. 9: LDP MSE vs epsilon, Taxi, input manipulation =="
+    );
     let _ = writeln!(out, "({} users/round, 5 rounds, {reps} reps)", 1_000);
 
     for &ratio in &ratios {
@@ -405,8 +482,14 @@ pub fn fig9() -> String {
         }
     }
     let _ = writeln!(out);
-    let _ = writeln!(out, "shape: EMF worst at moderate/large epsilon (deniable attack);");
-    let _ = writeln!(out, "trimming overhead produces the small-epsilon inflection (~1.5).");
+    let _ = writeln!(
+        out,
+        "shape: EMF worst at moderate/large epsilon (deniable attack);"
+    );
+    let _ = writeln!(
+        out,
+        "trimming overhead produces the small-epsilon inflection (~1.5)."
+    );
     out
 }
 

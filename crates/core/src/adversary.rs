@@ -162,8 +162,16 @@ mod tests {
 
     #[test]
     fn mixed_extremes_are_pure() {
-        let mut hi = AdversaryPolicy::Mixed { p: 1.0, hi: 0.99, lo: 0.90 };
-        let mut lo = AdversaryPolicy::Mixed { p: 0.0, hi: 0.99, lo: 0.90 };
+        let mut hi = AdversaryPolicy::Mixed {
+            p: 1.0,
+            hi: 0.99,
+            lo: 0.90,
+        };
+        let mut lo = AdversaryPolicy::Mixed {
+            p: 0.0,
+            hi: 0.99,
+            lo: 0.90,
+        };
         let mut rng = seeded_rng(4);
         for _ in 0..20 {
             assert_eq!(hi.next_injection(&obs(None), &mut rng), 0.99);
@@ -173,7 +181,11 @@ mod tests {
 
     #[test]
     fn mixed_frequency_matches_p() {
-        let mut a = AdversaryPolicy::Mixed { p: 0.3, hi: 0.99, lo: 0.90 };
+        let mut a = AdversaryPolicy::Mixed {
+            p: 0.3,
+            hi: 0.99,
+            lo: 0.90,
+        };
         let mut rng = seeded_rng(5);
         let hits = (0..10_000)
             .filter(|_| a.next_injection(&obs(None), &mut rng) == 0.99)

@@ -38,6 +38,18 @@ where
     overhead: O,
 }
 
+impl<D, O> std::fmt::Debug for StackelbergSolver<D, O>
+where
+    D: Fn(f64) -> f64,
+    O: Fn(f64) -> f64,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StackelbergSolver")
+            .field("space", &self.space)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<D, O> StackelbergSolver<D, O>
 where
     D: Fn(f64) -> f64,

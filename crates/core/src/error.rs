@@ -33,16 +33,33 @@ impl fmt::Display for CoreError {
                 value,
             } => write!(f, "invalid parameter {name}={value}: requires {constraint}"),
             CoreError::BalancePointNotBracketed => {
-                write!(f, "poison-loss and trimming-overhead curves do not cross on the domain")
+                write!(
+                    f,
+                    "poison-loss and trimming-overhead curves do not cross on the domain"
+                )
             }
             CoreError::NoConvergence { iterations } => {
-                write!(f, "best-response iteration did not converge in {iterations} iterations")
+                write!(
+                    f,
+                    "best-response iteration did not converge in {iterations} iterations"
+                )
             }
         }
     }
 }
 
 impl std::error::Error for CoreError {}
+
+/// `a > b` under `partial_cmp`, false for NaN — the explicit form for
+/// validation guards, where a NaN parameter must fail the check.
+pub(crate) fn strictly_greater(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b) == Some(std::cmp::Ordering::Greater)
+}
+
+/// `a < b` under `partial_cmp`, false for NaN (see [`strictly_greater`]).
+pub(crate) fn strictly_less(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b) == Some(std::cmp::Ordering::Less)
+}
 
 #[cfg(test)]
 mod tests {
@@ -56,7 +73,11 @@ mod tests {
             value: 2.0,
         };
         assert!(e.to_string().contains("k=2"));
-        assert!(CoreError::BalancePointNotBracketed.to_string().contains("cross"));
-        assert!(CoreError::NoConvergence { iterations: 5 }.to_string().contains('5'));
+        assert!(CoreError::BalancePointNotBracketed
+            .to_string()
+            .contains("cross"));
+        assert!(CoreError::NoConvergence { iterations: 5 }
+            .to_string()
+            .contains('5'));
     }
 }

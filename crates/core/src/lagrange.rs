@@ -127,9 +127,7 @@ pub fn is_constant_velocity(series: &[f64], tol: f64) -> bool {
         return true;
     }
     let (_, _, max_dev) = fit_constant_velocity(series);
-    let range = series
-        .iter()
-        .fold(f64::NEG_INFINITY, |m, &x| m.max(x))
+    let range = series.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x))
         - series.iter().fold(f64::INFINITY, |m, &x| m.min(x));
     max_dev <= tol * range.max(1e-12)
 }
@@ -161,9 +159,7 @@ pub fn oscillation_metrics(relative: &[f64]) -> OscillationMetrics {
         .collect();
     let mut crossings = Vec::new();
     for i in 1..detrended.len() {
-        if detrended[i - 1].signum() != detrended[i].signum()
-            && detrended[i - 1] != 0.0
-        {
+        if detrended[i - 1].signum() != detrended[i].signum() && detrended[i - 1] != 0.0 {
             crossings.push(i);
         }
     }
@@ -251,7 +247,11 @@ mod tests {
             m.mean_crossing_gap,
             period / 2.0
         );
-        assert!((m.amplitude - 2.0).abs() < 0.05, "amplitude {}", m.amplitude);
+        assert!(
+            (m.amplitude - 2.0).abs() < 0.05,
+            "amplitude {}",
+            m.amplitude
+        );
     }
 
     #[test]

@@ -115,7 +115,10 @@ impl LdpSimConfig {
 #[must_use]
 pub fn run_ldp_collection(population: &[f64], defense: LdpDefense, cfg: &LdpSimConfig) -> f64 {
     assert!(!population.is_empty(), "empty population");
-    assert!(cfg.rounds > 0 && cfg.users_per_round > 0, "degenerate config");
+    assert!(
+        cfg.rounds > 0 && cfg.users_per_round > 0,
+        "degenerate config"
+    );
     let mech = Piecewise::new(cfg.epsilon);
     let attack = InputManipulation::new(1.0);
     let mut rng = seeded_rng(cfg.seed);
@@ -213,7 +216,10 @@ pub fn run_ldp_collection(population: &[f64], defense: LdpDefense, cfg: &LdpSimC
                     kept_total += outcome.kept.len();
                 }
                 let badness = 1.0 - quality;
-                threshold = elastic.as_ref().expect("elastic configured").threshold(badness);
+                threshold = elastic
+                    .as_ref()
+                    .expect("elastic configured")
+                    .threshold(badness);
             }
         }
     }
@@ -287,8 +293,18 @@ mod tests {
     #[test]
     fn mse_decreases_with_epsilon_for_trimming() {
         let pop = population();
-        let lo = ldp_mse(&pop, LdpDefense::Elastic(0.5), &LdpSimConfig::new(1.0, 0.1, 7), 3);
-        let hi = ldp_mse(&pop, LdpDefense::Elastic(0.5), &LdpSimConfig::new(5.0, 0.1, 7), 3);
+        let lo = ldp_mse(
+            &pop,
+            LdpDefense::Elastic(0.5),
+            &LdpSimConfig::new(1.0, 0.1, 7),
+            3,
+        );
+        let hi = ldp_mse(
+            &pop,
+            LdpDefense::Elastic(0.5),
+            &LdpSimConfig::new(5.0, 0.1, 7),
+            3,
+        );
         assert!(hi < lo, "eps=5 mse {hi} should beat eps=1 mse {lo}");
     }
 

@@ -18,7 +18,7 @@
 //! approach being mutually beneficial" — which is precisely why Section IV
 //! moves to the *infinite* repeated game.
 
-use crate::error::CoreError;
+use crate::error::{strictly_greater, CoreError};
 use std::fmt;
 
 /// A player move in the one-shot game (Definition 1).
@@ -55,14 +55,14 @@ impl UltimatumPayoffs {
     /// # Errors
     /// Returns [`CoreError::InvalidParameter`] if the ordering fails.
     pub fn new(p_hard: f64, t_hard: f64, p_soft: f64, t_soft: f64) -> Result<Self, CoreError> {
-        if !(t_soft > 0.0) {
+        if !strictly_greater(t_soft, 0.0) {
             return Err(CoreError::InvalidParameter {
                 name: "t_soft",
                 constraint: "T > 0",
                 value: t_soft,
             });
         }
-        if !(p_soft > t_soft) {
+        if !strictly_greater(p_soft, t_soft) {
             return Err(CoreError::InvalidParameter {
                 name: "p_soft",
                 constraint: "P > T",
@@ -73,14 +73,14 @@ impl UltimatumPayoffs {
         // unique (Hard, Hard) equilibrium is T̄ > P + T (so that against a
         // *soft* adversary the collector prefers soft trimming, killing
         // the (Hard, Soft) profile).
-        if !(t_hard > p_soft + t_soft) {
+        if !strictly_greater(t_hard, p_soft + t_soft) {
             return Err(CoreError::InvalidParameter {
                 name: "t_hard",
                 constraint: "T̄ >> P (at least T̄ > P + T)",
                 value: t_hard,
             });
         }
-        if !(p_hard > t_hard) {
+        if !strictly_greater(p_hard, t_hard) {
             return Err(CoreError::InvalidParameter {
                 name: "p_hard",
                 constraint: "P̄ > T̄",
@@ -178,7 +178,11 @@ impl PayoffMatrix {
 
 impl fmt::Display for PayoffMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<16} {:>22} {:>22}", "", "Adversary Soft", "Adversary Hard")?;
+        writeln!(
+            f,
+            "{:<16} {:>22} {:>22}",
+            "", "Adversary Soft", "Adversary Hard"
+        )?;
         for c in Move::ALL {
             let row: Vec<String> = Move::ALL
                 .iter()

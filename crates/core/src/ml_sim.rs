@@ -130,7 +130,9 @@ pub fn collect_poisoned(data: &Dataset, cfg: &MlSimConfig) -> CollectedSet {
     let mut defender = cfg.scheme.defender(cfg.tth, 1.0, cfg.red);
     let mut adversary = cfg.scheme.adversary(cfg.tth);
     let mut def_obs: Option<DefenderObservation> = None;
-    let mut adv_obs = AdversaryObservation { last_threshold: None };
+    let mut adv_obs = AdversaryObservation {
+        last_threshold: None,
+    };
 
     let mut rows: Vec<Vec<f64>> = Vec::new();
     let mut labels: Vec<usize> = Vec::new();
@@ -168,7 +170,9 @@ pub fn collect_poisoned(data: &Dataset, cfg: &MlSimConfig) -> CollectedSet {
         if n_poison > 0 {
             let target = rng.gen_range(0..centroids.len().max(1));
             let base = &centroids[target.min(centroids.len() - 1)];
-            let dir: Vec<f64> = (0..data.cols()).map(|_| standard_normal(&mut rng)).collect();
+            let dir: Vec<f64> = (0..data.cols())
+                .map(|_| standard_normal(&mut rng))
+                .collect();
             let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
             let poison_row: Vec<f64> = base
                 .iter()
@@ -189,8 +193,8 @@ pub fn collect_poisoned(data: &Dataset, cfg: &MlSimConfig) -> CollectedSet {
         let cut = ref_at(threshold);
 
         // Quality: excess tail mass above the clean reference distance.
-        let above = all_dists.iter().filter(|&&d| d > ref_value).count() as f64
-            / all_dists.len() as f64;
+        let above =
+            all_dists.iter().filter(|&&d| d > ref_value).count() as f64 / all_dists.len() as f64;
         let quality = 1.0 - (above - expected_tail).max(0.0);
 
         for (i, row) in batch_rows.into_iter().enumerate() {
@@ -215,7 +219,11 @@ pub fn collect_poisoned(data: &Dataset, cfg: &MlSimConfig) -> CollectedSet {
         let observed_injection = percentile_of(&clean_scores, poison_dist);
         def_obs = Some(DefenderObservation {
             quality,
-            injection_percentile: Some(if n_poison > 0 { observed_injection } else { injection }),
+            injection_percentile: Some(if n_poison > 0 {
+                observed_injection
+            } else {
+                injection
+            }),
         });
         adv_obs = AdversaryObservation {
             last_threshold: Some(threshold),

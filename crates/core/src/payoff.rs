@@ -29,7 +29,12 @@ pub struct BalancePoint {
 /// # Errors
 /// Returns [`CoreError::BalancePointNotBracketed`] if the curves do not
 /// cross on the interval.
-pub fn balance_point<P, T>(mut poison: P, mut overhead: T, lo: f64, hi: f64) -> Result<BalancePoint, CoreError>
+pub fn balance_point<P, T>(
+    mut poison: P,
+    mut overhead: T,
+    lo: f64,
+    hi: f64,
+) -> Result<BalancePoint, CoreError>
 where
     P: FnMut(f64) -> f64,
     T: FnMut(f64) -> f64,

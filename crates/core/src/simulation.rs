@@ -16,11 +16,11 @@
 use crate::adversary::{AdversaryObservation, AdversaryPolicy};
 use crate::lagrange::UtilityTrajectory;
 use crate::strategy::{DefenderObservation, DefenderPolicy};
+use rand::Rng;
 use trimgame_datasets::poison::{InjectionPosition, PoisonSpec};
 use trimgame_datasets::stream::RoundStream;
 use trimgame_numerics::quantile::{ecdf, Interpolation};
 use trimgame_numerics::rand_ext::seeded_rng;
-use rand::Rng;
 use trimgame_stream::round::RoundOutcome;
 use trimgame_stream::trim::{trim, TrimOp};
 
@@ -222,7 +222,9 @@ pub fn run_game(pool: &[f64], config: &GameConfig) -> GameResult {
         .unwrap_or_else(|| config.scheme.adversary(config.tth));
 
     let mut def_obs: Option<DefenderObservation> = None;
-    let mut adv_obs = AdversaryObservation { last_threshold: None };
+    let mut adv_obs = AdversaryObservation {
+        last_threshold: None,
+    };
 
     let mut outcomes = Vec::with_capacity(config.rounds);
     let mut retained = Vec::new();
@@ -405,7 +407,13 @@ pub fn run_table3_point(pool: &[f64], p: f64, k: f64, reps: usize, master_seed: 
         // Pre-draw the adversary's per-round positions so Tit-for-tat and
         // Elastic face the *same* attack sequence.
         let positions: Vec<f64> = (0..rounds)
-            .map(|_| if rng.gen::<f64>() < p { 0.99 } else { lo_position })
+            .map(|_| {
+                if rng.gen::<f64>() < p {
+                    0.99
+                } else {
+                    lo_position
+                }
+            })
             .collect();
         let benign_rounds: Vec<Vec<f64>> =
             (0..rounds).map(|_| stream.next_round(&mut rng)).collect();
@@ -606,8 +614,8 @@ mod tests {
         cfg.rounds = 5;
         cfg.batch = 200;
         let (poison, term) = averaged_game(&pool(), &cfg, 3);
-        assert!(poison >= 0.0 && poison <= 1.0);
-        assert!(term >= 1.0 && term <= 6.0);
+        assert!((0.0..=1.0).contains(&poison));
+        assert!((1.0..=6.0).contains(&term));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! strategy space complete (the key step that lets the model cover
 //! colluding adversaries with arbitrary poison distributions).
 
-use crate::error::CoreError;
+use crate::error::{strictly_less, CoreError};
 
 /// The strategy interval `[x_L, x_R]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,7 +36,7 @@ impl StrategySpace {
     /// # Errors
     /// Returns [`CoreError::InvalidParameter`] unless `x_L < x_R`.
     pub fn new(x_l: f64, x_r: f64) -> Result<Self, CoreError> {
-        if !(x_l < x_r) {
+        if !strictly_less(x_l, x_r) {
             return Err(CoreError::InvalidParameter {
                 name: "x_l",
                 constraint: "x_L < x_R",
@@ -82,7 +82,11 @@ impl StrategySpace {
     /// # Errors
     /// Returns [`CoreError::InvalidParameter`] if any value leaves the
     /// space, weights are non-positive, or the inputs are empty/ragged.
-    pub fn reduce_distribution(&self, values: &[f64], weights: &[f64]) -> Result<MixedPoint, CoreError> {
+    pub fn reduce_distribution(
+        &self,
+        values: &[f64],
+        weights: &[f64],
+    ) -> Result<MixedPoint, CoreError> {
         if values.is_empty() || values.len() != weights.len() {
             return Err(CoreError::InvalidParameter {
                 name: "values",

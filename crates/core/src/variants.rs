@@ -176,7 +176,12 @@ impl GenerousTitForTat {
     }
 
     /// Observes with an explicit RNG (the forgiveness coin).
-    pub fn observe_with<R: Rng + ?Sized>(&mut self, round: usize, quality: f64, rng: &mut R) -> f64 {
+    pub fn observe_with<R: Rng + ?Sized>(
+        &mut self,
+        round: usize,
+        quality: f64,
+        rng: &mut R,
+    ) -> f64 {
         if self.triggered_at.is_none()
             && quality < self.baseline_quality - self.red
             && rng.gen::<f64>() >= self.generosity
@@ -298,7 +303,10 @@ mod tests {
         let expected = GenerousTitForTat::new(0.91, 0.87, 1.0, 0.0, 0.8)
             .unwrap()
             .expected_termination_round(1.0);
-        assert!((avg - expected).abs() < 1.0, "avg {avg} vs expected {expected}");
+        assert!(
+            (avg - expected).abs() < 1.0,
+            "avg {avg} vs expected {expected}"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl fmt::Display for LoadError {
         match self {
             LoadError::Io(e) => write!(f, "io error: {e}"),
             LoadError::Parse { line, column, cell } => {
-                write!(f, "line {line}, column {column}: cannot parse {cell:?} as a number")
+                write!(
+                    f,
+                    "line {line}, column {column}: cannot parse {cell:?} as a number"
+                )
             }
             LoadError::Ragged {
                 line,
@@ -244,7 +247,11 @@ mod tests {
         let csv = "1.0,2.0\n3.0\n";
         let err = read_csv(Cursor::new(csv), "t", 1, CsvOptions::default()).unwrap_err();
         match err {
-            LoadError::Ragged { line, expected, found } => {
+            LoadError::Ragged {
+                line,
+                expected,
+                found,
+            } => {
                 assert_eq!(line, 2);
                 assert_eq!(expected, 2);
                 assert_eq!(found, 1);

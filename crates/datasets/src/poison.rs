@@ -46,9 +46,7 @@ impl InjectionPosition {
     /// Resolves this position to a concrete value against a benign batch.
     pub fn resolve<R: Rng + ?Sized>(&self, benign: &[f64], rng: &mut R) -> f64 {
         match *self {
-            InjectionPosition::Percentile(p) => {
-                percentile(benign, p, Interpolation::Linear)
-            }
+            InjectionPosition::Percentile(p) => percentile(benign, p, Interpolation::Linear),
             InjectionPosition::Range { lo, hi } => {
                 let p = lo + (hi - lo) * rng.gen::<f64>();
                 percentile(benign, p, Interpolation::Linear)
@@ -132,7 +130,10 @@ impl PoisonSpec {
     /// Panics if `ratio < 0` or the position parameters are out of range.
     #[must_use]
     pub fn new(ratio: f64, position: InjectionPosition) -> Self {
-        assert!(ratio >= 0.0, "attack ratio must be non-negative, got {ratio}");
+        assert!(
+            ratio >= 0.0,
+            "attack ratio must be non-negative, got {ratio}"
+        );
         position.validate();
         Self { ratio, position }
     }
@@ -198,7 +199,11 @@ mod tests {
         let mut rng = seeded_rng(3);
         let spec = PoisonSpec::new(
             1.0,
-            InjectionPosition::Mixed { p: 0.5, hi: 0.99, lo: 0.90 },
+            InjectionPosition::Mixed {
+                p: 0.5,
+                hi: 0.99,
+                lo: 0.90,
+            },
         );
         let data = benign();
         let batch = spec.inject(&data, &mut rng);

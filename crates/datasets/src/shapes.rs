@@ -100,12 +100,12 @@ fn control_series<R: Rng + ?Sized>(class: usize, rng: &mut R) -> Vec<f64> {
         let r = rng.gen::<f64>() * 6.0 - 3.0; // uniform(-3, 3)
         let base = M + r * S;
         let v = match class {
-            0 => base,                                                   // normal
-            1 => base + a * (std::f64::consts::TAU * t / period).sin(),  // cyclic
-            2 => base + g * t,                                           // increasing
-            3 => base - g * t,                                           // decreasing
-            4 => base + if t >= t3 { shift } else { 0.0 },               // upward shift
-            5 => base - if t >= t3 { shift } else { 0.0 },               // downward shift
+            0 => base,                                                  // normal
+            1 => base + a * (std::f64::consts::TAU * t / period).sin(), // cyclic
+            2 => base + g * t,                                          // increasing
+            3 => base - g * t,                                          // decreasing
+            4 => base + if t >= t3 { shift } else { 0.0 },              // upward shift
+            5 => base - if t >= t3 { shift } else { 0.0 },              // downward shift
             _ => unreachable!("control has exactly 6 classes"),
         };
         y.push(v);
@@ -161,7 +161,11 @@ pub fn letter<R: Rng + ?Sized>(rng: &mut R, scale: usize) -> Dataset {
     let spec = GmmSpec::new(components);
     let d = spec.generate("letter", n, rng);
     let labels = d.labels().map(<[usize]>::to_vec);
-    let data: Vec<f64> = d.values().iter().map(|v| v.round().clamp(0.0, 15.0)).collect();
+    let data: Vec<f64> = d
+        .values()
+        .iter()
+        .map(|v| v.round().clamp(0.0, 15.0))
+        .collect();
     Dataset::new("letter", 16, data, labels, 26)
 }
 
@@ -218,13 +222,25 @@ pub fn creditcard<R: Rng + ?Sized>(rng: &mut R, scale: usize) -> Dataset {
     }
     // One fraudulent outlier, far along the first PCA axes.
     let fraud: Vec<f64> = (0..dim)
-        .map(|j| if j < 4 { 60.0 } else { 0.5 * standard_normal(rng) })
+        .map(|j| {
+            if j < 4 {
+                60.0
+            } else {
+                0.5 * standard_normal(rng)
+            }
+        })
         .collect();
     rows.push(fraud);
     labels.push(1);
     // One premium outlier, far in the opposite direction.
     let premium: Vec<f64> = (0..dim)
-        .map(|j| if j < 4 { -55.0 } else { 0.5 * standard_normal(rng) })
+        .map(|j| {
+            if j < 4 {
+                -55.0
+            } else {
+                0.5 * standard_normal(rng)
+            }
+        })
         .collect();
     rows.push(premium);
     labels.push(2);
@@ -328,9 +344,8 @@ mod tests {
             assert!((-1.0..=1.0).contains(&v));
         }
         // Peaks: more mass near 8.5h (x≈-0.29) and 18.5h (x≈0.54) than at 3h (x≈-0.75).
-        let density = |lo: f64, hi: f64| {
-            d.values().iter().filter(|&&v| v >= lo && v < hi).count() as f64
-        };
+        let density =
+            |lo: f64, hi: f64| d.values().iter().filter(|&&v| v >= lo && v < hi).count() as f64;
         let morning = density(-0.35, -0.25);
         let night = density(-0.80, -0.70);
         assert!(morning > 1.5 * night, "morning {morning} vs night {night}");
@@ -343,10 +358,7 @@ mod tests {
         assert_eq!(labels.iter().filter(|&&l| l == 1).count(), 1);
         assert_eq!(labels.iter().filter(|&&l| l == 2).count(), 1);
         assert_eq!(labels.iter().filter(|&&l| l == 3).count(), 5);
-        assert_eq!(
-            labels.iter().filter(|&&l| l == 0).count(),
-            d.rows() - 7
-        );
+        assert_eq!(labels.iter().filter(|&&l| l == 0).count(), d.rows() - 7);
         // Outliers are far from the bulk centroid.
         let centroid = d.centroid();
         let dists = d.distances_to(&centroid);

@@ -130,9 +130,15 @@ mod tests {
             .map(|i| ((i % 100) as f64 / 50.0 - 1.0) * 0.8)
             .collect();
         let truth = mean(&population);
-        let reports: Vec<f64> = population.iter().map(|&x| m.privatize(x, &mut rng)).collect();
+        let reports: Vec<f64> = population
+            .iter()
+            .map(|&x| m.privatize(x, &mut rng))
+            .collect();
         let est = m.estimate_mean(&reports);
-        assert!((est - truth).abs() < 0.03, "estimate {est} vs truth {truth}");
+        assert!(
+            (est - truth).abs() < 0.03,
+            "estimate {est} vs truth {truth}"
+        );
     }
 
     #[test]

@@ -48,7 +48,12 @@ impl EmFilter {
     /// # Panics
     /// Panics if bin counts are `< 2` or `beta ∉ [0, 1)`.
     #[must_use]
-    pub fn for_piecewise(mech: &Piecewise, input_bins: usize, output_bins: usize, beta: f64) -> Self {
+    pub fn for_piecewise(
+        mech: &Piecewise,
+        input_bins: usize,
+        output_bins: usize,
+        beta: f64,
+    ) -> Self {
         assert!(input_bins >= 2 && output_bins >= 2, "need at least 2 bins");
         assert!((0.0..1.0).contains(&beta), "beta {beta} not in [0, 1)");
         let c = mech.c();
@@ -74,8 +79,8 @@ impl EmFilter {
             }
             // Normalize the column to exactly 1 to keep EM stochastic.
             let total: f64 = (0..output_bins).map(|o| kernel[o][j]).sum();
-            for o in 0..output_bins {
-                kernel[o][j] /= total;
+            for row in &mut kernel {
+                row[j] /= total;
             }
         }
         Self {
@@ -129,12 +134,9 @@ impl EmFilter {
         for _ in 0..self.max_iters {
             // Mixture prediction per output bin.
             let mut honest = vec![0.0; nout];
-            for o in 0..nout {
-                let mut acc = 0.0;
-                for j in 0..nin {
-                    acc += self.kernel[o][j] * theta[j];
-                }
-                honest[o] = (1.0 - self.beta) * acc;
+            for (o, slot) in honest.iter_mut().enumerate() {
+                let acc: f64 = self.kernel[o].iter().zip(&theta).map(|(k, t)| k * t).sum();
+                *slot = (1.0 - self.beta) * acc;
             }
             // E + M step for theta.
             let mut new_theta = vec![0.0; nin];
@@ -180,7 +182,11 @@ impl EmFilter {
                 .zip(&new_theta)
                 .map(|(a, b)| (a - b).abs())
                 .sum::<f64>()
-                + phi.iter().zip(&new_phi).map(|(a, b)| (a - b).abs()).sum::<f64>();
+                + phi
+                    .iter()
+                    .zip(&new_phi)
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f64>();
             theta = new_theta;
             phi = new_phi;
             if delta < self.tol {
@@ -230,7 +236,10 @@ mod tests {
         let reports: Vec<f64> = pop.iter().map(|&x| mech.privatize(x, &mut rng)).collect();
         let emf = EmFilter::for_piecewise(&mech, 16, 32, 0.01);
         let est = emf.filter_mean(&reports);
-        assert!((est - truth).abs() < 0.05, "estimate {est} vs truth {truth}");
+        assert!(
+            (est - truth).abs() < 0.05,
+            "estimate {est} vs truth {truth}"
+        );
     }
 
     #[test]

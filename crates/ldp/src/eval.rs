@@ -96,7 +96,9 @@ mod tests {
     use crate::piecewise::Piecewise;
 
     fn population() -> Vec<f64> {
-        (0..5_000).map(|i| ((i % 100) as f64 / 50.0 - 1.0) * 0.6).collect()
+        (0..5_000)
+            .map(|i| ((i % 100) as f64 / 50.0 - 1.0) * 0.6)
+            .collect()
     }
 
     #[test]
@@ -121,7 +123,10 @@ mod tests {
         let mse_large = estimator_mse(&mech, &atk, &large, 0.0, 20, 7, |b| {
             mech.estimate_mean(&b.reports)
         });
-        assert!(mse_large < mse_small, "large {mse_large} vs small {mse_small}");
+        assert!(
+            mse_large < mse_small,
+            "large {mse_large} vs small {mse_small}"
+        );
     }
 
     #[test]
@@ -135,7 +140,10 @@ mod tests {
         let attacked = estimator_mse(&mech, &atk, &pop, 0.3, 10, 11, |b| {
             mech.estimate_mean(&b.reports)
         });
-        assert!(attacked > 5.0 * clean, "attacked {attacked} vs clean {clean}");
+        assert!(
+            attacked > 5.0 * clean,
+            "attacked {attacked} vs clean {clean}"
+        );
     }
 
     #[test]
@@ -163,8 +171,12 @@ mod tests {
         let mech = Piecewise::new(1.0);
         let atk = InputManipulation::new(0.5);
         let pop = population();
-        let a = estimator_mse(&mech, &atk, &pop, 0.1, 5, 42, |b| mech.estimate_mean(&b.reports));
-        let b = estimator_mse(&mech, &atk, &pop, 0.1, 5, 42, |b| mech.estimate_mean(&b.reports));
+        let a = estimator_mse(&mech, &atk, &pop, 0.1, 5, 42, |b| {
+            mech.estimate_mean(&b.reports)
+        });
+        let b = estimator_mse(&mech, &atk, &pop, 0.1, 5, 42, |b| {
+            mech.estimate_mean(&b.reports)
+        });
         assert_eq!(a, b);
     }
 }

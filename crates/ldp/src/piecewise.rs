@@ -154,8 +154,7 @@ mod tests {
         let mut rng = seeded_rng(3);
         let x = 0.0;
         let pw_reports: Vec<f64> = (0..100_000).map(|_| pw.privatize(x, &mut rng)).collect();
-        let du_reports: Vec<f64> =
-            (0..100_000).map(|_| duchi.privatize(x, &mut rng)).collect();
+        let du_reports: Vec<f64> = (0..100_000).map(|_| duchi.privatize(x, &mut rng)).collect();
         assert!(
             variance(&pw_reports) < variance(&du_reports),
             "pw {} vs duchi {}",
@@ -207,7 +206,10 @@ mod tests {
             .map(|i| ((i % 200) as f64 / 100.0 - 1.0) * 0.5)
             .collect();
         let truth = mean(&population);
-        let reports: Vec<f64> = population.iter().map(|&x| m.privatize(x, &mut rng)).collect();
+        let reports: Vec<f64> = population
+            .iter()
+            .map(|&x| m.privatize(x, &mut rng))
+            .collect();
         assert!((m.estimate_mean(&reports) - truth).abs() < 0.02);
     }
 

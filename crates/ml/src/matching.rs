@@ -156,10 +156,7 @@ pub fn align_clusters(predicted: &[usize], truth: &[usize]) -> Vec<usize> {
         .map(|row| row.iter().map(|&c| -c).collect())
         .collect();
     let assign = hungarian(&cost);
-    predicted
-        .iter()
-        .map(|&p| assign[p].unwrap_or(p))
-        .collect()
+    predicted.iter().map(|&p| assign[p].unwrap_or(p)).collect()
 }
 
 #[cfg(test)]
@@ -277,16 +274,19 @@ mod tests {
         // Greedy row-wise baseline.
         let mut used = vec![false; n];
         let mut greedy = 0.0;
-        for i in 0..n {
+        for row in &cost {
             let (j, c) = (0..n)
                 .filter(|&j| !used[j])
-                .map(|j| (j, cost[i][j]))
+                .map(|j| (j, row[j]))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .unwrap();
             used[j] = true;
             greedy += c;
         }
-        assert!(optimal <= greedy + 1e-9, "optimal {optimal} > greedy {greedy}");
+        assert!(
+            optimal <= greedy + 1e-9,
+            "optimal {optimal} > greedy {greedy}"
+        );
         // All columns distinct.
         let mut cols: Vec<usize> = assign.iter().map(|j| j.unwrap()).collect();
         cols.sort_unstable();

@@ -24,7 +24,11 @@ impl ConfusionMatrix {
     /// `>= classes`.
     #[must_use]
     pub fn from_predictions(actual: &[usize], predicted: &[usize], classes: usize) -> Self {
-        assert_eq!(actual.len(), predicted.len(), "label arrays differ in length");
+        assert_eq!(
+            actual.len(),
+            predicted.len(),
+            "label arrays differ in length"
+        );
         assert!(!actual.is_empty(), "empty label arrays");
         assert!(classes > 0, "need at least one class");
         let mut counts = vec![0u64; classes * classes];

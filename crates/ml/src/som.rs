@@ -174,8 +174,8 @@ impl Som {
     #[must_use]
     pub fn u_matrix(&self) -> Vec<Vec<f64>> {
         let mut u = vec![vec![0.0; self.width]; self.height];
-        for y in 0..self.height {
-            for x in 0..self.width {
+        for (y, row) in u.iter_mut().enumerate() {
+            for (x, cell) in row.iter_mut().enumerate() {
                 let here = self.neuron(x, y);
                 let mut total = 0.0;
                 let mut count = 0;
@@ -183,15 +183,13 @@ impl Som {
                 for (dx, dy) in neighbours {
                     let nx = x as isize + dx;
                     let ny = y as isize + dy;
-                    if nx < 0 || ny < 0 || nx >= self.width as isize || ny >= self.height as isize
-                    {
+                    if nx < 0 || ny < 0 || nx >= self.width as isize || ny >= self.height as isize {
                         continue;
                     }
-                    total +=
-                        sq_euclidean(here, self.neuron(nx as usize, ny as usize)).sqrt();
+                    total += sq_euclidean(here, self.neuron(nx as usize, ny as usize)).sqrt();
                     count += 1;
                 }
-                u[y][x] = total / count as f64;
+                *cell = total / count as f64;
             }
         }
         u
@@ -292,7 +290,10 @@ mod tests {
         let som = Som::fit(&data, SomConfig::small(), &mut seeded_rng(4));
         // BMUs of the two classes should not coincide.
         let labels = data.labels().unwrap();
-        let mut cells = [std::collections::BTreeSet::new(), std::collections::BTreeSet::new()];
+        let mut cells = [
+            std::collections::BTreeSet::new(),
+            std::collections::BTreeSet::new(),
+        ];
         for (row, &l) in data.iter_rows().zip(labels) {
             let (x, y) = som.bmu(row);
             cells[l].insert((x, y));

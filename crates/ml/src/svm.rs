@@ -273,7 +273,10 @@ mod tests {
         let data = separable(1, 300);
         let labels = data.labels().unwrap();
         let rows: Vec<&[f64]> = data.iter_rows().collect();
-        let targets: Vec<f64> = labels.iter().map(|&l| if l == 1 { 1.0 } else { -1.0 }).collect();
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l == 1 { 1.0 } else { -1.0 })
+            .collect();
         let svm = LinearSvm::fit(&rows, &targets, SvmConfig::default(), &mut seeded_rng(2));
         let correct = rows
             .iter()
@@ -293,7 +296,11 @@ mod tests {
         let data = spec.generate("three", 450, &mut seeded_rng(3));
         let model = SvmModel::fit(&data, SvmConfig::default(), &mut seeded_rng(4));
         assert_eq!(model.classes(), 3);
-        assert!(model.accuracy(&data) > 0.95, "accuracy {}", model.accuracy(&data));
+        assert!(
+            model.accuracy(&data) > 0.95,
+            "accuracy {}",
+            model.accuracy(&data)
+        );
     }
 
     #[test]
@@ -343,7 +350,12 @@ mod tests {
     #[test]
     fn weights_accessible() {
         let rows: Vec<&[f64]> = vec![&[0.0, 1.0], &[0.0, -1.0]];
-        let svm = LinearSvm::fit(&rows, &[1.0, -1.0], SvmConfig::default(), &mut seeded_rng(11));
+        let svm = LinearSvm::fit(
+            &rows,
+            &[1.0, -1.0],
+            SvmConfig::default(),
+            &mut seeded_rng(11),
+        );
         assert_eq!(svm.weights().len(), 2);
         let _ = svm.bias();
     }

@@ -137,10 +137,10 @@ impl GkSummary {
         for (i, t) in self.tuples.iter().enumerate() {
             rank_min += t.g;
             let rank_max = rank_min + t.delta;
-            if target <= rank_max + bound || i == self.tuples.len() - 1 {
-                if rank_max >= target.saturating_sub(bound) {
-                    return Some(t.v);
-                }
+            if (target <= rank_max + bound || i == self.tuples.len() - 1)
+                && rank_max >= target.saturating_sub(bound)
+            {
+                return Some(t.v);
             }
         }
         self.tuples.last().map(|t| t.v)
@@ -210,9 +210,16 @@ mod tests {
             s.insert(x);
             all.push(x);
         }
-        let exact = percentile(&all, 0.99, Interpolation::Linear);
+        // GK guarantees rank error, not value error; in the thin Gaussian
+        // tail a compliant estimate can sit far from the exact value, so
+        // assert the actual guarantee.
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let est = s.query(0.99).unwrap();
-        assert!((est - exact).abs() < 0.1, "est {est} vs exact {exact}");
+        let rank = all.partition_point(|&v| v < est) as f64 / n as f64;
+        assert!(
+            (rank - 0.99).abs() <= 2.0 * eps + 1e-9,
+            "rank {rank} of estimate {est} too far from 0.99"
+        );
     }
 
     #[test]
@@ -257,8 +264,14 @@ mod tests {
             let a = asc.query(q).unwrap();
             let d = desc.query(q).unwrap();
             let target = q * f64::from(n);
-            assert!((a - target).abs() <= 2.0 * eps * f64::from(n) + 1.0, "asc q={q}: {a}");
-            assert!((d - target).abs() <= 2.0 * eps * f64::from(n) + 1.0, "desc q={q}: {d}");
+            assert!(
+                (a - target).abs() <= 2.0 * eps * f64::from(n) + 1.0,
+                "asc q={q}: {a}"
+            );
+            assert!(
+                (d - target).abs() <= 2.0 * eps * f64::from(n) + 1.0,
+                "desc q={q}: {d}"
+            );
         }
     }
 

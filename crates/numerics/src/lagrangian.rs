@@ -145,9 +145,7 @@ impl CoupledOscillatorLagrangian {
     #[must_use]
     pub fn energy(&self, q: &[f64], qdot: &[f64]) -> f64 {
         let w = q[0] - q[1];
-        0.5 * self.ma * qdot[0] * qdot[0]
-            + 0.5 * self.mc * qdot[1] * qdot[1]
-            + 0.5 * self.k * w * w
+        0.5 * self.ma * qdot[0] * qdot[0] + 0.5 * self.mc * qdot[1] * qdot[1] + 0.5 * self.k * w * w
     }
 }
 
@@ -158,8 +156,7 @@ impl Lagrangian for CoupledOscillatorLagrangian {
 
     fn eval(&self, q: &[f64], qdot: &[f64], _r: f64) -> f64 {
         let w = q[0] - q[1];
-        0.5 * self.ma * qdot[0] * qdot[0] + 0.5 * self.mc * qdot[1] * qdot[1]
-            - 0.5 * self.k * w * w
+        0.5 * self.ma * qdot[0] * qdot[0] + 0.5 * self.mc * qdot[1] * qdot[1] - 0.5 * self.k * w * w
     }
 
     fn dl_dq(&self, q: &[f64], _qdot: &[f64], _r: f64, i: usize) -> f64 {
@@ -229,8 +226,7 @@ mod tests {
                 "dL/dq_{i}"
             );
             assert!(
-                (l.dl_dqdot(&q, &qdot, 0.0, i) - numeric.dl_dqdot(&q, &qdot, 0.0, i)).abs()
-                    < 1e-5,
+                (l.dl_dqdot(&q, &qdot, 0.0, i) - numeric.dl_dqdot(&q, &qdot, 0.0, i)).abs() < 1e-5,
                 "dL/dqdot_{i}"
             );
         }

@@ -192,7 +192,10 @@ mod tests {
         let e0 = sys.energy(&traj.q[0], &traj.qdot[0]);
         for (q, v) in traj.q.iter().zip(&traj.qdot) {
             let e = sys.energy(q, v);
-            assert!((e - e0).abs() < 1e-6 * e0.max(1.0), "energy drift: {e} vs {e0}");
+            assert!(
+                (e - e0).abs() < 1e-6 * e0.max(1.0),
+                "energy drift: {e} vs {e0}"
+            );
         }
     }
 
@@ -202,7 +205,14 @@ mod tests {
         let (m, k) = (1.0, 4.0);
         let sys = CoupledOscillatorLagrangian::new(m, m, k);
         let w0 = 2.0;
-        let traj = rk4_integrate(&sys, 0.0, &[w0 / 2.0, -w0 / 2.0], &[0.0, 0.0], 0.001, 10_000);
+        let traj = rk4_integrate(
+            &sys,
+            0.0,
+            &[w0 / 2.0, -w0 / 2.0],
+            &[0.0, 0.0],
+            0.001,
+            10_000,
+        );
         let omega = (2.0 * k / m).sqrt();
         for (idx, q) in traj.q.iter().enumerate() {
             let r = traj.r[idx];

@@ -122,7 +122,10 @@ impl CoupledOscillator {
     pub fn velocity(&self, r: f64) -> (f64, f64) {
         let wd = self.relative_velocity(r);
         let total = self.ma + self.mc;
-        (self.v0 + self.mc / total * wd, self.v0 - self.ma / total * wd)
+        (
+            self.v0 + self.mc / total * wd,
+            self.v0 - self.ma / total * wd,
+        )
     }
 }
 
@@ -158,10 +161,7 @@ mod tests {
                 "u_a mismatch at r={r}: closed {ua} vs rk4 {}",
                 traj.q[idx][0]
             );
-            assert!(
-                (uc - traj.q[idx][1]).abs() < 1e-6,
-                "u_c mismatch at r={r}"
-            );
+            assert!((uc - traj.q[idx][1]).abs() < 1e-6, "u_c mismatch at r={r}");
         }
     }
 

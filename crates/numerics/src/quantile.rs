@@ -43,7 +43,10 @@ pub fn percentile(data: &[f64], p: f64, interp: Interpolation) -> f64 {
 #[must_use]
 pub fn percentile_sorted(sorted: &[f64], p: f64, interp: Interpolation) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty data");
-    assert!((0.0..=1.0).contains(&p), "percentile probability {p} not in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "percentile probability {p} not in [0,1]"
+    );
     let n = sorted.len();
     if n == 1 {
         return sorted[0];
@@ -123,7 +126,9 @@ pub fn ecdf(data: &[f64], x: f64) -> f64 {
 pub fn percentiles(data: &[f64], ps: &[f64], interp: Interpolation) -> Vec<f64> {
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentiles: NaN in data"));
-    ps.iter().map(|&p| percentile_sorted(&sorted, p, interp)).collect()
+    ps.iter()
+        .map(|&p| percentile_sorted(&sorted, p, interp))
+        .collect()
 }
 
 #[cfg(test)]

@@ -23,8 +23,7 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 /// repetitions from one master seed).
 #[must_use]
 pub fn derive_seed(master: u64, stream: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -67,7 +66,10 @@ impl NormalSampler {
     /// Panics if `sd < 0`.
     #[must_use]
     pub fn new(mean: f64, sd: f64) -> Self {
-        assert!(sd >= 0.0, "standard deviation must be non-negative, got {sd}");
+        assert!(
+            sd >= 0.0,
+            "standard deviation must be non-negative, got {sd}"
+        );
         Self { mean, sd }
     }
 

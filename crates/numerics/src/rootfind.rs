@@ -81,7 +81,9 @@ pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Resul
             hi = mid;
         }
     }
-    Err(RootError::MaxIterations { best: 0.5 * (lo + hi) })
+    Err(RootError::MaxIterations {
+        best: 0.5 * (lo + hi),
+    })
 }
 
 /// Brent's method on `[a, b]`: inverse quadratic interpolation with a
@@ -205,8 +207,14 @@ mod tests {
 
     #[test]
     fn non_finite_endpoints_rejected() {
-        assert_eq!(brent(|x| x, f64::NAN, 1.0, 1e-9).unwrap_err(), RootError::NotFinite);
-        assert_eq!(bisect(|x| x, 0.0, f64::INFINITY, 1e-9).unwrap_err(), RootError::NotFinite);
+        assert_eq!(
+            brent(|x| x, f64::NAN, 1.0, 1e-9).unwrap_err(),
+            RootError::NotFinite
+        );
+        assert_eq!(
+            bisect(|x| x, 0.0, f64::INFINITY, 1e-9).unwrap_err(),
+            RootError::NotFinite
+        );
     }
 
     #[test]

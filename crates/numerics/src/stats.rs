@@ -92,24 +92,30 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 /// entries are NaN.
 #[must_use]
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| {
-        Some(match acc {
-            Some(m) if m <= x => m,
-            _ => x,
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| {
+            Some(match acc {
+                Some(m) if m <= x => m,
+                _ => x,
+            })
         })
-    })
 }
 
 /// Maximum of a slice ignoring NaNs. Returns `None` on empty input or if all
 /// entries are NaN.
 #[must_use]
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| {
-        Some(match acc {
-            Some(m) if m >= x => m,
-            _ => x,
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| {
+            Some(match acc {
+                Some(m) if m >= x => m,
+                _ => x,
+            })
         })
-    })
 }
 
 /// Numerically stable streaming moments (Welford's algorithm).

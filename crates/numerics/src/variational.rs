@@ -61,12 +61,12 @@ pub fn euler_lagrange_residual<L: Lagrangian>(lag: &L, traj: &Trajectory) -> Vec
     let mut out = Vec::with_capacity(n - 2);
     for i in 1..n - 1 {
         let mut res = vec![0.0; dof];
-        for d in 0..dof {
+        for (d, slot) in res.iter_mut().enumerate() {
             let dl_dq = lag.dl_dq(&traj.q[i], &traj.qdot[i], traj.r[i], d);
             let p_next = lag.dl_dqdot(&traj.q[i + 1], &traj.qdot[i + 1], traj.r[i + 1], d);
             let p_prev = lag.dl_dqdot(&traj.q[i - 1], &traj.qdot[i - 1], traj.r[i - 1], d);
             let dp_dr = (p_next - p_prev) / (2.0 * h);
-            res[d] = dl_dq - dp_dr;
+            *slot = dl_dq - dp_dr;
         }
         out.push(res);
     }
@@ -147,8 +147,7 @@ mod tests {
         let s_true = discrete_action(&lag, &path, 0.0, h);
         let mut rng = seeded_rng(17);
         for _ in 0..50 {
-            let (s_pert, perturbed) =
-                action_of_perturbed(&lag, &path, 0.0, h, 0.3, &mut rng);
+            let (s_pert, perturbed) = action_of_perturbed(&lag, &path, 0.0, h, 0.3, &mut rng);
             // Endpoints stay fixed.
             assert_eq!(perturbed[0], path[0]);
             assert_eq!(perturbed[n - 1], path[n - 1]);

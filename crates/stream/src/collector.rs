@@ -18,6 +18,15 @@ pub struct Collector<Q: QualityEvaluation> {
     rounds_processed: usize,
 }
 
+impl<Q: QualityEvaluation> std::fmt::Debug for Collector<Q> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("board", &self.board)
+            .field("rounds_processed", &self.rounds_processed)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<Q: QualityEvaluation> Collector<Q> {
     /// Creates a collector posting to `board` and scoring with `quality`.
     #[must_use]
@@ -51,7 +60,11 @@ impl<Q: QualityEvaluation> Collector<Q> {
     /// evaluates quality on the *received* batch (the standard judges what
     /// the adversary sent, not what survived), posts the record, and
     /// returns the trim outcome together with the quality score.
-    pub fn process_round(&mut self, batch: &[f64], threshold_percentile: f64) -> (TrimOutcome, f64) {
+    pub fn process_round(
+        &mut self,
+        batch: &[f64],
+        threshold_percentile: f64,
+    ) -> (TrimOutcome, f64) {
         self.rounds_processed += 1;
         let quality = self.quality.evaluate(batch);
         let outcome = trim(batch, TrimOp::UpperPercentile(threshold_percentile));

@@ -46,8 +46,8 @@ fn main() {
             dist_sum += distance;
             poison_sum += collected.surviving_poison_fraction();
             lost_sum += collected.benign_trimmed as f64
-                / (collected.benign_trimmed + collected.retained.rows()
-                    - collected.poison_survived) as f64;
+                / (collected.benign_trimmed + collected.retained.rows() - collected.poison_survived)
+                    as f64;
         }
         let n = reps as f64;
         println!(

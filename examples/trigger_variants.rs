@@ -8,13 +8,13 @@
 //!
 //! Run with: `cargo run --release --example trigger_variants`
 
+use rand::Rng;
 use trimgame::core::titfortat::{survival_probability, TitForTat};
 use trimgame::core::variants::{GenerousTitForTat, TitForTwoTats, TriggerVariant};
 use trimgame::ldp::mechanism::LdpMechanism;
 use trimgame::ldp::piecewise::Piecewise;
 use trimgame::numerics::quantile::{ecdf, percentile, Interpolation};
 use trimgame::numerics::rand_ext::{derive_seed, seeded_rng};
-use rand::Rng;
 
 fn main() {
     let epsilon = 2.0;

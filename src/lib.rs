@@ -25,13 +25,18 @@
 //!
 //! ```
 //! use trimgame::core::simulation::{run_game, GameConfig, Scheme};
+//! use trimgame::numerics::rand_ext::{seeded_rng, NormalSampler};
 //!
-//! // A clean value pool (the benign population).
-//! let pool: Vec<f64> = (0..10_000).map(|i| (i % 1000) as f64 / 10.0).collect();
+//! // A clean value pool (the benign population), drawn from a seeded
+//! // RNG so this quickstart is reproducible bit-for-bit.
+//! let mut rng = seeded_rng(2024);
+//! let sampler = NormalSampler::new(50.0, 12.0);
+//! let pool: Vec<f64> = (0..10_000).map(|_| sampler.sample(&mut rng)).collect();
 //!
 //! // Play 20 rounds of the Elastic (k = 0.5) scheme against its
-//! // coupled adaptive adversary.
-//! let config = GameConfig::new(Scheme::Elastic(0.5));
+//! // coupled adaptive adversary; the game itself is seeded too.
+//! let mut config = GameConfig::new(Scheme::Elastic(0.5));
+//! config.seed = 42;
 //! let result = run_game(&pool, &config);
 //!
 //! // The coupled dynamics converge: poison ends up deep below the

@@ -38,7 +38,10 @@ fn theorem1_equilibrium_velocities_are_constant() {
     );
     // Velocities are the equilibrium roundwise gains.
     let (va, _, _) = fit_constant_velocity(&steady_a);
-    assert!(va > 0.0, "adversary gains at equilibrium (poison survives low)");
+    assert!(
+        va > 0.0,
+        "adversary gains at equilibrium (poison survives low)"
+    );
     let (vc, _, _) = fit_constant_velocity(&steady_c);
     assert!(vc < 0.0, "collector pays at equilibrium");
 }
@@ -132,7 +135,11 @@ fn elastic_game_converges_to_analytic_fixed_point() {
         let fp = dynamics.fixed_point();
         let last_t = *result.thresholds.last().unwrap();
         let last_a = *result.injections.last().unwrap();
-        assert!((last_t - fp.trim).abs() < 1e-6, "k={k}: trim {last_t} vs {}", fp.trim);
+        assert!(
+            (last_t - fp.trim).abs() < 1e-6,
+            "k={k}: trim {last_t} vs {}",
+            fp.trim
+        );
         assert!(
             (last_a - fp.inject).abs() < 1e-6,
             "k={k}: inject {last_a} vs {}",

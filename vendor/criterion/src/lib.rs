@@ -1,0 +1,313 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace vendors its external dependencies because builds must work
+//! without registry access. This harness keeps `criterion`'s call-site API
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, `bench_with_input`, [`black_box`]) and performs a
+//! simple but honest wall-clock measurement:
+//!
+//! 1. warm up for [`Criterion::warm_up_ms`] milliseconds;
+//! 2. calibrate an iteration count that fills [`Criterion::measure_ms`];
+//! 3. run that many iterations in timed batches and report the mean,
+//!    minimum and maximum time per iteration.
+//!
+//! Measurement windows can be tuned with the `TRIMGAME_BENCH_WARMUP_MS` and
+//! `TRIMGAME_BENCH_MEASURE_MS` environment variables. There is no
+//! statistical machinery (outlier rejection, bootstrap confidence
+//! intervals); numbers are indicative, meant for tracking order-of-magnitude
+//! regressions between commits on the same machine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: a function name plus an input parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id labelled `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            id: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    report: Option<Report>,
+}
+
+/// One benchmark's measured timings.
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    iterations: u64,
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also estimates the per-iteration cost for calibration.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Calibrate a batch size so each timed batch is ~1/10 of the
+        // measurement window, bounded to keep pathological cases sane.
+        let batch =
+            ((self.measure.as_secs_f64() / 10.0 / per_iter).ceil() as u64).clamp(1, 1 << 20);
+
+        let mut total = Duration::ZERO;
+        let mut iterations: u64 = 0;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        while total < self.measure {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            total += elapsed;
+            iterations += batch;
+            let per = elapsed / u32::try_from(batch).unwrap_or(u32::MAX);
+            min = min.min(per);
+            max = max.max(per);
+        }
+        self.report = Some(Report {
+            iterations,
+            mean: total / u32::try_from(iterations).unwrap_or(u32::MAX),
+            min,
+            max,
+        });
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: env_ms("TRIMGAME_BENCH_WARMUP_MS", 100),
+            measure: env_ms("TRIMGAME_BENCH_MEASURE_MS", 400),
+        }
+    }
+}
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    let ms = std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default_ms)
+        .max(1);
+    Duration::from_millis(ms)
+}
+
+fn run_one(warm_up: Duration, measure: Duration, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        warm_up,
+        measure,
+        report: None,
+    };
+    f(&mut bencher);
+    match bencher.report {
+        Some(r) => println!(
+            "{id:<40} time: [{} {} {}]  ({} iters)",
+            fmt_duration(r.min),
+            fmt_duration(r.mean),
+            fmt_duration(r.max),
+            r.iterations,
+        ),
+        None => println!("{id:<40} (no measurement: closure never called iter)"),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.warm_up, self.measure, &id.into().id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(
+            self.criterion.warm_up,
+            self.criterion.measure,
+            &full,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a named benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(
+            self.criterion.warm_up,
+            self.criterion.measure,
+            &full,
+            &mut |b| {
+                f(b, input);
+            },
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; groups hold no state).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in `criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in `criterion`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut called = false;
+        fast_criterion().bench_function("noop", |b| {
+            called = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(called);
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut seen = 0;
+        let mut criterion = fast_criterion();
+        let mut group = criterion.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("sum", 3), &vec![1, 2, 3], |b, v| {
+            seen = v.len();
+            b.iter(|| v.iter().sum::<i32>());
+        });
+        group.finish();
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats_with_parameter() {
+        assert_eq!(BenchmarkId::new("exact", 1000).to_string(), "exact/1000");
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert!(fmt_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(10)).ends_with("ms"));
+    }
+}

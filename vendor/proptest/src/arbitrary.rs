@@ -1,0 +1,79 @@
+//! The [`any`] strategy: full-domain generation for primitives.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )+
+    };
+}
+
+arbitrary_via_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    /// Finite full-range doubles (±1e12): the suites assert arithmetic
+    /// properties that are vacuous for NaN/∞, matching how they use `any`.
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen_range(-1e12_f64..1e12)
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`'s full domain.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_u64_spans_high_bits() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let strategy = any::<u64>();
+        let high = (0..64).any(|_| strategy.generate(&mut rng) > u64::MAX / 2);
+        assert!(high);
+    }
+
+    #[test]
+    fn any_f64_is_finite() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let strategy = any::<f64>();
+        for _ in 0..1000 {
+            assert!(strategy.generate(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for collection strategies: either exact or a
+/// uniformly drawn size from a range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut StdRng) -> usize {
+        if self.lo + 1 >= self.hi_exclusive {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi_exclusive)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            lo: exact,
+            hi_exclusive: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty collection size range");
+        Self {
+            lo: range.start,
+            hi_exclusive: range.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty collection size range");
+        Self {
+            lo: *range.start(),
+            hi_exclusive: range.end() + 1,
+        }
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.size.draw(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors whose elements come from `element` and whose length
+/// comes from `size` (an exact `usize` or a range).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_size_is_exact() {
+        let s = vec(0_u32..10, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut rng).len(), 4);
+        }
+    }
+
+    #[test]
+    fn ranged_size_spans_the_range() {
+        let s = vec(0_u32..10, 1..5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let len = s.generate(&mut rng).len();
+            assert!((1..5).contains(&len));
+            seen[len - 1] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn nested_vecs_compose() {
+        let s = vec(vec(0.0_f64..1.0, 3), 2..4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = s.generate(&mut rng);
+        assert!((2..4).contains(&m.len()));
+        assert!(m.iter().all(|row| row.len() == 3));
+    }
+}

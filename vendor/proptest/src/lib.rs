@@ -1,0 +1,201 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace vendors its external dependencies because builds must work
+//! without registry access. This crate keeps `proptest`'s call-site API for
+//! the subset the workspace's property suites use — the [`proptest!`] macro,
+//! range/[`any`]/collection strategies, `prop_flat_map`/`prop_map`, and the
+//! `prop_assert*` macros — on top of a deliberately simple runner:
+//!
+//! * each `#[test]` runs `PROPTEST_CASES` random cases (default 48, chosen
+//!   so the full workspace property suite stays well under two minutes);
+//! * case seeds derive deterministically from the test name, so runs are
+//!   reproducible by default and never flake; set `PROPTEST_SEED` to
+//!   explore a different portion of the input space;
+//! * there is **no shrinking** — a failing case reports its case index and
+//!   master seed instead of a minimized input.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface expected at `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Module-style access to strategy constructors (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines a block of property tests.
+///
+/// Each function runs [`test_runner::run`] over its strategies; generated
+/// values bind to the patterns on the left of `in`.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__proptest_rng| {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(
+                            &($strategy),
+                            __proptest_rng,
+                        );
+                    )+
+                    #[allow(unreachable_code, clippy::redundant_closure_call)]
+                    let __proptest_result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    __proptest_result
+                });
+            }
+        )+
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the current case when its inputs miss a precondition.
+///
+/// The simple runner treats a discarded case as passing (a fresh case is
+/// not redrawn), which keeps case counts predictable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in 0_u64..1000, b in 0_u64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in prop::collection::vec(0.0_f64..1.0, 3..10),
+        ) {
+            prop_assert!((3..10).contains(&v.len()));
+            for x in &v {
+                prop_assert!((0.0..1.0).contains(x), "element {x} out of range");
+            }
+        }
+
+        #[test]
+        fn flat_map_chains_strategies(
+            v in (1_usize..5).prop_flat_map(|n| prop::collection::vec(0_i32..10, n)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+
+        #[test]
+        fn just_yields_its_value(x in Just(41)) {
+            prop_assert_eq!(x + 1, 42);
+        }
+
+        #[test]
+        fn any_u64_is_deterministic_per_case(seed in any::<u64>()) {
+            // The value itself is arbitrary; determinism of the harness is
+            // covered by the runner test below. Here we only require that
+            // generation succeeds across the full domain.
+            let _ = seed;
+        }
+
+        #[test]
+        fn mut_patterns_bind(mut v in prop::collection::vec(0_i32..5, 1..4)) {
+            v.push(99);
+            prop_assert_eq!(*v.last().unwrap(), 99);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_info() {
+        crate::test_runner::run("always_fails", |_rng| {
+            Err(crate::test_runner::TestCaseError::fail("nope".to_owned()))
+        });
+    }
+}

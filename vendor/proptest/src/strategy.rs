@@ -1,0 +1,236 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically maps an RNG to a value of its
+//! associated type. Ranges of primitives, [`Just`], mapped/flat-mapped
+//! strategies and tuples of strategies are supported — the surface the
+//! workspace's property suites use.
+
+use rand::distributions::uniform::SampleUniform;
+use rand::rngs::StdRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of type `Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Returns a strategy applying `f` to each generated value.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Returns a strategy feeding each generated value into `f` to obtain
+    /// the strategy that produces the final value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Returns a strategy that redraws until `predicate` accepts the value.
+    ///
+    /// # Panics
+    /// Panics (failing the test) if 1000 consecutive draws are rejected.
+    fn prop_filter<F>(self, whence: &'static str, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            predicate,
+        }
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone, Copy)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        for _ in 0..1000 {
+            let value = self.inner.generate(rng);
+            if (self.predicate)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive draws: {}",
+            self.whence
+        );
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::sample_uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+// Strategies compose by reference too (the `proptest!` macro generates by
+// reference so user strategies need not be `Copy`).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, G)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBEEF)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = (10_usize..20).generate(&mut r);
+            assert!((10..20).contains(&x));
+            let y = (-1.5_f64..2.5).generate(&mut r);
+            assert!((-1.5..2.5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let doubled = (1_u32..5).prop_map(|x| x * 2);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = doubled.generate(&mut r);
+            assert_eq!(v % 2, 0);
+            assert!((2..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn filter_respects_predicate() {
+        let evens = (0_u32..100).prop_filter("even", |x| x % 2 == 0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(evens.generate(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let s = (0_u32..10, 0.0_f64..1.0);
+        let mut r = rng();
+        let (a, b) = s.generate(&mut r);
+        assert!(a < 10);
+        assert!((0.0..1.0).contains(&b));
+    }
+}

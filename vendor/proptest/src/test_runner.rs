@@ -1,0 +1,119 @@
+//! The case-execution loop behind the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default number of cases per property, chosen to keep the workspace's
+/// full property suite fast; override with `PROPTEST_CASES`.
+pub const DEFAULT_CASES: u32 = 48;
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure carrying `message`.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// FNV-1a, used to derive a stable per-test master seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// Runs `test` for the configured number of cases.
+///
+/// Case `i` of test `name` always sees the same RNG stream (derived from
+/// `PROPTEST_SEED` when set, else from a hash of `name`), so failures are
+/// reproducible from the message alone.
+///
+/// # Panics
+/// Panics — failing the enclosing `#[test]` — on the first case whose
+/// closure returns an error.
+pub fn run<F>(name: &str, mut test: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let cases = env_u64("PROPTEST_CASES").map_or(DEFAULT_CASES, |n| {
+        u32::try_from(n.max(1)).unwrap_or(u32::MAX)
+    });
+    let master = env_u64("PROPTEST_SEED").unwrap_or_else(|| fnv1a(name.as_bytes()));
+    for case in 0..cases {
+        let mut rng =
+            StdRng::seed_from_u64(master ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Err(err) = test(&mut rng) {
+            panic!(
+                "proptest `{name}` failed at case {case}/{cases} \
+                 (master seed {master:#x}; rerun with PROPTEST_SEED={master}): {err}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        use rand::Rng;
+        let mut first: Vec<u64> = Vec::new();
+        run("determinism_probe", |rng| {
+            first.push(rng.gen());
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        run("determinism_probe", |rng| {
+            second.push(rng.gen());
+            Ok(())
+        });
+        assert_eq!(first, second);
+        assert_eq!(first.len(), DEFAULT_CASES as usize);
+    }
+
+    #[test]
+    fn different_names_get_different_streams() {
+        use rand::Rng;
+        let mut a: Vec<u64> = Vec::new();
+        run("stream_a", |rng| {
+            a.push(rng.gen());
+            Ok(())
+        });
+        let mut b: Vec<u64> = Vec::new();
+        run("stream_b", |rng| {
+            b.push(rng.gen());
+            Ok(())
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rerun with PROPTEST_SEED=")]
+    fn failure_reports_reproduction_seed() {
+        run("doomed", |_| Err(TestCaseError::fail("boom")));
+    }
+}

@@ -1,0 +1,243 @@
+//! Distributions: [`Standard`] primitives and unbiased uniform ranges.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for primitives: uniform over `[0, 1)` for
+/// floats, uniform over the full domain for integers, fair for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform on [0, 1) with full precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1_u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1_u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($ty:ty => $method:ident),+ $(,)?) => {
+        $(
+            impl Distribution<$ty> for Standard {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.$method() as $ty
+                }
+            }
+        )+
+    };
+}
+
+standard_int!(
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64,
+);
+
+pub mod uniform {
+    //! Uniform sampling from ranges, mirroring `rand::distributions::uniform`.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Draws a `u64` uniformly from `[0, span)` without modulo bias
+    /// (Lemire's multiply-shift rejection method).
+    fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let x = rng.next_u64();
+            let m = u128::from(x) * u128::from(span);
+            #[allow(clippy::cast_possible_truncation)]
+            let low = m as u64;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Types with a uniform-sampling implementation over ranges.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Samples uniformly from `[low, high)` (`inclusive = false`) or
+        /// `[low, high]` (`inclusive = true`).
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($ty:ty),+ $(,)?) => {
+            $(
+                impl SampleUniform for $ty {
+                    #[allow(
+                        clippy::cast_possible_truncation,
+                        clippy::cast_possible_wrap,
+                        clippy::cast_sign_loss
+                    )]
+                    fn sample_uniform<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        if inclusive {
+                            assert!(low <= high, "empty range");
+                        } else {
+                            assert!(low < high, "empty range");
+                        }
+                        // Width in the unsigned domain; wrapping_sub handles
+                        // signed types via two's complement.
+                        let span = (high as u64).wrapping_sub(low as u64);
+                        let span = if inclusive { span.wrapping_add(1) } else { span };
+                        if span == 0 {
+                            // Inclusive range covering the whole domain.
+                            return rng.next_u64() as $ty;
+                        }
+                        low.wrapping_add(uniform_below(rng, span) as $ty)
+                    }
+                }
+            )+
+        };
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($ty:ty),+ $(,)?) => {
+            $(
+                impl SampleUniform for $ty {
+                    fn sample_uniform<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        if inclusive {
+                            assert!(low <= high, "empty range");
+                            // [0, 1] with the closed upper bound reachable.
+                            let unit = (rng.next_u64() >> 11) as $ty
+                                * (1.0 / ((1_u64 << 53) - 1) as $ty);
+                            return low + (high - low) * unit;
+                        }
+                        assert!(low < high, "empty range");
+                        let unit = (rng.next_u64() >> 11) as $ty
+                            * (1.0 / (1_u64 << 53) as $ty);
+                        // May round up to `high` for extreme spans; clamp to
+                        // keep the documented half-open contract.
+                        let v = low + (high - low) * unit;
+                        if v < high { v } else { <$ty>::max(low, high - (high - low) * <$ty>::EPSILON) }
+                    }
+                }
+            )+
+        };
+    }
+
+    uniform_float!(f32, f64);
+
+    /// Ranges that can be sampled from, as accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from `self`.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_uniform(rng, *self.start(), *self.end(), true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleRange;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn signed_ranges_cover_negatives() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut saw_negative = false;
+        for _ in 0..200 {
+            let v: i32 = (-5..5).sample_single(&mut rng);
+            assert!((-5..5).contains(&v));
+            saw_negative |= v < 0;
+        }
+        assert!(saw_negative);
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+    }
+
+    #[test]
+    fn integer_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0_u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10_usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn single_value_inclusive_range_is_constant() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            assert_eq!(rng.gen_range(7..=7_usize), 7);
+        }
+    }
+
+    #[test]
+    fn degenerate_inclusive_float_range_is_constant() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            assert_eq!(rng.gen_range(0.5_f64..=0.5), 0.5);
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range_stays_in_closed_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Concrete generators: [`StdRng`] (xoshiro256++) and the [`SplitMix64`]
+//! seed expander.
+
+use crate::{RngCore, SeedableRng};
+
+/// The SplitMix64 generator, used to expand 64-bit seeds into full state.
+///
+/// This is the scheme `rand` documents for [`SeedableRng::seed_from_u64`]:
+/// it guarantees that nearby seeds produce well-separated states.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a SplitMix64 stream starting from `state`.
+    #[must_use]
+    pub fn new(state: u64) -> Self {
+        Self { state }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace's standard deterministic generator.
+///
+/// Backed by xoshiro256++ (Blackman & Vigna), a small, fast generator
+/// with a 2²⁵⁶−1 period that passes the usual statistical batteries —
+/// more than adequate for simulation workloads. Unlike the upstream
+/// `StdRng` it makes an explicit stability promise: the output stream
+/// for a given seed will never change, which the workspace's seeded
+/// experiments and doctests rely on.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn from_state(s: [u64; 4]) -> Self {
+        // An all-zero state is the one fixed point of xoshiro; nudge it.
+        if s == [0, 0, 0, 0] {
+            Self {
+                s: [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    1,
+                ],
+            }
+        } else {
+            Self { s }
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0_u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        Self::from_state(s)
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vector() {
+        // Reference outputs of the public-domain splitmix64.c (Vigna),
+        // cross-computed with an independent implementation. Any change
+        // to a constant or shift breaks every seeded stream in the
+        // workspace, so these are pinned exactly.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+
+        let mut sm = SplitMix64::new(1_234_567);
+        assert_eq!(sm.next_u64(), 0x599E_D017_FB08_FC85);
+        assert_eq!(sm.next_u64(), 0x2C73_F084_5854_0FA5);
+        assert_eq!(sm.next_u64(), 0x883E_BCE5_A3F2_7C77);
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut rng = StdRng::from_seed([0; 32]);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert!(a != 0 || b != 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn u32_uses_high_bits() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(a.next_u32(), (b.next_u64() >> 32) as u32);
+    }
+}
