@@ -5,9 +5,11 @@
 //!
 //! experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 table3 table4 fig9
 //!              ablate-k ablate-red ablate-discount ablate-mechanism ablate-sketch
+//!              sweep
 //!
-//! env: TRIMGAME_REPS=N   repetitions per point (default 10; paper 100)
-//!      TRIMGAME_SCALE=N  dataset instance divisor (default 64; paper 1)
+//! env: TRIMGAME_REPS=N           repetitions per point (default 10; paper 100)
+//!      TRIMGAME_SCALE=N          dataset instance divisor (default 64; paper 1)
+//!      TRIMGAME_SWEEP_THREADS=N  sweep worker count (default: all cores)
 //! ```
 
 use trimgame_bench::{run_experiment, EXPERIMENTS};
@@ -15,7 +17,9 @@ use trimgame_bench::{run_experiment, EXPERIMENTS};
 fn usage() -> ! {
     eprintln!("usage: expt <experiment>... | all | tables | figures | ablations");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
-    eprintln!("env: TRIMGAME_REPS (default 10), TRIMGAME_SCALE (default 64)");
+    eprintln!(
+        "env: TRIMGAME_REPS (default 10), TRIMGAME_SCALE (default 64), TRIMGAME_SWEEP_THREADS"
+    );
     std::process::exit(2);
 }
 

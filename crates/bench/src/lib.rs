@@ -11,9 +11,10 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod sweep;
 
 /// All experiment ids accepted by the `expt` binary, in paper order.
-pub const EXPERIMENTS: [&str; 15] = [
+pub const EXPERIMENTS: [&str; 16] = [
     "table1",
     "table2",
     "fig4",
@@ -29,6 +30,7 @@ pub const EXPERIMENTS: [&str; 15] = [
     "ablate-discount",
     "ablate-mechanism",
     "ablate-sketch",
+    "sweep",
 ];
 
 /// Runs one experiment by id, returning its report.
@@ -53,6 +55,7 @@ pub fn run_experiment(id: &str) -> String {
         "ablate-discount" => ablations::ablate_discount(),
         "ablate-mechanism" => ablations::ablate_mechanism(),
         "ablate-sketch" => ablations::ablate_sketch(),
+        "sweep" => sweep::sweep_report(),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -77,7 +80,8 @@ mod tests {
 
     #[test]
     fn id_list_is_consistent() {
-        assert_eq!(EXPERIMENTS.len(), 15);
+        assert_eq!(EXPERIMENTS.len(), 16);
         assert!(EXPERIMENTS.contains(&"fig9"));
+        assert!(EXPERIMENTS.contains(&"sweep"));
     }
 }

@@ -1,0 +1,417 @@
+//! Parallel sweep runner over the unified engine.
+//!
+//! Randomized-strategy evaluation — mixed attacker policies, threshold
+//! games under noise, equilibrium checks — needs *thousands* of seeded
+//! game instances, not one. This module fans a grid of
+//! (scheme × seed × stream shape) cells across `std::thread::scope`
+//! workers, each cell one [`run_game_engine`] call in lean mode (no
+//! per-round kept payloads, scratch-buffer trimming), and aggregates
+//! per-scheme utility statistics.
+//!
+//! The work queue is a single atomic cursor over the flattened grid:
+//! workers claim the next cell index until the grid is exhausted, so an
+//! expensive cell never stalls the rest of a static partition. Results
+//! are deterministic — each cell's outcome depends only on its
+//! `(scheme, seed, shape)` coordinates, never on scheduling — which
+//! [`run`] exploits by writing each cell at its own grid index.
+//!
+//! Run it from the CLI: `expt sweep` (honors `TRIMGAME_SWEEP_THREADS`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use trim_core::simulation::{run_game_engine, GameConfig, Scheme};
+use trimgame_numerics::stats::OnlineStats;
+
+/// The stream shape of one sweep axis: how much data arrives per round,
+/// for how many rounds, and how hard the adversary presses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamShape {
+    /// Label used in reports.
+    pub name: String,
+    /// Benign batch size per round.
+    pub batch: usize,
+    /// Number of rounds.
+    pub rounds: usize,
+    /// Attack ratio (poison per benign).
+    pub attack_ratio: f64,
+}
+
+impl StreamShape {
+    /// Creates a shape.
+    #[must_use]
+    pub fn new(name: impl Into<String>, batch: usize, rounds: usize, attack_ratio: f64) -> Self {
+        Self {
+            name: name.into(),
+            batch,
+            rounds,
+            attack_ratio,
+        }
+    }
+}
+
+/// A grid of engine runs: the cartesian product of schemes, seeds and
+/// stream shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepGrid {
+    /// Schemes under test.
+    pub schemes: Vec<Scheme>,
+    /// Master seeds (one independent game instance per seed).
+    pub seeds: Vec<u64>,
+    /// Stream shapes.
+    pub shapes: Vec<StreamShape>,
+    /// Nominal threshold `Tth`.
+    pub tth: f64,
+    /// Tit-for-tat redundancy.
+    pub red: f64,
+}
+
+impl SweepGrid {
+    /// The paper's scheme roster over `n_seeds` derived seeds and three
+    /// stream shapes (light / default / heavy) — 6 × `n_seeds` × 3 cells.
+    #[must_use]
+    pub fn paper_roster(n_seeds: usize, master_seed: u64) -> Self {
+        Self {
+            schemes: Scheme::roster(),
+            seeds: (0..n_seeds as u64)
+                .map(|i| trimgame_numerics::rand_ext::derive_seed(master_seed, i))
+                .collect(),
+            shapes: vec![
+                StreamShape::new("light", 200, 20, 0.1),
+                StreamShape::new("default", 1_000, 20, 0.2),
+                StreamShape::new("heavy", 2_000, 30, 0.4),
+            ],
+            tth: 0.9,
+            red: 0.05,
+        }
+    }
+
+    /// Number of cells in the grid.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.schemes.len() * self.seeds.len() * self.shapes.len()
+    }
+
+    /// True if the grid is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `(scheme, seed, shape)` coordinates of flattened cell `idx`.
+    fn cell(&self, idx: usize) -> (Scheme, u64, &StreamShape) {
+        let per_scheme = self.seeds.len() * self.shapes.len();
+        let scheme = self.schemes[idx / per_scheme];
+        let rest = idx % per_scheme;
+        let seed = self.seeds[rest / self.shapes.len()];
+        let shape = &self.shapes[rest % self.shapes.len()];
+        (scheme, seed, shape)
+    }
+
+    fn config(&self, scheme: Scheme, seed: u64, shape: &StreamShape) -> GameConfig {
+        let mut cfg = GameConfig::new(scheme);
+        cfg.tth = self.tth;
+        cfg.red = self.red;
+        cfg.seed = seed;
+        cfg.batch = shape.batch;
+        cfg.rounds = shape.rounds;
+        cfg.attack_ratio = shape.attack_ratio;
+        cfg
+    }
+}
+
+/// The outcome of one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// RNG seed of this instance.
+    pub seed: u64,
+    /// Stream shape label.
+    pub shape: String,
+    /// Fraction of retained values that are poison.
+    pub surviving_poison_fraction: f64,
+    /// Fraction of benign values falsely trimmed.
+    pub benign_trim_fraction: f64,
+    /// Final cumulative adversary utility.
+    pub final_u_a: f64,
+    /// Final cumulative collector utility.
+    pub final_u_c: f64,
+    /// Tit-for-tat termination round, if it triggered.
+    pub termination_round: Option<usize>,
+}
+
+fn run_cell(pool: &[f64], grid: &SweepGrid, idx: usize) -> SweepCell {
+    let (scheme, seed, shape) = grid.cell(idx);
+    let cfg = grid.config(scheme, seed, shape);
+    let out = run_game_engine(pool, &cfg, false);
+    SweepCell {
+        scheme,
+        seed,
+        shape: shape.name.clone(),
+        surviving_poison_fraction: out.totals.surviving_poison_fraction(),
+        benign_trim_fraction: out.totals.benign_trim_fraction(),
+        final_u_a: *out.utilities.u_a.last().expect("rounds > 0"),
+        final_u_c: *out.utilities.u_c.last().expect("rounds > 0"),
+        termination_round: out.termination_round,
+    }
+}
+
+/// Runs every cell of the grid sequentially, in grid order.
+///
+/// # Panics
+/// Panics if the pool is empty or the grid degenerate.
+#[must_use]
+pub fn run_sequential(pool: &[f64], grid: &SweepGrid) -> Vec<SweepCell> {
+    (0..grid.len())
+        .map(|idx| run_cell(pool, grid, idx))
+        .collect()
+}
+
+/// Runs every cell of the grid across `workers` scoped threads and
+/// returns the cells in grid order. `workers == 0` uses the machine's
+/// available parallelism. The result is identical to [`run_sequential`]
+/// on the same grid (cells are seed-deterministic and
+/// scheduling-independent).
+///
+/// # Panics
+/// Panics if the pool is empty, the grid is degenerate, or a worker
+/// panics.
+#[must_use]
+pub fn run(pool: &[f64], grid: &SweepGrid, workers: usize) -> Vec<SweepCell> {
+    let n = grid.len();
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        workers
+    }
+    .min(n.max(1));
+    if workers <= 1 {
+        return run_sequential(pool, grid);
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SweepCell>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let cell = run_cell(pool, grid, idx);
+                *slots[idx].lock().expect("unpoisoned slot") = Some(cell);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("unpoisoned slot")
+                .expect("every index claimed exactly once")
+        })
+        .collect()
+}
+
+/// Per-scheme aggregate statistics over a sweep's cells.
+#[derive(Debug, Clone)]
+pub struct SchemeStats {
+    /// Scheme legend name.
+    pub scheme: String,
+    /// Number of cells aggregated.
+    pub cells: usize,
+    /// Surviving poison fraction across cells.
+    pub poison: OnlineStats,
+    /// Benign trim fraction across cells.
+    pub overhead: OnlineStats,
+    /// Final adversary utility across cells.
+    pub u_a: OnlineStats,
+    /// Final collector utility across cells.
+    pub u_c: OnlineStats,
+    /// How many cells terminated (Tit-for-tat trigger).
+    pub terminated: usize,
+}
+
+/// Aggregates sweep cells per scheme, in first-appearance order.
+#[must_use]
+pub fn aggregate(cells: &[SweepCell]) -> Vec<SchemeStats> {
+    let mut stats: Vec<SchemeStats> = Vec::new();
+    for cell in cells {
+        let name = cell.scheme.name();
+        let entry = match stats.iter_mut().find(|s| s.scheme == name) {
+            Some(entry) => entry,
+            None => {
+                stats.push(SchemeStats {
+                    scheme: name,
+                    cells: 0,
+                    poison: OnlineStats::new(),
+                    overhead: OnlineStats::new(),
+                    u_a: OnlineStats::new(),
+                    u_c: OnlineStats::new(),
+                    terminated: 0,
+                });
+                stats.last_mut().expect("just pushed")
+            }
+        };
+        entry.cells += 1;
+        entry.poison.push(cell.surviving_poison_fraction);
+        entry.overhead.push(cell.benign_trim_fraction);
+        entry.u_a.push(cell.final_u_a);
+        entry.u_c.push(cell.final_u_c);
+        if cell.termination_round.is_some() {
+            entry.terminated += 1;
+        }
+    }
+    stats
+}
+
+/// The `expt sweep` experiment: runs the default grid sequentially and in
+/// parallel, verifies the results agree, and reports per-scheme utility
+/// statistics plus the wall-clock comparison.
+#[must_use]
+pub fn sweep_report() -> String {
+    use std::fmt::Write as _;
+    let threads = std::env::var("TRIMGAME_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let pool: Vec<f64> = (0..10_000).map(|i| (i % 1000) as f64 / 10.0).collect();
+    let grid = SweepGrid::paper_roster(4, 2024);
+
+    let t0 = std::time::Instant::now();
+    let sequential = run_sequential(&pool, &grid);
+    let seq_time = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let parallel = run(&pool, &grid, threads);
+    let par_time = t1.elapsed();
+    assert_eq!(sequential, parallel, "sweep must be scheduling-independent");
+
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Sweep: {} cells ({} schemes x {} seeds x {} shapes) ==",
+        grid.len(),
+        grid.schemes.len(),
+        grid.seeds.len(),
+        grid.shapes.len()
+    );
+    let _ = writeln!(
+        out,
+        "sequential {:.1} ms | parallel {:.1} ms on {} workers | speedup {:.2}x",
+        seq_time.as_secs_f64() * 1e3,
+        par_time.as_secs_f64() * 1e3,
+        workers,
+        seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9),
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<16} {:>5} {:>18} {:>18} {:>12} {:>12} {:>6}",
+        "scheme", "cells", "poison (mu+/-sd)", "overhead (mu+/-sd)", "u_a (mu)", "u_c (mu)", "term"
+    );
+    for s in aggregate(&parallel) {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>5} {:>8.4}+/-{:>7.4} {:>9.4}+/-{:>7.4} {:>12.4} {:>12.4} {:>6}",
+            s.scheme,
+            s.cells,
+            s.poison.mean(),
+            s.poison.variance().sqrt(),
+            s.overhead.mean(),
+            s.overhead.variance().sqrt(),
+            s.u_a.mean(),
+            s.u_c.mean(),
+            s.terminated,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Vec<f64> {
+        (0..5_000).map(|i| (i % 500) as f64 / 5.0).collect()
+    }
+
+    fn small_grid() -> SweepGrid {
+        SweepGrid {
+            schemes: vec![Scheme::Ostrich, Scheme::Baseline09, Scheme::Elastic(0.5)],
+            seeds: vec![1, 2],
+            shapes: vec![
+                StreamShape::new("a", 100, 4, 0.2),
+                StreamShape::new("b", 200, 3, 0.3),
+            ],
+            tth: 0.9,
+            red: 0.05,
+        }
+    }
+
+    #[test]
+    fn grid_len_is_product() {
+        let grid = small_grid();
+        assert_eq!(grid.len(), 12);
+        assert!(!grid.is_empty());
+        assert_eq!(SweepGrid::paper_roster(4, 7).len(), 72);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let grid = small_grid();
+        let pool = pool();
+        let seq = run_sequential(&pool, &grid);
+        for workers in [1, 2, 4] {
+            let par = run(&pool, &grid, workers);
+            assert_eq!(seq, par, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn cells_are_in_grid_order() {
+        let grid = small_grid();
+        let cells = run(&pool(), &grid, 3);
+        assert_eq!(cells.len(), grid.len());
+        for (idx, cell) in cells.iter().enumerate() {
+            let (scheme, seed, shape) = grid.cell(idx);
+            assert_eq!(cell.scheme, scheme);
+            assert_eq!(cell.seed, seed);
+            assert_eq!(cell.shape, shape.name);
+        }
+    }
+
+    #[test]
+    fn aggregate_groups_by_scheme() {
+        let grid = small_grid();
+        let stats = aggregate(&run_sequential(&pool(), &grid));
+        assert_eq!(stats.len(), 3);
+        for s in &stats {
+            assert_eq!(s.cells, 4);
+            assert_eq!(s.poison.count(), 4);
+        }
+        // Ostrich keeps all poison; Elastic keeps its poison deep below
+        // the threshold, but everyone's fractions are valid.
+        assert!(stats[0].poison.mean() > 0.05);
+        for s in &stats {
+            assert!((0.0..=1.0).contains(&s.poison.mean()), "{}", s.scheme);
+        }
+    }
+
+    #[test]
+    fn cell_matches_direct_engine_run() {
+        let grid = small_grid();
+        let pool = pool();
+        let cells = run_sequential(&pool, &grid);
+        let cfg = grid.config(grid.schemes[0], grid.seeds[0], &grid.shapes[0]);
+        let direct = run_game_engine(&pool, &cfg, false);
+        assert_eq!(
+            cells[0].surviving_poison_fraction,
+            direct.totals.surviving_poison_fraction()
+        );
+        assert_eq!(cells[0].final_u_a, *direct.utilities.u_a.last().unwrap());
+    }
+}

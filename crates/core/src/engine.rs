@@ -1,0 +1,401 @@
+//! The unified simulation core: one generic engine for the Fig. 3 round
+//! loop.
+//!
+//! The paper's evaluation plays the *same* interactive trimming game on
+//! three very different substrates — scalar value streams (§VI-B),
+//! feature-vector collection feeding k-means/SVM/SOM (§VI-C), and LDP
+//! report streams (§VI-E). What varies is only the environment: how a
+//! round's batch is materialized, how poison is injected, and how payoffs
+//! are accounted. What never varies is the information structure of the
+//! sequential game: in round `i` the defender moves on round `i − 1`'s
+//! quality score and observed injection (via the public board), and the
+//! adversary moves on round `i − 1`'s threshold.
+//!
+//! [`Scenario`] captures the varying part; [`Engine`] owns the invariant
+//! part — policy plumbing, observation hand-off, public-board recording,
+//! utility trajectories and aggregate counts. Adding a new workload is a
+//! ~100-line `Scenario` impl, not a new simulator file.
+//!
+//! The engine preserves RNG call order exactly: threshold (no draws), then
+//! the adversary's injection draw, then the scenario's environment step —
+//! so re-expressing a simulator on the engine keeps fixed-seed runs
+//! bit-identical.
+
+use crate::adversary::{AdversaryObservation, AdversaryPolicy};
+use crate::lagrange::UtilityTrajectory;
+use crate::strategy::{DefenderObservation, DefenderPolicy};
+use rand::Rng;
+use trimgame_numerics::stats::OnlineStats;
+use trimgame_stream::board::{PublicBoard, RoundRecord};
+
+/// What one environment step reports back to the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundReport {
+    /// `Quality_Evaluation()` score of the received batch.
+    pub quality: f64,
+    /// Values received (benign + poison).
+    pub received: usize,
+    /// Values removed by trimming.
+    pub trimmed: usize,
+    /// Poison values received.
+    pub poison_received: usize,
+    /// Poison values that survived trimming.
+    pub poison_survived: usize,
+    /// Benign values falsely trimmed (the overhead).
+    pub benign_trimmed: usize,
+    /// The adversary's roundwise gain `g_a` (percentile-damage proxy).
+    pub gain_adversary: f64,
+    /// The collector's roundwise overhead beyond `g_a` (benign trim
+    /// fraction); the collector's gain is `−g_a − overhead`.
+    pub overhead: f64,
+    /// The injection percentile as identifiable from the public record
+    /// (fed to the defender's next observation), if any.
+    pub observed_injection: Option<f64>,
+    /// The absolute threshold value applied, if any.
+    pub threshold_value: Option<f64>,
+    /// Summary statistics of the retained values (for the public board).
+    pub retained: OnlineStats,
+}
+
+impl RoundReport {
+    /// An empty report for scenarios that fill fields incrementally.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            quality: 1.0,
+            received: 0,
+            trimmed: 0,
+            poison_received: 0,
+            poison_survived: 0,
+            benign_trimmed: 0,
+            gain_adversary: 0.0,
+            overhead: 0.0,
+            observed_injection: None,
+            threshold_value: None,
+            retained: OnlineStats::new(),
+        }
+    }
+}
+
+impl Default for RoundReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The environment side of one workload: batch generation, poison
+/// materialization, trimming and payoff accounting for a single round.
+///
+/// Implementations own their scenario state (streams, reference quantile
+/// tables, retained payloads, trim scratch buffers) and are driven by the
+/// [`Engine`], which owns the game-theoretic plumbing.
+pub trait Scenario {
+    /// Executes round `round`'s environment step: materialize the batch
+    /// with poison at `injection`, apply the cut at percentile
+    /// `threshold`, account payoffs, and report the round's bookkeeping.
+    ///
+    /// `injection` arrives exactly as the adversary policy produced it
+    /// (unclamped); scenarios clamp or reinterpret as their substrate
+    /// requires.
+    fn play_round<R: Rng + ?Sized>(
+        &mut self,
+        round: usize,
+        threshold: f64,
+        injection: f64,
+        rng: &mut R,
+    ) -> RoundReport;
+}
+
+/// Aggregate counts over a full engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineTotals {
+    /// Values received across all rounds.
+    pub received: usize,
+    /// Values trimmed across all rounds.
+    pub trimmed: usize,
+    /// Poison received across all rounds.
+    pub poison_received: usize,
+    /// Poison that survived trimming.
+    pub poison_survived: usize,
+    /// Benign values falsely trimmed.
+    pub benign_trimmed: usize,
+}
+
+impl EngineTotals {
+    /// Fraction of retained values that are poison (Table III's metric).
+    #[must_use]
+    pub fn surviving_poison_fraction(&self) -> f64 {
+        let kept = self.received - self.trimmed;
+        if kept == 0 {
+            0.0
+        } else {
+            self.poison_survived as f64 / kept as f64
+        }
+    }
+
+    /// Aggregate benign trim fraction (overhead).
+    #[must_use]
+    pub fn benign_trim_fraction(&self) -> f64 {
+        let benign = self.received - self.poison_received;
+        if benign == 0 {
+            0.0
+        } else {
+            self.benign_trimmed as f64 / benign as f64
+        }
+    }
+}
+
+/// Result of driving a [`Scenario`] through the round loop.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome<S> {
+    /// The scenario, with whatever payload it accumulated.
+    pub scenario: S,
+    /// The defender policy in its final state.
+    pub defender: DefenderPolicy,
+    /// The adversary policy in its final state.
+    pub adversary: AdversaryPolicy,
+    /// The threshold percentile applied each round.
+    pub thresholds: Vec<f64>,
+    /// The adversary's injection percentile each round (as produced by the
+    /// policy, unclamped).
+    pub injections: Vec<f64>,
+    /// The quality score of each round's received batch.
+    pub qualities: Vec<f64>,
+    /// Cumulative utility trajectories (percentile-damage proxy).
+    pub utilities: UtilityTrajectory,
+    /// Aggregate counts.
+    pub totals: EngineTotals,
+    /// Round at which a trigger defender terminated cooperation, if any.
+    pub termination_round: Option<usize>,
+    /// The public board with one record per round (Fig. 3 steps ①/⑥).
+    pub board: PublicBoard,
+}
+
+/// The Fig. 3 round loop over any [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct Engine<S: Scenario> {
+    scenario: S,
+    defender: DefenderPolicy,
+    adversary: AdversaryPolicy,
+    board: PublicBoard,
+}
+
+impl<S: Scenario> Engine<S> {
+    /// Builds an engine from the scenario and the two policies.
+    #[must_use]
+    pub fn new(scenario: S, defender: DefenderPolicy, adversary: AdversaryPolicy) -> Self {
+        Self {
+            scenario,
+            defender,
+            adversary,
+            board: PublicBoard::new(),
+        }
+    }
+
+    /// Shares an existing public board (e.g. one the adversary already
+    /// holds a clone of) instead of creating a fresh one.
+    #[must_use]
+    pub fn with_board(mut self, board: PublicBoard) -> Self {
+        self.board = board;
+        self
+    }
+
+    /// Runs `rounds` rounds with the paper's information structure and
+    /// returns the outcome. `rng` drives the adversary's mixed strategies
+    /// and the scenario's environment; the caller seeds it.
+    ///
+    /// # Panics
+    /// Panics if `rounds == 0`.
+    #[must_use]
+    pub fn run<R: Rng + ?Sized>(mut self, rounds: usize, rng: &mut R) -> EngineOutcome<S> {
+        assert!(rounds > 0, "need at least one round");
+        let mut def_obs: Option<DefenderObservation> = None;
+        let mut adv_obs = AdversaryObservation {
+            last_threshold: None,
+        };
+        let mut thresholds = Vec::with_capacity(rounds);
+        let mut injections = Vec::with_capacity(rounds);
+        let mut qualities = Vec::with_capacity(rounds);
+        let mut gains_a = Vec::with_capacity(rounds);
+        let mut gains_c = Vec::with_capacity(rounds);
+        let mut totals = EngineTotals::default();
+
+        for round in 1..=rounds {
+            // Decisions from *previous* round information only.
+            let threshold = match &def_obs {
+                None => self.defender.initial_threshold(),
+                Some(obs) => self.defender.next_threshold(round, obs),
+            };
+            let injection = self.adversary.next_injection(&adv_obs, rng);
+
+            let report = self.scenario.play_round(round, threshold, injection, rng);
+
+            gains_a.push(report.gain_adversary);
+            gains_c.push(-report.gain_adversary - report.overhead);
+            totals.received += report.received;
+            totals.trimmed += report.trimmed;
+            totals.poison_received += report.poison_received;
+            totals.poison_survived += report.poison_survived;
+            totals.benign_trimmed += report.benign_trimmed;
+            self.board.post(RoundRecord {
+                round,
+                threshold_percentile: threshold,
+                threshold_value: report.threshold_value,
+                received: report.received,
+                trimmed: report.trimmed,
+                retained: report.retained,
+                quality: report.quality,
+            });
+            thresholds.push(threshold);
+            injections.push(injection);
+            qualities.push(report.quality);
+
+            def_obs = Some(DefenderObservation {
+                quality: report.quality,
+                injection_percentile: report.observed_injection,
+            });
+            adv_obs = AdversaryObservation {
+                last_threshold: Some(threshold),
+            };
+        }
+
+        EngineOutcome {
+            termination_round: self.defender.termination_round(),
+            scenario: self.scenario,
+            defender: self.defender,
+            adversary: self.adversary,
+            thresholds,
+            injections,
+            qualities,
+            utilities: UtilityTrajectory::from_roundwise(&gains_a, &gains_c),
+            totals,
+            board: self.board,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trimgame_numerics::rand_ext::seeded_rng;
+
+    /// A deterministic toy scenario: "poison" is a fixed fraction of the
+    /// batch placed at the injection percentile of 0..100; the cut keeps
+    /// everything at or below the threshold percentile.
+    struct ToyScenario {
+        batch: usize,
+        poison: usize,
+    }
+
+    impl Scenario for ToyScenario {
+        fn play_round<R: Rng + ?Sized>(
+            &mut self,
+            _round: usize,
+            threshold: f64,
+            injection: f64,
+            _rng: &mut R,
+        ) -> RoundReport {
+            let mut report = RoundReport::new();
+            report.received = self.batch + self.poison;
+            let survives = injection <= threshold;
+            report.poison_received = self.poison;
+            report.poison_survived = if survives { self.poison } else { 0 };
+            report.trimmed = if survives { 0 } else { self.poison };
+            report.gain_adversary = report.poison_survived as f64 / report.received as f64;
+            report.observed_injection = Some(injection);
+            report.quality = 1.0 - injection.max(0.0) * 0.01;
+            report
+        }
+    }
+
+    #[test]
+    fn engine_runs_rounds_and_accumulates() {
+        let engine = Engine::new(
+            ToyScenario {
+                batch: 90,
+                poison: 10,
+            },
+            DefenderPolicy::Fixed { tth: 0.9 },
+            AdversaryPolicy::Fixed { percentile: 0.95 },
+        );
+        let mut rng = seeded_rng(1);
+        let out = engine.run(5, &mut rng);
+        assert_eq!(out.thresholds, vec![0.9; 5]);
+        assert_eq!(out.injections, vec![0.95; 5]);
+        assert_eq!(out.totals.received, 500);
+        assert_eq!(out.totals.poison_survived, 0);
+        assert_eq!(out.totals.trimmed, 50);
+        assert_eq!(out.utilities.rounds(), 5);
+        assert_eq!(out.board.len(), 5);
+        assert_eq!(out.termination_round, None);
+    }
+
+    #[test]
+    fn adversary_sees_previous_threshold() {
+        let engine = Engine::new(
+            ToyScenario {
+                batch: 90,
+                poison: 10,
+            },
+            DefenderPolicy::Fixed { tth: 0.9 },
+            AdversaryPolicy::JustBelowThreshold {
+                offset: 0.01,
+                fallback: 0.99,
+            },
+        );
+        let mut rng = seeded_rng(2);
+        let out = engine.run(3, &mut rng);
+        // Round 1: fallback (no history); afterwards: just below 0.9.
+        assert_eq!(out.injections[0], 0.99);
+        assert!((out.injections[1] - 0.89).abs() < 1e-12);
+        assert_eq!(out.totals.poison_survived, 20);
+    }
+
+    #[test]
+    fn defender_sees_previous_quality() {
+        // Tit-for-tat triggers off the quality the scenario reported for
+        // the high injection, then stays hard.
+        let engine = Engine::new(
+            ToyScenario {
+                batch: 90,
+                poison: 10,
+            },
+            DefenderPolicy::titfortat(0.9, 1.0, 0.005),
+            AdversaryPolicy::Fixed { percentile: 0.99 },
+        );
+        let mut rng = seeded_rng(3);
+        let out = engine.run(4, &mut rng);
+        assert_eq!(out.termination_round, Some(2));
+        assert!((out.thresholds[0] - 0.91).abs() < 1e-12);
+        assert!((out.thresholds[2] - 0.87).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_fractions_are_consistent() {
+        let totals = EngineTotals {
+            received: 200,
+            trimmed: 50,
+            poison_received: 40,
+            poison_survived: 30,
+            benign_trimmed: 40,
+        };
+        assert!((totals.surviving_poison_fraction() - 0.2).abs() < 1e-12);
+        assert!((totals.benign_trim_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(EngineTotals::default().surviving_poison_fraction(), 0.0);
+        assert_eq!(EngineTotals::default().benign_trim_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let engine = Engine::new(
+            ToyScenario {
+                batch: 1,
+                poison: 0,
+            },
+            DefenderPolicy::Ostrich,
+            AdversaryPolicy::Fixed { percentile: 0.5 },
+        );
+        let _ = engine.run(0, &mut seeded_rng(4));
+    }
+}

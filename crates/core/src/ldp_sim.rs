@@ -24,16 +24,19 @@
 //! trimming under heavy noise — the overhead that produces the paper's
 //! inflection at small ε.
 
-use crate::elastic::ElasticThreshold;
+use crate::adversary::AdversaryPolicy;
+use crate::engine::{Engine, RoundReport, Scenario};
+use crate::strategy::DefenderPolicy;
 use crate::titfortat::TitForTat;
+use rand::Rng;
 use trimgame_ldp::attack::{Attack, InputManipulation};
 use trimgame_ldp::emf::EmFilter;
 use trimgame_ldp::mechanism::LdpMechanism;
 use trimgame_ldp::piecewise::Piecewise;
 use trimgame_numerics::quantile::{ecdf, Interpolation};
 use trimgame_numerics::rand_ext::{derive_seed, seeded_rng};
-use trimgame_numerics::stats::mean;
-use trimgame_stream::trim::{trim, TrimOp};
+use trimgame_numerics::stats::{mean, OnlineStats};
+use trimgame_stream::trim::{TrimOp, TrimScratch};
 
 /// The Fig. 9 defense roster.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +110,217 @@ impl LdpSimConfig {
     }
 }
 
+/// The LDP report-stream workload as an
+/// [`engine::Scenario`](crate::engine::Scenario).
+///
+/// Each round privatizes a fresh honest sample with the Piecewise
+/// Mechanism and appends protocol-compliant input-manipulation reports.
+/// Trimming defenses cut at the calibration quantile of the engine's
+/// threshold percentile and accumulate the *debiased* trimmed mean; the
+/// EMF baseline stores the raw stream for one final EM filtering pass.
+#[derive(Debug, Clone)]
+pub struct LdpScenario<'a> {
+    population: &'a [f64],
+    mech: Piecewise,
+    attack: InputManipulation,
+    users_per_round: usize,
+    n_attack: usize,
+    calib: Vec<f64>,
+    prefix: Vec<f64>,
+    calib_mean: f64,
+    ref_value: f64,
+    expected_tail: f64,
+    trims: bool,
+    scratch: TrimScratch,
+    estimate_sum: f64,
+    kept_total: usize,
+    all_reports: Vec<f64>,
+}
+
+impl<'a> LdpScenario<'a> {
+    /// Builds the scenario, running the clean calibration round on `rng`
+    /// (the collector knows the honest report distribution shape: the
+    /// mechanism is public and the input prior comes from history).
+    ///
+    /// # Panics
+    /// Panics if the population is empty or the config is degenerate.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        population: &'a [f64],
+        defense: LdpDefense,
+        cfg: &LdpSimConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!population.is_empty(), "empty population");
+        assert!(
+            cfg.rounds > 0 && cfg.users_per_round > 0,
+            "degenerate config"
+        );
+        let mech = Piecewise::new(cfg.epsilon);
+        let mut calib: Vec<f64> = (0..cfg.users_per_round)
+            .map(|i| {
+                let x = population[i % population.len()];
+                mech.privatize(x, rng)
+            })
+            .collect();
+        calib.sort_by(|a, b| a.partial_cmp(b).expect("NaN report"));
+        // Prefix sums over the sorted calibration stream: `trim_bias(cut)`
+        // is how far the mean of an honest stream drops when values above
+        // `cut` are removed — the collector adds it back after trimming.
+        let prefix: Vec<f64> = calib
+            .iter()
+            .scan(0.0, |acc, &v| {
+                *acc += v;
+                Some(*acc)
+            })
+            .collect();
+        let calib_mean = mean(&calib);
+        let ref_value = trimgame_numerics::quantile::percentile_sorted(
+            &calib,
+            cfg.soft.clamp(0.0, 1.0),
+            Interpolation::Linear,
+        );
+        let n =
+            cfg.users_per_round + (cfg.users_per_round as f64 * cfg.attack_ratio).round() as usize;
+        Self {
+            population,
+            mech,
+            attack: InputManipulation::new(1.0),
+            users_per_round: cfg.users_per_round,
+            n_attack: (cfg.users_per_round as f64 * cfg.attack_ratio).round() as usize,
+            calib,
+            prefix,
+            calib_mean,
+            ref_value,
+            expected_tail: 1.0 - cfg.soft,
+            trims: !matches!(defense, LdpDefense::Emf),
+            scratch: TrimScratch::with_capacity(n),
+            estimate_sum: 0.0,
+            kept_total: 0,
+            all_reports: Vec::new(),
+        }
+    }
+
+    fn ref_at(&self, p: f64) -> f64 {
+        trimgame_numerics::quantile::percentile_sorted(
+            &self.calib,
+            p.clamp(0.0, 1.0),
+            Interpolation::Linear,
+        )
+    }
+
+    fn trim_bias(&self, cut: f64) -> f64 {
+        let n_below = self.calib.partition_point(|&v| v <= cut);
+        if n_below == 0 {
+            return 0.0;
+        }
+        self.calib_mean - self.prefix[n_below - 1] / n_below as f64
+    }
+
+    /// The weighted debiased trimmed-mean estimate accumulated so far
+    /// (trimming defenses).
+    #[must_use]
+    pub fn trimmed_estimate(&self) -> f64 {
+        if self.kept_total == 0 {
+            0.0
+        } else {
+            self.estimate_sum / self.kept_total as f64
+        }
+    }
+
+    /// The raw report stream (EMF baseline).
+    #[must_use]
+    pub fn raw_reports(&self) -> &[f64] {
+        &self.all_reports
+    }
+
+    /// The mechanism in use.
+    #[must_use]
+    pub fn mechanism(&self) -> &Piecewise {
+        &self.mech
+    }
+}
+
+impl Scenario for LdpScenario<'_> {
+    fn play_round<R: Rng + ?Sized>(
+        &mut self,
+        _round: usize,
+        threshold: f64,
+        _injection: f64,
+        rng: &mut R,
+    ) -> RoundReport {
+        // Honest reports.
+        let mut reports: Vec<f64> = (0..self.users_per_round)
+            .map(|_| {
+                let idx = rng.gen_range(0..self.population.len());
+                self.mech.privatize(self.population[idx], rng)
+            })
+            .collect();
+        // Attack reports (input manipulation: protocol-compliant).
+        reports.extend(self.attack.reports(&self.mech, self.n_attack, rng));
+
+        // Quality: excess upper-tail mass relative to calibration.
+        let above = 1.0 - ecdf(&reports, self.ref_value);
+        let quality = 1.0 - (above - self.expected_tail).max(0.0);
+        let received = reports.len();
+
+        let mut report = RoundReport {
+            quality,
+            received,
+            poison_received: self.n_attack,
+            ..RoundReport::new()
+        };
+        if !self.trims {
+            self.all_reports.extend_from_slice(&reports);
+            report.poison_survived = self.n_attack;
+            let mut retained = OnlineStats::new();
+            retained.extend(&reports);
+            report.retained = retained;
+            return report;
+        }
+
+        let cut = self.ref_at(threshold);
+        let stats = TrimOp::Absolute(cut).apply_in_place(&reports, &mut self.scratch);
+        if stats.kept > 0 {
+            self.estimate_sum +=
+                (mean(self.scratch.kept()) + self.trim_bias(cut)) * stats.kept as f64;
+            self.kept_total += stats.kept;
+        }
+        // Provenance the simulator (not the defender) knows: the attack
+        // reports are the tail segment of the batch.
+        let mask = self.scratch.kept_mask();
+        let poison_survived = mask[self.users_per_round..].iter().filter(|&&m| m).count();
+        let benign_trimmed = mask[..self.users_per_round].iter().filter(|&&m| !m).count();
+        report.trimmed = stats.trimmed;
+        report.poison_survived = poison_survived;
+        report.benign_trimmed = benign_trimmed;
+        report.gain_adversary = poison_survived as f64 / received.max(1) as f64;
+        report.overhead = benign_trimmed as f64 / received.max(1) as f64;
+        report.threshold_value = stats.threshold_value;
+        let mut retained = OnlineStats::new();
+        retained.extend(self.scratch.kept());
+        report.retained = retained;
+        report
+    }
+}
+
+/// The defender policy a [`LdpDefense`] maps onto the unified engine:
+/// Tit-for-tat keeps Algorithm 1's trigger between `soft` and `hard`,
+/// Elastic uses Algorithm 2's quality-driven interpolation, and EMF never
+/// trims (Ostrich).
+#[must_use]
+pub fn ldp_defender(defense: LdpDefense, cfg: &LdpSimConfig) -> DefenderPolicy {
+    let baseline_quality = 1.0;
+    match defense {
+        LdpDefense::TitForTat => DefenderPolicy::TitForTat {
+            inner: TitForTat::new(cfg.soft, cfg.hard, baseline_quality, cfg.red)
+                .expect("valid tit-for-tat parameters"),
+        },
+        LdpDefense::Elastic(k) => DefenderPolicy::quality_elastic(cfg.soft, cfg.hard, k),
+        LdpDefense::Emf => DefenderPolicy::Ostrich,
+    }
+}
+
 /// Runs one repetition of the collection under `defense` and returns the
 /// final mean estimate.
 ///
@@ -114,133 +328,22 @@ impl LdpSimConfig {
 /// Panics if the population is empty or config degenerate.
 #[must_use]
 pub fn run_ldp_collection(population: &[f64], defense: LdpDefense, cfg: &LdpSimConfig) -> f64 {
-    assert!(!population.is_empty(), "empty population");
-    assert!(
-        cfg.rounds > 0 && cfg.users_per_round > 0,
-        "degenerate config"
-    );
-    let mech = Piecewise::new(cfg.epsilon);
-    let attack = InputManipulation::new(1.0);
     let mut rng = seeded_rng(cfg.seed);
-    let n_attack = (cfg.users_per_round as f64 * cfg.attack_ratio).round() as usize;
-
-    // Calibration: the collector knows the honest report distribution
-    // shape (the mechanism is public; the input prior comes from history).
-    // One clean calibration round fixes the reference tail value.
-    let mut calib: Vec<f64> = (0..cfg.users_per_round)
-        .map(|i| {
-            let x = population[i % population.len()];
-            mech.privatize(x, &mut rng)
-        })
-        .collect();
-    calib.sort_by(|a, b| a.partial_cmp(b).expect("NaN report"));
-    let ref_at = |p: f64| {
-        trimgame_numerics::quantile::percentile_sorted(
-            &calib,
-            p.clamp(0.0, 1.0),
-            Interpolation::Linear,
-        )
-    };
-    // Prefix sums over the sorted calibration stream: `trim_bias(cut)` is
-    // how far the mean of an honest stream drops when values above `cut`
-    // are removed — the collector adds it back after trimming.
-    let prefix: Vec<f64> = calib
-        .iter()
-        .scan(0.0, |acc, &v| {
-            *acc += v;
-            Some(*acc)
-        })
-        .collect();
-    let calib_mean = mean(&calib);
-    let trim_bias = |cut: f64| -> f64 {
-        let n_below = calib.partition_point(|&v| v <= cut);
-        if n_below == 0 {
-            return 0.0;
-        }
-        calib_mean - prefix[n_below - 1] / n_below as f64
-    };
-    let ref_value = ref_at(cfg.soft);
-    let expected_tail = 1.0 - cfg.soft;
-    let baseline_quality = 1.0;
-
-    let mut tft = TitForTat::new(cfg.soft, cfg.hard, baseline_quality, cfg.red)
-        .expect("valid tit-for-tat parameters");
-    let elastic = match defense {
-        LdpDefense::Elastic(k) => {
-            Some(ElasticThreshold::new(cfg.soft, cfg.hard, k).expect("valid elastic parameters"))
-        }
-        _ => None,
-    };
-
-    // Weighted accumulation of per-round debiased trimmed means.
-    let mut estimate_sum = 0.0;
-    let mut kept_total = 0usize;
-    let mut all_reports: Vec<f64> = Vec::new();
-    let mut threshold = cfg.soft;
-
-    for _round in 1..=cfg.rounds {
-        // Honest reports.
-        let mut reports: Vec<f64> = (0..cfg.users_per_round)
-            .map(|_| {
-                let idx = rng.gen_range(0..population.len());
-                mech.privatize(population[idx], &mut rng)
-            })
-            .collect();
-        // Attack reports (input manipulation: protocol-compliant).
-        reports.extend(attack.reports(&mech, n_attack, &mut rng));
-
-        // Quality: excess upper-tail mass relative to calibration.
-        let above = 1.0 - ecdf(&reports, ref_value);
-        let quality = 1.0 - (above - expected_tail).max(0.0);
-
-        match defense {
-            LdpDefense::Emf => {
-                all_reports.extend_from_slice(&reports);
-            }
-            LdpDefense::TitForTat => {
-                let cut = ref_at(threshold);
-                let outcome = trim(&reports, TrimOp::Absolute(cut));
-                if !outcome.kept.is_empty() {
-                    estimate_sum +=
-                        (mean(&outcome.kept) + trim_bias(cut)) * outcome.kept.len() as f64;
-                    kept_total += outcome.kept.len();
-                }
-                threshold = tft.observe(_round, quality);
-            }
-            LdpDefense::Elastic(_) => {
-                let cut = ref_at(threshold);
-                let outcome = trim(&reports, TrimOp::Absolute(cut));
-                if !outcome.kept.is_empty() {
-                    estimate_sum +=
-                        (mean(&outcome.kept) + trim_bias(cut)) * outcome.kept.len() as f64;
-                    kept_total += outcome.kept.len();
-                }
-                let badness = 1.0 - quality;
-                threshold = elastic
-                    .as_ref()
-                    .expect("elastic configured")
-                    .threshold(badness);
-            }
-        }
-    }
-
+    let scenario = LdpScenario::new(population, defense, cfg, &mut rng);
+    let defender = ldp_defender(defense, cfg);
+    // The attack position is baked into the protocol-compliant reports;
+    // the adversary policy draws nothing.
+    let adversary = AdversaryPolicy::Fixed { percentile: 1.0 };
+    let out = Engine::new(scenario, defender, adversary).run(cfg.rounds, &mut rng);
     match defense {
         LdpDefense::Emf => {
             let beta = cfg.attack_ratio / (1.0 + cfg.attack_ratio);
-            let emf = EmFilter::for_piecewise(&mech, 16, 32, beta.min(0.95));
-            emf.filter_mean(&all_reports)
+            let emf = EmFilter::for_piecewise(out.scenario.mechanism(), 16, 32, beta.min(0.95));
+            emf.filter_mean(out.scenario.raw_reports())
         }
-        _ => {
-            if kept_total == 0 {
-                0.0
-            } else {
-                estimate_sum / kept_total as f64
-            }
-        }
+        _ => out.scenario.trimmed_estimate(),
     }
 }
-
-use rand::Rng;
 
 /// MSE of `defense` over `reps` repetitions against the true benign mean.
 #[must_use]

@@ -15,12 +15,14 @@
 //! | §V-B Elastic (Algorithm 2), Definition 2, Theorem 4 | [`elastic`] |
 //! | §VI-A scheme roster (Ostrich, baselines, ours) | [`strategy`], [`adversary`] |
 //! | Stackelberg equilibrium computation | [`equilibrium`] |
+//! | Fig. 3 unified round loop (`Engine<S: Scenario>`) | [`engine`] |
 //! | §VI-B/C/D experiment drivers (k-means/SVM/SOM, Table III/IV) | [`simulation`], [`ml_sim`] |
 //! | §VI-E LDP case study (Fig. 9) | [`ldp_sim`] |
 
 pub mod adversary;
 pub mod config;
 pub mod elastic;
+pub mod engine;
 pub mod equilibrium;
 pub mod error;
 pub mod lagrange;
@@ -36,6 +38,7 @@ pub mod variants;
 
 pub use adversary::AdversaryPolicy;
 pub use elastic::{CoupledDynamics, ElasticThreshold};
+pub use engine::{Engine, EngineOutcome, EngineTotals, RoundReport, Scenario};
 pub use equilibrium::StackelbergSolver;
 pub use error::CoreError;
 pub use matrix::{Move, PayoffMatrix, UltimatumPayoffs};

@@ -13,9 +13,8 @@
 //! [`crate::simulation`]; this module adds the geometry, the retained
 //! training set, and the three learners' metrics.
 
-use crate::adversary::AdversaryObservation;
+use crate::engine::{Engine, EngineTotals, RoundReport, Scenario};
 use crate::simulation::Scheme;
-use crate::strategy::DefenderObservation;
 use rand::Rng;
 use trimgame_datasets::Dataset;
 use trimgame_ml::kmeans::{KMeans, KMeansConfig};
@@ -23,7 +22,8 @@ use trimgame_ml::som::{Som, SomConfig};
 use trimgame_ml::svm::{SvmConfig, SvmModel};
 use trimgame_numerics::quantile::{percentile_of, Interpolation};
 use trimgame_numerics::rand_ext::{seeded_rng, standard_normal};
-use trimgame_numerics::stats::euclidean;
+use trimgame_numerics::stats::{euclidean, OnlineStats};
+use trimgame_stream::trim::{TrimOp, TrimScratch};
 
 /// Configuration of a poisoned multi-round collection over a dataset.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,72 +90,135 @@ impl CollectedSet {
     }
 }
 
-/// Runs the poisoned collection and returns the retained training set.
+/// The feature-vector collection workload as an
+/// [`engine::Scenario`](crate::engine::Scenario).
 ///
-/// # Panics
-/// Panics if the dataset is unlabelled or smaller than the batch size.
-#[must_use]
-pub fn collect_poisoned(data: &Dataset, cfg: &MlSimConfig) -> CollectedSet {
-    assert!(data.labels().is_some(), "collect_poisoned needs labels");
-    assert!(data.rows() >= 2, "dataset too small");
-    let mut rng = seeded_rng(cfg.seed);
-    // Anomaly score: distance to the nearest centroid of the *clean
-    // clustering* (Kloft & Laskov's centroid sanitization, per cluster).
-    // The collector has no labels; its public quality standard is the
-    // k-means structure of the clean history — the same centroids the
-    // Figs. 4/5 "Distance" metric is measured against.
-    let centroids = kmeans_truth(data);
-    let score = |row: &[f64]| -> f64 {
-        centroids
+/// The trimming game is played on the classic distance scalar: each row's
+/// anomaly score is its Euclidean distance to the nearest clean centroid,
+/// and both the trimming cut and the injection distance resolve
+/// percentiles against the clean score distribution (the public quality
+/// standard). The retained rows accumulate into the training set the
+/// learners consume.
+#[derive(Debug, Clone)]
+pub struct MlScenario<'a> {
+    data: &'a Dataset,
+    centroids: Vec<Vec<f64>>,
+    clean_scores: Vec<f64>,
+    ref_value: f64,
+    expected_tail: f64,
+    batch: usize,
+    attack_ratio: f64,
+    classes: usize,
+    scratch: TrimScratch,
+    rows: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    is_poison: Vec<bool>,
+}
+
+impl<'a> MlScenario<'a> {
+    /// Builds the scenario over the clean dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is unlabelled or smaller than two rows.
+    #[must_use]
+    pub fn new(data: &'a Dataset, cfg: &MlSimConfig) -> Self {
+        assert!(data.labels().is_some(), "collect_poisoned needs labels");
+        assert!(data.rows() >= 2, "dataset too small");
+        // Anomaly score: distance to the nearest centroid of the *clean
+        // clustering* (Kloft & Laskov's centroid sanitization, per
+        // cluster). The collector has no labels; its public quality
+        // standard is the k-means structure of the clean history — the
+        // same centroids the Figs. 4/5 "Distance" metric is measured
+        // against.
+        let centroids = kmeans_truth(data);
+        let score = |row: &[f64]| -> f64 {
+            centroids
+                .iter()
+                .map(|c| euclidean(row, c))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let mut clean_scores: Vec<f64> = data.iter_rows().map(score).collect();
+        clean_scores.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+        let ref_value = trimgame_numerics::quantile::percentile_sorted(
+            &clean_scores,
+            cfg.tth.clamp(0.0, 1.0),
+            Interpolation::Linear,
+        );
+        Self {
+            data,
+            centroids,
+            clean_scores,
+            ref_value,
+            expected_tail: 1.0 - cfg.tth,
+            batch: cfg.batch,
+            attack_ratio: cfg.attack_ratio,
+            classes: data.clusters().max(1),
+            scratch: TrimScratch::with_capacity(cfg.batch + cfg.batch / 2),
+            rows: Vec::new(),
+            labels: Vec::new(),
+            is_poison: Vec::new(),
+        }
+    }
+
+    fn score(&self, row: &[f64]) -> f64 {
+        self.centroids
             .iter()
             .map(|c| euclidean(row, c))
             .fold(f64::INFINITY, f64::min)
-    };
-    // Reference quantile function over the clean score distribution: both
-    // the trimming cut and the injection distance resolve percentiles
-    // against this public standard.
-    let mut clean_scores: Vec<f64> = data.iter_rows().map(score).collect();
-    clean_scores.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
-    let ref_at = |p: f64| {
+    }
+
+    fn ref_at(&self, p: f64) -> f64 {
         trimgame_numerics::quantile::percentile_sorted(
-            &clean_scores,
+            &self.clean_scores,
             p.clamp(0.0, 1.0),
             Interpolation::Linear,
         )
-    };
-    let ref_value = ref_at(cfg.tth);
-    let expected_tail = 1.0 - cfg.tth;
-    let classes = data.clusters().max(1);
+    }
 
-    let mut defender = cfg.scheme.defender(cfg.tth, 1.0, cfg.red);
-    let mut adversary = cfg.scheme.adversary(cfg.tth);
-    let mut def_obs: Option<DefenderObservation> = None;
-    let mut adv_obs = AdversaryObservation {
-        last_threshold: None,
-    };
+    /// Converts the accumulated retained rows into a [`CollectedSet`] for
+    /// `scheme`, taking the received/trimmed counts from the engine run's
+    /// [`EngineTotals`].
+    #[must_use]
+    pub fn into_collected(self, scheme: Scheme, totals: &EngineTotals) -> CollectedSet {
+        let retained = Dataset::from_rows(
+            format!("{}-{}", self.data.name(), scheme.name()),
+            &self.rows,
+            Some(self.labels),
+            self.data.clusters(),
+        );
+        debug_assert_eq!(
+            totals.poison_survived,
+            self.is_poison.iter().filter(|&&p| p).count(),
+            "engine totals and retained provenance must agree"
+        );
+        CollectedSet {
+            retained,
+            is_poison: self.is_poison,
+            poison_received: totals.poison_received,
+            poison_survived: totals.poison_survived,
+            benign_trimmed: totals.benign_trimmed,
+        }
+    }
+}
 
-    let mut rows: Vec<Vec<f64>> = Vec::new();
-    let mut labels: Vec<usize> = Vec::new();
-    let mut is_poison: Vec<bool> = Vec::new();
-    let mut poison_received = 0;
-    let mut poison_survived = 0;
-    let mut benign_trimmed = 0;
-
-    for round in 1..=cfg.rounds {
-        let threshold = match &def_obs {
-            None => defender.initial_threshold(),
-            Some(obs) => defender.next_threshold(round, obs),
-        };
-        let injection = adversary.next_injection(&adv_obs, &mut rng).clamp(0.0, 1.0);
+impl Scenario for MlScenario<'_> {
+    fn play_round<R: Rng + ?Sized>(
+        &mut self,
+        _round: usize,
+        threshold: f64,
+        injection: f64,
+        rng: &mut R,
+    ) -> RoundReport {
+        let injection = injection.clamp(0.0, 1.0);
 
         // Benign sample.
-        let mut batch_rows: Vec<Vec<f64>> = Vec::with_capacity(cfg.batch);
-        let mut batch_labels: Vec<usize> = Vec::with_capacity(cfg.batch);
-        let mut batch_poison: Vec<bool> = Vec::with_capacity(cfg.batch);
-        for _ in 0..cfg.batch {
-            let i = rng.gen_range(0..data.rows());
-            batch_rows.push(data.row(i).to_vec());
-            batch_labels.push(data.label(i).expect("labelled"));
+        let mut batch_rows: Vec<Vec<f64>> = Vec::with_capacity(self.batch);
+        let mut batch_labels: Vec<usize> = Vec::with_capacity(self.batch);
+        let mut batch_poison: Vec<bool> = Vec::with_capacity(self.batch);
+        for _ in 0..self.batch {
+            let i = rng.gen_range(0..self.data.rows());
+            batch_rows.push(self.data.row(i).to_vec());
+            batch_labels.push(self.data.label(i).expect("labelled"));
             batch_poison.push(false);
         }
         // Poison points at the injection score percentile (of the clean
@@ -165,13 +228,13 @@ pub fn collect_poisoned(data: &Dataset, cfg: &MlSimConfig) -> CollectedSet {
         // poison at the same spot — the placement that maximizes centroid
         // displacement at a given anomaly score. Labels are adversary
         // chosen (random class).
-        let n_poison = (cfg.attack_ratio * cfg.batch as f64).round() as usize;
-        let poison_dist = ref_at(injection);
+        let n_poison = (self.attack_ratio * self.batch as f64).round() as usize;
+        let poison_dist = self.ref_at(injection);
         if n_poison > 0 {
-            let target = rng.gen_range(0..centroids.len().max(1));
-            let base = &centroids[target.min(centroids.len() - 1)];
-            let dir: Vec<f64> = (0..data.cols())
-                .map(|_| standard_normal(&mut rng))
+            let target = rng.gen_range(0..self.centroids.len().max(1));
+            let base = &self.centroids[target.min(self.centroids.len() - 1)];
+            let dir: Vec<f64> = (0..self.data.cols())
+                .map(|_| standard_normal(rng))
                 .collect();
             let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
             let poison_row: Vec<f64> = base
@@ -179,7 +242,7 @@ pub fn collect_poisoned(data: &Dataset, cfg: &MlSimConfig) -> CollectedSet {
                 .zip(&dir)
                 .map(|(c, d)| c + poison_dist * d / norm)
                 .collect();
-            let poison_label = rng.gen_range(0..classes);
+            let poison_label = rng.gen_range(0..self.classes);
             for _ in 0..n_poison {
                 batch_rows.push(poison_row.clone());
                 batch_labels.push(poison_label);
@@ -188,17 +251,22 @@ pub fn collect_poisoned(data: &Dataset, cfg: &MlSimConfig) -> CollectedSet {
         }
 
         // Score trimming at the reference value of the threshold
-        // percentile.
-        let all_dists: Vec<f64> = batch_rows.iter().map(|r| score(r)).collect();
-        let cut = ref_at(threshold);
+        // percentile, on the distance scalars (shared in-place hot path).
+        let all_dists: Vec<f64> = batch_rows.iter().map(|r| self.score(r)).collect();
+        let cut = self.ref_at(threshold);
+        let stats = TrimOp::Absolute(cut).apply_in_place(&all_dists, &mut self.scratch);
 
         // Quality: excess tail mass above the clean reference distance.
-        let above =
-            all_dists.iter().filter(|&&d| d > ref_value).count() as f64 / all_dists.len() as f64;
-        let quality = 1.0 - (above - expected_tail).max(0.0);
+        let above = all_dists.iter().filter(|&&d| d > self.ref_value).count() as f64
+            / all_dists.len() as f64;
+        let quality = 1.0 - (above - self.expected_tail).max(0.0);
 
+        let mut poison_received = 0;
+        let mut poison_survived = 0;
+        let mut benign_trimmed = 0;
+        let received = batch_rows.len();
         for (i, row) in batch_rows.into_iter().enumerate() {
-            let keep = all_dists[i] <= cut;
+            let keep = self.scratch.kept_mask()[i];
             if batch_poison[i] {
                 poison_received += 1;
                 if keep {
@@ -208,41 +276,50 @@ pub fn collect_poisoned(data: &Dataset, cfg: &MlSimConfig) -> CollectedSet {
                 benign_trimmed += 1;
             }
             if keep {
-                rows.push(row);
-                labels.push(batch_labels[i]);
-                is_poison.push(batch_poison[i]);
+                self.rows.push(row);
+                self.labels.push(batch_labels[i]);
+                self.is_poison.push(batch_poison[i]);
             }
         }
 
         // The defender observes the adversary's realized reference
         // percentile via the public record (complete information).
-        let observed_injection = percentile_of(&clean_scores, poison_dist);
-        def_obs = Some(DefenderObservation {
-            quality,
-            injection_percentile: Some(if n_poison > 0 {
-                observed_injection
-            } else {
-                injection
-            }),
-        });
-        adv_obs = AdversaryObservation {
-            last_threshold: Some(threshold),
+        let observed = if n_poison > 0 {
+            percentile_of(&self.clean_scores, poison_dist)
+        } else {
+            injection
         };
+        let batch_len = received.max(1);
+        let mut retained_stats = OnlineStats::new();
+        retained_stats.extend(self.scratch.kept());
+        RoundReport {
+            quality,
+            received,
+            trimmed: stats.trimmed,
+            poison_received,
+            poison_survived,
+            benign_trimmed,
+            gain_adversary: poison_survived as f64 / batch_len as f64 * injection,
+            overhead: benign_trimmed as f64 / batch_len as f64,
+            observed_injection: Some(observed),
+            threshold_value: stats.threshold_value,
+            retained: retained_stats,
+        }
     }
+}
 
-    let retained = Dataset::from_rows(
-        format!("{}-{}", data.name(), cfg.scheme.name()),
-        &rows,
-        Some(labels),
-        data.clusters(),
-    );
-    CollectedSet {
-        retained,
-        is_poison,
-        poison_received,
-        poison_survived,
-        benign_trimmed,
-    }
+/// Runs the poisoned collection and returns the retained training set.
+///
+/// # Panics
+/// Panics if the dataset is unlabelled or smaller than the batch size.
+#[must_use]
+pub fn collect_poisoned(data: &Dataset, cfg: &MlSimConfig) -> CollectedSet {
+    let mut rng = seeded_rng(cfg.seed);
+    let scenario = MlScenario::new(data, cfg);
+    let defender = cfg.scheme.defender(cfg.tth, 1.0, cfg.red);
+    let adversary = cfg.scheme.adversary(cfg.tth);
+    let out = Engine::new(scenario, defender, adversary).run(cfg.rounds, &mut rng);
+    out.scenario.into_collected(cfg.scheme, &out.totals)
 }
 
 /// Ground-truth centroids for the Figs. 4/5 "Distance" metric: the

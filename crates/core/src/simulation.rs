@@ -13,16 +13,18 @@
 //! plus the benign trim fraction (the overhead `T`). Cumulative series
 //! feed the Section IV analytical checks in [`crate::lagrange`].
 
-use crate::adversary::{AdversaryObservation, AdversaryPolicy};
+use crate::adversary::AdversaryPolicy;
+use crate::engine::{Engine, EngineOutcome, RoundReport, Scenario};
 use crate::lagrange::UtilityTrajectory;
-use crate::strategy::{DefenderObservation, DefenderPolicy};
+use crate::strategy::DefenderPolicy;
 use rand::Rng;
 use trimgame_datasets::poison::{InjectionPosition, PoisonSpec};
 use trimgame_datasets::stream::RoundStream;
 use trimgame_numerics::quantile::{ecdf, Interpolation};
 use trimgame_numerics::rand_ext::seeded_rng;
+use trimgame_numerics::stats::OnlineStats;
 use trimgame_stream::round::RoundOutcome;
-use trimgame_stream::trim::{trim, TrimOp};
+use trimgame_stream::trim::{trim, TrimOp, TrimScratch};
 
 /// The six evaluation schemes of Section VI-A.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -178,7 +180,8 @@ impl GameResult {
     }
 }
 
-/// Runs one scalar collection game over `pool`.
+/// The scalar value-stream workload as an
+/// [`engine::Scenario`](crate::engine::Scenario).
 ///
 /// Positions — the defender's threshold and the adversary's injection —
 /// live in *reference percentile space*: the clean pool's quantile
@@ -188,74 +191,100 @@ impl GameResult {
 /// recognized quality standard (clean history), not from the current,
 /// possibly contaminated batch — otherwise a colluding point mass could
 /// drag the batch percentile onto itself and ride out any cut.
-///
-/// # Panics
-/// Panics if the pool is empty or the configuration is degenerate.
-#[must_use]
-pub fn run_game(pool: &[f64], config: &GameConfig) -> GameResult {
-    assert!(!pool.is_empty(), "empty value pool");
-    assert!(config.rounds > 0, "need at least one round");
-    let mut rng = seeded_rng(config.seed);
-    let mut stream = RoundStream::new(pool.to_vec(), config.batch);
+#[derive(Debug, Clone)]
+pub struct ScalarScenario {
+    stream: RoundStream,
+    sorted_pool: Vec<f64>,
+    attack_ratio: f64,
+    ref_value: f64,
+    expected_tail: f64,
+    record_kept: bool,
+    scratch: TrimScratch,
+    /// Per-round outcomes with provenance (empty in lean mode).
+    pub outcomes: Vec<RoundOutcome>,
+    /// All retained values across rounds (empty in lean mode).
+    pub retained: Vec<f64>,
+}
 
-    // Reference quantile function (sorted clean pool).
-    let mut sorted_pool = pool.to_vec();
-    sorted_pool.sort_by(|a, b| a.partial_cmp(b).expect("NaN in pool"));
-    let ref_at = |p: f64| {
-        trimgame_numerics::quantile::percentile_sorted(
+impl ScalarScenario {
+    /// Builds the scenario over `pool` with full per-round recording.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty or contains NaN.
+    #[must_use]
+    pub fn new(pool: &[f64], config: &GameConfig) -> Self {
+        Self::build(pool, config, true)
+    }
+
+    /// Builds the scenario without retaining per-round kept values — the
+    /// lean mode for large sweeps, where only the engine's aggregate
+    /// totals and utility trajectories are needed.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty or contains NaN.
+    #[must_use]
+    pub fn lean(pool: &[f64], config: &GameConfig) -> Self {
+        Self::build(pool, config, false)
+    }
+
+    fn build(pool: &[f64], config: &GameConfig, record_kept: bool) -> Self {
+        assert!(!pool.is_empty(), "empty value pool");
+        let stream = RoundStream::new(pool.to_vec(), config.batch);
+        // Reference quantile function (sorted clean pool).
+        let mut sorted_pool = pool.to_vec();
+        sorted_pool.sort_by(|a, b| a.partial_cmp(b).expect("NaN in pool"));
+        // Quality standard: excess mass above the Tth reference value.
+        let ref_value = trimgame_numerics::quantile::percentile_sorted(
             &sorted_pool,
+            config.tth.clamp(0.0, 1.0),
+            Interpolation::Linear,
+        );
+        Self {
+            stream,
+            sorted_pool,
+            attack_ratio: config.attack_ratio,
+            ref_value,
+            expected_tail: 1.0 - config.tth,
+            record_kept,
+            scratch: TrimScratch::with_capacity(config.batch + config.batch / 2),
+            outcomes: Vec::new(),
+            retained: Vec::new(),
+        }
+    }
+
+    fn ref_at(&self, p: f64) -> f64 {
+        trimgame_numerics::quantile::percentile_sorted(
+            &self.sorted_pool,
             p.clamp(0.0, 1.0),
             Interpolation::Linear,
         )
-    };
-    // Quality standard: excess mass above the Tth reference value.
-    let ref_value = ref_at(config.tth);
-    let expected_tail = 1.0 - config.tth;
-    let baseline_quality = 1.0; // clean batches carry no excess tail mass
+    }
+}
 
-    let mut defender = config
-        .scheme
-        .defender(config.tth, baseline_quality, config.red);
-    let mut adversary = config
-        .adversary_override
-        .clone()
-        .unwrap_or_else(|| config.scheme.adversary(config.tth));
-
-    let mut def_obs: Option<DefenderObservation> = None;
-    let mut adv_obs = AdversaryObservation {
-        last_threshold: None,
-    };
-
-    let mut outcomes = Vec::with_capacity(config.rounds);
-    let mut retained = Vec::new();
-    let mut thresholds = Vec::with_capacity(config.rounds);
-    let mut injections = Vec::with_capacity(config.rounds);
-    let mut gains_a = Vec::with_capacity(config.rounds);
-    let mut gains_c = Vec::with_capacity(config.rounds);
-
-    for round in 1..=config.rounds {
-        // Decisions from *previous* round information only.
-        let threshold = match &def_obs {
-            None => defender.initial_threshold(),
-            Some(obs) => defender.next_threshold(round, obs),
-        };
-        let injection = adversary.next_injection(&adv_obs, &mut rng);
-
-        let benign = stream.next_round(&mut rng);
+impl Scenario for ScalarScenario {
+    fn play_round<R: Rng + ?Sized>(
+        &mut self,
+        round: usize,
+        threshold: f64,
+        injection: f64,
+        rng: &mut R,
+    ) -> RoundReport {
+        let benign = self.stream.next_round(rng);
         let spec = PoisonSpec::new(
-            config.attack_ratio,
-            InjectionPosition::Value(ref_at(injection)),
+            self.attack_ratio,
+            InjectionPosition::Value(self.ref_at(injection)),
         );
-        let batch = spec.inject(&benign, &mut rng);
-        let above = 1.0 - ecdf(&batch.values, ref_value);
-        let quality = 1.0 - (above - expected_tail).max(0.0);
-        let trim_outcome = trim(&batch.values, TrimOp::Absolute(ref_at(threshold)));
+        let batch = spec.inject(&benign, rng);
+        let above = 1.0 - ecdf(&batch.values, self.ref_value);
+        let quality = 1.0 - (above - self.expected_tail).max(0.0);
+        let stats = TrimOp::Absolute(self.ref_at(threshold))
+            .apply_in_place(&batch.values, &mut self.scratch);
 
         let mut poison_received = 0;
         let mut poison_survived = 0;
         let mut benign_trimmed = 0;
         for (idx, &is_poison) in batch.is_poison.iter().enumerate() {
-            let kept = trim_outcome.kept_mask[idx];
+            let kept = self.scratch.kept_mask()[idx];
             if is_poison {
                 poison_received += 1;
                 if kept {
@@ -270,44 +299,85 @@ pub fn run_game(pool: &[f64], config: &GameConfig) -> GameResult {
         let batch_len = batch.values.len().max(1);
         let g_a = poison_survived as f64 / batch_len as f64 * injection.clamp(0.0, 1.0);
         let overhead = benign_trimmed as f64 / batch_len as f64;
-        gains_a.push(g_a);
-        gains_c.push(-g_a - overhead);
 
-        retained.extend_from_slice(&trim_outcome.kept);
-        outcomes.push(RoundOutcome {
-            round,
-            threshold_percentile: threshold,
+        let mut retained_stats = OnlineStats::new();
+        retained_stats.extend(self.scratch.kept());
+        if self.record_kept {
+            self.retained.extend_from_slice(self.scratch.kept());
+            self.outcomes.push(RoundOutcome {
+                round,
+                threshold_percentile: threshold,
+                received: batch.values.len(),
+                poison_received,
+                poison_survived,
+                benign_trimmed,
+                kept: self.scratch.kept().to_vec(),
+                quality,
+            });
+        }
+
+        RoundReport {
+            quality,
             received: batch.values.len(),
+            trimmed: stats.trimmed,
             poison_received,
             poison_survived,
             benign_trimmed,
-            kept: trim_outcome.kept,
-            quality,
-        });
-        thresholds.push(threshold);
-        injections.push(injection);
-
-        def_obs = Some(DefenderObservation {
-            quality,
-            injection_percentile: Some(injection),
-        });
-        adv_obs = AdversaryObservation {
-            last_threshold: Some(threshold),
-        };
+            gain_adversary: g_a,
+            overhead,
+            observed_injection: Some(injection),
+            threshold_value: stats.threshold_value,
+            retained: retained_stats,
+        }
     }
+}
 
-    let termination_round = match &defender {
-        DefenderPolicy::TitForTat { inner } => inner.triggered_at(),
-        _ => None,
+/// Drives one scalar game through the unified engine and returns the raw
+/// [`EngineOutcome`] — the lean entry point for sweeps and custom
+/// aggregation. Set `record_kept` to also keep per-round retained values
+/// in the scenario.
+///
+/// # Panics
+/// Panics if the pool is empty or the configuration is degenerate.
+#[must_use]
+pub fn run_game_engine(
+    pool: &[f64],
+    config: &GameConfig,
+    record_kept: bool,
+) -> EngineOutcome<ScalarScenario> {
+    assert!(config.rounds > 0, "need at least one round");
+    let mut rng = seeded_rng(config.seed);
+    let scenario = if record_kept {
+        ScalarScenario::new(pool, config)
+    } else {
+        ScalarScenario::lean(pool, config)
     };
+    let baseline_quality = 1.0; // clean batches carry no excess tail mass
+    let defender = config
+        .scheme
+        .defender(config.tth, baseline_quality, config.red);
+    let adversary = config
+        .adversary_override
+        .clone()
+        .unwrap_or_else(|| config.scheme.adversary(config.tth));
+    Engine::new(scenario, defender, adversary).run(config.rounds, &mut rng)
+}
 
+/// Runs one scalar collection game over `pool` (see [`ScalarScenario`]
+/// for the game's concrete position semantics).
+///
+/// # Panics
+/// Panics if the pool is empty or the configuration is degenerate.
+#[must_use]
+pub fn run_game(pool: &[f64], config: &GameConfig) -> GameResult {
+    let out = run_game_engine(pool, config, true);
     GameResult {
-        outcomes,
-        retained,
-        utilities: UtilityTrajectory::from_roundwise(&gains_a, &gains_c),
-        termination_round,
-        thresholds,
-        injections,
+        outcomes: out.scenario.outcomes,
+        retained: out.scenario.retained,
+        utilities: out.utilities,
+        termination_round: out.termination_round,
+        thresholds: out.thresholds,
+        injections: out.injections,
     }
 }
 
@@ -616,6 +686,31 @@ mod tests {
         let (poison, term) = averaged_game(&pool(), &cfg, 3);
         assert!((0.0..=1.0).contains(&poison));
         assert!((1.0..=6.0).contains(&term));
+    }
+
+    #[test]
+    fn lean_engine_run_matches_recording_run() {
+        // The sweep's lean mode must produce the same trajectories and
+        // aggregate counts as the full recording mode, just without the
+        // per-round kept payloads.
+        let cfg = GameConfig::new(Scheme::Elastic(0.5));
+        let full = run_game_engine(&pool(), &cfg, true);
+        let lean = run_game_engine(&pool(), &cfg, false);
+        assert_eq!(full.thresholds, lean.thresholds);
+        assert_eq!(full.injections, lean.injections);
+        assert_eq!(full.utilities.u_a, lean.utilities.u_a);
+        assert_eq!(full.utilities.u_c, lean.utilities.u_c);
+        assert_eq!(full.totals, lean.totals);
+        assert!(lean.scenario.outcomes.is_empty());
+        assert!(lean.scenario.retained.is_empty());
+        // And the totals agree with the GameResult-level metrics.
+        let result = run_game(&pool(), &cfg);
+        assert!(
+            (full.totals.surviving_poison_fraction() - result.surviving_poison_fraction()).abs()
+                < 1e-12
+        );
+        assert!((full.totals.benign_trim_fraction() - result.benign_trim_fraction()).abs() < 1e-12);
+        assert_eq!(full.board.len(), cfg.rounds);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! percentile (Elastic's coupled rule; observable in the complete-
 //! information game via the public board).
 
-use crate::elastic::CoupledDynamics;
+use crate::elastic::{CoupledDynamics, ElasticThreshold};
 use crate::titfortat::TitForTat;
 
 /// What the defender sees from the previous round.
@@ -46,6 +46,14 @@ pub enum DefenderPolicy {
         dynamics: CoupledDynamics,
         /// Current trim percentile `T(i)`.
         current: f64,
+    },
+    /// Algorithm 2 proper: the threshold interpolates between the soft and
+    /// hard percentiles as the observed quality degrades (used by the LDP
+    /// case study, where the injection position is not observable but the
+    /// quality score is).
+    QualityElastic {
+        /// The interpolation parameters.
+        inner: ElasticThreshold,
     },
 }
 
@@ -86,6 +94,17 @@ impl DefenderPolicy {
         }
     }
 
+    /// Builds the Algorithm 2 quality-driven policy between `soft` and
+    /// `hard` with intensity `k`.
+    ///
+    /// # Panics
+    /// Panics if the parameters are out of range.
+    #[must_use]
+    pub fn quality_elastic(soft: f64, hard: f64, k: f64) -> Self {
+        let inner = ElasticThreshold::new(soft, hard, k).expect("valid elastic parameters");
+        DefenderPolicy::QualityElastic { inner }
+    }
+
     /// Human-readable scheme name (matches the paper's legend).
     #[must_use]
     pub fn name(&self) -> String {
@@ -94,6 +113,7 @@ impl DefenderPolicy {
             DefenderPolicy::Fixed { .. } => "Baseline".to_string(),
             DefenderPolicy::TitForTat { .. } => "Titfortat".to_string(),
             DefenderPolicy::Elastic { dynamics, .. } => format!("Elastic{}", dynamics.k),
+            DefenderPolicy::QualityElastic { inner } => format!("Elastic{}", inner.k),
         }
     }
 
@@ -105,6 +125,7 @@ impl DefenderPolicy {
             DefenderPolicy::Fixed { tth } => *tth,
             DefenderPolicy::TitForTat { inner } => inner.threshold(),
             DefenderPolicy::Elastic { current, .. } => *current,
+            DefenderPolicy::QualityElastic { inner } => inner.threshold(0.0),
         }
     }
 
@@ -121,6 +142,17 @@ impl DefenderPolicy {
                 }
                 current.clamp(0.0, 1.0)
             }
+            DefenderPolicy::QualityElastic { inner } => inner.threshold(1.0 - obs.quality),
+        }
+    }
+
+    /// The round at which a trigger policy terminated cooperation, if it
+    /// is a trigger policy and it fired.
+    #[must_use]
+    pub fn termination_round(&self) -> Option<usize> {
+        match self {
+            DefenderPolicy::TitForTat { inner } => inner.triggered_at(),
+            _ => None,
         }
     }
 }
@@ -189,5 +221,29 @@ mod tests {
         assert_eq!(DefenderPolicy::Fixed { tth: 0.9 }.name(), "Baseline");
         assert_eq!(DefenderPolicy::titfortat(0.9, 1.0, 0.0).name(), "Titfortat");
         assert_eq!(DefenderPolicy::elastic(0.9, 0.5).name(), "Elastic0.5");
+        assert_eq!(
+            DefenderPolicy::quality_elastic(0.95, 0.85, 0.1).name(),
+            "Elastic0.1"
+        );
+    }
+
+    #[test]
+    fn quality_elastic_follows_algorithm2() {
+        let mut p = DefenderPolicy::quality_elastic(0.95, 0.85, 0.5);
+        // Perfect quality: soft threshold, also the initial threshold.
+        assert!((p.initial_threshold() - 0.95).abs() < 1e-12);
+        assert!((p.next_threshold(2, &obs(1.0, None)) - 0.95).abs() < 1e-12);
+        // Worst quality: k of the way toward hard.
+        let t = p.next_threshold(3, &obs(0.0, None));
+        assert!((t - 0.90).abs() < 1e-12, "threshold {t}");
+        assert_eq!(p.termination_round(), None);
+    }
+
+    #[test]
+    fn termination_round_reports_trigger() {
+        let mut p = DefenderPolicy::titfortat(0.9, 0.95, 0.01);
+        assert_eq!(p.termination_round(), None);
+        let _ = p.next_threshold(2, &obs(0.5, None));
+        assert_eq!(p.termination_round(), Some(2));
     }
 }

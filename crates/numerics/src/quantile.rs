@@ -51,6 +51,15 @@ pub fn percentile_sorted(sorted: &[f64], p: f64, interp: Interpolation) -> f64 {
     if n == 1 {
         return sorted[0];
     }
+    // Exact extremes under every interpolation mode: no index arithmetic
+    // (and hence no floating-point rounding) may ever pull `p = 0`/`p = 1`
+    // off the sample minimum/maximum.
+    if p == 0.0 {
+        return sorted[0];
+    }
+    if p == 1.0 {
+        return sorted[n - 1];
+    }
     match interp {
         Interpolation::Linear => {
             let h = (n - 1) as f64 * p;
@@ -85,6 +94,86 @@ pub fn percentile_sorted(sorted: &[f64], p: f64, interp: Interpolation) -> f64 {
             sorted[h.round() as usize]
         }
     }
+}
+
+/// Percentile by in-place selection instead of a full sort.
+///
+/// Computes exactly the same value as [`percentile_sorted`] on the sorted
+/// copy of `buf`, but in `O(n)` expected time via `select_nth_unstable`:
+/// the interpolation anchors `sorted[⌊h⌋]` and `sorted[⌈h⌉]` are found by
+/// one selection plus a minimum scan of the upper partition. `buf` is
+/// reordered arbitrarily — callers own a scratch copy (see
+/// `trimgame-stream`'s `TrimScratch`), which is what makes the trim hot
+/// path allocation-free.
+///
+/// # Panics
+/// Panics if `buf` is empty, `p` is not in `[0, 1]`, or the data contains
+/// a NaN (every element participates in the first partition pass, so NaN
+/// cannot slip through unnoticed).
+#[must_use]
+pub fn percentile_select(buf: &mut [f64], p: f64, interp: Interpolation) -> f64 {
+    assert!(!buf.is_empty(), "percentile of empty data");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "percentile probability {p} not in [0,1]"
+    );
+    let n = buf.len();
+    if n == 1 {
+        let only = buf[0];
+        assert!(!only.is_nan(), "percentile: NaN in data");
+        return only;
+    }
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("percentile: NaN in data");
+    if p == 0.0 {
+        return *buf
+            .iter()
+            .min_by(|a, b| cmp(a, b))
+            .expect("non-empty checked above");
+    }
+    if p == 1.0 {
+        return *buf
+            .iter()
+            .max_by(|a, b| cmp(a, b))
+            .expect("non-empty checked above");
+    }
+    // The fractional rank position h and the interpolation weight, per
+    // interpolation mode; Lower/Nearest need a single exact order
+    // statistic, Linear/Matlab need two adjacent ones.
+    let (lo, frac) = match interp {
+        Interpolation::Linear => {
+            let h = (n - 1) as f64 * p;
+            (h.floor() as usize, h - h.floor())
+        }
+        Interpolation::Matlab => {
+            let h = p * n as f64 - 0.5;
+            if h <= 0.0 {
+                (0, 0.0)
+            } else if h >= (n - 1) as f64 {
+                (n - 1, 0.0)
+            } else {
+                (h.floor() as usize, h - h.floor())
+            }
+        }
+        Interpolation::Lower => {
+            let h = (n - 1) as f64 * p;
+            (h.floor() as usize, 0.0)
+        }
+        Interpolation::Nearest => {
+            let h = (n - 1) as f64 * p;
+            (h.round() as usize, 0.0)
+        }
+    };
+    let (_, lo_v, upper) = buf.select_nth_unstable_by(lo, cmp);
+    let lo_v = *lo_v;
+    if frac == 0.0 {
+        return lo_v;
+    }
+    // sorted[lo + 1] is the minimum of the partition above the pivot.
+    let hi_v = *upper
+        .iter()
+        .min_by(|a, b| cmp(a, b))
+        .expect("frac > 0 implies lo < n - 1");
+    lo_v + frac * (hi_v - lo_v)
 }
 
 /// Inverse percentile: the fraction of `data` strictly below `x` plus half
@@ -230,6 +319,83 @@ mod tests {
             let x = percentile(&data, p, Interpolation::Linear);
             assert!((percentile_of(&data, x) - p).abs() < 2e-3, "p={p}");
         }
+    }
+
+    #[test]
+    fn extremes_are_exact_under_every_interpolation() {
+        // p = 0 / p = 1 must hit the sample min/max exactly — no
+        // interpolation arithmetic allowed — in all four modes, including
+        // awkward lengths where (n-1)*p rounding could bite.
+        for n in [2usize, 3, 7, 100, 1001] {
+            let data: Vec<f64> = (0..n).map(|i| i as f64 * 0.1 - 3.0).collect();
+            for interp in [
+                Interpolation::Linear,
+                Interpolation::Matlab,
+                Interpolation::Lower,
+                Interpolation::Nearest,
+            ] {
+                assert_eq!(percentile(&data, 0.0, interp), data[0], "min n={n}");
+                assert_eq!(percentile(&data, 1.0, interp), data[n - 1], "max n={n}");
+                let mut buf = data.clone();
+                assert_eq!(percentile_select(&mut buf, 0.0, interp), data[0]);
+                let mut buf = data.clone();
+                assert_eq!(percentile_select(&mut buf, 1.0, interp), data[n - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn select_matches_sorted_everywhere() {
+        let data: Vec<f64> = (0..257)
+            .map(|i| ((i * 97) % 131) as f64 * 0.7 - 5.0)
+            .collect();
+        for interp in [
+            Interpolation::Linear,
+            Interpolation::Matlab,
+            Interpolation::Lower,
+            Interpolation::Nearest,
+        ] {
+            for i in 0..=50 {
+                let p = i as f64 / 50.0;
+                let mut buf = data.clone();
+                let via_select = percentile_select(&mut buf, p, interp);
+                let via_sort = percentile(&data, p, interp);
+                assert_eq!(via_select, via_sort, "p={p} interp={interp:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN in data")]
+    fn select_rejects_nan_input() {
+        let mut buf = vec![1.0, f64::NAN, 3.0, 4.0];
+        let _ = percentile_select(&mut buf, 0.5, Interpolation::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN in data")]
+    fn select_rejects_single_nan() {
+        let mut buf = vec![f64::NAN];
+        let _ = percentile_select(&mut buf, 0.5, Interpolation::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN in data")]
+    fn sort_path_rejects_nan_input() {
+        let _ = percentile(&[1.0, f64::NAN, 3.0], 0.5, Interpolation::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0,1]")]
+    fn select_rejects_nan_probability() {
+        let mut buf = vec![1.0, 2.0];
+        let _ = percentile_select(&mut buf, f64::NAN, Interpolation::Linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn select_rejects_empty() {
+        let _ = percentile_select(&mut [], 0.5, Interpolation::Linear);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::board::{PublicBoard, RoundRecord};
 use crate::quality::QualityEvaluation;
-use crate::trim::{trim, TrimOp, TrimOutcome};
+use crate::trim::{trim, SketchThreshold, TrimOp, TrimOutcome};
 use trimgame_numerics::stats::OnlineStats;
 
 /// Collect → evaluate → trim → record pipeline around a [`PublicBoard`].
@@ -16,6 +16,7 @@ pub struct Collector<Q: QualityEvaluation> {
     board: PublicBoard,
     quality: Q,
     rounds_processed: usize,
+    sketch: Option<SketchThreshold>,
 }
 
 impl<Q: QualityEvaluation> std::fmt::Debug for Collector<Q> {
@@ -29,13 +30,44 @@ impl<Q: QualityEvaluation> std::fmt::Debug for Collector<Q> {
 
 impl<Q: QualityEvaluation> Collector<Q> {
     /// Creates a collector posting to `board` and scoring with `quality`.
+    /// Thresholds are resolved exactly on each round's batch.
     #[must_use]
     pub fn new(board: PublicBoard, quality: Q) -> Self {
         Self {
             board,
             quality,
             rounds_processed: 0,
+            sketch: None,
         }
+    }
+
+    /// Creates a collector whose percentile thresholds are resolved from a
+    /// streaming [`SketchThreshold`] (GK summary with rank error `ε`) over
+    /// *everything received so far* instead of sorting the current batch.
+    ///
+    /// This is both cheaper (no per-round sort, sublinear threshold state)
+    /// and closer to the paper's public quality standard: the cut is
+    /// resolved from the stream history *before* the current batch is
+    /// ingested, so a colluding point mass in one batch cannot drag the
+    /// percentile onto itself within its own round. The very first round
+    /// has no history and falls back to the exact batch percentile.
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 0.5`.
+    #[must_use]
+    pub fn with_sketch(board: PublicBoard, quality: Q, epsilon: f64) -> Self {
+        Self {
+            board,
+            quality,
+            rounds_processed: 0,
+            sketch: Some(SketchThreshold::new(epsilon)),
+        }
+    }
+
+    /// The streaming threshold source, if this collector uses one.
+    #[must_use]
+    pub fn sketch(&self) -> Option<&SketchThreshold> {
+        self.sketch.as_ref()
     }
 
     /// The shared public board.
@@ -67,7 +99,19 @@ impl<Q: QualityEvaluation> Collector<Q> {
     ) -> (TrimOutcome, f64) {
         self.rounds_processed += 1;
         let quality = self.quality.evaluate(batch);
-        let outcome = trim(batch, TrimOp::UpperPercentile(threshold_percentile));
+        let op = match &mut self.sketch {
+            Some(source) => {
+                // Resolve the cut from the history only, then ingest the
+                // batch: the current round's data must not move the
+                // current round's threshold. Before any history exists,
+                // fall back to the exact batch percentile.
+                let op = source.op(threshold_percentile);
+                source.observe(batch);
+                op.unwrap_or(TrimOp::UpperPercentile(threshold_percentile))
+            }
+            None => TrimOp::UpperPercentile(threshold_percentile),
+        };
+        let outcome = trim(batch, op);
         let mut retained = OnlineStats::new();
         retained.extend(&outcome.kept);
         self.board.post(RoundRecord {
@@ -133,6 +177,52 @@ mod tests {
             assert_eq!(c.board().len(), expected);
         }
         assert_eq!(c.board().history().last().unwrap().round, 5);
+    }
+
+    #[test]
+    fn sketch_collector_trims_near_exact_cut() {
+        let mut exact = collector();
+        let mut sketched =
+            Collector::with_sketch(PublicBoard::new(), TailMassQuality::new(95.0, 0.05), 0.005);
+        let batch = benign();
+        // Round 1: no history yet, the sketch mode falls back to the exact
+        // batch percentile — identical outcomes.
+        let (a, _) = exact.process_round(&batch, 0.9);
+        let (b, _) = sketched.process_round(&batch, 0.9);
+        assert_eq!(a.trimmed, b.trimmed);
+        assert_eq!(sketched.sketch().unwrap().count(), batch.len() as u64);
+        assert!(exact.sketch().is_none());
+        // Round 2: the cut now comes from the history sketch, within the
+        // rank-error band of the exact batch cut (same distribution).
+        let (a, _) = exact.process_round(&batch, 0.9);
+        let (b, _) = sketched.process_round(&batch, 0.9);
+        let diff = (a.trimmed as f64 - b.trimmed as f64).abs() / batch.len() as f64;
+        assert!(diff <= 0.02, "trim fractions diverge by {diff}");
+        assert_eq!(sketched.sketch().unwrap().count(), 2 * batch.len() as u64);
+    }
+
+    #[test]
+    fn sketch_cut_resists_point_mass_in_current_batch() {
+        // A colluding Sybil mass in round 2 must not drag round 2's
+        // percentile cut onto itself: the cut is resolved from the clean
+        // history before the batch is ingested.
+        let mut sketched =
+            Collector::with_sketch(PublicBoard::new(), TailMassQuality::new(95.0, 0.05), 0.005);
+        let clean = benign(); // 0.0..=99.9
+        let _ = sketched.process_round(&clean, 0.9);
+        let mut poisoned = clean.clone();
+        poisoned.extend(std::iter::repeat(500.0).take(clean.len() / 2)); // 33% Sybil mass
+        let (outcome, _) = sketched.process_round(&poisoned, 0.9);
+        let kept_poison = outcome.kept.iter().filter(|&&v| v == 500.0).count();
+        assert_eq!(kept_poison, 0, "point mass must not ride the cut");
+        // An exact batch-percentile collector is dragged: p90 of the
+        // poisoned batch sits at the poison value, which then survives.
+        let mut exact = collector();
+        let (outcome, _) = exact.process_round(&poisoned, 0.9);
+        assert!(
+            outcome.kept.contains(&500.0),
+            "batch-percentile cut is expected to be draggable"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! machinery; the *policies* that choose thresholds (Tit-for-tat, Elastic,
 //! baselines) live in `trim-core`.
 //!
-//! * [`trim`] — trimming operators over scalar batches.
+//! * [`mod@trim`] — trimming operators over scalar batches.
 //! * [`quality`] — `Quality_Evaluation()` implementations.
 //! * [`board`] — the thread-safe, append-only public board.
 //! * [`collector`] — per-round collect → trim → record pipeline.
@@ -26,4 +26,4 @@ pub use board::{PublicBoard, RoundRecord};
 pub use collector::Collector;
 pub use quality::{MeanShiftQuality, QualityEvaluation, TailMassQuality};
 pub use round::{run_rounds, RoundOutcome};
-pub use trim::{trim, TrimOp, TrimOutcome};
+pub use trim::{trim, SketchThreshold, TrimOp, TrimOutcome, TrimScratch, TrimStats};

@@ -6,8 +6,22 @@
 //! scalar batch the operators here implement exactly that: an upper
 //! percentile cut (the game's main move), a two-sided cut, and an absolute
 //! threshold cut.
+//!
+//! Two execution paths share one semantics:
+//!
+//! * [`trim`] — the convenient allocating form, returning an owned
+//!   [`TrimOutcome`];
+//! * [`TrimOp::apply_in_place`] — the engine hot path: all buffers live in
+//!   a reusable [`TrimScratch`], percentile thresholds are found by
+//!   `O(n)` selection ([`percentile_select`]) instead of a full sort, and
+//!   after warm-up a round performs **zero** heap allocations.
+//!
+//! Both produce bit-identical kept values, masks and threshold values.
+//! For cuts that must not materialize the batch at all, [`SketchThreshold`]
+//! resolves percentiles from a Greenwald–Khanna summary of the stream.
 
-use trimgame_numerics::quantile::{percentile, Interpolation};
+use trimgame_numerics::gk::GkSummary;
+use trimgame_numerics::quantile::{percentile_select, Interpolation};
 
 /// A trimming operator over a scalar batch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,72 +70,258 @@ impl TrimOutcome {
     }
 }
 
-/// Applies a trimming operator to a batch.
+/// Scalar bookkeeping of one in-place trim; the values and mask live in
+/// the [`TrimScratch`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrimStats {
+    /// Number of values removed.
+    pub trimmed: usize,
+    /// Number of values retained.
+    pub kept: usize,
+    /// The absolute upper threshold applied, if any.
+    pub threshold_value: Option<f64>,
+    /// The absolute lower bound applied (`TwoSided` only).
+    pub lower_value: Option<f64>,
+}
+
+impl TrimStats {
+    /// Fraction of the batch removed.
+    #[must_use]
+    pub fn trimmed_fraction(&self) -> f64 {
+        let total = self.kept + self.trimmed;
+        if total == 0 {
+            0.0
+        } else {
+            self.trimmed as f64 / total as f64
+        }
+    }
+}
+
+/// Reusable buffers for [`TrimOp::apply_in_place`].
+///
+/// Holds the selection scratch (a mutable copy of the batch for the
+/// quickselect threshold), the kept mask and the kept values. Buffers are
+/// cleared — not shrunk — between rounds, so a long-running engine
+/// performs no heap allocation once every buffer has reached the round's
+/// batch size.
+#[derive(Debug, Clone, Default)]
+pub struct TrimScratch {
+    select: Vec<f64>,
+    mask: Vec<bool>,
+    kept: Vec<f64>,
+}
+
+impl TrimScratch {
+    /// Creates empty scratch buffers (they grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates scratch buffers pre-sized for batches of `n` values. The
+    /// selection buffer is left empty — only percentile operators use it,
+    /// and they grow it on first use; `Absolute`/`None` cuts never pay
+    /// for it.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            select: Vec::new(),
+            mask: Vec::with_capacity(n),
+            kept: Vec::with_capacity(n),
+        }
+    }
+
+    /// The kept values of the most recent apply, in input order.
+    #[must_use]
+    pub fn kept(&self) -> &[f64] {
+        &self.kept
+    }
+
+    /// The kept mask of the most recent apply, parallel to the input.
+    #[must_use]
+    pub fn kept_mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Moves the kept values out, leaving an empty (capacity-preserving
+    /// for the other buffers) scratch. Used by the allocating [`trim`]
+    /// façade.
+    fn take_outcome(&mut self, stats: TrimStats) -> TrimOutcome {
+        TrimOutcome {
+            kept: std::mem::take(&mut self.kept),
+            kept_mask: std::mem::take(&mut self.mask),
+            threshold_value: stats.threshold_value,
+            trimmed: stats.trimmed,
+        }
+    }
+}
+
+impl TrimOp {
+    /// Applies the operator using `scratch`'s reusable buffers and returns
+    /// the round's [`TrimStats`]; read the retained values and the mask
+    /// from [`TrimScratch::kept`] / [`TrimScratch::kept_mask`].
+    ///
+    /// Percentile thresholds are resolved with [`percentile_select`]
+    /// (`O(n)` selection on the scratch copy), so no sort and — once the
+    /// buffers are warm — no allocation happens per round. Kept values,
+    /// mask and threshold are bit-identical to the allocating [`trim`].
+    ///
+    /// # Panics
+    /// Panics if a percentile parameter is outside `[0, 1]` or `lo > hi`,
+    /// or if a percentile cut is requested on an empty batch.
+    pub fn apply_in_place(&self, values: &[f64], scratch: &mut TrimScratch) -> TrimStats {
+        scratch.mask.clear();
+        scratch.kept.clear();
+        let (lower, upper) = match *self {
+            TrimOp::None => (None, None),
+            TrimOp::Absolute(threshold) => (None, Some(threshold)),
+            TrimOp::UpperPercentile(p) => {
+                assert!((0.0..=1.0).contains(&p), "percentile {p} not in [0,1]");
+                scratch.select.clear();
+                scratch.select.extend_from_slice(values);
+                (
+                    None,
+                    Some(percentile_select(
+                        &mut scratch.select,
+                        p,
+                        Interpolation::Linear,
+                    )),
+                )
+            }
+            TrimOp::TwoSided { lo, hi } => {
+                assert!((0.0..=1.0).contains(&lo), "lo {lo} not in [0,1]");
+                assert!((0.0..=1.0).contains(&hi), "hi {hi} not in [0,1]");
+                assert!(lo <= hi, "inverted percentile band [{lo}, {hi}]");
+                scratch.select.clear();
+                scratch.select.extend_from_slice(values);
+                let lo_v = percentile_select(&mut scratch.select, lo, Interpolation::Linear);
+                let hi_v = percentile_select(&mut scratch.select, hi, Interpolation::Linear);
+                (Some(lo_v), Some(hi_v))
+            }
+        };
+        let mut trimmed = 0;
+        match (lower, upper) {
+            (None, None) => {
+                scratch.mask.resize(values.len(), true);
+                scratch.kept.extend_from_slice(values);
+            }
+            (None, Some(hi_v)) => {
+                for &v in values {
+                    let keep = v <= hi_v;
+                    scratch.mask.push(keep);
+                    if keep {
+                        scratch.kept.push(v);
+                    } else {
+                        trimmed += 1;
+                    }
+                }
+            }
+            (Some(lo_v), Some(hi_v)) => {
+                for &v in values {
+                    let keep = v >= lo_v && v <= hi_v;
+                    scratch.mask.push(keep);
+                    if keep {
+                        scratch.kept.push(v);
+                    } else {
+                        trimmed += 1;
+                    }
+                }
+            }
+            (Some(_), None) => unreachable!("no lower-only operator exists"),
+        }
+        TrimStats {
+            trimmed,
+            kept: values.len() - trimmed,
+            threshold_value: upper,
+            lower_value: lower,
+        }
+    }
+}
+
+/// Applies a trimming operator to a batch, returning owned buffers.
+///
+/// Delegates to [`TrimOp::apply_in_place`] on a fresh scratch, so both
+/// paths share one implementation (and the selection-based percentile).
 ///
 /// # Panics
 /// Panics if a percentile parameter is outside `[0, 1]` or `lo > hi`, or if
 /// a percentile cut is requested on an empty batch.
 #[must_use]
 pub fn trim(values: &[f64], op: TrimOp) -> TrimOutcome {
-    match op {
-        TrimOp::None => TrimOutcome {
-            kept: values.to_vec(),
-            kept_mask: vec![true; values.len()],
-            threshold_value: None,
-            trimmed: 0,
-        },
-        TrimOp::Absolute(threshold) => cut_above(values, threshold),
-        TrimOp::UpperPercentile(p) => {
-            assert!((0.0..=1.0).contains(&p), "percentile {p} not in [0,1]");
-            let threshold = percentile(values, p, Interpolation::Linear);
-            cut_above(values, threshold)
-        }
-        TrimOp::TwoSided { lo, hi } => {
-            assert!((0.0..=1.0).contains(&lo), "lo {lo} not in [0,1]");
-            assert!((0.0..=1.0).contains(&hi), "hi {hi} not in [0,1]");
-            assert!(lo <= hi, "inverted percentile band [{lo}, {hi}]");
-            let lo_v = percentile(values, lo, Interpolation::Linear);
-            let hi_v = percentile(values, hi, Interpolation::Linear);
-            let mut kept = Vec::with_capacity(values.len());
-            let mut kept_mask = Vec::with_capacity(values.len());
-            let mut trimmed = 0;
-            for &v in values {
-                if v >= lo_v && v <= hi_v {
-                    kept.push(v);
-                    kept_mask.push(true);
-                } else {
-                    kept_mask.push(false);
-                    trimmed += 1;
-                }
-            }
-            TrimOutcome {
-                kept,
-                kept_mask,
-                threshold_value: Some(hi_v),
-                trimmed,
-            }
-        }
-    }
+    let mut scratch = TrimScratch::with_capacity(values.len());
+    let stats = op.apply_in_place(values, &mut scratch);
+    scratch.take_outcome(stats)
 }
 
-fn cut_above(values: &[f64], threshold: f64) -> TrimOutcome {
-    let mut kept = Vec::with_capacity(values.len());
-    let mut kept_mask = Vec::with_capacity(values.len());
-    let mut trimmed = 0;
-    for &v in values {
-        if v <= threshold {
-            kept.push(v);
-            kept_mask.push(true);
-        } else {
-            kept_mask.push(false);
-            trimmed += 1;
+/// A streaming percentile-threshold source backed by the Greenwald–Khanna
+/// sketch from `trimgame-numerics`.
+///
+/// A collector under heavy traffic cannot afford to materialize and sort
+/// every round's batch just to resolve its threshold percentile. This
+/// wrapper feeds the report stream into a [`GkSummary`] (sublinear space,
+/// rank error ≤ `ε·n`) and answers *any* percentile on demand — exactly
+/// what the moving thresholds of Tit-for-tat and Elastic need. Resolve the
+/// cut with [`SketchThreshold::cut`], then trim with
+/// [`TrimOp::Absolute`]; no sort, no batch copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchThreshold {
+    sketch: GkSummary,
+}
+
+impl SketchThreshold {
+    /// Creates a source with GK rank-error bound `ε`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 0.5`.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        Self {
+            sketch: GkSummary::new(epsilon),
         }
     }
-    TrimOutcome {
-        kept,
-        kept_mask,
-        threshold_value: Some(threshold),
-        trimmed,
+
+    /// Ingests one value.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    pub fn insert(&mut self, v: f64) {
+        self.sketch.insert(v);
+    }
+
+    /// Ingests a whole batch.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    pub fn observe(&mut self, values: &[f64]) {
+        for &v in values {
+            self.sketch.insert(v);
+        }
+    }
+
+    /// Number of observations consumed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.sketch.count()
+    }
+
+    /// The absolute cut value at percentile `p`, or `None` before any
+    /// observation.
+    ///
+    /// # Panics
+    /// Panics unless `p ∈ [0, 1]`.
+    #[must_use]
+    pub fn cut(&self, p: f64) -> Option<f64> {
+        self.sketch.query(p)
+    }
+
+    /// The [`TrimOp::Absolute`] operator at percentile `p`, or `None`
+    /// before any observation.
+    ///
+    /// # Panics
+    /// Panics unless `p ∈ [0, 1]`.
+    #[must_use]
+    pub fn op(&self, p: f64) -> Option<TrimOp> {
+        self.cut(p).map(TrimOp::Absolute)
     }
 }
 
@@ -206,5 +406,79 @@ mod tests {
         let out = trim(&values, TrimOp::UpperPercentile(0.8));
         let poison_kept = out.kept.iter().filter(|&&v| v == 99.0).count();
         assert_eq!(poison_kept, 0, "tail poison should be trimmed");
+    }
+
+    #[test]
+    fn in_place_agrees_with_allocating_trim() {
+        let values = batch();
+        let mut scratch = TrimScratch::new();
+        for op in [
+            TrimOp::None,
+            TrimOp::Absolute(42.5),
+            TrimOp::UpperPercentile(0.9),
+            TrimOp::UpperPercentile(0.0),
+            TrimOp::UpperPercentile(1.0),
+            TrimOp::TwoSided { lo: 0.1, hi: 0.8 },
+        ] {
+            let outcome = trim(&values, op);
+            let stats = op.apply_in_place(&values, &mut scratch);
+            assert_eq!(scratch.kept(), outcome.kept.as_slice(), "{op:?}");
+            assert_eq!(scratch.kept_mask(), outcome.kept_mask.as_slice());
+            assert_eq!(stats.trimmed, outcome.trimmed);
+            assert_eq!(stats.kept, outcome.kept.len());
+            assert_eq!(stats.threshold_value, outcome.threshold_value);
+        }
+    }
+
+    #[test]
+    fn scratch_buffers_are_reused_without_reallocation() {
+        let values = batch();
+        let mut scratch = TrimScratch::with_capacity(values.len());
+        let op = TrimOp::UpperPercentile(0.9);
+        let _ = op.apply_in_place(&values, &mut scratch);
+        let caps = (
+            scratch.select.capacity(),
+            scratch.mask.capacity(),
+            scratch.kept.capacity(),
+        );
+        for _ in 0..32 {
+            let stats = op.apply_in_place(&values, &mut scratch);
+            assert_eq!(stats.trimmed, 10);
+        }
+        assert_eq!(
+            caps,
+            (
+                scratch.select.capacity(),
+                scratch.mask.capacity(),
+                scratch.kept.capacity()
+            ),
+            "warm scratch must not reallocate"
+        );
+    }
+
+    #[test]
+    fn two_sided_reports_lower_bound() {
+        let mut scratch = TrimScratch::new();
+        let stats = TrimOp::TwoSided { lo: 0.1, hi: 0.9 }.apply_in_place(&batch(), &mut scratch);
+        assert!((stats.lower_value.unwrap() - 9.9).abs() < 1e-9);
+        assert!((stats.threshold_value.unwrap() - 89.1).abs() < 1e-9);
+        assert_eq!(stats.trimmed_fraction(), 0.2);
+    }
+
+    #[test]
+    fn sketch_threshold_tracks_stream_percentiles() {
+        let mut source = SketchThreshold::new(0.01);
+        assert_eq!(source.cut(0.9), None);
+        let values: Vec<f64> = (0..10_000).map(f64::from).collect();
+        source.observe(&values);
+        assert_eq!(source.count(), 10_000);
+        let cut = source.cut(0.9).unwrap();
+        assert!((cut - 9_000.0).abs() < 250.0, "cut {cut}");
+        let stats = source
+            .op(0.9)
+            .unwrap()
+            .apply_in_place(&values, &mut TrimScratch::new());
+        let frac = stats.trimmed as f64 / values.len() as f64;
+        assert!((frac - 0.1).abs() < 0.03, "trimmed fraction {frac}");
     }
 }

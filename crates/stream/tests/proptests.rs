@@ -3,7 +3,23 @@
 use proptest::prelude::*;
 use trimgame_stream::board::{PublicBoard, RoundRecord};
 use trimgame_stream::quality::{MeanShiftQuality, QualityEvaluation, TailMassQuality};
-use trimgame_stream::trim::{trim, TrimOp};
+use trimgame_stream::trim::{trim, TrimOp, TrimOutcome, TrimScratch};
+
+/// Straightforward sort-based reference implementation of the upper
+/// percentile cut, independent of the selection-based production path.
+fn reference_upper_cut(values: &[f64], p: f64) -> TrimOutcome {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite batch"));
+    let threshold = trimgame_numerics::quantile::percentile_sorted(&sorted, p, Default::default());
+    let kept_mask: Vec<bool> = values.iter().map(|&v| v <= threshold).collect();
+    let kept: Vec<f64> = values.iter().copied().filter(|&v| v <= threshold).collect();
+    TrimOutcome {
+        trimmed: values.len() - kept.len(),
+        kept,
+        kept_mask,
+        threshold_value: Some(threshold),
+    }
+}
 
 fn records(n: usize) -> Vec<RoundRecord> {
     (1..=n)
@@ -60,6 +76,60 @@ proptest! {
         let a = trim(&values, TrimOp::UpperPercentile(lo));
         let b = trim(&values, TrimOp::UpperPercentile(hi));
         prop_assert!(b.trimmed <= a.trimmed);
+    }
+
+    #[test]
+    fn upper_percentile_equals_two_sided_from_zero(
+        values in prop::collection::vec(-1e6_f64..1e6, 1..300),
+        p in 0.0_f64..=1.0,
+    ) {
+        // TwoSided's lower bound at percentile 0 is the batch minimum, so
+        // the band [0, p] must keep exactly what the upper cut keeps.
+        let upper = trim(&values, TrimOp::UpperPercentile(p));
+        let band = trim(&values, TrimOp::TwoSided { lo: 0.0, hi: p });
+        prop_assert_eq!(&upper.kept, &band.kept);
+        prop_assert_eq!(&upper.kept_mask, &band.kept_mask);
+        prop_assert_eq!(upper.trimmed, band.trimmed);
+        prop_assert_eq!(upper.threshold_value, band.threshold_value);
+    }
+
+    #[test]
+    fn in_place_apply_agrees_with_reference_trim(
+        values in prop::collection::vec(-1e6_f64..1e6, 1..300),
+        p in 0.0_f64..=1.0,
+    ) {
+        // The selection-based in-place path against an independent
+        // sort-based reference: kept values, mask and threshold must be
+        // bit-identical on arbitrary finite batches.
+        let reference = reference_upper_cut(&values, p);
+        let mut scratch = TrimScratch::new();
+        let stats = TrimOp::UpperPercentile(p).apply_in_place(&values, &mut scratch);
+        prop_assert_eq!(scratch.kept(), reference.kept.as_slice());
+        prop_assert_eq!(scratch.kept_mask(), reference.kept_mask.as_slice());
+        prop_assert_eq!(stats.trimmed, reference.trimmed);
+        prop_assert_eq!(stats.threshold_value, reference.threshold_value);
+        // And the allocating façade agrees with both.
+        let allocating = trim(&values, TrimOp::UpperPercentile(p));
+        prop_assert_eq!(allocating.kept.as_slice(), scratch.kept());
+        prop_assert_eq!(allocating.threshold_value, stats.threshold_value);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable_across_batches(
+        a in prop::collection::vec(-1e3_f64..1e3, 1..120),
+        b in prop::collection::vec(-1e3_f64..1e3, 1..120),
+        p in 0.0_f64..=1.0,
+    ) {
+        // A scratch dirtied by one batch must give the same answer on the
+        // next as a fresh scratch (clears, no stale state).
+        let mut reused = TrimScratch::new();
+        let op = TrimOp::UpperPercentile(p);
+        let _ = op.apply_in_place(&a, &mut reused);
+        let stats = op.apply_in_place(&b, &mut reused);
+        let fresh = trim(&b, op);
+        prop_assert_eq!(reused.kept(), fresh.kept.as_slice());
+        prop_assert_eq!(stats.trimmed, fresh.trimmed);
+        prop_assert_eq!(stats.threshold_value, fresh.threshold_value);
     }
 
     #[test]

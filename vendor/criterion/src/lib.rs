@@ -6,8 +6,9 @@
 //! benchmark groups, `bench_with_input`, [`black_box`]) and performs a
 //! simple but honest wall-clock measurement:
 //!
-//! 1. warm up for [`Criterion::warm_up_ms`] milliseconds;
-//! 2. calibrate an iteration count that fills [`Criterion::measure_ms`];
+//! 1. warm up for the configured warm-up window (default 100 ms);
+//! 2. calibrate an iteration count that fills the measurement window
+//!    (default 400 ms);
 //! 3. run that many iterations in timed batches and report the mean,
 //!    minimum and maximum time per iteration.
 //!

@@ -3,7 +3,8 @@
 //! The workspace vendors its external dependencies because builds must work
 //! without registry access. This crate keeps `proptest`'s call-site API for
 //! the subset the workspace's property suites use — the [`proptest!`] macro,
-//! range/[`any`]/collection strategies, `prop_flat_map`/`prop_map`, and the
+//! range/[`any`](arbitrary::any)/collection strategies,
+//! `prop_flat_map`/`prop_map`, and the
 //! `prop_assert*` macros — on top of a deliberately simple runner:
 //!
 //! * each `#[test]` runs `PROPTEST_CASES` random cases (default 48, chosen
