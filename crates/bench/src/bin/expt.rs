@@ -1,24 +1,29 @@
 //! `expt` — regenerate any table or figure from the paper.
 //!
 //! ```text
-//! USAGE: expt <experiment>... | all | tables | figures | ablations
+//! USAGE: expt <experiment>... [--smoke] | all | tables | figures | ablations
 //!
 //! experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 table3 table4 fig9
 //!              ablate-k ablate-red ablate-discount ablate-mechanism ablate-sketch
-//!              sweep
+//!              sweep equilibrium
+//!
+//! flags: --smoke  tiny grids for pipeline checks (currently: equilibrium
+//!                 runs its 3x3 / 2-seed smoke game)
 //!
 //! env: TRIMGAME_REPS=N           repetitions per point (default 10; paper 100)
 //!      TRIMGAME_SCALE=N          dataset instance divisor (default 64; paper 1)
 //!      TRIMGAME_SWEEP_THREADS=N  sweep worker count (default: all cores)
+//!      TRIMGAME_EQ_SEEDS=N       equilibrium seeds per payoff cell
 //! ```
 
 use trimgame_bench::{run_experiment, EXPERIMENTS};
 
 fn usage() -> ! {
-    eprintln!("usage: expt <experiment>... | all | tables | figures | ablations");
+    eprintln!("usage: expt <experiment>... [--smoke] | all | tables | figures | ablations");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     eprintln!(
-        "env: TRIMGAME_REPS (default 10), TRIMGAME_SCALE (default 64), TRIMGAME_SWEEP_THREADS"
+        "env: TRIMGAME_REPS (default 10), TRIMGAME_SCALE (default 64), \
+         TRIMGAME_SWEEP_THREADS, TRIMGAME_EQ_SEEDS"
     );
     std::process::exit(2);
 }
@@ -31,6 +36,9 @@ fn main() {
     let mut ids: Vec<&str> = Vec::new();
     for arg in &args {
         match arg.as_str() {
+            // The smoke flag shrinks grid-based experiments to pipeline
+            // scale; experiments read it through their from_env configs.
+            "--smoke" => std::env::set_var("TRIMGAME_EQ_SMOKE", "1"),
             "all" => ids.extend(EXPERIMENTS),
             "tables" => ids.extend(["table1", "table2", "table3", "table4"]),
             "figures" => ids.extend(["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]),
@@ -43,6 +51,10 @@ fn main() {
                 usage();
             }
         }
+    }
+    if ids.is_empty() {
+        // Flags alone (e.g. `expt --smoke`) select no experiment.
+        usage();
     }
     for (i, id) in ids.iter().enumerate() {
         if i > 0 {

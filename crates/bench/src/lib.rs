@@ -10,11 +10,12 @@
 //!   (default 64; 1 = full Table II sizes).
 
 pub mod ablations;
+pub mod empirical;
 pub mod experiments;
 pub mod sweep;
 
 /// All experiment ids accepted by the `expt` binary, in paper order.
-pub const EXPERIMENTS: [&str; 16] = [
+pub const EXPERIMENTS: [&str; 17] = [
     "table1",
     "table2",
     "fig4",
@@ -31,6 +32,7 @@ pub const EXPERIMENTS: [&str; 16] = [
     "ablate-mechanism",
     "ablate-sketch",
     "sweep",
+    "equilibrium",
 ];
 
 /// Runs one experiment by id, returning its report.
@@ -56,6 +58,7 @@ pub fn run_experiment(id: &str) -> String {
         "ablate-mechanism" => ablations::ablate_mechanism(),
         "ablate-sketch" => ablations::ablate_sketch(),
         "sweep" => sweep::sweep_report(),
+        "equilibrium" => empirical::equilibrium_report(&empirical::EquilibriumConfig::from_env()),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -80,8 +83,9 @@ mod tests {
 
     #[test]
     fn id_list_is_consistent() {
-        assert_eq!(EXPERIMENTS.len(), 16);
+        assert_eq!(EXPERIMENTS.len(), 17);
         assert!(EXPERIMENTS.contains(&"fig9"));
         assert!(EXPERIMENTS.contains(&"sweep"));
+        assert!(EXPERIMENTS.contains(&"equilibrium"));
     }
 }

@@ -17,6 +17,7 @@
 //!
 //! Run it from the CLI: `expt sweep` (honors `TRIMGAME_SWEEP_THREADS`).
 
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use trim_core::simulation::{run_game_engine, GameConfig, Scheme};
@@ -167,29 +168,54 @@ pub fn run_sequential(pool: &[f64], grid: &SweepGrid) -> Vec<SweepCell> {
         .collect()
 }
 
-/// Runs every cell of the grid across `workers` scoped threads and
-/// returns the cells in grid order. `workers == 0` uses the machine's
-/// available parallelism. The result is identical to [`run_sequential`]
-/// on the same grid (cells are seed-deterministic and
-/// scheduling-independent).
-///
-/// # Panics
-/// Panics if the pool is empty, the grid is degenerate, or a worker
-/// panics.
+/// Resolves a requested worker count: `0` means the machine's available
+/// parallelism, and the result is capped at `n` jobs (never below one).
 #[must_use]
-pub fn run(pool: &[f64], grid: &SweepGrid, workers: usize) -> Vec<SweepCell> {
-    let n = grid.len();
-    let workers = if workers == 0 {
+pub fn resolve_workers(requested: usize, n: usize) -> usize {
+    let workers = if requested == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
-        workers
-    }
-    .min(n.max(1));
+        requested
+    };
+    workers.min(n.max(1))
+}
+
+/// The worker count requested through `TRIMGAME_SWEEP_THREADS`
+/// (`0`/unset = all cores).
+#[must_use]
+pub fn env_workers() -> usize {
+    std::env::var("TRIMGAME_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0)
+}
+
+/// Fans `n` independent jobs across `workers` scoped threads (a single
+/// atomic cursor over the flattened index space — an expensive job never
+/// stalls the rest of a static partition) and returns results in index
+/// order. `workers == 0` uses the machine's available parallelism;
+/// `workers <= 1` runs sequentially on the calling thread.
+///
+/// As long as `job(idx)` depends only on `idx` — which every seeded
+/// engine cell in this crate does — the output is identical regardless of
+/// the worker count or scheduling, which is what makes the sweep and the
+/// empirical equilibrium estimator deterministic under
+/// `TRIMGAME_SWEEP_THREADS`.
+///
+/// # Panics
+/// Panics if a worker panics.
+#[must_use]
+pub fn parallel_map<T, F>(n: usize, workers: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_workers(workers, n);
     if workers <= 1 {
-        return run_sequential(pool, grid);
+        return (0..n).map(job).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SweepCell>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -197,8 +223,8 @@ pub fn run(pool: &[f64], grid: &SweepGrid, workers: usize) -> Vec<SweepCell> {
                 if idx >= n {
                     break;
                 }
-                let cell = run_cell(pool, grid, idx);
-                *slots[idx].lock().expect("unpoisoned slot") = Some(cell);
+                let result = job(idx);
+                *slots[idx].lock().expect("unpoisoned slot") = Some(result);
             });
         }
     });
@@ -212,11 +238,26 @@ pub fn run(pool: &[f64], grid: &SweepGrid, workers: usize) -> Vec<SweepCell> {
         .collect()
 }
 
+/// Runs every cell of the grid across `workers` scoped threads and
+/// returns the cells in grid order. `workers == 0` uses the machine's
+/// available parallelism. The result is identical to [`run_sequential`]
+/// on the same grid (cells are seed-deterministic and
+/// scheduling-independent).
+///
+/// # Panics
+/// Panics if the pool is empty, the grid is degenerate, or a worker
+/// panics.
+#[must_use]
+pub fn run(pool: &[f64], grid: &SweepGrid, workers: usize) -> Vec<SweepCell> {
+    parallel_map(grid.len(), workers, |idx| run_cell(pool, grid, idx))
+}
+
 /// Per-scheme aggregate statistics over a sweep's cells.
 #[derive(Debug, Clone)]
 pub struct SchemeStats {
-    /// Scheme legend name.
-    pub scheme: String,
+    /// Scheme legend name (borrowed for the static schemes — the sweep
+    /// result key allocates only for the `Elastic` family).
+    pub scheme: Cow<'static, str>,
     /// Number of cells aggregated.
     pub cells: usize,
     /// Surviving poison fraction across cells.
@@ -270,11 +311,8 @@ pub fn aggregate(cells: &[SweepCell]) -> Vec<SchemeStats> {
 #[must_use]
 pub fn sweep_report() -> String {
     use std::fmt::Write as _;
-    let threads = std::env::var("TRIMGAME_SWEEP_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(0);
-    let pool: Vec<f64> = (0..10_000).map(|i| (i % 1000) as f64 / 10.0).collect();
+    let threads = env_workers();
+    let pool = crate::empirical::standard_pool();
     let grid = SweepGrid::paper_roster(4, 2024);
 
     let t0 = std::time::Instant::now();
@@ -285,11 +323,7 @@ pub fn sweep_report() -> String {
     let par_time = t1.elapsed();
     assert_eq!(sequential, parallel, "sweep must be scheduling-independent");
 
-    let workers = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    } else {
-        threads
-    };
+    let workers = resolve_workers(threads, grid.len());
     let mut out = String::new();
     let _ = writeln!(
         out,

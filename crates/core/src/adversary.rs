@@ -12,7 +12,9 @@
 //! Policies see the defender's previous threshold via the public board
 //! (white-box attacker, complete information).
 
-use rand::Rng;
+use rand::{Rng, RngCore};
+use std::borrow::Cow;
+use trimgame_stream::board::PublicBoard;
 
 /// What the adversary observes before choosing this round's injection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,6 +22,26 @@ pub struct AdversaryObservation {
     /// The defender's trimming percentile last round (from the public
     /// board), if any round has completed.
     pub last_threshold: Option<f64>,
+}
+
+/// An object-safe adversary injection policy: the open half of the policy
+/// layer on the attacker side.
+///
+/// The `rng` argument is the engine's *main* environment stream — the same
+/// stream the closed [`AdversaryPolicy`] roster always drew from — so
+/// re-expressing an enum variant through the trait keeps fixed-seed
+/// trajectories bit-identical. Policies that need richer information than
+/// [`AdversaryObservation`] (the white-box threat model grants the full
+/// public record) hold a clone of the engine's [`PublicBoard`], as
+/// [`AdaptiveAttacker`] does.
+pub trait AttackPolicy: std::fmt::Debug {
+    /// Human-readable attacker name (used in reports).
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("Adversary")
+    }
+
+    /// Chooses this round's injection percentile.
+    fn next_injection(&mut self, obs: &AdversaryObservation, rng: &mut dyn RngCore) -> f64;
 }
 
 /// An adversary injection-position policy (percentile of the benign
@@ -117,6 +139,129 @@ impl AdversaryPolicy {
                 current.clamp(0.0, 1.0)
             }
         }
+    }
+}
+
+/// Compatibility shim: every closed-roster attacker is an [`AttackPolicy`].
+/// The trait hands the same main-stream RNG to the same drawing code, so
+/// trajectories through the trait layer are bit-identical to direct enum
+/// dispatch.
+impl AttackPolicy for AdversaryPolicy {
+    fn next_injection(&mut self, obs: &AdversaryObservation, rng: &mut dyn RngCore) -> f64 {
+        AdversaryPolicy::next_injection(self, obs, rng)
+    }
+}
+
+/// An empirical best-response attacker that learns the defender's
+/// threshold distribution from the public board.
+///
+/// Each round it reads the full published threshold history (the white-box
+/// channel of the threat model), groups the observed percentiles into
+/// atoms, and for each candidate position *just below an atom* scores the
+/// expected percentile-damage gain: the empirical probability that a
+/// future threshold clears the position, times the position itself.
+/// It injects at the argmax. Against a deterministic defender this
+/// converges to the classic just-below-the-threshold ideal attack; against
+/// a [`RandomizedDefender`](crate::strategy::RandomizedDefender) it
+/// reproduces the finite-support best-response structure of threshold
+/// games (equilibria concentrate on small supports), trading survival
+/// probability against injection height.
+#[derive(Debug, Clone)]
+pub struct AdaptiveAttacker {
+    board: PublicBoard,
+    offset: f64,
+    fallback: f64,
+    tol: f64,
+    /// Distinct observed threshold atoms, ascending, with observation
+    /// counts — maintained incrementally via
+    /// [`PublicBoard::history_since`] so a `T`-round game costs `O(T)`
+    /// board reads total instead of re-copying the whole history each
+    /// round.
+    atoms: Vec<(f64, usize)>,
+    /// Board records consumed so far.
+    seen: usize,
+}
+
+impl AdaptiveAttacker {
+    /// Creates the attacker over a clone of the engine's public board.
+    /// `offset` is the evasion margin kept below a targeted threshold
+    /// atom; `fallback` is the injection used before any history exists.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= offset <= 1` and `0 <= fallback <= 1`.
+    #[must_use]
+    pub fn new(board: PublicBoard, offset: f64, fallback: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&offset),
+            "offset {offset} not in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&fallback),
+            "fallback {fallback} not in [0, 1]"
+        );
+        Self {
+            board,
+            offset,
+            fallback,
+            tol: 1e-9,
+            atoms: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    /// The board view this attacker reads.
+    #[must_use]
+    pub fn board(&self) -> &PublicBoard {
+        &self.board
+    }
+
+    /// Folds records published since the last read into the atom counts.
+    fn ingest_new_records(&mut self) {
+        for record in self.board.history_since(self.seen) {
+            self.seen += 1;
+            let t = record.threshold_percentile;
+            assert!(!t.is_nan(), "NaN threshold on the public board");
+            let idx = self.atoms.partition_point(|&(a, _)| a < t - self.tol);
+            match self.atoms.get_mut(idx) {
+                Some((a, count)) if (*a - t).abs() <= self.tol => *count += 1,
+                _ => self.atoms.insert(idx, (t, 1)),
+            }
+        }
+    }
+}
+
+impl AttackPolicy for AdaptiveAttacker {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("Adaptive")
+    }
+
+    fn next_injection(&mut self, _obs: &AdversaryObservation, _rng: &mut dyn RngCore) -> f64 {
+        self.ingest_new_records();
+        if self.seen == 0 {
+            return self.fallback;
+        }
+        let total = self.seen as f64;
+        let mut best = self.fallback;
+        let mut best_gain = f64::NEG_INFINITY;
+        // Ascending scan with strict improvement: deterministic, and ties
+        // resolve to the safest (lowest) position. Candidate `atom − offset`
+        // survives whenever the sampled threshold is at least that high, so
+        // with ascending atoms the survivor mass is a running suffix sum.
+        let mut survivors: usize = self.atoms.iter().map(|&(_, count)| count).sum();
+        let mut k = 0; // first atom index counted in `survivors`
+        for i in 0..self.atoms.len() {
+            let position = (self.atoms[i].0 - self.offset).clamp(0.0, 1.0);
+            while k < self.atoms.len() && self.atoms[k].0 < position {
+                survivors -= self.atoms[k].1;
+                k += 1;
+            }
+            let gain = survivors as f64 / total * position;
+            if gain > best_gain {
+                best_gain = gain;
+                best = position;
+            }
+        }
+        best
     }
 }
 
@@ -239,5 +384,86 @@ mod tests {
         let mut a = AdversaryPolicy::compliant(0.9);
         let mut rng = seeded_rng(8);
         assert!((a.next_injection(&obs(Some(0.91)), &mut rng) - 0.89).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attack_trait_shim_matches_enum_dispatch() {
+        let mut direct = AdversaryPolicy::Uniform { lo: 0.9, hi: 1.0 };
+        let mut boxed: Box<dyn AttackPolicy> =
+            Box::new(AdversaryPolicy::Uniform { lo: 0.9, hi: 1.0 });
+        let mut rng_a = seeded_rng(42);
+        let mut rng_b = seeded_rng(42);
+        for _ in 0..50 {
+            assert_eq!(
+                direct.next_injection(&obs(None), &mut rng_a),
+                boxed.next_injection(&obs(None), &mut rng_b)
+            );
+        }
+    }
+
+    fn post_threshold(board: &PublicBoard, round: usize, threshold: f64) {
+        board.post(trimgame_stream::board::RoundRecord {
+            round,
+            threshold_percentile: threshold,
+            threshold_value: None,
+            received: 100,
+            trimmed: 10,
+            retained: trimgame_numerics::stats::OnlineStats::new(),
+            quality: 1.0,
+        });
+    }
+
+    #[test]
+    fn adaptive_attacker_falls_back_without_history() {
+        let board = PublicBoard::new();
+        let mut a = AdaptiveAttacker::new(board, 0.01, 0.99);
+        let mut rng = seeded_rng(1);
+        assert_eq!(a.next_injection(&obs(None), &mut rng), 0.99);
+    }
+
+    #[test]
+    fn adaptive_attacker_tracks_a_deterministic_defender() {
+        let board = PublicBoard::new();
+        let mut a = AdaptiveAttacker::new(board.clone(), 0.01, 0.99);
+        for round in 1..=5 {
+            post_threshold(&board, round, 0.9);
+        }
+        let mut rng = seeded_rng(2);
+        // One atom at 0.9: ride just below it (the ideal attack).
+        let x = a.next_injection(&obs(Some(0.9)), &mut rng);
+        assert!((x - 0.89).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_attacker_best_responds_to_a_mixture() {
+        // 80% of thresholds at 0.95, 20% at 0.85. Riding below 0.95 earns
+        // 0.8 * 0.94 = 0.752; hiding below 0.85 earns 1.0 * 0.84 = 0.84.
+        // The safe low position wins.
+        let board = PublicBoard::new();
+        let mut a = AdaptiveAttacker::new(board.clone(), 0.01, 0.99);
+        for round in 1..=10 {
+            let t = if round <= 8 { 0.95 } else { 0.85 };
+            post_threshold(&board, round, t);
+        }
+        let mut rng = seeded_rng(3);
+        let x = a.next_injection(&obs(Some(0.95)), &mut rng);
+        assert!((x - 0.84).abs() < 1e-12, "expected 0.84, got {x}");
+
+        // Tilt the mixture to 90% high: below-0.95 now earns
+        // 0.9 * 0.94 = 0.846, beating below-0.85's 0.84.
+        let board2 = PublicBoard::new();
+        let mut b = AdaptiveAttacker::new(board2.clone(), 0.01, 0.99);
+        for round in 1..=10 {
+            let t = if round <= 9 { 0.95 } else { 0.85 };
+            post_threshold(&board2, round, t);
+        }
+        let x = b.next_injection(&obs(Some(0.95)), &mut rng);
+        assert!((x - 0.94).abs() < 1e-12, "expected 0.94, got {x}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn adaptive_attacker_rejects_bad_offset() {
+        let _ = AdaptiveAttacker::new(PublicBoard::new(), 1.5, 0.9);
     }
 }

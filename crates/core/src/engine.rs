@@ -16,15 +16,27 @@
 //! utility trajectories and aggregate counts. Adding a new workload is a
 //! ~100-line `Scenario` impl, not a new simulator file.
 //!
-//! The engine preserves RNG call order exactly: threshold (no draws), then
-//! the adversary's injection draw, then the scenario's environment step —
-//! so re-expressing a simulator on the engine keeps fixed-seed runs
-//! bit-identical.
+//! The engine preserves RNG call order exactly: threshold (no main-stream
+//! draws), then the adversary's injection draw, then the scenario's
+//! environment step — so re-expressing a simulator on the engine keeps
+//! fixed-seed runs bit-identical.
+//!
+//! Policies enter through the object-safe
+//! [`ThresholdPolicy`] / [`AttackPolicy`] traits. The closed
+//! enum rosters ([`DefenderPolicy`]/[`AdversaryPolicy`]) implement them as
+//! shims, so [`Engine::new`] keeps its historical signature; open-world
+//! policies (randomized defenders, board-driven attackers) use
+//! [`Engine::with_policies`]. Randomized *defender* policies draw from a
+//! dedicated sub-stream seeded by [`Engine::with_policy_seed`] — never
+//! from the main environment stream — so adding randomness to the
+//! defender cannot perturb the benign draws, the adversary's mixing, or
+//! any deterministic-policy replay.
 
-use crate::adversary::{AdversaryObservation, AdversaryPolicy};
+use crate::adversary::{AdversaryObservation, AdversaryPolicy, AttackPolicy};
 use crate::lagrange::UtilityTrajectory;
-use crate::strategy::{DefenderObservation, DefenderPolicy};
+use crate::strategy::{DefenderObservation, DefenderPolicy, ThresholdPolicy};
 use rand::Rng;
+use trimgame_numerics::rand_ext::seeded_rng;
 use trimgame_numerics::stats::OnlineStats;
 use trimgame_stream::board::{PublicBoard, RoundRecord};
 
@@ -146,14 +158,14 @@ impl EngineTotals {
 }
 
 /// Result of driving a [`Scenario`] through the round loop.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EngineOutcome<S> {
     /// The scenario, with whatever payload it accumulated.
     pub scenario: S,
     /// The defender policy in its final state.
-    pub defender: DefenderPolicy,
+    pub defender: Box<dyn ThresholdPolicy>,
     /// The adversary policy in its final state.
-    pub adversary: AdversaryPolicy,
+    pub adversary: Box<dyn AttackPolicy>,
     /// The threshold percentile applied each round.
     pub thresholds: Vec<f64>,
     /// The adversary's injection percentile each round (as produced by the
@@ -172,23 +184,51 @@ pub struct EngineOutcome<S> {
 }
 
 /// The Fig. 3 round loop over any [`Scenario`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Engine<S: Scenario> {
     scenario: S,
-    defender: DefenderPolicy,
-    adversary: AdversaryPolicy,
+    defender: Box<dyn ThresholdPolicy>,
+    adversary: Box<dyn AttackPolicy>,
     board: PublicBoard,
+    policy_seed: u64,
 }
 
 impl<S: Scenario> Engine<S> {
-    /// Builds an engine from the scenario and the two policies.
+    /// Default seed of the defender policy sub-stream when
+    /// [`Engine::with_policy_seed`] is not called. Deterministic policies
+    /// never draw from the sub-stream, so this default only matters for
+    /// randomized defenders — and for those, **every run sharing this
+    /// default replays the identical threshold draws**, even across
+    /// different main-stream seeds. Repetitions meant to be independent
+    /// must derive a per-run policy seed (as `run_game_with_policies`,
+    /// `collect_poisoned_with` and `run_ldp_collection_with` do from the
+    /// game seed); the constant default exists so deterministic replays
+    /// need no ceremony, not as a sampling scheme.
+    pub const DEFAULT_POLICY_SEED: u64 = 0x5452_494D_5052_4E47; // "TRIMPRNG"
+
+    /// Builds an engine from the scenario and the paper's closed-roster
+    /// policies (the enum shims; see [`Engine::with_policies`] for the
+    /// open trait-object form).
     #[must_use]
     pub fn new(scenario: S, defender: DefenderPolicy, adversary: AdversaryPolicy) -> Self {
+        Self::with_policies(scenario, Box::new(defender), Box::new(adversary))
+    }
+
+    /// Builds an engine from arbitrary boxed policies — the entry point
+    /// for randomized defenders, board-driven attackers, and downstream
+    /// custom strategies.
+    #[must_use]
+    pub fn with_policies(
+        scenario: S,
+        defender: Box<dyn ThresholdPolicy>,
+        adversary: Box<dyn AttackPolicy>,
+    ) -> Self {
         Self {
             scenario,
             defender,
             adversary,
             board: PublicBoard::new(),
+            policy_seed: Self::DEFAULT_POLICY_SEED,
         }
     }
 
@@ -200,15 +240,29 @@ impl<S: Scenario> Engine<S> {
         self
     }
 
+    /// Seeds the dedicated defender policy sub-stream. Derive this from
+    /// the run's master seed (e.g. with
+    /// [`trimgame_numerics::rand_ext::derive_seed`]) so randomized
+    /// defenders vary across repetitions while deterministic replays stay
+    /// untouched.
+    #[must_use]
+    pub fn with_policy_seed(mut self, seed: u64) -> Self {
+        self.policy_seed = seed;
+        self
+    }
+
     /// Runs `rounds` rounds with the paper's information structure and
     /// returns the outcome. `rng` drives the adversary's mixed strategies
-    /// and the scenario's environment; the caller seeds it.
+    /// and the scenario's environment; the caller seeds it. Randomized
+    /// defender policies draw from the separate sub-stream seeded by
+    /// [`Engine::with_policy_seed`].
     ///
     /// # Panics
     /// Panics if `rounds == 0`.
     #[must_use]
     pub fn run<R: Rng + ?Sized>(mut self, rounds: usize, rng: &mut R) -> EngineOutcome<S> {
         assert!(rounds > 0, "need at least one round");
+        let mut policy_rng = seeded_rng(self.policy_seed);
         let mut def_obs: Option<DefenderObservation> = None;
         let mut adv_obs = AdversaryObservation {
             last_threshold: None,
@@ -221,12 +275,18 @@ impl<S: Scenario> Engine<S> {
         let mut totals = EngineTotals::default();
 
         for round in 1..=rounds {
-            // Decisions from *previous* round information only.
+            // Decisions from *previous* round information only. The
+            // defender draws (if at all) from its dedicated sub-stream;
+            // the adversary draws from the main environment stream, in
+            // the historical call order.
             let threshold = match &def_obs {
-                None => self.defender.initial_threshold(),
-                Some(obs) => self.defender.next_threshold(round, obs),
+                None => self.defender.initial_threshold(&mut policy_rng),
+                Some(obs) => self.defender.next_threshold(round, obs, &mut policy_rng),
             };
-            let injection = self.adversary.next_injection(&adv_obs, rng);
+            let injection = {
+                let mut main = &mut *rng;
+                self.adversary.next_injection(&adv_obs, &mut main)
+            };
 
             let report = self.scenario.play_round(round, threshold, injection, rng);
 
@@ -383,6 +443,89 @@ mod tests {
         assert!((totals.benign_trim_fraction() - 0.25).abs() < 1e-12);
         assert_eq!(EngineTotals::default().surviving_poison_fraction(), 0.0);
         assert_eq!(EngineTotals::default().benign_trim_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_atom_randomized_matches_fixed() {
+        use crate::strategy::RandomizedDefender;
+        let make = || ToyScenario {
+            batch: 90,
+            poison: 10,
+        };
+        let fixed = Engine::new(
+            make(),
+            DefenderPolicy::Fixed { tth: 0.9 },
+            AdversaryPolicy::Uniform { lo: 0.85, hi: 1.0 },
+        )
+        .run(8, &mut seeded_rng(9));
+        let randomized = Engine::with_policies(
+            make(),
+            Box::new(RandomizedDefender::new(&[0.9], &[3.0]).unwrap()),
+            Box::new(AdversaryPolicy::Uniform { lo: 0.85, hi: 1.0 }),
+        )
+        .with_policy_seed(777)
+        .run(8, &mut seeded_rng(9));
+        // The degenerate mixture consumes no randomness anywhere, so the
+        // whole trajectory — including the adversary's main-stream draws —
+        // is bit-identical to the deterministic policy's.
+        assert_eq!(fixed.thresholds, randomized.thresholds);
+        assert_eq!(fixed.injections, randomized.injections);
+        assert_eq!(fixed.utilities.u_a, randomized.utilities.u_a);
+        assert_eq!(fixed.totals, randomized.totals);
+    }
+
+    #[test]
+    fn randomized_defender_draws_from_substream_only() {
+        use crate::strategy::RandomizedDefender;
+        let make = || ToyScenario {
+            batch: 90,
+            poison: 10,
+        };
+        let run_with_seed = |policy_seed: u64| {
+            Engine::with_policies(
+                make(),
+                Box::new(RandomizedDefender::new(&[0.86, 0.94], &[0.5, 0.5]).unwrap()),
+                Box::new(AdversaryPolicy::Uniform { lo: 0.85, hi: 1.0 }),
+            )
+            .with_policy_seed(policy_seed)
+            .run(16, &mut seeded_rng(4))
+        };
+        let a = run_with_seed(1);
+        let b = run_with_seed(2);
+        // Different sub-streams change the threshold sequence...
+        assert_ne!(a.thresholds, b.thresholds);
+        // ...but never the main environment stream: the adversary's
+        // injection draws are identical across policy seeds.
+        assert_eq!(a.injections, b.injections);
+        // And the same policy seed replays exactly.
+        let c = run_with_seed(1);
+        assert_eq!(a.thresholds, c.thresholds);
+        assert!(a.thresholds.iter().all(|&t| t == 0.86 || t == 0.94));
+    }
+
+    #[test]
+    fn adaptive_attacker_rides_engine_board() {
+        use crate::adversary::AdaptiveAttacker;
+        let board = PublicBoard::new();
+        let attacker = AdaptiveAttacker::new(board.clone(), 0.01, 0.99);
+        let out = Engine::with_policies(
+            ToyScenario {
+                batch: 90,
+                poison: 10,
+            },
+            Box::new(DefenderPolicy::Fixed { tth: 0.9 }),
+            Box::new(attacker),
+        )
+        .with_board(board)
+        .run(4, &mut seeded_rng(6));
+        // Round 1: fallback above the cut (trimmed); afterwards: the board
+        // reveals the fixed threshold and the attacker rides just below.
+        assert_eq!(out.injections[0], 0.99);
+        for &inj in &out.injections[1..] {
+            assert!((inj - 0.89).abs() < 1e-12, "injection {inj}");
+        }
+        assert_eq!(out.totals.poison_survived, 30);
+        assert_eq!(out.adversary.name(), "Adaptive");
     }
 
     #[test]

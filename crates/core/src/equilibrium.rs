@@ -131,6 +131,29 @@ where
     pub fn best_response(&self, x_c: f64) -> f64 {
         x_c.clamp(self.space.x_l, self.space.x_r)
     }
+
+    /// The leader's loss `damage + overhead` at commitment `x` (clamped
+    /// into the strategy space) — the curve [`StackelbergSolver::solve`]
+    /// minimizes, exposed for finite-support comparisons.
+    #[must_use]
+    pub fn loss_at(&self, x: f64) -> f64 {
+        self.leader_loss(x.clamp(self.space.x_l, self.space.x_r))
+    }
+
+    /// The best pure commitment restricted to a finite set of threshold
+    /// `atoms`: `min` over the (clamped) atoms of the leader loss, with
+    /// the follower riding each threshold. This is the deterministic
+    /// benchmark the empirical equilibrium estimator compares mixed play
+    /// against — the mixed minimax value over the same atoms is never
+    /// worse, and the difference is the defender's randomization
+    /// advantage. Returns `+∞` for an empty atom set.
+    #[must_use]
+    pub fn pure_commitment_value(&self, atoms: &[f64]) -> f64 {
+        atoms
+            .iter()
+            .map(|&x| self.loss_at(x))
+            .fold(f64::INFINITY, f64::min)
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +217,23 @@ mod tests {
         assert_eq!(solver.best_response(0.5), 0.85);
         assert_eq!(solver.best_response(1.5), 1.0);
         assert_eq!(solver.best_response(0.9), 0.9);
+    }
+
+    #[test]
+    fn pure_commitment_over_atoms_bounds_the_continuum() {
+        let damage = |x: f64| 4.0 * (x - 0.85);
+        let overhead = |x: f64| (1.0 - x) * (1.0 - x) / 0.05;
+        let solver = StackelbergSolver::new(space(), damage, overhead);
+        let continuum = solver.solve().unwrap().leader_loss;
+        let grid = solver.pure_commitment_value(&[0.86, 0.9, 0.98]);
+        // The optimum 0.9 is on the grid, so the restricted value matches.
+        assert!((grid - continuum).abs() < 1e-9);
+        // A grid missing the optimum can only be worse.
+        let coarse = solver.pure_commitment_value(&[0.86, 0.98]);
+        assert!(coarse > continuum);
+        // Atoms outside the space clamp; empty grids are infinitely bad.
+        assert!((solver.loss_at(0.5) - solver.loss_at(0.85)).abs() < 1e-12);
+        assert_eq!(solver.pure_commitment_value(&[]), f64::INFINITY);
     }
 
     #[test]

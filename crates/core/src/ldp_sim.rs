@@ -26,9 +26,11 @@
 
 use crate::adversary::AdversaryPolicy;
 use crate::engine::{Engine, RoundReport, Scenario};
-use crate::strategy::DefenderPolicy;
+use crate::simulation::POLICY_SEED_STREAM;
+use crate::strategy::{DefenderPolicy, ThresholdPolicy};
 use crate::titfortat::TitForTat;
 use rand::Rng;
+use std::borrow::Cow;
 use trimgame_ldp::attack::{Attack, InputManipulation};
 use trimgame_ldp::emf::EmFilter;
 use trimgame_ldp::mechanism::LdpMechanism;
@@ -61,13 +63,13 @@ impl LdpDefense {
         ]
     }
 
-    /// Legend name.
+    /// Legend name. Only `Elastic` allocates (its name embeds `k`).
     #[must_use]
-    pub fn name(&self) -> String {
+    pub fn name(&self) -> Cow<'static, str> {
         match self {
-            LdpDefense::TitForTat => "Titfortat".into(),
-            LdpDefense::Elastic(k) => format!("Elastic{k}"),
-            LdpDefense::Emf => "EMF".into(),
+            LdpDefense::TitForTat => Cow::Borrowed("Titfortat"),
+            LdpDefense::Elastic(k) => Cow::Owned(format!("Elastic{k}")),
+            LdpDefense::Emf => Cow::Borrowed("EMF"),
         }
     }
 }
@@ -328,13 +330,40 @@ pub fn ldp_defender(defense: LdpDefense, cfg: &LdpSimConfig) -> DefenderPolicy {
 /// Panics if the population is empty or config degenerate.
 #[must_use]
 pub fn run_ldp_collection(population: &[f64], defense: LdpDefense, cfg: &LdpSimConfig) -> f64 {
+    let defender = ldp_defender(defense, cfg);
+    run_ldp_collection_with(population, defense, cfg, Box::new(defender), None)
+}
+
+/// Runs the collection with an arbitrary boxed trimming policy (e.g. a
+/// [`crate::strategy::RandomizedDefender`] mixing over report-percentile
+/// thresholds) in place of the roster defender; `defense` still selects
+/// the estimator path (trimmed mean vs EMF). Pass `board` to share a
+/// [`PublicBoard`](trimgame_stream::board::PublicBoard) an outside
+/// observer (or a board-driven policy) already holds a clone of. The
+/// defender sub-stream is seeded from `cfg.seed` via
+/// [`POLICY_SEED_STREAM`].
+///
+/// # Panics
+/// Panics if the population is empty or config degenerate.
+#[must_use]
+pub fn run_ldp_collection_with(
+    population: &[f64],
+    defense: LdpDefense,
+    cfg: &LdpSimConfig,
+    defender: Box<dyn ThresholdPolicy>,
+    board: Option<trimgame_stream::board::PublicBoard>,
+) -> f64 {
     let mut rng = seeded_rng(cfg.seed);
     let scenario = LdpScenario::new(population, defense, cfg, &mut rng);
-    let defender = ldp_defender(defense, cfg);
     // The attack position is baked into the protocol-compliant reports;
     // the adversary policy draws nothing.
     let adversary = AdversaryPolicy::Fixed { percentile: 1.0 };
-    let out = Engine::new(scenario, defender, adversary).run(cfg.rounds, &mut rng);
+    let mut engine = Engine::with_policies(scenario, defender, Box::new(adversary))
+        .with_policy_seed(derive_seed(cfg.seed, POLICY_SEED_STREAM));
+    if let Some(board) = board {
+        engine = engine.with_board(board);
+    }
+    let out = engine.run(cfg.rounds, &mut rng);
     match defense {
         LdpDefense::Emf => {
             let beta = cfg.attack_ratio / (1.0 + cfg.attack_ratio);
@@ -376,7 +405,7 @@ mod tests {
 
     #[test]
     fn roster_matches_legend() {
-        let names: Vec<String> = LdpDefense::roster().iter().map(LdpDefense::name).collect();
+        let names: Vec<_> = LdpDefense::roster().iter().map(LdpDefense::name).collect();
         assert_eq!(names, vec!["Titfortat", "Elastic0.1", "Elastic0.5", "EMF"]);
     }
 
@@ -467,5 +496,26 @@ mod tests {
         let a = run_ldp_collection(&pop, LdpDefense::TitForTat, &cfg);
         let b = run_ldp_collection(&pop, LdpDefense::TitForTat, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn randomized_defender_runs_on_the_report_stream() {
+        use crate::strategy::RandomizedDefender;
+        let pop = population();
+        let cfg = LdpSimConfig {
+            users_per_round: 500,
+            rounds: 3,
+            ..LdpSimConfig::new(3.0, 0.2, 13)
+        };
+        let mixed = || {
+            Box::new(RandomizedDefender::new(&[cfg.hard, cfg.soft], &[0.5, 0.5]).unwrap())
+                as Box<dyn ThresholdPolicy>
+        };
+        let a = run_ldp_collection_with(&pop, LdpDefense::TitForTat, &cfg, mixed(), None);
+        let b = run_ldp_collection_with(&pop, LdpDefense::TitForTat, &cfg, mixed(), None);
+        assert_eq!(a, b, "randomized runs must replay under a fixed seed");
+        assert!(a.is_finite());
+        // The mixed trim stays within the domain of sane estimates.
+        assert!((-1.0..=1.0).contains(&a), "estimate {a}");
     }
 }

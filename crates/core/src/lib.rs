@@ -36,15 +36,15 @@ pub mod strategy;
 pub mod titfortat;
 pub mod variants;
 
-pub use adversary::AdversaryPolicy;
+pub use adversary::{AdaptiveAttacker, AdversaryPolicy, AttackPolicy};
 pub use elastic::{CoupledDynamics, ElasticThreshold};
 pub use engine::{Engine, EngineOutcome, EngineTotals, RoundReport, Scenario};
 pub use equilibrium::StackelbergSolver;
 pub use error::CoreError;
-pub use matrix::{Move, PayoffMatrix, UltimatumPayoffs};
+pub use matrix::{MatrixGame, MixedEquilibrium, Move, PayoffMatrix, UltimatumPayoffs};
 pub use payoff::BalancePoint;
 pub use simulation::{GameConfig, GameResult, Scheme};
-pub use space::{MixedPoint, StrategySpace};
-pub use strategy::DefenderPolicy;
+pub use space::{MixedPoint, MixedSupport, StrategySpace};
+pub use strategy::{DefenderPolicy, RandomizedDefender, ThresholdPolicy};
 pub use titfortat::{compliance_margin, TitForTat};
 pub use variants::{GenerousTitForTat, TitForTwoTats, TriggerVariant};

@@ -176,6 +176,206 @@ impl PayoffMatrix {
     }
 }
 
+/// A finite two-player zero-sum matrix game: `entries[i][j]` is the **row
+/// player's loss** (equivalently the column player's gain) when the row
+/// player plays `i` and the column player plays `j`. In the trimming
+/// game the row player is the defender (choosing a threshold atom,
+/// minimizing) and the column player is the adversary (choosing an
+/// injection response, maximizing).
+///
+/// [`MatrixGame::solve`] computes an approximate mixed-strategy
+/// equilibrium by fictitious play — deterministic, with certified value
+/// bounds from the averaged strategies — which is all the empirical
+/// equilibrium estimator needs on the small supports where threshold-game
+/// equilibria concentrate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixGame {
+    entries: Vec<Vec<f64>>,
+}
+
+/// An approximate mixed equilibrium of a [`MatrixGame`], with certified
+/// value bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedEquilibrium {
+    /// The row player's (defender's) mixed strategy.
+    pub row_strategy: Vec<f64>,
+    /// The column player's (adversary's) mixed strategy.
+    pub col_strategy: Vec<f64>,
+    /// The game value estimate (midpoint of `lower..upper`).
+    pub value: f64,
+    /// Guaranteed by the column mix: `min_i loss(i, col_strategy)`. The
+    /// true value is at least this.
+    pub lower: f64,
+    /// Guaranteed by the row mix: `max_j loss(row_strategy, j)`. The true
+    /// value is at most this.
+    pub upper: f64,
+}
+
+impl MixedEquilibrium {
+    /// The duality gap `upper − lower`: how far from exact the fictitious
+    /// play ran.
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+impl MatrixGame {
+    /// Builds a game from a rectangular loss matrix.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if the matrix is empty,
+    /// ragged, or contains non-finite entries.
+    pub fn new(entries: Vec<Vec<f64>>) -> Result<Self, CoreError> {
+        if entries.is_empty() || entries[0].is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "entries",
+                constraint: "non-empty matrix",
+                value: entries.len() as f64,
+            });
+        }
+        let cols = entries[0].len();
+        for row in &entries {
+            if row.len() != cols {
+                return Err(CoreError::InvalidParameter {
+                    name: "entries",
+                    constraint: "rectangular matrix",
+                    value: row.len() as f64,
+                });
+            }
+            for &v in row {
+                if !v.is_finite() {
+                    return Err(CoreError::InvalidParameter {
+                        name: "entry",
+                        constraint: "finite",
+                        value: v,
+                    });
+                }
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// Number of row strategies.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of column strategies.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.entries[0].len()
+    }
+
+    /// The loss entry at `(row, col)`.
+    #[must_use]
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        self.entries[row][col]
+    }
+
+    /// The row player's expected loss under mixed strategies `x` (rows)
+    /// and `y` (columns).
+    #[must_use]
+    pub fn expected_loss(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.entries
+            .iter()
+            .zip(x)
+            .map(|(row, &xi)| xi * row.iter().zip(y).map(|(&v, &yj)| v * yj).sum::<f64>())
+            .sum()
+    }
+
+    /// The pure-commitment (unrandomized Stackelberg) value: the best loss
+    /// the row player can guarantee with a single row,
+    /// `min_i max_j entries[i][j]`. The mixed value from
+    /// [`MatrixGame::solve`] is never worse; the difference is the row
+    /// player's randomization advantage.
+    #[must_use]
+    pub fn pure_commitment_value(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|row| row.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Solves the game by `iterations` rounds of simultaneous fictitious
+    /// play (deterministic; ties break to the lowest index) and returns
+    /// the averaged strategies with certified value bounds.
+    ///
+    /// # Panics
+    /// Panics if `iterations == 0`.
+    #[must_use]
+    pub fn solve(&self, iterations: usize) -> MixedEquilibrium {
+        assert!(iterations > 0, "need at least one iteration");
+        let (n, m) = (self.rows(), self.cols());
+        // Cumulative losses each player has suffered against the
+        // opponent's empirical play so far.
+        let mut row_cum = vec![0.0_f64; n]; // row i's cumulative loss
+        let mut col_cum = vec![0.0_f64; m]; // column j's cumulative gain
+        let mut row_counts = vec![0.0_f64; n];
+        let mut col_counts = vec![0.0_f64; m];
+        let mut row_play = 0_usize;
+        let mut col_play = 0_usize;
+        for _ in 0..iterations {
+            row_counts[row_play] += 1.0;
+            col_counts[col_play] += 1.0;
+            for (i, cum) in row_cum.iter_mut().enumerate() {
+                *cum += self.entries[i][col_play];
+            }
+            for (j, cum) in col_cum.iter_mut().enumerate() {
+                *cum += self.entries[row_play][j];
+            }
+            row_play = argmin(&row_cum);
+            col_play = argmax(&col_cum);
+        }
+        let total = iterations as f64;
+        let row_strategy: Vec<f64> = row_counts.iter().map(|c| c / total).collect();
+        let col_strategy: Vec<f64> = col_counts.iter().map(|c| c / total).collect();
+        // Certified bounds from the averaged strategies.
+        let upper = (0..m)
+            .map(|j| {
+                (0..n)
+                    .map(|i| row_strategy[i] * self.entries[i][j])
+                    .sum::<f64>()
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        let lower = (0..n)
+            .map(|i| {
+                (0..m)
+                    .map(|j| col_strategy[j] * self.entries[i][j])
+                    .sum::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min);
+        MixedEquilibrium {
+            row_strategy,
+            col_strategy,
+            value: 0.5 * (lower + upper),
+            lower,
+            upper,
+        }
+    }
+}
+
+fn argmin(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
 impl fmt::Display for PayoffMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -280,5 +480,63 @@ mod tests {
         let s = m.to_string();
         assert!(s.contains("Adversary Soft"));
         assert!(s.contains("Collector Hard"));
+    }
+
+    #[test]
+    fn matrix_game_validates_shape() {
+        assert!(MatrixGame::new(vec![]).is_err());
+        assert!(MatrixGame::new(vec![vec![]]).is_err());
+        assert!(MatrixGame::new(vec![vec![1.0, 2.0], vec![3.0]]).is_err());
+        assert!(MatrixGame::new(vec![vec![1.0, f64::NAN]]).is_err());
+        let g = MatrixGame::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!((g.rows(), g.cols()), (2, 2));
+        assert_eq!(g.at(1, 0), 3.0);
+    }
+
+    #[test]
+    fn matching_pennies_mixes_evenly() {
+        // Row loses 1 on a match, wins 1 on a mismatch: value 0, both mix
+        // 50/50.
+        let g = MatrixGame::new(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+        let eq = g.solve(200_000);
+        assert!(eq.value.abs() < 0.01, "value {}", eq.value);
+        assert!(eq.gap() < 0.02, "gap {}", eq.gap());
+        for w in eq.row_strategy.iter().chain(&eq.col_strategy) {
+            assert!((w - 0.5).abs() < 0.01, "weight {w}");
+        }
+        // Pure commitment is fully exploitable: guaranteed loss 1.
+        assert_eq!(g.pure_commitment_value(), 1.0);
+    }
+
+    #[test]
+    fn dominant_row_solves_pure() {
+        // Row 0 dominates (lower loss everywhere).
+        let g = MatrixGame::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let eq = g.solve(10_000);
+        assert!(eq.row_strategy[0] > 0.99);
+        // Column player maximizes: column 1 dominates.
+        assert!(eq.col_strategy[1] > 0.99);
+        assert!((eq.value - 2.0).abs() < 1e-3);
+        assert_eq!(g.pure_commitment_value(), 2.0);
+    }
+
+    #[test]
+    fn bounds_bracket_the_value_and_mixing_helps() {
+        // A threshold-game shape: defender atoms {0.85, 0.95} against
+        // just-below responses {0.84, 0.94}, loss = surviving damage plus
+        // (1 − t) overhead. Every pure row is exploitable (worst case
+        // 0.99), but the 2×2 minimax mixes to value 0.9006…: the classic
+        // randomization advantage.
+        let g = MatrixGame::new(vec![vec![0.99, 0.15], vec![0.89, 0.99]]).unwrap();
+        let eq = g.solve(100_000);
+        assert!(eq.lower <= eq.value + 1e-12 && eq.value <= eq.upper + 1e-12);
+        assert!(eq.gap() < 0.01, "gap {}", eq.gap());
+        // Mixed play strictly beats the best pure commitment.
+        assert_eq!(g.pure_commitment_value(), 0.99);
+        assert!(eq.upper < 0.92, "upper {}", eq.upper);
+        assert!((eq.value - 0.9006).abs() < 0.01, "value {}", eq.value);
+        // Expected loss under the solved profile sits inside the bounds.
+        let v = g.expected_loss(&eq.row_strategy, &eq.col_strategy);
+        assert!(v >= eq.lower - 1e-9 && v <= eq.upper + 1e-9);
     }
 }

@@ -314,11 +314,42 @@ impl Scenario for MlScenario<'_> {
 /// Panics if the dataset is unlabelled or smaller than the batch size.
 #[must_use]
 pub fn collect_poisoned(data: &Dataset, cfg: &MlSimConfig) -> CollectedSet {
-    let mut rng = seeded_rng(cfg.seed);
-    let scenario = MlScenario::new(data, cfg);
     let defender = cfg.scheme.defender(cfg.tth, 1.0, cfg.red);
     let adversary = cfg.scheme.adversary(cfg.tth);
-    let out = Engine::new(scenario, defender, adversary).run(cfg.rounds, &mut rng);
+    collect_poisoned_with(data, cfg, Box::new(defender), Box::new(adversary), None)
+}
+
+/// Runs the poisoned collection with arbitrary boxed policies — randomized
+/// defenders and board-driven attackers play the feature-vector game
+/// exactly as the closed roster does (the anomaly-score substrate is
+/// unchanged; only the position dynamics differ). Pass `board` to share a
+/// [`PublicBoard`](trimgame_stream::board::PublicBoard) the attacker
+/// already holds a clone of (an
+/// [`AdaptiveAttacker`](crate::adversary::AdaptiveAttacker) without it
+/// reads an empty history and degenerates to its fallback). `cfg.scheme`
+/// still labels the resulting [`CollectedSet`]. The defender sub-stream
+/// is seeded from `cfg.seed` via
+/// [`POLICY_SEED_STREAM`](crate::simulation::POLICY_SEED_STREAM).
+///
+/// # Panics
+/// Panics if the dataset is unlabelled or smaller than the batch size.
+#[must_use]
+pub fn collect_poisoned_with(
+    data: &Dataset,
+    cfg: &MlSimConfig,
+    defender: Box<dyn crate::strategy::ThresholdPolicy>,
+    adversary: Box<dyn crate::adversary::AttackPolicy>,
+    board: Option<trimgame_stream::board::PublicBoard>,
+) -> CollectedSet {
+    let mut rng = seeded_rng(cfg.seed);
+    let scenario = MlScenario::new(data, cfg);
+    let mut engine = Engine::with_policies(scenario, defender, adversary).with_policy_seed(
+        trimgame_numerics::rand_ext::derive_seed(cfg.seed, crate::simulation::POLICY_SEED_STREAM),
+    );
+    if let Some(board) = board {
+        engine = engine.with_board(board);
+    }
+    let out = engine.run(cfg.rounds, &mut rng);
     out.scenario.into_collected(cfg.scheme, &out.totals)
 }
 
@@ -482,5 +513,50 @@ mod tests {
         let b = collect_poisoned(&data, &small_cfg(Scheme::Elastic(0.5), 0.2));
         assert_eq!(a.retained.values(), b.retained.values());
         assert_eq!(a.poison_survived, b.poison_survived);
+    }
+
+    #[test]
+    fn randomized_defender_collects_on_features() {
+        use crate::strategy::RandomizedDefender;
+        let data = blobs(8);
+        let cfg = small_cfg(Scheme::Baseline09, 0.3);
+        let run_once = || {
+            collect_poisoned_with(
+                &data,
+                &cfg,
+                Box::new(RandomizedDefender::new(&[0.85, 0.95], &[0.5, 0.5]).unwrap()),
+                Box::new(cfg.scheme.adversary(cfg.tth)),
+                None,
+            )
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.retained.values(), b.retained.values());
+        assert_eq!(a.poison_survived, b.poison_survived);
+        assert!(a.retained.rows() > 0);
+        assert_eq!(a.retained.rows(), a.is_poison.len());
+    }
+
+    #[test]
+    fn adaptive_attacker_sees_the_shared_board() {
+        use crate::adversary::AdaptiveAttacker;
+        use crate::strategy::DefenderPolicy;
+        use trimgame_stream::board::PublicBoard;
+        let data = blobs(9);
+        let cfg = small_cfg(Scheme::Baseline09, 0.3);
+        let board = PublicBoard::new();
+        let attacker = AdaptiveAttacker::new(board.clone(), 0.01, 0.99);
+        let set = collect_poisoned_with(
+            &data,
+            &cfg,
+            Box::new(DefenderPolicy::Fixed { tth: cfg.tth }),
+            Box::new(attacker),
+            Some(board.clone()),
+        );
+        // The engine posted every round onto the shared board...
+        assert_eq!(board.len(), cfg.rounds);
+        // ...so after the fallback opener the attacker rode just below the
+        // fixed cut and its poison survived (Fixed keeps score <= cut).
+        assert!(set.poison_survived > 0);
     }
 }

@@ -13,11 +13,12 @@
 //! plus the benign trim fraction (the overhead `T`). Cumulative series
 //! feed the Section IV analytical checks in [`crate::lagrange`].
 
-use crate::adversary::AdversaryPolicy;
+use crate::adversary::{AdversaryPolicy, AttackPolicy};
 use crate::engine::{Engine, EngineOutcome, RoundReport, Scenario};
 use crate::lagrange::UtilityTrajectory;
-use crate::strategy::DefenderPolicy;
+use crate::strategy::{DefenderPolicy, ThresholdPolicy};
 use rand::Rng;
+use std::borrow::Cow;
 use trimgame_datasets::poison::{InjectionPosition, PoisonSpec};
 use trimgame_datasets::stream::RoundStream;
 use trimgame_numerics::quantile::{ecdf, Interpolation};
@@ -55,15 +56,17 @@ impl Scheme {
         ]
     }
 
-    /// Legend name.
+    /// Legend name. Static schemes borrow; only `Elastic` allocates (its
+    /// name embeds `k`), so sweep aggregation keys stay allocation-free
+    /// for the common schemes.
     #[must_use]
-    pub fn name(&self) -> String {
+    pub fn name(&self) -> Cow<'static, str> {
         match self {
-            Scheme::Ostrich => "Ostrich".into(),
-            Scheme::Baseline09 => "Baseline0.9".into(),
-            Scheme::BaselineStatic => "Baselinestatic".into(),
-            Scheme::TitForTat => "Titfortat".into(),
-            Scheme::Elastic(k) => format!("Elastic{k}"),
+            Scheme::Ostrich => Cow::Borrowed("Ostrich"),
+            Scheme::Baseline09 => Cow::Borrowed("Baseline0.9"),
+            Scheme::BaselineStatic => Cow::Borrowed("Baselinestatic"),
+            Scheme::TitForTat => Cow::Borrowed("Titfortat"),
+            Scheme::Elastic(k) => Cow::Owned(format!("Elastic{k}")),
         }
     }
 
@@ -345,13 +348,6 @@ pub fn run_game_engine(
     config: &GameConfig,
     record_kept: bool,
 ) -> EngineOutcome<ScalarScenario> {
-    assert!(config.rounds > 0, "need at least one round");
-    let mut rng = seeded_rng(config.seed);
-    let scenario = if record_kept {
-        ScalarScenario::new(pool, config)
-    } else {
-        ScalarScenario::lean(pool, config)
-    };
     let baseline_quality = 1.0; // clean batches carry no excess tail mass
     let defender = config
         .scheme
@@ -360,7 +356,57 @@ pub fn run_game_engine(
         .adversary_override
         .clone()
         .unwrap_or_else(|| config.scheme.adversary(config.tth));
-    Engine::new(scenario, defender, adversary).run(config.rounds, &mut rng)
+    run_game_with_policies(
+        pool,
+        config,
+        Box::new(defender),
+        Box::new(adversary),
+        None,
+        record_kept,
+    )
+}
+
+/// The stream index the scalar game derives its defender policy sub-seed
+/// from: `policy_seed = derive_seed(config.seed, POLICY_SEED_STREAM)`.
+/// Deterministic policies never read the sub-stream, so this only matters
+/// for randomized defenders — it gives them seed-varying draws across
+/// repetitions while keeping every pre-existing fixed-seed trajectory
+/// bit-identical.
+pub const POLICY_SEED_STREAM: u64 = 0x504F_4C49_4359; // "POLICY"
+
+/// Drives one scalar game through the unified engine with arbitrary boxed
+/// policies — the entry point for [`crate::strategy::RandomizedDefender`],
+/// [`crate::adversary::AdaptiveAttacker`] and downstream custom
+/// strategies. Pass `board` to share a
+/// [`PublicBoard`](trimgame_stream::board::PublicBoard) the attacker
+/// already holds a clone of. The defender sub-stream is seeded from
+/// `config.seed` via [`POLICY_SEED_STREAM`].
+///
+/// # Panics
+/// Panics if the pool is empty or the configuration is degenerate.
+#[must_use]
+pub fn run_game_with_policies(
+    pool: &[f64],
+    config: &GameConfig,
+    defender: Box<dyn ThresholdPolicy>,
+    adversary: Box<dyn AttackPolicy>,
+    board: Option<trimgame_stream::board::PublicBoard>,
+    record_kept: bool,
+) -> EngineOutcome<ScalarScenario> {
+    assert!(config.rounds > 0, "need at least one round");
+    let mut rng = seeded_rng(config.seed);
+    let scenario = if record_kept {
+        ScalarScenario::new(pool, config)
+    } else {
+        ScalarScenario::lean(pool, config)
+    };
+    let mut engine = Engine::with_policies(scenario, defender, adversary).with_policy_seed(
+        trimgame_numerics::rand_ext::derive_seed(config.seed, POLICY_SEED_STREAM),
+    );
+    if let Some(board) = board {
+        engine = engine.with_board(board);
+    }
+    engine.run(config.rounds, &mut rng)
 }
 
 /// Runs one scalar collection game over `pool` (see [`ScalarScenario`]
@@ -566,7 +612,7 @@ mod tests {
 
     #[test]
     fn roster_matches_legend() {
-        let names: Vec<String> = Scheme::roster().iter().map(Scheme::name).collect();
+        let names: Vec<_> = Scheme::roster().iter().map(Scheme::name).collect();
         assert_eq!(
             names,
             vec![
@@ -718,6 +764,65 @@ mod tests {
         let values: Vec<f64> = (0..100).map(f64::from).collect();
         let kept = oneshot_trim(&values, 0.9);
         assert_eq!(kept.len(), 90);
+    }
+
+    #[test]
+    fn boxed_policies_replay_the_enum_path_exactly() {
+        // Routing the same enum policies through run_game_with_policies
+        // must reproduce run_game_engine bit-for-bit (the shim contract).
+        let cfg = GameConfig::new(Scheme::BaselineStatic);
+        let via_enum = run_game_engine(&pool(), &cfg, false);
+        let via_boxed = run_game_with_policies(
+            &pool(),
+            &cfg,
+            Box::new(DefenderPolicy::Fixed { tth: cfg.tth }),
+            Box::new(cfg.scheme.adversary(cfg.tth)),
+            None,
+            false,
+        );
+        assert_eq!(via_enum.thresholds, via_boxed.thresholds);
+        assert_eq!(via_enum.injections, via_boxed.injections);
+        assert_eq!(via_enum.utilities.u_a, via_boxed.utilities.u_a);
+        assert_eq!(via_enum.totals, via_boxed.totals);
+    }
+
+    #[test]
+    fn randomized_defender_plays_adaptive_attacker() {
+        use crate::adversary::AdaptiveAttacker;
+        use crate::strategy::RandomizedDefender;
+        use trimgame_stream::board::PublicBoard;
+        let mut cfg = GameConfig::new(Scheme::BaselineStatic);
+        cfg.rounds = 30;
+        let run_once = || {
+            let board = PublicBoard::new();
+            let attacker = AdaptiveAttacker::new(board.clone(), 0.01, 0.99);
+            let defender = RandomizedDefender::new(&[0.86, 0.94], &[0.5, 0.5]).unwrap();
+            run_game_with_policies(
+                &pool(),
+                &cfg,
+                Box::new(defender),
+                Box::new(attacker),
+                Some(board),
+                false,
+            )
+        };
+        let out = run_once();
+        // The defender mixed over its atoms...
+        assert!(out.thresholds.iter().all(|&t| t == 0.86 || t == 0.94));
+        assert!(out.thresholds.contains(&0.86));
+        assert!(out.thresholds.contains(&0.94));
+        // ...and the attacker converged onto best responses just below the
+        // discovered atoms (after the fallback opener).
+        for &inj in &out.injections[1..] {
+            assert!(
+                (inj - 0.85).abs() < 1e-9 || (inj - 0.93).abs() < 1e-9,
+                "injection {inj}"
+            );
+        }
+        // Deterministic replay under the same config seed.
+        let again = run_once();
+        assert_eq!(out.thresholds, again.thresholds);
+        assert_eq!(out.injections, again.injections);
     }
 
     #[test]

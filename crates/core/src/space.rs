@@ -10,6 +10,7 @@
 //! colluding adversaries with arbitrary poison distributions).
 
 use crate::error::{strictly_less, CoreError};
+use rand::Rng;
 
 /// The strategy interval `[x_L, x_R]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,9 +138,140 @@ impl StrategySpace {
     }
 }
 
+/// A finite-support mixed strategy over positions: a set of atoms with
+/// validated, normalized weights (Section III-C2's distributions over
+/// trimming/injection positions, in playable form).
+///
+/// Construction rejects NaN or negative weights and renormalizes any
+/// positive total mass to one, so a support built from unnormalized
+/// empirical counts is directly usable. [`MixedSupport::sample`] draws one
+/// atom by inverse-CDF lookup; a single-atom support short-circuits
+/// without consuming randomness, which is what makes a singleton
+/// randomized policy replay-identical to its deterministic counterpart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixedSupport {
+    atoms: Vec<f64>,
+    weights: Vec<f64>,
+    cdf: Vec<f64>,
+}
+
+impl MixedSupport {
+    /// Builds a support from `atoms` and their (unnormalized) `weights`.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if the inputs are empty or
+    /// ragged, an atom is non-finite, a weight is NaN/non-finite/negative,
+    /// or the total weight mass is not strictly positive.
+    pub fn new(atoms: &[f64], weights: &[f64]) -> Result<Self, CoreError> {
+        if atoms.is_empty() || atoms.len() != weights.len() {
+            return Err(CoreError::InvalidParameter {
+                name: "atoms",
+                constraint: "non-empty and matching weights",
+                value: atoms.len() as f64,
+            });
+        }
+        for &a in atoms {
+            if !a.is_finite() {
+                return Err(CoreError::InvalidParameter {
+                    name: "atom",
+                    constraint: "finite",
+                    value: a,
+                });
+            }
+        }
+        let mut total = 0.0;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(CoreError::InvalidParameter {
+                    name: "weight",
+                    constraint: "finite and non-negative",
+                    value: w,
+                });
+            }
+            total += w;
+        }
+        if total <= 0.0 || !total.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "weights",
+                constraint: "strictly positive total mass",
+                value: total,
+            });
+        }
+        let weights: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in &weights {
+            acc += w;
+            cdf.push(acc);
+        }
+        // Guard the last bucket against accumulated rounding.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Ok(Self {
+            atoms: atoms.to_vec(),
+            weights,
+            cdf,
+        })
+    }
+
+    /// A degenerate support: one atom with all the mass.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if the atom is non-finite.
+    pub fn singleton(atom: f64) -> Result<Self, CoreError> {
+        Self::new(&[atom], &[1.0])
+    }
+
+    /// The support atoms.
+    #[must_use]
+    pub fn atoms(&self) -> &[f64] {
+        &self.atoms
+    }
+
+    /// The normalized weights (sum to one).
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of atoms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Always false: construction rejects empty supports.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The mean position `Σ wᵢ·atomᵢ` — the equivalent pure strategy under
+    /// the linear-payoff reduction of [`StrategySpace::reduce_distribution`].
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.atoms
+            .iter()
+            .zip(&self.weights)
+            .map(|(a, w)| a * w)
+            .sum()
+    }
+
+    /// Draws one atom. A single-atom support returns its atom without
+    /// consuming any randomness.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.atoms.len() == 1 {
+            return self.atoms[0];
+        }
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        self.atoms[idx.min(self.atoms.len() - 1)]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use trimgame_numerics::rand_ext::seeded_rng;
 
     fn space() -> StrategySpace {
         StrategySpace::new(0.9, 0.99).unwrap()
@@ -211,5 +343,62 @@ mod tests {
         assert!(s.contains(0.95));
         assert!(!s.contains(0.899));
         assert!((s.width() - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_rejects_bad_weights() {
+        // Negative weight.
+        assert!(MixedSupport::new(&[0.9, 0.95], &[0.5, -0.1]).is_err());
+        // NaN weight.
+        assert!(MixedSupport::new(&[0.9, 0.95], &[0.5, f64::NAN]).is_err());
+        // Infinite weight.
+        assert!(MixedSupport::new(&[0.9], &[f64::INFINITY]).is_err());
+        // Zero total mass.
+        assert!(MixedSupport::new(&[0.9, 0.95], &[0.0, 0.0]).is_err());
+        // Empty / ragged.
+        assert!(MixedSupport::new(&[], &[]).is_err());
+        assert!(MixedSupport::new(&[0.9], &[1.0, 2.0]).is_err());
+        // Non-finite atom.
+        assert!(MixedSupport::new(&[f64::NAN], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn support_renormalizes_non_unit_sums() {
+        let s = MixedSupport::new(&[0.9, 0.95, 0.99], &[2.0, 6.0, 2.0]).unwrap();
+        assert!((s.weights().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((s.weights()[1] - 0.6).abs() < 1e-12);
+        assert!((s.mean() - (0.9 * 0.2 + 0.95 * 0.6 + 0.99 * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_zero_weight_atoms_are_never_sampled() {
+        let s = MixedSupport::new(&[0.1, 0.9], &[0.0, 1.0]).unwrap();
+        let mut rng = seeded_rng(3);
+        for _ in 0..200 {
+            assert_eq!(s.sample(&mut rng), 0.9);
+        }
+    }
+
+    #[test]
+    fn singleton_sampling_consumes_no_randomness() {
+        let s = MixedSupport::singleton(0.92).unwrap();
+        let mut rng = seeded_rng(7);
+        let before: u64 = rng.gen();
+        let mut rng_a = seeded_rng(7);
+        for _ in 0..5 {
+            assert_eq!(s.sample(&mut rng_a), 0.92);
+        }
+        // The stream is untouched: the next draw equals the first draw of a
+        // fresh generator with the same seed.
+        let after: u64 = rng_a.gen();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn sampling_frequencies_match_weights() {
+        let s = MixedSupport::new(&[0.88, 0.96], &[0.25, 0.75]).unwrap();
+        let mut rng = seeded_rng(11);
+        let hi = (0..20_000).filter(|_| s.sample(&mut rng) == 0.96).count();
+        assert!((hi as f64 / 20_000.0 - 0.75).abs() < 0.02);
     }
 }

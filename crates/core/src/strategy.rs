@@ -13,7 +13,11 @@
 //! information game via the public board).
 
 use crate::elastic::{CoupledDynamics, ElasticThreshold};
+use crate::error::CoreError;
+use crate::space::MixedSupport;
 use crate::titfortat::TitForTat;
+use rand::RngCore;
+use std::borrow::Cow;
 
 /// What the defender sees from the previous round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +27,45 @@ pub struct DefenderObservation {
     /// The adversary's injection percentile last round, if identifiable
     /// from the public board (complete-information assumption).
     pub injection_percentile: Option<f64>,
+}
+
+/// An object-safe defender threshold policy: the open half of the policy
+/// layer.
+///
+/// The engine drives implementations with the Fig. 3 information
+/// structure: [`ThresholdPolicy::initial_threshold`] before any round has
+/// completed, then [`ThresholdPolicy::next_threshold`] with the previous
+/// round's [`DefenderObservation`]. The `rng` argument is the engine's
+/// *dedicated defender sub-stream* — separate from the main environment
+/// stream — so deterministic policies (which never draw from it) replay
+/// bit-identically whether or not a randomized policy ran before them.
+///
+/// The paper's closed scheme roster remains available as the
+/// [`DefenderPolicy`] enum, which implements this trait as a compatibility
+/// shim; new policies ([`RandomizedDefender`], downstream custom
+/// strategies) implement the trait directly and enter the engine through
+/// [`crate::engine::Engine::with_policies`].
+pub trait ThresholdPolicy: std::fmt::Debug {
+    /// Human-readable scheme name (used in sweep/report keys).
+    fn name(&self) -> Cow<'static, str>;
+
+    /// Threshold percentile for the first round (no history yet).
+    fn initial_threshold(&mut self, rng: &mut dyn RngCore) -> f64;
+
+    /// Consumes last round's observation and returns this round's
+    /// threshold percentile.
+    fn next_threshold(
+        &mut self,
+        round: usize,
+        obs: &DefenderObservation,
+        rng: &mut dyn RngCore,
+    ) -> f64;
+
+    /// The round at which a trigger policy terminated cooperation, if it
+    /// is a trigger policy and it fired.
+    fn termination_round(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// A defender threshold policy.
@@ -105,15 +148,20 @@ impl DefenderPolicy {
         DefenderPolicy::QualityElastic { inner }
     }
 
-    /// Human-readable scheme name (matches the paper's legend).
+    /// Human-readable scheme name (matches the paper's legend). Static
+    /// variants borrow; only the `Elastic` family allocates (its name
+    /// embeds `k`), so sweep hot loops that key on the name stay
+    /// allocation-free for the common schemes.
     #[must_use]
-    pub fn name(&self) -> String {
+    pub fn name(&self) -> Cow<'static, str> {
         match self {
-            DefenderPolicy::Ostrich => "Ostrich".to_string(),
-            DefenderPolicy::Fixed { .. } => "Baseline".to_string(),
-            DefenderPolicy::TitForTat { .. } => "Titfortat".to_string(),
-            DefenderPolicy::Elastic { dynamics, .. } => format!("Elastic{}", dynamics.k),
-            DefenderPolicy::QualityElastic { inner } => format!("Elastic{}", inner.k),
+            DefenderPolicy::Ostrich => Cow::Borrowed("Ostrich"),
+            DefenderPolicy::Fixed { .. } => Cow::Borrowed("Baseline"),
+            DefenderPolicy::TitForTat { .. } => Cow::Borrowed("Titfortat"),
+            DefenderPolicy::Elastic { dynamics, .. } => {
+                Cow::Owned(format!("Elastic{}", dynamics.k))
+            }
+            DefenderPolicy::QualityElastic { inner } => Cow::Owned(format!("Elastic{}", inner.k)),
         }
     }
 
@@ -154,6 +202,107 @@ impl DefenderPolicy {
             DefenderPolicy::TitForTat { inner } => inner.triggered_at(),
             _ => None,
         }
+    }
+}
+
+/// Compatibility shim: every closed-roster scheme is a [`ThresholdPolicy`].
+/// All variants are deterministic and never touch the defender sub-stream,
+/// so trajectories through the trait layer are bit-identical to direct
+/// enum dispatch.
+impl ThresholdPolicy for DefenderPolicy {
+    fn name(&self) -> Cow<'static, str> {
+        DefenderPolicy::name(self)
+    }
+
+    fn initial_threshold(&mut self, _rng: &mut dyn RngCore) -> f64 {
+        DefenderPolicy::initial_threshold(self)
+    }
+
+    fn next_threshold(
+        &mut self,
+        round: usize,
+        obs: &DefenderObservation,
+        _rng: &mut dyn RngCore,
+    ) -> f64 {
+        DefenderPolicy::next_threshold(self, round, obs)
+    }
+
+    fn termination_round(&self) -> Option<usize> {
+        DefenderPolicy::termination_round(self)
+    }
+}
+
+/// A mixed defender strategy: a weighted distribution over threshold
+/// atoms, sampled independently each round from the engine's defender
+/// sub-stream (§III-C2 made playable).
+///
+/// Against an adaptive evader a deterministic threshold is fully
+/// exploitable — the attacker rides just below it every round.
+/// Randomizing over a small support forces the attacker to trade survival
+/// probability against injection height, which is exactly the randomized
+/// prediction-game advantage the empirical equilibrium estimator in
+/// `trimgame-bench` quantifies.
+///
+/// A single-atom `RandomizedDefender` consumes no randomness and is
+/// trajectory-identical to the equivalent [`DefenderPolicy::Fixed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomizedDefender {
+    support: MixedSupport,
+}
+
+impl RandomizedDefender {
+    /// Builds the policy from threshold `atoms` (percentiles in `[0, 1]`)
+    /// and their unnormalized `weights`.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if an atom leaves `[0, 1]`
+    /// or the weights are invalid (negative/NaN entries, zero total mass,
+    /// ragged inputs) — see [`MixedSupport::new`].
+    pub fn new(atoms: &[f64], weights: &[f64]) -> Result<Self, CoreError> {
+        MixedSupport::new(atoms, weights).and_then(Self::from_support)
+    }
+
+    /// Wraps an already-validated support whose atoms are threshold
+    /// percentiles.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InvalidParameter`] if an atom leaves `[0, 1]`.
+    pub fn from_support(support: MixedSupport) -> Result<Self, CoreError> {
+        for &a in support.atoms() {
+            if !(0.0..=1.0).contains(&a) {
+                return Err(CoreError::InvalidParameter {
+                    name: "atom",
+                    constraint: "0 <= atom <= 1",
+                    value: a,
+                });
+            }
+        }
+        Ok(Self { support })
+    }
+
+    /// The underlying atom distribution.
+    #[must_use]
+    pub fn support(&self) -> &MixedSupport {
+        &self.support
+    }
+}
+
+impl ThresholdPolicy for RandomizedDefender {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("Randomized")
+    }
+
+    fn initial_threshold(&mut self, rng: &mut dyn RngCore) -> f64 {
+        self.support.sample(rng)
+    }
+
+    fn next_threshold(
+        &mut self,
+        _round: usize,
+        _obs: &DefenderObservation,
+        rng: &mut dyn RngCore,
+    ) -> f64 {
+        self.support.sample(rng)
     }
 }
 
@@ -245,5 +394,61 @@ mod tests {
         assert_eq!(p.termination_round(), None);
         let _ = p.next_threshold(2, &obs(0.5, None));
         assert_eq!(p.termination_round(), Some(2));
+    }
+
+    #[test]
+    fn trait_shim_matches_enum_dispatch() {
+        use trimgame_numerics::rand_ext::seeded_rng;
+        let mut direct = DefenderPolicy::elastic(0.9, 0.5);
+        let mut boxed: Box<dyn ThresholdPolicy> = Box::new(DefenderPolicy::elastic(0.9, 0.5));
+        let mut rng = seeded_rng(1);
+        assert_eq!(
+            boxed.initial_threshold(&mut rng),
+            direct.initial_threshold()
+        );
+        for round in 2..6 {
+            let o = obs(1.0, Some(0.9 + 0.001 * round as f64));
+            assert_eq!(
+                boxed.next_threshold(round, &o, &mut rng),
+                direct.next_threshold(round, &o)
+            );
+        }
+        assert_eq!(boxed.name(), direct.name());
+        assert_eq!(boxed.termination_round(), None);
+    }
+
+    #[test]
+    fn randomized_defender_validates_construction() {
+        // Atom outside [0, 1].
+        assert!(RandomizedDefender::new(&[1.2], &[1.0]).is_err());
+        assert!(RandomizedDefender::new(&[-0.1], &[1.0]).is_err());
+        // Invalid weights propagate from MixedSupport.
+        assert!(RandomizedDefender::new(&[0.9, 0.95], &[1.0, -1.0]).is_err());
+        assert!(RandomizedDefender::new(&[0.9], &[f64::NAN]).is_err());
+        assert!(RandomizedDefender::new(&[0.9, 0.95], &[0.0, 0.0]).is_err());
+        // Valid: non-unit sums renormalize.
+        let d = RandomizedDefender::new(&[0.88, 0.96], &[3.0, 1.0]).unwrap();
+        assert!((d.support().weights()[0] - 0.75).abs() < 1e-12);
+        // from_support re-checks the percentile domain.
+        let s = crate::space::MixedSupport::new(&[2.0], &[1.0]).unwrap();
+        assert!(RandomizedDefender::from_support(s).is_err());
+    }
+
+    #[test]
+    fn randomized_defender_samples_its_atoms() {
+        use trimgame_numerics::rand_ext::seeded_rng;
+        let mut d = RandomizedDefender::new(&[0.88, 0.96], &[0.5, 0.5]).unwrap();
+        let mut rng = seeded_rng(5);
+        let mut seen = std::collections::BTreeSet::new();
+        let first = ThresholdPolicy::initial_threshold(&mut d, &mut rng);
+        assert!(first == 0.88 || first == 0.96);
+        for round in 2..200 {
+            let t = d.next_threshold(round, &obs(1.0, None), &mut rng);
+            assert!(t == 0.88 || t == 0.96);
+            seen.insert(t.to_bits());
+        }
+        assert_eq!(seen.len(), 2, "both atoms should appear");
+        assert_eq!(ThresholdPolicy::termination_round(&d), None);
+        assert_eq!(ThresholdPolicy::name(&d), "Randomized");
     }
 }

@@ -123,4 +123,64 @@ proptest! {
             prop_assert_eq!(r.outcomes.len(), 3);
         }
     }
+
+    #[test]
+    fn single_atom_randomized_defender_is_trajectory_identical_to_fixed(
+        tth in 0.5_f64..0.98,
+        weight in 0.01_f64..50.0,
+        seed in any::<u64>(),
+        ratio in 0.05_f64..0.4,
+    ) {
+        // A RandomizedDefender whose support is one atom must replay the
+        // equivalent Fixed policy bit-for-bit: the degenerate mixture
+        // consumes no randomness from any stream, so the main environment
+        // stream (benign draws, the Uniform adversary's mixing) is
+        // untouched, regardless of the (renormalized) weight.
+        use trim_core::adversary::AdversaryPolicy;
+        use trim_core::simulation::run_game_with_policies;
+        use trim_core::strategy::{DefenderPolicy, RandomizedDefender};
+        let pool: Vec<f64> = (0..2_000).map(|i| (i % 500) as f64).collect();
+        let mut cfg = GameConfig::new(Scheme::Baseline09);
+        cfg.tth = tth;
+        cfg.rounds = 4;
+        cfg.batch = 150;
+        cfg.seed = seed;
+        cfg.attack_ratio = ratio;
+        let adversary = || AdversaryPolicy::Uniform { lo: 0.85, hi: 1.0 };
+        let fixed = run_game_with_policies(
+            &pool,
+            &cfg,
+            Box::new(DefenderPolicy::Fixed { tth }),
+            Box::new(adversary()),
+            None,
+            false,
+        );
+        let singleton = RandomizedDefender::new(&[tth], &[weight]).unwrap();
+        let randomized = run_game_with_policies(
+            &pool,
+            &cfg,
+            Box::new(singleton),
+            Box::new(adversary()),
+            None,
+            false,
+        );
+        prop_assert_eq!(&fixed.thresholds, &randomized.thresholds);
+        prop_assert_eq!(&fixed.injections, &randomized.injections);
+        prop_assert_eq!(&fixed.utilities.u_a, &randomized.utilities.u_a);
+        prop_assert_eq!(&fixed.utilities.u_c, &randomized.utilities.u_c);
+        prop_assert_eq!(fixed.totals, randomized.totals);
+    }
+
+    #[test]
+    fn randomized_defender_weights_reject_invalid_inputs(
+        w in -10.0_f64..-0.001,
+        atom in 0.0_f64..1.0,
+    ) {
+        use trim_core::strategy::RandomizedDefender;
+        // Any negative weight anywhere fails construction.
+        prop_assert!(RandomizedDefender::new(&[atom, 0.95], &[w, 1.0]).is_err());
+        prop_assert!(RandomizedDefender::new(&[atom], &[w]).is_err());
+        // NaN propagates to an error, never a panic.
+        prop_assert!(RandomizedDefender::new(&[atom], &[f64::NAN]).is_err());
+    }
 }

@@ -81,6 +81,18 @@ impl PublicBoard {
         self.inner.read().clone()
     }
 
+    /// Records appended at or after insertion index `from` (0-based) —
+    /// the incremental read an adaptive observer uses so a `T`-round
+    /// watch costs `O(T)` copies total instead of `O(T²)` full-history
+    /// snapshots.
+    #[must_use]
+    pub fn history_since(&self, from: usize) -> Vec<RoundRecord> {
+        self.inner
+            .read()
+            .get(from..)
+            .map_or_else(Vec::new, <[RoundRecord]>::to_vec)
+    }
+
     /// Cumulative fraction of received values that were trimmed.
     #[must_use]
     pub fn cumulative_trim_fraction(&self) -> f64 {
@@ -171,5 +183,20 @@ mod tests {
         board.post(record(2, 2));
         assert_eq!(snapshot.len(), 1);
         assert_eq!(board.len(), 2);
+    }
+
+    #[test]
+    fn history_since_reads_incrementally() {
+        let board = PublicBoard::new();
+        assert!(board.history_since(0).is_empty());
+        board.post(record(1, 1));
+        board.post(record(2, 2));
+        board.post(record(3, 3));
+        let tail = board.history_since(1);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].round, 2);
+        // Past-the-end and far-out-of-range reads are empty, not panics.
+        assert!(board.history_since(3).is_empty());
+        assert!(board.history_since(99).is_empty());
     }
 }
