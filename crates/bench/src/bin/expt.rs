@@ -1,31 +1,48 @@
 //! `expt` — regenerate any table or figure from the paper.
 //!
 //! ```text
-//! USAGE: expt <experiment>... [--smoke] | all | tables | figures | ablations
+//! USAGE: expt <experiment>... [--smoke] [--substrate scalar|ml|ldp] [--json]
+//!        | all | tables | figures | ablations
 //!
 //! experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 table3 table4 fig9
 //!              ablate-k ablate-red ablate-discount ablate-mechanism ablate-sketch
-//!              sweep equilibrium
+//!              sweep equilibrium bench
 //!
-//! flags: --smoke  tiny grids for pipeline checks (currently: equilibrium
-//!                 runs its 3x3 / 2-seed smoke game)
+//! flags: --smoke          tiny grids for pipeline checks (currently: equilibrium
+//!                         runs its 3x3 / 2-3-seed smoke game)
+//!        --substrate KIND equilibrium substrate: scalar (default), ml, ldp
+//!        --json           bench writes the BENCH_PR4.json snapshot
 //!
 //! env: TRIMGAME_REPS=N           repetitions per point (default 10; paper 100)
 //!      TRIMGAME_SCALE=N          dataset instance divisor (default 64; paper 1)
 //!      TRIMGAME_SWEEP_THREADS=N  sweep worker count (default: all cores)
 //!      TRIMGAME_EQ_SEEDS=N       equilibrium seeds per payoff cell
+//!      TRIMGAME_EQ_SUBSTRATE=K  equilibrium substrate (same as --substrate)
 //! ```
 
 use trimgame_bench::{run_experiment, EXPERIMENTS};
 
 fn usage() -> ! {
-    eprintln!("usage: expt <experiment>... [--smoke] | all | tables | figures | ablations");
+    eprintln!(
+        "usage: expt <experiment>... [--smoke] [--substrate scalar|ml|ldp] [--json] \
+         | all | tables | figures | ablations"
+    );
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     eprintln!(
         "env: TRIMGAME_REPS (default 10), TRIMGAME_SCALE (default 64), \
-         TRIMGAME_SWEEP_THREADS, TRIMGAME_EQ_SEEDS"
+         TRIMGAME_SWEEP_THREADS, TRIMGAME_EQ_SEEDS, TRIMGAME_EQ_SUBSTRATE"
     );
     std::process::exit(2);
+}
+
+fn set_substrate(value: &str) {
+    match value {
+        "scalar" | "ml" | "ldp" => std::env::set_var("TRIMGAME_EQ_SUBSTRATE", value),
+        unknown => {
+            eprintln!("unknown substrate: {unknown} (expected scalar|ml|ldp)");
+            usage();
+        }
+    }
 }
 
 fn main() {
@@ -34,11 +51,24 @@ fn main() {
         usage();
     }
     let mut ids: Vec<&str> = Vec::new();
-    for arg in &args {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             // The smoke flag shrinks grid-based experiments to pipeline
             // scale; experiments read it through their from_env configs.
             "--smoke" => std::env::set_var("TRIMGAME_EQ_SMOKE", "1"),
+            // The bench snapshot flag; perf::bench_report reads it.
+            "--json" => std::env::set_var("TRIMGAME_BENCH_JSON", "1"),
+            "--substrate" => match iter.next() {
+                Some(value) => set_substrate(value),
+                None => {
+                    eprintln!("--substrate needs a value (scalar|ml|ldp)");
+                    usage();
+                }
+            },
+            flag if flag.starts_with("--substrate=") => {
+                set_substrate(&flag["--substrate=".len()..]);
+            }
             "all" => ids.extend(EXPERIMENTS),
             "tables" => ids.extend(["table1", "table2", "table3", "table4"]),
             "figures" => ids.extend(["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]),

@@ -1,24 +1,32 @@
 //! Empirical equilibrium estimation over the sweep grid (`expt
-//! equilibrium`).
+//! equilibrium`), generic over the simulation substrate.
 //!
 //! The §III-C2 mixed-strategy space is solved *analytically* in
 //! `trim-core` (the Stackelberg solver over the continuum, the matrix
 //! machinery over finite supports) — this module closes the loop by
 //! *playing* the same finite threshold game through thousands of seeded
 //! `Engine` runs and checking that the analytic and simulated equilibria
-//! agree:
+//! agree. The paper's central claim is that this equilibrium structure is
+//! a property of the *game*, not of any one environment, so the whole
+//! pipeline runs behind the [`GameSubstrate`] abstraction on all three
+//! substrates: scalar value streams, feature-vector collection
+//! (k-means anomaly scores), and LDP report streams.
 //!
 //! 1. **Estimate** — fan a (defender-atom × attacker-response × seed)
 //!    grid through [`crate::sweep::parallel_map`]; each cell is one lean
-//!    scalar-game engine run, and its payoff is the collector's mean
-//!    per-round loss (surviving percentile damage + benign trim
-//!    overhead). Aggregate per-cell means with confidence intervals.
+//!    engine run on the chosen substrate, and its payoff is the
+//!    collector's mean per-round loss (surviving percentile damage plus
+//!    benign trim overhead). Aggregate per-cell means with confidence
+//!    intervals.
 //! 2. **Solve** — feed the mean loss matrix to
 //!    [`MatrixGame::solve`] (deterministic fictitious play with certified
 //!    value bounds) to get the empirical mixed equilibrium; solve the
-//!    closed-form expected-loss matrix of the same game for the analytic
-//!    equilibrium, and the continuum Stackelberg problem for the
-//!    deterministic pure-commitment benchmark.
+//!    substrate's closed-form expected-loss matrix of the same game for
+//!    the analytic equilibrium, and the continuum Stackelberg problem for
+//!    the deterministic pure-commitment benchmark. On the LDP substrate
+//!    the closed form is genuinely probabilistic: an input-manipulation
+//!    attacker's survival probability is the Piecewise Mechanism's exact
+//!    CDF at the cut, not a point-mass indicator.
 //! 3. **Check** — report the empirical-vs-analytic value gap against the
 //!    estimator's own tolerance (the minimax value is 1-Lipschitz in the
 //!    sup-norm of the matrix, so the worst cell CI plus the solver
@@ -27,9 +35,16 @@
 //!    the best deterministic threshold, the randomized-prediction-games
 //!    effect.
 //! 4. **Play** — instantiate the solved mixture as a
-//!    [`RandomizedDefender`], run it against each pure response and
-//!    against the board-driven [`AdaptiveAttacker`], and compare realized
-//!    losses with the matrix predictions.
+//!    [`RandomizedDefender`], run it against each pure response, against
+//!    the board-driven [`AdaptiveAttacker`], and against the no-regret
+//!    bandit [`Exp3Attacker`] (whose long-run average payoff must stay
+//!    below the game value plus its certified regret bound — the
+//!    equilibrium's robustness claim against *learning* attackers).
+//! 5. **Optimize** — [`optimize_support`] refines the defender's atom
+//!    *placements* (not just the weights on a fixed grid) by coordinate
+//!    descent with golden-section line searches, re-estimating the moved
+//!    atom's payoff row through the same sweep workers; accepted moves
+//!    strictly improve the solved game value.
 //!
 //! Every cell's outcome depends only on its grid coordinates and derived
 //! seed, so the whole pipeline is bit-deterministic regardless of
@@ -37,16 +52,28 @@
 
 use crate::sweep::{env_workers, parallel_map};
 use std::fmt::Write as _;
-use trim_core::adversary::{AdaptiveAttacker, AdversaryPolicy};
+use trim_core::adversary::{AdaptiveAttacker, AdversaryPolicy, AttackPolicy, Exp3Attacker};
 use trim_core::equilibrium::StackelbergSolver;
+use trim_core::ldp_sim::{
+    counterfeit_input, ldp_calibration, run_ldp_collection_outcome, LdpDefense, LdpSimConfig,
+};
 use trim_core::matrix::{MatrixGame, MixedEquilibrium};
+use trim_core::ml_sim::{clean_score_distribution, collect_poisoned_outcome, MlSimConfig};
 use trim_core::simulation::{run_game_with_policies, GameConfig, Scheme};
-use trim_core::space::StrategySpace;
-use trim_core::strategy::RandomizedDefender;
+use trim_core::space::{refine_placements, StrategySpace};
+use trim_core::strategy::{DefenderPolicy, RandomizedDefender, ThresholdPolicy};
+use trimgame_datasets::synthetic::{GaussianComponent, GmmSpec};
+use trimgame_datasets::Dataset;
+use trimgame_ldp::piecewise::Piecewise;
 use trimgame_numerics::quantile::{ecdf, percentile_sorted, Interpolation};
-use trimgame_numerics::rand_ext::derive_seed;
+use trimgame_numerics::rand_ext::{derive_seed, seeded_rng};
 use trimgame_numerics::stats::OnlineStats;
 use trimgame_stream::board::PublicBoard;
+
+/// Stream index of the Exp3 attacker's private sampling sub-seed.
+const EXP3_SEED_STREAM: u64 = 0x4558_5033; // "EXP3"
+/// Stream index of the LDP closed-form calibration sample's seed.
+const LDP_CALIB_STREAM: u64 = 0x4C43_414C; // "LCAL"
 
 /// Configuration of one empirical equilibrium estimation.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,7 +89,8 @@ pub struct EquilibriumConfig {
     pub master_seed: u64,
     /// Rounds per game instance.
     pub rounds: usize,
-    /// Benign batch size per round.
+    /// Benign batch size per round (honest users per round on the LDP
+    /// substrate).
     pub batch: usize,
     /// Attack ratio (poison per benign).
     pub attack_ratio: f64,
@@ -75,9 +103,9 @@ pub struct EquilibriumConfig {
 }
 
 impl EquilibriumConfig {
-    /// The CI smoke configuration: a 3×3 threshold game, 2 seeds per
-    /// cell — small enough for a pipeline step, large enough to exercise
-    /// every stage.
+    /// The CI smoke configuration on the scalar substrate: a 3×3
+    /// threshold game, 2 seeds per cell — small enough for a pipeline
+    /// step, large enough to exercise every stage.
     #[must_use]
     pub fn smoke() -> Self {
         Self {
@@ -94,8 +122,8 @@ impl EquilibriumConfig {
         }
     }
 
-    /// The full `expt equilibrium` grid: a 5×5 game with 12 seeds per
-    /// cell.
+    /// The full scalar `expt equilibrium` grid: a 5×5 game with 12 seeds
+    /// per cell.
     #[must_use]
     pub fn default_grid() -> Self {
         Self {
@@ -112,18 +140,70 @@ impl EquilibriumConfig {
         }
     }
 
+    /// The smoke configuration for `kind` (scalar keeps
+    /// [`EquilibriumConfig::smoke`]; the ML and LDP games shrink the
+    /// environment to pipeline scale).
+    #[must_use]
+    pub fn smoke_for(kind: SubstrateKind) -> Self {
+        match kind {
+            SubstrateKind::Scalar => Self::smoke(),
+            SubstrateKind::Ml => Self {
+                seeds: 3,
+                rounds: 5,
+                batch: 150,
+                ..Self::smoke()
+            },
+            SubstrateKind::Ldp => Self {
+                defender_atoms: vec![0.84, 0.9, 0.96],
+                response_margin: 0.02,
+                seeds: 3,
+                rounds: 5,
+                batch: 500,
+                ..Self::smoke()
+            },
+        }
+    }
+
+    /// The full grid for `kind`.
+    #[must_use]
+    pub fn default_for(kind: SubstrateKind) -> Self {
+        match kind {
+            SubstrateKind::Scalar => Self::default_grid(),
+            SubstrateKind::Ml => Self {
+                seeds: 8,
+                rounds: 10,
+                batch: 200,
+                ..Self::default_grid()
+            },
+            SubstrateKind::Ldp => Self {
+                defender_atoms: vec![0.84, 0.87, 0.9, 0.93, 0.96],
+                response_margin: 0.02,
+                seeds: 8,
+                rounds: 8,
+                batch: 1_000,
+                ..Self::default_grid()
+            },
+        }
+    }
+
     /// Reads the CLI environment: `TRIMGAME_EQ_SMOKE=1` selects the smoke
     /// grid, `TRIMGAME_EQ_SEEDS=N` overrides the per-cell repetitions,
     /// and `TRIMGAME_SWEEP_THREADS` sets the worker count.
     #[must_use]
     pub fn from_env() -> Self {
+        Self::from_env_for(SubstrateKind::Scalar)
+    }
+
+    /// [`EquilibriumConfig::from_env`], anchored to `kind`'s grids.
+    #[must_use]
+    pub fn from_env_for(kind: SubstrateKind) -> Self {
         let smoke = std::env::var("TRIMGAME_EQ_SMOKE")
             .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
             .unwrap_or(false);
         let mut cfg = if smoke {
-            Self::smoke()
+            Self::smoke_for(kind)
         } else {
-            Self::default_grid()
+            Self::default_for(kind)
         };
         if let Some(seeds) = std::env::var("TRIMGAME_EQ_SEEDS")
             .ok()
@@ -163,10 +243,435 @@ impl EquilibriumConfig {
     }
 }
 
+/// Which simulation substrate the equilibrium pipeline runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubstrateKind {
+    /// 1-D value streams (§VI-B) — the PR 3 pipeline.
+    Scalar,
+    /// Feature-vector collection scored against clean k-means centroids
+    /// (§VI-C).
+    Ml,
+    /// LDP report streams under protocol-compliant input manipulation
+    /// (§VI-E).
+    Ldp,
+}
+
+impl SubstrateKind {
+    /// All substrates, in paper order.
+    pub const ALL: [SubstrateKind; 3] =
+        [SubstrateKind::Scalar, SubstrateKind::Ml, SubstrateKind::Ldp];
+
+    /// CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SubstrateKind::Scalar => "scalar",
+            SubstrateKind::Ml => "ml",
+            SubstrateKind::Ldp => "ldp",
+        }
+    }
+
+    /// Parses a CLI/env name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(SubstrateKind::Scalar),
+            "ml" => Some(SubstrateKind::Ml),
+            "ldp" => Some(SubstrateKind::Ldp),
+            _ => None,
+        }
+    }
+}
+
+/// What one seeded engine run on a substrate reports back to the
+/// estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellOutcome {
+    /// The collector's mean per-round loss (`−u_c / rounds`): surviving
+    /// percentile damage plus benign trim overhead. The payoff matrix
+    /// entry.
+    pub collector_loss: f64,
+    /// The adversary's mean per-round gain (`u_a / rounds`): the damage
+    /// term alone. What a learning attacker optimizes.
+    pub attacker_gain: f64,
+}
+
+/// One simulation substrate the equilibrium pipeline can run on: how a
+/// (defender policy × attack policy × seed) cell is played, and the
+/// substrate's closed-form loss model for the analytic cross-check.
+///
+/// All three implementations route through the boxed-policy entry points
+/// the engine core exposes (`run_game_with_policies`,
+/// `collect_poisoned_outcome`, `run_ldp_collection_outcome`), so anything
+/// expressible as a [`ThresholdPolicy`]/[`AttackPolicy`] pair — pure
+/// atoms, solved mixtures, board-driven best responses, bandit learners —
+/// plays the same game the payoff grid measures.
+pub trait GameSubstrate: Sync {
+    /// Substrate name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Plays one seeded engine run. `tth` anchors the scenario's public
+    /// quality standard (the nominal threshold percentile); `seed` drives
+    /// the environment stream and derives the policy sub-streams.
+    fn run_cell(
+        &self,
+        cfg: &EquilibriumConfig,
+        tth: f64,
+        defender: Box<dyn ThresholdPolicy>,
+        attacker: Box<dyn AttackPolicy>,
+        board: Option<PublicBoard>,
+        seed: u64,
+    ) -> CellOutcome;
+
+    /// The substrate's closed-form loss model over the finite game.
+    fn closed_form(&self, cfg: &EquilibriumConfig) -> ClosedForm;
+}
+
+/// The closed-form side of a substrate's game: the sorted clean reference
+/// distribution (values, anomaly scores, or calibration reports), the
+/// poison/benign mixture shares, and the attack's survival model under a
+/// cut. Shared by the analytic matrix and the continuum benchmark so
+/// their rounding rules can never desynchronize.
+#[derive(Debug, Clone)]
+pub struct ClosedForm {
+    sorted: Vec<f64>,
+    poison_share: f64,
+    benign_share: f64,
+    survive: SurviveModel,
+}
+
+/// How attack mass at response percentile `a` survives the cut at
+/// threshold percentile `t`.
+#[derive(Debug, Clone)]
+enum SurviveModel {
+    /// The attack is a point mass at the reference value of `a`
+    /// (scalar/ML substrates): survival is the indicator
+    /// `ref(a) ≤ ref(t)`.
+    PointMass,
+    /// The attack is a protocol-compliant LDP report of the counterfeit
+    /// input `a` maps to: survival is the mechanism's exact CDF at the
+    /// cut.
+    LdpPiecewise(Piecewise),
+}
+
+/// The poison share of one batch under the per-batch rounding every
+/// substrate applies: `round(ratio·batch) / (batch + round(ratio·batch))`.
+fn batch_poison_share(batch: usize, attack_ratio: f64) -> f64 {
+    let n_benign = batch as f64;
+    let n_poison = (attack_ratio * n_benign).round();
+    n_poison / (n_benign + n_poison)
+}
+
+impl ClosedForm {
+    fn new(sorted: Vec<f64>, batch: usize, attack_ratio: f64, survive: SurviveModel) -> Self {
+        let poison_share = batch_poison_share(batch, attack_ratio);
+        Self {
+            sorted,
+            poison_share,
+            benign_share: 1.0 - poison_share,
+            survive,
+        }
+    }
+
+    /// The reference value at percentile `p` of the clean distribution.
+    #[must_use]
+    pub fn ref_at(&self, p: f64) -> f64 {
+        percentile_sorted(&self.sorted, p.clamp(0.0, 1.0), Interpolation::Linear)
+    }
+
+    /// Benign tail mass above the cut at percentile `t` (the overhead the
+    /// collector pays for trimming there).
+    #[must_use]
+    pub fn overhead(&self, t: f64) -> f64 {
+        self.benign_share * (1.0 - ecdf(&self.sorted, self.ref_at(t)))
+    }
+
+    /// Probability that attack mass at response `a` survives the cut at
+    /// threshold `t`.
+    #[must_use]
+    pub fn survive_prob(&self, a: f64, t: f64) -> f64 {
+        match &self.survive {
+            SurviveModel::PointMass => {
+                if self.ref_at(a) <= self.ref_at(t) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            SurviveModel::LdpPiecewise(mech) => mech.cdf(counterfeit_input(a), self.ref_at(t)),
+        }
+    }
+
+    /// Expected collector loss of the pure profile `(t, a)`:
+    /// `poison_share · a · P(survive) + overhead(t)`.
+    #[must_use]
+    pub fn loss(&self, t: f64, a: f64) -> f64 {
+        self.poison_share * a * self.survive_prob(a, t) + self.overhead(t)
+    }
+
+    /// The poison share of a batch (used to scale learning attackers'
+    /// payoff bounds).
+    #[must_use]
+    pub fn poison_share(&self) -> f64 {
+        self.poison_share
+    }
+}
+
+/// The scalar value-stream substrate (the PR 3 pipeline, unchanged
+/// numbers).
+#[derive(Debug, Clone)]
+pub struct ScalarSubstrate {
+    pool: Vec<f64>,
+}
+
+impl ScalarSubstrate {
+    /// Builds the substrate over `pool`.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty.
+    #[must_use]
+    pub fn new(pool: &[f64]) -> Self {
+        assert!(!pool.is_empty(), "empty value pool");
+        Self {
+            pool: pool.to_vec(),
+        }
+    }
+
+    fn game_config(cfg: &EquilibriumConfig, tth: f64, seed: u64) -> GameConfig {
+        let mut game = GameConfig::new(Scheme::BaselineStatic);
+        game.tth = tth;
+        game.rounds = cfg.rounds;
+        game.batch = cfg.batch;
+        game.attack_ratio = cfg.attack_ratio;
+        game.seed = seed;
+        game
+    }
+}
+
+impl GameSubstrate for ScalarSubstrate {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn run_cell(
+        &self,
+        cfg: &EquilibriumConfig,
+        tth: f64,
+        defender: Box<dyn ThresholdPolicy>,
+        attacker: Box<dyn AttackPolicy>,
+        board: Option<PublicBoard>,
+        seed: u64,
+    ) -> CellOutcome {
+        let game = Self::game_config(cfg, tth, seed);
+        let out = run_game_with_policies(&self.pool, &game, defender, attacker, board, false);
+        CellOutcome {
+            collector_loss: -out.utilities.u_c.last().expect("rounds > 0") / game.rounds as f64,
+            attacker_gain: out.utilities.u_a.last().expect("rounds > 0") / game.rounds as f64,
+        }
+    }
+
+    fn closed_form(&self, cfg: &EquilibriumConfig) -> ClosedForm {
+        let mut sorted = self.pool.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in pool"));
+        ClosedForm::new(sorted, cfg.batch, cfg.attack_ratio, SurviveModel::PointMass)
+    }
+}
+
+/// The feature-vector collection substrate: the game is played on k-means
+/// anomaly scores over a labelled dataset (`collect_poisoned` behind the
+/// engine's boxed-policy entry point).
+#[derive(Debug, Clone)]
+pub struct MlSubstrate {
+    data: Dataset,
+    /// Sorted clean anomaly scores, cached (computing them refits the
+    /// clean k-means).
+    clean_scores: Vec<f64>,
+}
+
+impl MlSubstrate {
+    /// Builds the substrate over a labelled dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is unlabelled or smaller than two rows.
+    #[must_use]
+    pub fn new(data: Dataset) -> Self {
+        let clean_scores = clean_score_distribution(&data);
+        Self { data, clean_scores }
+    }
+}
+
+impl GameSubstrate for MlSubstrate {
+    fn name(&self) -> &'static str {
+        "ml"
+    }
+
+    fn run_cell(
+        &self,
+        cfg: &EquilibriumConfig,
+        tth: f64,
+        defender: Box<dyn ThresholdPolicy>,
+        attacker: Box<dyn AttackPolicy>,
+        board: Option<PublicBoard>,
+        seed: u64,
+    ) -> CellOutcome {
+        let ml = MlSimConfig {
+            scheme: Scheme::BaselineStatic,
+            tth,
+            rounds: cfg.rounds,
+            attack_ratio: cfg.attack_ratio,
+            batch: cfg.batch,
+            seed,
+            red: 0.05,
+        };
+        let out = collect_poisoned_outcome(&self.data, &ml, defender, attacker, board);
+        CellOutcome {
+            collector_loss: -out.utilities.u_c.last().expect("rounds > 0") / ml.rounds as f64,
+            attacker_gain: out.utilities.u_a.last().expect("rounds > 0") / ml.rounds as f64,
+        }
+    }
+
+    fn closed_form(&self, cfg: &EquilibriumConfig) -> ClosedForm {
+        ClosedForm::new(
+            self.clean_scores.clone(),
+            cfg.batch,
+            cfg.attack_ratio,
+            SurviveModel::PointMass,
+        )
+    }
+}
+
+/// The LDP report-stream substrate: honest users privatize with the
+/// Piecewise Mechanism, attackers are protocol-compliant input
+/// manipulators whose counterfeit input the response percentile maps to;
+/// trimming cuts at calibration quantiles of the report stream.
+#[derive(Debug, Clone)]
+pub struct LdpSubstrate {
+    population: Vec<f64>,
+    epsilon: f64,
+}
+
+impl LdpSubstrate {
+    /// Builds the substrate over `population` at privacy budget
+    /// `epsilon`.
+    ///
+    /// # Panics
+    /// Panics if the population is empty or `epsilon <= 0`.
+    #[must_use]
+    pub fn new(population: &[f64], epsilon: f64) -> Self {
+        assert!(!population.is_empty(), "empty population");
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        Self {
+            population: population.to_vec(),
+            epsilon,
+        }
+    }
+
+    fn ldp_config(&self, cfg: &EquilibriumConfig, tth: f64, seed: u64) -> LdpSimConfig {
+        LdpSimConfig {
+            epsilon: self.epsilon,
+            attack_ratio: cfg.attack_ratio,
+            users_per_round: cfg.batch,
+            rounds: cfg.rounds,
+            soft: tth,
+            hard: (tth - 0.1).max(0.0),
+            red: 0.03,
+            seed,
+        }
+    }
+}
+
+impl GameSubstrate for LdpSubstrate {
+    fn name(&self) -> &'static str {
+        "ldp"
+    }
+
+    fn run_cell(
+        &self,
+        cfg: &EquilibriumConfig,
+        tth: f64,
+        defender: Box<dyn ThresholdPolicy>,
+        attacker: Box<dyn AttackPolicy>,
+        board: Option<PublicBoard>,
+        seed: u64,
+    ) -> CellOutcome {
+        let ldp = self.ldp_config(cfg, tth, seed);
+        let out = run_ldp_collection_outcome(
+            &self.population,
+            LdpDefense::TitForTat,
+            &ldp,
+            defender,
+            attacker,
+            board,
+        );
+        CellOutcome {
+            collector_loss: -out.utilities.u_c.last().expect("rounds > 0") / ldp.rounds as f64,
+            attacker_gain: out.utilities.u_a.last().expect("rounds > 0") / ldp.rounds as f64,
+        }
+    }
+
+    fn closed_form(&self, cfg: &EquilibriumConfig) -> ClosedForm {
+        // A deterministic calibration sample stands in for the honest
+        // report distribution (4× the per-round users for a smoother
+        // quantile table than any single cell sees).
+        let calib = ldp_calibration(
+            &self.population,
+            self.epsilon,
+            cfg.batch.max(1) * 4,
+            derive_seed(cfg.master_seed, LDP_CALIB_STREAM),
+        );
+        ClosedForm::new(
+            calib,
+            cfg.batch,
+            cfg.attack_ratio,
+            SurviveModel::LdpPiecewise(Piecewise::new(self.epsilon)),
+        )
+    }
+}
+
+/// The standard benchmark pool (uniform scalar stream, the same pool the
+/// sweep and the snapshot contract use).
+#[must_use]
+pub fn standard_pool() -> Vec<f64> {
+    (0..10_000).map(|i| (i % 1000) as f64 / 10.0).collect()
+}
+
+/// The standard ML benchmark dataset: the two-blob GMM the snapshot
+/// contract collects on (deterministic).
+#[must_use]
+pub fn standard_ml_dataset() -> Dataset {
+    let spec = GmmSpec::new(vec![
+        GaussianComponent::spherical(vec![-8.0, 0.0], 1.0, 1.0),
+        GaussianComponent::spherical(vec![8.0, 0.0], 1.0, 1.0),
+    ]);
+    spec.generate("blobs", 600, &mut seeded_rng(5))
+}
+
+/// The standard LDP benchmark population (bounded skewed stream, the same
+/// population the snapshot contract uses).
+#[must_use]
+pub fn standard_ldp_population() -> Vec<f64> {
+    (0..4_000)
+        .map(|i| (2.0 * ((i % 1000) as f64 / 1000.0) - 1.0) * 0.7)
+        .collect()
+}
+
+/// The standard substrate instance for `kind` (the one `expt equilibrium
+/// --substrate` runs on).
+#[must_use]
+pub fn standard_substrate(kind: SubstrateKind) -> Box<dyn GameSubstrate> {
+    match kind {
+        SubstrateKind::Scalar => Box::new(ScalarSubstrate::new(&standard_pool())),
+        SubstrateKind::Ml => Box::new(MlSubstrate::new(standard_ml_dataset())),
+        SubstrateKind::Ldp => Box::new(LdpSubstrate::new(&standard_ldp_population(), 3.0)),
+    }
+}
+
 /// The estimator's output: the measured game, both equilibria, and the
 /// cross-check metrics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EmpiricalEquilibrium {
+    /// Which substrate the game was played on.
+    pub substrate: &'static str,
     /// Defender threshold atoms (rows).
     pub defender_atoms: Vec<f64>,
     /// Attacker response atoms (columns).
@@ -222,50 +727,54 @@ impl EmpiricalEquilibrium {
     }
 }
 
-/// Game shape of one estimation cell: `Fixed` defender at `t_atom` (via
-/// the `BaselineStatic` scheme) against a `Fixed` attacker at `a_atom`,
-/// driven through `run_game_engine`.
-fn cell_config(cfg: &EquilibriumConfig, t_atom: f64, a_atom: f64, seed: u64) -> GameConfig {
-    let mut game = play_config(cfg, seed);
-    game.tth = t_atom;
-    game.adversary_override = Some(AdversaryPolicy::Fixed { percentile: a_atom });
-    game
+/// Per-repetition common-random-numbers seeds: one per seed index, shared
+/// across cells so payoff differences isolate the strategy pair.
+fn cell_seeds(cfg: &EquilibriumConfig) -> Vec<u64> {
+    (0..cfg.seeds as u64)
+        .map(|s| derive_seed(cfg.master_seed, s))
+        .collect()
 }
 
-/// Game shape for the played-mixture paths, where both policies are passed
-/// to `run_game_with_policies` explicitly: no adversary override is
-/// configured (it would be ignored), and `tth` — anchored to the lowest
-/// defender atom — only sets the scenario's quality standard, which
-/// nothing in the loss accounting reads.
-fn play_config(cfg: &EquilibriumConfig, seed: u64) -> GameConfig {
-    let mut game = GameConfig::new(Scheme::BaselineStatic);
-    game.tth = cfg.defender_atoms[0];
-    game.rounds = cfg.rounds;
-    game.batch = cfg.batch;
-    game.attack_ratio = cfg.attack_ratio;
-    game.seed = seed;
-    game
+/// Estimates one defender atom's payoff row (mean collector loss against
+/// each attacker response, over the seed grid) through the sweep workers.
+fn estimate_row(
+    sub: &dyn GameSubstrate,
+    cfg: &EquilibriumConfig,
+    t_atom: f64,
+    attacker_atoms: &[f64],
+) -> Vec<f64> {
+    let per_cell = cfg.seeds;
+    let seeds = cell_seeds(cfg);
+    let losses = parallel_map(attacker_atoms.len() * per_cell, cfg.workers, |idx| {
+        let (j, s) = (idx / per_cell, idx % per_cell);
+        sub.run_cell(
+            cfg,
+            t_atom,
+            Box::new(DefenderPolicy::Fixed { tth: t_atom }),
+            Box::new(AdversaryPolicy::Fixed {
+                percentile: attacker_atoms[j],
+            }),
+            None,
+            seeds[s],
+        )
+        .collector_loss
+    });
+    (0..attacker_atoms.len())
+        .map(|j| losses[j * per_cell..(j + 1) * per_cell].iter().sum::<f64>() / per_cell as f64)
+        .collect()
 }
 
-/// The collector's mean per-round loss of one seeded engine run: the
-/// negated final cumulative collector utility over the round count
-/// (percentile damage of surviving poison plus benign trim overhead).
-fn engine_loss(pool: &[f64], game: &GameConfig) -> f64 {
-    let out = trim_core::simulation::run_game_engine(pool, game, false);
-    -out.utilities.u_c.last().expect("rounds > 0") / game.rounds as f64
-}
-
-/// Estimates the empirical payoff matrix and solves both equilibria.
+/// Estimates the empirical payoff matrix on `sub` and solves both
+/// equilibria.
 ///
-/// The (row × column × seed) grid fans through
-/// [`parallel_map`]; each job's outcome
-/// depends only on its coordinates, so the result is identical for any
-/// worker count.
+/// The (row × column × seed) grid fans through [`parallel_map`]; each
+/// job's outcome depends only on its coordinates, so the result is
+/// identical for any worker count.
 ///
 /// # Panics
-/// Panics if the pool is empty or the configuration is degenerate.
+/// Panics if the configuration is degenerate.
 #[must_use]
-pub fn estimate(pool: &[f64], cfg: &EquilibriumConfig) -> EmpiricalEquilibrium {
+pub fn estimate_on(sub: &dyn GameSubstrate, cfg: &EquilibriumConfig) -> EmpiricalEquilibrium {
     cfg.validate();
     let rows = cfg.defender_atoms.len();
     let attacker_atoms = cfg.attacker_atoms();
@@ -276,20 +785,23 @@ pub fn estimate(pool: &[f64], cfg: &EquilibriumConfig) -> EmpiricalEquilibrium {
     // One seed per repetition, shared across cells (common random
     // numbers): cell payoffs differ only through the strategy pair, which
     // sharpens every cross-cell comparison the solver makes.
-    let seeds: Vec<u64> = (0..per_cell as u64)
-        .map(|s| derive_seed(cfg.master_seed, s))
-        .collect();
+    let seeds = cell_seeds(cfg);
 
     let losses = parallel_map(n_jobs, cfg.workers, |idx| {
         let cell = idx / per_cell;
         let (i, j) = (cell / cols, cell % cols);
-        let game = cell_config(
+        let t_atom = cfg.defender_atoms[i];
+        sub.run_cell(
             cfg,
-            cfg.defender_atoms[i],
-            attacker_atoms[j],
+            t_atom,
+            Box::new(DefenderPolicy::Fixed { tth: t_atom }),
+            Box::new(AdversaryPolicy::Fixed {
+                percentile: attacker_atoms[j],
+            }),
+            None,
             seeds[idx % per_cell],
-        );
-        engine_loss(pool, &game)
+        )
+        .collector_loss
     });
 
     let mut mean_loss = vec![vec![0.0; cols]; rows];
@@ -313,7 +825,7 @@ pub fn estimate(pool: &[f64], cfg: &EquilibriumConfig) -> EmpiricalEquilibrium {
     let empirical = empirical_game.solve(cfg.fp_iterations);
     let pure_empirical_value = empirical_game.pure_commitment_value();
 
-    let model = AnalyticModel::new(pool, cfg);
+    let model = sub.closed_form(cfg);
     let analytic_matrix = analytic_loss_matrix(&model, cfg);
     let analytic_game = MatrixGame::new(analytic_matrix.clone()).expect("finite analytic losses");
     let analytic = analytic_game.solve(cfg.fp_iterations);
@@ -324,6 +836,7 @@ pub fn estimate(pool: &[f64], cfg: &EquilibriumConfig) -> EmpiricalEquilibrium {
     let gap_tolerance = worst_ci + 0.5 * (empirical.gap() + analytic.gap());
 
     EmpiricalEquilibrium {
+        substrate: sub.name(),
         defender_atoms: cfg.defender_atoms.clone(),
         attacker_atoms,
         mean_loss,
@@ -340,67 +853,24 @@ pub fn estimate(pool: &[f64], cfg: &EquilibriumConfig) -> EmpiricalEquilibrium {
     }
 }
 
-/// The closed-form side of the game, computed once per estimate: the
-/// sorted reference pool and the poison/benign mixture shares — shared by
-/// the matrix and continuum benchmarks so their rounding rules can never
-/// desynchronize.
-struct AnalyticModel {
-    sorted: Vec<f64>,
-    poison_share: f64,
-    benign_share: f64,
+/// Scalar-substrate convenience wrapper around [`estimate_on`] (the PR 3
+/// entry point).
+///
+/// # Panics
+/// Panics if the pool is empty or the configuration is degenerate.
+#[must_use]
+pub fn estimate(pool: &[f64], cfg: &EquilibriumConfig) -> EmpiricalEquilibrium {
+    estimate_on(&ScalarSubstrate::new(pool), cfg)
 }
 
-impl AnalyticModel {
-    fn new(pool: &[f64], cfg: &EquilibriumConfig) -> Self {
-        let mut sorted = pool.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in pool"));
-        // Mirror PoisonSpec's per-batch rounding exactly.
-        let n_benign = cfg.batch as f64;
-        let n_poison = (cfg.attack_ratio * n_benign).round();
-        let total = n_benign + n_poison;
-        Self {
-            sorted,
-            poison_share: n_poison / total,
-            benign_share: n_benign / total,
-        }
-    }
-
-    fn ref_at(&self, p: f64) -> f64 {
-        percentile_sorted(&self.sorted, p.clamp(0.0, 1.0), Interpolation::Linear)
-    }
-
-    /// Benign tail mass above the cut at percentile `t` (the overhead the
-    /// collector pays for trimming there).
-    fn overhead(&self, t: f64) -> f64 {
-        self.benign_share * (1.0 - ecdf(&self.sorted, self.ref_at(t)))
-    }
-}
-
-/// The closed-form expected loss of the finite threshold game, using the
-/// exact primitives the scalar scenario resolves positions with: poison
-/// placed at the reference value of the response atom survives iff it
-/// does not exceed the reference value of the threshold atom, earning the
-/// adversary `(poison share)·a`; the collector additionally pays the
-/// benign pool tail mass above the cut.
-fn analytic_loss_matrix(model: &AnalyticModel, cfg: &EquilibriumConfig) -> Vec<Vec<f64>> {
+/// The closed-form expected loss of the finite threshold game on a
+/// substrate's model: survival-weighted percentile damage plus the benign
+/// trim overhead.
+fn analytic_loss_matrix(model: &ClosedForm, cfg: &EquilibriumConfig) -> Vec<Vec<f64>> {
+    let attacker_atoms = cfg.attacker_atoms();
     cfg.defender_atoms
         .iter()
-        .map(|&t| {
-            let cut = model.ref_at(t);
-            let overhead = model.overhead(t);
-            cfg.attacker_atoms()
-                .iter()
-                .map(|&a| {
-                    let survives = model.ref_at(a) <= cut;
-                    let damage = if survives {
-                        model.poison_share * a
-                    } else {
-                        0.0
-                    };
-                    damage + overhead
-                })
-                .collect()
-        })
+        .map(|&t| attacker_atoms.iter().map(|&a| model.loss(t, a)).collect())
         .collect()
 }
 
@@ -408,7 +878,7 @@ fn analytic_loss_matrix(model: &AnalyticModel, cfg: &EquilibriumConfig) -> Vec<V
 /// `q·x + (1−q)·tail(x)` with the follower riding the threshold, solved
 /// over the hull of the atom grid. Returns `(continuum value, best pure
 /// commitment restricted to the atoms)`.
-fn analytic_continuum(model: &AnalyticModel, cfg: &EquilibriumConfig) -> (f64, f64) {
+fn analytic_continuum(model: &ClosedForm, cfg: &EquilibriumConfig) -> (f64, f64) {
     let x_l = cfg.defender_atoms[0] - cfg.response_margin;
     let x_r = *cfg.defender_atoms.last().expect("non-empty atoms");
     let space = StrategySpace::new(x_l, x_r).expect("margin below the lowest atom");
@@ -421,8 +891,15 @@ fn analytic_continuum(model: &AnalyticModel, cfg: &EquilibriumConfig) -> (f64, f
     (continuum, pure_grid)
 }
 
-/// Realized play of a mixed defender strategy: mean per-round loss over
-/// the seed grid, against each pure attacker response column.
+/// The quality-standard anchor the played-mixture paths use: the lowest
+/// defender atom (nothing in the loss accounting reads it).
+fn play_tth(cfg: &EquilibriumConfig) -> f64 {
+    cfg.defender_atoms[0]
+}
+
+/// Realized play of a mixed defender strategy on a substrate: mean
+/// per-round loss over the seed grid, against each pure attacker response
+/// column.
 ///
 /// Each (column × seed) cell builds a fresh [`RandomizedDefender`] from
 /// `row_strategy` and runs it through the engine — the policy sub-stream
@@ -434,8 +911,8 @@ fn analytic_continuum(model: &AnalyticModel, cfg: &EquilibriumConfig) -> (f64, f
 /// Panics if `row_strategy` does not match the defender atoms or has no
 /// mass.
 #[must_use]
-pub fn play_mixed_vs_columns(
-    pool: &[f64],
+pub fn play_mixed_vs_columns_on(
+    sub: &dyn GameSubstrate,
     cfg: &EquilibriumConfig,
     row_strategy: &[f64],
 ) -> Vec<OnlineStats> {
@@ -448,25 +925,22 @@ pub fn play_mixed_vs_columns(
     let attacker_atoms = cfg.attacker_atoms();
     let cols = attacker_atoms.len();
     let per_cell = cfg.seeds;
-    let seeds: Vec<u64> = (0..per_cell as u64)
-        .map(|s| derive_seed(cfg.master_seed, s))
-        .collect();
+    let seeds = cell_seeds(cfg);
     let losses = parallel_map(cols * per_cell, cfg.workers, |idx| {
         let (j, s) = (idx / per_cell, idx % per_cell);
-        let game = play_config(cfg, seeds[s]);
         let defender =
             RandomizedDefender::new(&cfg.defender_atoms, row_strategy).expect("validated strategy");
-        let out = run_game_with_policies(
-            pool,
-            &game,
+        sub.run_cell(
+            cfg,
+            play_tth(cfg),
             Box::new(defender),
             Box::new(AdversaryPolicy::Fixed {
                 percentile: attacker_atoms[j],
             }),
             None,
-            false,
-        );
-        -out.utilities.u_c.last().expect("rounds > 0") / game.rounds as f64
+            seeds[s],
+        )
+        .collector_loss
     });
     (0..cols)
         .map(|j| {
@@ -479,8 +953,58 @@ pub fn play_mixed_vs_columns(
         .collect()
 }
 
+/// Scalar wrapper around [`play_mixed_vs_columns_on`].
+///
+/// # Panics
+/// Panics on a degenerate configuration or strategy.
+#[must_use]
+pub fn play_mixed_vs_columns(
+    pool: &[f64],
+    cfg: &EquilibriumConfig,
+    row_strategy: &[f64],
+) -> Vec<OnlineStats> {
+    play_mixed_vs_columns_on(&ScalarSubstrate::new(pool), cfg, row_strategy)
+}
+
 /// Realized play of the solved equilibrium against the board-driven
-/// [`AdaptiveAttacker`]: mean per-round loss over the seed grid.
+/// [`AdaptiveAttacker`] on a substrate: mean per-round loss over the seed
+/// grid.
+///
+/// # Panics
+/// Panics on a degenerate configuration or strategy.
+#[must_use]
+pub fn play_vs_adaptive_on(
+    sub: &dyn GameSubstrate,
+    cfg: &EquilibriumConfig,
+    row_strategy: &[f64],
+) -> OnlineStats {
+    cfg.validate();
+    let per_cell = cfg.seeds;
+    let seeds = cell_seeds(cfg);
+    let losses = parallel_map(per_cell, cfg.workers, |s| {
+        let seed = seeds[s];
+        let defender =
+            RandomizedDefender::new(&cfg.defender_atoms, row_strategy).expect("validated strategy");
+        let board = PublicBoard::new();
+        let attacker = AdaptiveAttacker::new(board.clone(), cfg.response_margin, 0.99);
+        sub.run_cell(
+            cfg,
+            play_tth(cfg),
+            Box::new(defender),
+            Box::new(attacker),
+            Some(board),
+            seed,
+        )
+        .collector_loss
+    });
+    let mut stats = OnlineStats::new();
+    for loss in losses {
+        stats.push(loss);
+    }
+    stats
+}
+
+/// Scalar wrapper around [`play_vs_adaptive_on`].
 ///
 /// # Panics
 /// Panics on a degenerate configuration or strategy.
@@ -490,55 +1014,286 @@ pub fn play_vs_adaptive(
     cfg: &EquilibriumConfig,
     row_strategy: &[f64],
 ) -> OnlineStats {
+    play_vs_adaptive_on(&ScalarSubstrate::new(pool), cfg, row_strategy)
+}
+
+/// Outcome of playing the solved mixture against the no-regret
+/// [`Exp3Attacker`] over a long horizon.
+#[derive(Debug, Clone)]
+pub struct Exp3Play {
+    /// The attacker's realized mean per-round payoff, across seeds.
+    pub attacker_payoff: OnlineStats,
+    /// The collector's realized mean per-round loss, across seeds.
+    pub collector_loss: OnlineStats,
+    /// The horizon the attacker was tuned to and played for.
+    pub rounds: usize,
+    /// The certified average regret bound at that horizon (payoff units).
+    pub regret_bound: f64,
+}
+
+/// Plays the solved defender mixture against [`Exp3Attacker`] over
+/// `rounds` rounds (per seed) on a substrate. The attacker's response set
+/// is the game's column set; its payoff bound is the substrate's poison
+/// share (the maximum per-round percentile damage), and its private
+/// sampling stream derives from the cell seed — replays are exact and
+/// worker-count independent.
+///
+/// The equilibrium robustness contract: the attacker's long-run average
+/// payoff can exceed the solved game value by at most the certified
+/// regret bound (its best fixed response in hindsight is one of the
+/// measured columns, whose value against the mixture is at most the
+/// equilibrium upper bound).
+///
+/// # Panics
+/// Panics on a degenerate configuration or strategy.
+#[must_use]
+pub fn play_vs_exp3(
+    sub: &dyn GameSubstrate,
+    cfg: &EquilibriumConfig,
+    row_strategy: &[f64],
+    rounds: usize,
+) -> Exp3Play {
     cfg.validate();
+    assert!(rounds > 0, "need at least one round");
+    let attacker_atoms = cfg.attacker_atoms();
+    let payoff_bound = batch_poison_share(cfg.batch, cfg.attack_ratio).max(1e-9);
+    let mut play_cfg = cfg.clone();
+    play_cfg.rounds = rounds;
     let per_cell = cfg.seeds;
-    let losses = parallel_map(per_cell, cfg.workers, |s| {
-        let seed = derive_seed(cfg.master_seed, s as u64);
-        let game = play_config(cfg, seed);
+    let seeds = cell_seeds(cfg);
+    let outcomes = parallel_map(per_cell, cfg.workers, |s| {
+        let seed = seeds[s];
         let defender =
             RandomizedDefender::new(&cfg.defender_atoms, row_strategy).expect("validated strategy");
-        let board = PublicBoard::new();
-        let attacker = AdaptiveAttacker::new(board.clone(), cfg.response_margin, 0.99);
-        let out = run_game_with_policies(
-            pool,
-            &game,
+        let attacker = Exp3Attacker::new(
+            &attacker_atoms,
+            rounds,
+            payoff_bound,
+            derive_seed(seed, EXP3_SEED_STREAM),
+        )
+        .expect("validated response set");
+        sub.run_cell(
+            &play_cfg,
+            play_tth(cfg),
             Box::new(defender),
             Box::new(attacker),
-            Some(board),
-            false,
-        );
-        -out.utilities.u_c.last().expect("rounds > 0") / game.rounds as f64
+            None,
+            seed,
+        )
     });
-    let mut stats = OnlineStats::new();
-    for loss in losses {
-        stats.push(loss);
+    let mut attacker_payoff = OnlineStats::new();
+    let mut collector_loss = OnlineStats::new();
+    for out in outcomes {
+        attacker_payoff.push(out.attacker_gain);
+        collector_loss.push(out.collector_loss);
     }
-    stats
+    let regret_bound = Exp3Attacker::new(&attacker_atoms, rounds, payoff_bound, 0)
+        .expect("validated response set")
+        .average_regret_bound(rounds);
+    Exp3Play {
+        attacker_payoff,
+        collector_loss,
+        rounds,
+        regret_bound,
+    }
 }
 
-/// The standard benchmark pool (uniform scalar stream, the same pool the
-/// sweep and the snapshot contract use).
+/// Configuration of a defender support optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupportOptConfig {
+    /// Coordinate-descent passes over the atom set.
+    pub passes: usize,
+    /// Golden-section probes per atom per pass.
+    pub golden_iterations: usize,
+    /// Fictitious-play iterations for the inner matrix solves (smaller
+    /// than the headline solves — the optimizer only needs value
+    /// comparisons).
+    pub fp_iterations: usize,
+}
+
+impl SupportOptConfig {
+    /// Smoke-scale refinement (one pass, few probes).
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            passes: 1,
+            golden_iterations: 6,
+            fp_iterations: 20_000,
+        }
+    }
+
+    /// Full refinement.
+    #[must_use]
+    pub fn default_opt() -> Self {
+        Self {
+            passes: 2,
+            golden_iterations: 10,
+            fp_iterations: 50_000,
+        }
+    }
+}
+
+/// Result of a defender support optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupportOptimization {
+    /// The fixed-grid starting atoms.
+    pub initial_atoms: Vec<f64>,
+    /// Solved game value on the starting atoms (measured matrix).
+    pub initial_value: f64,
+    /// The refined atom placements.
+    pub refined_atoms: Vec<f64>,
+    /// Solved game value on the refined placements — never worse than
+    /// `initial_value` (moves are accepted only on strict improvement).
+    pub refined_value: f64,
+    /// The defender mixture solved on the refined placements.
+    pub refined_strategy: Vec<f64>,
+    /// Payoff-row estimations performed (each one a `columns × seeds`
+    /// sweep through the workers).
+    pub row_estimations: usize,
+    /// Accepted atom moves.
+    pub moved: usize,
+}
+
+/// Refines the defender's atom *placements* by coordinate descent: each
+/// atom in turn is golden-sectioned inside the bracket between its
+/// neighbours, with the candidate's payoff row re-estimated through the
+/// sweep workers ([`parallel_map`]) and the game re-solved against the
+/// *fixed* attacker response columns of the starting grid. Moves are
+/// accepted only on strict improvement at the line-search precision, and
+/// the endpoint values are re-solved at the headline precision
+/// (`cfg.fp_iterations`); in the edge case where the coarse acceptances
+/// do not survive the fine solve, the optimizer reverts to the starting
+/// grid — so the refined support is *never* worse than the fixed grid,
+/// the strategy-space layer of §III-C2 taken beyond a predefined
+/// support.
+///
+/// Deterministic for any worker count: probe sequences depend only on the
+/// configuration, and every engine run is seed-addressed. Payoff rows are
+/// memoized by atom value (a row depends only on its placement), so
+/// rejected line searches never re-estimate the row they started from.
+///
+/// # Panics
+/// Panics on a degenerate configuration.
 #[must_use]
-pub fn standard_pool() -> Vec<f64> {
-    (0..10_000).map(|i| (i % 1000) as f64 / 10.0).collect()
+pub fn optimize_support(
+    sub: &dyn GameSubstrate,
+    cfg: &EquilibriumConfig,
+    opt: &SupportOptConfig,
+) -> SupportOptimization {
+    cfg.validate();
+    let attacker_atoms = cfg.attacker_atoms();
+    let atoms = cfg.defender_atoms.clone();
+    let spacing = (atoms[atoms.len() - 1] - atoms[0]) / (atoms.len() - 1).max(1) as f64;
+    let bounds = (
+        (atoms[0] - spacing).max(cfg.response_margin),
+        (atoms[atoms.len() - 1] + spacing).min(1.0),
+    );
+
+    // Row memo: atom placement → estimated payoff row. A row depends only
+    // on its atom's placement (columns and seeds are fixed), so probes,
+    // accepted moves and the refiner's post-search re-evaluation of an
+    // unchanged atom all hit the memo instead of re-running the sweep.
+    let mut rows_by_atom: std::collections::HashMap<u64, Vec<f64>> =
+        std::collections::HashMap::new();
+    let mut row_estimations = 0usize;
+    let mut row_for = |t: f64| -> Vec<f64> {
+        rows_by_atom
+            .entry(t.to_bits())
+            .or_insert_with(|| {
+                row_estimations += 1;
+                estimate_row(sub, cfg, t, &attacker_atoms)
+            })
+            .clone()
+    };
+    let solve_placement = |rows: Vec<Vec<f64>>, fp: usize| -> (f64, Vec<f64>) {
+        let eq = MatrixGame::new(rows).expect("finite means").solve(fp);
+        (eq.value, eq.row_strategy)
+    };
+    let initial_rows: Vec<Vec<f64>> = atoms.iter().map(|&t| row_for(t)).collect();
+    let (initial_value, initial_strategy) =
+        solve_placement(initial_rows.clone(), cfg.fp_iterations);
+
+    let refined = refine_placements(
+        &atoms,
+        bounds,
+        cfg.response_margin,
+        opt.passes,
+        opt.golden_iterations,
+        |candidate, _moved| {
+            let rows: Vec<Vec<f64>> = candidate.iter().map(|&t| row_for(t)).collect();
+            solve_placement(rows, opt.fp_iterations).0
+        },
+    );
+
+    let refined_rows: Vec<Vec<f64>> = refined.atoms.iter().map(|&t| row_for(t)).collect();
+    let (refined_value, refined_strategy) = solve_placement(refined_rows, cfg.fp_iterations);
+    if refined_value > initial_value {
+        // The coarse line-search acceptances did not survive the fine
+        // solve: keep the fixed grid (the contract is "never worse").
+        return SupportOptimization {
+            initial_atoms: atoms.clone(),
+            initial_value,
+            refined_atoms: atoms,
+            refined_value: initial_value,
+            refined_strategy: initial_strategy,
+            row_estimations,
+            moved: 0,
+        };
+    }
+    SupportOptimization {
+        initial_atoms: atoms,
+        initial_value,
+        refined_atoms: refined.atoms,
+        refined_value,
+        refined_strategy,
+        row_estimations,
+        moved: refined.moved,
+    }
 }
 
-/// The `expt equilibrium` experiment report.
+/// The `expt equilibrium` experiment report on the scalar substrate (the
+/// PR 3 entry point).
 ///
 /// # Panics
 /// Panics on a degenerate configuration.
 #[must_use]
 pub fn equilibrium_report(cfg: &EquilibriumConfig) -> String {
-    let pool = standard_pool();
-    let est = estimate(&pool, cfg);
+    equilibrium_report_for(SubstrateKind::Scalar, cfg)
+}
+
+/// The `expt equilibrium` experiment report, reading the substrate and
+/// grid scale from the environment (`TRIMGAME_EQ_SUBSTRATE`,
+/// `TRIMGAME_EQ_SMOKE`, `TRIMGAME_EQ_SEEDS`, `TRIMGAME_SWEEP_THREADS`).
+///
+/// # Panics
+/// Panics on an unknown substrate name.
+#[must_use]
+pub fn equilibrium_report_from_env() -> String {
+    let kind = match std::env::var("TRIMGAME_EQ_SUBSTRATE") {
+        Ok(name) => SubstrateKind::parse(&name)
+            .unwrap_or_else(|| panic!("unknown substrate {name:?} (expected scalar|ml|ldp)")),
+        Err(_) => SubstrateKind::Scalar,
+    };
+    equilibrium_report_for(kind, &EquilibriumConfig::from_env_for(kind))
+}
+
+/// The `expt equilibrium` experiment report on `kind`'s standard
+/// substrate.
+///
+/// # Panics
+/// Panics on a degenerate configuration.
+#[must_use]
+pub fn equilibrium_report_for(kind: SubstrateKind, cfg: &EquilibriumConfig) -> String {
+    let sub = standard_substrate(kind);
+    let est = estimate_on(&*sub, cfg);
     let rows = est.defender_atoms.len();
     let cols = est.attacker_atoms.len();
 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "== Empirical equilibrium: {rows}x{cols} threshold game, {} seeds/cell, {} rounds x {} batch ==",
-        est.seeds, cfg.rounds, cfg.batch
+        "== Empirical equilibrium [{} substrate]: {rows}x{cols} threshold game, {} seeds/cell, {} rounds x {} batch ==",
+        est.substrate, est.seeds, cfg.rounds, cfg.batch
     );
     let _ = writeln!(
         out,
@@ -621,7 +1376,7 @@ pub fn equilibrium_report(cfg: &EquilibriumConfig) -> String {
     );
 
     // Play the solved mixture through the engine.
-    let realized = play_mixed_vs_columns(&pool, cfg, &est.empirical.row_strategy);
+    let realized = play_mixed_vs_columns_on(&*sub, cfg, &est.empirical.row_strategy);
     let _ = writeln!(out);
     let _ = writeln!(
         out,
@@ -640,7 +1395,7 @@ pub fn equilibrium_report(cfg: &EquilibriumConfig) -> String {
             predicted
         );
     }
-    let adaptive = play_vs_adaptive(&pool, cfg, &est.empirical.row_strategy);
+    let adaptive = play_vs_adaptive_on(&*sub, cfg, &est.empirical.row_strategy);
     let _ = writeln!(
         out,
         "  vs AdaptiveAttacker (board-driven best response): realized {:.5} (sd {:.5}); equilibrium upper bound {:.5}",
@@ -648,6 +1403,50 @@ pub fn equilibrium_report(cfg: &EquilibriumConfig) -> String {
         adaptive.sample_variance().sqrt(),
         est.empirical.upper
     );
+
+    // No-regret robustness: the Exp3 bandit over the response columns.
+    let exp3_rounds = (cfg.rounds * 30).max(300);
+    let exp3 = play_vs_exp3(&*sub, cfg, &est.empirical.row_strategy, exp3_rounds);
+    let _ = writeln!(
+        out,
+        "  vs Exp3Attacker ({} rounds, no-regret bandit): avg payoff {:.5} <= value {:.5} + regret bound {:.5} -> {}",
+        exp3.rounds,
+        exp3.attacker_payoff.mean(),
+        est.empirical.value,
+        exp3.regret_bound,
+        if exp3.attacker_payoff.mean() <= est.empirical.value + exp3.regret_bound {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+
+    // Support optimization: refine the atom placements on the scalar
+    // substrate (the optimizer is substrate-generic; the report runs it
+    // where the closed form makes the improvement interpretable).
+    if kind == SubstrateKind::Scalar {
+        let opt = if cfg.seeds <= 4 {
+            SupportOptConfig::smoke()
+        } else {
+            SupportOptConfig::default_opt()
+        };
+        let refined = optimize_support(&*sub, cfg, &opt);
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "support optimization ({} pass(es), {} row re-estimations, {} moves):",
+            opt.passes, refined.row_estimations, refined.moved
+        );
+        let _ = writeln!(
+            out,
+            "  atoms [{}] value {:.5} -> atoms [{}] value {:.5} (improvement {:.5})",
+            weights(&refined.initial_atoms),
+            refined.initial_value,
+            weights(&refined.refined_atoms),
+            refined.refined_value,
+            refined.initial_value - refined.refined_value
+        );
+    }
     out
 }
 
@@ -722,6 +1521,7 @@ mod tests {
         // interval of the analytic value.
         let pool = standard_pool();
         let est = estimate(&pool, &EquilibriumConfig::smoke());
+        assert_eq!(est.substrate, "scalar");
         assert!(
             est.within_tolerance(),
             "gap {} tolerance {}",
@@ -774,6 +1574,8 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("empirical equilibrium"));
         assert!(a.contains("AdaptiveAttacker"));
+        assert!(a.contains("Exp3Attacker"));
+        assert!(a.contains("support optimization"));
         assert!(a.contains("WITHIN CI") || a.contains("OUTSIDE CI"));
     }
 
@@ -783,5 +1585,150 @@ mod tests {
         let mut cfg = tiny();
         cfg.defender_atoms = vec![0.95, 0.9];
         let _ = estimate(&standard_pool(), &cfg);
+    }
+
+    #[test]
+    fn ml_substrate_equilibrium_within_ci_and_robust() {
+        // Tentpole contract: the pipeline runs end-to-end on the ML
+        // substrate — value gap within the estimator's CI, and the played
+        // mixture's loss against the adaptive attacker stays below the
+        // solved equilibrium upper bound (plus its own standard error).
+        let sub = MlSubstrate::new(standard_ml_dataset());
+        let cfg = EquilibriumConfig::smoke_for(SubstrateKind::Ml);
+        let est = estimate_on(&sub, &cfg);
+        assert_eq!(est.substrate, "ml");
+        assert!(
+            est.within_tolerance(),
+            "gap {} tolerance {}",
+            est.value_gap,
+            est.gap_tolerance
+        );
+        let adaptive = play_vs_adaptive_on(&sub, &cfg, &est.empirical.row_strategy);
+        let slack = cfg.z * (adaptive.sample_variance() / cfg.seeds as f64).sqrt();
+        assert!(
+            adaptive.mean() <= est.empirical.upper + slack,
+            "adaptive {} vs upper {} (+{slack})",
+            adaptive.mean(),
+            est.empirical.upper
+        );
+    }
+
+    #[test]
+    fn ldp_substrate_equilibrium_within_ci_and_robust() {
+        // Same contract on the LDP substrate; here the closed form is the
+        // Piecewise Mechanism's exact CDF, so survival is probabilistic.
+        let sub = LdpSubstrate::new(&standard_ldp_population(), 3.0);
+        let cfg = EquilibriumConfig::smoke_for(SubstrateKind::Ldp);
+        let est = estimate_on(&sub, &cfg);
+        assert_eq!(est.substrate, "ldp");
+        assert!(
+            est.within_tolerance(),
+            "gap {} tolerance {}",
+            est.value_gap,
+            est.gap_tolerance
+        );
+        // Survival under an LDP cut is genuinely interior: the analytic
+        // matrix must contain probabilities strictly between 0 and 1.
+        let model = sub.closed_form(&cfg);
+        let interior = cfg
+            .defender_atoms
+            .iter()
+            .flat_map(|&t| {
+                cfg.attacker_atoms()
+                    .iter()
+                    .map(move |&a| (t, a))
+                    .collect::<Vec<_>>()
+            })
+            .any(|(t, a)| {
+                let p = model.survive_prob(a, t);
+                p > 0.01 && p < 0.99
+            });
+        assert!(interior, "LDP survival should be probabilistic");
+        let adaptive = play_vs_adaptive_on(&sub, &cfg, &est.empirical.row_strategy);
+        let slack = cfg.z * (adaptive.sample_variance() / cfg.seeds as f64).sqrt();
+        assert!(
+            adaptive.mean() <= est.empirical.upper + slack,
+            "adaptive {} vs upper {} (+{slack})",
+            adaptive.mean(),
+            est.empirical.upper
+        );
+    }
+
+    #[test]
+    fn substrate_estimates_are_scheduling_independent() {
+        // The ML and LDP cells fan through the same parallel_map; their
+        // outcomes must be identical for any worker count.
+        let ml = MlSubstrate::new(standard_ml_dataset());
+        let mut cfg = EquilibriumConfig::smoke_for(SubstrateKind::Ml);
+        cfg.seeds = 2;
+        cfg.rounds = 3;
+        cfg.batch = 100;
+        cfg.workers = 1;
+        let seq = estimate_on(&ml, &cfg);
+        cfg.workers = 4;
+        let par = estimate_on(&ml, &cfg);
+        assert_eq!(seq.mean_loss, par.mean_loss);
+        assert_eq!(seq.empirical, par.empirical);
+
+        let ldp = LdpSubstrate::new(&standard_ldp_population(), 3.0);
+        let mut cfg = EquilibriumConfig::smoke_for(SubstrateKind::Ldp);
+        cfg.seeds = 2;
+        cfg.rounds = 2;
+        cfg.batch = 200;
+        cfg.workers = 1;
+        let seq = estimate_on(&ldp, &cfg);
+        cfg.workers = 5;
+        let par = estimate_on(&ldp, &cfg);
+        assert_eq!(seq.mean_loss, par.mean_loss);
+        assert_eq!(seq.empirical, par.empirical);
+    }
+
+    #[test]
+    fn exp3_average_payoff_stays_below_value_plus_regret() {
+        // Acceptance contract (fixed seed): the no-regret attacker's
+        // long-run average payoff converges below the solved game value
+        // plus its certified regret bound.
+        let sub = ScalarSubstrate::new(&standard_pool());
+        let cfg = EquilibriumConfig::smoke();
+        let est = estimate_on(&sub, &cfg);
+        let rounds = 400;
+        let play = play_vs_exp3(&sub, &cfg, &est.empirical.row_strategy, rounds);
+        assert!(play.regret_bound > 0.0);
+        assert!(
+            play.attacker_payoff.mean() <= est.empirical.value + play.regret_bound,
+            "exp3 payoff {} vs value {} + bound {}",
+            play.attacker_payoff.mean(),
+            est.empirical.value,
+            play.regret_bound
+        );
+        // Deterministic and worker-count independent.
+        let mut c = cfg.clone();
+        c.workers = 4;
+        let again = play_vs_exp3(&sub, &c, &est.empirical.row_strategy, rounds);
+        assert_eq!(play.attacker_payoff.mean(), again.attacker_payoff.mean());
+    }
+
+    #[test]
+    fn support_optimization_improves_or_ties_the_fixed_grid() {
+        // Acceptance contract: refined placements never lose to the fixed
+        // grid on the scalar smoke game, and the search is
+        // scheduling-independent.
+        let sub = ScalarSubstrate::new(&standard_pool());
+        let cfg = EquilibriumConfig::smoke();
+        let opt = SupportOptConfig::smoke();
+        let refined = optimize_support(&sub, &cfg, &opt);
+        assert!(
+            refined.refined_value <= refined.initial_value + 1e-12,
+            "refined {} vs initial {}",
+            refined.refined_value,
+            refined.initial_value
+        );
+        assert!(refined.refined_atoms.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(refined.refined_atoms.len(), refined.initial_atoms.len());
+        assert!(refined.row_estimations >= refined.initial_atoms.len());
+        let mut c = cfg.clone();
+        c.workers = 4;
+        let again = optimize_support(&sub, &c, &opt);
+        assert_eq!(refined, again);
     }
 }

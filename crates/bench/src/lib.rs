@@ -12,10 +12,11 @@
 pub mod ablations;
 pub mod empirical;
 pub mod experiments;
+pub mod perf;
 pub mod sweep;
 
 /// All experiment ids accepted by the `expt` binary, in paper order.
-pub const EXPERIMENTS: [&str; 17] = [
+pub const EXPERIMENTS: [&str; 18] = [
     "table1",
     "table2",
     "fig4",
@@ -33,6 +34,7 @@ pub const EXPERIMENTS: [&str; 17] = [
     "ablate-sketch",
     "sweep",
     "equilibrium",
+    "bench",
 ];
 
 /// Runs one experiment by id, returning its report.
@@ -58,7 +60,8 @@ pub fn run_experiment(id: &str) -> String {
         "ablate-mechanism" => ablations::ablate_mechanism(),
         "ablate-sketch" => ablations::ablate_sketch(),
         "sweep" => sweep::sweep_report(),
-        "equilibrium" => empirical::equilibrium_report(&empirical::EquilibriumConfig::from_env()),
+        "equilibrium" => empirical::equilibrium_report_from_env(),
+        "bench" => perf::bench_report(),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -83,9 +86,10 @@ mod tests {
 
     #[test]
     fn id_list_is_consistent() {
-        assert_eq!(EXPERIMENTS.len(), 17);
+        assert_eq!(EXPERIMENTS.len(), 18);
         assert!(EXPERIMENTS.contains(&"fig9"));
         assert!(EXPERIMENTS.contains(&"sweep"));
         assert!(EXPERIMENTS.contains(&"equilibrium"));
+        assert!(EXPERIMENTS.contains(&"bench"));
     }
 }

@@ -1,0 +1,182 @@
+//! In-process perf snapshots (`expt bench`): wall-clock means for the
+//! per-round hot paths, as a table and — with `--json` — a
+//! machine-readable `BENCH_PR4.json` snapshot (`case → mean ns`), so the
+//! perf trajectory is diffable across PRs without parsing criterion
+//! output.
+//!
+//! Measurement mirrors the vendored criterion harness (warm-up window,
+//! calibrated batches, mean over a measurement window) but returns the
+//! numbers instead of printing them. Windows honor
+//! `TRIMGAME_BENCH_WARMUP_MS` / `TRIMGAME_BENCH_MEASURE_MS`; numbers are
+//! indicative, meant for tracking order-of-magnitude movement between
+//! commits on the same machine.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use trimgame_stream::trim::{SketchThreshold, TrimOp, TrimScratch};
+
+/// One measured case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCase {
+    /// `group/name/size` identifier, stable across PRs.
+    pub name: String,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// The file the JSON snapshot is written to (repo root by convention).
+pub const SNAPSHOT_FILE: &str = "BENCH_PR4.json";
+
+fn time_ns(warmup: Duration, measure: Duration, mut routine: impl FnMut()) -> f64 {
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < warmup {
+        routine();
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+    let batch =
+        ((measure.as_secs_f64() / 10.0 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1 << 20);
+    let mut total = Duration::ZERO;
+    let mut iterations: u64 = 0;
+    while total < measure {
+        let start = Instant::now();
+        for _ in 0..batch {
+            routine();
+        }
+        total += start.elapsed();
+        iterations += batch;
+    }
+    total.as_secs_f64() * 1e9 / iterations as f64
+}
+
+fn batch_values(n: usize) -> Vec<f64> {
+    use rand::Rng;
+    let mut rng = trimgame_numerics::rand_ext::seeded_rng(7);
+    (0..n).map(|_| rng.gen::<f64>() * 1000.0).collect()
+}
+
+/// Runs the trim hot-path suite with explicit measurement windows.
+#[must_use]
+pub fn run_cases(warmup: Duration, measure: Duration) -> Vec<BenchCase> {
+    let mut cases = Vec::new();
+    let mut push = |name: String, mean_ns: f64| cases.push(BenchCase { name, mean_ns });
+    for n in [1_000usize, 10_000, 100_000] {
+        let values = batch_values(n);
+        let mut scratch = TrimScratch::with_capacity(n);
+
+        let op = TrimOp::UpperPercentile(0.9);
+        let _ = op.apply_in_place(&values, &mut scratch);
+        push(
+            format!("trim/in_place/{n}"),
+            time_ns(warmup, measure, || {
+                std::hint::black_box(op.apply_in_place(&values, &mut scratch).trimmed);
+            }),
+        );
+
+        let op = TrimOp::Absolute(900.0);
+        push(
+            format!("trim/absolute_in_place/{n}"),
+            time_ns(warmup, measure, || {
+                std::hint::black_box(op.apply_in_place(&values, &mut scratch).trimmed);
+            }),
+        );
+
+        let op = TrimOp::TwoSided { lo: 0.05, hi: 0.95 };
+        push(
+            format!("trim/two_sided_in_place/{n}"),
+            time_ns(warmup, measure, || {
+                std::hint::black_box(op.apply_in_place(&values, &mut scratch).trimmed);
+            }),
+        );
+
+        let mut source = SketchThreshold::new(0.02);
+        source.observe(&values);
+        push(
+            format!("trim/sketch_query_only/{n}"),
+            time_ns(warmup, measure, || {
+                let op = source.op(0.9).expect("observed");
+                std::hint::black_box(op.apply_in_place(&values, &mut scratch).trimmed);
+            }),
+        );
+    }
+    cases
+}
+
+/// Serializes cases as a flat JSON object (`{"case": mean_ns, ...}`),
+/// keys in run order, values rounded to one decimal.
+#[must_use]
+pub fn to_json(cases: &[BenchCase]) -> String {
+    let mut out = String::from("{\n");
+    for (i, case) in cases.iter().enumerate() {
+        let _ = write!(out, "  \"{}\": {:.1}", case.name, case.mean_ns);
+        out.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn env_millis(var: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+/// The `expt bench` experiment: measure the suite and render a table.
+/// With `TRIMGAME_BENCH_JSON=1` (the CLI's `--json`), also write the
+/// [`SNAPSHOT_FILE`] snapshot to the working directory.
+#[must_use]
+pub fn bench_report() -> String {
+    let warmup = env_millis("TRIMGAME_BENCH_WARMUP_MS", 50);
+    let measure = env_millis("TRIMGAME_BENCH_MEASURE_MS", 250);
+    let cases = run_cases(warmup, measure);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Hot-path perf snapshot ({} cases, warmup {} ms, measure {} ms) ==",
+        cases.len(),
+        warmup.as_millis(),
+        measure.as_millis()
+    );
+    for case in &cases {
+        let _ = writeln!(out, "{:<32} {:>12.1} ns/iter", case.name, case.mean_ns);
+    }
+    let json_requested = std::env::var("TRIMGAME_BENCH_JSON")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false);
+    if json_requested {
+        match std::fs::write(SNAPSHOT_FILE, to_json(&cases)) {
+            Ok(()) => {
+                let _ = writeln!(out, "snapshot written to {SNAPSHOT_FILE}");
+            }
+            Err(err) => {
+                let _ = writeln!(out, "snapshot NOT written ({err})");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_with_tiny_windows_and_serializes() {
+        let cases = run_cases(Duration::from_millis(1), Duration::from_millis(2));
+        assert_eq!(cases.len(), 12);
+        for case in &cases {
+            assert!(case.mean_ns > 0.0, "{}: {}", case.name, case.mean_ns);
+        }
+        let json = to_json(&cases);
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(json.matches(':').count(), cases.len());
+        assert!(json.contains("\"trim/in_place/1000\""));
+        // No trailing comma before the closing brace.
+        assert!(!json.contains(",\n}"));
+    }
+}

@@ -42,6 +42,16 @@ pub trait AttackPolicy: std::fmt::Debug {
 
     /// Chooses this round's injection percentile.
     fn next_injection(&mut self, obs: &AdversaryObservation, rng: &mut dyn RngCore) -> f64;
+
+    /// Feedback hook: the engine reports the adversary's *realized*
+    /// roundwise gain (`RoundReport::gain_adversary`) after each round, so
+    /// learning attackers — bandit/no-regret policies like
+    /// [`Exp3Attacker`] — can update on actual payoffs rather than
+    /// modeled ones. The default is a no-op; the closed roster and the
+    /// board-driven best-responder ignore it.
+    fn observe_payoff(&mut self, round: usize, payoff: f64) {
+        let _ = (round, payoff);
+    }
 }
 
 /// An adversary injection-position policy (percentile of the benign
@@ -265,6 +275,230 @@ impl AttackPolicy for AdaptiveAttacker {
     }
 }
 
+/// A no-regret (bandit) attacker: Exp3 multiplicative weights over a
+/// finite set of injection responses, fed by the *realized* per-round
+/// payoffs the engine reports through [`AttackPolicy::observe_payoff`].
+///
+/// Unlike [`AdaptiveAttacker`] — which best-responds to a *model* built
+/// from the public threshold history — Exp3 never models the defender at
+/// all: it only sees its own bandit feedback (the payoff of the arm it
+/// played), yet its average payoff provably converges to within the
+/// certified regret bound of the best fixed response in hindsight. Against
+/// a defender playing the solved mixed equilibrium this is exactly the
+/// robustness claim worth testing: no learning attacker, however adaptive,
+/// can push its long-run average payoff above the game value plus the
+/// regret bound.
+///
+/// Determinism: the attacker draws **only from its own seeded sub-stream**
+/// (never from the engine's main environment RNG passed to
+/// [`AttackPolicy::next_injection`]), so adding it to a game cannot
+/// perturb the benign draws, and fixed-seed replays are exact. A
+/// single-response set consumes no randomness at all and is
+/// trajectory-identical to the corresponding pure
+/// [`AdversaryPolicy::Fixed`] policy.
+#[derive(Debug, Clone)]
+pub struct Exp3Attacker {
+    atoms: Vec<f64>,
+    /// Normalized weights (sum to one); the played distribution mixes
+    /// them with uniform exploration `γ/K`.
+    weights: Vec<f64>,
+    gamma: f64,
+    horizon: usize,
+    payoff_bound: f64,
+    rng: rand::rngs::StdRng,
+    /// Arm played this round and its sampling probability, pending payoff.
+    last_play: Option<(usize, f64)>,
+    rounds_observed: usize,
+    total_payoff: f64,
+}
+
+impl Exp3Attacker {
+    /// Builds the attacker over response `atoms` (injection percentiles)
+    /// for a game of `horizon` rounds. `payoff_bound` is an upper bound on
+    /// the per-round payoff magnitude (the percentile-damage proxy is at
+    /// most 1); `seed` seeds the attacker's private sampling stream. The
+    /// exploration rate is the horizon-optimal
+    /// `γ = min(1, √(K·ln K / ((e−1)·horizon)))`.
+    ///
+    /// # Errors
+    /// Returns [`crate::error::CoreError::InvalidParameter`] if the atom
+    /// set is empty or leaves `[0, 1]`, `horizon` is zero, or
+    /// `payoff_bound` is not strictly positive and finite.
+    pub fn new(
+        atoms: &[f64],
+        horizon: usize,
+        payoff_bound: f64,
+        seed: u64,
+    ) -> Result<Self, crate::error::CoreError> {
+        use crate::error::CoreError;
+        if atoms.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "atoms",
+                constraint: "non-empty response set",
+                value: 0.0,
+            });
+        }
+        for &a in atoms {
+            if !(0.0..=1.0).contains(&a) {
+                return Err(CoreError::InvalidParameter {
+                    name: "atom",
+                    constraint: "0 <= atom <= 1",
+                    value: a,
+                });
+            }
+        }
+        if horizon == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "horizon",
+                constraint: "at least one round",
+                value: 0.0,
+            });
+        }
+        if !(payoff_bound.is_finite() && payoff_bound > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "payoff_bound",
+                constraint: "finite and strictly positive",
+                value: payoff_bound,
+            });
+        }
+        let k = atoms.len() as f64;
+        let gamma = if atoms.len() == 1 {
+            0.0
+        } else {
+            (k * k.ln() / ((std::f64::consts::E - 1.0) * horizon as f64))
+                .sqrt()
+                .min(1.0)
+        };
+        Ok(Self {
+            atoms: atoms.to_vec(),
+            weights: vec![1.0 / k; atoms.len()],
+            gamma,
+            horizon,
+            payoff_bound,
+            rng: trimgame_numerics::rand_ext::seeded_rng(seed),
+            last_play: None,
+            rounds_observed: 0,
+            total_payoff: 0.0,
+        })
+    }
+
+    /// The response atoms.
+    #[must_use]
+    pub fn atoms(&self) -> &[f64] {
+        &self.atoms
+    }
+
+    /// The played distribution this round:
+    /// `p_i = (1 − γ)·w_i + γ/K`. Every entry is at least `γ/K > 0` (for
+    /// `K > 1`) and the entries sum to one.
+    #[must_use]
+    pub fn probabilities(&self) -> Vec<f64> {
+        let k = self.atoms.len() as f64;
+        self.weights
+            .iter()
+            .map(|w| (1.0 - self.gamma) * w + self.gamma / k)
+            .collect()
+    }
+
+    /// The normalized internal weights (sum to one).
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Mean realized payoff per observed round so far.
+    #[must_use]
+    pub fn average_payoff(&self) -> f64 {
+        if self.rounds_observed == 0 {
+            0.0
+        } else {
+            self.total_payoff / self.rounds_observed as f64
+        }
+    }
+
+    /// Rounds of payoff feedback consumed so far.
+    #[must_use]
+    pub fn rounds_observed(&self) -> usize {
+        self.rounds_observed
+    }
+
+    /// The certified *average* (per-round) regret bound of Exp3 with this
+    /// exploration rate after `rounds` rounds, in payoff units:
+    /// `bound · ((e−1)·γ + K·ln K / (γ·rounds))`. At the construction
+    /// horizon this is the classic `2√(e−1)·√(K ln K / T)·bound`. A
+    /// singleton response set has zero regret by definition.
+    ///
+    /// # Panics
+    /// Panics if `rounds == 0`.
+    #[must_use]
+    pub fn average_regret_bound(&self, rounds: usize) -> f64 {
+        assert!(rounds > 0, "regret is per observed round");
+        if self.atoms.len() == 1 {
+            return 0.0;
+        }
+        let k = self.atoms.len() as f64;
+        self.payoff_bound
+            * ((std::f64::consts::E - 1.0) * self.gamma + k * k.ln() / (self.gamma * rounds as f64))
+    }
+
+    /// The construction horizon (the `T` the exploration rate is tuned to).
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+}
+
+impl AttackPolicy for Exp3Attacker {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("Exp3")
+    }
+
+    fn next_injection(&mut self, _obs: &AdversaryObservation, _rng: &mut dyn RngCore) -> f64 {
+        // Singleton: no sampling, no randomness — replay-identical to the
+        // pure policy at the same atom.
+        if self.atoms.len() == 1 {
+            self.last_play = Some((0, 1.0));
+            return self.atoms[0];
+        }
+        let probs = self.probabilities();
+        let u: f64 = self.rng.gen();
+        let mut acc = 0.0;
+        let mut arm = probs.len() - 1;
+        for (i, &p) in probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                arm = i;
+                break;
+            }
+        }
+        self.last_play = Some((arm, probs[arm]));
+        self.atoms[arm]
+    }
+
+    fn observe_payoff(&mut self, _round: usize, payoff: f64) {
+        self.rounds_observed += 1;
+        self.total_payoff += payoff;
+        let Some((arm, prob)) = self.last_play.take() else {
+            return;
+        };
+        if self.atoms.len() == 1 {
+            return;
+        }
+        // Importance-weighted payoff estimate of the played arm, scaled
+        // into [0, 1]; unplayed arms get estimate 0 (the bandit update).
+        let x = (payoff / self.payoff_bound).clamp(0.0, 1.0) / prob;
+        let k = self.atoms.len() as f64;
+        self.weights[arm] *= (self.gamma * x / k).exp();
+        // Keep the weights normalized: positivity and Σw = 1 become
+        // invariants instead of floating-point hopes (the played mixture
+        // is scale-free, so this is the standard Exp3 up to normalization).
+        let total: f64 = self.weights.iter().sum();
+        for w in &mut self.weights {
+            *w /= total;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,5 +699,80 @@ mod tests {
     #[should_panic(expected = "not in [0, 1]")]
     fn adaptive_attacker_rejects_bad_offset() {
         let _ = AdaptiveAttacker::new(PublicBoard::new(), 1.5, 0.9);
+    }
+
+    #[test]
+    fn exp3_validates_construction() {
+        assert!(Exp3Attacker::new(&[], 10, 1.0, 1).is_err());
+        assert!(Exp3Attacker::new(&[1.2], 10, 1.0, 1).is_err());
+        assert!(Exp3Attacker::new(&[-0.1], 10, 1.0, 1).is_err());
+        assert!(Exp3Attacker::new(&[0.9], 0, 1.0, 1).is_err());
+        assert!(Exp3Attacker::new(&[0.9], 10, 0.0, 1).is_err());
+        assert!(Exp3Attacker::new(&[0.9], 10, f64::NAN, 1).is_err());
+        let a = Exp3Attacker::new(&[0.85, 0.95], 100, 1.0, 1).unwrap();
+        assert!(a.gamma > 0.0 && a.gamma <= 1.0);
+        assert_eq!(a.name(), "Exp3");
+    }
+
+    #[test]
+    fn exp3_singleton_consumes_no_randomness_and_has_zero_regret() {
+        let mut a = Exp3Attacker::new(&[0.93], 50, 1.0, 7).unwrap();
+        let rng_fingerprint: u64 = seeded_rng(7).gen();
+        let mut main = seeded_rng(99);
+        for round in 1..=20 {
+            assert_eq!(a.next_injection(&obs(None), &mut main), 0.93);
+            a.observe_payoff(round, 0.4);
+        }
+        // Private stream untouched: its next draw equals a fresh clone's.
+        assert_eq!(a.rng.gen::<u64>(), rng_fingerprint);
+        assert_eq!(a.average_regret_bound(20), 0.0);
+        assert!((a.average_payoff() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp3_probabilities_keep_the_exploration_floor() {
+        let mut a = Exp3Attacker::new(&[0.8, 0.9, 0.99], 200, 1.0, 3).unwrap();
+        let floor = a.gamma / 3.0;
+        let mut main = seeded_rng(5);
+        for round in 1..=100 {
+            let inj = a.next_injection(&obs(None), &mut main);
+            // Adversarial feedback: only the lowest atom ever pays.
+            a.observe_payoff(round, if inj == 0.8 { 1.0 } else { 0.0 });
+            let probs = a.probabilities();
+            assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for &p in &probs {
+                assert!(p >= floor - 1e-12, "prob {p} below floor {floor}");
+            }
+        }
+    }
+
+    #[test]
+    fn exp3_concentrates_on_the_paying_arm() {
+        let mut a = Exp3Attacker::new(&[0.85, 0.95], 400, 1.0, 11).unwrap();
+        let mut main = seeded_rng(2);
+        for round in 1..=400 {
+            let inj = a.next_injection(&obs(None), &mut main);
+            a.observe_payoff(round, if inj == 0.95 { 1.0 } else { 0.0 });
+        }
+        let probs = a.probabilities();
+        assert!(
+            probs[1] > 0.7,
+            "should concentrate on the paying arm: {probs:?}"
+        );
+        // The main environment stream was never touched.
+        let mut fresh = seeded_rng(2);
+        assert_eq!(main.gen::<u64>(), fresh.gen::<u64>());
+    }
+
+    #[test]
+    fn exp3_regret_bound_shrinks_with_rounds() {
+        let a = Exp3Attacker::new(&[0.8, 0.9, 0.99], 1_000, 1.0, 1).unwrap();
+        let b100 = a.average_regret_bound(100);
+        let b1000 = a.average_regret_bound(1_000);
+        assert!(b1000 < b100);
+        // At the tuned horizon the bound matches the classic closed form.
+        let k = 3.0_f64;
+        let classic = 2.0 * (std::f64::consts::E - 1.0).sqrt() * (k * k.ln() / 1_000.0).sqrt();
+        assert!((b1000 - classic).abs() < 1e-9, "{b1000} vs {classic}");
     }
 }

@@ -290,6 +290,10 @@ impl<S: Scenario> Engine<S> {
 
             let report = self.scenario.play_round(round, threshold, injection, rng);
 
+            // Bandit feedback: learning attackers (Exp3) update on the
+            // realized roundwise gain; everyone else ignores the call.
+            self.adversary.observe_payoff(round, report.gain_adversary);
+
             gains_a.push(report.gain_adversary);
             gains_c.push(-report.gain_adversary - report.overhead);
             totals.received += report.received;
@@ -526,6 +530,39 @@ mod tests {
         }
         assert_eq!(out.totals.poison_survived, 30);
         assert_eq!(out.adversary.name(), "Adaptive");
+    }
+
+    #[test]
+    fn exp3_attacker_learns_through_engine_feedback() {
+        use crate::adversary::Exp3Attacker;
+        // Fixed defender at 0.9: the 0.85 response survives every round
+        // (positive realized gain), the 0.95 response is always trimmed.
+        // The engine's observe_payoff feedback is the only signal Exp3
+        // gets — concentration on 0.85 proves the loop is wired.
+        let rounds = 300;
+        let out = Engine::with_policies(
+            ToyScenario {
+                batch: 90,
+                poison: 10,
+            },
+            Box::new(DefenderPolicy::Fixed { tth: 0.9 }),
+            Box::new(Exp3Attacker::new(&[0.85, 0.95], rounds, 0.1, 42).unwrap()),
+        )
+        .run(rounds, &mut seeded_rng(8));
+        let late = &out.injections[rounds - 100..];
+        let hits = late.iter().filter(|&&x| x == 0.85).count();
+        assert!(hits > 70, "late surviving-arm plays: {hits}/100");
+        // Replays are exact: the attacker samples only its private stream.
+        let again = Engine::with_policies(
+            ToyScenario {
+                batch: 90,
+                poison: 10,
+            },
+            Box::new(DefenderPolicy::Fixed { tth: 0.9 }),
+            Box::new(Exp3Attacker::new(&[0.85, 0.95], rounds, 0.1, 42).unwrap()),
+        )
+        .run(rounds, &mut seeded_rng(8));
+        assert_eq!(out.injections, again.injections);
     }
 
     #[test]

@@ -124,7 +124,6 @@ impl LdpSimConfig {
 pub struct LdpScenario<'a> {
     population: &'a [f64],
     mech: Piecewise,
-    attack: InputManipulation,
     users_per_round: usize,
     n_attack: usize,
     calib: Vec<f64>,
@@ -187,7 +186,6 @@ impl<'a> LdpScenario<'a> {
         Self {
             population,
             mech,
-            attack: InputManipulation::new(1.0),
             users_per_round: cfg.users_per_round,
             n_attack: (cfg.users_per_round as f64 * cfg.attack_ratio).round() as usize,
             calib,
@@ -243,12 +241,25 @@ impl<'a> LdpScenario<'a> {
     }
 }
 
+/// Maps an engine injection *percentile* to the attacker's counterfeit
+/// *input* on the LDP substrate: the linear image of `[0, 1]` onto the
+/// input domain `[−1, 1]`. The historical fixed attack (`percentile 1.0`)
+/// maps to the counterfeit input `+1` exactly, so games driven by the
+/// default [`AdversaryPolicy::Fixed`] at 1.0 replay bit-identically; a
+/// mixed or learning attacker lowering its percentile holds a smaller
+/// counterfeit whose protocol-compliant reports are likelier to duck the
+/// trimming cut — the LDP image of the evasion/damage trade-off.
+#[must_use]
+pub fn counterfeit_input(injection_percentile: f64) -> f64 {
+    2.0 * injection_percentile.clamp(0.0, 1.0) - 1.0
+}
+
 impl Scenario for LdpScenario<'_> {
     fn play_round<R: Rng + ?Sized>(
         &mut self,
         _round: usize,
         threshold: f64,
-        _injection: f64,
+        injection: f64,
         rng: &mut R,
     ) -> RoundReport {
         // Honest reports.
@@ -258,8 +269,12 @@ impl Scenario for LdpScenario<'_> {
                 self.mech.privatize(self.population[idx], rng)
             })
             .collect();
-        // Attack reports (input manipulation: protocol-compliant).
-        reports.extend(self.attack.reports(&self.mech, self.n_attack, rng));
+        // Attack reports (input manipulation: protocol-compliant, holding
+        // the counterfeit input the adversary's position maps to; the
+        // privatization consumes the same number of main-stream draws for
+        // any input, so the position never perturbs the honest stream).
+        let attack = InputManipulation::new(counterfeit_input(injection));
+        reports.extend(attack.reports(&self.mech, self.n_attack, rng));
 
         // Quality: excess upper-tail mass relative to calibration.
         let above = 1.0 - ecdf(&reports, self.ref_value);
@@ -296,7 +311,12 @@ impl Scenario for LdpScenario<'_> {
         report.trimmed = stats.trimmed;
         report.poison_survived = poison_survived;
         report.benign_trimmed = benign_trimmed;
-        report.gain_adversary = poison_survived as f64 / received.max(1) as f64;
+        // Percentile-damage proxy, as on the other substrates: surviving
+        // attack mass weighted by the attack position. The historical
+        // fixed attack sits at percentile 1.0, where the weight is exactly
+        // the old unweighted gain.
+        report.gain_adversary =
+            poison_survived as f64 / received.max(1) as f64 * injection.clamp(0.0, 1.0);
         report.overhead = benign_trimmed as f64 / received.max(1) as f64;
         report.threshold_value = stats.threshold_value;
         let mut retained = OnlineStats::new();
@@ -353,17 +373,16 @@ pub fn run_ldp_collection_with(
     defender: Box<dyn ThresholdPolicy>,
     board: Option<trimgame_stream::board::PublicBoard>,
 ) -> f64 {
-    let mut rng = seeded_rng(cfg.seed);
-    let scenario = LdpScenario::new(population, defense, cfg, &mut rng);
-    // The attack position is baked into the protocol-compliant reports;
-    // the adversary policy draws nothing.
+    // The historical attack position: counterfeit input +1, every round.
     let adversary = AdversaryPolicy::Fixed { percentile: 1.0 };
-    let mut engine = Engine::with_policies(scenario, defender, Box::new(adversary))
-        .with_policy_seed(derive_seed(cfg.seed, POLICY_SEED_STREAM));
-    if let Some(board) = board {
-        engine = engine.with_board(board);
-    }
-    let out = engine.run(cfg.rounds, &mut rng);
+    let out = run_ldp_collection_outcome(
+        population,
+        defense,
+        cfg,
+        defender,
+        Box::new(adversary),
+        board,
+    );
     match defense {
         LdpDefense::Emf => {
             let beta = cfg.attack_ratio / (1.0 + cfg.attack_ratio);
@@ -372,6 +391,59 @@ pub fn run_ldp_collection_with(
         }
         _ => out.scenario.trimmed_estimate(),
     }
+}
+
+/// Runs the collection with arbitrary boxed policies on *both* sides and
+/// returns the raw [`EngineOutcome`](crate::engine::EngineOutcome) —
+/// utility trajectories, totals, board and the scenario with its
+/// accumulated estimate. The attacker's injection percentile maps to a
+/// counterfeit input through [`counterfeit_input`], so mixed and learning
+/// attackers play a real position game on the report stream. This is the
+/// entry point the substrate-generic equilibrium estimator drives; the
+/// collector's per-round loss is `−u_c / rounds`, as on the other
+/// substrates.
+///
+/// # Panics
+/// Panics if the population is empty or config degenerate.
+#[must_use]
+pub fn run_ldp_collection_outcome<'a>(
+    population: &'a [f64],
+    defense: LdpDefense,
+    cfg: &LdpSimConfig,
+    defender: Box<dyn ThresholdPolicy>,
+    adversary: Box<dyn crate::adversary::AttackPolicy>,
+    board: Option<trimgame_stream::board::PublicBoard>,
+) -> crate::engine::EngineOutcome<LdpScenario<'a>> {
+    let mut rng = seeded_rng(cfg.seed);
+    let scenario = LdpScenario::new(population, defense, cfg, &mut rng);
+    let mut engine = Engine::with_policies(scenario, defender, adversary)
+        .with_policy_seed(derive_seed(cfg.seed, POLICY_SEED_STREAM));
+    if let Some(board) = board {
+        engine = engine.with_board(board);
+    }
+    engine.run(cfg.rounds, &mut rng)
+}
+
+/// A deterministic honest-report calibration sample: `n` reports of the
+/// population cycled through the Piecewise Mechanism at `epsilon`, seeded
+/// by `seed`, sorted ascending. Mirrors the calibration round
+/// [`LdpScenario::new`] runs, but on an explicit seed so the equilibrium
+/// estimator's closed-form benchmark is reproducible independent of any
+/// game run.
+///
+/// # Panics
+/// Panics if the population is empty or `n == 0`.
+#[must_use]
+pub fn ldp_calibration(population: &[f64], epsilon: f64, n: usize, seed: u64) -> Vec<f64> {
+    assert!(!population.is_empty(), "empty population");
+    assert!(n > 0, "need at least one calibration report");
+    let mech = Piecewise::new(epsilon);
+    let mut rng = seeded_rng(seed);
+    let mut calib: Vec<f64> = (0..n)
+        .map(|i| mech.privatize(population[i % population.len()], &mut rng))
+        .collect();
+    calib.sort_by(|a, b| a.partial_cmp(b).expect("NaN report"));
+    calib
 }
 
 /// MSE of `defense` over `reps` repetitions against the true benign mean.

@@ -13,7 +13,7 @@
 //! [`crate::simulation`]; this module adds the geometry, the retained
 //! training set, and the three learners' metrics.
 
-use crate::engine::{Engine, EngineTotals, RoundReport, Scenario};
+use crate::engine::{Engine, EngineOutcome, EngineTotals, RoundReport, Scenario};
 use crate::simulation::Scheme;
 use rand::Rng;
 use trimgame_datasets::Dataset;
@@ -341,6 +341,29 @@ pub fn collect_poisoned_with(
     adversary: Box<dyn crate::adversary::AttackPolicy>,
     board: Option<trimgame_stream::board::PublicBoard>,
 ) -> CollectedSet {
+    let out = collect_poisoned_outcome(data, cfg, defender, adversary, board);
+    out.scenario.into_collected(cfg.scheme, &out.totals)
+}
+
+/// Runs the poisoned collection and returns the raw
+/// [`EngineOutcome`] — utility trajectories, totals, board and the
+/// scenario with its retained payload. This is the entry point the
+/// substrate-generic equilibrium estimator plays the feature-vector game
+/// through: the collector's per-round loss is `−u_c / rounds`, exactly as
+/// on the scalar substrate. Use
+/// [`MlScenario::into_collected`] on the result to recover a
+/// [`CollectedSet`].
+///
+/// # Panics
+/// Panics if the dataset is unlabelled or smaller than the batch size.
+#[must_use]
+pub fn collect_poisoned_outcome<'a>(
+    data: &'a Dataset,
+    cfg: &MlSimConfig,
+    defender: Box<dyn crate::strategy::ThresholdPolicy>,
+    adversary: Box<dyn crate::adversary::AttackPolicy>,
+    board: Option<trimgame_stream::board::PublicBoard>,
+) -> EngineOutcome<MlScenario<'a>> {
     let mut rng = seeded_rng(cfg.seed);
     let scenario = MlScenario::new(data, cfg);
     let mut engine = Engine::with_policies(scenario, defender, adversary).with_policy_seed(
@@ -349,8 +372,28 @@ pub fn collect_poisoned_with(
     if let Some(board) = board {
         engine = engine.with_board(board);
     }
-    let out = engine.run(cfg.rounds, &mut rng);
-    out.scenario.into_collected(cfg.scheme, &out.totals)
+    engine.run(cfg.rounds, &mut rng)
+}
+
+/// The sorted clean anomaly-score distribution of `data`: each row's
+/// distance to its nearest [`kmeans_truth`] centroid. This is the
+/// reference quantile table [`MlScenario`] resolves threshold and
+/// injection percentiles against — exposed so the equilibrium estimator's
+/// closed-form benchmark can share the exact same primitives.
+#[must_use]
+pub fn clean_score_distribution(data: &Dataset) -> Vec<f64> {
+    let centroids = kmeans_truth(data);
+    let mut scores: Vec<f64> = data
+        .iter_rows()
+        .map(|row| {
+            centroids
+                .iter()
+                .map(|c| euclidean(row, c))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
+    scores
 }
 
 /// Ground-truth centroids for the Figs. 4/5 "Distance" metric: the

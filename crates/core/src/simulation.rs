@@ -116,6 +116,15 @@ pub struct GameConfig {
     pub red: f64,
     /// Optional override of the adversary (Table III's mixed attacker).
     pub adversary_override: Option<AdversaryPolicy>,
+    /// Optional streaming threshold source: when set, the defender's cut
+    /// value is resolved from a Greenwald–Khanna sketch of the clean pool
+    /// (rank error ≤ ε) instead of the exact sorted reference — the
+    /// sketch-native mode a collector under heavy traffic runs in. The
+    /// adversary still positions against the *exact* reference quantiles
+    /// (the public quality standard), so the sketch's rank-error band is
+    /// pure evasion headroom for it; `None` (the default) keeps the exact
+    /// path and every pre-existing trajectory bit-identical.
+    pub sketch_epsilon: Option<f64>,
 }
 
 impl GameConfig {
@@ -131,6 +140,7 @@ impl GameConfig {
             seed: 42,
             red: 0.05,
             adversary_override: None,
+            sketch_epsilon: None,
         }
     }
 }
@@ -202,6 +212,10 @@ pub struct ScalarScenario {
     ref_value: f64,
     expected_tail: f64,
     record_kept: bool,
+    /// GK summary of the clean pool when `GameConfig::sketch_epsilon` is
+    /// set: the defender's cut resolves from it instead of the exact
+    /// quantile table.
+    sketch: Option<trimgame_stream::trim::SketchThreshold>,
     scratch: TrimScratch,
     /// Per-round outcomes with provenance (empty in lean mode).
     pub outcomes: Vec<RoundOutcome>,
@@ -242,6 +256,11 @@ impl ScalarScenario {
             config.tth.clamp(0.0, 1.0),
             Interpolation::Linear,
         );
+        let sketch = config.sketch_epsilon.map(|eps| {
+            let mut source = trimgame_stream::trim::SketchThreshold::new(eps);
+            source.observe(pool);
+            source
+        });
         Self {
             stream,
             sorted_pool,
@@ -249,6 +268,7 @@ impl ScalarScenario {
             ref_value,
             expected_tail: 1.0 - config.tth,
             record_kept,
+            sketch,
             scratch: TrimScratch::with_capacity(config.batch + config.batch / 2),
             outcomes: Vec::new(),
             retained: Vec::new(),
@@ -261,6 +281,18 @@ impl ScalarScenario {
             p.clamp(0.0, 1.0),
             Interpolation::Linear,
         )
+    }
+
+    /// The defender's cut value at threshold percentile `p`: the GK sketch
+    /// answer when the sketch-native mode is on, the exact reference
+    /// quantile otherwise.
+    fn cut_at(&self, p: f64) -> f64 {
+        match &self.sketch {
+            Some(source) => source
+                .cut(p.clamp(0.0, 1.0))
+                .expect("sketch observed the pool at construction"),
+            None => self.ref_at(p),
+        }
     }
 }
 
@@ -280,7 +312,7 @@ impl Scenario for ScalarScenario {
         let batch = spec.inject(&benign, rng);
         let above = 1.0 - ecdf(&batch.values, self.ref_value);
         let quality = 1.0 - (above - self.expected_tail).max(0.0);
-        let stats = TrimOp::Absolute(self.ref_at(threshold))
+        let stats = TrimOp::Absolute(self.cut_at(threshold))
             .apply_in_place(&batch.values, &mut self.scratch);
 
         let mut poison_received = 0;
@@ -823,6 +855,52 @@ mod tests {
         let again = run_once();
         assert_eq!(out.thresholds, again.thresholds);
         assert_eq!(out.injections, again.injections);
+    }
+
+    #[test]
+    fn sketch_threshold_source_bounds_extra_evasion_by_epsilon() {
+        // Sketch-native scenario wiring: with the cut resolved from a GK
+        // summary (rank error <= eps) the adversary gains *at most* eps of
+        // extra evasion headroom above the threshold percentile — and the
+        // exact path grants none. Quantified by scanning attacker
+        // positions upward from the threshold: a position survives iff its
+        // exact reference value sits at or below the (sketch) cut.
+        let pool = pool();
+        let tth = 0.9;
+        let eps = 0.02;
+        let margin_of = |sketch_epsilon: Option<f64>| -> f64 {
+            let mut extra: f64 = 0.0;
+            let mut a = tth;
+            while a <= tth + 2.5 * eps {
+                let mut cfg = GameConfig::new(Scheme::BaselineStatic);
+                cfg.rounds = 1;
+                cfg.batch = 500;
+                cfg.sketch_epsilon = sketch_epsilon;
+                cfg.adversary_override = Some(AdversaryPolicy::Fixed { percentile: a });
+                let out = run_game_engine(&pool, &cfg, false);
+                if out.totals.poison_survived == out.totals.poison_received {
+                    extra = extra.max(a - tth);
+                }
+                a += eps / 8.0;
+            }
+            extra
+        };
+        let exact_margin = margin_of(None);
+        let sketch_margin = margin_of(Some(eps));
+        // Exact cuts concede nothing beyond interpolation slack (one pool
+        // grid step on a 1000-point reference is 1e-3).
+        assert!(exact_margin <= 2e-3, "exact margin {exact_margin}");
+        // The sketch concedes at most its certified rank-error band.
+        assert!(
+            sketch_margin <= eps + 2e-3,
+            "sketch margin {sketch_margin} exceeds eps {eps}"
+        );
+        // And the sketch path is deterministic: same run, same totals.
+        let mut cfg = GameConfig::new(Scheme::BaselineStatic);
+        cfg.sketch_epsilon = Some(eps);
+        let a = run_game_engine(&pool, &cfg, false).totals;
+        let b = run_game_engine(&pool, &cfg, false).totals;
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -268,6 +268,160 @@ impl MixedSupport {
     }
 }
 
+/// Golden-section minimization of a 1-D objective on `[lo, hi]`:
+/// `iterations` interior probes (after the initial bracket pair), plus the
+/// two endpoints, returning the best `(argmin, min)` seen. Deterministic —
+/// the probe sequence depends only on the bracket — which is what the
+/// support optimizer needs to stay reproducible across worker counts.
+/// The objective need not be smooth; on a non-unimodal function the result
+/// is a local refinement, never worse than the best probed point.
+///
+/// # Panics
+/// Panics unless `lo < hi` and both are finite.
+pub fn golden_section_min(
+    lo: f64,
+    hi: f64,
+    iterations: usize,
+    mut f: impl FnMut(f64) -> f64,
+) -> (f64, f64) {
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo < hi,
+        "degenerate bracket [{lo}, {hi}]"
+    );
+    let inv_phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let mut a = lo;
+    let mut b = hi;
+    let mut best = (lo, f(lo));
+    let f_hi = f(hi);
+    if f_hi < best.1 {
+        best = (hi, f_hi);
+    }
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..iterations {
+        if fc < best.1 {
+            best = (c, fc);
+        }
+        if fd < best.1 {
+            best = (d, fd);
+        }
+        if fc <= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    if fc < best.1 {
+        best = (c, fc);
+    }
+    if fd < best.1 {
+        best = (d, fd);
+    }
+    best
+}
+
+/// Result of a [`refine_placements`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementRefinement {
+    /// The refined atom placements (strictly ascending).
+    pub atoms: Vec<f64>,
+    /// Objective value of the refined placement.
+    pub value: f64,
+    /// Objective evaluations spent.
+    pub evaluations: usize,
+    /// How many atom moves were accepted.
+    pub moved: usize,
+}
+
+/// Coordinate-descent refinement of mixed-strategy atom *placements*
+/// (Section III-C2 taken beyond a fixed grid): each pass sweeps the atoms
+/// in order and golden-sections each atom inside the open bracket between
+/// its neighbours (clamped to `bounds`, kept `min_gap` apart so the
+/// support stays strictly ascending), accepting a move only on strict
+/// improvement — the refined value can therefore never be worse than the
+/// starting placement's.
+///
+/// `objective(atoms, moved)` evaluates a full candidate placement and is
+/// told which index changed, so callers re-estimating per-atom payoff
+/// rows (the empirical equilibrium estimator) can cache the unchanged
+/// rows.
+///
+/// # Panics
+/// Panics if `atoms` is empty or not strictly ascending within `bounds`,
+/// or if the bracket parameters are degenerate.
+pub fn refine_placements(
+    atoms: &[f64],
+    bounds: (f64, f64),
+    min_gap: f64,
+    passes: usize,
+    golden_iterations: usize,
+    mut objective: impl FnMut(&[f64], usize) -> f64,
+) -> PlacementRefinement {
+    let (lo, hi) = bounds;
+    assert!(!atoms.is_empty(), "need at least one atom");
+    assert!(
+        atoms.windows(2).all(|w| w[0] < w[1]),
+        "atoms must be strictly ascending"
+    );
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo < hi,
+        "degenerate bounds [{lo}, {hi}]"
+    );
+    assert!(
+        atoms.iter().all(|a| (lo..=hi).contains(a)),
+        "atoms must start inside the bounds"
+    );
+    assert!(min_gap > 0.0, "need a positive separation gap");
+
+    let mut current: Vec<f64> = atoms.to_vec();
+    let mut evaluations = 1;
+    let mut moved = 0;
+    let mut value = objective(&current, 0);
+    for _ in 0..passes {
+        for i in 0..current.len() {
+            let left = if i == 0 { lo } else { current[i - 1] + min_gap };
+            let right = if i + 1 == current.len() {
+                hi
+            } else {
+                current[i + 1] - min_gap
+            };
+            if right - left <= min_gap {
+                continue; // bracket collapsed: neighbours pin this atom
+            }
+            let mut candidate = current.clone();
+            let (best_x, best_v) = golden_section_min(left, right, golden_iterations, |x| {
+                candidate[i] = x;
+                evaluations += 1;
+                objective(&candidate, i)
+            });
+            if best_v < value {
+                current[i] = best_x;
+                moved += 1;
+            }
+            // Re-evaluate the accepted state: leaves the caller's cache
+            // consistent and makes `value` authoritative either way.
+            evaluations += 1;
+            value = objective(&current, i);
+        }
+    }
+    PlacementRefinement {
+        atoms: current,
+        value,
+        evaluations,
+        moved,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,5 +554,62 @@ mod tests {
         let mut rng = seeded_rng(11);
         let hi = (0..20_000).filter(|_| s.sample(&mut rng) == 0.96).count();
         assert!((hi as f64 / 20_000.0 - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    fn golden_section_finds_quadratic_minimum() {
+        let (x, v) = golden_section_min(0.0, 1.0, 40, |x| (x - 0.37) * (x - 0.37));
+        assert!((x - 0.37).abs() < 1e-6, "argmin {x}");
+        assert!(v < 1e-12);
+        // Endpoint minima are found too.
+        let (x, _) = golden_section_min(0.0, 1.0, 20, |x| x);
+        assert!(x < 1e-9);
+        let (x, _) = golden_section_min(0.0, 1.0, 20, |x| -x);
+        assert!((x - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate bracket")]
+    fn golden_section_rejects_inverted_bracket() {
+        let _ = golden_section_min(1.0, 0.0, 10, |x| x);
+    }
+
+    #[test]
+    fn refine_placements_never_regresses_and_orders_atoms() {
+        // Objective: distance of each atom to its nearest "good spot".
+        let targets = [0.25, 0.55, 0.85];
+        let objective = |atoms: &[f64], _moved: usize| -> f64 {
+            atoms
+                .iter()
+                .zip(&targets)
+                .map(|(a, t)| (a - t) * (a - t))
+                .sum()
+        };
+        let start = [0.2, 0.5, 0.8];
+        let initial = objective(&start, 0);
+        let refined = refine_placements(&start, (0.0, 1.0), 0.01, 2, 20, objective);
+        assert!(refined.value <= initial + 1e-12);
+        assert!(refined.moved >= 1);
+        assert!(refined.atoms.windows(2).all(|w| w[0] < w[1]));
+        for (a, t) in refined.atoms.iter().zip(&targets) {
+            assert!((a - t).abs() < 0.01, "atom {a} target {t}");
+        }
+    }
+
+    #[test]
+    fn refine_placements_ties_keep_the_original_atoms() {
+        // Constant objective: no strict improvement exists, so nothing
+        // moves and the value is unchanged.
+        let start = [0.3, 0.6];
+        let refined = refine_placements(&start, (0.0, 1.0), 0.01, 2, 8, |_, _| 1.0);
+        assert_eq!(refined.atoms, start.to_vec());
+        assert_eq!(refined.value, 1.0);
+        assert_eq!(refined.moved, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn refine_placements_rejects_unsorted_atoms() {
+        let _ = refine_placements(&[0.6, 0.3], (0.0, 1.0), 0.01, 1, 4, |_, _| 0.0);
     }
 }

@@ -183,4 +183,77 @@ proptest! {
         // NaN propagates to an error, never a panic.
         prop_assert!(RandomizedDefender::new(&[atom], &[f64::NAN]).is_err());
     }
+
+    #[test]
+    fn exp3_weights_stay_positive_and_normalized_under_adversarial_payoffs(
+        k in 2_usize..6,
+        seed in 0_u64..1_000,
+        payoffs in prop::collection::vec(-2.0_f64..3.0, 1..150),
+    ) {
+        // Adversarial payoff sequences — including negative and
+        // out-of-bound values the clamp must absorb — never break the
+        // invariants: weights strictly positive and summing to one,
+        // played probabilities strictly positive and summing to one.
+        use trim_core::adversary::{AdversaryObservation, AttackPolicy, Exp3Attacker};
+        use trimgame_numerics::rand_ext::seeded_rng;
+        let atoms: Vec<f64> = (0..k).map(|i| 0.5 + 0.4 * i as f64 / k as f64).collect();
+        let mut attacker =
+            Exp3Attacker::new(&atoms, payoffs.len().max(2), 1.0, seed).unwrap();
+        let obs = AdversaryObservation { last_threshold: None };
+        let mut main = seeded_rng(1);
+        for (round, &g) in payoffs.iter().enumerate() {
+            let inj = attacker.next_injection(&obs, &mut main);
+            prop_assert!(atoms.contains(&inj));
+            attacker.observe_payoff(round + 1, g);
+            let weights = attacker.weights();
+            prop_assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for &w in weights {
+                prop_assert!(w > 0.0 && w.is_finite(), "weight {}", w);
+            }
+            let probs = attacker.probabilities();
+            prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for &p in &probs {
+                prop_assert!(p > 0.0 && p.is_finite(), "probability {}", p);
+            }
+        }
+    }
+
+    #[test]
+    fn exp3_singleton_is_trajectory_identical_to_fixed(
+        percentile in 0.0_f64..1.0,
+        seed in 0_u64..500,
+        rounds in 2_usize..10,
+    ) {
+        // A single-response Exp3 consumes no randomness anywhere — not the
+        // main environment stream, not its private stream — so the whole
+        // engine trajectory is bit-identical to the corresponding pure
+        // Fixed attack policy.
+        use trim_core::adversary::{AdversaryPolicy, AttackPolicy, Exp3Attacker};
+        use trim_core::simulation::run_game_with_policies;
+        use trim_core::strategy::DefenderPolicy;
+        let pool: Vec<f64> = (0..2_000).map(|i| (i % 500) as f64 / 5.0).collect();
+        let mut cfg = GameConfig::new(Scheme::BaselineStatic);
+        cfg.rounds = rounds;
+        cfg.batch = 120;
+        cfg.seed = seed;
+        let run = |attacker: Box<dyn AttackPolicy>| {
+            run_game_with_policies(
+                &pool,
+                &cfg,
+                Box::new(DefenderPolicy::Fixed { tth: cfg.tth }),
+                attacker,
+                None,
+                false,
+            )
+        };
+        let exp3 = run(Box::new(
+            Exp3Attacker::new(&[percentile], rounds, 1.0, seed).unwrap(),
+        ));
+        let fixed = run(Box::new(AdversaryPolicy::Fixed { percentile }));
+        prop_assert_eq!(&exp3.thresholds, &fixed.thresholds);
+        prop_assert_eq!(&exp3.injections, &fixed.injections);
+        prop_assert_eq!(&exp3.utilities.u_a, &fixed.utilities.u_a);
+        prop_assert_eq!(&exp3.utilities.u_c, &fixed.utilities.u_c);
+        prop_assert_eq!(exp3.totals, fixed.totals);
+    }
 }

@@ -60,6 +60,37 @@ impl Piecewise {
         e2 / (e2 + 1.0)
     }
 
+    /// Cumulative distribution of the output for input `x` at output `t`:
+    /// `P(report(x) ≤ t)` under [`Piecewise::privatize`]'s sampling — the
+    /// centre interval `[l(x), r(x)]` receives mass
+    /// [`Piecewise::center_probability`] uniformly, the two side intervals
+    /// share the rest uniformly over their combined width. The report
+    /// distribution is piecewise uniform, so the CDF is the exact
+    /// piecewise-linear integral — no sampling involved. This is what lets
+    /// a collector (or the equilibrium estimator) compute the *survival
+    /// probability* of an input-manipulation attacker under an absolute
+    /// trimming cut in closed form.
+    #[must_use]
+    pub fn cdf(&self, x: f64, t: f64) -> f64 {
+        if t <= -self.c {
+            return 0.0;
+        }
+        if t >= self.c {
+            return 1.0;
+        }
+        let x = clamp_input(x);
+        let l = self.l(x);
+        let r = self.r(x);
+        let cp = self.center_probability();
+        // Length of [a, min(t, b)] clipped to the segment [a, b].
+        let seg = |a: f64, b: f64| (t.min(b) - a).clamp(0.0, b - a);
+        // Side mass spreads uniformly over [−C, l] ∪ [r, C], whose widths
+        // total (l + C) + (C − r) = C + 1 (since r − l = C − 1).
+        let side_width = self.c + 1.0;
+        cp * seg(l, r) / (self.c - 1.0)
+            + (1.0 - cp) * (seg(-self.c, l) + seg(r, self.c)) / side_width
+    }
+
     /// Density of the output distribution for input `x` at output `t`
     /// (used by the EM filter to build its mechanism matrix).
     #[must_use]
@@ -217,5 +248,62 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn bad_epsilon_rejected() {
         let _ = Piecewise::new(-1.0);
+    }
+
+    #[test]
+    fn cdf_endpoints_and_monotonicity() {
+        let m = Piecewise::new(2.0);
+        for &x in &[-1.0, -0.3, 0.0, 0.6, 1.0] {
+            assert_eq!(m.cdf(x, -m.c() - 1.0), 0.0);
+            assert_eq!(m.cdf(x, m.c() + 1.0), 1.0);
+            assert!((m.cdf(x, m.c()) - 1.0).abs() < 1e-12);
+            let mut prev = 0.0;
+            let mut t = -m.c();
+            while t <= m.c() {
+                let v = m.cdf(x, t);
+                assert!(v >= prev - 1e-12, "cdf must be non-decreasing");
+                assert!((0.0..=1.0 + 1e-12).contains(&v));
+                prev = v;
+                t += m.c() / 16.0;
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_matches_empirical_frequencies() {
+        let m = Piecewise::new(3.0);
+        let mut rng = seeded_rng(9);
+        for &x in &[-0.8, 0.0, 0.9] {
+            let reports: Vec<f64> = (0..40_000).map(|_| m.privatize(x, &mut rng)).collect();
+            for &t in &[-1.5, -0.5, 0.0, 0.4, 0.9, 1.4] {
+                let freq =
+                    reports.iter().filter(|&&r| r <= t).count() as f64 / reports.len() as f64;
+                let exact = m.cdf(x, t);
+                assert!(
+                    (freq - exact).abs() < 0.01,
+                    "x={x} t={t}: empirical {freq} vs cdf {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_is_exact_at_segment_boundaries() {
+        // At the centre-interval edges the CDF takes the closed-form side
+        // masses of the sampler: left-side mass below l(x), everything but
+        // the right-side mass below r(x).
+        let m = Piecewise::new(1.5);
+        for &x in &[-0.9, 0.1, 0.8] {
+            let (l, r) = (m.l(x), m.r(x));
+            let cp = m.center_probability();
+            let side = 1.0 - cp;
+            let left_mass = side * (l + m.c()) / (m.c() + 1.0);
+            let right_mass = side * (m.c() - r) / (m.c() + 1.0);
+            assert!((m.cdf(x, l) - left_mass).abs() < 1e-12, "x={x}");
+            assert!((m.cdf(x, r) - (1.0 - right_mass)).abs() < 1e-12, "x={x}");
+            // Median of the centre interval sits at half the centre mass.
+            let mid = 0.5 * (l + r);
+            assert!((m.cdf(x, mid) - (left_mass + cp / 2.0)).abs() < 1e-12);
+        }
     }
 }

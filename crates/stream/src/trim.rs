@@ -156,6 +156,40 @@ impl TrimScratch {
     }
 }
 
+/// Chunk width of the branch-light filter pass: small enough that a
+/// chunk's values and mask bytes stay in L1 between the two sub-passes,
+/// large enough to amortize the loop bookkeeping.
+const FILTER_CHUNK: usize = 1024;
+
+/// The branch-light filter kernel shared by the one-sided and two-sided
+/// cuts: per fixed-size chunk, first materialize the keep-mask (a pure
+/// comparison loop the compiler can vectorize — no data-dependent
+/// branches), then compact the kept values with an unconditional write and
+/// a mask-driven cursor bump (`k += mask as usize`), so a mispredicted
+/// tail value never stalls the pipeline. Output order, mask and counts are
+/// bit-identical to the naive branching loop.
+fn filter_chunked(values: &[f64], scratch: &mut TrimScratch, keep: impl Fn(f64) -> bool) -> usize {
+    let n = values.len();
+    scratch.mask.resize(n, false);
+    scratch.kept.resize(n, 0.0);
+    let mut k = 0usize;
+    let kept = &mut scratch.kept[..n];
+    for (chunk, mask_chunk) in values
+        .chunks(FILTER_CHUNK)
+        .zip(scratch.mask.chunks_mut(FILTER_CHUNK))
+    {
+        for (m, &v) in mask_chunk.iter_mut().zip(chunk) {
+            *m = keep(v);
+        }
+        for (&v, &m) in chunk.iter().zip(mask_chunk.iter()) {
+            kept[k] = v;
+            k += usize::from(m);
+        }
+    }
+    scratch.kept.truncate(k);
+    n - k
+}
+
 impl TrimOp {
     /// Applies the operator using `scratch`'s reusable buffers and returns
     /// the round's [`TrimStats`]; read the retained values and the mask
@@ -163,8 +197,10 @@ impl TrimOp {
     ///
     /// Percentile thresholds are resolved with [`percentile_select`]
     /// (`O(n)` selection on the scratch copy), so no sort and — once the
-    /// buffers are warm — no allocation happens per round. Kept values,
-    /// mask and threshold are bit-identical to the allocating [`trim`].
+    /// buffers are warm — no allocation happens per round; the filter
+    /// itself runs as a chunked, branch-light mask-then-compact pass
+    /// (`filter_chunked`). Kept values, mask and threshold are
+    /// bit-identical to the allocating [`trim`].
     ///
     /// # Panics
     /// Panics if a percentile parameter is outside `[0, 1]` or `lo > hi`,
@@ -199,36 +235,18 @@ impl TrimOp {
                 (Some(lo_v), Some(hi_v))
             }
         };
-        let mut trimmed = 0;
-        match (lower, upper) {
+        let trimmed = match (lower, upper) {
             (None, None) => {
                 scratch.mask.resize(values.len(), true);
                 scratch.kept.extend_from_slice(values);
+                0
             }
-            (None, Some(hi_v)) => {
-                for &v in values {
-                    let keep = v <= hi_v;
-                    scratch.mask.push(keep);
-                    if keep {
-                        scratch.kept.push(v);
-                    } else {
-                        trimmed += 1;
-                    }
-                }
-            }
+            (None, Some(hi_v)) => filter_chunked(values, scratch, |v| v <= hi_v),
             (Some(lo_v), Some(hi_v)) => {
-                for &v in values {
-                    let keep = v >= lo_v && v <= hi_v;
-                    scratch.mask.push(keep);
-                    if keep {
-                        scratch.kept.push(v);
-                    } else {
-                        trimmed += 1;
-                    }
-                }
+                filter_chunked(values, scratch, |v| (v >= lo_v) & (v <= hi_v))
             }
             (Some(_), None) => unreachable!("no lower-only operator exists"),
-        }
+        };
         TrimStats {
             trimmed,
             kept: values.len() - trimmed,

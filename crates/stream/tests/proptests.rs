@@ -37,6 +37,51 @@ fn records(n: usize) -> Vec<RoundRecord> {
 
 proptest! {
     #[test]
+    fn chunked_absolute_cut_matches_branching_reference(
+        values in prop::collection::vec(-1e3_f64..1e3, 0..3_000),
+        cut in -1.1e3_f64..1.1e3,
+    ) {
+        // The branch-light chunked pass (mask per fixed-size chunk, single
+        // compaction) must be bit-identical to the obvious branching loop —
+        // including across chunk boundaries (sizes beyond 1024 exercise
+        // multi-chunk inputs).
+        let ref_mask: Vec<bool> = values.iter().map(|&v| v <= cut).collect();
+        let ref_kept: Vec<f64> = values.iter().copied().filter(|&v| v <= cut).collect();
+        let mut scratch = TrimScratch::new();
+        let stats = TrimOp::Absolute(cut).apply_in_place(&values, &mut scratch);
+        prop_assert_eq!(scratch.kept_mask(), ref_mask.as_slice());
+        prop_assert_eq!(scratch.kept(), ref_kept.as_slice());
+        prop_assert_eq!(stats.kept, ref_kept.len());
+        prop_assert_eq!(stats.trimmed, values.len() - ref_kept.len());
+        prop_assert_eq!(stats.threshold_value, Some(cut));
+    }
+
+    #[test]
+    fn chunked_two_sided_cut_matches_branching_reference(
+        values in prop::collection::vec(-1e3_f64..1e3, 1..2_500),
+        lo in 0.0_f64..0.5,
+        width in 0.0_f64..0.5,
+    ) {
+        // Given the resolved percentile bounds, the chunked mask/compaction
+        // must reproduce the obvious per-element branching loop exactly.
+        let op = TrimOp::TwoSided { lo, hi: lo + width };
+        let mut scratch = TrimScratch::new();
+        let stats = op.apply_in_place(&values, &mut scratch);
+        let lo_v = stats.lower_value.expect("two-sided reports a lower bound");
+        let hi_v = stats.threshold_value.expect("two-sided reports an upper bound");
+        let ref_mask: Vec<bool> = values.iter().map(|&v| v >= lo_v && v <= hi_v).collect();
+        let ref_kept: Vec<f64> = values
+            .iter()
+            .copied()
+            .filter(|&v| v >= lo_v && v <= hi_v)
+            .collect();
+        prop_assert_eq!(scratch.kept_mask(), ref_mask.as_slice());
+        prop_assert_eq!(scratch.kept(), ref_kept.as_slice());
+        prop_assert_eq!(stats.kept, ref_kept.len());
+        prop_assert_eq!(stats.trimmed, values.len() - ref_kept.len());
+    }
+
+    #[test]
     fn trim_partitions_the_batch(
         values in prop::collection::vec(-1e3_f64..1e3, 1..200),
         p in 0.0_f64..1.0,
