@@ -3,6 +3,7 @@
 //! ```text
 //! USAGE: expt <experiment>... [--smoke] [--substrate scalar|ml|ldp] [--json]
 //!        | all | tables | figures | ablations
+//!        | benchdiff <baseline.json> <current.json> [tolerance]
 //!
 //! experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 table3 table4 fig9
 //!              ablate-k ablate-red ablate-discount ablate-mechanism ablate-sketch
@@ -11,7 +12,10 @@
 //! flags: --smoke          tiny grids for pipeline checks (currently: equilibrium
 //!                         runs its 3x3 / 2-3-seed smoke game)
 //!        --substrate KIND equilibrium substrate: scalar (default), ml, ldp
-//!        --json           bench writes the BENCH_PR4.json snapshot
+//!        --json           bench writes the BENCH_PR5.json snapshot
+//!
+//! benchdiff compares two committed snapshots and exits 1 when a shared
+//! case regressed past the tolerance (default 3x) — the CI smoke gate.
 //!
 //! env: TRIMGAME_REPS=N           repetitions per point (default 10; paper 100)
 //!      TRIMGAME_SCALE=N          dataset instance divisor (default 64; paper 1)
@@ -45,10 +49,46 @@ fn set_substrate(value: &str) {
     }
 }
 
+/// `expt benchdiff <baseline.json> <current.json> [tolerance]`: compare
+/// two committed bench snapshots; exit 1 when a shared case regressed
+/// past the tolerance (default 3x, the CI smoke gate).
+fn benchdiff(args: &[String]) -> ! {
+    let (Some(base_path), Some(cur_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: expt benchdiff <baseline.json> <current.json> [tolerance]");
+        std::process::exit(2);
+    };
+    let tolerance = args
+        .get(2)
+        .map(|t| t.parse::<f64>().expect("tolerance must be a number"))
+        .unwrap_or(3.0);
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(base_path);
+    let current = read(cur_path);
+    match trimgame_bench::perf::bench_diff(&baseline, &current, tolerance) {
+        Ok(report) => {
+            print!("{report}");
+            std::process::exit(0);
+        }
+        Err(report) => {
+            print!("{report}");
+            eprintln!("bench regression past {tolerance}x detected");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
+    }
+    if args[0] == "benchdiff" {
+        benchdiff(&args[1..]);
     }
     let mut ids: Vec<&str> = Vec::new();
     let mut iter = args.iter();

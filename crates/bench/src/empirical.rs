@@ -13,8 +13,10 @@
 //! (k-means anomaly scores), and LDP report streams.
 //!
 //! 1. **Estimate** — fan a (defender-atom × attacker-response × seed)
-//!    grid through [`crate::sweep::parallel_map`]; each cell is one lean
-//!    engine run on the chosen substrate, and its payoff is the
+//!    grid through [`crate::sweep::parallel_map_with`] — each cell is one
+//!    lean scratch-backed engine run on the chosen substrate (every
+//!    worker reuses one engine scratch and one substrate arena across
+//!    all of its cells), and its payoff is the
 //!    collector's mean per-round loss (surviving percentile damage plus
 //!    benign trim overhead). Aggregate per-cell means with confidence
 //!    intervals.
@@ -50,16 +52,19 @@
 //! seed, so the whole pipeline is bit-deterministic regardless of
 //! `TRIMGAME_SWEEP_THREADS`.
 
-use crate::sweep::{env_workers, parallel_map};
+use crate::sweep::{env_workers, parallel_map_with};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use trim_core::adversary::{AdaptiveAttacker, AdversaryPolicy, AttackPolicy, Exp3Attacker};
+use trim_core::engine::EngineScratch;
 use trim_core::equilibrium::StackelbergSolver;
 use trim_core::ldp_sim::{
-    counterfeit_input, ldp_calibration, run_ldp_collection_outcome, LdpDefense, LdpSimConfig,
+    counterfeit_input, ldp_calibration, run_ldp_collection_with_scratch, LdpArena, LdpDefense,
+    LdpSimConfig,
 };
 use trim_core::matrix::{MatrixGame, MixedEquilibrium};
-use trim_core::ml_sim::{clean_score_distribution, collect_poisoned_outcome, MlSimConfig};
-use trim_core::simulation::{run_game_with_policies, GameConfig, Scheme};
+use trim_core::ml_sim::{collect_poisoned_with_scratch, MlArena, MlModel, MlSimConfig};
+use trim_core::simulation::{run_game_with_scratch, GameConfig, ScalarArena, Scheme};
 use trim_core::space::{refine_placements, StrategySpace};
 use trim_core::strategy::{DefenderPolicy, RandomizedDefender, ThresholdPolicy};
 use trimgame_datasets::synthetic::{GaussianComponent, GmmSpec};
@@ -296,23 +301,61 @@ pub struct CellOutcome {
     pub attacker_gain: f64,
 }
 
+/// One worker's reusable cell state: the engine trajectory scratch plus
+/// the substrate-specific arena (pool tables, fitted ML model handle,
+/// LDP calibration buffers). Created once per sweep worker by
+/// [`GameSubstrate::new_scratch`] and threaded through every cell that
+/// worker plays — the whole payoff grid allocates per *worker*, not per
+/// cell.
+pub struct CellScratch {
+    /// The engine's reusable trajectory buffers.
+    pub engine: EngineScratch,
+    /// The substrate's arena; each substrate downcasts its own type.
+    pub arena: Box<dyn std::any::Any + Send>,
+}
+
+impl std::fmt::Debug for CellScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellScratch").finish_non_exhaustive()
+    }
+}
+
+impl CellScratch {
+    /// Wraps a substrate arena with fresh engine buffers.
+    #[must_use]
+    pub fn new(arena: Box<dyn std::any::Any + Send>) -> Self {
+        Self {
+            engine: EngineScratch::new(),
+            arena,
+        }
+    }
+}
+
 /// One simulation substrate the equilibrium pipeline can run on: how a
 /// (defender policy × attack policy × seed) cell is played, and the
 /// substrate's closed-form loss model for the analytic cross-check.
 ///
-/// All three implementations route through the boxed-policy entry points
-/// the engine core exposes (`run_game_with_policies`,
-/// `collect_poisoned_outcome`, `run_ldp_collection_outcome`), so anything
-/// expressible as a [`ThresholdPolicy`]/[`AttackPolicy`] pair — pure
-/// atoms, solved mixtures, board-driven best responses, bandit learners —
-/// plays the same game the payoff grid measures.
+/// All three implementations route through the scratch-backed entry
+/// points the engine core exposes (`run_game_with_scratch`,
+/// `collect_poisoned_with_scratch`, `run_ldp_collection_with_scratch`),
+/// so anything expressible as a [`ThresholdPolicy`]/[`AttackPolicy`]
+/// pair — pure atoms, solved mixtures, board-driven best responses,
+/// bandit learners — plays the same game the payoff grid measures, and
+/// every worker reuses one [`CellScratch`] across all of its cells.
 pub trait GameSubstrate: Sync {
     /// Substrate name for reports.
     fn name(&self) -> &'static str;
 
+    /// Creates one worker's reusable scratch (engine buffers + arena).
+    fn new_scratch(&self) -> CellScratch;
+
     /// Plays one seeded engine run. `tth` anchors the scenario's public
     /// quality standard (the nominal threshold percentile); `seed` drives
-    /// the environment stream and derives the policy sub-streams.
+    /// the environment stream and derives the policy sub-streams;
+    /// `scratch` is the worker's reusable state from
+    /// [`GameSubstrate::new_scratch`] (its contents never influence the
+    /// outcome).
+    #[allow(clippy::too_many_arguments)] // one arg per game ingredient
     fn run_cell(
         &self,
         cfg: &EquilibriumConfig,
@@ -321,6 +364,7 @@ pub trait GameSubstrate: Sync {
         attacker: Box<dyn AttackPolicy>,
         board: Option<PublicBoard>,
         seed: u64,
+        scratch: &mut CellScratch,
     ) -> CellOutcome;
 
     /// The substrate's closed-form loss model over the finite game.
@@ -418,10 +462,12 @@ impl ClosedForm {
 }
 
 /// The scalar value-stream substrate (the PR 3 pipeline, unchanged
-/// numbers).
+/// numbers). Holds an arena template (pool + sorted reference table,
+/// built once) that worker scratches clone — no per-worker sort, no
+/// per-cell pool copy.
 #[derive(Debug, Clone)]
 pub struct ScalarSubstrate {
-    pool: Vec<f64>,
+    arena: ScalarArena,
 }
 
 impl ScalarSubstrate {
@@ -431,9 +477,8 @@ impl ScalarSubstrate {
     /// Panics if the pool is empty.
     #[must_use]
     pub fn new(pool: &[f64]) -> Self {
-        assert!(!pool.is_empty(), "empty value pool");
         Self {
-            pool: pool.to_vec(),
+            arena: ScalarArena::new(pool),
         }
     }
 
@@ -453,6 +498,10 @@ impl GameSubstrate for ScalarSubstrate {
         "scalar"
     }
 
+    fn new_scratch(&self) -> CellScratch {
+        CellScratch::new(Box::new(self.arena.clone()))
+    }
+
     fn run_cell(
         &self,
         cfg: &EquilibriumConfig,
@@ -461,31 +510,40 @@ impl GameSubstrate for ScalarSubstrate {
         attacker: Box<dyn AttackPolicy>,
         board: Option<PublicBoard>,
         seed: u64,
+        scratch: &mut CellScratch,
     ) -> CellOutcome {
         let game = Self::game_config(cfg, tth, seed);
-        let out = run_game_with_policies(&self.pool, &game, defender, attacker, board, false);
+        let arena = scratch
+            .arena
+            .downcast_mut::<ScalarArena>()
+            .expect("scalar scratch carries a ScalarArena");
+        let run =
+            run_game_with_scratch(&game, defender, attacker, board, arena, &mut scratch.engine);
         CellOutcome {
-            collector_loss: -out.utilities.u_c.last().expect("rounds > 0") / game.rounds as f64,
-            attacker_gain: out.utilities.u_a.last().expect("rounds > 0") / game.rounds as f64,
+            collector_loss: -run.final_u_c / game.rounds as f64,
+            attacker_gain: run.final_u_a / game.rounds as f64,
         }
     }
 
     fn closed_form(&self, cfg: &EquilibriumConfig) -> ClosedForm {
-        let mut sorted = self.pool.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in pool"));
-        ClosedForm::new(sorted, cfg.batch, cfg.attack_ratio, SurviveModel::PointMass)
+        ClosedForm::new(
+            self.arena.sorted_pool().to_vec(),
+            cfg.batch,
+            cfg.attack_ratio,
+            SurviveModel::PointMass,
+        )
     }
 }
 
 /// The feature-vector collection substrate: the game is played on k-means
-/// anomaly scores over a labelled dataset (`collect_poisoned` behind the
-/// engine's boxed-policy entry point).
+/// anomaly scores over a labelled dataset. The clean model (centroids +
+/// score distribution) is fitted **once** and shared (`Arc`) into every
+/// worker's arena — the fit used to be repeated per payoff cell, and was
+/// the dominant cost of the ML grid.
 #[derive(Debug, Clone)]
 pub struct MlSubstrate {
     data: Dataset,
-    /// Sorted clean anomaly scores, cached (computing them refits the
-    /// clean k-means).
-    clean_scores: Vec<f64>,
+    model: Arc<MlModel>,
 }
 
 impl MlSubstrate {
@@ -495,14 +553,18 @@ impl MlSubstrate {
     /// Panics if the dataset is unlabelled or smaller than two rows.
     #[must_use]
     pub fn new(data: Dataset) -> Self {
-        let clean_scores = clean_score_distribution(&data);
-        Self { data, clean_scores }
+        let model = Arc::new(MlModel::fit(&data));
+        Self { data, model }
     }
 }
 
 impl GameSubstrate for MlSubstrate {
     fn name(&self) -> &'static str {
         "ml"
+    }
+
+    fn new_scratch(&self) -> CellScratch {
+        CellScratch::new(Box::new(MlArena::with_model(self.model.clone())))
     }
 
     fn run_cell(
@@ -513,6 +575,7 @@ impl GameSubstrate for MlSubstrate {
         attacker: Box<dyn AttackPolicy>,
         board: Option<PublicBoard>,
         seed: u64,
+        scratch: &mut CellScratch,
     ) -> CellOutcome {
         let ml = MlSimConfig {
             scheme: Scheme::BaselineStatic,
@@ -523,16 +586,28 @@ impl GameSubstrate for MlSubstrate {
             seed,
             red: 0.05,
         };
-        let out = collect_poisoned_outcome(&self.data, &ml, defender, attacker, board);
+        let arena = scratch
+            .arena
+            .downcast_mut::<MlArena>()
+            .expect("ml scratch carries an MlArena");
+        let run = collect_poisoned_with_scratch(
+            &self.data,
+            &ml,
+            defender,
+            attacker,
+            board,
+            arena,
+            &mut scratch.engine,
+        );
         CellOutcome {
-            collector_loss: -out.utilities.u_c.last().expect("rounds > 0") / ml.rounds as f64,
-            attacker_gain: out.utilities.u_a.last().expect("rounds > 0") / ml.rounds as f64,
+            collector_loss: -run.final_u_c / ml.rounds as f64,
+            attacker_gain: run.final_u_a / ml.rounds as f64,
         }
     }
 
     fn closed_form(&self, cfg: &EquilibriumConfig) -> ClosedForm {
         ClosedForm::new(
-            self.clean_scores.clone(),
+            self.model.clean_scores().to_vec(),
             cfg.batch,
             cfg.attack_ratio,
             SurviveModel::PointMass,
@@ -585,6 +660,10 @@ impl GameSubstrate for LdpSubstrate {
         "ldp"
     }
 
+    fn new_scratch(&self) -> CellScratch {
+        CellScratch::new(Box::new(LdpArena::new()))
+    }
+
     fn run_cell(
         &self,
         cfg: &EquilibriumConfig,
@@ -593,19 +672,26 @@ impl GameSubstrate for LdpSubstrate {
         attacker: Box<dyn AttackPolicy>,
         board: Option<PublicBoard>,
         seed: u64,
+        scratch: &mut CellScratch,
     ) -> CellOutcome {
         let ldp = self.ldp_config(cfg, tth, seed);
-        let out = run_ldp_collection_outcome(
+        let arena = scratch
+            .arena
+            .downcast_mut::<LdpArena>()
+            .expect("ldp scratch carries an LdpArena");
+        let run = run_ldp_collection_with_scratch(
             &self.population,
             LdpDefense::TitForTat,
             &ldp,
             defender,
             attacker,
             board,
+            arena,
+            &mut scratch.engine,
         );
         CellOutcome {
-            collector_loss: -out.utilities.u_c.last().expect("rounds > 0") / ldp.rounds as f64,
-            attacker_gain: out.utilities.u_a.last().expect("rounds > 0") / ldp.rounds as f64,
+            collector_loss: -run.final_u_c / ldp.rounds as f64,
+            attacker_gain: run.final_u_a / ldp.rounds as f64,
         }
     }
 
@@ -745,20 +831,26 @@ fn estimate_row(
 ) -> Vec<f64> {
     let per_cell = cfg.seeds;
     let seeds = cell_seeds(cfg);
-    let losses = parallel_map(attacker_atoms.len() * per_cell, cfg.workers, |idx| {
-        let (j, s) = (idx / per_cell, idx % per_cell);
-        sub.run_cell(
-            cfg,
-            t_atom,
-            Box::new(DefenderPolicy::Fixed { tth: t_atom }),
-            Box::new(AdversaryPolicy::Fixed {
-                percentile: attacker_atoms[j],
-            }),
-            None,
-            seeds[s],
-        )
-        .collector_loss
-    });
+    let losses = parallel_map_with(
+        attacker_atoms.len() * per_cell,
+        cfg.workers,
+        || sub.new_scratch(),
+        |scratch, idx| {
+            let (j, s) = (idx / per_cell, idx % per_cell);
+            sub.run_cell(
+                cfg,
+                t_atom,
+                Box::new(DefenderPolicy::Fixed { tth: t_atom }),
+                Box::new(AdversaryPolicy::Fixed {
+                    percentile: attacker_atoms[j],
+                }),
+                None,
+                seeds[s],
+                scratch,
+            )
+            .collector_loss
+        },
+    );
     (0..attacker_atoms.len())
         .map(|j| losses[j * per_cell..(j + 1) * per_cell].iter().sum::<f64>() / per_cell as f64)
         .collect()
@@ -767,9 +859,10 @@ fn estimate_row(
 /// Estimates the empirical payoff matrix on `sub` and solves both
 /// equilibria.
 ///
-/// The (row × column × seed) grid fans through [`parallel_map`]; each
-/// job's outcome depends only on its coordinates, so the result is
-/// identical for any worker count.
+/// The (row × column × seed) grid fans through [`parallel_map_with`];
+/// each job's outcome depends only on its coordinates (never on the
+/// worker scratch it reuses), so the result is identical for any worker
+/// count.
 ///
 /// # Panics
 /// Panics if the configuration is degenerate.
@@ -787,22 +880,28 @@ pub fn estimate_on(sub: &dyn GameSubstrate, cfg: &EquilibriumConfig) -> Empirica
     // sharpens every cross-cell comparison the solver makes.
     let seeds = cell_seeds(cfg);
 
-    let losses = parallel_map(n_jobs, cfg.workers, |idx| {
-        let cell = idx / per_cell;
-        let (i, j) = (cell / cols, cell % cols);
-        let t_atom = cfg.defender_atoms[i];
-        sub.run_cell(
-            cfg,
-            t_atom,
-            Box::new(DefenderPolicy::Fixed { tth: t_atom }),
-            Box::new(AdversaryPolicy::Fixed {
-                percentile: attacker_atoms[j],
-            }),
-            None,
-            seeds[idx % per_cell],
-        )
-        .collector_loss
-    });
+    let losses = parallel_map_with(
+        n_jobs,
+        cfg.workers,
+        || sub.new_scratch(),
+        |scratch, idx| {
+            let cell = idx / per_cell;
+            let (i, j) = (cell / cols, cell % cols);
+            let t_atom = cfg.defender_atoms[i];
+            sub.run_cell(
+                cfg,
+                t_atom,
+                Box::new(DefenderPolicy::Fixed { tth: t_atom }),
+                Box::new(AdversaryPolicy::Fixed {
+                    percentile: attacker_atoms[j],
+                }),
+                None,
+                seeds[idx % per_cell],
+                scratch,
+            )
+            .collector_loss
+        },
+    );
 
     let mut mean_loss = vec![vec![0.0; cols]; rows];
     let mut ci_half_width = vec![vec![0.0; cols]; rows];
@@ -926,22 +1025,28 @@ pub fn play_mixed_vs_columns_on(
     let cols = attacker_atoms.len();
     let per_cell = cfg.seeds;
     let seeds = cell_seeds(cfg);
-    let losses = parallel_map(cols * per_cell, cfg.workers, |idx| {
-        let (j, s) = (idx / per_cell, idx % per_cell);
-        let defender =
-            RandomizedDefender::new(&cfg.defender_atoms, row_strategy).expect("validated strategy");
-        sub.run_cell(
-            cfg,
-            play_tth(cfg),
-            Box::new(defender),
-            Box::new(AdversaryPolicy::Fixed {
-                percentile: attacker_atoms[j],
-            }),
-            None,
-            seeds[s],
-        )
-        .collector_loss
-    });
+    let losses = parallel_map_with(
+        cols * per_cell,
+        cfg.workers,
+        || sub.new_scratch(),
+        |scratch, idx| {
+            let (j, s) = (idx / per_cell, idx % per_cell);
+            let defender = RandomizedDefender::new(&cfg.defender_atoms, row_strategy)
+                .expect("validated strategy");
+            sub.run_cell(
+                cfg,
+                play_tth(cfg),
+                Box::new(defender),
+                Box::new(AdversaryPolicy::Fixed {
+                    percentile: attacker_atoms[j],
+                }),
+                None,
+                seeds[s],
+                scratch,
+            )
+            .collector_loss
+        },
+    );
     (0..cols)
         .map(|j| {
             let mut stats = OnlineStats::new();
@@ -981,22 +1086,28 @@ pub fn play_vs_adaptive_on(
     cfg.validate();
     let per_cell = cfg.seeds;
     let seeds = cell_seeds(cfg);
-    let losses = parallel_map(per_cell, cfg.workers, |s| {
-        let seed = seeds[s];
-        let defender =
-            RandomizedDefender::new(&cfg.defender_atoms, row_strategy).expect("validated strategy");
-        let board = PublicBoard::new();
-        let attacker = AdaptiveAttacker::new(board.clone(), cfg.response_margin, 0.99);
-        sub.run_cell(
-            cfg,
-            play_tth(cfg),
-            Box::new(defender),
-            Box::new(attacker),
-            Some(board),
-            seed,
-        )
-        .collector_loss
-    });
+    let losses = parallel_map_with(
+        per_cell,
+        cfg.workers,
+        || sub.new_scratch(),
+        |scratch, s| {
+            let seed = seeds[s];
+            let defender = RandomizedDefender::new(&cfg.defender_atoms, row_strategy)
+                .expect("validated strategy");
+            let board = PublicBoard::new();
+            let attacker = AdaptiveAttacker::new(board.clone(), cfg.response_margin, 0.99);
+            sub.run_cell(
+                cfg,
+                play_tth(cfg),
+                Box::new(defender),
+                Box::new(attacker),
+                Some(board),
+                seed,
+                scratch,
+            )
+            .collector_loss
+        },
+    );
     let mut stats = OnlineStats::new();
     for loss in losses {
         stats.push(loss);
@@ -1061,26 +1172,32 @@ pub fn play_vs_exp3(
     play_cfg.rounds = rounds;
     let per_cell = cfg.seeds;
     let seeds = cell_seeds(cfg);
-    let outcomes = parallel_map(per_cell, cfg.workers, |s| {
-        let seed = seeds[s];
-        let defender =
-            RandomizedDefender::new(&cfg.defender_atoms, row_strategy).expect("validated strategy");
-        let attacker = Exp3Attacker::new(
-            &attacker_atoms,
-            rounds,
-            payoff_bound,
-            derive_seed(seed, EXP3_SEED_STREAM),
-        )
-        .expect("validated response set");
-        sub.run_cell(
-            &play_cfg,
-            play_tth(cfg),
-            Box::new(defender),
-            Box::new(attacker),
-            None,
-            seed,
-        )
-    });
+    let outcomes = parallel_map_with(
+        per_cell,
+        cfg.workers,
+        || sub.new_scratch(),
+        |scratch, s| {
+            let seed = seeds[s];
+            let defender = RandomizedDefender::new(&cfg.defender_atoms, row_strategy)
+                .expect("validated strategy");
+            let attacker = Exp3Attacker::new(
+                &attacker_atoms,
+                rounds,
+                payoff_bound,
+                derive_seed(seed, EXP3_SEED_STREAM),
+            )
+            .expect("validated response set");
+            sub.run_cell(
+                &play_cfg,
+                play_tth(cfg),
+                Box::new(defender),
+                Box::new(attacker),
+                None,
+                seed,
+                scratch,
+            )
+        },
+    );
     let mut attacker_payoff = OnlineStats::new();
     let mut collector_loss = OnlineStats::new();
     for out in outcomes {
@@ -1157,7 +1274,7 @@ pub struct SupportOptimization {
 /// Refines the defender's atom *placements* by coordinate descent: each
 /// atom in turn is golden-sectioned inside the bracket between its
 /// neighbours, with the candidate's payoff row re-estimated through the
-/// sweep workers ([`parallel_map`]) and the game re-solved against the
+/// sweep workers ([`parallel_map_with`]) and the game re-solved against the
 /// *fixed* attacker response columns of the starting grid. Moves are
 /// accepted only on strict improvement at the line-search precision, and
 /// the endpoint values are re-solved at the headline precision

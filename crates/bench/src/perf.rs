@@ -1,8 +1,10 @@
 //! In-process perf snapshots (`expt bench`): wall-clock means for the
-//! per-round hot paths, as a table and — with `--json` — a
-//! machine-readable `BENCH_PR4.json` snapshot (`case → mean ns`), so the
-//! perf trajectory is diffable across PRs without parsing criterion
-//! output.
+//! per-round hot paths plus the engine-run and equilibrium end-to-end
+//! cases, as a table and — with `--json` — a machine-readable
+//! [`SNAPSHOT_FILE`] snapshot (`case → mean ns`), so the perf trajectory
+//! is diffable across PRs without parsing criterion output
+//! (`expt benchdiff` compares two committed snapshots under a regression
+//! tolerance).
 //!
 //! Measurement mirrors the vendored criterion harness (warm-up window,
 //! calibrated batches, mean over a measurement window) but returns the
@@ -15,6 +17,11 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use trimgame_stream::trim::{SketchThreshold, TrimOp, TrimScratch};
 
+use crate::empirical::{estimate_on, EquilibriumConfig, ScalarSubstrate};
+use trim_core::adversary::AdversaryPolicy;
+use trim_core::simulation::{run_game_with_policies, GameConfig, Scheme};
+use trim_core::strategy::DefenderPolicy;
+
 /// One measured case.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchCase {
@@ -25,7 +32,7 @@ pub struct BenchCase {
 }
 
 /// The file the JSON snapshot is written to (repo root by convention).
-pub const SNAPSHOT_FILE: &str = "BENCH_PR4.json";
+pub const SNAPSHOT_FILE: &str = "BENCH_PR5.json";
 
 fn time_ns(warmup: Duration, measure: Duration, mut routine: impl FnMut()) -> f64 {
     let warm_start = Instant::now();
@@ -100,6 +107,74 @@ pub fn run_cases(warmup: Duration, measure: Duration) -> Vec<BenchCase> {
             }),
         );
     }
+    cases.extend(engine_cases(warmup, measure));
+    cases
+}
+
+/// One full seeded scalar engine run, the payoff-grid cell shape: lean
+/// mode, fixed defender at 0.9, ideal attacker just below.
+fn engine_cell(pool: &[f64], rounds: usize, batch: usize) -> f64 {
+    let mut cfg = GameConfig::new(Scheme::BaselineStatic);
+    cfg.rounds = rounds;
+    cfg.batch = batch;
+    cfg.seed = 7;
+    let out = run_game_with_policies(
+        pool,
+        &cfg,
+        Box::new(DefenderPolicy::Fixed { tth: cfg.tth }),
+        Box::new(AdversaryPolicy::Fixed { percentile: 0.89 }),
+        None,
+        false,
+    );
+    *out.utilities.u_c.last().expect("rounds > 0")
+}
+
+/// The end-to-end cases the equilibrium estimator's wall-clock rides on:
+/// a single engine run (one payoff cell) and the whole smoke-grid
+/// estimation pipeline.
+fn engine_cases(warmup: Duration, measure: Duration) -> Vec<BenchCase> {
+    let mut cases = Vec::new();
+    let pool = crate::empirical::standard_pool();
+
+    cases.push(BenchCase {
+        name: "engine/scalar_run/1000x20".into(),
+        mean_ns: time_ns(warmup, measure, || {
+            std::hint::black_box(engine_cell(&pool, 20, 1_000));
+        }),
+    });
+
+    // The same run through the scratch path: one arena + one engine
+    // scratch across every iteration — what a payoff-grid worker pays.
+    let mut arena = trim_core::simulation::ScalarArena::new(&pool);
+    let mut scratch = trim_core::engine::EngineScratch::new();
+    let mut cfg = GameConfig::new(Scheme::BaselineStatic);
+    cfg.rounds = 20;
+    cfg.batch = 1_000;
+    cfg.seed = 7;
+    cases.push(BenchCase {
+        name: "engine/scalar_run_scratch/1000x20".into(),
+        mean_ns: time_ns(warmup, measure, || {
+            let run = trim_core::simulation::run_game_with_scratch(
+                &cfg,
+                Box::new(DefenderPolicy::Fixed { tth: cfg.tth }),
+                Box::new(AdversaryPolicy::Fixed { percentile: 0.89 }),
+                None,
+                &mut arena,
+                &mut scratch,
+            );
+            std::hint::black_box(run.final_u_c);
+        }),
+    });
+
+    let sub = ScalarSubstrate::new(&pool);
+    let mut cfg = EquilibriumConfig::smoke();
+    cfg.workers = 1; // measure the single-core pipeline, not fan-out noise
+    cases.push(BenchCase {
+        name: "equilibrium/estimate/scalar_smoke".into(),
+        mean_ns: time_ns(warmup, measure, || {
+            std::hint::black_box(estimate_on(&sub, &cfg).empirical.value);
+        }),
+    });
     cases
 }
 
@@ -114,6 +189,88 @@ pub fn to_json(cases: &[BenchCase]) -> String {
     }
     out.push_str("}\n");
     out
+}
+
+/// Parses a flat `{"case": mean_ns, ...}` snapshot written by
+/// [`to_json`].
+fn parse_snapshot(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut cases = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "{" || line == "}" {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed snapshot line: {line}"))?;
+        let name = name.trim().trim_matches('"');
+        let mean_ns: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad mean for {name}: {e}"))?;
+        cases.push((name.to_string(), mean_ns));
+    }
+    if cases.is_empty() {
+        return Err("snapshot holds no cases".into());
+    }
+    Ok(cases)
+}
+
+/// Compares the `current` snapshot against `baseline` under a regression
+/// `tolerance` (a current mean more than `tolerance ×` its baseline is a
+/// regression). Only cases present in both snapshots are compared, so
+/// snapshots may add cases freely across PRs. Returns the rendered table
+/// as `Ok` when every shared case is within tolerance and as `Err` when
+/// any regressed — the CI smoke gate on committed snapshots.
+///
+/// # Errors
+/// Returns `Err` with the report when a shared case regressed, or with a
+/// parse message when either snapshot is malformed.
+pub fn bench_diff(baseline: &str, current: &str, tolerance: f64) -> Result<String, String> {
+    assert!(tolerance >= 1.0, "tolerance must be at least 1x");
+    let base = parse_snapshot(baseline)?;
+    let cur = parse_snapshot(current)?;
+    let mut out = String::new();
+    let mut regressed = 0usize;
+    let mut compared = 0usize;
+    let _ = writeln!(
+        out,
+        "{:<36} {:>12} {:>12} {:>8}  status",
+        "case", "baseline ns", "current ns", "ratio"
+    );
+    for (name, base_ns) in &base {
+        let Some((_, cur_ns)) = cur.iter().find(|(n, _)| n == name) else {
+            let _ = writeln!(
+                out,
+                "{name:<36} {base_ns:>12.1} {:>12} {:>8}  dropped",
+                "-", "-"
+            );
+            continue;
+        };
+        compared += 1;
+        let ratio = cur_ns / base_ns.max(1e-9);
+        let status = if ratio > tolerance {
+            regressed += 1;
+            "REGRESSED"
+        } else if ratio < 1.0 {
+            "improved"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(
+            out,
+            "{name:<36} {base_ns:>12.1} {cur_ns:>12.1} {ratio:>7.2}x  {status}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{compared} cases compared at tolerance {tolerance:.1}x; {regressed} regressed"
+    );
+    if regressed > 0 {
+        Err(out)
+    } else {
+        Ok(out)
+    }
 }
 
 fn env_millis(var: &str, default_ms: u64) -> Duration {
@@ -167,7 +324,7 @@ mod tests {
     #[test]
     fn suite_runs_with_tiny_windows_and_serializes() {
         let cases = run_cases(Duration::from_millis(1), Duration::from_millis(2));
-        assert_eq!(cases.len(), 12);
+        assert_eq!(cases.len(), 15);
         for case in &cases {
             assert!(case.mean_ns > 0.0, "{}: {}", case.name, case.mean_ns);
         }
@@ -178,5 +335,22 @@ mod tests {
         assert!(json.contains("\"trim/in_place/1000\""));
         // No trailing comma before the closing brace.
         assert!(!json.contains(",\n}"));
+    }
+
+    #[test]
+    fn bench_diff_gates_on_tolerance() {
+        let baseline = "{\n  \"a/x\": 100.0,\n  \"a/y\": 200.0,\n  \"gone\": 50.0\n}\n";
+        // y regressed 2.5x, x improved; `extra` is new and ignored.
+        let current = "{\n  \"a/x\": 80.0,\n  \"a/y\": 500.0,\n  \"extra\": 1.0\n}\n";
+        let err = bench_diff(baseline, current, 2.0).expect_err("y regressed past 2x");
+        assert!(err.contains("REGRESSED"));
+        assert!(err.contains("1 regressed"));
+        // A generous tolerance accepts the same pair.
+        let ok = bench_diff(baseline, current, 3.0).expect("within 3x");
+        assert!(ok.contains("improved"));
+        assert!(ok.contains("0 regressed"));
+        assert!(ok.contains("dropped"));
+        // Malformed input is a parse error, not a panic.
+        assert!(bench_diff("{}", current, 3.0).is_err());
     }
 }

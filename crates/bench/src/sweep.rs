@@ -19,9 +19,9 @@
 
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use trim_core::simulation::{run_game_engine, GameConfig, Scheme};
 use trimgame_numerics::stats::OnlineStats;
+use trimgame_stream::board::ShardedBoard;
 
 /// The stream shape of one sweep axis: how much data arrives per round,
 /// for how many rounds, and how hard the adversary presses.
@@ -157,6 +157,64 @@ fn run_cell(pool: &[f64], grid: &SweepGrid, idx: usize) -> SweepCell {
     }
 }
 
+/// One sweep worker's reusable state: the pool arena (reference tables +
+/// round buffers) and the engine trajectory scratch, shared by every
+/// cell that worker claims.
+#[derive(Debug)]
+pub struct SweepWorker {
+    arena: trim_core::simulation::ScalarArena,
+    scratch: trim_core::engine::EngineScratch,
+}
+
+impl SweepWorker {
+    /// Builds a worker over `pool` (one pool copy + sort, amortized over
+    /// all of the worker's cells).
+    #[must_use]
+    pub fn new(pool: &[f64]) -> Self {
+        Self {
+            arena: trim_core::simulation::ScalarArena::new(pool),
+            scratch: trim_core::engine::EngineScratch::new(),
+        }
+    }
+}
+
+/// The scratch-path cell: bit-identical outcomes to [`run_cell`]'s
+/// allocating engine run (the parallel ≡ sequential test crosses the two
+/// paths on purpose), with zero per-cell allocation after worker warm-up.
+fn run_cell_with(
+    worker: &mut SweepWorker,
+    grid: &SweepGrid,
+    idx: usize,
+    board: Option<trimgame_stream::board::PublicBoard>,
+) -> SweepCell {
+    let (scheme, seed, shape) = grid.cell(idx);
+    let cfg = grid.config(scheme, seed, shape);
+    let baseline_quality = 1.0; // clean batches carry no excess tail mass
+    let defender = cfg.scheme.defender(cfg.tth, baseline_quality, cfg.red);
+    let adversary = cfg
+        .adversary_override
+        .clone()
+        .unwrap_or_else(|| cfg.scheme.adversary(cfg.tth));
+    let run = trim_core::simulation::run_game_with_scratch(
+        &cfg,
+        Box::new(defender),
+        Box::new(adversary),
+        board,
+        &mut worker.arena,
+        &mut worker.scratch,
+    );
+    SweepCell {
+        scheme,
+        seed,
+        shape: shape.name.clone(),
+        surviving_poison_fraction: run.totals.surviving_poison_fraction(),
+        benign_trim_fraction: run.totals.benign_trim_fraction(),
+        final_u_a: run.final_u_a,
+        final_u_c: run.final_u_c,
+        termination_round: run.termination_round,
+    }
+}
+
 /// Runs every cell of the grid sequentially, in grid order.
 ///
 /// # Panics
@@ -210,31 +268,77 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_with(n, workers, || (), |(), idx| job(idx))
+}
+
+/// Write handle for the lock-free result slots: each claimed index is
+/// written by exactly one worker (the atomic cursor hands indices out
+/// uniquely), so the disjoint `&mut` writes never alias, and the scope
+/// join publishes them to the collecting thread.
+struct SlotWriter<T>(*mut Option<T>);
+
+// SAFETY: the raw pointer is only dereferenced at indices handed out
+// uniquely by the claim cursor; `T: Send` makes moving results across
+// the worker threads sound.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for SlotWriter<T> {}
+
+/// [`parallel_map`] with per-worker state: `init` runs once on each
+/// worker thread (and once for the sequential path), and every job on
+/// that worker receives `&mut` of its state — the engine-scratch /
+/// scenario-arena reuse hook that makes a payoff sweep allocation-free
+/// across cells. State must never influence results (it is scheduling-
+/// dependent which jobs share a worker); the determinism contract is the
+/// same as [`parallel_map`]'s.
+///
+/// Results are written into disjoint pre-allocated slots — no per-item
+/// lock, so tiny jobs (a 10-round equilibrium cell) pay nothing beyond
+/// the claim cursor.
+///
+/// # Panics
+/// Panics if a worker panics.
+#[must_use]
+pub fn parallel_map_with<T, W, I, F>(n: usize, workers: usize, init: I, job: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
+{
     let workers = resolve_workers(workers, n);
     if workers <= 1 {
-        return (0..n).map(job).collect();
+        let mut state = init();
+        return (0..n).map(|idx| job(&mut state, idx)).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let writer = SlotWriter(slots.as_mut_ptr());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
+            let writer = &writer;
+            let (init, job, cursor) = (&init, &job, &cursor);
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let result = job(&mut state, idx);
+                    // SAFETY: `idx < n` is in bounds of the slot buffer,
+                    // and the fetch_add claim makes this worker the only
+                    // writer of slot `idx`; the buffer outlives the scope.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        *writer.0.add(idx) = Some(result);
+                    }
                 }
-                let result = job(idx);
-                *slots[idx].lock().expect("unpoisoned slot") = Some(result);
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("unpoisoned slot")
-                .expect("every index claimed exactly once")
-        })
+        .map(|slot| slot.expect("every index claimed exactly once"))
         .collect()
 }
 
@@ -242,14 +346,47 @@ where
 /// returns the cells in grid order. `workers == 0` uses the machine's
 /// available parallelism. The result is identical to [`run_sequential`]
 /// on the same grid (cells are seed-deterministic and
-/// scheduling-independent).
+/// scheduling-independent); each worker reuses one [`SweepWorker`]
+/// (arena + engine scratch) across all of its cells.
 ///
 /// # Panics
 /// Panics if the pool is empty, the grid is degenerate, or a worker
 /// panics.
 #[must_use]
 pub fn run(pool: &[f64], grid: &SweepGrid, workers: usize) -> Vec<SweepCell> {
-    parallel_map(grid.len(), workers, |idx| run_cell(pool, grid, idx))
+    parallel_map_with(
+        grid.len(),
+        workers,
+        || SweepWorker::new(pool),
+        |worker, idx| run_cell_with(worker, grid, idx, None),
+    )
+}
+
+/// The shared-board sweep: every cell's engine publishes its per-round
+/// records into its own shard of one [`ShardedBoard`] venue, so the
+/// whole grid's public history is readable by a single cross-collector
+/// observer ([`ShardedBoard::merged`]) — the information-leakage channel
+/// a fleet of collectors exposes to a board-reading adversary. Cell
+/// outcomes are identical to [`run`] (the policies in the roster are not
+/// board-driven; the board only *records*).
+///
+/// # Panics
+/// Panics if the pool is empty, the grid is degenerate, or a worker
+/// panics.
+#[must_use]
+pub fn run_shared_board(
+    pool: &[f64],
+    grid: &SweepGrid,
+    workers: usize,
+) -> (Vec<SweepCell>, ShardedBoard) {
+    let venue = ShardedBoard::new(grid.len().max(1));
+    let cells = parallel_map_with(
+        grid.len(),
+        workers,
+        || SweepWorker::new(pool),
+        |worker, idx| run_cell_with(worker, grid, idx, Some(venue.collector(idx))),
+    );
+    (cells, venue)
 }
 
 /// Per-scheme aggregate statistics over a sweep's cells.
@@ -362,6 +499,39 @@ pub fn sweep_report() -> String {
             s.terminated,
         );
     }
+
+    // Shared-board mode: the same grid publishing into one sharded venue,
+    // plus what a single cross-collector observer extracts from it.
+    let t2 = std::time::Instant::now();
+    let (shared_cells, venue) = run_shared_board(&pool, &grid, threads);
+    let shared_time = t2.elapsed();
+    assert_eq!(parallel, shared_cells, "the board only records");
+    let merged = venue.merged();
+    let mut distinct_thresholds = std::collections::BTreeSet::new();
+    let mut first_seen_round = usize::MAX;
+    merged.for_each(|_, record| {
+        distinct_thresholds.insert(record.threshold_percentile.to_bits());
+        first_seen_round = first_seen_round.min(record.round);
+    });
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "== Shared board: {} collectors, {} public records ({:.1} ms with per-collector shards) ==",
+        venue.collectors(),
+        merged.len(),
+        shared_time.as_secs_f64() * 1e3,
+    );
+    let _ = writeln!(
+        out,
+        "cross-collector leakage: one merged read exposes every collector's trimming position — \
+         {} distinct threshold percentiles, visible from round {} on",
+        distinct_thresholds.len(),
+        if first_seen_round == usize::MAX {
+            0
+        } else {
+            first_seen_round
+        },
+    );
     out
 }
 
@@ -403,6 +573,45 @@ mod tests {
             let par = run(&pool, &grid, workers);
             assert_eq!(seq, par, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn per_worker_state_never_leaks_into_results() {
+        // parallel_map_with: the worker state is reused across every job a
+        // worker claims; results must match the stateless map regardless.
+        let stateless = parallel_map(37, 1, |idx| idx * idx);
+        for workers in [2, 3, 8] {
+            let with_state = parallel_map_with(
+                37,
+                workers,
+                || 0usize,
+                |calls, idx| {
+                    *calls += 1; // scheduling-dependent, result-irrelevant
+                    idx * idx
+                },
+            );
+            assert_eq!(with_state, stateless, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn shared_board_mode_records_without_changing_outcomes() {
+        let grid = small_grid();
+        let pool = pool();
+        let isolated = run(&pool, &grid, 2);
+        let (shared, venue) = run_shared_board(&pool, &grid, 3);
+        assert_eq!(isolated, shared);
+        assert_eq!(venue.collectors(), grid.len());
+        // Every cell posted one record per round onto its own shard.
+        for idx in 0..grid.len() {
+            let (_, _, shape) = grid.cell(idx);
+            assert_eq!(venue.collector(idx).len(), shape.rounds, "cell {idx}");
+        }
+        // The merged observer sees the whole venue in round order.
+        let merged = venue.merged();
+        let records = merged.records();
+        assert_eq!(records.len(), venue.total_len());
+        assert!(records.windows(2).all(|w| w[0].1.round <= w[1].1.round));
     }
 
     #[test]

@@ -225,18 +225,27 @@ impl AdaptiveAttacker {
         &self.board
     }
 
-    /// Folds records published since the last read into the atom counts.
+    /// Folds records published since the last read into the atom counts
+    /// (an allocation-free visitor read of the chunked board).
     fn ingest_new_records(&mut self) {
-        for record in self.board.history_since(self.seen) {
-            self.seen += 1;
+        let Self {
+            board,
+            atoms,
+            seen,
+            tol,
+            ..
+        } = self;
+        let tol = *tol;
+        board.for_each_since(*seen, |record| {
+            *seen += 1;
             let t = record.threshold_percentile;
             assert!(!t.is_nan(), "NaN threshold on the public board");
-            let idx = self.atoms.partition_point(|&(a, _)| a < t - self.tol);
-            match self.atoms.get_mut(idx) {
-                Some((a, count)) if (*a - t).abs() <= self.tol => *count += 1,
-                _ => self.atoms.insert(idx, (t, 1)),
+            let idx = atoms.partition_point(|&(a, _)| a < t - tol);
+            match atoms.get_mut(idx) {
+                Some((a, count)) if (*a - t).abs() <= tol => *count += 1,
+                _ => atoms.insert(idx, (t, 1)),
             }
-        }
+        });
     }
 }
 

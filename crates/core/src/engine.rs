@@ -157,6 +157,87 @@ impl EngineTotals {
     }
 }
 
+/// Reusable trajectory buffers for [`Engine::run_with_scratch`]: the
+/// per-round series a run records, recycled across runs so a sweep or
+/// payoff-grid worker allocates them once instead of five vectors per
+/// cell.
+///
+/// After a scratch run the buffers hold that run's series (read them via
+/// the accessors); the next run clears and refills them, keeping the
+/// capacity.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    thresholds: Vec<f64>,
+    injections: Vec<f64>,
+    qualities: Vec<f64>,
+    gains_a: Vec<f64>,
+    gains_c: Vec<f64>,
+}
+
+impl EngineScratch {
+    /// Creates empty buffers (they grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The threshold percentile applied each round of the last run.
+    #[must_use]
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// The adversary's injection percentile each round of the last run.
+    #[must_use]
+    pub fn injections(&self) -> &[f64] {
+        &self.injections
+    }
+
+    /// The quality score of each round of the last run.
+    #[must_use]
+    pub fn qualities(&self) -> &[f64] {
+        &self.qualities
+    }
+
+    /// Cumulative utility trajectories of the last run (allocates — the
+    /// scratch keeps only roundwise gains).
+    #[must_use]
+    pub fn utilities(&self) -> UtilityTrajectory {
+        UtilityTrajectory::from_roundwise(&self.gains_a, &self.gains_c)
+    }
+
+    fn reset(&mut self, rounds: usize) {
+        for buf in [
+            &mut self.thresholds,
+            &mut self.injections,
+            &mut self.qualities,
+            &mut self.gains_a,
+            &mut self.gains_c,
+        ] {
+            buf.clear();
+            buf.reserve(rounds);
+        }
+    }
+}
+
+/// Aggregate result of a scratch-backed lean run ([`Engine::run_with_scratch`]):
+/// everything a payoff-estimation cell needs, with no owned trajectories
+/// — those stay in the [`EngineScratch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineRun {
+    /// Aggregate counts.
+    pub totals: EngineTotals,
+    /// Final cumulative adversary utility (bit-identical to
+    /// `utilities.u_a.last()` of [`Engine::run`]).
+    pub final_u_a: f64,
+    /// Final cumulative collector utility.
+    pub final_u_c: f64,
+    /// Round at which a trigger defender terminated cooperation, if any.
+    pub termination_round: Option<usize>,
+    /// Rounds played.
+    pub rounds: usize,
+}
+
 /// Result of driving a [`Scenario`] through the round loop.
 #[derive(Debug)]
 pub struct EngineOutcome<S> {
@@ -260,19 +341,69 @@ impl<S: Scenario> Engine<S> {
     /// # Panics
     /// Panics if `rounds == 0`.
     #[must_use]
-    pub fn run<R: Rng + ?Sized>(mut self, rounds: usize, rng: &mut R) -> EngineOutcome<S> {
+    pub fn run<R: Rng + ?Sized>(self, rounds: usize, rng: &mut R) -> EngineOutcome<S> {
+        let mut scratch = EngineScratch::new();
+        let (run, scenario, defender, adversary, board) = self.run_core(rounds, rng, &mut scratch);
+        EngineOutcome {
+            termination_round: run.termination_round,
+            scenario,
+            defender,
+            adversary,
+            utilities: UtilityTrajectory::from_roundwise(&scratch.gains_a, &scratch.gains_c),
+            thresholds: scratch.thresholds,
+            injections: scratch.injections,
+            qualities: scratch.qualities,
+            totals: run.totals,
+            board,
+        }
+    }
+
+    /// The allocation-free run entry point: identical round loop, RNG
+    /// call order and arithmetic as [`Engine::run`], but every per-round
+    /// series is recorded into the caller's reusable [`EngineScratch`]
+    /// and only the aggregate [`EngineRun`] is returned. A worker playing
+    /// hundreds of payoff-grid cells reuses one scratch (and one scenario
+    /// arena) across all of them.
+    ///
+    /// # Panics
+    /// Panics if `rounds == 0`.
+    #[must_use]
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        self,
+        rounds: usize,
+        rng: &mut R,
+        scratch: &mut EngineScratch,
+    ) -> EngineRun {
+        self.run_core(rounds, rng, scratch).0
+    }
+
+    /// The Fig. 3 round loop shared by both run entry points.
+    #[allow(clippy::type_complexity)]
+    fn run_core<R: Rng + ?Sized>(
+        mut self,
+        rounds: usize,
+        rng: &mut R,
+        scratch: &mut EngineScratch,
+    ) -> (
+        EngineRun,
+        S,
+        Box<dyn ThresholdPolicy>,
+        Box<dyn AttackPolicy>,
+        PublicBoard,
+    ) {
         assert!(rounds > 0, "need at least one round");
+        scratch.reset(rounds);
         let mut policy_rng = seeded_rng(self.policy_seed);
         let mut def_obs: Option<DefenderObservation> = None;
         let mut adv_obs = AdversaryObservation {
             last_threshold: None,
         };
-        let mut thresholds = Vec::with_capacity(rounds);
-        let mut injections = Vec::with_capacity(rounds);
-        let mut qualities = Vec::with_capacity(rounds);
-        let mut gains_a = Vec::with_capacity(rounds);
-        let mut gains_c = Vec::with_capacity(rounds);
         let mut totals = EngineTotals::default();
+        // Running cumulative utilities, summed in round order — the same
+        // addition sequence as `UtilityTrajectory::from_roundwise`, so
+        // the finals are bit-identical to the trajectory's last entries.
+        let mut cum_u_a = 0.0;
+        let mut cum_u_c = 0.0;
 
         for round in 1..=rounds {
             // Decisions from *previous* round information only. The
@@ -294,8 +425,11 @@ impl<S: Scenario> Engine<S> {
             // realized roundwise gain; everyone else ignores the call.
             self.adversary.observe_payoff(round, report.gain_adversary);
 
-            gains_a.push(report.gain_adversary);
-            gains_c.push(-report.gain_adversary - report.overhead);
+            let gain_c = -report.gain_adversary - report.overhead;
+            scratch.gains_a.push(report.gain_adversary);
+            scratch.gains_c.push(gain_c);
+            cum_u_a += report.gain_adversary;
+            cum_u_c += gain_c;
             totals.received += report.received;
             totals.trimmed += report.trimmed;
             totals.poison_received += report.poison_received;
@@ -310,9 +444,9 @@ impl<S: Scenario> Engine<S> {
                 retained: report.retained,
                 quality: report.quality,
             });
-            thresholds.push(threshold);
-            injections.push(injection);
-            qualities.push(report.quality);
+            scratch.thresholds.push(threshold);
+            scratch.injections.push(injection);
+            scratch.qualities.push(report.quality);
 
             def_obs = Some(DefenderObservation {
                 quality: report.quality,
@@ -323,18 +457,19 @@ impl<S: Scenario> Engine<S> {
             };
         }
 
-        EngineOutcome {
-            termination_round: self.defender.termination_round(),
-            scenario: self.scenario,
-            defender: self.defender,
-            adversary: self.adversary,
-            thresholds,
-            injections,
-            qualities,
-            utilities: UtilityTrajectory::from_roundwise(&gains_a, &gains_c),
-            totals,
-            board: self.board,
-        }
+        (
+            EngineRun {
+                totals,
+                final_u_a: cum_u_a,
+                final_u_c: cum_u_c,
+                termination_round: self.defender.termination_round(),
+                rounds,
+            },
+            self.scenario,
+            self.defender,
+            self.adversary,
+            self.board,
+        )
     }
 }
 
@@ -563,6 +698,36 @@ mod tests {
         )
         .run(rounds, &mut seeded_rng(8));
         assert_eq!(out.injections, again.injections);
+    }
+
+    #[test]
+    fn scratch_run_matches_owned_run_bit_for_bit() {
+        let make = || {
+            Engine::new(
+                ToyScenario {
+                    batch: 90,
+                    poison: 10,
+                },
+                DefenderPolicy::titfortat(0.9, 1.0, 0.005),
+                AdversaryPolicy::Uniform { lo: 0.85, hi: 1.0 },
+            )
+        };
+        let owned = make().run(12, &mut seeded_rng(11));
+        let mut scratch = EngineScratch::new();
+        // Warm the scratch on an unrelated run, then reuse it — stale
+        // contents must not leak into the next run.
+        let _ = make().run_with_scratch(5, &mut seeded_rng(99), &mut scratch);
+        let lean = make().run_with_scratch(12, &mut seeded_rng(11), &mut scratch);
+        assert_eq!(lean.totals, owned.totals);
+        assert_eq!(lean.termination_round, owned.termination_round);
+        assert_eq!(lean.rounds, 12);
+        assert_eq!(Some(&lean.final_u_a), owned.utilities.u_a.last());
+        assert_eq!(Some(&lean.final_u_c), owned.utilities.u_c.last());
+        assert_eq!(scratch.thresholds(), owned.thresholds.as_slice());
+        assert_eq!(scratch.injections(), owned.injections.as_slice());
+        assert_eq!(scratch.qualities(), owned.qualities.as_slice());
+        assert_eq!(scratch.utilities().u_a, owned.utilities.u_a);
+        assert_eq!(scratch.utilities().u_c, owned.utilities.u_c);
     }
 
     #[test]

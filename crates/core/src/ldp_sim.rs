@@ -112,6 +112,194 @@ impl LdpSimConfig {
     }
 }
 
+/// Reusable buffers of the LDP game: the sorted calibration stream and
+/// its prefix sums (refilled per run — their *contents* are seeded), the
+/// round's report buffer and the trim scratch.
+#[derive(Debug, Clone, Default)]
+pub struct LdpBufs {
+    calib: Vec<f64>,
+    prefix: Vec<f64>,
+    reports: Vec<f64>,
+    trim: TrimScratch,
+}
+
+/// A worker's reusable LDP game state. Unlike the scalar/ML arenas there
+/// is no shareable model — the calibration stream is part of each run's
+/// seeded randomness — but the buffers (calibration table, prefix sums,
+/// per-round reports, trim scratch) are recycled across runs via
+/// [`run_ldp_collection_with_scratch`].
+#[derive(Debug, Clone, Default)]
+pub struct LdpArena {
+    bufs: LdpBufs,
+}
+
+impl LdpArena {
+    /// Creates empty buffers (they grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The per-run parameters of one LDP game.
+#[derive(Debug, Clone, Copy)]
+struct LdpParams {
+    users_per_round: usize,
+    n_attack: usize,
+    calib_mean: f64,
+    ref_value: f64,
+    expected_tail: f64,
+    trims: bool,
+}
+
+/// Runs the clean calibration round into `calib`/`prefix` (the collector
+/// knows the honest report distribution shape: the mechanism is public
+/// and the input prior comes from history) and computes the derived
+/// per-run parameters. Draws are identical for the owned and the
+/// arena-backed path.
+fn ldp_calibrate<R: Rng + ?Sized>(
+    population: &[f64],
+    mech: &Piecewise,
+    defense: LdpDefense,
+    cfg: &LdpSimConfig,
+    bufs: &mut LdpBufs,
+    rng: &mut R,
+) -> LdpParams {
+    assert!(!population.is_empty(), "empty population");
+    assert!(
+        cfg.rounds > 0 && cfg.users_per_round > 0,
+        "degenerate config"
+    );
+    bufs.calib.clear();
+    bufs.calib.extend((0..cfg.users_per_round).map(|i| {
+        let x = population[i % population.len()];
+        mech.privatize(x, rng)
+    }));
+    bufs.calib
+        .sort_by(|a, b| a.partial_cmp(b).expect("NaN report"));
+    // Prefix sums over the sorted calibration stream: `trim_bias(cut)`
+    // is how far the mean of an honest stream drops when values above
+    // `cut` are removed — the collector adds it back after trimming.
+    bufs.prefix.clear();
+    bufs.prefix.extend(bufs.calib.iter().scan(0.0, |acc, &v| {
+        *acc += v;
+        Some(*acc)
+    }));
+    let calib_mean = mean(&bufs.calib);
+    let ref_value = trimgame_numerics::quantile::percentile_sorted(
+        &bufs.calib,
+        cfg.soft.clamp(0.0, 1.0),
+        Interpolation::Linear,
+    );
+    LdpParams {
+        users_per_round: cfg.users_per_round,
+        n_attack: (cfg.users_per_round as f64 * cfg.attack_ratio).round() as usize,
+        calib_mean,
+        ref_value,
+        expected_tail: 1.0 - cfg.soft,
+        trims: !matches!(defense, LdpDefense::Emf),
+    }
+}
+
+/// One LDP round, shared by the owned [`LdpScenario`] and the
+/// arena-backed cell: honest privatization, protocol-compliant attack
+/// reports, quality scoring, and (for trimming defenses) the cut at the
+/// calibration quantile. Returns the report plus this round's debiased
+/// trimmed-mean contribution `(estimate_delta, kept_delta)`; the raw
+/// reports stay in `bufs.reports` for the EMF path.
+fn ldp_round<R: Rng + ?Sized>(
+    population: &[f64],
+    mech: &Piecewise,
+    params: &LdpParams,
+    bufs: &mut LdpBufs,
+    threshold: f64,
+    injection: f64,
+    rng: &mut R,
+) -> (RoundReport, f64, usize) {
+    // Honest reports.
+    bufs.reports.clear();
+    bufs.reports.extend((0..params.users_per_round).map(|_| {
+        let idx = rng.gen_range(0..population.len());
+        mech.privatize(population[idx], rng)
+    }));
+    // Attack reports (input manipulation: protocol-compliant, holding
+    // the counterfeit input the adversary's position maps to; the
+    // privatization consumes the same number of main-stream draws for
+    // any input, so the position never perturbs the honest stream).
+    let attack = InputManipulation::new(counterfeit_input(injection));
+    for _ in 0..params.n_attack {
+        let r = attack.report(mech, rng);
+        bufs.reports.push(r);
+    }
+
+    // Quality: excess upper-tail mass relative to calibration.
+    let above = 1.0 - ecdf(&bufs.reports, params.ref_value);
+    let quality = 1.0 - (above - params.expected_tail).max(0.0);
+    let received = bufs.reports.len();
+
+    let mut report = RoundReport {
+        quality,
+        received,
+        poison_received: params.n_attack,
+        ..RoundReport::new()
+    };
+    if !params.trims {
+        report.poison_survived = params.n_attack;
+        let mut retained = OnlineStats::new();
+        retained.extend(&bufs.reports);
+        report.retained = retained;
+        return (report, 0.0, 0);
+    }
+
+    let cut = trimgame_numerics::quantile::percentile_sorted(
+        &bufs.calib,
+        threshold.clamp(0.0, 1.0),
+        Interpolation::Linear,
+    );
+    let stats = TrimOp::Absolute(cut).apply_in_place(&bufs.reports, &mut bufs.trim);
+    let (estimate_delta, kept_delta) = if stats.kept > 0 {
+        // `trim_bias(cut)`: the honest-stream mean shift the cut induces.
+        let n_below = bufs.calib.partition_point(|&v| v <= cut);
+        let bias = if n_below == 0 {
+            0.0
+        } else {
+            params.calib_mean - bufs.prefix[n_below - 1] / n_below as f64
+        };
+        (
+            (mean(bufs.trim.kept()) + bias) * stats.kept as f64,
+            stats.kept,
+        )
+    } else {
+        (0.0, 0)
+    };
+    // Provenance the simulator (not the defender) knows: the attack
+    // reports are the tail segment of the batch.
+    let mask = bufs.trim.kept_mask();
+    let poison_survived = mask[params.users_per_round..]
+        .iter()
+        .filter(|&&m| m)
+        .count();
+    let benign_trimmed = mask[..params.users_per_round]
+        .iter()
+        .filter(|&&m| !m)
+        .count();
+    report.trimmed = stats.trimmed;
+    report.poison_survived = poison_survived;
+    report.benign_trimmed = benign_trimmed;
+    // Percentile-damage proxy, as on the other substrates: surviving
+    // attack mass weighted by the attack position. The historical
+    // fixed attack sits at percentile 1.0, where the weight is exactly
+    // the old unweighted gain.
+    report.gain_adversary =
+        poison_survived as f64 / received.max(1) as f64 * injection.clamp(0.0, 1.0);
+    report.overhead = benign_trimmed as f64 / received.max(1) as f64;
+    report.threshold_value = stats.threshold_value;
+    let mut retained = OnlineStats::new();
+    retained.extend(bufs.trim.kept());
+    report.retained = retained;
+    (report, estimate_delta, kept_delta)
+}
+
 /// The LDP report-stream workload as an
 /// [`engine::Scenario`](crate::engine::Scenario).
 ///
@@ -124,15 +312,8 @@ impl LdpSimConfig {
 pub struct LdpScenario<'a> {
     population: &'a [f64],
     mech: Piecewise,
-    users_per_round: usize,
-    n_attack: usize,
-    calib: Vec<f64>,
-    prefix: Vec<f64>,
-    calib_mean: f64,
-    ref_value: f64,
-    expected_tail: f64,
-    trims: bool,
-    scratch: TrimScratch,
+    arena: LdpArena,
+    params: LdpParams,
     estimate_sum: f64,
     kept_total: usize,
     all_reports: Vec<f64>,
@@ -152,69 +333,18 @@ impl<'a> LdpScenario<'a> {
         cfg: &LdpSimConfig,
         rng: &mut R,
     ) -> Self {
-        assert!(!population.is_empty(), "empty population");
-        assert!(
-            cfg.rounds > 0 && cfg.users_per_round > 0,
-            "degenerate config"
-        );
         let mech = Piecewise::new(cfg.epsilon);
-        let mut calib: Vec<f64> = (0..cfg.users_per_round)
-            .map(|i| {
-                let x = population[i % population.len()];
-                mech.privatize(x, rng)
-            })
-            .collect();
-        calib.sort_by(|a, b| a.partial_cmp(b).expect("NaN report"));
-        // Prefix sums over the sorted calibration stream: `trim_bias(cut)`
-        // is how far the mean of an honest stream drops when values above
-        // `cut` are removed — the collector adds it back after trimming.
-        let prefix: Vec<f64> = calib
-            .iter()
-            .scan(0.0, |acc, &v| {
-                *acc += v;
-                Some(*acc)
-            })
-            .collect();
-        let calib_mean = mean(&calib);
-        let ref_value = trimgame_numerics::quantile::percentile_sorted(
-            &calib,
-            cfg.soft.clamp(0.0, 1.0),
-            Interpolation::Linear,
-        );
-        let n =
-            cfg.users_per_round + (cfg.users_per_round as f64 * cfg.attack_ratio).round() as usize;
+        let mut arena = LdpArena::new();
+        let params = ldp_calibrate(population, &mech, defense, cfg, &mut arena.bufs, rng);
         Self {
             population,
             mech,
-            users_per_round: cfg.users_per_round,
-            n_attack: (cfg.users_per_round as f64 * cfg.attack_ratio).round() as usize,
-            calib,
-            prefix,
-            calib_mean,
-            ref_value,
-            expected_tail: 1.0 - cfg.soft,
-            trims: !matches!(defense, LdpDefense::Emf),
-            scratch: TrimScratch::with_capacity(n),
+            arena,
+            params,
             estimate_sum: 0.0,
             kept_total: 0,
             all_reports: Vec::new(),
         }
-    }
-
-    fn ref_at(&self, p: f64) -> f64 {
-        trimgame_numerics::quantile::percentile_sorted(
-            &self.calib,
-            p.clamp(0.0, 1.0),
-            Interpolation::Linear,
-        )
-    }
-
-    fn trim_bias(&self, cut: f64) -> f64 {
-        let n_below = self.calib.partition_point(|&v| v <= cut);
-        if n_below == 0 {
-            return 0.0;
-        }
-        self.calib_mean - self.prefix[n_below - 1] / n_below as f64
     }
 
     /// The weighted debiased trimmed-mean estimate accumulated so far
@@ -262,67 +392,53 @@ impl Scenario for LdpScenario<'_> {
         injection: f64,
         rng: &mut R,
     ) -> RoundReport {
-        // Honest reports.
-        let mut reports: Vec<f64> = (0..self.users_per_round)
-            .map(|_| {
-                let idx = rng.gen_range(0..self.population.len());
-                self.mech.privatize(self.population[idx], rng)
-            })
-            .collect();
-        // Attack reports (input manipulation: protocol-compliant, holding
-        // the counterfeit input the adversary's position maps to; the
-        // privatization consumes the same number of main-stream draws for
-        // any input, so the position never perturbs the honest stream).
-        let attack = InputManipulation::new(counterfeit_input(injection));
-        reports.extend(attack.reports(&self.mech, self.n_attack, rng));
-
-        // Quality: excess upper-tail mass relative to calibration.
-        let above = 1.0 - ecdf(&reports, self.ref_value);
-        let quality = 1.0 - (above - self.expected_tail).max(0.0);
-        let received = reports.len();
-
-        let mut report = RoundReport {
-            quality,
-            received,
-            poison_received: self.n_attack,
-            ..RoundReport::new()
-        };
-        if !self.trims {
-            self.all_reports.extend_from_slice(&reports);
-            report.poison_survived = self.n_attack;
-            let mut retained = OnlineStats::new();
-            retained.extend(&reports);
-            report.retained = retained;
-            return report;
+        let (report, estimate_delta, kept_delta) = ldp_round(
+            self.population,
+            &self.mech,
+            &self.params,
+            &mut self.arena.bufs,
+            threshold,
+            injection,
+            rng,
+        );
+        self.estimate_sum += estimate_delta;
+        self.kept_total += kept_delta;
+        if !self.params.trims {
+            self.all_reports.extend_from_slice(&self.arena.bufs.reports);
         }
-
-        let cut = self.ref_at(threshold);
-        let stats = TrimOp::Absolute(cut).apply_in_place(&reports, &mut self.scratch);
-        if stats.kept > 0 {
-            self.estimate_sum +=
-                (mean(self.scratch.kept()) + self.trim_bias(cut)) * stats.kept as f64;
-            self.kept_total += stats.kept;
-        }
-        // Provenance the simulator (not the defender) knows: the attack
-        // reports are the tail segment of the batch.
-        let mask = self.scratch.kept_mask();
-        let poison_survived = mask[self.users_per_round..].iter().filter(|&&m| m).count();
-        let benign_trimmed = mask[..self.users_per_round].iter().filter(|&&m| !m).count();
-        report.trimmed = stats.trimmed;
-        report.poison_survived = poison_survived;
-        report.benign_trimmed = benign_trimmed;
-        // Percentile-damage proxy, as on the other substrates: surviving
-        // attack mass weighted by the attack position. The historical
-        // fixed attack sits at percentile 1.0, where the weight is exactly
-        // the old unweighted gain.
-        report.gain_adversary =
-            poison_survived as f64 / received.max(1) as f64 * injection.clamp(0.0, 1.0);
-        report.overhead = benign_trimmed as f64 / received.max(1) as f64;
-        report.threshold_value = stats.threshold_value;
-        let mut retained = OnlineStats::new();
-        retained.extend(self.scratch.kept());
-        report.retained = retained;
         report
+    }
+}
+
+/// The arena-backed LDP cell: one seeded run borrowing a worker's
+/// [`LdpArena`], with no raw-report retention or estimate accumulation —
+/// the payoff-grid cell shape.
+#[derive(Debug)]
+struct LdpCell<'a> {
+    population: &'a [f64],
+    mech: Piecewise,
+    arena: &'a mut LdpArena,
+    params: LdpParams,
+}
+
+impl Scenario for LdpCell<'_> {
+    fn play_round<R: Rng + ?Sized>(
+        &mut self,
+        _round: usize,
+        threshold: f64,
+        injection: f64,
+        rng: &mut R,
+    ) -> RoundReport {
+        ldp_round(
+            self.population,
+            &self.mech,
+            &self.params,
+            &mut self.arena.bufs,
+            threshold,
+            injection,
+            rng,
+        )
+        .0
     }
 }
 
@@ -424,6 +540,45 @@ pub fn run_ldp_collection_outcome<'a>(
     engine.run(cfg.rounds, &mut rng)
 }
 
+/// The allocation-free LDP run: one seeded collection over the
+/// worker-owned [`LdpArena`] (calibration table, prefix sums, report and
+/// trim buffers) recording into the reusable
+/// [`EngineScratch`](crate::engine::EngineScratch). No raw-report
+/// retention and no trimmed-mean estimate — trajectory finals and totals
+/// are bit-identical to [`run_ldp_collection_outcome`], the LDP
+/// payoff-grid cell path.
+///
+/// # Panics
+/// Panics if the population is empty or config degenerate.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // one arg per game ingredient, like the outcome entry point
+pub fn run_ldp_collection_with_scratch(
+    population: &[f64],
+    defense: LdpDefense,
+    cfg: &LdpSimConfig,
+    defender: Box<dyn ThresholdPolicy>,
+    adversary: Box<dyn crate::adversary::AttackPolicy>,
+    board: Option<trimgame_stream::board::PublicBoard>,
+    arena: &mut LdpArena,
+    scratch: &mut crate::engine::EngineScratch,
+) -> crate::engine::EngineRun {
+    let mut rng = seeded_rng(cfg.seed);
+    let mech = Piecewise::new(cfg.epsilon);
+    let params = ldp_calibrate(population, &mech, defense, cfg, &mut arena.bufs, &mut rng);
+    let cell = LdpCell {
+        population,
+        mech,
+        arena,
+        params,
+    };
+    let mut engine = Engine::with_policies(cell, defender, adversary)
+        .with_policy_seed(derive_seed(cfg.seed, POLICY_SEED_STREAM));
+    if let Some(board) = board {
+        engine = engine.with_board(board);
+    }
+    engine.run_with_scratch(cfg.rounds, &mut rng, scratch)
+}
+
 /// A deterministic honest-report calibration sample: `n` reports of the
 /// population cycled through the Piecewise Mechanism at `epsilon`, seeded
 /// by `seed`, sorted ascending. Mirrors the calibration round
@@ -479,6 +634,49 @@ mod tests {
     fn roster_matches_legend() {
         let names: Vec<_> = LdpDefense::roster().iter().map(LdpDefense::name).collect();
         assert_eq!(names, vec!["Titfortat", "Elastic0.1", "Elastic0.5", "EMF"]);
+    }
+
+    #[test]
+    fn ldp_scratch_cells_replay_the_outcome_path_bit_for_bit() {
+        use crate::adversary::AdversaryPolicy;
+        use crate::engine::EngineScratch;
+        let pop = population();
+        let mut arena = LdpArena::new();
+        let mut scratch = EngineScratch::new();
+        for (soft, seed) in [(0.9f64, 3u64), (0.95, 4), (0.9, 3)] {
+            let cfg = LdpSimConfig {
+                users_per_round: 400,
+                rounds: 3,
+                soft,
+                hard: soft - 0.1,
+                ..LdpSimConfig::new(3.0, 0.25, seed)
+            };
+            let policies = || {
+                (
+                    Box::new(ldp_defender(LdpDefense::TitForTat, &cfg)) as Box<dyn ThresholdPolicy>,
+                    Box::new(AdversaryPolicy::Fixed { percentile: 0.97 })
+                        as Box<dyn crate::adversary::AttackPolicy>,
+                )
+            };
+            let (d, a) = policies();
+            let owned = run_ldp_collection_outcome(&pop, LdpDefense::TitForTat, &cfg, d, a, None);
+            let (d, a) = policies();
+            let lean = run_ldp_collection_with_scratch(
+                &pop,
+                LdpDefense::TitForTat,
+                &cfg,
+                d,
+                a,
+                None,
+                &mut arena,
+                &mut scratch,
+            );
+            assert_eq!(lean.totals, owned.totals, "soft={soft} seed={seed}");
+            assert_eq!(Some(&lean.final_u_a), owned.utilities.u_a.last());
+            assert_eq!(Some(&lean.final_u_c), owned.utilities.u_c.last());
+            assert_eq!(scratch.thresholds(), owned.thresholds.as_slice());
+            assert_eq!(scratch.qualities(), owned.qualities.as_slice());
+        }
     }
 
     #[test]

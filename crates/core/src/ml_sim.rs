@@ -90,38 +90,25 @@ impl CollectedSet {
     }
 }
 
-/// The feature-vector collection workload as an
-/// [`engine::Scenario`](crate::engine::Scenario).
-///
-/// The trimming game is played on the classic distance scalar: each row's
-/// anomaly score is its Euclidean distance to the nearest clean centroid,
-/// and both the trimming cut and the injection distance resolve
-/// percentiles against the clean score distribution (the public quality
-/// standard). The retained rows accumulate into the training set the
-/// learners consume.
+/// The clean reference model of the feature-vector game: the clean
+/// k-means centroids and the sorted clean anomaly-score distribution.
+/// Depends only on the dataset — fit it once ([`MlModel::fit`]) and
+/// share it (`Arc`) across every run, worker and payoff cell on that
+/// dataset; fitting is by far the most expensive part of constructing an
+/// ML game.
 #[derive(Debug, Clone)]
-pub struct MlScenario<'a> {
-    data: &'a Dataset,
+pub struct MlModel {
     centroids: Vec<Vec<f64>>,
     clean_scores: Vec<f64>,
-    ref_value: f64,
-    expected_tail: f64,
-    batch: usize,
-    attack_ratio: f64,
-    classes: usize,
-    scratch: TrimScratch,
-    rows: Vec<Vec<f64>>,
-    labels: Vec<usize>,
-    is_poison: Vec<bool>,
 }
 
-impl<'a> MlScenario<'a> {
-    /// Builds the scenario over the clean dataset.
+impl MlModel {
+    /// Fits the clean clustering and its score distribution.
     ///
     /// # Panics
     /// Panics if the dataset is unlabelled or smaller than two rows.
     #[must_use]
-    pub fn new(data: &'a Dataset, cfg: &MlSimConfig) -> Self {
+    pub fn fit(data: &Dataset) -> Self {
         assert!(data.labels().is_some(), "collect_poisoned needs labels");
         assert!(data.rows() >= 2, "dataset too small");
         // Anomaly score: distance to the nearest centroid of the *clean
@@ -139,25 +126,22 @@ impl<'a> MlScenario<'a> {
         };
         let mut clean_scores: Vec<f64> = data.iter_rows().map(score).collect();
         clean_scores.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
-        let ref_value = trimgame_numerics::quantile::percentile_sorted(
-            &clean_scores,
-            cfg.tth.clamp(0.0, 1.0),
-            Interpolation::Linear,
-        );
         Self {
-            data,
             centroids,
             clean_scores,
-            ref_value,
-            expected_tail: 1.0 - cfg.tth,
-            batch: cfg.batch,
-            attack_ratio: cfg.attack_ratio,
-            classes: data.clusters().max(1),
-            scratch: TrimScratch::with_capacity(cfg.batch + cfg.batch / 2),
-            rows: Vec::new(),
-            labels: Vec::new(),
-            is_poison: Vec::new(),
         }
+    }
+
+    /// The clean k-means centroids.
+    #[must_use]
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// The sorted clean anomaly-score distribution.
+    #[must_use]
+    pub fn clean_scores(&self) -> &[f64] {
+        &self.clean_scores
     }
 
     fn score(&self, row: &[f64]) -> f64 {
@@ -173,6 +157,244 @@ impl<'a> MlScenario<'a> {
             p.clamp(0.0, 1.0),
             Interpolation::Linear,
         )
+    }
+}
+
+/// Reusable per-round buffers of the ML round step: the flat batch
+/// matrix, labels, provenance, the anomaly scores and the trim scratch.
+#[derive(Debug, Clone, Default)]
+pub struct MlBufs {
+    /// Row-major batch matrix (`received × cols`).
+    rows: Vec<f64>,
+    labels: Vec<usize>,
+    is_poison: Vec<bool>,
+    dists: Vec<f64>,
+    dir: Vec<f64>,
+    poison_row: Vec<f64>,
+    trim: TrimScratch,
+}
+
+/// A worker's reusable ML game state: the shared clean model plus the
+/// round buffers. Build one per worker ([`MlArena::new`] fits the model;
+/// [`MlArena::with_model`] shares an already-fitted one) and reuse it
+/// across seeded runs via [`collect_poisoned_with_scratch`].
+#[derive(Debug, Clone)]
+pub struct MlArena {
+    model: std::sync::Arc<MlModel>,
+    bufs: MlBufs,
+}
+
+impl MlArena {
+    /// Fits the clean model and creates empty buffers.
+    ///
+    /// # Panics
+    /// Panics if the dataset is unlabelled or smaller than two rows.
+    #[must_use]
+    pub fn new(data: &Dataset) -> Self {
+        Self::with_model(std::sync::Arc::new(MlModel::fit(data)))
+    }
+
+    /// Wraps an already-fitted shared model.
+    #[must_use]
+    pub fn with_model(model: std::sync::Arc<MlModel>) -> Self {
+        Self {
+            model,
+            bufs: MlBufs::default(),
+        }
+    }
+
+    /// The shared clean model.
+    #[must_use]
+    pub fn model(&self) -> &std::sync::Arc<MlModel> {
+        &self.model
+    }
+}
+
+/// The dataset-independent parameters of one ML game run.
+#[derive(Debug, Clone, Copy)]
+struct MlParams {
+    ref_value: f64,
+    expected_tail: f64,
+    batch: usize,
+    attack_ratio: f64,
+    classes: usize,
+}
+
+impl MlParams {
+    fn new(model: &MlModel, data: &Dataset, cfg: &MlSimConfig) -> Self {
+        Self {
+            ref_value: model.ref_at(cfg.tth.clamp(0.0, 1.0)),
+            expected_tail: 1.0 - cfg.tth,
+            batch: cfg.batch,
+            attack_ratio: cfg.attack_ratio,
+            classes: data.clusters().max(1),
+        }
+    }
+}
+
+/// One ML round, shared by the owned [`MlScenario`] and the arena-backed
+/// cell of [`collect_poisoned_with_scratch`]: benign sample into the flat
+/// batch matrix, the colluding Sybil point mass at the injection score
+/// percentile, score trimming at the cut, payoff accounting. The batch
+/// matrix, labels, provenance and kept mask are left in `bufs` for
+/// callers that record retained rows.
+fn ml_round<R: Rng + ?Sized>(
+    data: &Dataset,
+    model: &MlModel,
+    params: &MlParams,
+    bufs: &mut MlBufs,
+    threshold: f64,
+    injection: f64,
+    rng: &mut R,
+) -> RoundReport {
+    let injection = injection.clamp(0.0, 1.0);
+    let cols = data.cols();
+
+    // Benign sample (flat rows; draws identical to the historical
+    // row-per-Vec form).
+    bufs.rows.clear();
+    bufs.labels.clear();
+    bufs.is_poison.clear();
+    bufs.rows.reserve(params.batch * cols);
+    for _ in 0..params.batch {
+        let i = rng.gen_range(0..data.rows());
+        bufs.rows.extend_from_slice(data.row(i));
+        bufs.labels.push(data.label(i).expect("labelled"));
+        bufs.is_poison.push(false);
+    }
+    // Poison points at the injection score percentile (of the clean
+    // reference distribution). The attackers are *colluding* Sybils
+    // (the paper's threat model), so the round's whole poison batch is
+    // a coordinated point mass: one target cluster, one direction, all
+    // poison at the same spot — the placement that maximizes centroid
+    // displacement at a given anomaly score. Labels are adversary
+    // chosen (random class).
+    let n_poison = (params.attack_ratio * params.batch as f64).round() as usize;
+    let poison_dist = model.ref_at(injection);
+    if n_poison > 0 {
+        let centroids = model.centroids();
+        let target = rng.gen_range(0..centroids.len().max(1));
+        let base = &centroids[target.min(centroids.len() - 1)];
+        bufs.dir.clear();
+        bufs.dir.extend((0..cols).map(|_| standard_normal(rng)));
+        let norm = bufs
+            .dir
+            .iter()
+            .map(|x| x * x)
+            .sum::<f64>()
+            .sqrt()
+            .max(1e-12);
+        bufs.poison_row.clear();
+        bufs.poison_row.extend(
+            base.iter()
+                .zip(&bufs.dir)
+                .map(|(c, d)| c + poison_dist * d / norm),
+        );
+        let poison_label = rng.gen_range(0..params.classes);
+        for _ in 0..n_poison {
+            bufs.rows.extend_from_slice(&bufs.poison_row);
+            bufs.labels.push(poison_label);
+            bufs.is_poison.push(true);
+        }
+    }
+
+    // Score trimming at the reference value of the threshold
+    // percentile, on the distance scalars (shared in-place hot path).
+    bufs.dists.clear();
+    bufs.dists
+        .extend(bufs.rows.chunks_exact(cols).map(|r| model.score(r)));
+    let cut = model.ref_at(threshold.clamp(0.0, 1.0));
+    let stats = TrimOp::Absolute(cut).apply_in_place(&bufs.dists, &mut bufs.trim);
+
+    // Quality: excess tail mass above the clean reference distance.
+    let above = bufs.dists.iter().filter(|&&d| d > params.ref_value).count() as f64
+        / bufs.dists.len() as f64;
+    let quality = 1.0 - (above - params.expected_tail).max(0.0);
+
+    let mut poison_received = 0;
+    let mut poison_survived = 0;
+    let mut benign_trimmed = 0;
+    let received = bufs.is_poison.len();
+    for (i, &is_poison) in bufs.is_poison.iter().enumerate() {
+        let keep = bufs.trim.kept_mask()[i];
+        if is_poison {
+            poison_received += 1;
+            if keep {
+                poison_survived += 1;
+            }
+        } else if !keep {
+            benign_trimmed += 1;
+        }
+    }
+
+    // The defender observes the adversary's realized reference
+    // percentile via the public record (complete information).
+    let observed = if n_poison > 0 {
+        percentile_of(model.clean_scores(), poison_dist)
+    } else {
+        injection
+    };
+    let batch_len = received.max(1);
+    let mut retained_stats = OnlineStats::new();
+    retained_stats.extend(bufs.trim.kept());
+    RoundReport {
+        quality,
+        received,
+        trimmed: stats.trimmed,
+        poison_received,
+        poison_survived,
+        benign_trimmed,
+        gain_adversary: poison_survived as f64 / batch_len as f64 * injection,
+        overhead: benign_trimmed as f64 / batch_len as f64,
+        observed_injection: Some(observed),
+        threshold_value: stats.threshold_value,
+        retained: retained_stats,
+    }
+}
+
+/// The feature-vector collection workload as an
+/// [`engine::Scenario`](crate::engine::Scenario).
+///
+/// The trimming game is played on the classic distance scalar: each row's
+/// anomaly score is its Euclidean distance to the nearest clean centroid,
+/// and both the trimming cut and the injection distance resolve
+/// percentiles against the clean score distribution (the public quality
+/// standard). The retained rows accumulate into the training set the
+/// learners consume.
+#[derive(Debug, Clone)]
+pub struct MlScenario<'a> {
+    data: &'a Dataset,
+    arena: MlArena,
+    params: MlParams,
+    rows: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    is_poison: Vec<bool>,
+}
+
+impl<'a> MlScenario<'a> {
+    /// Builds the scenario over the clean dataset (fits the clean model;
+    /// see [`MlScenario::with_arena`] to share a fitted one).
+    ///
+    /// # Panics
+    /// Panics if the dataset is unlabelled or smaller than two rows.
+    #[must_use]
+    pub fn new(data: &'a Dataset, cfg: &MlSimConfig) -> Self {
+        Self::with_arena(data, MlArena::new(data), cfg)
+    }
+
+    /// Builds the scenario over a pre-fitted arena (the model must have
+    /// been fitted on `data`).
+    #[must_use]
+    pub fn with_arena(data: &'a Dataset, arena: MlArena, cfg: &MlSimConfig) -> Self {
+        let params = MlParams::new(&arena.model, data, cfg);
+        Self {
+            data,
+            arena,
+            params,
+            rows: Vec::new(),
+            labels: Vec::new(),
+            is_poison: Vec::new(),
+        }
     }
 
     /// Converts the accumulated retained rows into a [`CollectedSet`] for
@@ -209,102 +431,56 @@ impl Scenario for MlScenario<'_> {
         injection: f64,
         rng: &mut R,
     ) -> RoundReport {
-        let injection = injection.clamp(0.0, 1.0);
-
-        // Benign sample.
-        let mut batch_rows: Vec<Vec<f64>> = Vec::with_capacity(self.batch);
-        let mut batch_labels: Vec<usize> = Vec::with_capacity(self.batch);
-        let mut batch_poison: Vec<bool> = Vec::with_capacity(self.batch);
-        for _ in 0..self.batch {
-            let i = rng.gen_range(0..self.data.rows());
-            batch_rows.push(self.data.row(i).to_vec());
-            batch_labels.push(self.data.label(i).expect("labelled"));
-            batch_poison.push(false);
-        }
-        // Poison points at the injection score percentile (of the clean
-        // reference distribution). The attackers are *colluding* Sybils
-        // (the paper's threat model), so the round's whole poison batch is
-        // a coordinated point mass: one target cluster, one direction, all
-        // poison at the same spot — the placement that maximizes centroid
-        // displacement at a given anomaly score. Labels are adversary
-        // chosen (random class).
-        let n_poison = (self.attack_ratio * self.batch as f64).round() as usize;
-        let poison_dist = self.ref_at(injection);
-        if n_poison > 0 {
-            let target = rng.gen_range(0..self.centroids.len().max(1));
-            let base = &self.centroids[target.min(self.centroids.len() - 1)];
-            let dir: Vec<f64> = (0..self.data.cols())
-                .map(|_| standard_normal(rng))
-                .collect();
-            let norm = dir.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
-            let poison_row: Vec<f64> = base
-                .iter()
-                .zip(&dir)
-                .map(|(c, d)| c + poison_dist * d / norm)
-                .collect();
-            let poison_label = rng.gen_range(0..self.classes);
-            for _ in 0..n_poison {
-                batch_rows.push(poison_row.clone());
-                batch_labels.push(poison_label);
-                batch_poison.push(true);
+        let report = ml_round(
+            self.data,
+            &self.arena.model,
+            &self.params,
+            &mut self.arena.bufs,
+            threshold,
+            injection,
+            rng,
+        );
+        // Accumulate the retained training set.
+        let bufs = &self.arena.bufs;
+        let cols = self.data.cols();
+        for (i, keep) in bufs.trim.kept_mask().iter().enumerate() {
+            if *keep {
+                self.rows.push(bufs.rows[i * cols..(i + 1) * cols].to_vec());
+                self.labels.push(bufs.labels[i]);
+                self.is_poison.push(bufs.is_poison[i]);
             }
         }
+        report
+    }
+}
 
-        // Score trimming at the reference value of the threshold
-        // percentile, on the distance scalars (shared in-place hot path).
-        let all_dists: Vec<f64> = batch_rows.iter().map(|r| self.score(r)).collect();
-        let cut = self.ref_at(threshold);
-        let stats = TrimOp::Absolute(cut).apply_in_place(&all_dists, &mut self.scratch);
+/// The arena-backed ML cell: one seeded run borrowing a worker's
+/// [`MlArena`], with no retained-set accumulation — the payoff-grid cell
+/// shape.
+#[derive(Debug)]
+struct MlCell<'a> {
+    data: &'a Dataset,
+    arena: &'a mut MlArena,
+    params: MlParams,
+}
 
-        // Quality: excess tail mass above the clean reference distance.
-        let above = all_dists.iter().filter(|&&d| d > self.ref_value).count() as f64
-            / all_dists.len() as f64;
-        let quality = 1.0 - (above - self.expected_tail).max(0.0);
-
-        let mut poison_received = 0;
-        let mut poison_survived = 0;
-        let mut benign_trimmed = 0;
-        let received = batch_rows.len();
-        for (i, row) in batch_rows.into_iter().enumerate() {
-            let keep = self.scratch.kept_mask()[i];
-            if batch_poison[i] {
-                poison_received += 1;
-                if keep {
-                    poison_survived += 1;
-                }
-            } else if !keep {
-                benign_trimmed += 1;
-            }
-            if keep {
-                self.rows.push(row);
-                self.labels.push(batch_labels[i]);
-                self.is_poison.push(batch_poison[i]);
-            }
-        }
-
-        // The defender observes the adversary's realized reference
-        // percentile via the public record (complete information).
-        let observed = if n_poison > 0 {
-            percentile_of(&self.clean_scores, poison_dist)
-        } else {
-            injection
-        };
-        let batch_len = received.max(1);
-        let mut retained_stats = OnlineStats::new();
-        retained_stats.extend(self.scratch.kept());
-        RoundReport {
-            quality,
-            received,
-            trimmed: stats.trimmed,
-            poison_received,
-            poison_survived,
-            benign_trimmed,
-            gain_adversary: poison_survived as f64 / batch_len as f64 * injection,
-            overhead: benign_trimmed as f64 / batch_len as f64,
-            observed_injection: Some(observed),
-            threshold_value: stats.threshold_value,
-            retained: retained_stats,
-        }
+impl Scenario for MlCell<'_> {
+    fn play_round<R: Rng + ?Sized>(
+        &mut self,
+        _round: usize,
+        threshold: f64,
+        injection: f64,
+        rng: &mut R,
+    ) -> RoundReport {
+        ml_round(
+            self.data,
+            &self.arena.model,
+            &self.params,
+            &mut self.arena.bufs,
+            threshold,
+            injection,
+            rng,
+        )
     }
 }
 
@@ -375,25 +551,52 @@ pub fn collect_poisoned_outcome<'a>(
     engine.run(cfg.rounds, &mut rng)
 }
 
+/// The allocation-free ML run: one seeded collection over the
+/// worker-owned [`MlArena`] (shared fitted model + round buffers)
+/// recording into the reusable
+/// [`EngineScratch`](crate::engine::EngineScratch). No retained-set
+/// accumulation; trajectory finals and totals are bit-identical to
+/// [`collect_poisoned_outcome`] — the ML payoff-grid cell path.
+///
+/// # Panics
+/// Panics if the arena's model does not match `data` or the config is
+/// degenerate.
+#[must_use]
+pub fn collect_poisoned_with_scratch(
+    data: &Dataset,
+    cfg: &MlSimConfig,
+    defender: Box<dyn crate::strategy::ThresholdPolicy>,
+    adversary: Box<dyn crate::adversary::AttackPolicy>,
+    board: Option<trimgame_stream::board::PublicBoard>,
+    arena: &mut MlArena,
+    scratch: &mut crate::engine::EngineScratch,
+) -> crate::engine::EngineRun {
+    let mut rng = seeded_rng(cfg.seed);
+    let params = MlParams::new(&arena.model, data, cfg);
+    let cell = MlCell {
+        data,
+        arena,
+        params,
+    };
+    let mut engine = Engine::with_policies(cell, defender, adversary).with_policy_seed(
+        trimgame_numerics::rand_ext::derive_seed(cfg.seed, crate::simulation::POLICY_SEED_STREAM),
+    );
+    if let Some(board) = board {
+        engine = engine.with_board(board);
+    }
+    engine.run_with_scratch(cfg.rounds, &mut rng, scratch)
+}
+
 /// The sorted clean anomaly-score distribution of `data`: each row's
 /// distance to its nearest [`kmeans_truth`] centroid. This is the
 /// reference quantile table [`MlScenario`] resolves threshold and
 /// injection percentiles against — exposed so the equilibrium estimator's
-/// closed-form benchmark can share the exact same primitives.
+/// closed-form benchmark can share the exact same primitives. (One
+/// [`MlModel::fit`] provides both pieces when the centroids are needed
+/// too.)
 #[must_use]
 pub fn clean_score_distribution(data: &Dataset) -> Vec<f64> {
-    let centroids = kmeans_truth(data);
-    let mut scores: Vec<f64> = data
-        .iter_rows()
-        .map(|row| {
-            centroids
-                .iter()
-                .map(|c| euclidean(row, c))
-                .fold(f64::INFINITY, f64::min)
-        })
-        .collect();
-    scores.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance"));
-    scores
+    MlModel::fit(data).clean_scores
 }
 
 /// Ground-truth centroids for the Figs. 4/5 "Distance" metric: the
@@ -578,6 +781,43 @@ mod tests {
         assert_eq!(a.poison_survived, b.poison_survived);
         assert!(a.retained.rows() > 0);
         assert_eq!(a.retained.rows(), a.is_poison.len());
+    }
+
+    #[test]
+    fn ml_scratch_cells_replay_the_outcome_path_bit_for_bit() {
+        use crate::engine::EngineScratch;
+        use crate::strategy::DefenderPolicy;
+        let data = blobs(11);
+        let mut arena = MlArena::new(&data);
+        let mut scratch = EngineScratch::new();
+        for (tth, seed) in [(0.88, 5u64), (0.94, 6), (0.88, 5)] {
+            let cfg = MlSimConfig {
+                scheme: Scheme::BaselineStatic,
+                tth,
+                rounds: 4,
+                attack_ratio: 0.25,
+                batch: 80,
+                seed,
+                red: 0.05,
+            };
+            let policies = || {
+                (
+                    Box::new(DefenderPolicy::Fixed { tth })
+                        as Box<dyn crate::strategy::ThresholdPolicy>,
+                    Box::new(cfg.scheme.adversary(tth)) as Box<dyn crate::adversary::AttackPolicy>,
+                )
+            };
+            let (d, a) = policies();
+            let owned = collect_poisoned_outcome(&data, &cfg, d, a, None);
+            let (d, a) = policies();
+            let lean =
+                collect_poisoned_with_scratch(&data, &cfg, d, a, None, &mut arena, &mut scratch);
+            assert_eq!(lean.totals, owned.totals, "tth={tth} seed={seed}");
+            assert_eq!(Some(&lean.final_u_a), owned.utilities.u_a.last());
+            assert_eq!(Some(&lean.final_u_c), owned.utilities.u_c.last());
+            assert_eq!(scratch.thresholds(), owned.thresholds.as_slice());
+            assert_eq!(scratch.injections(), owned.injections.as_slice());
+        }
     }
 
     #[test]

@@ -14,18 +14,18 @@
 //! feed the Section IV analytical checks in [`crate::lagrange`].
 
 use crate::adversary::{AdversaryPolicy, AttackPolicy};
-use crate::engine::{Engine, EngineOutcome, RoundReport, Scenario};
+use crate::engine::{Engine, EngineOutcome, EngineRun, EngineScratch, RoundReport, Scenario};
 use crate::lagrange::UtilityTrajectory;
 use crate::strategy::{DefenderPolicy, ThresholdPolicy};
 use rand::Rng;
 use std::borrow::Cow;
 use trimgame_datasets::poison::{InjectionPosition, PoisonSpec};
 use trimgame_datasets::stream::RoundStream;
-use trimgame_numerics::quantile::{ecdf, Interpolation};
+use trimgame_numerics::quantile::{ecdf, percentile_sorted, Interpolation};
 use trimgame_numerics::rand_ext::seeded_rng;
 use trimgame_numerics::stats::OnlineStats;
 use trimgame_stream::round::RoundOutcome;
-use trimgame_stream::trim::{trim, TrimOp, TrimScratch};
+use trimgame_stream::trim::{trim, SketchThreshold, TrimOp, TrimScratch};
 
 /// The six evaluation schemes of Section VI-A.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -193,6 +193,174 @@ impl GameResult {
     }
 }
 
+/// Reusable per-round buffers of the scalar round step: the benign
+/// sample, the combined benign+poison batch with provenance, and the trim
+/// scratch. Cleared — never shrunk — between rounds and between runs.
+#[derive(Debug, Clone, Default)]
+pub struct ScalarBufs {
+    benign: Vec<f64>,
+    values: Vec<f64>,
+    is_poison: Vec<bool>,
+    trim: TrimScratch,
+}
+
+/// Everything a scalar game run needs that depends only on the *pool*:
+/// the stream pool, its sorted reference quantile table, and the
+/// per-round buffers. Build one per worker and reuse it across any
+/// number of seeded runs ([`run_game_with_scratch`]) — the pool copy and
+/// the `O(n log n)` sort are paid once instead of per run.
+#[derive(Debug, Clone)]
+pub struct ScalarArena {
+    pool: Vec<f64>,
+    sorted_pool: Vec<f64>,
+    bufs: ScalarBufs,
+}
+
+impl ScalarArena {
+    /// Builds the arena over `pool`.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty or contains NaN.
+    #[must_use]
+    pub fn new(pool: &[f64]) -> Self {
+        assert!(!pool.is_empty(), "empty value pool");
+        let mut sorted_pool = pool.to_vec();
+        sorted_pool.sort_by(|a, b| a.partial_cmp(b).expect("NaN in pool"));
+        Self {
+            pool: pool.to_vec(),
+            sorted_pool,
+            bufs: ScalarBufs::default(),
+        }
+    }
+
+    /// The backing pool, in arrival order.
+    #[must_use]
+    pub fn pool(&self) -> &[f64] {
+        &self.pool
+    }
+
+    /// The sorted reference quantile table.
+    #[must_use]
+    pub fn sorted_pool(&self) -> &[f64] {
+        &self.sorted_pool
+    }
+}
+
+/// The pool-independent parameters of one scalar game run.
+#[derive(Debug, Clone, Copy)]
+struct ScalarParams {
+    attack_ratio: f64,
+    ref_value: f64,
+    expected_tail: f64,
+    batch: usize,
+}
+
+impl ScalarParams {
+    fn new(sorted_pool: &[f64], config: &GameConfig) -> Self {
+        assert!(config.batch > 0, "batch size must be positive");
+        // Quality standard: excess mass above the Tth reference value.
+        let ref_value = percentile_sorted(
+            sorted_pool,
+            config.tth.clamp(0.0, 1.0),
+            Interpolation::Linear,
+        );
+        Self {
+            attack_ratio: config.attack_ratio,
+            ref_value,
+            expected_tail: 1.0 - config.tth,
+            batch: config.batch,
+        }
+    }
+}
+
+/// One scalar round, shared verbatim by the owned [`ScalarScenario`] and
+/// the arena-backed cell of [`run_game_with_scratch`]: benign sample
+/// (draws identical to `RoundStream::next_round`), poison injection at
+/// the reference value of the injection percentile, quality scoring,
+/// in-place trim at the cut, payoff accounting. The kept values/mask are
+/// left in `bufs.trim` for callers that record them.
+#[allow(clippy::too_many_arguments)]
+fn scalar_round<R: Rng + ?Sized>(
+    pool: &[f64],
+    sorted_pool: &[f64],
+    sketch: Option<&SketchThreshold>,
+    params: &ScalarParams,
+    bufs: &mut ScalarBufs,
+    threshold: f64,
+    injection: f64,
+    rng: &mut R,
+) -> RoundReport {
+    let ref_at = |p: f64| percentile_sorted(sorted_pool, p.clamp(0.0, 1.0), Interpolation::Linear);
+    bufs.benign.clear();
+    bufs.benign.reserve(params.batch);
+    for _ in 0..params.batch {
+        bufs.benign.push(pool[rng.gen_range(0..pool.len())]);
+    }
+    let spec = PoisonSpec::new(
+        params.attack_ratio,
+        InjectionPosition::Value(ref_at(injection)),
+    );
+    spec.inject_into(&bufs.benign, rng, &mut bufs.values, &mut bufs.is_poison);
+    let above = 1.0 - ecdf(&bufs.values, params.ref_value);
+    let quality = 1.0 - (above - params.expected_tail).max(0.0);
+    // The defender's cut value: the GK sketch answer when the
+    // sketch-native mode is on, the exact reference quantile otherwise.
+    let cut = match sketch {
+        Some(source) => source
+            .cut(threshold.clamp(0.0, 1.0))
+            .expect("sketch observed the pool at construction"),
+        None => ref_at(threshold),
+    };
+    let stats = TrimOp::Absolute(cut).apply_in_place(&bufs.values, &mut bufs.trim);
+
+    let mut poison_received = 0;
+    let mut poison_survived = 0;
+    let mut benign_trimmed = 0;
+    for (idx, &is_poison) in bufs.is_poison.iter().enumerate() {
+        let kept = bufs.trim.kept_mask()[idx];
+        if is_poison {
+            poison_received += 1;
+            if kept {
+                poison_survived += 1;
+            }
+        } else if !kept {
+            benign_trimmed += 1;
+        }
+    }
+
+    // Percentile-damage utility proxy.
+    let batch_len = bufs.values.len().max(1);
+    let g_a = poison_survived as f64 / batch_len as f64 * injection.clamp(0.0, 1.0);
+    let overhead = benign_trimmed as f64 / batch_len as f64;
+
+    let mut retained_stats = OnlineStats::new();
+    retained_stats.extend(bufs.trim.kept());
+
+    RoundReport {
+        quality,
+        received: bufs.values.len(),
+        trimmed: stats.trimmed,
+        poison_received,
+        poison_survived,
+        benign_trimmed,
+        gain_adversary: g_a,
+        overhead,
+        observed_injection: Some(injection),
+        threshold_value: stats.threshold_value,
+        retained: retained_stats,
+    }
+}
+
+/// Builds the GK sketch threshold source when the sketch-native mode is
+/// requested.
+fn sketch_source(pool: &[f64], config: &GameConfig) -> Option<SketchThreshold> {
+    config.sketch_epsilon.map(|eps| {
+        let mut source = SketchThreshold::new(eps);
+        source.observe(pool);
+        source
+    })
+}
+
 /// The scalar value-stream workload as an
 /// [`engine::Scenario`](crate::engine::Scenario).
 ///
@@ -204,19 +372,19 @@ impl GameResult {
 /// recognized quality standard (clean history), not from the current,
 /// possibly contaminated batch — otherwise a colluding point mass could
 /// drag the batch percentile onto itself and ride out any cut.
+///
+/// This owned form carries its own [`ScalarArena`]; sweeps and payoff
+/// grids that play many runs per pool reuse one arena through
+/// [`run_game_with_scratch`] instead.
 #[derive(Debug, Clone)]
 pub struct ScalarScenario {
-    stream: RoundStream,
-    sorted_pool: Vec<f64>,
-    attack_ratio: f64,
-    ref_value: f64,
-    expected_tail: f64,
+    arena: ScalarArena,
+    params: ScalarParams,
     record_kept: bool,
     /// GK summary of the clean pool when `GameConfig::sketch_epsilon` is
     /// set: the defender's cut resolves from it instead of the exact
     /// quantile table.
-    sketch: Option<trimgame_stream::trim::SketchThreshold>,
-    scratch: TrimScratch,
+    sketch: Option<SketchThreshold>,
     /// Per-round outcomes with provenance (empty in lean mode).
     pub outcomes: Vec<RoundOutcome>,
     /// All retained values across rounds (empty in lean mode).
@@ -245,53 +413,16 @@ impl ScalarScenario {
     }
 
     fn build(pool: &[f64], config: &GameConfig, record_kept: bool) -> Self {
-        assert!(!pool.is_empty(), "empty value pool");
-        let stream = RoundStream::new(pool.to_vec(), config.batch);
-        // Reference quantile function (sorted clean pool).
-        let mut sorted_pool = pool.to_vec();
-        sorted_pool.sort_by(|a, b| a.partial_cmp(b).expect("NaN in pool"));
-        // Quality standard: excess mass above the Tth reference value.
-        let ref_value = trimgame_numerics::quantile::percentile_sorted(
-            &sorted_pool,
-            config.tth.clamp(0.0, 1.0),
-            Interpolation::Linear,
-        );
-        let sketch = config.sketch_epsilon.map(|eps| {
-            let mut source = trimgame_stream::trim::SketchThreshold::new(eps);
-            source.observe(pool);
-            source
-        });
+        let arena = ScalarArena::new(pool);
+        let params = ScalarParams::new(&arena.sorted_pool, config);
+        let sketch = sketch_source(pool, config);
         Self {
-            stream,
-            sorted_pool,
-            attack_ratio: config.attack_ratio,
-            ref_value,
-            expected_tail: 1.0 - config.tth,
+            arena,
+            params,
             record_kept,
             sketch,
-            scratch: TrimScratch::with_capacity(config.batch + config.batch / 2),
             outcomes: Vec::new(),
             retained: Vec::new(),
-        }
-    }
-
-    fn ref_at(&self, p: f64) -> f64 {
-        trimgame_numerics::quantile::percentile_sorted(
-            &self.sorted_pool,
-            p.clamp(0.0, 1.0),
-            Interpolation::Linear,
-        )
-    }
-
-    /// The defender's cut value at threshold percentile `p`: the GK sketch
-    /// answer when the sketch-native mode is on, the exact reference
-    /// quantile otherwise.
-    fn cut_at(&self, p: f64) -> f64 {
-        match &self.sketch {
-            Some(source) => source
-                .cut(p.clamp(0.0, 1.0))
-                .expect("sketch observed the pool at construction"),
-            None => self.ref_at(p),
         }
     }
 }
@@ -304,66 +435,83 @@ impl Scenario for ScalarScenario {
         injection: f64,
         rng: &mut R,
     ) -> RoundReport {
-        let benign = self.stream.next_round(rng);
-        let spec = PoisonSpec::new(
-            self.attack_ratio,
-            InjectionPosition::Value(self.ref_at(injection)),
+        let ScalarArena {
+            pool,
+            sorted_pool,
+            bufs,
+        } = &mut self.arena;
+        let report = scalar_round(
+            pool,
+            sorted_pool,
+            self.sketch.as_ref(),
+            &self.params,
+            bufs,
+            threshold,
+            injection,
+            rng,
         );
-        let batch = spec.inject(&benign, rng);
-        let above = 1.0 - ecdf(&batch.values, self.ref_value);
-        let quality = 1.0 - (above - self.expected_tail).max(0.0);
-        let stats = TrimOp::Absolute(self.cut_at(threshold))
-            .apply_in_place(&batch.values, &mut self.scratch);
-
-        let mut poison_received = 0;
-        let mut poison_survived = 0;
-        let mut benign_trimmed = 0;
-        for (idx, &is_poison) in batch.is_poison.iter().enumerate() {
-            let kept = self.scratch.kept_mask()[idx];
-            if is_poison {
-                poison_received += 1;
-                if kept {
-                    poison_survived += 1;
-                }
-            } else if !kept {
-                benign_trimmed += 1;
-            }
-        }
-
-        // Percentile-damage utility proxy.
-        let batch_len = batch.values.len().max(1);
-        let g_a = poison_survived as f64 / batch_len as f64 * injection.clamp(0.0, 1.0);
-        let overhead = benign_trimmed as f64 / batch_len as f64;
-
-        let mut retained_stats = OnlineStats::new();
-        retained_stats.extend(self.scratch.kept());
         if self.record_kept {
-            self.retained.extend_from_slice(self.scratch.kept());
+            self.retained.extend_from_slice(bufs.trim.kept());
             self.outcomes.push(RoundOutcome {
                 round,
                 threshold_percentile: threshold,
-                received: batch.values.len(),
-                poison_received,
-                poison_survived,
-                benign_trimmed,
-                kept: self.scratch.kept().to_vec(),
-                quality,
+                received: report.received,
+                poison_received: report.poison_received,
+                poison_survived: report.poison_survived,
+                benign_trimmed: report.benign_trimmed,
+                kept: bufs.trim.kept().to_vec(),
+                quality: report.quality,
             });
         }
+        report
+    }
+}
 
-        RoundReport {
-            quality,
-            received: batch.values.len(),
-            trimmed: stats.trimmed,
-            poison_received,
-            poison_survived,
-            benign_trimmed,
-            gain_adversary: g_a,
-            overhead,
-            observed_injection: Some(injection),
-            threshold_value: stats.threshold_value,
-            retained: retained_stats,
+/// The arena-backed scalar cell: one seeded run borrowing a worker's
+/// [`ScalarArena`], so back-to-back runs share every buffer and the
+/// sorted reference table.
+#[derive(Debug)]
+struct ScalarCell<'a> {
+    arena: &'a mut ScalarArena,
+    params: ScalarParams,
+    sketch: Option<SketchThreshold>,
+}
+
+impl<'a> ScalarCell<'a> {
+    fn new(arena: &'a mut ScalarArena, config: &GameConfig) -> Self {
+        let params = ScalarParams::new(&arena.sorted_pool, config);
+        let sketch = sketch_source(&arena.pool, config);
+        Self {
+            arena,
+            params,
+            sketch,
         }
+    }
+}
+
+impl Scenario for ScalarCell<'_> {
+    fn play_round<R: Rng + ?Sized>(
+        &mut self,
+        _round: usize,
+        threshold: f64,
+        injection: f64,
+        rng: &mut R,
+    ) -> RoundReport {
+        let ScalarArena {
+            pool,
+            sorted_pool,
+            bufs,
+        } = &mut *self.arena;
+        scalar_round(
+            pool,
+            sorted_pool,
+            self.sketch.as_ref(),
+            &self.params,
+            bufs,
+            threshold,
+            injection,
+            rng,
+        )
     }
 }
 
@@ -439,6 +587,36 @@ pub fn run_game_with_policies(
         engine = engine.with_board(board);
     }
     engine.run(config.rounds, &mut rng)
+}
+
+/// The allocation-free scalar run: one seeded game over the
+/// worker-owned [`ScalarArena`] (pool tables + round buffers, built once
+/// per worker) recording into the reusable [`EngineScratch`]. Trajectory
+/// finals, totals and termination are bit-identical to
+/// [`run_game_with_policies`] in lean mode — the payoff-grid cell path
+/// of the equilibrium estimator.
+///
+/// # Panics
+/// Panics if the configuration is degenerate.
+#[must_use]
+pub fn run_game_with_scratch(
+    config: &GameConfig,
+    defender: Box<dyn ThresholdPolicy>,
+    adversary: Box<dyn AttackPolicy>,
+    board: Option<trimgame_stream::board::PublicBoard>,
+    arena: &mut ScalarArena,
+    scratch: &mut EngineScratch,
+) -> EngineRun {
+    assert!(config.rounds > 0, "need at least one round");
+    let mut rng = seeded_rng(config.seed);
+    let cell = ScalarCell::new(arena, config);
+    let mut engine = Engine::with_policies(cell, defender, adversary).with_policy_seed(
+        trimgame_numerics::rand_ext::derive_seed(config.seed, POLICY_SEED_STREAM),
+    );
+    if let Some(board) = board {
+        engine = engine.with_board(board);
+    }
+    engine.run_with_scratch(config.rounds, &mut rng, scratch)
 }
 
 /// Runs one scalar collection game over `pool` (see [`ScalarScenario`]
@@ -789,6 +967,42 @@ mod tests {
         );
         assert!((full.totals.benign_trim_fraction() - result.benign_trim_fraction()).abs() < 1e-12);
         assert_eq!(full.board.len(), cfg.rounds);
+    }
+
+    #[test]
+    fn scratch_cells_replay_the_boxed_path_bit_for_bit() {
+        // One arena + one engine scratch across many heterogeneous cells:
+        // every cell must reproduce the allocating entry point exactly,
+        // with no state leaking between consecutive runs.
+        let pool = pool();
+        let mut arena = ScalarArena::new(&pool);
+        let mut scratch = EngineScratch::new();
+        for (tth, seed, rounds) in [(0.88, 1u64, 6), (0.92, 2, 9), (0.88, 1, 6), (0.96, 3, 4)] {
+            let mut cfg = GameConfig::new(Scheme::BaselineStatic);
+            cfg.tth = tth;
+            cfg.seed = seed;
+            cfg.rounds = rounds;
+            cfg.batch = 300;
+            let policies = || {
+                (
+                    Box::new(DefenderPolicy::Fixed { tth }) as Box<dyn ThresholdPolicy>,
+                    Box::new(AdversaryPolicy::Uniform {
+                        lo: tth - 0.05,
+                        hi: 1.0,
+                    }) as Box<dyn AttackPolicy>,
+                )
+            };
+            let (d, a) = policies();
+            let owned = run_game_with_policies(&pool, &cfg, d, a, None, false);
+            let (d, a) = policies();
+            let lean = run_game_with_scratch(&cfg, d, a, None, &mut arena, &mut scratch);
+            assert_eq!(lean.totals, owned.totals, "tth={tth} seed={seed}");
+            assert_eq!(Some(&lean.final_u_a), owned.utilities.u_a.last());
+            assert_eq!(Some(&lean.final_u_c), owned.utilities.u_c.last());
+            assert_eq!(lean.termination_round, owned.termination_round);
+            assert_eq!(scratch.thresholds(), owned.thresholds.as_slice());
+            assert_eq!(scratch.injections(), owned.injections.as_slice());
+        }
     }
 
     #[test]

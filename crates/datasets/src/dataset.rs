@@ -58,7 +58,7 @@ impl Dataset {
     ) -> Self {
         assert!(cols > 0, "a dataset needs at least one column");
         assert!(
-            data.len() % cols == 0,
+            data.len().is_multiple_of(cols),
             "data length {} is not a multiple of cols {}",
             data.len(),
             cols

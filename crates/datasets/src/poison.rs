@@ -144,15 +144,37 @@ impl PoisonSpec {
     /// # Panics
     /// Panics if `benign` is empty and poison placement needs percentiles.
     pub fn inject<R: Rng + ?Sized>(&self, benign: &[f64], rng: &mut R) -> PoisonBatch {
+        let mut values = Vec::with_capacity(benign.len());
+        let mut is_poison = Vec::with_capacity(benign.len());
+        self.inject_into(benign, rng, &mut values, &mut is_poison);
+        PoisonBatch { values, is_poison }
+    }
+
+    /// [`PoisonSpec::inject`] into caller-owned buffers — the
+    /// allocation-free form the engine hot path uses: `values` and
+    /// `is_poison` are cleared and refilled (benign first, then poison),
+    /// with draws and placements identical to the allocating form.
+    ///
+    /// # Panics
+    /// Panics if `benign` is empty and poison placement needs percentiles.
+    pub fn inject_into<R: Rng + ?Sized>(
+        &self,
+        benign: &[f64],
+        rng: &mut R,
+        values: &mut Vec<f64>,
+        is_poison: &mut Vec<bool>,
+    ) {
         let n_poison = (self.ratio * benign.len() as f64).round() as usize;
-        let mut values = Vec::with_capacity(benign.len() + n_poison);
+        values.clear();
+        values.reserve(benign.len() + n_poison);
         values.extend_from_slice(benign);
-        let mut is_poison = vec![false; benign.len()];
+        is_poison.clear();
+        is_poison.reserve(benign.len() + n_poison);
+        is_poison.resize(benign.len(), false);
         for _ in 0..n_poison {
             values.push(self.position.resolve(benign, rng));
             is_poison.push(true);
         }
-        PoisonBatch { values, is_poison }
     }
 }
 

@@ -197,7 +197,7 @@ impl KMeans {
         let mut best: Option<KMeans> = None;
         for _ in 0..restarts {
             let model = KMeans::fit(data, config, rng);
-            if best.as_ref().map_or(true, |b| model.sse() < b.sse()) {
+            if best.as_ref().is_none_or(|b| model.sse() < b.sse()) {
                 best = Some(model);
             }
         }

@@ -32,6 +32,7 @@ pub mod oscillator;
 pub mod quantile;
 pub mod rand_ext;
 pub mod rootfind;
+pub mod simd;
 pub mod sketch;
 pub mod stats;
 pub mod variational;

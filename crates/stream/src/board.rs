@@ -1,4 +1,5 @@
-//! The public board of Fig. 3.
+//! The public board of Fig. 3 — sharded and chunked for concurrent
+//! collectors.
 //!
 //! "A public board, accessible to the adversary, enables the collector to
 //! record the untrimmed data (step ①, ⑥)." The board is the white-box
@@ -6,6 +7,24 @@
 //! strategy employed by the data collector in the previous round, for
 //! example, the data collector's trimming positions". It is append-only
 //! and thread-safe so concurrent adversary/collector tasks can share it.
+//!
+//! Storage is **chunked append-only**: a shard seals records into
+//! immutable reference-counted chunks of `CHUNK_CAP` records as they
+//! fill, and
+//! keeps only the open tail mutable. Readers take a [`BoardSnapshot`] —
+//! an `Arc` bump per sealed chunk plus a copy of the short tail — and
+//! then walk the history without holding any lock and without cloning
+//! the bulk of the records. Aggregates ([`PublicBoard::len`],
+//! [`PublicBoard::cumulative_trim_fraction`]) are maintained as running
+//! totals, and [`PublicBoard::round`] resolves by binary search on the
+//! append-ordered round numbers instead of a linear scan.
+//!
+//! One [`PublicBoard`] is one collector's shard. Many concurrent engines
+//! that should publish into a *common* venue — the sweep's shared-board
+//! mode — use a [`ShardedBoard`]: per-collector shards (writers never
+//! contend on each other's locks) plus a [`ShardedBoard::merged`] view
+//! that k-way-merges the shards in round order for cross-collector
+//! observers studying information leakage.
 
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -30,12 +49,55 @@ pub struct RoundRecord {
     pub quality: f64,
 }
 
-/// Append-only, thread-safe board of [`RoundRecord`]s. Cloning shares the
-/// underlying storage (both the collector and the adversary hold the same
-/// board).
+/// Records per sealed chunk: big enough that a long game seals rarely,
+/// small enough that a snapshot's tail copy stays trivial.
+const CHUNK_CAP: usize = 64;
+
+#[derive(Debug, Default)]
+struct ShardInner {
+    /// Sealed, immutable chunks of exactly [`CHUNK_CAP`] records each.
+    sealed: Vec<Arc<[RoundRecord]>>,
+    /// The open chunk (`< CHUNK_CAP` records).
+    tail: Vec<RoundRecord>,
+    /// Running totals for O(1) aggregates.
+    received_total: usize,
+    trimmed_total: usize,
+}
+
+impl ShardInner {
+    fn len(&self) -> usize {
+        self.sealed.len() * CHUNK_CAP + self.tail.len()
+    }
+
+    fn get(&self, idx: usize) -> &RoundRecord {
+        let sealed_len = self.sealed.len() * CHUNK_CAP;
+        if idx < sealed_len {
+            &self.sealed[idx / CHUNK_CAP][idx % CHUNK_CAP]
+        } else {
+            &self.tail[idx - sealed_len]
+        }
+    }
+
+    fn push(&mut self, record: RoundRecord) {
+        self.received_total += record.received;
+        self.trimmed_total += record.trimmed;
+        self.tail.push(record);
+        if self.tail.len() == CHUNK_CAP {
+            self.sealed.push(self.tail.drain(..).collect());
+        }
+    }
+}
+
+/// Append-only, thread-safe board of [`RoundRecord`]s — one collector's
+/// shard. Cloning shares the underlying storage (both the collector and
+/// the adversary hold the same board).
+///
+/// Records are append-ordered by round (the engine posts round `1, 2, …`
+/// monotonically; gaps are fine) — [`PublicBoard::round`] relies on that
+/// order for its binary search.
 #[derive(Debug, Clone, Default)]
 pub struct PublicBoard {
-    inner: Arc<RwLock<Vec<RoundRecord>>>,
+    inner: Arc<RwLock<ShardInner>>,
 }
 
 impl PublicBoard {
@@ -59,26 +121,47 @@ impl PublicBoard {
     /// True if no rounds have been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.inner.read().len() == 0
     }
 
     /// The most recent record, if any (what the adversary reads in step ⑥
     /// to verify last round's trimming threshold).
     #[must_use]
     pub fn latest(&self) -> Option<RoundRecord> {
-        self.inner.read().last().cloned()
+        let guard = self.inner.read();
+        guard
+            .tail
+            .last()
+            .or_else(|| guard.sealed.last().map(|c| &c[CHUNK_CAP - 1]))
+            .cloned()
     }
 
-    /// Record of a specific round (1-based), if recorded.
+    /// Record of a specific round (1-based), if recorded — `O(log n)`
+    /// binary search on the append-ordered round numbers (gaps between
+    /// rounds are fine; out-of-order posting voids the search order).
     #[must_use]
     pub fn round(&self, round: usize) -> Option<RoundRecord> {
-        self.inner.read().iter().find(|r| r.round == round).cloned()
+        let guard = self.inner.read();
+        let n = guard.len();
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if guard.get(mid).round < round {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo < n && guard.get(lo).round == round).then(|| guard.get(lo).clone())
     }
 
-    /// Snapshot of the full history.
+    /// Snapshot of the full history as owned records. Prefer
+    /// [`PublicBoard::snapshot`] for bulk reads — it shares the sealed
+    /// chunks instead of cloning every record.
     #[must_use]
     pub fn history(&self) -> Vec<RoundRecord> {
-        self.inner.read().clone()
+        self.snapshot().iter().cloned().collect()
     }
 
     /// Records appended at or after insertion index `from` (0-based) —
@@ -87,23 +170,195 @@ impl PublicBoard {
     /// snapshots.
     #[must_use]
     pub fn history_since(&self, from: usize) -> Vec<RoundRecord> {
-        self.inner
-            .read()
-            .get(from..)
-            .map_or_else(Vec::new, <[RoundRecord]>::to_vec)
+        let guard = self.inner.read();
+        (from..guard.len()).map(|i| guard.get(i).clone()).collect()
     }
 
-    /// Cumulative fraction of received values that were trimmed.
+    /// Visits records appended at or after insertion index `from` under
+    /// the read lock — the allocation-free incremental read (board-driven
+    /// attackers ingest new rounds this way).
+    pub fn for_each_since(&self, from: usize, mut f: impl FnMut(&RoundRecord)) {
+        let guard = self.inner.read();
+        for i in from..guard.len() {
+            f(guard.get(i));
+        }
+    }
+
+    /// A lock-free read view: `Arc` bumps for the sealed chunks plus a
+    /// copy of the open tail (at most `CHUNK_CAP − 1` records). Taking
+    /// a snapshot is `O(chunks)`, iterating it clones nothing.
+    #[must_use]
+    pub fn snapshot(&self) -> BoardSnapshot {
+        let guard = self.inner.read();
+        BoardSnapshot {
+            sealed: guard.sealed.clone(),
+            tail: guard.tail.clone(),
+        }
+    }
+
+    /// Cumulative fraction of received values that were trimmed — `O(1)`
+    /// from running totals.
     #[must_use]
     pub fn cumulative_trim_fraction(&self) -> f64 {
         let guard = self.inner.read();
-        let received: usize = guard.iter().map(|r| r.received).sum();
-        let trimmed: usize = guard.iter().map(|r| r.trimmed).sum();
-        if received == 0 {
+        if guard.received_total == 0 {
             0.0
         } else {
-            trimmed as f64 / received as f64
+            guard.trimmed_total as f64 / guard.received_total as f64
         }
+    }
+}
+
+/// A detached, immutable view of a board's history at snapshot time:
+/// shares the sealed chunks, owns only the short tail.
+#[derive(Debug, Clone, Default)]
+pub struct BoardSnapshot {
+    sealed: Vec<Arc<[RoundRecord]>>,
+    tail: Vec<RoundRecord>,
+}
+
+impl BoardSnapshot {
+    /// Number of records in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sealed.len() * CHUNK_CAP + self.tail.len()
+    }
+
+    /// True if the snapshot holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The record at insertion index `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn get(&self, idx: usize) -> &RoundRecord {
+        let sealed_len = self.sealed.len() * CHUNK_CAP;
+        if idx < sealed_len {
+            &self.sealed[idx / CHUNK_CAP][idx % CHUNK_CAP]
+        } else {
+            &self.tail[idx - sealed_len]
+        }
+    }
+
+    /// Iterates the records in insertion order, without cloning.
+    pub fn iter(&self) -> impl Iterator<Item = &RoundRecord> {
+        self.sealed
+            .iter()
+            .flat_map(|c| c.iter())
+            .chain(self.tail.iter())
+    }
+}
+
+/// A shared publication venue for many concurrent collectors: one
+/// [`PublicBoard`] shard per collector, so writers never contend on a
+/// common lock, plus a merged read view for cross-collector observers.
+///
+/// This is the sweep's shared-board mode: every engine in a grid posts
+/// into its own shard of one venue, and an adversary reading
+/// [`ShardedBoard::merged`] sees the union of all collectors' public
+/// records — the cross-collector information-leakage channel.
+#[derive(Debug, Clone)]
+pub struct ShardedBoard {
+    shards: Arc<[PublicBoard]>,
+}
+
+impl ShardedBoard {
+    /// Creates a venue with `collectors` empty shards.
+    ///
+    /// # Panics
+    /// Panics if `collectors == 0`.
+    #[must_use]
+    pub fn new(collectors: usize) -> Self {
+        assert!(collectors > 0, "need at least one collector");
+        Self {
+            shards: (0..collectors).map(|_| PublicBoard::new()).collect(),
+        }
+    }
+
+    /// Number of collector shards.
+    #[must_use]
+    pub fn collectors(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Collector `idx`'s shard — a [`PublicBoard`] handle sharing the
+    /// shard's storage (hand it to that collector's engine).
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn collector(&self, idx: usize) -> PublicBoard {
+        self.shards[idx].clone()
+    }
+
+    /// Total records across all shards.
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.shards.iter().map(PublicBoard::len).sum()
+    }
+
+    /// A merged view of all shards at snapshot time, ordered by
+    /// `(round, collector)` — what a cross-collector observer reads.
+    #[must_use]
+    pub fn merged(&self) -> MergedHistory {
+        MergedHistory {
+            snapshots: self.shards.iter().map(PublicBoard::snapshot).collect(),
+        }
+    }
+}
+
+/// The merged, round-ordered view of a [`ShardedBoard`] at snapshot
+/// time. Each shard's records are round-nondecreasing (append order), so
+/// the view is a k-way merge over the shard snapshots.
+#[derive(Debug, Clone)]
+pub struct MergedHistory {
+    snapshots: Vec<BoardSnapshot>,
+}
+
+impl MergedHistory {
+    /// Total records in the view.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.snapshots.iter().map(BoardSnapshot::len).sum()
+    }
+
+    /// True if no shard holds any record.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.iter().all(BoardSnapshot::is_empty)
+    }
+
+    /// Visits every record as `(collector, record)`, ordered by
+    /// `(round, collector)`, cloning nothing.
+    pub fn for_each(&self, mut f: impl FnMut(usize, &RoundRecord)) {
+        let mut cursors = vec![0usize; self.snapshots.len()];
+        loop {
+            let mut best: Option<(usize, usize)> = None; // (round, shard)
+            for (shard, snap) in self.snapshots.iter().enumerate() {
+                if cursors[shard] < snap.len() {
+                    let round = snap.get(cursors[shard]).round;
+                    if best.is_none_or(|(r, _)| round < r) {
+                        best = Some((round, shard));
+                    }
+                }
+            }
+            let Some((_, shard)) = best else { break };
+            f(shard, self.snapshots[shard].get(cursors[shard]));
+            cursors[shard] += 1;
+        }
+    }
+
+    /// The merged records as owned `(collector, record)` pairs (the
+    /// cloning convenience over [`MergedHistory::for_each`]).
+    #[must_use]
+    pub fn records(&self) -> Vec<(usize, RoundRecord)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|shard, record| out.push((shard, record.clone())));
+        out
     }
 }
 
@@ -198,5 +453,120 @@ mod tests {
         // Past-the-end and far-out-of-range reads are empty, not panics.
         assert!(board.history_since(3).is_empty());
         assert!(board.history_since(99).is_empty());
+    }
+
+    #[test]
+    fn chunked_storage_spans_seal_boundaries() {
+        // Well past several chunk seals: every access path must agree
+        // across the sealed/tail boundary.
+        let board = PublicBoard::new();
+        let n = 5 * CHUNK_CAP + 17;
+        for round in 1..=n {
+            board.post(record(round, round % 7));
+        }
+        assert_eq!(board.len(), n);
+        assert_eq!(board.latest().unwrap().round, n);
+        for probe in [1, CHUNK_CAP, CHUNK_CAP + 1, 3 * CHUNK_CAP, n] {
+            assert_eq!(board.round(probe).unwrap().round, probe, "round {probe}");
+        }
+        let history = board.history();
+        assert_eq!(history.len(), n);
+        assert!(history.iter().enumerate().all(|(i, r)| r.round == i + 1));
+        let snap = board.snapshot();
+        assert_eq!(snap.len(), n);
+        assert_eq!(snap.iter().count(), n);
+        assert_eq!(snap.get(n - 1).round, n);
+        let since = board.history_since(CHUNK_CAP - 2);
+        assert_eq!(since.len(), n - (CHUNK_CAP - 2));
+        assert_eq!(since[0].round, CHUNK_CAP - 1);
+    }
+
+    #[test]
+    fn round_lookup_handles_gaps_and_one_based_rounds() {
+        // Append-ordered but gappy round numbers: binary search must find
+        // exactly the recorded rounds and reject everything in between.
+        let board = PublicBoard::new();
+        for round in [1usize, 3, 7, 8, 100, 101, 250] {
+            board.post(record(round, 1));
+        }
+        for round in [1usize, 3, 7, 8, 100, 101, 250] {
+            assert_eq!(board.round(round).unwrap().round, round);
+        }
+        for missing in [0usize, 2, 4, 6, 9, 99, 102, 249, 251] {
+            assert!(board.round(missing).is_none(), "round {missing}");
+        }
+    }
+
+    #[test]
+    fn for_each_since_visits_without_cloning() {
+        let board = PublicBoard::new();
+        for round in 1..=(CHUNK_CAP + 5) {
+            board.post(record(round, 0));
+        }
+        let mut seen = Vec::new();
+        board.for_each_since(CHUNK_CAP - 1, |r| seen.push(r.round));
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[0], CHUNK_CAP);
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_later_posts() {
+        let board = PublicBoard::new();
+        for round in 1..=(2 * CHUNK_CAP) {
+            board.post(record(round, 0));
+        }
+        let snap = board.snapshot();
+        board.post(record(2 * CHUNK_CAP + 1, 0));
+        assert_eq!(snap.len(), 2 * CHUNK_CAP);
+        assert_eq!(board.len(), 2 * CHUNK_CAP + 1);
+    }
+
+    #[test]
+    fn sharded_board_isolates_writers_and_merges_by_round() {
+        let venue = ShardedBoard::new(3);
+        // Collector 1 runs longer; collector 2 starts later (gaps).
+        for round in 1..=4 {
+            venue.collector(0).post(record(round, 0));
+        }
+        for round in 1..=6 {
+            venue.collector(1).post(record(round, 1));
+        }
+        for round in 3..=5 {
+            venue.collector(2).post(record(round, 2));
+        }
+        assert_eq!(venue.collectors(), 3);
+        assert_eq!(venue.total_len(), 13);
+        assert_eq!(venue.collector(0).len(), 4);
+        let merged = venue.merged();
+        assert_eq!(merged.len(), 13);
+        let records = merged.records();
+        // Ordered by (round, collector).
+        let order: Vec<(usize, usize)> = records.iter().map(|(c, r)| (r.round, *c)).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+        assert_eq!(order[0], (1, 0));
+        assert_eq!(order.last(), Some(&(6, 1)));
+        // Shard identity survives the merge.
+        assert!(records.iter().all(|(c, r)| r.trimmed == *c));
+    }
+
+    #[test]
+    fn sharded_board_concurrent_collectors_do_not_contend() {
+        let venue = ShardedBoard::new(4);
+        std::thread::scope(|s| {
+            for c in 0..4 {
+                let shard = venue.collector(c);
+                s.spawn(move || {
+                    for round in 1..=100 {
+                        shard.post(record(round, c));
+                    }
+                });
+            }
+        });
+        assert_eq!(venue.total_len(), 400);
+        let mut count = 0;
+        venue.merged().for_each(|_, _| count += 1);
+        assert_eq!(count, 400);
     }
 }

@@ -159,7 +159,7 @@ mod tests {
     fn quality_judged_before_trimming() {
         let mut c = collector();
         let mut poisoned = benign();
-        poisoned.extend(std::iter::repeat(99.9).take(300));
+        poisoned.extend(std::iter::repeat_n(99.9, 300));
         // Trimming at 0.7 removes the poison, but quality is still low
         // because it is evaluated on the received batch.
         let (outcome, quality) = c.process_round(&poisoned, 0.7);
@@ -211,7 +211,7 @@ mod tests {
         let clean = benign(); // 0.0..=99.9
         let _ = sketched.process_round(&clean, 0.9);
         let mut poisoned = clean.clone();
-        poisoned.extend(std::iter::repeat(500.0).take(clean.len() / 2)); // 33% Sybil mass
+        poisoned.extend(std::iter::repeat_n(500.0, clean.len() / 2)); // 33% Sybil mass
         let (outcome, _) = sketched.process_round(&poisoned, 0.9);
         let kept_poison = outcome.kept.iter().filter(|&&v| v == 500.0).count();
         assert_eq!(kept_poison, 0, "point mass must not ride the cut");

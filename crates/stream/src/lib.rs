@@ -10,8 +10,12 @@
 //! baselines) live in `trim-core`.
 //!
 //! * [`mod@trim`] — trimming operators over scalar batches.
+//! * the explicit-SIMD mask-compact filter kernels behind them live in
+//!   [`trimgame_numerics::simd`] (AVX-512 / AVX2 / NEON, portable
+//!   fallback), shared with the percentile machinery.
 //! * [`quality`] — `Quality_Evaluation()` implementations.
-//! * [`board`] — the thread-safe, append-only public board.
+//! * [`board`] — the thread-safe, chunked append-only public board,
+//!   shardable per collector for contention-free concurrent venues.
 //! * [`collector`] — per-round collect → trim → record pipeline.
 //! * [`round`] — the generic round loop gluing streams, injectors and
 //!   threshold policies together.
@@ -22,8 +26,10 @@ pub mod quality;
 pub mod round;
 pub mod trim;
 
-pub use board::{PublicBoard, RoundRecord};
+pub use board::{BoardSnapshot, MergedHistory, PublicBoard, RoundRecord, ShardedBoard};
 pub use collector::Collector;
 pub use quality::{MeanShiftQuality, QualityEvaluation, TailMassQuality};
 pub use round::{run_rounds, RoundOutcome};
-pub use trim::{trim, SketchThreshold, TrimOp, TrimOutcome, TrimScratch, TrimStats};
+pub use trim::{
+    trim, SketchThreshold, TrimOp, TrimOutcome, TrimScratch, TrimScratchF32, TrimStats,
+};

@@ -152,7 +152,7 @@ mod tests {
         let mut data = benign();
         let q = TailMassQuality::new(95.0, 0.05);
         let clean = q.evaluate(&data);
-        data.extend(std::iter::repeat(99.0).take(200));
+        data.extend(std::iter::repeat_n(99.0, 200));
         let dirty = q.evaluate(&data);
         assert!(dirty < clean - 0.1, "clean {clean} vs dirty {dirty}");
     }
@@ -175,7 +175,7 @@ mod tests {
         let data = benign();
         let q = MeanShiftQuality::fit(&data);
         let mut poisoned = data.clone();
-        poisoned.extend(std::iter::repeat(500.0).take(300));
+        poisoned.extend(std::iter::repeat_n(500.0, 300));
         assert!(q.evaluate(&poisoned) < q.evaluate(&data) - 0.3);
     }
 
@@ -184,7 +184,7 @@ mod tests {
         let data = benign();
         let q = MeanShiftQuality::fit(&data);
         let mut poisoned = data.clone();
-        poisoned.extend(std::iter::repeat(1e6).take(100));
+        poisoned.extend(std::iter::repeat_n(1e6, 100));
         for b in [q.normalized_badness(&data), q.normalized_badness(&poisoned)] {
             assert!((0.0..=1.0).contains(&b));
         }

@@ -13,15 +13,18 @@
 //!   [`TrimOutcome`];
 //! * [`TrimOp::apply_in_place`] — the engine hot path: all buffers live in
 //!   a reusable [`TrimScratch`], percentile thresholds are found by
-//!   `O(n)` selection ([`percentile_select`]) instead of a full sort, and
-//!   after warm-up a round performs **zero** heap allocations.
+//!   sampled two-pivot partitioning ([`percentile_partition`] — no sort,
+//!   no batch copy), the filter runs on the explicit-SIMD mask-compact
+//!   kernels of
+//!   [`trimgame_numerics::simd`], and after warm-up a round performs **zero** heap
+//!   allocations.
 //!
 //! Both produce bit-identical kept values, masks and threshold values.
 //! For cuts that must not materialize the batch at all, [`SketchThreshold`]
 //! resolves percentiles from a Greenwald–Khanna summary of the stream.
 
 use trimgame_numerics::gk::GkSummary;
-use trimgame_numerics::quantile::{percentile_select, Interpolation};
+use trimgame_numerics::quantile::{percentile_partition, percentile_select, Interpolation};
 
 /// A trimming operator over a scalar batch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,11 +102,11 @@ impl TrimStats {
 
 /// Reusable buffers for [`TrimOp::apply_in_place`].
 ///
-/// Holds the selection scratch (a mutable copy of the batch for the
-/// quickselect threshold), the kept mask and the kept values. Buffers are
-/// cleared — not shrunk — between rounds, so a long-running engine
-/// performs no heap allocation once every buffer has reached the round's
-/// batch size.
+/// Holds the partition-select candidate scratch (a fraction of the batch
+/// — the batch itself is never copied for threshold resolution), the kept mask
+/// and the kept values. Buffers are cleared — not shrunk — between
+/// rounds, so a long-running engine performs no heap allocation once
+/// every buffer has reached the round's working size.
 #[derive(Debug, Clone, Default)]
 pub struct TrimScratch {
     select: Vec<f64>,
@@ -119,9 +122,8 @@ impl TrimScratch {
     }
 
     /// Creates scratch buffers pre-sized for batches of `n` values. The
-    /// selection buffer is left empty — only percentile operators use it,
-    /// and they grow it on first use; `Absolute`/`None` cuts never pay
-    /// for it.
+    /// partition candidate buffer is left empty — only percentile
+    /// operators use it, and `Absolute`/`None` cuts never pay for it.
     #[must_use]
     pub fn with_capacity(n: usize) -> Self {
         Self {
@@ -156,36 +158,22 @@ impl TrimScratch {
     }
 }
 
-/// Chunk width of the branch-light filter pass: small enough that a
-/// chunk's values and mask bytes stay in L1 between the two sub-passes,
-/// large enough to amortize the loop bookkeeping.
-const FILTER_CHUNK: usize = 1024;
-
-/// The branch-light filter kernel shared by the one-sided and two-sided
-/// cuts: per fixed-size chunk, first materialize the keep-mask (a pure
-/// comparison loop the compiler can vectorize — no data-dependent
-/// branches), then compact the kept values with an unconditional write and
-/// a mask-driven cursor bump (`k += mask as usize`), so a mispredicted
-/// tail value never stalls the pipeline. Output order, mask and counts are
-/// bit-identical to the naive branching loop.
-fn filter_chunked(values: &[f64], scratch: &mut TrimScratch, keep: impl Fn(f64) -> bool) -> usize {
+/// The filter kernel shared by the one-sided and two-sided cuts: the
+/// explicit-SIMD mask-compact pass of [`trimgame_numerics::simd`] (AVX-512 / AVX2 /
+/// NEON when the CPU has them, the portable chunked mask-then-compact
+/// kernel otherwise). Output order, mask and counts are bit-identical to
+/// the naive branching loop on every backend.
+fn filter_band(values: &[f64], scratch: &mut TrimScratch, lo: Option<f64>, hi: f64) -> usize {
     let n = values.len();
     scratch.mask.resize(n, false);
     scratch.kept.resize(n, 0.0);
-    let mut k = 0usize;
-    let kept = &mut scratch.kept[..n];
-    for (chunk, mask_chunk) in values
-        .chunks(FILTER_CHUNK)
-        .zip(scratch.mask.chunks_mut(FILTER_CHUNK))
-    {
-        for (m, &v) in mask_chunk.iter_mut().zip(chunk) {
-            *m = keep(v);
-        }
-        for (&v, &m) in chunk.iter().zip(mask_chunk.iter()) {
-            kept[k] = v;
-            k += usize::from(m);
-        }
-    }
+    let k = trimgame_numerics::simd::filter_f64(
+        values,
+        &mut scratch.mask[..n],
+        &mut scratch.kept[..n],
+        lo,
+        hi,
+    );
     scratch.kept.truncate(k);
     n - k
 }
@@ -195,12 +183,12 @@ impl TrimOp {
     /// the round's [`TrimStats`]; read the retained values and the mask
     /// from [`TrimScratch::kept`] / [`TrimScratch::kept_mask`].
     ///
-    /// Percentile thresholds are resolved with [`percentile_select`]
-    /// (`O(n)` selection on the scratch copy), so no sort and — once the
-    /// buffers are warm — no allocation happens per round; the filter
-    /// itself runs as a chunked, branch-light mask-then-compact pass
-    /// (`filter_chunked`). Kept values, mask and threshold are
-    /// bit-identical to the allocating [`trim`].
+    /// Percentile thresholds are resolved with [`percentile_partition`]
+    /// (one sampled SIMD partition pass, no sort, no batch copy), so once the
+    /// buffers are warm no allocation happens per round; the filter
+    /// itself runs on the explicit-SIMD mask-compact kernels of
+    /// [`trimgame_numerics::simd`]. Kept values, mask and threshold are bit-identical
+    /// to the allocating [`trim`].
     ///
     /// # Panics
     /// Panics if a percentile parameter is outside `[0, 1]` or `lo > hi`,
@@ -213,14 +201,13 @@ impl TrimOp {
             TrimOp::Absolute(threshold) => (None, Some(threshold)),
             TrimOp::UpperPercentile(p) => {
                 assert!((0.0..=1.0).contains(&p), "percentile {p} not in [0,1]");
-                scratch.select.clear();
-                scratch.select.extend_from_slice(values);
                 (
                     None,
-                    Some(percentile_select(
-                        &mut scratch.select,
+                    Some(percentile_partition(
+                        values,
                         p,
                         Interpolation::Linear,
+                        &mut scratch.select,
                     )),
                 )
             }
@@ -228,10 +215,10 @@ impl TrimOp {
                 assert!((0.0..=1.0).contains(&lo), "lo {lo} not in [0,1]");
                 assert!((0.0..=1.0).contains(&hi), "hi {hi} not in [0,1]");
                 assert!(lo <= hi, "inverted percentile band [{lo}, {hi}]");
-                scratch.select.clear();
-                scratch.select.extend_from_slice(values);
-                let lo_v = percentile_select(&mut scratch.select, lo, Interpolation::Linear);
-                let hi_v = percentile_select(&mut scratch.select, hi, Interpolation::Linear);
+                let lo_v =
+                    percentile_partition(values, lo, Interpolation::Linear, &mut scratch.select);
+                let hi_v =
+                    percentile_partition(values, hi, Interpolation::Linear, &mut scratch.select);
                 (Some(lo_v), Some(hi_v))
             }
         };
@@ -241,10 +228,8 @@ impl TrimOp {
                 scratch.kept.extend_from_slice(values);
                 0
             }
-            (None, Some(hi_v)) => filter_chunked(values, scratch, |v| v <= hi_v),
-            (Some(lo_v), Some(hi_v)) => {
-                filter_chunked(values, scratch, |v| (v >= lo_v) & (v <= hi_v))
-            }
+            (None, Some(hi_v)) => filter_band(values, scratch, None, hi_v),
+            (Some(lo_v), Some(hi_v)) => filter_band(values, scratch, Some(lo_v), hi_v),
             (Some(_), None) => unreachable!("no lower-only operator exists"),
         };
         TrimStats {
@@ -252,6 +237,120 @@ impl TrimOp {
             kept: values.len() - trimmed,
             threshold_value: upper,
             lower_value: lower,
+        }
+    }
+}
+
+/// Reusable buffers for [`TrimOp::apply_in_place_f32`] — the
+/// single-precision twin of [`TrimScratch`].
+///
+/// Percentile thresholds are still resolved in `f64` (the values are
+/// upcast into the selection buffer, so the selection arithmetic is
+/// shared with the `f64` path); the filter itself runs on the `f32`
+/// lanes at twice the SIMD width.
+#[derive(Debug, Clone, Default)]
+pub struct TrimScratchF32 {
+    select: Vec<f64>,
+    mask: Vec<bool>,
+    kept: Vec<f32>,
+}
+
+impl TrimScratchF32 {
+    /// Creates empty scratch buffers (they grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates scratch buffers pre-sized for batches of `n` values.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            select: Vec::new(),
+            mask: Vec::with_capacity(n),
+            kept: Vec::with_capacity(n),
+        }
+    }
+
+    /// The kept values of the most recent apply, in input order.
+    #[must_use]
+    pub fn kept(&self) -> &[f32] {
+        &self.kept
+    }
+
+    /// The kept mask of the most recent apply, parallel to the input.
+    #[must_use]
+    pub fn kept_mask(&self) -> &[bool] {
+        &self.mask
+    }
+}
+
+impl TrimOp {
+    /// The `f32` variant of [`TrimOp::apply_in_place`], for
+    /// single-precision streams (feature scores, sensor batches) that
+    /// should not pay an upcast copy per round.
+    ///
+    /// Thresholds are resolved exactly as in the `f64` path (percentiles
+    /// select on the upcast batch); the cut itself is applied in `f32`
+    /// against the *downcast* threshold, and the reported
+    /// [`TrimStats::threshold_value`] / [`TrimStats::lower_value`] are
+    /// the `f32` cut values actually compared against, widened back to
+    /// `f64`.
+    ///
+    /// # Panics
+    /// Panics if a percentile parameter is outside `[0, 1]` or `lo > hi`,
+    /// or if a percentile cut is requested on an empty batch.
+    pub fn apply_in_place_f32(&self, values: &[f32], scratch: &mut TrimScratchF32) -> TrimStats {
+        scratch.mask.clear();
+        scratch.kept.clear();
+        let select_threshold = |scratch: &mut TrimScratchF32, p: f64| -> f64 {
+            scratch.select.clear();
+            scratch.select.extend(values.iter().map(|&v| f64::from(v)));
+            percentile_select(&mut scratch.select, p, Interpolation::Linear)
+        };
+        let (lower, upper): (Option<f32>, Option<f32>) = match *self {
+            TrimOp::None => (None, None),
+            TrimOp::Absolute(threshold) => (None, Some(threshold as f32)),
+            TrimOp::UpperPercentile(p) => {
+                assert!((0.0..=1.0).contains(&p), "percentile {p} not in [0,1]");
+                (None, Some(select_threshold(scratch, p) as f32))
+            }
+            TrimOp::TwoSided { lo, hi } => {
+                assert!((0.0..=1.0).contains(&lo), "lo {lo} not in [0,1]");
+                assert!((0.0..=1.0).contains(&hi), "hi {hi} not in [0,1]");
+                assert!(lo <= hi, "inverted percentile band [{lo}, {hi}]");
+                let lo_v = select_threshold(scratch, lo) as f32;
+                let hi_v = select_threshold(scratch, hi) as f32;
+                (Some(lo_v), Some(hi_v))
+            }
+        };
+        let n = values.len();
+        let trimmed = match (lower, upper) {
+            (None, None) => {
+                scratch.mask.resize(n, true);
+                scratch.kept.extend_from_slice(values);
+                0
+            }
+            (lo, Some(hi_v)) => {
+                scratch.mask.resize(n, false);
+                scratch.kept.resize(n, 0.0);
+                let k = trimgame_numerics::simd::filter_f32(
+                    values,
+                    &mut scratch.mask[..n],
+                    &mut scratch.kept[..n],
+                    lo,
+                    hi_v,
+                );
+                scratch.kept.truncate(k);
+                n - k
+            }
+            (Some(_), None) => unreachable!("no lower-only operator exists"),
+        };
+        TrimStats {
+            trimmed,
+            kept: n - trimmed,
+            threshold_value: upper.map(f64::from),
+            lower_value: lower.map(f64::from),
         }
     }
 }
@@ -420,7 +519,7 @@ mod tests {
     #[test]
     fn trimming_removes_injected_tail_poison() {
         let mut values = batch();
-        values.extend(std::iter::repeat(99.0).take(20)); // poison at p99
+        values.extend(std::iter::repeat_n(99.0, 20)); // poison at p99
         let out = trim(&values, TrimOp::UpperPercentile(0.8));
         let poison_kept = out.kept.iter().filter(|&&v| v == 99.0).count();
         assert_eq!(poison_kept, 0, "tail poison should be trimmed");

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use trimgame_stream::board::{PublicBoard, RoundRecord};
 use trimgame_stream::quality::{MeanShiftQuality, QualityEvaluation, TailMassQuality};
-use trimgame_stream::trim::{trim, TrimOp, TrimOutcome, TrimScratch};
+use trimgame_stream::trim::{trim, TrimOp, TrimOutcome, TrimScratch, TrimScratchF32};
 
 /// Straightforward sort-based reference implementation of the upper
 /// percentile cut, independent of the selection-based production path.
@@ -33,6 +33,68 @@ fn records(n: usize) -> Vec<RoundRecord> {
             quality: 1.0,
         })
         .collect()
+}
+
+proptest! {
+    #[test]
+    fn f32_absolute_cut_matches_scalar_reference(
+        values in prop::collection::vec((-40i32..40).prop_map(|i| i as f32 * 0.25), 0..3_000),
+        cut in -11.0_f64..11.0,
+    ) {
+        // The f32 in-place cut (SIMD kernel) must be bit-identical to the
+        // obvious scalar loop against the downcast threshold — including
+        // ties exactly at the threshold (the discrete value grid makes
+        // them common) and across vector-width boundaries.
+        let cut32 = cut as f32;
+        let ref_mask: Vec<bool> = values.iter().map(|&v| v <= cut32).collect();
+        let ref_kept: Vec<f32> = values.iter().copied().filter(|&v| v <= cut32).collect();
+        let mut scratch = TrimScratchF32::new();
+        let stats = TrimOp::Absolute(cut).apply_in_place_f32(&values, &mut scratch);
+        prop_assert_eq!(scratch.kept_mask(), ref_mask.as_slice());
+        prop_assert_eq!(scratch.kept(), ref_kept.as_slice());
+        prop_assert_eq!(stats.kept, ref_kept.len());
+        prop_assert_eq!(stats.trimmed, values.len() - ref_kept.len());
+        prop_assert_eq!(stats.threshold_value, Some(f64::from(cut32)));
+    }
+
+    #[test]
+    fn f32_percentile_cut_matches_upcast_reference(
+        values in prop::collection::vec((-40i32..40).prop_map(|i| i as f32 * 0.25), 1..2_000),
+        p in 0.0_f64..=1.0,
+    ) {
+        // The f32 percentile path resolves its threshold on the upcast
+        // batch (same arithmetic as the f64 path) and cuts in f32: the
+        // result must match the reference built from the same recipe.
+        let upcast: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
+        let threshold = trimgame_numerics::quantile::percentile(
+            &upcast, p, Default::default()) as f32;
+        let ref_mask: Vec<bool> = values.iter().map(|&v| v <= threshold).collect();
+        let ref_kept: Vec<f32> = values.iter().copied().filter(|&v| v <= threshold).collect();
+        let mut scratch = TrimScratchF32::new();
+        let stats = TrimOp::UpperPercentile(p).apply_in_place_f32(&values, &mut scratch);
+        prop_assert_eq!(scratch.kept_mask(), ref_mask.as_slice());
+        prop_assert_eq!(scratch.kept(), ref_kept.as_slice());
+        prop_assert_eq!(stats.threshold_value, Some(f64::from(threshold)));
+    }
+
+    #[test]
+    fn f32_two_sided_band_matches_scalar_reference(
+        values in prop::collection::vec((-40i32..40).prop_map(|i| i as f32 * 0.25), 1..2_000),
+        lo in 0.0_f64..0.5,
+        width in 0.0_f64..0.5,
+    ) {
+        let upcast: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
+        let interp = trimgame_numerics::quantile::Interpolation::Linear;
+        let lo_v = trimgame_numerics::quantile::percentile(&upcast, lo, interp) as f32;
+        let hi_v = trimgame_numerics::quantile::percentile(&upcast, lo + width, interp) as f32;
+        let keep = |v: f32| (v >= lo_v) & (v <= hi_v);
+        let ref_kept: Vec<f32> = values.iter().copied().filter(|&v| keep(v)).collect();
+        let mut scratch = TrimScratchF32::new();
+        let stats = TrimOp::TwoSided { lo, hi: lo + width }.apply_in_place_f32(&values, &mut scratch);
+        prop_assert_eq!(scratch.kept(), ref_kept.as_slice());
+        prop_assert_eq!(stats.kept, ref_kept.len());
+        prop_assert_eq!(stats.lower_value, Some(f64::from(lo_v)));
+    }
 }
 
 proptest! {
@@ -185,7 +247,7 @@ proptest! {
         let q = TailMassQuality::new(90.0, 0.1);
         let clean_score = q.evaluate(&base);
         let mut poisoned = base.clone();
-        poisoned.extend(std::iter::repeat(99.0).take(extra));
+        poisoned.extend(std::iter::repeat_n(99.0, extra));
         prop_assert!(q.evaluate(&poisoned) <= clean_score + 1e-12);
     }
 
