@@ -1,5 +1,6 @@
 //! Ablation studies for the design choices called out in `DESIGN.md §4`.
 
+use crate::sweep::{env_workers, parallel_map_with};
 use std::fmt::Write as _;
 use trim_core::config;
 use trim_core::elastic::CoupledDynamics;
@@ -14,7 +15,7 @@ use trimgame_numerics::quantile::{percentile, Interpolation};
 use trimgame_numerics::rand_ext::{derive_seed, seeded_rng, standard_normal};
 use trimgame_numerics::sketch::P2Quantile;
 use trimgame_numerics::stats::mean;
-use trimgame_stream::trim::{trim, TrimOp};
+use trimgame_stream::trim::{TrimOp, TrimScratch};
 
 /// Response intensity `k`: convergence speed of the coupled map, analytic
 /// equilibrium offset, transient cost, and Theorem 4 oscillation scales.
@@ -87,47 +88,52 @@ pub fn ablate_red() -> String {
         .map(|i| ((i % 1000) as f64 / 500.0 - 1.0) * 0.6)
         .collect();
 
-    for &red in &[0.0, 0.01, 0.02, 0.03, 0.05, 0.10] {
-        let mut false_triggers = 0usize;
-        let mut detection_sum = 0.0;
-        for rep in 0..reps {
+    let reds = [0.0, 0.01, 0.02, 0.03, 0.05, 0.10];
+    // One job per (Red, repetition); each rep's RNG stream derives from
+    // the repetition alone, exactly as the sequential loop drew it, so
+    // the fan-out changes none of the numbers. Workers reuse their
+    // calibration/report buffers across cells.
+    let cells = parallel_map_with(
+        reds.len() * reps,
+        env_workers(),
+        || (Vec::new(), Vec::new()),
+        |(calib, reports): &mut (Vec<f64>, Vec<f64>), job| {
+            let rep = job % reps;
+            let red = reds[job / reps];
             let mut rng = seeded_rng(derive_seed(7, rep as u64));
             // Calibration round.
-            let calib: Vec<f64> = (0..users)
-                .map(|i| mech.privatize(population[i % population.len()], &mut rng))
-                .collect();
-            let ref_value = percentile(&calib, 0.95, Interpolation::Linear);
+            calib.clear();
+            calib.extend(
+                (0..users).map(|i| mech.privatize(population[i % population.len()], &mut rng)),
+            );
+            let ref_value = percentile(calib, 0.95, Interpolation::Linear);
 
             // (a) honest play: does the trigger false-fire?
             let mut tft = TitForTat::new(0.95, 0.85, 1.0, red).expect("valid");
             for round in 1..=rounds {
-                let reports: Vec<f64> = (0..users)
-                    .map(|_| {
-                        let idx = rng.gen_range(0..population.len());
-                        mech.privatize(population[idx], &mut rng)
-                    })
-                    .collect();
-                let above = 1.0 - trimgame_numerics::quantile::ecdf(&reports, ref_value);
+                reports.clear();
+                reports.extend((0..users).map(|_| {
+                    let idx = rng.gen_range(0..population.len());
+                    mech.privatize(population[idx], &mut rng)
+                }));
+                let above = 1.0 - trimgame_numerics::quantile::ecdf(reports, ref_value);
                 let quality = 1.0 - (above - 0.05).max(0.0);
                 let _ = tft.observe(round, quality);
             }
-            if tft.triggered_at().is_some() {
-                false_triggers += 1;
-            }
+            let false_trigger = tft.triggered_at().is_some();
 
             // (b) attacked play: how fast is a 30% input manipulation caught?
             let attack = InputManipulation::new(1.0);
             let mut tft = TitForTat::new(0.95, 0.85, 1.0, red).expect("valid");
             let mut caught = rounds + 5;
             for round in 1..=rounds {
-                let mut reports: Vec<f64> = (0..users)
-                    .map(|_| {
-                        let idx = rng.gen_range(0..population.len());
-                        mech.privatize(population[idx], &mut rng)
-                    })
-                    .collect();
+                reports.clear();
+                reports.extend((0..users).map(|_| {
+                    let idx = rng.gen_range(0..population.len());
+                    mech.privatize(population[idx], &mut rng)
+                }));
                 reports.extend(attack.reports(&mech, (users as f64 * 0.3) as usize, &mut rng));
-                let above = 1.0 - trimgame_numerics::quantile::ecdf(&reports, ref_value);
+                let above = 1.0 - trimgame_numerics::quantile::ecdf(reports, ref_value);
                 let quality = 1.0 - (above - 0.05).max(0.0);
                 let _ = tft.observe(round, quality);
                 if let Some(r) = tft.triggered_at() {
@@ -135,8 +141,13 @@ pub fn ablate_red() -> String {
                     break;
                 }
             }
-            detection_sum += caught as f64;
-        }
+            (false_trigger, caught as f64)
+        },
+    );
+    for (ri, &red) in reds.iter().enumerate() {
+        let slice = &cells[ri * reps..(ri + 1) * reps];
+        let false_triggers = slice.iter().filter(|c| c.0).count();
+        let detection_sum: f64 = slice.iter().map(|c| c.1).sum();
         let _ = writeln!(
             out,
             "{:>6.2} {:>21.1}% {:>22.2}",
@@ -220,8 +231,11 @@ pub fn ablate_mechanism() -> String {
     };
     let truth = mean(&population);
 
-    fn trimmed_mse<M: LdpMechanism>(
-        make: impl Fn(f64) -> M,
+    // One epsilon column per job; workers reuse calibration/report/trim
+    // buffers across columns, and the absolute cut runs through the
+    // in-place SIMD trim kernel instead of the allocating facade.
+    fn trimmed_mse<M: LdpMechanism + Sync>(
+        make: impl Fn(f64) -> M + Sync,
         epsilons: &[f64],
         population: &[f64],
         truth: f64,
@@ -229,44 +243,49 @@ pub fn ablate_mechanism() -> String {
         users: usize,
         reps: usize,
     ) -> Vec<f64> {
-        epsilons
-            .iter()
-            .map(|&eps| {
-                let mech = make(eps);
+        parallel_map_with(
+            epsilons.len(),
+            env_workers(),
+            || (Vec::new(), Vec::new(), Vec::new(), TrimScratch::new()),
+            |(calib, reports, below, scratch): &mut (Vec<f64>, Vec<f64>, Vec<f64>, TrimScratch),
+             ei| {
+                let mech = make(epsilons[ei]);
                 let attack = InputManipulation::new(1.0);
                 let mut total = 0.0;
                 for rep in 0..reps {
                     let mut rng = seeded_rng(derive_seed(3, rep as u64));
-                    let mut calib: Vec<f64> = (0..users)
-                        .map(|i| mech.privatize(population[i % population.len()], &mut rng))
-                        .collect();
+                    calib.clear();
+                    calib.extend(
+                        (0..users)
+                            .map(|i| mech.privatize(population[i % population.len()], &mut rng)),
+                    );
                     calib.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
                     let cut = trimgame_numerics::quantile::percentile_sorted(
-                        &calib,
+                        calib,
                         0.95,
                         Interpolation::Linear,
                     );
-                    let below: Vec<f64> = calib.iter().copied().filter(|&v| v <= cut).collect();
-                    let bias = mean(&calib) - mean(&below);
+                    below.clear();
+                    below.extend(calib.iter().copied().filter(|&v| v <= cut));
+                    let bias = mean(calib) - mean(below);
 
-                    let mut reports: Vec<f64> = (0..users)
-                        .map(|_| {
-                            let idx = rng.gen_range(0..population.len());
-                            mech.privatize(population[idx], &mut rng)
-                        })
-                        .collect();
+                    reports.clear();
+                    reports.extend((0..users).map(|_| {
+                        let idx = rng.gen_range(0..population.len());
+                        mech.privatize(population[idx], &mut rng)
+                    }));
                     reports.extend(attack.reports(
                         &mech,
                         (users as f64 * ratio) as usize,
                         &mut rng,
                     ));
-                    let kept = trim(&reports, TrimOp::Absolute(cut)).kept;
-                    let est = mean(&kept) + bias;
+                    let _ = TrimOp::Absolute(cut).apply_in_place(reports, scratch);
+                    let est = mean(scratch.kept()) + bias;
                     total += (est - truth) * (est - truth);
                 }
                 total / reps as f64
-            })
-            .collect()
+            },
+        )
     }
 
     let rows: Vec<(&str, Vec<f64>)> = vec![

@@ -1,7 +1,8 @@
 //! `expt` — regenerate any table or figure from the paper.
 //!
 //! ```text
-//! USAGE: expt <experiment>... [--smoke] [--substrate scalar|ml|ldp] [--json]
+//! USAGE: expt <experiment>... [--smoke] [--substrate scalar|ml|ldp]
+//!                              [--sketch[=EPS]] [--json]
 //!        | all | tables | figures | ablations
 //!        | benchdiff <baseline.json> <current.json> [tolerance]
 //!
@@ -12,7 +13,10 @@
 //! flags: --smoke          tiny grids for pipeline checks (currently: equilibrium
 //!                         runs its 3x3 / 2-3-seed smoke game)
 //!        --substrate KIND equilibrium substrate: scalar (default), ml, ldp
-//!        --json           bench writes the BENCH_PR5.json snapshot
+//!        --sketch[=EPS]   sketch-native defender: resolve trimming cuts from
+//!                         a GK quantile sketch (rank error EPS, default 0.02)
+//!                         and report equilibrium value vs epsilon
+//!        --json           bench writes the BENCH_PR6.json snapshot
 //!
 //! benchdiff compares two committed snapshots and exits 1 when a shared
 //! case regressed past the tolerance (default 3x) — the CI smoke gate.
@@ -22,14 +26,15 @@
 //!      TRIMGAME_SWEEP_THREADS=N  sweep worker count (default: all cores)
 //!      TRIMGAME_EQ_SEEDS=N       equilibrium seeds per payoff cell
 //!      TRIMGAME_EQ_SUBSTRATE=K  equilibrium substrate (same as --substrate)
+//!      TRIMGAME_EQ_SKETCH=EPS   sketch-native defender (same as --sketch)
 //! ```
 
 use trimgame_bench::{run_experiment, EXPERIMENTS};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: expt <experiment>... [--smoke] [--substrate scalar|ml|ldp] [--json] \
-         | all | tables | figures | ablations"
+        "usage: expt <experiment>... [--smoke] [--substrate scalar|ml|ldp] \
+         [--sketch[=EPS]] [--json] | all | tables | figures | ablations"
     );
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     eprintln!(
@@ -108,6 +113,12 @@ fn main() {
             },
             flag if flag.starts_with("--substrate=") => {
                 set_substrate(&flag["--substrate=".len()..]);
+            }
+            // Sketch-native defender; equilibrium reads it via
+            // EquilibriumConfig::from_env_for.
+            "--sketch" => std::env::set_var("TRIMGAME_EQ_SKETCH", "1"),
+            flag if flag.starts_with("--sketch=") => {
+                std::env::set_var("TRIMGAME_EQ_SKETCH", &flag["--sketch=".len()..]);
             }
             "all" => ids.extend(EXPERIMENTS),
             "tables" => ids.extend(["table1", "table2", "table3", "table4"]),

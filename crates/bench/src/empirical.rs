@@ -105,6 +105,11 @@ pub struct EquilibriumConfig {
     pub fp_iterations: usize,
     /// CI multiplier for per-cell confidence intervals (2.58 ≈ 99%).
     pub z: f64,
+    /// Rank error of the sketch-native defender. `Some(ε)` resolves every
+    /// trimming cut from a GK sketch of the substrate's clean reference
+    /// stream (scalar pool / ML anomaly scores / LDP calibration reports),
+    /// pricing ε into the equilibrium; `None` keeps exact cuts.
+    pub sketch_epsilon: Option<f64>,
 }
 
 impl EquilibriumConfig {
@@ -124,6 +129,7 @@ impl EquilibriumConfig {
             workers: 0,
             fp_iterations: 50_000,
             z: 3.0,
+            sketch_epsilon: None,
         }
     }
 
@@ -142,6 +148,7 @@ impl EquilibriumConfig {
             workers: 0,
             fp_iterations: 200_000,
             z: 2.58,
+            sketch_epsilon: None,
         }
     }
 
@@ -193,7 +200,9 @@ impl EquilibriumConfig {
 
     /// Reads the CLI environment: `TRIMGAME_EQ_SMOKE=1` selects the smoke
     /// grid, `TRIMGAME_EQ_SEEDS=N` overrides the per-cell repetitions,
-    /// and `TRIMGAME_SWEEP_THREADS` sets the worker count.
+    /// `TRIMGAME_EQ_SKETCH` turns on the sketch-native defender (`1` for
+    /// the default rank error, or the ε itself, e.g. `0.02`), and
+    /// `TRIMGAME_SWEEP_THREADS` sets the worker count.
     #[must_use]
     pub fn from_env() -> Self {
         Self::from_env_for(SubstrateKind::Scalar)
@@ -215,6 +224,9 @@ impl EquilibriumConfig {
             .and_then(|v| v.parse::<usize>().ok())
         {
             cfg.seeds = seeds.max(2);
+        }
+        if let Some(eps) = sketch_epsilon_from_env() {
+            cfg.sketch_epsilon = Some(eps);
         }
         cfg.workers = env_workers();
         cfg
@@ -245,8 +257,35 @@ impl EquilibriumConfig {
         assert!(self.response_margin > 0.0, "need a positive margin");
         assert!(self.seeds >= 2, "need at least two seeds per cell");
         assert!(self.rounds > 0 && self.batch > 0, "degenerate game shape");
+        if let Some(eps) = self.sketch_epsilon {
+            assert!(
+                eps > 0.0 && eps < 0.5,
+                "sketch rank error must sit in (0, 0.5)"
+            );
+        }
     }
 }
+
+/// `TRIMGAME_EQ_SKETCH`: unset/`0` keeps exact cuts, `1`/`true` enables
+/// the sketch-native defender at the default rank error, and a float in
+/// `(0, 0.5)` sets ε directly.
+fn sketch_epsilon_from_env() -> Option<f64> {
+    let raw = std::env::var("TRIMGAME_EQ_SKETCH").ok()?;
+    if raw == "0" || raw.is_empty() || raw.eq_ignore_ascii_case("false") {
+        return None;
+    }
+    if raw == "1" || raw.eq_ignore_ascii_case("true") {
+        return Some(DEFAULT_SKETCH_EPSILON);
+    }
+    match raw.parse::<f64>() {
+        Ok(eps) if eps > 0.0 && eps < 0.5 => Some(eps),
+        _ => panic!("TRIMGAME_EQ_SKETCH must be 1/true or an ε in (0, 0.5), got {raw:?}"),
+    }
+}
+
+/// Rank error used when the sketch-native defender is enabled without an
+/// explicit ε (`TRIMGAME_EQ_SKETCH=1`).
+pub const DEFAULT_SKETCH_EPSILON: f64 = 0.02;
 
 /// Which simulation substrate the equilibrium pipeline runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -489,6 +528,7 @@ impl ScalarSubstrate {
         game.batch = cfg.batch;
         game.attack_ratio = cfg.attack_ratio;
         game.seed = seed;
+        game.sketch_epsilon = cfg.sketch_epsilon;
         game
     }
 }
@@ -585,6 +625,7 @@ impl GameSubstrate for MlSubstrate {
             batch: cfg.batch,
             seed,
             red: 0.05,
+            sketch_epsilon: cfg.sketch_epsilon,
         };
         let arena = scratch
             .arena
@@ -651,6 +692,7 @@ impl LdpSubstrate {
             hard: (tth - 0.1).max(0.0),
             red: 0.03,
             seed,
+            sketch_epsilon: cfg.sketch_epsilon,
         }
     }
 }
@@ -1412,6 +1454,12 @@ pub fn equilibrium_report_for(kind: SubstrateKind, cfg: &EquilibriumConfig) -> S
         "== Empirical equilibrium [{} substrate]: {rows}x{cols} threshold game, {} seeds/cell, {} rounds x {} batch ==",
         est.substrate, est.seeds, cfg.rounds, cfg.batch
     );
+    if let Some(eps) = cfg.sketch_epsilon {
+        let _ = writeln!(
+            out,
+            "sketch-native defender: cuts resolved from a GK quantile sketch, rank error epsilon = {eps}"
+        );
+    }
     let _ = writeln!(
         out,
         "collector loss per round, mean +/- {:.2}sigma CI (rows: defender atoms; cols: attacker just-below responses)",
@@ -1538,6 +1586,40 @@ pub fn equilibrium_report_for(kind: SubstrateKind, cfg: &EquilibriumConfig) -> S
         }
     );
 
+    // Price the sketch's rank error into the game: the defender's cut
+    // carries up to ε of quantile slack the adversary can hide inside,
+    // so the equilibrium value traces how much evasion headroom each ε
+    // buys relative to exact cuts.
+    if let Some(eps) = cfg.sketch_epsilon {
+        let mut exact_cfg = cfg.clone();
+        exact_cfg.sketch_epsilon = None;
+        let exact = estimate_on(&*sub, &exact_cfg).empirical.value;
+        let mut grid: Vec<f64> = [0.5 * eps, eps, 2.0 * eps]
+            .into_iter()
+            .filter(|e| *e > 0.0 && *e < 0.5)
+            .collect();
+        grid.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "equilibrium value vs sketch epsilon (exact-cut baseline {exact:.5}):"
+        );
+        for e in grid {
+            let value = if (e - eps).abs() < 1e-12 {
+                est.empirical.value
+            } else {
+                let mut sweep_cfg = cfg.clone();
+                sweep_cfg.sketch_epsilon = Some(e);
+                estimate_on(&*sub, &sweep_cfg).empirical.value
+            };
+            let _ = writeln!(
+                out,
+                "  epsilon {e:.4}: value {value:.5} (delta vs exact {:+.5})",
+                value - exact
+            );
+        }
+    }
+
     // Support optimization: refine the atom placements on the scalar
     // substrate (the optimizer is substrate-generic; the report runs it
     // where the closed form makes the improvement interpretable).
@@ -1583,6 +1665,7 @@ mod tests {
             workers: 1,
             fp_iterations: 20_000,
             z: 3.0,
+            sketch_epsilon: None,
         }
     }
 
@@ -1798,6 +1881,55 @@ mod tests {
         let par = estimate_on(&ldp, &cfg);
         assert_eq!(seq.mean_loss, par.mean_loss);
         assert_eq!(seq.empirical, par.empirical);
+    }
+
+    #[test]
+    fn sketch_native_estimates_are_deterministic_and_priced() {
+        // Acceptance contract for the sketch-native substrates: with the
+        // sketch-ε knob on, the ML and LDP estimates stay scheduling
+        // independent (the sketch build consumes no randomness), and the
+        // equilibrium value responds to ε — the defender's cut carries
+        // rank slack, so the value differs from the exact-cut game.
+        for kind in [SubstrateKind::Ml, SubstrateKind::Ldp] {
+            let sub = standard_substrate(kind);
+            let mut cfg = EquilibriumConfig::smoke_for(kind);
+            cfg.seeds = 2;
+            cfg.rounds = 2;
+            cfg.batch = if kind == SubstrateKind::Ml { 100 } else { 200 };
+            cfg.sketch_epsilon = Some(0.05);
+            cfg.workers = 1;
+            let seq = estimate_on(&*sub, &cfg);
+            cfg.workers = 8;
+            let par = estimate_on(&*sub, &cfg);
+            assert_eq!(seq.mean_loss, par.mean_loss, "{kind:?} sketch determinism");
+            assert_eq!(seq.empirical, par.empirical, "{kind:?} sketch determinism");
+
+            cfg.sketch_epsilon = None;
+            let exact = estimate_on(&*sub, &cfg);
+            assert!(
+                seq.mean_loss != exact.mean_loss,
+                "{kind:?}: a 5% rank error should perturb at least one payoff cell"
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_report_prices_epsilon() {
+        // The report carries the value-vs-ε curve when the sketch-native
+        // defender is on.
+        let mut cfg = tiny();
+        cfg.seeds = 2;
+        cfg.rounds = 2;
+        cfg.batch = 120;
+        cfg.sketch_epsilon = Some(0.04);
+        let report = equilibrium_report_for(SubstrateKind::Ml, &cfg);
+        assert!(report.contains("sketch-native defender"), "{report}");
+        assert!(
+            report.contains("equilibrium value vs sketch epsilon"),
+            "{report}"
+        );
+        assert!(report.contains("epsilon 0.0400"), "{report}");
+        assert!(report.contains("epsilon 0.0800"), "{report}");
     }
 
     #[test]

@@ -5,12 +5,16 @@
 //! and series have the same structure and the same qualitative shape —
 //! EXPERIMENTS.md records the paper-vs-measured comparison.
 
+use crate::sweep::{env_workers, parallel_map};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use trim_core::config;
 use trim_core::elastic::CoupledDynamics;
 use trim_core::ldp_sim::{ldp_mse, LdpDefense, LdpSimConfig};
 use trim_core::matrix::UltimatumPayoffs;
-use trim_core::ml_sim::{collect_poisoned, som_structure, svm_accuracy, MlSimConfig};
+use trim_core::ml_sim::{
+    collect_poisoned_with_model, som_structure, svm_accuracy, MlModel, MlSimConfig,
+};
 use trim_core::simulation::{run_table3_point, Scheme};
 use trimgame_datasets::shapes::{control, creditcard, taxi, vehicle, Shape};
 use trimgame_datasets::Dataset;
@@ -128,37 +132,62 @@ pub fn fig45(tth: f64) -> String {
 
     for data in fig45_datasets() {
         let truth = trim_core::ml_sim::kmeans_truth(&data);
-        for (interval, ratios) in ratio_grid() {
+        // One k-means fit per dataset, shared across every cell.
+        let model = Arc::new(MlModel::fit(&data));
+        let grid = ratio_grid();
+        let ratios_flat: Vec<f64> = grid.iter().flat_map(|(_, rs)| rs.iter().copied()).collect();
+        // One job per (scheme, ratio, repetition) cell; each is seeded
+        // purely by its index, so the fan-out is deterministic under any
+        // worker count and the numbers match the sequential loop exactly.
+        let cells = parallel_map(
+            schemes.len() * ratios_flat.len() * reps,
+            env_workers(),
+            |idx| {
+                let rep = idx % reps;
+                let ri = (idx / reps) % ratios_flat.len();
+                let si = idx / (reps * ratios_flat.len());
+                let cfg = MlSimConfig {
+                    rounds: 20,
+                    batch: 60,
+                    ..MlSimConfig::new(
+                        schemes[si],
+                        tth,
+                        ratios_flat[ri],
+                        derive_seed(5, rep as u64),
+                    )
+                };
+                let collected = collect_poisoned_with_model(&data, &cfg, &model);
+                let (sse, dist) = trim_core::ml_sim::kmeans_metrics_vs(&collected, &truth);
+                // Normalize SSE by retained rows so schemes with
+                // different retention are comparable.
+                (sse / collected.retained.rows().max(1) as f64, dist)
+            },
+        );
+        let cell_mean = |si: usize, ri: usize| {
+            let base = (si * ratios_flat.len() + ri) * reps;
+            let (sse, dist) = cells[base..base + reps]
+                .iter()
+                .fold((0.0, 0.0), |(s, d), &(cs, cd)| (s + cs, d + cd));
+            (sse / reps as f64, dist / reps as f64)
+        };
+        let mut ri_base = 0;
+        for (interval, ratios) in &grid {
             let _ = writeln!(out);
             let _ = writeln!(out, "--- {}{} ---", data.name().to_uppercase(), interval);
             let _ = write!(out, "{:<16}", "scheme");
-            for r in &ratios {
+            for r in ratios {
                 let _ = write!(out, " {:>11} {:>9}", format!("SSE@{r}"), "dist");
             }
             let _ = writeln!(out);
-            for &scheme in &schemes {
+            for (si, scheme) in schemes.iter().enumerate() {
                 let _ = write!(out, "{:<16}", scheme.name());
-                for &ratio in &ratios {
-                    let mut sse_sum = 0.0;
-                    let mut dist_sum = 0.0;
-                    for rep in 0..reps {
-                        let cfg = MlSimConfig {
-                            rounds: 20,
-                            batch: 60,
-                            ..MlSimConfig::new(scheme, tth, ratio, derive_seed(5, rep as u64))
-                        };
-                        let collected = collect_poisoned(&data, &cfg);
-                        let (sse, dist) = trim_core::ml_sim::kmeans_metrics_vs(&collected, &truth);
-                        // Normalize SSE by retained rows so schemes with
-                        // different retention are comparable.
-                        sse_sum += sse / collected.retained.rows().max(1) as f64;
-                        dist_sum += dist;
-                    }
-                    let n = reps as f64;
-                    let _ = write!(out, " {:>11.1} {:>9.2}", sse_sum / n, dist_sum / n);
+                for k in 0..ratios.len() {
+                    let (sse, dist) = cell_mean(si, ri_base + k);
+                    let _ = write!(out, " {:>11.1} {:>9.2}", sse, dist);
                 }
                 let _ = writeln!(out);
             }
+            ri_base += ratios.len();
         }
     }
     let _ = writeln!(out);
@@ -258,17 +287,22 @@ pub fn fig7() -> String {
         format!("{:.1}%", gt_model.accuracy(&data) * 100.0)
     );
 
-    for scheme in Scheme::roster() {
-        let mut acc_sum = 0.0;
-        for rep in 0..reps {
-            let cfg = MlSimConfig {
-                rounds: 20,
-                batch: 60,
-                ..MlSimConfig::new(scheme, 0.95, 0.4, derive_seed(21, rep as u64))
-            };
-            let collected = collect_poisoned(&data, &cfg);
-            acc_sum += svm_accuracy(&collected, &data, derive_seed(23, rep as u64));
-        }
+    // One shared clean fit; (scheme, repetition) cells fan out across
+    // workers, each seeded by its index alone.
+    let model = Arc::new(MlModel::fit(&data));
+    let schemes = Scheme::roster();
+    let accs = parallel_map(schemes.len() * reps, env_workers(), |idx| {
+        let rep = idx % reps;
+        let cfg = MlSimConfig {
+            rounds: 20,
+            batch: 60,
+            ..MlSimConfig::new(schemes[idx / reps], 0.95, 0.4, derive_seed(21, rep as u64))
+        };
+        let collected = collect_poisoned_with_model(&data, &cfg, &model);
+        svm_accuracy(&collected, &data, derive_seed(23, rep as u64))
+    });
+    for (si, scheme) in schemes.iter().enumerate() {
+        let acc_sum: f64 = accs[si * reps..(si + 1) * reps].iter().sum();
         let _ = writeln!(
             out,
             "{:<16} {:>10}",
@@ -316,14 +350,20 @@ pub fn fig8() -> String {
         fp[3]
     );
 
-    for scheme in Scheme::roster() {
+    // One scheme per job over the shared clean fit (the SOM refit inside
+    // som_structure dominates each cell).
+    let model = Arc::new(MlModel::fit(&data));
+    let schemes = Scheme::roster();
+    let rows = parallel_map(schemes.len(), env_workers(), |si| {
         let cfg = MlSimConfig {
             rounds: 10,
             batch: 200,
-            ..MlSimConfig::new(scheme, 0.95, 0.4, 43)
+            ..MlSimConfig::new(schemes[si], 0.95, 0.4, 43)
         };
-        let collected = collect_poisoned(&data, &cfg);
-        let (separated, footprint) = som_structure(&collected, &data, SomConfig::paper(), 47);
+        let collected = collect_poisoned_with_model(&data, &cfg, &model);
+        som_structure(&collected, &data, SomConfig::paper(), 47)
+    });
+    for (scheme, (separated, footprint)) in schemes.iter().zip(rows) {
         let _ = writeln!(
             out,
             "{:<16} {:>10} {:>8} {:>8} {:>8} {:>8}",
@@ -381,9 +421,11 @@ pub fn table3() -> String {
         "{:>5} {:>22} {:>12} {:>12}",
         "p", "avg termination rounds", "Titfortat", "Elastic"
     );
-    for i in 0..=10 {
-        let p = f64::from(i) / 10.0;
-        let row = run_table3_point(&pool, p, 0.5, reps, 1234);
+    // The eleven p-points are independent seeded sweeps — fan them out.
+    let rows = parallel_map(11, env_workers(), |i| {
+        run_table3_point(&pool, i as f64 / 10.0, 0.5, reps, 1234)
+    });
+    for row in rows {
         let _ = writeln!(
             out,
             "{:>5.1} {:>22.2} {:>12.5} {:>12.5}",
@@ -461,7 +503,23 @@ pub fn fig9() -> String {
     );
     let _ = writeln!(out, "({} users/round, 5 rounds, {reps} reps)", 1_000);
 
-    for &ratio in &ratios {
+    // One job per (ratio, defense, epsilon) cell of the 9x4x9 grid; each
+    // runs its own seeded repetitions, so the fan-out is deterministic.
+    let defenses = LdpDefense::roster();
+    let mses = parallel_map(
+        ratios.len() * defenses.len() * epsilons.len(),
+        env_workers(),
+        |idx| {
+            let ei = idx % epsilons.len();
+            let di = (idx / epsilons.len()) % defenses.len();
+            let ri = idx / (epsilons.len() * defenses.len());
+            let mut cfg = LdpSimConfig::new(epsilons[ei], ratios[ri], 61);
+            cfg.users_per_round = 1_000;
+            cfg.rounds = 5;
+            ldp_mse(&population, defenses[di], &cfg, reps)
+        },
+    );
+    for (ri, ratio) in ratios.iter().enumerate() {
         let _ = writeln!(out);
         let _ = writeln!(out, "--- attack ratio = {ratio} ---");
         let _ = write!(out, "{:<12}", "defense");
@@ -469,13 +527,10 @@ pub fn fig9() -> String {
             let _ = write!(out, " {:>9}", format!("e={eps}"));
         }
         let _ = writeln!(out);
-        for defense in LdpDefense::roster() {
+        for (di, defense) in defenses.iter().enumerate() {
             let _ = write!(out, "{:<12}", defense.name());
-            for eps in epsilons {
-                let mut cfg = LdpSimConfig::new(eps, ratio, 61);
-                cfg.users_per_round = 1_000;
-                cfg.rounds = 5;
-                let mse = ldp_mse(&population, defense, &cfg, reps);
+            for ei in 0..epsilons.len() {
+                let mse = mses[(ri * defenses.len() + di) * epsilons.len() + ei];
                 let _ = write!(out, " {:>9.5}", mse);
             }
             let _ = writeln!(out);

@@ -17,10 +17,13 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 use trimgame_stream::trim::{SketchThreshold, TrimOp, TrimScratch};
 
-use crate::empirical::{estimate_on, EquilibriumConfig, ScalarSubstrate};
+use crate::empirical::{
+    estimate_on, standard_substrate, EquilibriumConfig, ScalarSubstrate, SubstrateKind,
+};
 use trim_core::adversary::AdversaryPolicy;
 use trim_core::simulation::{run_game_with_policies, GameConfig, Scheme};
 use trim_core::strategy::DefenderPolicy;
+use trimgame_numerics::gk::{GkScratch, GkSummary};
 
 /// One measured case.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,7 +35,7 @@ pub struct BenchCase {
 }
 
 /// The file the JSON snapshot is written to (repo root by convention).
-pub const SNAPSHOT_FILE: &str = "BENCH_PR5.json";
+pub const SNAPSHOT_FILE: &str = "BENCH_PR6.json";
 
 fn time_ns(warmup: Duration, measure: Duration, mut routine: impl FnMut()) -> f64 {
     let warm_start = Instant::now();
@@ -107,7 +110,38 @@ pub fn run_cases(warmup: Duration, measure: Duration) -> Vec<BenchCase> {
             }),
         );
     }
+    cases.extend(gk_cases(warmup, measure));
     cases.extend(engine_cases(warmup, measure));
+    cases
+}
+
+/// The GK ingest pair — the sequential per-value baseline against the
+/// batched merge-sweep / histogram first-fill path — measured in the same
+/// run so their ratio is the headline sketch-ingest speedup.
+fn gk_cases(warmup: Duration, measure: Duration) -> Vec<BenchCase> {
+    let mut cases = Vec::new();
+    let mut scratch = GkScratch::new();
+    for n in [10_000usize, 100_000] {
+        let values = batch_values(n);
+        cases.push(BenchCase {
+            name: format!("gk/ingest_sequential/{n}"),
+            mean_ns: time_ns(warmup, measure, || {
+                let mut summary = GkSummary::new(0.02);
+                for &v in &values {
+                    summary.insert(v);
+                }
+                std::hint::black_box(summary.query(0.9));
+            }),
+        });
+        cases.push(BenchCase {
+            name: format!("gk/ingest_batch/{n}"),
+            mean_ns: time_ns(warmup, measure, || {
+                let mut summary = GkSummary::new(0.02);
+                summary.insert_batch(&values, &mut scratch);
+                std::hint::black_box(summary.query(0.9));
+            }),
+        });
+    }
     cases
 }
 
@@ -175,6 +209,29 @@ fn engine_cases(warmup: Duration, measure: Duration) -> Vec<BenchCase> {
             std::hint::black_box(estimate_on(&sub, &cfg).empirical.value);
         }),
     });
+
+    // The sketch-native substrate cells: one smoke estimate per
+    // substrate with the defender's cuts resolved from the GK sketch.
+    for kind in [SubstrateKind::Ml, SubstrateKind::Ldp] {
+        let sub = standard_substrate(kind);
+        let mut cfg = EquilibriumConfig::smoke_for(kind);
+        cfg.seeds = 2;
+        cfg.rounds = 3;
+        cfg.batch = if kind == SubstrateKind::Ml { 100 } else { 300 };
+        cfg.sketch_epsilon = Some(0.02);
+        cfg.workers = 1;
+        let label = if kind == SubstrateKind::Ml {
+            "ml"
+        } else {
+            "ldp"
+        };
+        cases.push(BenchCase {
+            name: format!("equilibrium/estimate/{label}_sketch_smoke"),
+            mean_ns: time_ns(warmup, measure, || {
+                std::hint::black_box(estimate_on(&*sub, &cfg).empirical.value);
+            }),
+        });
+    }
     cases
 }
 
@@ -324,7 +381,7 @@ mod tests {
     #[test]
     fn suite_runs_with_tiny_windows_and_serializes() {
         let cases = run_cases(Duration::from_millis(1), Duration::from_millis(2));
-        assert_eq!(cases.len(), 15);
+        assert_eq!(cases.len(), 21);
         for case in &cases {
             assert!(case.mean_ns > 0.0, "{}: {}", case.name, case.mean_ns);
         }
@@ -333,6 +390,8 @@ mod tests {
         assert!(json.trim_end().ends_with('}'));
         assert_eq!(json.matches(':').count(), cases.len());
         assert!(json.contains("\"trim/in_place/1000\""));
+        assert!(json.contains("\"gk/ingest_batch/100000\""));
+        assert!(json.contains("\"equilibrium/estimate/ml_sketch_smoke\""));
         // No trailing comma before the closing brace.
         assert!(!json.contains(",\n}"));
     }

@@ -38,7 +38,7 @@ use trimgame_ldp::piecewise::Piecewise;
 use trimgame_numerics::quantile::{ecdf, Interpolation};
 use trimgame_numerics::rand_ext::{derive_seed, seeded_rng};
 use trimgame_numerics::stats::{mean, OnlineStats};
-use trimgame_stream::trim::{TrimOp, TrimScratch};
+use trimgame_stream::trim::{SketchThreshold, TrimOp, TrimScratch};
 
 /// The Fig. 9 defense roster.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,6 +93,12 @@ pub struct LdpSimConfig {
     pub red: f64,
     /// Master seed.
     pub seed: u64,
+    /// Rank error of the memory-bounded threshold source. `Some(ε)`
+    /// resolves trimming cuts from a GK sketch of the calibration report
+    /// stream instead of the exact sorted table — the sketch-native game
+    /// on the report stream. `None` keeps the exact cut. (Distinct from
+    /// the privacy budget `epsilon`.)
+    pub sketch_epsilon: Option<f64>,
 }
 
 impl LdpSimConfig {
@@ -108,6 +114,7 @@ impl LdpSimConfig {
             hard: 0.85,
             red: 0.03,
             seed,
+            sketch_epsilon: None,
         }
     }
 }
@@ -121,6 +128,10 @@ pub struct LdpBufs {
     prefix: Vec<f64>,
     reports: Vec<f64>,
     trim: TrimScratch,
+    /// The memory-bounded threshold source of the sketch-native game: a
+    /// GK sketch fed the calibration stream (batched) by
+    /// [`ldp_calibrate`] when the run asks for one.
+    sketch: Option<SketchThreshold>,
 }
 
 /// A worker's reusable LDP game state. Unlike the scalar/ML arenas there
@@ -191,6 +202,11 @@ fn ldp_calibrate<R: Rng + ?Sized>(
         cfg.soft.clamp(0.0, 1.0),
         Interpolation::Linear,
     );
+    bufs.sketch = cfg.sketch_epsilon.map(|e| {
+        let mut s = SketchThreshold::new(e);
+        s.observe(&bufs.calib);
+        s
+    });
     LdpParams {
         users_per_round: cfg.users_per_round,
         n_attack: (cfg.users_per_round as f64 * cfg.attack_ratio).round() as usize,
@@ -251,11 +267,19 @@ fn ldp_round<R: Rng + ?Sized>(
         return (report, 0.0, 0);
     }
 
-    let cut = trimgame_numerics::quantile::percentile_sorted(
-        &bufs.calib,
-        threshold.clamp(0.0, 1.0),
-        Interpolation::Linear,
-    );
+    // The sketch-native game resolves the cut from the GK summary of the
+    // calibration stream; its ε rank error is evasion headroom for an
+    // attacker positioning against the exact table.
+    let cut = match &bufs.sketch {
+        Some(s) => s
+            .cut(threshold.clamp(0.0, 1.0))
+            .expect("sketch ingested the calibration stream"),
+        None => trimgame_numerics::quantile::percentile_sorted(
+            &bufs.calib,
+            threshold.clamp(0.0, 1.0),
+            Interpolation::Linear,
+        ),
+    };
     let stats = TrimOp::Absolute(cut).apply_in_place(&bufs.reports, &mut bufs.trim);
     let (estimate_delta, kept_delta) = if stats.kept > 0 {
         // `trim_bias(cut)`: the honest-stream mean shift the cut induces.
@@ -643,12 +667,20 @@ mod tests {
         let pop = population();
         let mut arena = LdpArena::new();
         let mut scratch = EngineScratch::new();
-        for (soft, seed) in [(0.9f64, 3u64), (0.95, 4), (0.9, 3)] {
+        // The sketch column exercises the calibration-time sketch build
+        // and its reset on arena reuse.
+        for (soft, seed, sketch_epsilon) in [
+            (0.9f64, 3u64, None),
+            (0.95, 4, Some(0.02)),
+            (0.9, 3, None),
+            (0.9, 3, Some(0.05)),
+        ] {
             let cfg = LdpSimConfig {
                 users_per_round: 400,
                 rounds: 3,
                 soft,
                 hard: soft - 0.1,
+                sketch_epsilon,
                 ..LdpSimConfig::new(3.0, 0.25, seed)
             };
             let policies = || {
@@ -677,6 +709,30 @@ mod tests {
             assert_eq!(scratch.thresholds(), owned.thresholds.as_slice());
             assert_eq!(scratch.qualities(), owned.qualities.as_slice());
         }
+    }
+
+    #[test]
+    fn ldp_sketch_cut_tracks_exact_cut() {
+        // The sketch-native report-stream game: cuts resolved from a GK
+        // summary of the calibration stream stay within its rank-error
+        // band of the exact table, so the debiased estimate lands near
+        // the exact path's — and the sketch path replays deterministically.
+        let pop = population();
+        let base = LdpSimConfig {
+            users_per_round: 1_000,
+            rounds: 4,
+            ..LdpSimConfig::new(3.0, 0.2, 41)
+        };
+        let exact = run_ldp_collection(&pop, LdpDefense::TitForTat, &base);
+        let sk_cfg = LdpSimConfig {
+            sketch_epsilon: Some(0.02),
+            ..base
+        };
+        let sk = run_ldp_collection(&pop, LdpDefense::TitForTat, &sk_cfg);
+        let again = run_ldp_collection(&pop, LdpDefense::TitForTat, &sk_cfg);
+        assert_eq!(sk, again, "sketch path must replay deterministically");
+        assert!((sk - exact).abs() < 0.1, "sketch {sk} vs exact {exact}");
+        assert!((-1.0..=1.0).contains(&sk), "estimate {sk}");
     }
 
     #[test]

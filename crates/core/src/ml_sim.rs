@@ -23,7 +23,7 @@ use trimgame_ml::svm::{SvmConfig, SvmModel};
 use trimgame_numerics::quantile::{percentile_of, Interpolation};
 use trimgame_numerics::rand_ext::{seeded_rng, standard_normal};
 use trimgame_numerics::stats::{euclidean, OnlineStats};
-use trimgame_stream::trim::{TrimOp, TrimScratch};
+use trimgame_stream::trim::{SketchThreshold, TrimOp, TrimScratch};
 
 /// Configuration of a poisoned multi-round collection over a dataset.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +43,13 @@ pub struct MlSimConfig {
     pub seed: u64,
     /// Tit-for-tat redundancy on the quality scale.
     pub red: f64,
+    /// Rank error of the memory-bounded threshold source. `Some(ε)`
+    /// resolves the trimming cut from a GK sketch of the clean
+    /// anomaly-score stream instead of the exact sorted table — the
+    /// sketch-native game, where ε is evasion headroom the adversary can
+    /// price (exactly as on the scalar substrate). `None` keeps the exact
+    /// cut.
+    pub sketch_epsilon: Option<f64>,
 }
 
 impl MlSimConfig {
@@ -57,6 +64,7 @@ impl MlSimConfig {
             batch: 200,
             seed,
             red: 0.05,
+            sketch_epsilon: None,
         }
     }
 }
@@ -182,6 +190,11 @@ pub struct MlBufs {
 pub struct MlArena {
     model: std::sync::Arc<MlModel>,
     bufs: MlBufs,
+    /// The memory-bounded threshold source of the sketch-native game,
+    /// cached by its rank error: a GK sketch fed the clean anomaly-score
+    /// stream once (batched). Rebuilt only when a run asks for a
+    /// different ε; `None` while every run uses the exact cut.
+    sketch: Option<(f64, SketchThreshold)>,
 }
 
 impl MlArena {
@@ -200,6 +213,7 @@ impl MlArena {
         Self {
             model,
             bufs: MlBufs::default(),
+            sketch: None,
         }
     }
 
@@ -207,6 +221,23 @@ impl MlArena {
     #[must_use]
     pub fn model(&self) -> &std::sync::Arc<MlModel> {
         &self.model
+    }
+
+    /// Aligns the cached threshold sketch with a run's `sketch_epsilon`:
+    /// drops it for exact-cut runs, keeps it when ε is unchanged, and
+    /// otherwise ingests the clean score stream into a fresh sketch in
+    /// one batched pass.
+    fn ensure_sketch(&mut self, epsilon: Option<f64>) {
+        match epsilon {
+            None => self.sketch = None,
+            Some(e) => {
+                if self.sketch.as_ref().map(|(have, _)| *have) != Some(e) {
+                    let mut s = SketchThreshold::new(e);
+                    s.observe(&self.model.clean_scores);
+                    self.sketch = Some((e, s));
+                }
+            }
+        }
     }
 }
 
@@ -238,11 +269,13 @@ impl MlParams {
 /// percentile, score trimming at the cut, payoff accounting. The batch
 /// matrix, labels, provenance and kept mask are left in `bufs` for
 /// callers that record retained rows.
+#[allow(clippy::too_many_arguments)] // one arg per game ingredient, like the LDP round
 fn ml_round<R: Rng + ?Sized>(
     data: &Dataset,
     model: &MlModel,
     params: &MlParams,
     bufs: &mut MlBufs,
+    sketch: Option<&SketchThreshold>,
     threshold: f64,
     injection: f64,
     rng: &mut R,
@@ -300,10 +333,18 @@ fn ml_round<R: Rng + ?Sized>(
 
     // Score trimming at the reference value of the threshold
     // percentile, on the distance scalars (shared in-place hot path).
+    // The sketch-native game resolves the cut from the GK summary of the
+    // clean score stream — its ε rank error is headroom the adversary
+    // (who still positions against exact quantiles) can exploit.
     bufs.dists.clear();
     bufs.dists
         .extend(bufs.rows.chunks_exact(cols).map(|r| model.score(r)));
-    let cut = model.ref_at(threshold.clamp(0.0, 1.0));
+    let cut = match sketch {
+        Some(s) => s
+            .cut(threshold.clamp(0.0, 1.0))
+            .expect("sketch ingested the clean reference stream"),
+        None => model.ref_at(threshold.clamp(0.0, 1.0)),
+    };
     let stats = TrimOp::Absolute(cut).apply_in_place(&bufs.dists, &mut bufs.trim);
 
     // Quality: excess tail mass above the clean reference distance.
@@ -385,8 +426,9 @@ impl<'a> MlScenario<'a> {
     /// Builds the scenario over a pre-fitted arena (the model must have
     /// been fitted on `data`).
     #[must_use]
-    pub fn with_arena(data: &'a Dataset, arena: MlArena, cfg: &MlSimConfig) -> Self {
+    pub fn with_arena(data: &'a Dataset, mut arena: MlArena, cfg: &MlSimConfig) -> Self {
         let params = MlParams::new(&arena.model, data, cfg);
+        arena.ensure_sketch(cfg.sketch_epsilon);
         Self {
             data,
             arena,
@@ -431,11 +473,13 @@ impl Scenario for MlScenario<'_> {
         injection: f64,
         rng: &mut R,
     ) -> RoundReport {
+        let arena = &mut self.arena;
         let report = ml_round(
             self.data,
-            &self.arena.model,
+            &arena.model,
             &self.params,
-            &mut self.arena.bufs,
+            &mut arena.bufs,
+            arena.sketch.as_ref().map(|(_, s)| s),
             threshold,
             injection,
             rng,
@@ -472,11 +516,13 @@ impl Scenario for MlCell<'_> {
         injection: f64,
         rng: &mut R,
     ) -> RoundReport {
+        let arena = &mut *self.arena;
         ml_round(
             self.data,
-            &self.arena.model,
+            &arena.model,
             &self.params,
-            &mut self.arena.bufs,
+            &mut arena.bufs,
+            arena.sketch.as_ref().map(|(_, s)| s),
             threshold,
             injection,
             rng,
@@ -490,9 +536,38 @@ impl Scenario for MlCell<'_> {
 /// Panics if the dataset is unlabelled or smaller than the batch size.
 #[must_use]
 pub fn collect_poisoned(data: &Dataset, cfg: &MlSimConfig) -> CollectedSet {
+    collect_poisoned_with_model(data, cfg, &std::sync::Arc::new(MlModel::fit(data)))
+}
+
+/// [`collect_poisoned`] over an already-fitted shared clean model — the
+/// retained-set path of the figure experiments, which replay many
+/// (scheme, ratio, seed) cells over one dataset: the k-means fit happens
+/// once per dataset instead of once per cell, and the cells fan out
+/// across workers without contention (the model is behind an `Arc`).
+/// Results are bit-identical to [`collect_poisoned`] on a freshly fitted
+/// model.
+///
+/// # Panics
+/// Panics if the dataset is unlabelled or smaller than the batch size
+/// (the model must have been fitted on `data`).
+#[must_use]
+pub fn collect_poisoned_with_model(
+    data: &Dataset,
+    cfg: &MlSimConfig,
+    model: &std::sync::Arc<MlModel>,
+) -> CollectedSet {
     let defender = cfg.scheme.defender(cfg.tth, 1.0, cfg.red);
     let adversary = cfg.scheme.adversary(cfg.tth);
-    collect_poisoned_with(data, cfg, Box::new(defender), Box::new(adversary), None)
+    let mut rng = seeded_rng(cfg.seed);
+    let arena = MlArena::with_model(std::sync::Arc::clone(model));
+    let scenario = MlScenario::with_arena(data, arena, cfg);
+    let engine = Engine::with_policies(scenario, Box::new(defender), Box::new(adversary))
+        .with_policy_seed(trimgame_numerics::rand_ext::derive_seed(
+            cfg.seed,
+            crate::simulation::POLICY_SEED_STREAM,
+        ));
+    let out = engine.run(cfg.rounds, &mut rng);
+    out.scenario.into_collected(cfg.scheme, &out.totals)
 }
 
 /// Runs the poisoned collection with arbitrary boxed policies — randomized
@@ -573,6 +648,7 @@ pub fn collect_poisoned_with_scratch(
 ) -> crate::engine::EngineRun {
     let mut rng = seeded_rng(cfg.seed);
     let params = MlParams::new(&arena.model, data, cfg);
+    arena.ensure_sketch(cfg.sketch_epsilon);
     let cell = MlCell {
         data,
         arena,
@@ -680,6 +756,7 @@ mod tests {
             batch: 100,
             seed: 7,
             red: 0.05,
+            sketch_epsilon: None,
         }
     }
 
@@ -790,7 +867,15 @@ mod tests {
         let data = blobs(11);
         let mut arena = MlArena::new(&data);
         let mut scratch = EngineScratch::new();
-        for (tth, seed) in [(0.88, 5u64), (0.94, 6), (0.88, 5)] {
+        // The sketch column exercises the arena's threshold-sketch cache:
+        // build, reuse, drop, rebuild.
+        for (tth, seed, sketch_epsilon) in [
+            (0.88, 5u64, None),
+            (0.94, 6, Some(0.03)),
+            (0.94, 6, Some(0.03)),
+            (0.88, 5, None),
+            (0.88, 5, Some(0.01)),
+        ] {
             let cfg = MlSimConfig {
                 scheme: Scheme::BaselineStatic,
                 tth,
@@ -799,6 +884,7 @@ mod tests {
                 batch: 80,
                 seed,
                 red: 0.05,
+                sketch_epsilon,
             };
             let policies = || {
                 (
@@ -818,6 +904,51 @@ mod tests {
             assert_eq!(scratch.thresholds(), owned.thresholds.as_slice());
             assert_eq!(scratch.injections(), owned.injections.as_slice());
         }
+    }
+
+    #[test]
+    fn ml_sketch_cut_bounds_extra_evasion_by_epsilon() {
+        // Sketch-native feature-vector game: with the trimming cut
+        // resolved from a GK summary of the clean anomaly scores, the
+        // adversary (who positions against exact quantiles) gains at most
+        // ε of extra evasion headroom above the threshold percentile; the
+        // exact path grants only interpolation slack. Mirrors the scalar
+        // substrate's contract.
+        use crate::adversary::AdversaryPolicy;
+        use crate::strategy::DefenderPolicy;
+        let data = blobs(12);
+        let tth = 0.9;
+        let eps = 0.02;
+        let margin_of = |sketch_epsilon: Option<f64>| -> f64 {
+            let mut extra: f64 = 0.0;
+            let mut a = tth;
+            while a <= tth + 2.5 * eps {
+                let mut cfg = small_cfg(Scheme::BaselineStatic, 0.2);
+                cfg.rounds = 1;
+                cfg.sketch_epsilon = sketch_epsilon;
+                let out = collect_poisoned_outcome(
+                    &data,
+                    &cfg,
+                    Box::new(DefenderPolicy::Fixed { tth }),
+                    Box::new(AdversaryPolicy::Fixed { percentile: a }),
+                    None,
+                );
+                assert!(out.totals.poison_received > 0);
+                if out.totals.poison_survived == out.totals.poison_received {
+                    extra = extra.max(a - tth);
+                }
+                a += eps / 8.0;
+            }
+            extra
+        };
+        let exact_margin = margin_of(None);
+        let sketch_margin = margin_of(Some(eps));
+        // One grid step of the 600-row reference table is ~1.7e-3.
+        assert!(exact_margin <= 5e-3, "exact margin {exact_margin}");
+        assert!(
+            sketch_margin <= eps + 5e-3,
+            "sketch margin {sketch_margin} exceeds eps {eps}"
+        );
     }
 
     #[test]

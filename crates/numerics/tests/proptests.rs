@@ -1,6 +1,7 @@
 //! Property-based tests for the numerical substrate.
 
 use proptest::prelude::*;
+use trimgame_numerics::gk::{GkScratch, GkSummary};
 use trimgame_numerics::quantile::{percentile, percentile_of, percentile_partition, Interpolation};
 use trimgame_numerics::rand_ext::{derive_seed, laplace, seeded_rng, NormalSampler};
 use trimgame_numerics::simd;
@@ -218,6 +219,62 @@ proptest! {
         let ref_band: Vec<f64> = values.iter().copied().filter(|&v| v >= lo && v <= hi).collect();
         prop_assert_eq!(below + band_len + above, values.len());
         prop_assert_eq!(&band[..band_len], ref_band.as_slice());
+    }
+
+    #[test]
+    fn gk_batched_ingest_matches_sequential_rank_guarantee(
+        base in tied_vec(64),
+        reps in 1_usize..40,
+        chunk in 1_usize..97,
+        q in 0.0_f64..=1.0,
+    ) {
+        // Batched ingest must honor the same ε·n rank guarantee as
+        // per-value insertion, for every arrival order — including the
+        // adversarial ones: pre-sorted, reverse-sorted, and the heavy
+        // ties `tied_vec` generates.
+        let eps = 0.05;
+        let as_is: Vec<f64> = base.iter().copied().cycle().take(base.len() * reps).collect();
+        let mut sorted_order = as_is.clone();
+        sorted_order.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let reversed: Vec<f64> = sorted_order.iter().rev().copied().collect();
+        let n = as_is.len() as f64;
+        let band = 2.0 * eps * n + 1.0;
+        let sorted = sorted_order.clone();
+        for (order, data) in [("as-is", &as_is), ("sorted", &sorted_order), ("reversed", &reversed)] {
+            let mut seq = GkSummary::new(eps);
+            for &v in data.iter() {
+                seq.insert(v);
+            }
+            let mut bat = GkSummary::new(eps);
+            let mut scratch = GkScratch::new();
+            for c in data.chunks(chunk) {
+                bat.insert_batch(c, &mut scratch);
+            }
+            prop_assert_eq!(bat.count(), seq.count());
+            for (path, s) in [("sequential", &seq), ("batched", &bat)] {
+                let est = s.query(q).unwrap();
+                // Under ties the estimate's true rank is an interval;
+                // measure the distance from the nearest achievable rank.
+                let lo = sorted.partition_point(|&v| v < est) as f64;
+                let hi = sorted.partition_point(|&v| v <= est) as f64;
+                let target = q * n;
+                let dist = if target < lo {
+                    lo - target
+                } else if target > hi {
+                    target - hi
+                } else {
+                    0.0
+                };
+                prop_assert!(
+                    dist <= band,
+                    "{}/{} q={}: est {} rank [{}, {}] target {}",
+                    order, path, q, est, lo, hi, target
+                );
+            }
+            // Min and max stay exact on both ingest paths.
+            prop_assert_eq!(bat.query(0.0), seq.query(0.0));
+            prop_assert_eq!(bat.query(1.0), seq.query(1.0));
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! For cuts that must not materialize the batch at all, [`SketchThreshold`]
 //! resolves percentiles from a Greenwald–Khanna summary of the stream.
 
-use trimgame_numerics::gk::GkSummary;
+use trimgame_numerics::gk::{GkScratch, GkSummary};
 use trimgame_numerics::quantile::{percentile_partition, percentile_select, Interpolation};
 
 /// A trimming operator over a scalar batch.
@@ -380,9 +380,22 @@ pub fn trim(values: &[f64], op: TrimOp) -> TrimOutcome {
 /// what the moving thresholds of Tit-for-tat and Elastic need. Resolve the
 /// cut with [`SketchThreshold::cut`], then trim with
 /// [`TrimOp::Absolute`]; no sort, no batch copy.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Batches go through [`SketchThreshold::observe`], which feeds the GK
+/// summary through its batched merge-sweep ingest
+/// ([`GkSummary::insert_batch`]) over a scratch owned here — one
+/// allocation-free rebuild per round instead of a memmove per value.
+#[derive(Debug, Clone)]
 pub struct SketchThreshold {
     sketch: GkSummary,
+    scratch: GkScratch,
+}
+
+impl PartialEq for SketchThreshold {
+    fn eq(&self, other: &Self) -> bool {
+        // The scratch is reusable workspace, not state.
+        self.sketch == other.sketch
+    }
 }
 
 impl SketchThreshold {
@@ -394,6 +407,7 @@ impl SketchThreshold {
     pub fn new(epsilon: f64) -> Self {
         Self {
             sketch: GkSummary::new(epsilon),
+            scratch: GkScratch::new(),
         }
     }
 
@@ -405,14 +419,14 @@ impl SketchThreshold {
         self.sketch.insert(v);
     }
 
-    /// Ingests a whole batch.
+    /// Ingests a whole batch through the GK merge-sweep ingest: the batch
+    /// is sorted once into the reusable scratch and spliced into the
+    /// summary in a single compression-fused pass.
     ///
     /// # Panics
     /// Panics on NaN.
     pub fn observe(&mut self, values: &[f64]) {
-        for &v in values {
-            self.sketch.insert(v);
-        }
+        self.sketch.insert_batch(values, &mut self.scratch);
     }
 
     /// Number of observations consumed so far.
@@ -597,5 +611,50 @@ mod tests {
             .apply_in_place(&values, &mut TrimScratch::new());
         let frac = stats.trimmed as f64 / values.len() as f64;
         assert!((frac - 0.1).abs() < 0.03, "trimmed fraction {frac}");
+    }
+
+    #[test]
+    fn batched_and_sequential_sketch_cuts_agree_within_rank_band() {
+        // Contract: feeding the same stream through the batched observe
+        // path and through per-value inserts may build different tuple
+        // layouts, but every resolved cut must stay within each summary's
+        // ε rank band of the true percentile — so the two cuts can differ
+        // by at most the combined band (2 × 2ε in rank space).
+        let eps = 0.01;
+        let n = 40_000usize;
+        let mut rng = trimgame_numerics::rand_ext::seeded_rng(17);
+        let values: Vec<f64> = (0..n)
+            .map(|_| rand::Rng::gen::<f64>(&mut rng) * 500.0)
+            .collect();
+        let mut batched = SketchThreshold::new(eps);
+        for chunk in values.chunks(1_000) {
+            batched.observe(chunk);
+        }
+        let mut sequential = SketchThreshold::new(eps);
+        for &v in &values {
+            sequential.insert(v);
+        }
+        assert_eq!(batched.count(), sequential.count());
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &p in &[0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
+            let b = batched.cut(p).unwrap();
+            let s = sequential.cut(p).unwrap();
+            let rank = |v: f64| sorted.partition_point(|&x| x < v) as f64 / n as f64;
+            assert!(
+                (rank(b) - p).abs() <= 2.0 * eps + 1e-9,
+                "batched p={p}: rank {}",
+                rank(b)
+            );
+            assert!(
+                (rank(s) - p).abs() <= 2.0 * eps + 1e-9,
+                "sequential p={p}: rank {}",
+                rank(s)
+            );
+            assert!(
+                (rank(b) - rank(s)).abs() <= 4.0 * eps + 1e-9,
+                "p={p}: cuts {b} vs {s} diverge past the combined band"
+            );
+        }
     }
 }
