@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! USAGE: expt <experiment>... [--smoke] [--substrate scalar|ml|ldp]
-//!                              [--sketch[=EPS]] [--json]
+//!                              [--sketch[=EPS]] [--double-oracle] [--json]
 //!        | all | tables | figures | ablations
 //!        | benchdiff <baseline.json> <current.json> [tolerance]
 //!
@@ -16,7 +16,10 @@
 //!        --sketch[=EPS]   sketch-native defender: resolve trimming cuts from
 //!                         a GK quantile sketch (rank error EPS, default 0.02)
 //!                         and report equilibrium value vs epsilon
-//!        --json           bench writes the BENCH_PR6.json snapshot
+//!        --double-oracle  equilibrium uses the best-response-oracle solver
+//!                         (small measured support grown by continuum best
+//!                         responses) instead of the dense payoff grid
+//!        --json           bench writes the BENCH_PR7.json snapshot
 //!
 //! benchdiff compares two committed snapshots and exits 1 when a shared
 //! case regressed past the tolerance (default 3x) — the CI smoke gate.
@@ -27,6 +30,7 @@
 //!      TRIMGAME_EQ_SEEDS=N       equilibrium seeds per payoff cell
 //!      TRIMGAME_EQ_SUBSTRATE=K  equilibrium substrate (same as --substrate)
 //!      TRIMGAME_EQ_SKETCH=EPS   sketch-native defender (same as --sketch)
+//!      TRIMGAME_EQ_ORACLE=1     double-oracle solver (same as --double-oracle)
 //! ```
 
 use trimgame_bench::{run_experiment, EXPERIMENTS};
@@ -120,6 +124,9 @@ fn main() {
             flag if flag.starts_with("--sketch=") => {
                 std::env::set_var("TRIMGAME_EQ_SKETCH", &flag["--sketch=".len()..]);
             }
+            // Double-oracle solver; equilibrium_report_from_env branches
+            // on it.
+            "--double-oracle" => std::env::set_var("TRIMGAME_EQ_ORACLE", "1"),
             "all" => ids.extend(EXPERIMENTS),
             "tables" => ids.extend(["table1", "table2", "table3", "table4"]),
             "figures" => ids.extend(["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]),

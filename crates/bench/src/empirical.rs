@@ -241,7 +241,7 @@ impl EquilibriumConfig {
             .collect()
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(
             self.defender_atoms.len() >= 2,
             "need at least two defender atoms"
@@ -857,9 +857,52 @@ impl EmpiricalEquilibrium {
 
 /// Per-repetition common-random-numbers seeds: one per seed index, shared
 /// across cells so payoff differences isolate the strategy pair.
-fn cell_seeds(cfg: &EquilibriumConfig) -> Vec<u64> {
+pub(crate) fn cell_seeds(cfg: &EquilibriumConfig) -> Vec<u64> {
     (0..cfg.seeds as u64)
         .map(|s| derive_seed(cfg.master_seed, s))
+        .collect()
+}
+
+/// Measures a batch of pure `(threshold, response)` cells through the
+/// sweep workers: one seeded engine run per (cell × seed), common random
+/// numbers across cells, exactly the dense grid's per-cell estimator.
+/// Returns per-cell `(mean loss, CI half-width)`. The double-oracle
+/// solver uses this to price only the new row/column a growth step adds.
+pub(crate) fn measure_cells(
+    sub: &dyn GameSubstrate,
+    cfg: &EquilibriumConfig,
+    cells: &[(f64, f64)],
+) -> Vec<(f64, f64)> {
+    let per_cell = cfg.seeds;
+    let seeds = cell_seeds(cfg);
+    let losses = parallel_map_with(
+        cells.len() * per_cell,
+        cfg.workers,
+        || sub.new_scratch(),
+        |scratch, idx| {
+            let (c, s) = (idx / per_cell, idx % per_cell);
+            let (t_atom, a_atom) = cells[c];
+            sub.run_cell(
+                cfg,
+                t_atom,
+                Box::new(DefenderPolicy::Fixed { tth: t_atom }),
+                Box::new(AdversaryPolicy::Fixed { percentile: a_atom }),
+                None,
+                seeds[s],
+                scratch,
+            )
+            .collector_loss
+        },
+    );
+    (0..cells.len())
+        .map(|c| {
+            let mut stats = OnlineStats::new();
+            for s in 0..per_cell {
+                stats.push(losses[c * per_cell + s]);
+            }
+            let se = (stats.sample_variance() / per_cell as f64).sqrt();
+            (stats.mean(), cfg.z * se)
+        })
         .collect()
 }
 
@@ -1433,7 +1476,17 @@ pub fn equilibrium_report_from_env() -> String {
             .unwrap_or_else(|| panic!("unknown substrate {name:?} (expected scalar|ml|ldp)")),
         Err(_) => SubstrateKind::Scalar,
     };
-    equilibrium_report_for(kind, &EquilibriumConfig::from_env_for(kind))
+    let cfg = EquilibriumConfig::from_env_for(kind);
+    // `TRIMGAME_EQ_ORACLE=1` (the `--double-oracle` flag) swaps the dense
+    // grid for the best-response-oracle solver.
+    let oracle = std::env::var("TRIMGAME_EQ_ORACLE")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false);
+    if oracle {
+        crate::double_oracle::double_oracle_report_for(kind, &cfg)
+    } else {
+        equilibrium_report_for(kind, &cfg)
+    }
 }
 
 /// The `expt equilibrium` experiment report on `kind`'s standard

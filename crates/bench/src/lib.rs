@@ -10,6 +10,7 @@
 //!   (default 64; 1 = full Table II sizes).
 
 pub mod ablations;
+pub mod double_oracle;
 pub mod empirical;
 pub mod experiments;
 pub mod perf;

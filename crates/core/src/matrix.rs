@@ -306,43 +306,179 @@ impl MatrixGame {
     /// Panics if `iterations == 0`.
     #[must_use]
     pub fn solve(&self, iterations: usize) -> MixedEquilibrium {
+        self.solve_warm(iterations, None)
+    }
+
+    /// [`MatrixGame::solve`] seeded from a prior equilibrium: the
+    /// fictitious-play cumulative losses start as if each side had faced
+    /// `WARM_WEIGHT` virtual plays of the opponent's prior mixture, so a
+    /// game grown by a few rows/columns (the double-oracle restricted
+    /// games) resumes its best-response sequence near the previous fixed
+    /// point rather than re-deriving it. Prior strategies shorter than
+    /// the current matrix are padded with zeros — exactly the embedding
+    /// of the smaller game's mixture.
+    ///
+    /// The virtual plays steer only the play *sequence*; the averaged
+    /// strategies (and hence the certified bounds) contain real plays
+    /// only, so a stale prior can only cost iterations (its influence on
+    /// play selection washes out as `WARM_WEIGHT / iterations`), never
+    /// correctness or bound tightness.
+    ///
+    /// # Panics
+    /// Panics if `iterations == 0` or the prior's strategies are longer
+    /// than the current matrix.
+    #[must_use]
+    pub fn solve_warm(
+        &self,
+        iterations: usize,
+        warm: Option<&MixedEquilibrium>,
+    ) -> MixedEquilibrium {
         assert!(iterations > 0, "need at least one iteration");
-        let (n, m) = (self.rows(), self.cols());
-        // Cumulative losses each player has suffered against the
-        // opponent's empirical play so far.
-        let mut row_cum = vec![0.0_f64; n]; // row i's cumulative loss
-        let mut col_cum = vec![0.0_f64; m]; // column j's cumulative gain
-        let mut row_counts = vec![0.0_f64; n];
-        let mut col_counts = vec![0.0_f64; m];
-        let mut row_play = 0_usize;
-        let mut col_play = 0_usize;
-        for _ in 0..iterations {
-            row_counts[row_play] += 1.0;
-            col_counts[col_play] += 1.0;
-            for (i, cum) in row_cum.iter_mut().enumerate() {
-                *cum += self.entries[i][col_play];
+        let mut fp = self.start_fictitious_play(warm);
+        fp.run(self, iterations);
+        fp.equilibrium(self)
+    }
+
+    /// Runs fictitious play until the certified duality gap drops to
+    /// `gap`, checking every few hundred iterations, up to
+    /// `max_iterations` plays. Returns the equilibrium and the iterations
+    /// actually spent — the warm-start satellite's iterations-to-bound
+    /// measure.
+    ///
+    /// # Panics
+    /// Panics if `max_iterations == 0`, `gap` is negative/NaN, or the
+    /// prior does not embed in the current matrix.
+    #[must_use]
+    pub fn solve_to_gap(
+        &self,
+        gap: f64,
+        max_iterations: usize,
+        warm: Option<&MixedEquilibrium>,
+    ) -> (MixedEquilibrium, usize) {
+        assert!(max_iterations > 0, "need at least one iteration");
+        assert!(gap >= 0.0, "gap target must be non-negative");
+        let mut fp = self.start_fictitious_play(warm);
+        // Checking bounds costs O(n·m); amortize it over blocks that cost
+        // about as much as the check itself.
+        let block = (self.rows() + self.cols()).max(64);
+        let mut spent = 0usize;
+        let mut eq = loop {
+            let step = block.min(max_iterations - spent);
+            fp.run(self, step);
+            spent += step;
+            let eq = fp.equilibrium(self);
+            if eq.gap() <= gap || spent >= max_iterations {
+                break eq;
             }
-            for (j, cum) in col_cum.iter_mut().enumerate() {
-                *cum += self.entries[row_play][j];
-            }
-            row_play = argmin(&row_cum);
-            col_play = argmax(&col_cum);
+        };
+        // Guard against a pathological averaged pair wobbling above the
+        // target at the cap: report whatever was certified.
+        if eq.gap().is_nan() {
+            eq = fp.equilibrium(self);
         }
-        let total = iterations as f64;
-        let row_strategy: Vec<f64> = row_counts.iter().map(|c| c / total).collect();
-        let col_strategy: Vec<f64> = col_counts.iter().map(|c| c / total).collect();
+        (eq, spent)
+    }
+
+    fn start_fictitious_play(&self, warm: Option<&MixedEquilibrium>) -> FictitiousPlay {
+        let (n, m) = (self.rows(), self.cols());
+        let mut fp = FictitiousPlay {
+            row_cum: vec![0.0; n],
+            col_cum: vec![0.0; m],
+            row_counts: vec![0.0; n],
+            col_counts: vec![0.0; m],
+            row_play: 0,
+            col_play: 0,
+        };
+        if let Some(prior) = warm {
+            assert!(
+                prior.row_strategy.len() <= n && prior.col_strategy.len() <= m,
+                "warm-start prior does not embed: {}x{} prior vs {n}x{m} game",
+                prior.row_strategy.len(),
+                prior.col_strategy.len()
+            );
+            // Seed only the cumulative losses — each side starts as if it
+            // had faced WARM_WEIGHT plays of the opponent's prior mixture
+            // — but leave the play counts at zero. The play sequence
+            // resumes in the parent game's groove while the averaged
+            // (certified) strategies contain real plays only, so a stale
+            // prior cannot park a bias floor under the duality gap.
+            for (i, cum) in fp.row_cum.iter_mut().enumerate() {
+                *cum = (0..m)
+                    .map(|j| {
+                        WARM_WEIGHT
+                            * prior.col_strategy.get(j).copied().unwrap_or(0.0).max(0.0)
+                            * self.entries[i][j]
+                    })
+                    .sum();
+            }
+            for (j, cum) in fp.col_cum.iter_mut().enumerate() {
+                *cum = (0..n)
+                    .map(|i| {
+                        WARM_WEIGHT
+                            * prior.row_strategy.get(i).copied().unwrap_or(0.0).max(0.0)
+                            * self.entries[i][j]
+                    })
+                    .sum();
+            }
+            fp.row_play = argmin(&fp.row_cum);
+            fp.col_play = argmax(&fp.col_cum);
+        }
+        fp
+    }
+}
+
+/// Virtual play count a warm-start prior is worth in the cumulative-loss
+/// seed. Large enough to steer the first plays onto the prior's support,
+/// small enough that a stale prior's pull on play selection washes out
+/// within a few thousand iterations.
+const WARM_WEIGHT: f64 = 256.0;
+
+/// Resumable simultaneous-fictitious-play state (the loop body of
+/// [`MatrixGame::solve`], factored out so warm starts and gap-targeted
+/// solves share it).
+struct FictitiousPlay {
+    row_cum: Vec<f64>,
+    col_cum: Vec<f64>,
+    row_counts: Vec<f64>,
+    col_counts: Vec<f64>,
+    row_play: usize,
+    col_play: usize,
+}
+
+impl FictitiousPlay {
+    fn run(&mut self, game: &MatrixGame, iterations: usize) {
+        for _ in 0..iterations {
+            self.row_counts[self.row_play] += 1.0;
+            self.col_counts[self.col_play] += 1.0;
+            for (i, cum) in self.row_cum.iter_mut().enumerate() {
+                *cum += game.entries[i][self.col_play];
+            }
+            for (j, cum) in self.col_cum.iter_mut().enumerate() {
+                *cum += game.entries[self.row_play][j];
+            }
+            self.row_play = argmin(&self.row_cum);
+            self.col_play = argmax(&self.col_cum);
+        }
+    }
+
+    fn equilibrium(&self, game: &MatrixGame) -> MixedEquilibrium {
+        let (n, m) = (game.rows(), game.cols());
+        let row_total: f64 = self.row_counts.iter().sum();
+        let col_total: f64 = self.col_counts.iter().sum();
+        let row_strategy: Vec<f64> = self.row_counts.iter().map(|c| c / row_total).collect();
+        let col_strategy: Vec<f64> = self.col_counts.iter().map(|c| c / col_total).collect();
         // Certified bounds from the averaged strategies.
         let upper = (0..m)
             .map(|j| {
                 (0..n)
-                    .map(|i| row_strategy[i] * self.entries[i][j])
+                    .map(|i| row_strategy[i] * game.entries[i][j])
                     .sum::<f64>()
             })
             .fold(f64::NEG_INFINITY, f64::max);
         let lower = (0..n)
             .map(|i| {
                 (0..m)
-                    .map(|j| col_strategy[j] * self.entries[i][j])
+                    .map(|j| col_strategy[j] * game.entries[i][j])
                     .sum::<f64>()
             })
             .fold(f64::INFINITY, f64::min);
@@ -538,5 +674,61 @@ mod tests {
         // Expected loss under the solved profile sits inside the bounds.
         let v = g.expected_loss(&eq.row_strategy, &eq.col_strategy);
         assert!(v >= eq.lower - 1e-9 && v <= eq.upper + 1e-9);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solve_api() {
+        let g = MatrixGame::new(vec![vec![0.99, 0.15], vec![0.89, 0.99]]).unwrap();
+        let cold = g.solve(50_000);
+        // `solve` is `solve_warm(_, None)` by construction.
+        let none = g.solve_warm(50_000, None);
+        assert_eq!(cold.value.to_bits(), none.value.to_bits());
+        assert_eq!(cold.row_strategy, none.row_strategy);
+        // Warm-starting from the solved point keeps certified bounds valid
+        // and does not move the value materially.
+        let warm = g.solve_warm(50_000, Some(&cold));
+        assert!(warm.lower <= warm.value + 1e-12 && warm.value <= warm.upper + 1e-12);
+        assert!((warm.value - cold.value).abs() < 0.01);
+    }
+
+    #[test]
+    fn warm_start_speeds_up_grown_matrices() {
+        // Solve a 2x2, grow it by one row and one column whose entries do
+        // not change the fixed point much, and compare iterations-to-bound
+        // cold vs warm. This is the double-oracle inner loop in miniature.
+        let small = MatrixGame::new(vec![vec![0.99, 0.15], vec![0.89, 0.99]]).unwrap();
+        let prior = small.solve(100_000);
+        let grown = MatrixGame::new(vec![
+            vec![0.99, 0.15, 0.40],
+            vec![0.89, 0.99, 0.60],
+            vec![0.95, 0.70, 0.97],
+        ])
+        .unwrap();
+        let gap = 0.01;
+        let (cold_eq, cold_iters) = grown.solve_to_gap(gap, 2_000_000, None);
+        let (warm_eq, warm_iters) = grown.solve_to_gap(gap, 2_000_000, Some(&prior));
+        assert!(cold_eq.gap() <= gap && warm_eq.gap() <= gap);
+        assert!((cold_eq.value - warm_eq.value).abs() < 2.0 * gap);
+        assert!(
+            warm_iters <= cold_iters,
+            "warm {warm_iters} vs cold {cold_iters}"
+        );
+    }
+
+    #[test]
+    fn solve_to_gap_respects_iteration_cap() {
+        let g = MatrixGame::new(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+        let (eq, spent) = g.solve_to_gap(0.0, 500, None);
+        assert!(spent <= 500);
+        assert!(eq.gap() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-start prior does not embed")]
+    fn warm_start_rejects_oversized_prior() {
+        let big = MatrixGame::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let prior = big.solve(1_000);
+        let small = MatrixGame::new(vec![vec![1.0]]).unwrap();
+        let _ = small.solve_warm(1_000, Some(&prior));
     }
 }

@@ -330,6 +330,23 @@ pub fn golden_section_min(
     best
 }
 
+/// Golden-section *maximization* on `[lo, hi]`: the attacker's oracle
+/// search, where the best response maximizes expected damage against the
+/// defender's mixture. Same determinism and probe budget as
+/// [`golden_section_min`], returning `(argmax, max)`.
+///
+/// # Panics
+/// Panics unless `lo < hi` and both are finite.
+pub fn golden_section_max(
+    lo: f64,
+    hi: f64,
+    iterations: usize,
+    mut f: impl FnMut(f64) -> f64,
+) -> (f64, f64) {
+    let (arg, neg) = golden_section_min(lo, hi, iterations, |x| -f(x));
+    (arg, -neg)
+}
+
 /// Result of a [`refine_placements`] run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlacementRefinement {
@@ -566,6 +583,17 @@ mod tests {
         assert!(x < 1e-9);
         let (x, _) = golden_section_min(0.0, 1.0, 20, |x| -x);
         assert!((x - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_section_max_mirrors_min() {
+        let (x, v) = golden_section_max(0.0, 1.0, 40, |x| -(x - 0.62) * (x - 0.62));
+        assert!((x - 0.62).abs() < 1e-6, "argmax {x}");
+        assert!(v > -1e-12 && v <= 0.0);
+        // Identical probe sequence to the negated minimization.
+        let (xm, vm) = golden_section_min(0.0, 1.0, 40, |x| (x - 0.62) * (x - 0.62));
+        assert_eq!(x.to_bits(), xm.to_bits());
+        assert_eq!(v.to_bits(), (-vm).to_bits());
     }
 
     #[test]

@@ -33,6 +33,12 @@
 //! histogram with *exact* ranks, built in O(n). Only buckets whose count
 //! overflows the `⌊2εn⌋` band (heavy ties, pathological skew) fall back
 //! to sorting just their own elements.
+//!
+//! A large batch arriving at a **warm** summary skips the full comparison
+//! sort too: the keys are staged into buckets keyed on the existing tuple
+//! boundaries (a counting scatter through prefix sums), and only each
+//! near-singleton bucket is sorted — the concatenation is already
+//! globally sorted because the bucket order is the boundary order.
 
 /// One GK summary tuple.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +60,7 @@ pub struct GkScratch {
     counts: Vec<u32>,
     maxes: Vec<u64>,
     spill: Vec<u64>,
+    stage: Vec<u64>,
 }
 
 /// A batch at least this large arriving at an empty summary is ingested
@@ -65,6 +72,15 @@ const HIST_MIN: usize = 2048;
 /// fixed-width key buckets keep the count/max tables L1/L2-resident while
 /// leaving typical bucket loads far below the `⌊2εn⌋` merge band.
 const HIST_BUCKETS_LOG2: u32 = 12;
+
+/// Warm batches below this size skip the tuple-boundary staging and sort
+/// directly — pdqsort on a short key array beats the scatter's
+/// bookkeeping passes.
+const STAGE_MIN: usize = 192;
+
+/// A summary thinner than this has too few boundary buckets for staging
+/// to shrink the per-bucket sorts; the direct sort wins.
+const STAGE_MIN_TUPLES: usize = 16;
 
 /// Maps a (non-NaN) `f64` to a `u64` whose unsigned order equals the
 /// float's total order: flip the sign bit for positives, all bits for
@@ -233,7 +249,7 @@ impl GkSummary {
             self.bulk_first_fill(scratch);
             return;
         }
-        scratch.keys.sort_unstable();
+        self.stage_batch_keys(scratch);
 
         let n_after = self.n + batch.len() as u64;
         let cap = (2.0 * self.epsilon * n_after as f64).floor() as u64;
@@ -276,6 +292,75 @@ impl GkSummary {
         self.n = n_after;
         self.since_compress = 0;
         self.rebuild_index();
+    }
+
+    /// Sorts the staged batch keys (`scratch.keys`) for the warm merge
+    /// sweep. Small batches and thin summaries take the direct comparison
+    /// sort; past the cutoffs the keys are staged into buckets keyed on
+    /// the **existing tuple boundaries** — one binary search per key, a
+    /// counting scatter through prefix sums, then a tiny sort per bucket.
+    /// With `k` tuples a warm batch of `n` does `O(n log k)` search work
+    /// plus `O(n log(n/k))` total sort work on near-singleton buckets,
+    /// instead of the full `O(n log n)` comparison sort, and the bucket
+    /// order matches the boundary order so the concatenation is already
+    /// globally sorted. The staged order is bit-identical to the direct
+    /// sort (keys are totally ordered integers), so the downstream merge
+    /// — and every summary it builds — is unchanged.
+    fn stage_batch_keys(&self, scratch: &mut GkScratch) {
+        let stage_worthy = scratch.keys.len() >= STAGE_MIN
+            && self.tuples.len() >= STAGE_MIN_TUPLES
+            && u32::try_from(scratch.keys.len()).is_ok();
+        if !stage_worthy {
+            scratch.keys.sort_unstable();
+            return;
+        }
+        let GkScratch {
+            keys,
+            counts,
+            maxes,
+            spill,
+            stage,
+            ..
+        } = scratch;
+        maxes.clear();
+        maxes.extend(self.tuples.iter().map(|t| sort_key(t.v)));
+        counts.clear();
+        counts.resize(maxes.len() + 1, 0);
+        // Pass 1: bucket of each key (first boundary ≥ key), remembered in
+        // `spill` so the scatter pass needn't search again.
+        spill.clear();
+        spill.reserve(keys.len());
+        for &k in keys.iter() {
+            let b = maxes.partition_point(|&bk| bk < k);
+            counts[b] += 1;
+            spill.push(b as u64);
+        }
+        // Prefix sums turn counts into write cursors; pass 2 scatters.
+        let mut acc = 0u32;
+        for c in counts.iter_mut() {
+            let start = acc;
+            acc += *c;
+            *c = start;
+        }
+        stage.clear();
+        stage.resize(keys.len(), 0);
+        for (&k, &b) in keys.iter().zip(spill.iter()) {
+            let cursor = &mut counts[b as usize];
+            stage[*cursor as usize] = k;
+            *cursor += 1;
+        }
+        // Cursors now sit at each bucket's end; sort the few keys inside
+        // every bucket (cross-bucket order is the boundary order).
+        let mut start = 0usize;
+        for &end in counts.iter() {
+            let end = end as usize;
+            if end - start > 1 {
+                stage[start..end].sort_unstable();
+            }
+            start = end;
+        }
+        debug_assert!(stage.windows(2).all(|w| w[0] <= w[1]));
+        std::mem::swap(keys, stage);
     }
 
     /// Bulk first-fill: builds the summary for a large batch arriving at
@@ -769,6 +854,39 @@ mod tests {
             let rank = all.partition_point(|&v| v < est) as f64 / all.len() as f64;
             assert!((rank - q).abs() <= 2.0 * 0.02 + 1e-9, "q={q}: rank {rank}");
         }
+    }
+
+    #[test]
+    fn warm_staged_batch_is_arrival_order_independent() {
+        // Prime a summary past the staging cutoffs, then ingest one warm
+        // batch in three arrival orders: the boundary-bucket scatter must
+        // reproduce the direct sort's key sequence exactly, so all three
+        // summaries are identical.
+        let mut rng = seeded_rng(17);
+        let prime: Vec<f64> = (0..4_000).map(|_| rng.gen::<f64>() * 100.0).collect();
+        let batch: Vec<f64> = (0..2_000)
+            .map(|_| rng.gen::<f64>() * 120.0 - 10.0)
+            .collect();
+        let mut asc = batch.clone();
+        asc.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut desc = asc.clone();
+        desc.reverse();
+        let mut scratch = GkScratch::new();
+        let build = |order: &[f64], scratch: &mut GkScratch| {
+            let mut s = GkSummary::new(0.01);
+            s.insert_batch(&prime, scratch);
+            assert!(
+                s.tuples_len() >= STAGE_MIN_TUPLES,
+                "prime too thin to stage"
+            );
+            s.insert_batch(order, scratch);
+            s
+        };
+        let shuffled = build(&batch, &mut scratch);
+        let ascending = build(&asc, &mut scratch);
+        let descending = build(&desc, &mut scratch);
+        assert_eq!(shuffled, ascending);
+        assert_eq!(shuffled, descending);
     }
 
     #[test]
