@@ -8,7 +8,7 @@
 //!
 //! experiments: table1 table2 fig4 fig5 fig6 fig7 fig8 table3 table4 fig9
 //!              ablate-k ablate-red ablate-discount ablate-mechanism ablate-sketch
-//!              sweep equilibrium bench
+//!              sweep equilibrium collect bench
 //!
 //! flags: --smoke          tiny grids for pipeline checks (currently: equilibrium
 //!                         runs its 3x3 / 2-3-seed smoke game)
@@ -19,7 +19,12 @@
 //!        --double-oracle  equilibrium uses the best-response-oracle solver
 //!                         (small measured support grown by continuum best
 //!                         responses) instead of the dense payoff grid
-//!        --json           bench writes the BENCH_PR7.json snapshot
+//!        --json           bench writes the BENCH_PR8.json snapshot
+//!
+//! collect runs the streaming collector service (sharded, batch-coalescing
+//! ingest) on the --substrate of choice and reports sustained rounds/sec,
+//! p99 ingest latency and the sharded-vs-single-stream ratio; --smoke
+//! shrinks it to CI scale and TRIMGAME_SWEEP_THREADS caps ingest threads.
 //!
 //! benchdiff compares two committed snapshots and exits 1 when a shared
 //! case regressed past the tolerance (default 3x) — the CI smoke gate.

@@ -1,0 +1,859 @@
+//! The streaming collector service: sharded, batch-coalescing ingest.
+//!
+//! The engine's pull-based driver ([`trim_core::Engine`]) decides when
+//! rounds happen. A production collector cannot: records arrive from
+//! millions of users over bounded channels, late and out of order, and
+//! a round plays when its batch *seals*. This module builds that front
+//! half on the pieces the PRs before it laid down:
+//!
+//! ```text
+//!  producer 0 ──bounded SPSC──▶ worker 0: Coalescer ─▶ EngineStepper ─▶ RangedBoard shard 0
+//!  producer 1 ──bounded SPSC──▶ worker 1: Coalescer ─▶ EngineStepper ─▶ RangedBoard shard 1
+//!      ⋮              ⋮                ⋮                                        ⋮
+//!                                  (workers multiplexed over N ingest threads)
+//! ```
+//!
+//! * **Channels** ([`trimgame_stream::channel`]): bounded, blocking
+//!   producers with counted backpressure; workers drain in batches.
+//! * **Coalescing** ([`trimgame_stream::coalesce`]): per-round batches
+//!   seal on a count trigger or when the bounded reorder window ages
+//!   them out; late-beyond-watermark records are counted and routed by
+//!   [`LatePolicy`] (drop, or fold into the next round).
+//! * **Stepping** ([`trim_core::EngineStepper`]): each sealed batch
+//!   plays exactly one round through `Scenario::play_round` —
+//!   *unchanged* — with the Fig. 3 information structure intact.
+//! * **Recording** ([`trimgame_stream::board::RangedVenue`]): one board
+//!   shard per ingest worker, each shard additionally sharded by round
+//!   range so appends and incremental reads never touch cold history.
+//!
+//! **Determinism contract.** For a fixed seed, stream count and
+//! coalescing knobs, every game output (engine finals, board contents,
+//! coalesce statistics) is bit-identical regardless of how many ingest
+//! threads multiplex the workers: each logical stream owns its channel
+//! (SPSC order is the producer's deterministic order), its coalescer
+//! and its stepper, so thread scheduling can only change *when* a
+//! worker runs, never *what* it computes. Only the wall-clock figures
+//! (throughput, latency histogram) vary across runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use trim_core::adversary::AttackPolicy;
+use trim_core::strategy::ThresholdPolicy;
+use trim_core::{EngineRun, EngineStepper, Scenario};
+use trimgame_numerics::rand_ext::{derive_seed, seeded_rng};
+use trimgame_stream::board::RangedVenue;
+use trimgame_stream::channel::{bounded, Receiver};
+use trimgame_stream::coalesce::{
+    CoalesceStats, Coalescer, CoalescerConfig, IngestRecord, LatePolicy, RoundBatch,
+};
+
+/// Stream tag for per-stream producer seeds.
+const PRODUCER_STREAM: u64 = 0x494E_4745_5354; // "INGEST"
+
+/// Stream tag for per-stream engine seeds.
+const ENGINE_STREAM: u64 = 0x53_5445_5050; // "STEPP"
+
+/// Knobs of one collector service run.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectorConfig {
+    /// Logical ingest streams (one channel + coalescer + stepper +
+    /// board shard each).
+    pub streams: usize,
+    /// OS ingest threads multiplexing the workers (0 = one per stream).
+    pub threads: usize,
+    /// Rounds each stream's producer emits.
+    pub rounds: usize,
+    /// Records per round (the coalescer's count trigger).
+    pub batch: usize,
+    /// Bounded channel capacity, in records.
+    pub channel_cap: usize,
+    /// Reorder window, in rounds (the coalescer's age trigger).
+    pub reorder_window: usize,
+    /// Producer-side disorder: records are released through a shuffle
+    /// buffer of this size (0 = in-order arrival).
+    pub jitter: usize,
+    /// Every `late_every`-th record the producer additionally emits a
+    /// stale duplicate stamped far behind the current round, to
+    /// exercise the watermark path (0 = never).
+    pub late_every: usize,
+    /// Routing for late-beyond-watermark records.
+    pub late_policy: LatePolicy,
+    /// Round-range span of each board shard (rounds per sub-board).
+    pub round_span: usize,
+    /// Master seed; every stream derives its own producer and engine
+    /// seeds from it.
+    pub seed: u64,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        Self {
+            streams: 8,
+            threads: 0,
+            rounds: 200,
+            batch: 64,
+            reorder_window: 4,
+            channel_cap: 1024,
+            jitter: 16,
+            late_every: 97,
+            late_policy: LatePolicy::Drop,
+            round_span: 64,
+            seed: 42,
+        }
+    }
+}
+
+impl CollectorConfig {
+    fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            self.streams
+        } else {
+            self.threads.min(self.streams)
+        }
+    }
+}
+
+/// Everything one logical stream needs: the scenario, both policies,
+/// the main environment RNG (possibly already advanced by scenario
+/// setup, e.g. an LDP calibration round), and the defender policy
+/// sub-seed. Built per stream by the factory passed to
+/// [`run_collector`], inside the ingest thread that owns the stream.
+pub struct StreamSetup<S: Scenario> {
+    pub scenario: S,
+    pub defender: Box<dyn ThresholdPolicy>,
+    pub adversary: Box<dyn AttackPolicy>,
+    pub rng: StdRng,
+    pub policy_seed: u64,
+}
+
+impl<S: Scenario> std::fmt::Debug for StreamSetup<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSetup")
+            .field("policy_seed", &self.policy_seed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One stream's game outcome after its channel drained.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOutcome {
+    /// Which logical stream.
+    pub stream: usize,
+    /// Engine aggregate (finals are bit-stable across thread counts).
+    pub run: EngineRun,
+    /// Coalescer counters for the stream.
+    pub coalesce: CoalesceStats,
+}
+
+/// A lock-free (single-writer) log2-bucketed latency histogram. Each
+/// ingest worker owns one and records nanoseconds from producer `send`
+/// to worker dequeue — so time spent blocked on backpressure counts —
+/// and the per-worker histograms merge by plain addition at report
+/// time.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples with `floor(log2(ns)) == i`
+    /// (bucket 0 also holds 0 ns).
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let bucket = if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Adds another worker's histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper bound (in ns) of the bucket containing quantile `q`, or 0
+    /// with no samples. Bucket resolution is a factor of two — ample
+    /// for a tail-latency gate.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i >= 63 { u64::MAX } else { 2u64 << i };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// The full outcome of one collector service run.
+#[derive(Debug)]
+pub struct CollectorReport {
+    /// The configuration that ran.
+    pub cfg: CollectorConfig,
+    /// Ingest threads actually used.
+    pub threads: usize,
+    /// Per-stream outcomes, ordered by stream index.
+    pub streams: Vec<StreamOutcome>,
+    /// The sharded venue holding every posted round record.
+    pub venue: RangedVenue,
+    /// Rounds played across all streams.
+    pub rounds_played: usize,
+    /// Records ingested across all streams (including late ones).
+    pub records_ingested: u64,
+    /// Times a producer blocked on a full channel.
+    pub backpressure_events: u64,
+    /// Merged per-record ingest latency histogram.
+    pub latency: LatencyHistogram,
+    /// Wall-clock of the ingest phase.
+    pub elapsed: Duration,
+}
+
+impl CollectorReport {
+    /// Sustained throughput in rounds per second.
+    #[must_use]
+    pub fn rounds_per_sec(&self) -> f64 {
+        self.rounds_played as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Sustained throughput in records per second.
+    #[must_use]
+    pub fn records_per_sec(&self) -> f64 {
+        self.records_ingested as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Aggregate coalesce counters over all streams.
+    #[must_use]
+    pub fn coalesce_totals(&self) -> CoalesceStats {
+        let mut total = CoalesceStats::default();
+        for s in &self.streams {
+            total.records += s.coalesce.records;
+            total.late += s.coalesce.late;
+            total.dropped += s.coalesce.dropped;
+            total.folded += s.coalesce.folded;
+            total.sealed_full += s.coalesce.sealed_full;
+            total.sealed_by_age += s.coalesce.sealed_by_age;
+            total.sealed_by_flush += s.coalesce.sealed_by_flush;
+        }
+        total
+    }
+}
+
+/// A record in flight: the stamped observation plus its send time, so
+/// the dequeue side can histogram true ingest latency (including any
+/// backpressure wait, since the stamp is taken before `send`).
+struct Stamped {
+    rec: IngestRecord,
+    sent: Instant,
+}
+
+/// One worker's state machine: channel tail, coalescer, stepper, shard.
+struct Worker<S: Scenario> {
+    stream: usize,
+    rx: Receiver<Stamped>,
+    coalescer: Coalescer,
+    stepper: EngineStepper<S>,
+    rng: StdRng,
+    shard: trimgame_stream::board::RangedBoard,
+    latency: LatencyHistogram,
+    inbox: Vec<Stamped>,
+    sealed: Vec<RoundBatch>,
+    done: bool,
+}
+
+impl<S: Scenario> Worker<S> {
+    /// Drains whatever the channel holds, coalesces it, and plays every
+    /// round that sealed. Returns `true` while the stream is live.
+    fn pump(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        self.inbox.clear();
+        let got = self.rx.try_recv_batch(&mut self.inbox, 4096);
+        let now = Instant::now();
+        for stamped in self.inbox.drain(..) {
+            self.latency
+                .record(now.saturating_duration_since(stamped.sent));
+            self.coalescer.push(stamped.rec, &mut self.sealed);
+        }
+        if got == 0 && self.rx.is_disconnected() && self.rx.is_empty() {
+            // Producer done and channel drained: the shutdown flush is
+            // the time trigger — it seals the reorder-window stragglers.
+            self.coalescer.flush(&mut self.sealed);
+            self.done = true;
+        }
+        self.play_sealed();
+        !self.done
+    }
+
+    /// Plays one engine round per sealed batch, posting to this
+    /// worker's shard. Batches arrive in strict round order, so the
+    /// shard's O(1) `last_round` check is a pure monotonicity guard.
+    fn play_sealed(&mut self) {
+        for batch in self.sealed.drain(..) {
+            let step = self.stepper.step(&mut self.rng);
+            debug_assert!(
+                self.shard.last_round().is_none_or(|r| r < step.round),
+                "stream {}: non-monotone post at round {} (batch round {})",
+                self.stream,
+                step.round,
+                batch.round,
+            );
+            let mut record = step.to_record();
+            // The board keys on the *logical* round the batch sealed
+            // for, so venue reads line up with the ingest timeline even
+            // when a fully-late round was dropped.
+            record.round = batch.round.max(step.round);
+            self.shard.post(record);
+        }
+    }
+}
+
+/// Runs the collector service: `cfg.streams` producers feeding as many
+/// logical ingest workers, multiplexed over `cfg.threads` OS threads,
+/// each worker coalescing its stream into rounds and stepping its own
+/// engine. `make(stream)` builds the per-stream game; it is called
+/// inside the ingest thread that owns the stream.
+///
+/// # Panics
+/// Panics on a degenerate configuration (zero streams, rounds, batch
+/// or span).
+pub fn run_collector<S, F>(cfg: &CollectorConfig, make: F) -> CollectorReport
+where
+    S: Scenario,
+    F: Fn(usize) -> StreamSetup<S> + Sync,
+{
+    assert!(cfg.streams > 0, "need at least one stream");
+    assert!(cfg.rounds > 0, "need at least one round");
+    assert!(cfg.batch > 0, "need a positive batch");
+    let threads = cfg.effective_threads();
+    let backpressure = AtomicU64::new(0);
+    let venue = RangedVenue::new(cfg.streams, cfg.round_span);
+
+    let mut channels = Vec::with_capacity(cfg.streams);
+    let mut senders = Vec::with_capacity(cfg.streams);
+    for _ in 0..cfg.streams {
+        let (tx, rx) = bounded::<Stamped>(cfg.channel_cap.max(1));
+        senders.push(tx);
+        channels.push(rx);
+    }
+
+    let started = Instant::now();
+    let mut outcomes: Vec<StreamOutcome> = Vec::with_capacity(cfg.streams);
+    let mut latency = LatencyHistogram::new();
+    std::thread::scope(|scope| {
+        // Producers: one per stream, emitting `rounds × batch` stamped
+        // records through a seeded shuffle buffer (bounded disorder),
+        // plus deliberate stale duplicates every `late_every` records.
+        for (stream, tx) in senders.into_iter().enumerate() {
+            let backpressure = &backpressure;
+            scope.spawn(move || {
+                let mut rng = seeded_rng(derive_seed(
+                    derive_seed(cfg.seed, PRODUCER_STREAM),
+                    stream as u64,
+                ));
+                let mut pending: Vec<IngestRecord> = Vec::with_capacity(cfg.jitter + 1);
+                let mut emitted = 0u64;
+                let send = |rec: IngestRecord| {
+                    let stamped = Stamped {
+                        rec,
+                        sent: Instant::now(),
+                    };
+                    // A send only fails if the service dropped the
+                    // receiver early (a panic elsewhere); nothing to do.
+                    let _ = tx.send(stamped);
+                };
+                for round in 1..=cfg.rounds {
+                    for _ in 0..cfg.batch {
+                        let rec = IngestRecord {
+                            round,
+                            value: rng.gen::<f64>(),
+                        };
+                        emitted += 1;
+                        if cfg.late_every > 0 && emitted.is_multiple_of(cfg.late_every as u64) {
+                            // A stale duplicate well behind the window:
+                            // exercises the watermark rule.
+                            pending.push(IngestRecord {
+                                round: round.saturating_sub(4 * cfg.reorder_window).max(1),
+                                value: rec.value,
+                            });
+                        }
+                        pending.push(rec);
+                        while pending.len() > cfg.jitter {
+                            let i = rng.gen_range(0..pending.len());
+                            send(pending.swap_remove(i));
+                        }
+                    }
+                }
+                while !pending.is_empty() {
+                    let i = rng.gen_range(0..pending.len());
+                    send(pending.swap_remove(i));
+                }
+                backpressure.fetch_add(tx.backpressure_events(), Ordering::Relaxed);
+            });
+        }
+
+        // Ingest threads: thread `t` owns workers `{w : w % threads == t}`.
+        // The worker partition is a function of the *stream index*, not
+        // of scheduling, so outputs cannot depend on the thread count.
+        let mut handles = Vec::with_capacity(threads);
+        let make = &make;
+        let mut rx_slots: Vec<Option<Receiver<Stamped>>> = channels.into_iter().map(Some).collect();
+        for t in 0..threads {
+            let mut owned: Vec<(usize, Receiver<Stamped>)> = rx_slots
+                .iter_mut()
+                .enumerate()
+                .filter(|(w, _)| w % threads == t)
+                .map(|(w, slot)| (w, slot.take().expect("each worker owned once")))
+                .collect();
+            let venue = &venue;
+            handles.push(scope.spawn(move || {
+                let mut workers: Vec<Worker<S>> = owned
+                    .drain(..)
+                    .map(|(stream, rx)| {
+                        let setup = make(stream);
+                        Worker {
+                            stream,
+                            rx,
+                            coalescer: Coalescer::new(CoalescerConfig {
+                                batch: cfg.batch,
+                                reorder_window: cfg.reorder_window,
+                                late_policy: cfg.late_policy,
+                            }),
+                            stepper: EngineStepper::with_policy_seed(
+                                setup.scenario,
+                                setup.defender,
+                                setup.adversary,
+                                setup.policy_seed,
+                            ),
+                            rng: setup.rng,
+                            shard: venue.collector(stream),
+                            latency: LatencyHistogram::new(),
+                            inbox: Vec::new(),
+                            sealed: Vec::new(),
+                            done: false,
+                        }
+                    })
+                    .collect();
+                loop {
+                    let mut live = false;
+                    for w in workers.iter_mut() {
+                        live |= w.pump();
+                    }
+                    if !live {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                workers
+                    .into_iter()
+                    .map(|w| {
+                        (
+                            StreamOutcome {
+                                stream: w.stream,
+                                run: w.stepper.finish(),
+                                coalesce: w.coalescer.stats(),
+                            },
+                            w.latency,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            for (outcome, hist) in handle.join().expect("ingest thread panicked") {
+                latency.merge(&hist);
+                outcomes.push(outcome);
+            }
+        }
+    });
+    let elapsed = started.elapsed();
+    outcomes.sort_by_key(|o| o.stream);
+
+    let rounds_played = outcomes.iter().map(|o| o.run.rounds).sum();
+    let records_ingested = outcomes.iter().map(|o| o.coalesce.records).sum();
+    CollectorReport {
+        cfg: *cfg,
+        threads,
+        streams: outcomes,
+        venue,
+        rounds_played,
+        records_ingested,
+        backpressure_events: backpressure.load(Ordering::Relaxed),
+        latency,
+        elapsed,
+    }
+}
+
+/// The standard scalar-substrate stream factory: each stream plays the
+/// Tit-for-tat game over the shared benchmark pool with stream-derived
+/// seeds. Used by `expt collect`, the perf cases and the determinism
+/// tests.
+#[must_use]
+pub fn scalar_stream_setup(
+    pool: &[f64],
+    rounds: usize,
+    master_seed: u64,
+    stream: usize,
+) -> StreamSetup<trim_core::simulation::ScalarScenario> {
+    use trim_core::simulation::{GameConfig, Scheme, POLICY_SEED_STREAM};
+    let seed = derive_seed(derive_seed(master_seed, ENGINE_STREAM), stream as u64);
+    let cfg = GameConfig {
+        seed,
+        rounds,
+        ..GameConfig::new(Scheme::TitForTat)
+    };
+    let scenario = trim_core::simulation::ScalarScenario::lean(pool, &cfg);
+    StreamSetup {
+        scenario,
+        defender: Box::new(cfg.scheme.defender(cfg.tth, 1.0, cfg.red)),
+        adversary: Box::new(cfg.scheme.adversary(cfg.tth)),
+        rng: seeded_rng(seed),
+        policy_seed: derive_seed(seed, POLICY_SEED_STREAM),
+    }
+}
+
+/// `expt collect`: runs the collector service on the substrate named by
+/// `TRIMGAME_EQ_SUBSTRATE` (default scalar) and reports sustained
+/// throughput, tail ingest latency, coalescing/backpressure counters
+/// and the sharded-vs-single-stream ratio. `TRIMGAME_EQ_SMOKE=1`
+/// shrinks the run for CI; `TRIMGAME_SWEEP_THREADS` caps the ingest
+/// thread count (0/unset = one thread per stream).
+///
+/// # Panics
+/// Panics on an unknown substrate name.
+#[must_use]
+pub fn collect_report() -> String {
+    use crate::empirical::SubstrateKind;
+    use std::fmt::Write as _;
+
+    let kind = match std::env::var("TRIMGAME_EQ_SUBSTRATE") {
+        Ok(name) => SubstrateKind::parse(&name)
+            .unwrap_or_else(|| panic!("unknown substrate {name:?} (expected scalar|ml|ldp)")),
+        Err(_) => SubstrateKind::Scalar,
+    };
+    let smoke = std::env::var("TRIMGAME_EQ_SMOKE")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false);
+    let threads = crate::sweep::env_workers();
+    let cfg = CollectorConfig {
+        streams: 8,
+        threads,
+        rounds: if smoke { 40 } else { 400 },
+        ..CollectorConfig::default()
+    };
+    let sharded = run_on(kind, &cfg);
+    // The single-worker channel baseline: the same total round volume
+    // through one stream, one channel, one coalescer, one shard.
+    let single_cfg = CollectorConfig {
+        streams: 1,
+        threads: 1,
+        rounds: cfg.rounds * cfg.streams,
+        ..cfg
+    };
+    let single = run_on(kind, &single_cfg);
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let ratio = sharded.rounds_per_sec() / single.rounds_per_sec().max(1e-9);
+    let totals = sharded.coalesce_totals();
+    let mut out = String::new();
+    let _ = writeln!(out, "collector service — substrate {}", kind.name());
+    let _ = writeln!(
+        out,
+        "  streams {}  ingest-threads {}  rounds/stream {}  batch {}  window {}  span {}  late-policy {:?}",
+        cfg.streams,
+        sharded.threads,
+        cfg.rounds,
+        cfg.batch,
+        cfg.reorder_window,
+        cfg.round_span,
+        cfg.late_policy,
+    );
+    let _ = writeln!(
+        out,
+        "  sharded   : {:>10.0} rounds/s  ({:.2e} records/s, {} rounds in {:?})",
+        sharded.rounds_per_sec(),
+        sharded.records_per_sec(),
+        sharded.rounds_played,
+        sharded.elapsed,
+    );
+    let _ = writeln!(
+        out,
+        "  1-stream  : {:>10.0} rounds/s  ({} rounds in {:?})",
+        single.rounds_per_sec(),
+        single.rounds_played,
+        single.elapsed,
+    );
+    let _ = writeln!(
+        out,
+        "  sharded / single-stream: {ratio:.2}x on {cores} core(s){}",
+        if cores == 1 {
+            " — single-core host: the >=3x multi-worker win needs real cores; \
+             both paths time-slice one"
+        } else {
+            ""
+        },
+    );
+    let _ = writeln!(
+        out,
+        "  ingest latency: p50 {} ns  p99 {} ns  ({} samples, log2 buckets)",
+        sharded.latency.quantile_ns(0.50),
+        sharded.latency.quantile_ns(0.99),
+        sharded.latency.count(),
+    );
+    let _ = writeln!(
+        out,
+        "  coalesce: {} records, {} late ({} dropped / {} folded), sealed {} full / {} aged / {} flushed",
+        totals.records,
+        totals.late,
+        totals.dropped,
+        totals.folded,
+        totals.sealed_full,
+        totals.sealed_by_age,
+        totals.sealed_by_flush,
+    );
+    let _ = writeln!(
+        out,
+        "  backpressure events: {}  board: {} records across {} shards (span {})",
+        sharded.backpressure_events,
+        sharded.venue.total_len(),
+        cfg.streams,
+        cfg.round_span,
+    );
+    let _ = writeln!(
+        out,
+        "  determinism: fixed seed + fixed coalescing boundaries are bit-identical \
+         across ingest thread counts (TRIMGAME_SWEEP_THREADS 1..=8)",
+    );
+    out
+}
+
+/// Runs the collector on `kind`'s standard substrate instance.
+fn run_on(kind: crate::empirical::SubstrateKind, cfg: &CollectorConfig) -> CollectorReport {
+    use crate::empirical::{
+        standard_ldp_population, standard_ml_dataset, standard_pool, SubstrateKind,
+    };
+    match kind {
+        SubstrateKind::Scalar => {
+            let pool = standard_pool();
+            run_collector(cfg, |stream| {
+                scalar_stream_setup(&pool, cfg.rounds, cfg.seed, stream)
+            })
+        }
+        SubstrateKind::Ml => {
+            use trim_core::ml_sim::{MlScenario, MlSimConfig};
+            use trim_core::simulation::{Scheme, POLICY_SEED_STREAM};
+            let data = standard_ml_dataset();
+            run_collector(cfg, |stream| {
+                let seed = derive_seed(derive_seed(cfg.seed, ENGINE_STREAM), stream as u64);
+                let ml_cfg = MlSimConfig {
+                    rounds: cfg.rounds,
+                    seed,
+                    ..MlSimConfig::new(Scheme::TitForTat, 0.9, 0.2, seed)
+                };
+                StreamSetup {
+                    scenario: MlScenario::new(&data, &ml_cfg),
+                    defender: Box::new(ml_cfg.scheme.defender(ml_cfg.tth, 1.0, ml_cfg.red)),
+                    adversary: Box::new(ml_cfg.scheme.adversary(ml_cfg.tth)),
+                    rng: seeded_rng(seed),
+                    policy_seed: derive_seed(seed, POLICY_SEED_STREAM),
+                }
+            })
+        }
+        SubstrateKind::Ldp => {
+            use trim_core::adversary::AdversaryPolicy;
+            use trim_core::ldp_sim::{ldp_defender, LdpDefense, LdpScenario, LdpSimConfig};
+            use trim_core::simulation::POLICY_SEED_STREAM;
+            let population = standard_ldp_population();
+            run_collector(cfg, |stream| {
+                let seed = derive_seed(derive_seed(cfg.seed, ENGINE_STREAM), stream as u64);
+                let ldp_cfg = LdpSimConfig {
+                    rounds: cfg.rounds,
+                    users_per_round: 400,
+                    ..LdpSimConfig::new(3.0, 0.2, seed)
+                };
+                let defense = LdpDefense::TitForTat;
+                // The calibration round consumes the head of the main
+                // stream, exactly as the pull-based LDP driver does.
+                let mut rng = seeded_rng(seed);
+                let scenario = LdpScenario::new(&population, defense, &ldp_cfg, &mut rng);
+                StreamSetup {
+                    scenario,
+                    defender: Box::new(ldp_defender(defense, &ldp_cfg)),
+                    adversary: Box::new(AdversaryPolicy::Fixed { percentile: 1.0 }),
+                    rng,
+                    policy_seed: derive_seed(seed, POLICY_SEED_STREAM),
+                }
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::empirical::standard_pool;
+
+    fn small_cfg() -> CollectorConfig {
+        CollectorConfig {
+            streams: 4,
+            threads: 0,
+            rounds: 30,
+            batch: 16,
+            channel_cap: 64,
+            reorder_window: 3,
+            jitter: 8,
+            late_every: 41,
+            late_policy: LatePolicy::Drop,
+            round_span: 8,
+            seed: 7,
+        }
+    }
+
+    fn finals(report: &CollectorReport) -> Vec<(u64, u64, usize)> {
+        report
+            .streams
+            .iter()
+            .map(|s| {
+                (
+                    s.run.final_u_a.to_bits(),
+                    s.run.final_u_c.to_bits(),
+                    s.run.rounds,
+                )
+            })
+            .collect()
+    }
+
+    fn merged_rounds(report: &CollectorReport) -> Vec<(usize, usize)> {
+        report
+            .venue
+            .merged()
+            .records()
+            .iter()
+            .map(|(c, r)| (r.round, *c))
+            .collect()
+    }
+
+    #[test]
+    fn collector_output_is_bit_identical_across_thread_counts() {
+        // The acceptance contract: same seed, same coalescing
+        // boundaries → identical outputs for TRIMGAME_SWEEP_THREADS-
+        // style thread counts 1 and 8 (8 > streams exercises the cap).
+        let pool = standard_pool();
+        let run = |threads: usize| {
+            let cfg = CollectorConfig {
+                threads,
+                ..small_cfg()
+            };
+            run_collector(&cfg, |stream| {
+                scalar_stream_setup(&pool, cfg.rounds, cfg.seed, stream)
+            })
+        };
+        let single = run(1);
+        let multi = run(8);
+        assert_eq!(finals(&single), finals(&multi));
+        assert_eq!(merged_rounds(&single), merged_rounds(&multi));
+        let a: Vec<CoalesceStats> = single.streams.iter().map(|s| s.coalesce).collect();
+        let b: Vec<CoalesceStats> = multi.streams.iter().map(|s| s.coalesce).collect();
+        assert_eq!(a, b);
+        assert_eq!(single.rounds_played, multi.rounds_played);
+        assert_eq!(single.records_ingested, multi.records_ingested);
+    }
+
+    #[test]
+    fn collector_plays_the_requested_rounds_and_records_them() {
+        let pool = standard_pool();
+        let cfg = small_cfg();
+        let report = run_collector(&cfg, |stream| {
+            scalar_stream_setup(&pool, cfg.rounds, cfg.seed, stream)
+        });
+        assert_eq!(report.streams.len(), cfg.streams);
+        // The deliberate stale duplicates may drop, but every genuine
+        // round's batch has on-time records under this jitter, so all
+        // rounds play.
+        for s in &report.streams {
+            assert_eq!(s.run.rounds, cfg.rounds, "stream {}", s.stream);
+            assert!(s.coalesce.late > 0, "late path never exercised");
+            assert_eq!(s.coalesce.dropped, s.coalesce.late);
+        }
+        // Every played round landed on the venue, round-ordered across
+        // both shard dimensions.
+        let merged = report.venue.merged();
+        assert_eq!(merged.len(), report.rounds_played);
+        let order = merged_rounds(&report);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+        assert!(report.latency.count() > 0);
+        assert!(report.rounds_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn fold_policy_folds_instead_of_dropping() {
+        let pool = standard_pool();
+        let cfg = CollectorConfig {
+            late_policy: LatePolicy::FoldIntoNext,
+            ..small_cfg()
+        };
+        let report = run_collector(&cfg, |stream| {
+            scalar_stream_setup(&pool, cfg.rounds, cfg.seed, stream)
+        });
+        let totals = report.coalesce_totals();
+        assert!(totals.late > 0);
+        assert_eq!(totals.folded, totals.late);
+        assert_eq!(totals.dropped, 0);
+    }
+
+    #[test]
+    fn latency_histogram_quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile_ns(0.99), 0);
+        for ns in [50u64, 100, 1_000, 10_000, 100_000, 1_000_000] {
+            h.record(Duration::from_nanos(ns));
+        }
+        let mut merged = LatencyHistogram::new();
+        merged.merge(&h);
+        merged.merge(&h);
+        assert_eq!(merged.count(), 2 * h.count());
+        let p50 = merged.quantile_ns(0.5);
+        let p99 = merged.quantile_ns(0.99);
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        assert!(p99 >= 1_000_000, "p99 {p99} below the largest sample");
+    }
+}

@@ -10,6 +10,7 @@
 //!   (default 64; 1 = full Table II sizes).
 
 pub mod ablations;
+pub mod collector;
 pub mod double_oracle;
 pub mod empirical;
 pub mod experiments;
@@ -17,7 +18,7 @@ pub mod perf;
 pub mod sweep;
 
 /// All experiment ids accepted by the `expt` binary, in paper order.
-pub const EXPERIMENTS: [&str; 18] = [
+pub const EXPERIMENTS: [&str; 19] = [
     "table1",
     "table2",
     "fig4",
@@ -35,6 +36,7 @@ pub const EXPERIMENTS: [&str; 18] = [
     "ablate-sketch",
     "sweep",
     "equilibrium",
+    "collect",
     "bench",
 ];
 
@@ -62,6 +64,7 @@ pub fn run_experiment(id: &str) -> String {
         "ablate-sketch" => ablations::ablate_sketch(),
         "sweep" => sweep::sweep_report(),
         "equilibrium" => empirical::equilibrium_report_from_env(),
+        "collect" => collector::collect_report(),
         "bench" => perf::bench_report(),
         other => panic!("unknown experiment id: {other}"),
     }
@@ -87,10 +90,11 @@ mod tests {
 
     #[test]
     fn id_list_is_consistent() {
-        assert_eq!(EXPERIMENTS.len(), 18);
+        assert_eq!(EXPERIMENTS.len(), 19);
         assert!(EXPERIMENTS.contains(&"fig9"));
         assert!(EXPERIMENTS.contains(&"sweep"));
         assert!(EXPERIMENTS.contains(&"equilibrium"));
+        assert!(EXPERIMENTS.contains(&"collect"));
         assert!(EXPERIMENTS.contains(&"bench"));
     }
 }

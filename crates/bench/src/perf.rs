@@ -38,7 +38,7 @@ pub struct BenchCase {
 }
 
 /// The file the JSON snapshot is written to (repo root by convention).
-pub const SNAPSHOT_FILE: &str = "BENCH_PR7.json";
+pub const SNAPSHOT_FILE: &str = "BENCH_PR8.json";
 
 fn time_ns(warmup: Duration, measure: Duration, mut routine: impl FnMut()) -> f64 {
     let warm_start = Instant::now();
@@ -116,7 +116,59 @@ pub fn run_cases(warmup: Duration, measure: Duration) -> Vec<BenchCase> {
     cases.extend(gk_cases(warmup, measure));
     cases.extend(matrix_cases(warmup, measure));
     cases.extend(engine_cases(warmup, measure));
+    cases.extend(collector_cases(measure));
     cases
+}
+
+/// The collector-service cases (the streaming-ingest tentpole):
+/// sustained throughput of the sharded pipeline, its per-round inverse
+/// (the lower-is-better entry the benchdiff tolerance gate rides on),
+/// merged p99 ingest latency, and the single-stream baseline the
+/// multi-worker speedup is measured against. Wall-clock figures come
+/// from one deterministic service run scaled to the measure window —
+/// the pipeline's throughput *is* the measurement, so the generic
+/// warmup/batch timer does not apply.
+fn collector_cases(measure: Duration) -> Vec<BenchCase> {
+    use crate::collector::{run_collector, scalar_stream_setup, CollectorConfig};
+    let pool = crate::empirical::standard_pool();
+    let rounds = usize::try_from(measure.as_millis())
+        .unwrap_or(200)
+        .clamp(10, 200);
+    let cfg = CollectorConfig {
+        streams: 4,
+        rounds,
+        ..CollectorConfig::default()
+    };
+    let sharded = run_collector(&cfg, |stream| {
+        scalar_stream_setup(&pool, cfg.rounds, cfg.seed, stream)
+    });
+    let single_cfg = CollectorConfig {
+        streams: 1,
+        threads: 1,
+        rounds: rounds * cfg.streams,
+        ..cfg
+    };
+    let single = run_collector(&single_cfg, |stream| {
+        scalar_stream_setup(&pool, single_cfg.rounds, single_cfg.seed, stream)
+    });
+    vec![
+        BenchCase {
+            name: "collector/sustained_rounds_per_sec".into(),
+            mean_ns: sharded.rounds_per_sec(),
+        },
+        BenchCase {
+            name: "collector/sustained_round_ns".into(),
+            mean_ns: 1e9 / sharded.rounds_per_sec().max(1e-9),
+        },
+        BenchCase {
+            name: "collector/ingest_p99".into(),
+            mean_ns: sharded.latency.quantile_ns(0.99) as f64,
+        },
+        BenchCase {
+            name: "collector/single_stream_round_ns".into(),
+            mean_ns: 1e9 / single.rounds_per_sec().max(1e-9),
+        },
+    ]
 }
 
 /// The fictitious-play warm-start family (satellite of the double-oracle
@@ -215,6 +267,30 @@ fn gk_cases(warmup: Duration, measure: Duration) -> Vec<BenchCase> {
             mean_ns: time_ns(warmup, measure, || {
                 let mut summary = primed.clone();
                 summary.insert_batch(&values, &mut scratch);
+                std::hint::black_box(summary.query(0.9));
+            }),
+        });
+        // The skewed warm batch: 90% of the keys land in a handful of
+        // buckets, so per-bucket sorting dominates — the shape the
+        // radix staging path exists for.
+        let skewed: Vec<f64> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                if i % 10 == 0 {
+                    v
+                } else {
+                    500.0 + (i % 97) as f64 * 1e-9
+                }
+            })
+            .collect();
+        let mut primed_skew = GkSummary::new(0.02);
+        primed_skew.insert_batch(&skewed, &mut scratch);
+        cases.push(BenchCase {
+            name: format!("gk/ingest_batch_warm_skewed/{n}"),
+            mean_ns: time_ns(warmup, measure, || {
+                let mut summary = primed_skew.clone();
+                summary.insert_batch(&skewed, &mut scratch);
                 std::hint::black_box(summary.query(0.9));
             }),
         });
@@ -510,7 +586,7 @@ mod tests {
     #[test]
     fn suite_runs_with_tiny_windows_and_serializes() {
         let cases = run_cases(Duration::from_millis(1), Duration::from_millis(2));
-        assert_eq!(cases.len(), 28);
+        assert_eq!(cases.len(), 34);
         for case in &cases {
             assert!(case.mean_ns > 0.0, "{}: {}", case.name, case.mean_ns);
         }
@@ -521,9 +597,12 @@ mod tests {
         assert!(json.contains("\"trim/in_place/1000\""));
         assert!(json.contains("\"gk/ingest_batch/100000\""));
         assert!(json.contains("\"gk/ingest_batch_warm/10000\""));
+        assert!(json.contains("\"gk/ingest_batch_warm_skewed/10000\""));
         assert!(json.contains("\"matrix/solve_to_gap_warm/12\""));
         assert!(json.contains("\"equilibrium/estimate/ml_sketch_smoke\""));
         assert!(json.contains("\"equilibrium/double_oracle/scalar_smoke\""));
+        assert!(json.contains("\"collector/sustained_rounds_per_sec\""));
+        assert!(json.contains("\"collector/ingest_p99\""));
         // No trailing comma before the closing brace.
         assert!(!json.contains(",\n}"));
     }

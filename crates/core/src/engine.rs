@@ -238,6 +238,214 @@ pub struct EngineRun {
     pub rounds: usize,
 }
 
+/// One round's full outcome as produced by [`EngineStepper::step`]: the
+/// decisions that were played and the scenario's report. The caller owns
+/// recording — post [`EngineStep::to_record`] to whichever board (or
+/// board shard) hosts the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStep {
+    /// The 1-based round just played.
+    pub round: usize,
+    /// The threshold percentile the defender applied.
+    pub threshold: f64,
+    /// The adversary's injection percentile (as produced, unclamped).
+    pub injection: f64,
+    /// The scenario's bookkeeping for the round.
+    pub report: RoundReport,
+}
+
+impl EngineStep {
+    /// The collector's roundwise gain, `−g_a − overhead`.
+    #[must_use]
+    pub fn gain_collector(&self) -> f64 {
+        -self.report.gain_adversary - self.report.overhead
+    }
+
+    /// The public-board record for this round (Fig. 3 steps ①/⑥).
+    #[must_use]
+    pub fn to_record(&self) -> RoundRecord {
+        RoundRecord {
+            round: self.round,
+            threshold_percentile: self.threshold,
+            threshold_value: self.report.threshold_value,
+            received: self.report.received,
+            trimmed: self.report.trimmed,
+            retained: self.report.retained,
+            quality: self.report.quality,
+        }
+    }
+}
+
+/// A `play_round`-level engine entry usable without the pull-based
+/// driver: the Fig. 3 information structure, one round at a time.
+///
+/// [`Engine::run`] owns the whole loop — it decides when rounds happen
+/// and where records go. A streaming collector service cannot hand over
+/// that control: rounds fire when the ingest pipeline *seals a batch*,
+/// and records route to a per-worker board shard. The stepper inverts
+/// the control flow — each [`EngineStepper::step`] call plays exactly
+/// one round (threshold from the policy sub-stream, injection from the
+/// main stream, `Scenario::play_round` unchanged, bandit feedback,
+/// utility/total accumulation) and hands the outcome back to the
+/// caller, who records it wherever the deployment demands.
+///
+/// [`Engine::run`]/[`Engine::run_with_scratch`] are implemented *on*
+/// this stepper, so the two paths cannot drift: a stepper driven `n`
+/// times produces bit-identical trajectories to `Engine::run(n)` for
+/// the same seeds.
+#[derive(Debug)]
+pub struct EngineStepper<S: Scenario> {
+    scenario: S,
+    defender: Box<dyn ThresholdPolicy>,
+    adversary: Box<dyn AttackPolicy>,
+    policy_rng: rand::rngs::StdRng,
+    def_obs: Option<DefenderObservation>,
+    adv_obs: AdversaryObservation,
+    totals: EngineTotals,
+    // Running cumulative utilities, summed in round order — the same
+    // addition sequence as `UtilityTrajectory::from_roundwise`, so the
+    // finals are bit-identical to the trajectory's last entries.
+    cum_u_a: f64,
+    cum_u_c: f64,
+    round: usize,
+}
+
+impl<S: Scenario> EngineStepper<S> {
+    /// Builds a stepper with the default policy-sub-stream seed (see
+    /// [`Engine::DEFAULT_POLICY_SEED`] for the replay caveats).
+    #[must_use]
+    pub fn new(
+        scenario: S,
+        defender: Box<dyn ThresholdPolicy>,
+        adversary: Box<dyn AttackPolicy>,
+    ) -> Self {
+        Self::with_policy_seed(
+            scenario,
+            defender,
+            adversary,
+            Engine::<S>::DEFAULT_POLICY_SEED,
+        )
+    }
+
+    /// Builds a stepper whose defender draws from a dedicated sub-stream
+    /// seeded with `policy_seed` — the stepper equivalent of
+    /// [`Engine::with_policy_seed`].
+    #[must_use]
+    pub fn with_policy_seed(
+        scenario: S,
+        defender: Box<dyn ThresholdPolicy>,
+        adversary: Box<dyn AttackPolicy>,
+        policy_seed: u64,
+    ) -> Self {
+        Self {
+            scenario,
+            defender,
+            adversary,
+            policy_rng: seeded_rng(policy_seed),
+            def_obs: None,
+            adv_obs: AdversaryObservation {
+                last_threshold: None,
+            },
+            totals: EngineTotals::default(),
+            cum_u_a: 0.0,
+            cum_u_c: 0.0,
+            round: 0,
+        }
+    }
+
+    /// Rounds played so far.
+    #[must_use]
+    pub fn rounds_played(&self) -> usize {
+        self.round
+    }
+
+    /// Plays the next round: decisions from the previous round's
+    /// information only, environment step on the caller's `rng`, bandit
+    /// feedback, accumulation. The caller records the returned step.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> EngineStep {
+        let round = self.round + 1;
+        self.round = round;
+        // Decisions from *previous* round information only. The
+        // defender draws (if at all) from its dedicated sub-stream;
+        // the adversary draws from the main environment stream, in
+        // the historical call order.
+        let threshold = match &self.def_obs {
+            None => self.defender.initial_threshold(&mut self.policy_rng),
+            Some(obs) => self
+                .defender
+                .next_threshold(round, obs, &mut self.policy_rng),
+        };
+        let injection = {
+            let mut main = &mut *rng;
+            self.adversary.next_injection(&self.adv_obs, &mut main)
+        };
+
+        let report = self.scenario.play_round(round, threshold, injection, rng);
+
+        // Bandit feedback: learning attackers (Exp3) update on the
+        // realized roundwise gain; everyone else ignores the call.
+        self.adversary.observe_payoff(round, report.gain_adversary);
+
+        let gain_c = -report.gain_adversary - report.overhead;
+        self.cum_u_a += report.gain_adversary;
+        self.cum_u_c += gain_c;
+        self.totals.received += report.received;
+        self.totals.trimmed += report.trimmed;
+        self.totals.poison_received += report.poison_received;
+        self.totals.poison_survived += report.poison_survived;
+        self.totals.benign_trimmed += report.benign_trimmed;
+
+        self.def_obs = Some(DefenderObservation {
+            quality: report.quality,
+            injection_percentile: report.observed_injection,
+        });
+        self.adv_obs = AdversaryObservation {
+            last_threshold: Some(threshold),
+        };
+
+        EngineStep {
+            round,
+            threshold,
+            injection,
+            report,
+        }
+    }
+
+    /// The aggregate result so far, without consuming the stepper.
+    #[must_use]
+    pub fn summary(&self) -> EngineRun {
+        EngineRun {
+            totals: self.totals,
+            final_u_a: self.cum_u_a,
+            final_u_c: self.cum_u_c,
+            termination_round: self.defender.termination_round(),
+            rounds: self.round,
+        }
+    }
+
+    /// Finishes the run, returning the aggregate result.
+    #[must_use]
+    pub fn finish(self) -> EngineRun {
+        self.summary()
+    }
+
+    /// Finishes the run, handing back the aggregate result together
+    /// with the scenario and both policies in their final states.
+    #[allow(clippy::type_complexity)]
+    #[must_use]
+    pub fn into_parts(
+        self,
+    ) -> (
+        EngineRun,
+        S,
+        Box<dyn ThresholdPolicy>,
+        Box<dyn AttackPolicy>,
+    ) {
+        let run = self.summary();
+        (run, self.scenario, self.defender, self.adversary)
+    }
+}
+
 /// Result of driving a [`Scenario`] through the round loop.
 #[derive(Debug)]
 pub struct EngineOutcome<S> {
@@ -380,7 +588,7 @@ impl<S: Scenario> Engine<S> {
     /// The Fig. 3 round loop shared by both run entry points.
     #[allow(clippy::type_complexity)]
     fn run_core<R: Rng + ?Sized>(
-        mut self,
+        self,
         rounds: usize,
         rng: &mut R,
         scratch: &mut EngineScratch,
@@ -393,83 +601,23 @@ impl<S: Scenario> Engine<S> {
     ) {
         assert!(rounds > 0, "need at least one round");
         scratch.reset(rounds);
-        let mut policy_rng = seeded_rng(self.policy_seed);
-        let mut def_obs: Option<DefenderObservation> = None;
-        let mut adv_obs = AdversaryObservation {
-            last_threshold: None,
-        };
-        let mut totals = EngineTotals::default();
-        // Running cumulative utilities, summed in round order — the same
-        // addition sequence as `UtilityTrajectory::from_roundwise`, so
-        // the finals are bit-identical to the trajectory's last entries.
-        let mut cum_u_a = 0.0;
-        let mut cum_u_c = 0.0;
-
-        for round in 1..=rounds {
-            // Decisions from *previous* round information only. The
-            // defender draws (if at all) from its dedicated sub-stream;
-            // the adversary draws from the main environment stream, in
-            // the historical call order.
-            let threshold = match &def_obs {
-                None => self.defender.initial_threshold(&mut policy_rng),
-                Some(obs) => self.defender.next_threshold(round, obs, &mut policy_rng),
-            };
-            let injection = {
-                let mut main = &mut *rng;
-                self.adversary.next_injection(&adv_obs, &mut main)
-            };
-
-            let report = self.scenario.play_round(round, threshold, injection, rng);
-
-            // Bandit feedback: learning attackers (Exp3) update on the
-            // realized roundwise gain; everyone else ignores the call.
-            self.adversary.observe_payoff(round, report.gain_adversary);
-
-            let gain_c = -report.gain_adversary - report.overhead;
-            scratch.gains_a.push(report.gain_adversary);
-            scratch.gains_c.push(gain_c);
-            cum_u_a += report.gain_adversary;
-            cum_u_c += gain_c;
-            totals.received += report.received;
-            totals.trimmed += report.trimmed;
-            totals.poison_received += report.poison_received;
-            totals.poison_survived += report.poison_survived;
-            totals.benign_trimmed += report.benign_trimmed;
-            self.board.post(RoundRecord {
-                round,
-                threshold_percentile: threshold,
-                threshold_value: report.threshold_value,
-                received: report.received,
-                trimmed: report.trimmed,
-                retained: report.retained,
-                quality: report.quality,
-            });
-            scratch.thresholds.push(threshold);
-            scratch.injections.push(injection);
-            scratch.qualities.push(report.quality);
-
-            def_obs = Some(DefenderObservation {
-                quality: report.quality,
-                injection_percentile: report.observed_injection,
-            });
-            adv_obs = AdversaryObservation {
-                last_threshold: Some(threshold),
-            };
-        }
-
-        (
-            EngineRun {
-                totals,
-                final_u_a: cum_u_a,
-                final_u_c: cum_u_c,
-                termination_round: self.defender.termination_round(),
-                rounds,
-            },
+        let mut stepper = EngineStepper::with_policy_seed(
             self.scenario,
             self.defender,
             self.adversary,
-            self.board,
-        )
+            self.policy_seed,
+        );
+        for _ in 0..rounds {
+            let step = stepper.step(rng);
+            scratch.gains_a.push(step.report.gain_adversary);
+            scratch.gains_c.push(step.gain_collector());
+            self.board.post(step.to_record());
+            scratch.thresholds.push(step.threshold);
+            scratch.injections.push(step.injection);
+            scratch.qualities.push(step.report.quality);
+        }
+        let (run, scenario, defender, adversary) = stepper.into_parts();
+        (run, scenario, defender, adversary, self.board)
     }
 }
 
@@ -728,6 +876,86 @@ mod tests {
         assert_eq!(scratch.qualities(), owned.qualities.as_slice());
         assert_eq!(scratch.utilities().u_a, owned.utilities.u_a);
         assert_eq!(scratch.utilities().u_c, owned.utilities.u_c);
+    }
+
+    #[test]
+    fn stepper_matches_engine_run_bit_for_bit() {
+        // Drive the stepper by hand — posting records to our own board —
+        // and the outcome must be indistinguishable from Engine::run:
+        // same thresholds, injections, utilities, totals and board.
+        let make_defender = || Box::new(DefenderPolicy::titfortat(0.9, 1.0, 0.005));
+        let make_adversary = || Box::new(AdversaryPolicy::Uniform { lo: 0.85, hi: 1.0 });
+        let make_scenario = || ToyScenario {
+            batch: 90,
+            poison: 10,
+        };
+        let rounds = 12;
+        let owned = Engine::with_policies(make_scenario(), make_defender(), make_adversary())
+            .with_policy_seed(31)
+            .run(rounds, &mut seeded_rng(21));
+
+        let mut stepper =
+            EngineStepper::with_policy_seed(make_scenario(), make_defender(), make_adversary(), 31);
+        let board = PublicBoard::new();
+        let mut rng = seeded_rng(21);
+        let mut thresholds = Vec::new();
+        let mut injections = Vec::new();
+        let mut gains_a = Vec::new();
+        let mut gains_c = Vec::new();
+        for i in 1..=rounds {
+            let step = stepper.step(&mut rng);
+            assert_eq!(step.round, i);
+            board.post(step.to_record());
+            thresholds.push(step.threshold);
+            injections.push(step.injection);
+            gains_a.push(step.report.gain_adversary);
+            gains_c.push(step.gain_collector());
+        }
+        assert_eq!(stepper.rounds_played(), rounds);
+        let run = stepper.finish();
+        assert_eq!(thresholds, owned.thresholds);
+        assert_eq!(injections, owned.injections);
+        assert_eq!(run.totals, owned.totals);
+        assert_eq!(run.termination_round, owned.termination_round);
+        assert_eq!(Some(&run.final_u_a), owned.utilities.u_a.last());
+        assert_eq!(Some(&run.final_u_c), owned.utilities.u_c.last());
+        let traj = UtilityTrajectory::from_roundwise(&gains_a, &gains_c);
+        assert_eq!(traj.u_a, owned.utilities.u_a);
+        assert_eq!(traj.u_c, owned.utilities.u_c);
+        // The hand-posted board matches the engine's record for record.
+        let ours = board.history();
+        let theirs = owned.board.history();
+        assert_eq!(ours.len(), theirs.len());
+        for (a, b) in ours.iter().zip(theirs.iter()) {
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.threshold_percentile, b.threshold_percentile);
+            assert_eq!(a.quality, b.quality);
+            assert_eq!(a.received, b.received);
+            assert_eq!(a.trimmed, b.trimmed);
+        }
+    }
+
+    #[test]
+    fn stepper_summary_tracks_partial_runs() {
+        let mut stepper = EngineStepper::new(
+            ToyScenario {
+                batch: 90,
+                poison: 10,
+            },
+            Box::new(DefenderPolicy::Fixed { tth: 0.9 }),
+            Box::new(AdversaryPolicy::Fixed { percentile: 0.95 }),
+        );
+        let mut rng = seeded_rng(5);
+        assert_eq!(stepper.summary().rounds, 0);
+        let _ = stepper.step(&mut rng);
+        let _ = stepper.step(&mut rng);
+        let mid = stepper.summary();
+        assert_eq!(mid.rounds, 2);
+        assert_eq!(mid.totals.received, 200);
+        let (run, scenario, _defender, adversary) = stepper.into_parts();
+        assert_eq!(run.rounds, 2);
+        assert_eq!(scenario.batch, 90);
+        assert_eq!(adversary.name(), "Adversary");
     }
 
     #[test]

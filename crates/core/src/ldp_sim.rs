@@ -271,17 +271,21 @@ fn calib_fingerprint(population: &[f64], cfg: &LdpSimConfig) -> u64 {
     key
 }
 
-/// [`ldp_calibrate`] with per-worker memoization — the sketch-native
-/// payoff-grid path. The equilibrium estimator prices a whole defender ×
-/// attacker grid whose cells share a handful of repetition seeds, yet
-/// each engine run used to redo the calibration round: privatize and sort
-/// `users_per_round` reports, rebuild prefix sums, and re-feed the GK
-/// sketch. All of that depends only on [`calib_fingerprint`]'s inputs,
-/// not on the cell, so a hit restores the buffers and the
-/// post-calibration RNG state bit-for-bit and recomputes only the cheap
-/// per-cell scalars (the reference quantile is one index into the sorted
-/// table). Results are identical whether or not the cache is warm, so
-/// worker counts and job order cannot skew anything.
+/// [`ldp_calibrate`] with per-worker memoization — the payoff-grid
+/// path, sketch-native and exact alike. The equilibrium estimator
+/// prices a whole defender × attacker grid whose cells share a handful
+/// of repetition seeds, yet each engine run used to redo the
+/// calibration round: privatize and sort `users_per_round` reports,
+/// rebuild prefix sums, and (in sketch mode) re-feed the GK sketch. All
+/// of that depends only on [`calib_fingerprint`]'s inputs, not on the
+/// cell, so a hit restores the buffers and the post-calibration RNG
+/// state bit-for-bit and recomputes only the cheap per-cell scalars
+/// (the reference quantile is one index into the sorted table). The
+/// fingerprint encodes the sketch rank error (absent = `u64::MAX`), so
+/// exact and sketch entries for the same seed never collide; an exact
+/// entry simply carries `sketch: None`. Results are identical whether
+/// or not the cache is warm, so worker counts and job order cannot skew
+/// anything.
 fn ldp_calibrate_cached(
     population: &[f64],
     mech: &Piecewise,
@@ -290,11 +294,6 @@ fn ldp_calibrate_cached(
     arena: &mut LdpArena,
     rng: &mut StdRng,
 ) -> LdpParams {
-    if cfg.sketch_epsilon.is_none() {
-        // The exact-table game keeps the plain path: without the sketch
-        // rebuild the calibration is cheap relative to the rounds.
-        return ldp_calibrate(population, mech, defense, cfg, &mut arena.bufs, rng);
-    }
     let key = calib_fingerprint(population, cfg);
     let LdpArena { bufs, calib_cache } = arena;
     if let Some(hit) = calib_cache.iter().find(|e| e.key == key) {
@@ -859,6 +858,50 @@ mod tests {
         let _ = run(&mut warm, 0.90, 5); // primes the cache for seed 5
         let hit = run(&mut warm, 0.95, 5);
         let cold = run(&mut LdpArena::new(), 0.95, 5);
+        assert_eq!(hit.totals, cold.totals);
+        assert_eq!(hit.final_u_c.to_bits(), cold.final_u_c.to_bits());
+        assert_eq!(hit.final_u_a.to_bits(), cold.final_u_a.to_bits());
+    }
+
+    #[test]
+    fn ldp_exact_path_calibration_cache_replays_bit_for_bit() {
+        use crate::adversary::AdversaryPolicy;
+        use crate::engine::EngineScratch;
+        // Same contract as the sketch-mode test, on the exact (no
+        // sketch) table game: the second run on a warm arena restores
+        // the calibration buffers and RNG state from the cache and must
+        // be indistinguishable from a cold run. The fingerprint keeps
+        // exact and sketch entries for the same seed apart, so priming
+        // one mode must never leak into the other.
+        let pop = population();
+        let run = |arena: &mut LdpArena, soft: f64, seed: u64, sketch: Option<f64>| {
+            let cfg = LdpSimConfig {
+                users_per_round: 500,
+                rounds: 3,
+                soft,
+                hard: soft - 0.1,
+                sketch_epsilon: sketch,
+                ..LdpSimConfig::new(3.0, 0.2, seed)
+            };
+            let mut scratch = EngineScratch::new();
+            run_ldp_collection_with_scratch(
+                &pop,
+                LdpDefense::TitForTat,
+                &cfg,
+                Box::new(ldp_defender(LdpDefense::TitForTat, &cfg)),
+                Box::new(AdversaryPolicy::Fixed { percentile: 0.97 }),
+                None,
+                arena,
+                &mut scratch,
+            )
+        };
+        let mut warm = LdpArena::new();
+        // Prime both the sketch entry (would poison the exact run if
+        // the modes collided) and the exact entry for seed 5.
+        let _ = run(&mut warm, 0.90, 5, Some(0.02));
+        let _ = run(&mut warm, 0.90, 5, None);
+        let hit = run(&mut warm, 0.95, 5, None);
+        let cold = run(&mut LdpArena::new(), 0.95, 5, None);
         assert_eq!(hit.totals, cold.totals);
         assert_eq!(hit.final_u_c.to_bits(), cold.final_u_c.to_bits());
         assert_eq!(hit.final_u_a.to_bits(), cold.final_u_a.to_bits());

@@ -38,7 +38,10 @@ pub mod variants;
 
 pub use adversary::{AdaptiveAttacker, AdversaryPolicy, AttackPolicy};
 pub use elastic::{CoupledDynamics, ElasticThreshold};
-pub use engine::{Engine, EngineOutcome, EngineTotals, RoundReport, Scenario};
+pub use engine::{
+    Engine, EngineOutcome, EngineRun, EngineScratch, EngineStep, EngineStepper, EngineTotals,
+    RoundReport, Scenario,
+};
 pub use equilibrium::StackelbergSolver;
 pub use error::CoreError;
 pub use matrix::{MatrixGame, MixedEquilibrium, Move, PayoffMatrix, UltimatumPayoffs};

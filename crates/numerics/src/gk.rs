@@ -82,6 +82,65 @@ const STAGE_MIN: usize = 192;
 /// to shrink the per-bucket sorts; the direct sort wins.
 const STAGE_MIN_TUPLES: usize = 16;
 
+/// A staged bucket larger than this (a skewed fill concentrating much of
+/// the batch between two adjacent tuple boundaries) sorts by LSB radix
+/// over the integer keys instead of pdqsort — linear passes beat the
+/// `O(m log m)` comparison sort once the bucket is big enough to
+/// amortize the histogram work.
+const RADIX_MIN: usize = 256;
+
+/// LSB radix sort over the monotone `u64` sort keys: eight stable
+/// counting passes over 8-bit digits, alternating between `keys` and
+/// `tmp`. Digit positions where every key shares the same byte are
+/// skipped entirely — the common case for a staged bucket, whose keys
+/// lie between two adjacent tuple boundaries and therefore share their
+/// high bytes. A stable radix sort of integers produces exactly the
+/// ascending order of `sort_unstable`, so callers may mix the two
+/// freely without changing any downstream result.
+///
+/// `tmp` must be at least as long as `keys`; its contents are clobbered.
+fn radix_sort_keys(keys: &mut [u64], tmp: &mut [u64]) {
+    let n = keys.len();
+    debug_assert!(tmp.len() >= n);
+    debug_assert!(u32::try_from(n).is_ok());
+    let tmp = &mut tmp[..n];
+    // One read pass builds all eight digit histograms.
+    let mut hist = [[0u32; 256]; 8];
+    for &k in keys.iter() {
+        for (d, h) in hist.iter_mut().enumerate() {
+            h[((k >> (8 * d)) & 0xFF) as usize] += 1;
+        }
+    }
+    let mut in_keys = true;
+    for (d, h) in hist.iter_mut().enumerate() {
+        // A constant digit permutes nothing: skip the pass.
+        if h.iter().any(|&c| c as usize == n) {
+            continue;
+        }
+        // Prefix sums turn counts into write cursors.
+        let mut acc = 0u32;
+        for c in h.iter_mut() {
+            let start = acc;
+            acc += *c;
+            *c = start;
+        }
+        let (src, dst): (&[u64], &mut [u64]) = if in_keys {
+            (&*keys, &mut *tmp)
+        } else {
+            (&*tmp, &mut *keys)
+        };
+        for &k in src {
+            let cursor = &mut h[((k >> (8 * d)) & 0xFF) as usize];
+            dst[*cursor as usize] = k;
+            *cursor += 1;
+        }
+        in_keys = !in_keys;
+    }
+    if !in_keys {
+        keys.copy_from_slice(tmp);
+    }
+}
+
 /// Maps a (non-NaN) `f64` to a `u64` whose unsigned order equals the
 /// float's total order: flip the sign bit for positives, all bits for
 /// negatives. Sorting plain integers is markedly faster than sorting
@@ -349,12 +408,18 @@ impl GkSummary {
             stage[*cursor as usize] = k;
             *cursor += 1;
         }
-        // Cursors now sit at each bucket's end; sort the few keys inside
-        // every bucket (cross-bucket order is the boundary order).
+        // Cursors now sit at each bucket's end; sort the keys inside
+        // every bucket (cross-bucket order is the boundary order). A
+        // skewed fill can concentrate most of the batch in one bucket —
+        // past RADIX_MIN the linear radix passes beat pdqsort, and
+        // `spill` (dead after the scatter) provides the temp space.
         let mut start = 0usize;
         for &end in counts.iter() {
             let end = end as usize;
-            if end - start > 1 {
+            let len = end - start;
+            if len > RADIX_MIN {
+                radix_sort_keys(&mut stage[start..end], &mut spill[..len]);
+            } else if len > 1 {
                 stage[start..end].sort_unstable();
             }
             start = end;
@@ -887,6 +952,58 @@ mod tests {
         let descending = build(&desc, &mut scratch);
         assert_eq!(shuffled, ascending);
         assert_eq!(shuffled, descending);
+    }
+
+    #[test]
+    fn skewed_warm_batch_takes_radix_and_matches_element_wise() {
+        // 90% of the batch lands between two adjacent boundaries of the
+        // primed summary, forcing one bucket past RADIX_MIN: the radix
+        // path must leave the summary identical to the same values
+        // arriving pre-sorted (which exercises the comparison path at
+        // staging level) — bit-for-bit, not just rank-equivalent.
+        let mut rng = seeded_rng(23);
+        let prime: Vec<f64> = (0..4_000).map(|_| rng.gen::<f64>() * 100.0).collect();
+        let mut batch: Vec<f64> = (0..RADIX_MIN * 4)
+            .map(|i| {
+                if i % 10 == 0 {
+                    rng.gen::<f64>() * 100.0
+                } else {
+                    50.0 + rng.gen::<f64>() * 1e-6
+                }
+            })
+            .collect();
+        let mut scratch = GkScratch::new();
+        let build = |order: &[f64], scratch: &mut GkScratch| {
+            let mut s = GkSummary::new(0.01);
+            s.insert_batch(&prime, scratch);
+            s.insert_batch(order, scratch);
+            s
+        };
+        let skewed = build(&batch, &mut scratch);
+        batch.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let sorted = build(&batch, &mut scratch);
+        assert_eq!(skewed, sorted);
+    }
+
+    proptest::proptest! {
+        /// The radix pass is a drop-in for `sort_unstable` on the u64
+        /// sort keys: bit-identical output on arbitrary keys, including
+        /// the shared-high-byte distributions staged buckets produce.
+        #[test]
+        fn radix_sort_is_bit_identical_to_sort_unstable(
+            mut keys in proptest::collection::vec(proptest::prelude::any::<u64>(), 0..1500),
+            base in proptest::prelude::any::<u64>(),
+            lows in proptest::collection::vec(0u64..4096, 0..1500),
+        ) {
+            // Mix arbitrary keys with a run sharing all high bytes (the
+            // constant-digit skip path).
+            keys.extend(lows.iter().map(|&l| (base & !0xFFF_u64) | l));
+            let mut reference = keys.clone();
+            reference.sort_unstable();
+            let mut tmp = vec![0u64; keys.len()];
+            radix_sort_keys(&mut keys, &mut tmp);
+            proptest::prop_assert_eq!(keys, reference);
+        }
     }
 
     #[test]

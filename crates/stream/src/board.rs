@@ -25,8 +25,20 @@
 //! contend on each other's locks) plus a [`ShardedBoard::merged`] view
 //! that k-way-merges the shards in round order for cross-collector
 //! observers studying information leakage.
+//!
+//! A long-running stream adds a second shard dimension: a [`RangedBoard`]
+//! splits one logical collector's history into fixed **round-range**
+//! spans, each its own [`PublicBoard`], so a stream with years of history
+//! stays O(chunk) hot — appends route to the live span in O(1) and
+//! [`RangedBoard::for_each_since_round`] opens only the spans at or after
+//! the requested round, never scanning cold ranges. [`RangedVenue`] is
+//! the collector service's publication venue: one [`RangedBoard`] per
+//! ingest worker (the PR 5 per-collector sharding) × round-range spans
+//! within each, with [`RangedVenue::merged`] staying round-ordered across
+//! both shard dimensions.
 
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use trimgame_numerics::stats::OnlineStats;
 
@@ -136,6 +148,19 @@ impl PublicBoard {
             .cloned()
     }
 
+    /// The most recent recorded round number, if any — `O(1)` and
+    /// snapshot-free (unlike [`PublicBoard::latest`] it clones no record,
+    /// so a coalescer can poll it on the ingest hot path).
+    #[must_use]
+    pub fn last_round(&self) -> Option<usize> {
+        let guard = self.inner.read();
+        guard
+            .tail
+            .last()
+            .or_else(|| guard.sealed.last().map(|c| &c[CHUNK_CAP - 1]))
+            .map(|r| r.round)
+    }
+
     /// Record of a specific round (1-based), if recorded — `O(log n)`
     /// binary search on the append-ordered round numbers (gaps between
     /// rounds are fine; out-of-order posting voids the search order).
@@ -180,6 +205,30 @@ impl PublicBoard {
     pub fn for_each_since(&self, from: usize, mut f: impl FnMut(&RoundRecord)) {
         let guard = self.inner.read();
         for i in from..guard.len() {
+            f(guard.get(i));
+        }
+    }
+
+    /// Visits records whose round number is `>= round` under the read
+    /// lock, in append order — `O(log n)` to find the start (the same
+    /// binary search as [`PublicBoard::round`], so it relies on
+    /// append-ordered round numbers), then `O(visited)`. This is the
+    /// range-shard read: a [`RangedBoard`] resolves the span holding
+    /// `round` and starts here, never scanning colder records.
+    pub fn for_each_from_round(&self, round: usize, mut f: impl FnMut(&RoundRecord)) {
+        let guard = self.inner.read();
+        let n = guard.len();
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if guard.get(mid).round < round {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        for i in lo..n {
             f(guard.get(i));
         }
     }
@@ -301,54 +350,296 @@ impl ShardedBoard {
         self.shards.iter().map(PublicBoard::len).sum()
     }
 
+    /// The highest round recorded on any shard, if any — `O(shards)`
+    /// cheap reads, no snapshot materialized.
+    #[must_use]
+    pub fn last_round(&self) -> Option<usize> {
+        self.shards.iter().filter_map(PublicBoard::last_round).max()
+    }
+
     /// A merged view of all shards at snapshot time, ordered by
     /// `(round, collector)` — what a cross-collector observer reads.
     #[must_use]
     pub fn merged(&self) -> MergedHistory {
         MergedHistory {
-            snapshots: self.shards.iter().map(PublicBoard::snapshot).collect(),
+            chains: self.shards.iter().map(|s| vec![s.snapshot()]).collect(),
         }
     }
 }
 
-/// The merged, round-ordered view of a [`ShardedBoard`] at snapshot
-/// time. Each shard's records are round-nondecreasing (append order), so
-/// the view is a k-way merge over the shard snapshots.
+/// One logical collector's history, sharded by **round range**: span `s`
+/// holds rounds `s·span + 1 ..= (s+1)·span`, each span its own
+/// [`PublicBoard`]. Appends route to the live span in O(1) (spans grow
+/// lazily), aggregate reads ([`RangedBoard::len`],
+/// [`RangedBoard::last_round`]) are lock-free atomics, and ranged reads
+/// open only the spans at or after the requested round — a stream with
+/// years of history stays O(chunk) hot. Cloning shares the storage.
+///
+/// Like [`PublicBoard`], rounds must be posted in nondecreasing order for
+/// the per-span binary searches to hold.
+#[derive(Debug, Clone)]
+pub struct RangedBoard {
+    span: usize,
+    spans: Arc<RwLock<Vec<PublicBoard>>>,
+    len: Arc<AtomicUsize>,
+    /// Highest posted round; 0 encodes "none" (rounds are 1-based).
+    last_round: Arc<AtomicUsize>,
+}
+
+impl RangedBoard {
+    /// Creates an empty board with `span` rounds per range shard.
+    ///
+    /// # Panics
+    /// Panics if `span == 0`.
+    #[must_use]
+    pub fn new(span: usize) -> Self {
+        assert!(span > 0, "round span must be positive");
+        Self {
+            span,
+            spans: Arc::new(RwLock::new(Vec::new())),
+            len: Arc::new(AtomicUsize::new(0)),
+            last_round: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Rounds per range shard.
+    #[must_use]
+    pub fn span(&self) -> usize {
+        self.span
+    }
+
+    /// The span index holding `round` (1-based rounds).
+    fn span_of(&self, round: usize) -> usize {
+        (round.max(1) - 1) / self.span
+    }
+
+    /// The span board for `idx`, growing empty spans up to it if needed.
+    fn span_board(&self, idx: usize) -> PublicBoard {
+        {
+            let guard = self.spans.read();
+            if let Some(board) = guard.get(idx) {
+                return board.clone();
+            }
+        }
+        let mut guard = self.spans.write();
+        while guard.len() <= idx {
+            guard.push(PublicBoard::new());
+        }
+        guard[idx].clone()
+    }
+
+    /// Appends a round record — O(1) routing to the live span, no scan of
+    /// cold ranges.
+    ///
+    /// # Panics
+    /// Panics if `record.round == 0` (rounds are 1-based).
+    pub fn post(&self, record: RoundRecord) {
+        assert!(record.round > 0, "rounds are 1-based");
+        let board = self.span_board(self.span_of(record.round));
+        self.last_round.fetch_max(record.round, Ordering::Relaxed);
+        self.len.fetch_add(1, Ordering::Relaxed);
+        board.post(record);
+    }
+
+    /// Total records across all spans — O(1) from a lock-free counter.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True if no rounds have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The highest posted round, if any — O(1) from a lock-free counter
+    /// (the coalescer's hot-path monotonicity check).
+    #[must_use]
+    pub fn last_round(&self) -> Option<usize> {
+        match self.last_round.load(Ordering::Relaxed) {
+            0 => None,
+            r => Some(r),
+        }
+    }
+
+    /// Record of a specific round, if recorded — resolves the span in
+    /// O(1), then the span's O(log chunk) binary search.
+    #[must_use]
+    pub fn round(&self, round: usize) -> Option<RoundRecord> {
+        if round == 0 {
+            return None;
+        }
+        let guard = self.spans.read();
+        let board = guard.get(self.span_of(round))?.clone();
+        drop(guard);
+        board.round(round)
+    }
+
+    /// Visits every record with round `>= round` in append order. Only
+    /// the span holding `round` and the spans after it are opened; cold
+    /// ranges are never touched — the incremental read an observer over a
+    /// long-lived stream uses.
+    pub fn for_each_since_round(&self, round: usize, mut f: impl FnMut(&RoundRecord)) {
+        let first = self.span_of(round);
+        let handles: Vec<PublicBoard> = {
+            let guard = self.spans.read();
+            guard.iter().skip(first).cloned().collect()
+        };
+        for (i, board) in handles.iter().enumerate() {
+            if i == 0 {
+                board.for_each_from_round(round, &mut f);
+            } else {
+                board.for_each_since(0, &mut f);
+            }
+        }
+    }
+
+    /// Snapshots of all spans in range order. Concatenated they are
+    /// round-nondecreasing (given monotone posting), which is what
+    /// [`MergedHistory`] k-way-merges across collectors.
+    #[must_use]
+    pub fn snapshot_chain(&self) -> Vec<BoardSnapshot> {
+        let handles: Vec<PublicBoard> = self.spans.read().iter().cloned().collect();
+        handles.iter().map(PublicBoard::snapshot).collect()
+    }
+}
+
+/// The collector service's publication venue, sharded along **both**
+/// dimensions: one [`RangedBoard`] per ingest worker (writers never
+/// contend, as in [`ShardedBoard`]) and round-range spans within each
+/// worker's stream (history stays O(chunk) hot). [`RangedVenue::merged`]
+/// k-way-merges the whole venue in `(round, collector)` order across both
+/// dimensions.
+#[derive(Debug, Clone)]
+pub struct RangedVenue {
+    shards: Arc<[RangedBoard]>,
+}
+
+impl RangedVenue {
+    /// Creates a venue with `collectors` empty worker shards of `span`
+    /// rounds per range.
+    ///
+    /// # Panics
+    /// Panics if `collectors == 0` or `span == 0`.
+    #[must_use]
+    pub fn new(collectors: usize, span: usize) -> Self {
+        assert!(collectors > 0, "need at least one collector");
+        Self {
+            shards: (0..collectors).map(|_| RangedBoard::new(span)).collect(),
+        }
+    }
+
+    /// Number of worker shards.
+    #[must_use]
+    pub fn collectors(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker `idx`'s range-sharded stream — a handle sharing the storage
+    /// (hand it to that ingest worker).
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn collector(&self, idx: usize) -> RangedBoard {
+        self.shards[idx].clone()
+    }
+
+    /// Total records across the venue — O(collectors) lock-free reads.
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.shards.iter().map(RangedBoard::len).sum()
+    }
+
+    /// The highest round recorded by any worker, if any — O(collectors)
+    /// lock-free reads.
+    #[must_use]
+    pub fn last_round(&self) -> Option<usize> {
+        self.shards.iter().filter_map(RangedBoard::last_round).max()
+    }
+
+    /// A merged view of the whole venue at snapshot time, ordered by
+    /// `(round, collector)` across both shard dimensions.
+    #[must_use]
+    pub fn merged(&self) -> MergedHistory {
+        MergedHistory {
+            chains: self
+                .shards
+                .iter()
+                .map(RangedBoard::snapshot_chain)
+                .collect(),
+        }
+    }
+}
+
+/// The merged, round-ordered view of a sharded venue at snapshot time.
+/// Each collector contributes a *chain* of snapshots whose concatenation
+/// is round-nondecreasing — a single board for [`ShardedBoard`], the
+/// range-span sequence for [`RangedVenue`] — and the view is a k-way
+/// merge over the chains, so round order holds across both shard
+/// dimensions.
 #[derive(Debug, Clone)]
 pub struct MergedHistory {
-    snapshots: Vec<BoardSnapshot>,
+    chains: Vec<Vec<BoardSnapshot>>,
+}
+
+/// A per-collector merge cursor: position inside the snapshot chain.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChainCursor {
+    chain: usize,
+    rec: usize,
+}
+
+impl ChainCursor {
+    /// Skips exhausted (or empty) snapshots; returns the current record,
+    /// or `None` when the chain is exhausted.
+    fn current<'a>(&mut self, chain: &'a [BoardSnapshot]) -> Option<&'a RoundRecord> {
+        while let Some(snap) = chain.get(self.chain) {
+            if self.rec < snap.len() {
+                return Some(snap.get(self.rec));
+            }
+            self.chain += 1;
+            self.rec = 0;
+        }
+        None
+    }
 }
 
 impl MergedHistory {
     /// Total records in the view.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.snapshots.iter().map(BoardSnapshot::len).sum()
+        self.chains.iter().flatten().map(BoardSnapshot::len).sum()
     }
 
     /// True if no shard holds any record.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.snapshots.iter().all(BoardSnapshot::is_empty)
+        self.chains.iter().flatten().all(BoardSnapshot::is_empty)
     }
 
     /// Visits every record as `(collector, record)`, ordered by
-    /// `(round, collector)`, cloning nothing.
+    /// `(round, collector)`, cloning nothing. The cursor walk spans range
+    /// boundaries within each collector's chain transparently.
     pub fn for_each(&self, mut f: impl FnMut(usize, &RoundRecord)) {
-        let mut cursors = vec![0usize; self.snapshots.len()];
+        let mut cursors = vec![ChainCursor::default(); self.chains.len()];
         loop {
             let mut best: Option<(usize, usize)> = None; // (round, shard)
-            for (shard, snap) in self.snapshots.iter().enumerate() {
-                if cursors[shard] < snap.len() {
-                    let round = snap.get(cursors[shard]).round;
-                    if best.is_none_or(|(r, _)| round < r) {
-                        best = Some((round, shard));
+            for (shard, chain) in self.chains.iter().enumerate() {
+                if let Some(record) = cursors[shard].current(chain) {
+                    if best.is_none_or(|(r, _)| record.round < r) {
+                        best = Some((record.round, shard));
                     }
                 }
             }
             let Some((_, shard)) = best else { break };
-            f(shard, self.snapshots[shard].get(cursors[shard]));
-            cursors[shard] += 1;
+            let cursor = &mut cursors[shard];
+            f(
+                shard,
+                cursor.current(&self.chains[shard]).expect("non-exhausted"),
+            );
+            cursor.rec += 1;
         }
     }
 
@@ -549,6 +840,159 @@ mod tests {
         assert_eq!(order.last(), Some(&(6, 1)));
         // Shard identity survives the merge.
         assert!(records.iter().all(|(c, r)| r.trimmed == *c));
+    }
+
+    #[test]
+    fn last_round_is_cheap_across_storage_states() {
+        // Empty, open-tail, exactly-sealed and resealed states must all
+        // agree with latest() without materializing a snapshot.
+        let board = PublicBoard::new();
+        assert_eq!(board.last_round(), None);
+        board.post(record(3, 0));
+        assert_eq!(board.last_round(), Some(3));
+        for round in 4..=CHUNK_CAP + 2 {
+            board.post(record(round, 0));
+        }
+        // Tail just past a seal.
+        assert_eq!(board.len(), CHUNK_CAP);
+        assert_eq!(board.last_round(), Some(CHUNK_CAP + 2));
+        // Exactly at a seal boundary: the tail is empty, the answer comes
+        // from the last sealed chunk.
+        for round in CHUNK_CAP + 3..=2 * CHUNK_CAP + 2 {
+            board.post(record(round, 0));
+        }
+        assert_eq!(board.len(), 2 * CHUNK_CAP);
+        assert_eq!(board.last_round(), Some(2 * CHUNK_CAP + 2));
+        assert_eq!(board.last_round(), board.latest().map(|r| r.round));
+
+        let venue = ShardedBoard::new(2);
+        assert_eq!(venue.last_round(), None);
+        venue.collector(1).post(record(7, 0));
+        assert_eq!(venue.last_round(), Some(7));
+        venue.collector(0).post(record(9, 0));
+        assert_eq!(venue.last_round(), Some(9));
+    }
+
+    #[test]
+    fn for_each_from_round_starts_at_the_bound() {
+        let board = PublicBoard::new();
+        for round in [2usize, 5, 5, 9, 12] {
+            board.post(record(round, 0));
+        }
+        let collect_from = |r: usize| {
+            let mut seen = Vec::new();
+            board.for_each_from_round(r, |rec| seen.push(rec.round));
+            seen
+        };
+        assert_eq!(collect_from(0), vec![2, 5, 5, 9, 12]);
+        assert_eq!(collect_from(5), vec![5, 5, 9, 12]);
+        assert_eq!(collect_from(6), vec![9, 12]);
+        assert_eq!(collect_from(13), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn ranged_board_routes_appends_and_reads_by_span() {
+        let board = RangedBoard::new(4);
+        assert!(board.is_empty());
+        assert_eq!(board.last_round(), None);
+        assert_eq!(board.round(1), None);
+        let n = 19; // spans 0..=4, the last one partial
+        for round in 1..=n {
+            board.post(record(round, round % 3));
+        }
+        assert_eq!(board.len(), n);
+        assert_eq!(board.last_round(), Some(n));
+        for probe in [1, 4, 5, 8, 9, n] {
+            assert_eq!(board.round(probe).unwrap().round, probe, "round {probe}");
+        }
+        assert!(board.round(n + 1).is_none());
+        // for_each_since_round never visits rounds below the bound and
+        // crosses span boundaries seamlessly.
+        for from in [0usize, 1, 4, 5, 7, 13, n, n + 3] {
+            let mut seen = Vec::new();
+            board.for_each_since_round(from, |r| seen.push(r.round));
+            let expect: Vec<usize> = (from.max(1)..=n).collect();
+            assert_eq!(seen, expect, "from {from}");
+        }
+        // The snapshot chain concatenation is the full history in order.
+        let chain = board.snapshot_chain();
+        assert_eq!(chain.len(), 5);
+        let rounds: Vec<usize> = chain
+            .iter()
+            .flat_map(|s| s.iter().map(|r| r.round).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(rounds, (1..=n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranged_board_clones_share_state() {
+        let board = RangedBoard::new(8);
+        let observer = board.clone();
+        board.post(record(1, 2));
+        assert_eq!(observer.len(), 1);
+        assert_eq!(observer.last_round(), Some(1));
+        assert_eq!(observer.round(1).unwrap().trimmed, 2);
+    }
+
+    #[test]
+    fn ranged_venue_merges_round_ordered_across_both_dimensions() {
+        // Spans of 3 rounds, histories long enough that every collector
+        // crosses several range boundaries; staggered starts and lengths.
+        let venue = RangedVenue::new(3, 3);
+        for round in 1..=10 {
+            venue.collector(0).post(record(round, 0));
+        }
+        for round in 4..=8 {
+            venue.collector(1).post(record(round, 1));
+        }
+        for round in 2..=11 {
+            venue.collector(2).post(record(round, 2));
+        }
+        assert_eq!(venue.collectors(), 3);
+        assert_eq!(venue.total_len(), 25);
+        assert_eq!(venue.last_round(), Some(11));
+        let merged = venue.merged();
+        assert_eq!(merged.len(), 25);
+        assert!(!merged.is_empty());
+        let order: Vec<(usize, usize)> = merged
+            .records()
+            .iter()
+            .map(|(c, r)| (r.round, *c))
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+        assert_eq!(order[0], (1, 0));
+        assert_eq!(order.last(), Some(&(11, 2)));
+        // Shard identity survives the two-dimensional merge.
+        assert!(merged.records().iter().all(|(c, r)| r.trimmed == *c));
+    }
+
+    #[test]
+    fn ranged_board_concurrent_shard_appends_are_safe() {
+        // One writer per venue shard (the collector service's layout):
+        // lock-free aggregates and the merged view agree at the end.
+        let venue = RangedVenue::new(4, 5);
+        std::thread::scope(|s| {
+            for c in 0..4 {
+                let shard = venue.collector(c);
+                s.spawn(move || {
+                    for round in 1..=73 {
+                        shard.post(record(round, c));
+                    }
+                });
+            }
+        });
+        assert_eq!(venue.total_len(), 4 * 73);
+        assert_eq!(venue.last_round(), Some(73));
+        let mut count = 0;
+        let mut last = 0;
+        venue.merged().for_each(|_, r| {
+            assert!(r.round >= last);
+            last = r.round;
+            count += 1;
+        });
+        assert_eq!(count, 4 * 73);
     }
 
     #[test]

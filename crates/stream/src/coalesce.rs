@@ -1,0 +1,363 @@
+//! Batch coalescing with a bounded reorder window and watermark rule.
+//!
+//! The collector service receives individually-stamped records
+//! (`(round, value)` pairs) that may arrive late or out of order within
+//! a bounded horizon. The [`Coalescer`] groups them back into per-round
+//! batches and emits those batches in strict round order, sealing a
+//! round when either trigger fires:
+//!
+//! * **count** — the round has accumulated `batch` records (the paper's
+//!   fixed per-round batch size `n`), or
+//! * **age** — a record for round `r + reorder_window` has been seen,
+//!   so by the bounded-disorder assumption no more data for `r` can
+//!   arrive; `r` seals with whatever it has.
+//!
+//! The **watermark** is the highest round already sealed. A record at
+//! or below the watermark is *late beyond the window*: it is counted
+//! and routed by [`LatePolicy`] — dropped, or folded into the next
+//! round to seal (the fold keeps the value in the game without
+//! reopening history, mirroring how a production pipeline re-buckets
+//! stragglers).
+//!
+//! Determinism contract: for a fixed input sequence the sealed batches,
+//! their order, and every statistic are a pure function of the
+//! configuration — there is no wall-clock involvement. Time-triggered
+//! flushes are the caller's job ([`Coalescer::flush`] on its cadence or
+//! at shutdown), which keeps the seal boundaries reproducible in tests.
+
+use std::collections::BTreeMap;
+
+/// One stamped observation on the wire: which round it belongs to and
+/// the submitted value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestRecord {
+    /// 1-based logical round the producer stamped.
+    pub round: usize,
+    /// The submitted (possibly manipulated) data value.
+    pub value: f64,
+}
+
+/// A sealed per-round batch, emitted in strict round order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundBatch {
+    /// The logical round this batch plays.
+    pub round: usize,
+    /// Values for the round, in arrival order; folded stragglers (if
+    /// any) come first.
+    pub values: Vec<f64>,
+    /// How many leading `values` were folded in from late records.
+    pub folded: usize,
+}
+
+/// What to do with a record that arrives at or below the watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatePolicy {
+    /// Count and discard the record.
+    #[default]
+    Drop,
+    /// Count it and prepend its value to the next round that seals.
+    FoldIntoNext,
+}
+
+/// Static knobs for a [`Coalescer`].
+#[derive(Debug, Clone, Copy)]
+pub struct CoalescerConfig {
+    /// Count trigger: seal a round once it holds this many records.
+    pub batch: usize,
+    /// Age trigger: seeing round `r + reorder_window` seals round `r`.
+    pub reorder_window: usize,
+    /// Routing for late-beyond-watermark records.
+    pub late_policy: LatePolicy,
+}
+
+impl Default for CoalescerConfig {
+    fn default() -> Self {
+        CoalescerConfig {
+            batch: 64,
+            reorder_window: 4,
+            late_policy: LatePolicy::Drop,
+        }
+    }
+}
+
+/// Counters the bench harness reports alongside throughput.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Records pushed in total.
+    pub records: u64,
+    /// Records that arrived at or below the watermark.
+    pub late: u64,
+    /// Late records discarded under [`LatePolicy::Drop`].
+    pub dropped: u64,
+    /// Late records folded under [`LatePolicy::FoldIntoNext`].
+    pub folded: u64,
+    /// Rounds sealed by the count trigger.
+    pub sealed_full: u64,
+    /// Rounds sealed by the age (reorder-window) trigger.
+    pub sealed_by_age: u64,
+    /// Rounds sealed by an explicit flush.
+    pub sealed_by_flush: u64,
+}
+
+/// Reassembles out-of-order stamped records into ordered round batches.
+#[derive(Debug)]
+pub struct Coalescer {
+    cfg: CoalescerConfig,
+    /// Open rounds above the watermark, keyed by round.
+    pending: BTreeMap<usize, Vec<f64>>,
+    /// Highest round stamp observed so far (drives the age trigger).
+    max_seen: usize,
+    /// Highest round already sealed; records at/below it are late.
+    watermark: usize,
+    /// Values awaiting the next seal under [`LatePolicy::FoldIntoNext`].
+    fold_buf: Vec<f64>,
+    stats: CoalesceStats,
+}
+
+impl Coalescer {
+    pub fn new(cfg: CoalescerConfig) -> Self {
+        assert!(cfg.batch > 0, "batch size must be positive");
+        Coalescer {
+            cfg,
+            pending: BTreeMap::new(),
+            max_seen: 0,
+            watermark: 0,
+            fold_buf: Vec::new(),
+            stats: CoalesceStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &CoalescerConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> CoalesceStats {
+        self.stats
+    }
+
+    /// Highest round already sealed. Records stamped at or below this
+    /// are late beyond the reorder window.
+    pub fn watermark(&self) -> usize {
+        self.watermark
+    }
+
+    /// Rounds currently open in the reorder window.
+    pub fn open_rounds(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Ingest one stamped record, appending any rounds it seals to
+    /// `out` in strict round order.
+    pub fn push(&mut self, rec: IngestRecord, out: &mut Vec<RoundBatch>) {
+        debug_assert!(rec.round > 0, "rounds are 1-based");
+        self.stats.records += 1;
+        if rec.round <= self.watermark {
+            self.stats.late += 1;
+            match self.cfg.late_policy {
+                LatePolicy::Drop => self.stats.dropped += 1,
+                LatePolicy::FoldIntoNext => {
+                    self.stats.folded += 1;
+                    self.fold_buf.push(rec.value);
+                }
+            }
+            return;
+        }
+        self.max_seen = self.max_seen.max(rec.round);
+        let bucket = self.pending.entry(rec.round).or_default();
+        bucket.push(rec.value);
+        self.drain_sealed(out);
+    }
+
+    /// Seal every open round regardless of triggers (the caller's time
+    /// trigger, and the shutdown path). Emission stays round-ordered.
+    pub fn flush(&mut self, out: &mut Vec<RoundBatch>) {
+        while let Some((&round, _)) = self.pending.iter().next() {
+            self.stats.sealed_by_flush += 1;
+            self.seal(round, out);
+        }
+    }
+
+    /// Seal rounds from the bottom of the window while a trigger holds.
+    /// Rounds seal lowest-first, so emission is strictly ordered and
+    /// the watermark only advances.
+    fn drain_sealed(&mut self, out: &mut Vec<RoundBatch>) {
+        while let Some((&round, bucket)) = self.pending.iter().next() {
+            if bucket.len() >= self.cfg.batch {
+                self.stats.sealed_full += 1;
+            } else if self.max_seen >= round + self.cfg.reorder_window {
+                self.stats.sealed_by_age += 1;
+            } else {
+                break;
+            }
+            self.seal(round, out);
+        }
+    }
+
+    fn seal(&mut self, round: usize, out: &mut Vec<RoundBatch>) {
+        let bucket = self.pending.remove(&round).expect("sealing open round");
+        let folded = self.fold_buf.len();
+        let mut values = std::mem::take(&mut self.fold_buf);
+        values.extend_from_slice(&bucket);
+        self.watermark = round;
+        out.push(RoundBatch {
+            round,
+            values,
+            folded,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(round: usize, value: f64) -> IngestRecord {
+        IngestRecord { round, value }
+    }
+
+    fn cfg(batch: usize, window: usize, late_policy: LatePolicy) -> CoalescerConfig {
+        CoalescerConfig {
+            batch,
+            reorder_window: window,
+            late_policy,
+        }
+    }
+
+    /// Pins the exact coalescing boundaries the determinism contract
+    /// depends on: which trigger seals which round, in which order.
+    #[test]
+    fn sealing_boundaries_are_pinned() {
+        let mut co = Coalescer::new(cfg(3, 2, LatePolicy::Drop));
+        let mut out = Vec::new();
+
+        // Round 1 fills: count trigger at exactly batch=3.
+        co.push(rec(1, 10.0), &mut out);
+        co.push(rec(1, 11.0), &mut out);
+        assert!(out.is_empty());
+        co.push(rec(1, 12.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].round, 1);
+        assert_eq!(out[0].values, vec![10.0, 11.0, 12.0]);
+        assert_eq!(co.watermark(), 1);
+
+        // Rounds 2 and 3 trickle out of order; nothing seals while the
+        // window (2) still covers them.
+        co.push(rec(3, 30.0), &mut out);
+        co.push(rec(2, 20.0), &mut out);
+        assert_eq!(out.len(), 1);
+
+        // Seeing round 4 = 2 + window ages round 2 out — it seals
+        // short, and round 3 stays open (4 < 3 + 2).
+        co.push(rec(4, 40.0), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].round, 2);
+        assert_eq!(out[1].values, vec![20.0]);
+        assert_eq!(co.watermark(), 2);
+        assert_eq!(co.open_rounds(), 2);
+
+        // Seeing round 5 ages round 3 out; round 4 stays.
+        co.push(rec(5, 50.0), &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2].round, 3);
+        assert_eq!(out[2].values, vec![30.0]);
+
+        // Flush seals the stragglers in order.
+        co.flush(&mut out);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[3].round, 4);
+        assert_eq!(out[4].round, 5);
+        assert!(co.open_rounds() == 0);
+
+        let stats = co.stats();
+        assert_eq!(stats.records, 7);
+        assert_eq!(stats.sealed_full, 1);
+        assert_eq!(stats.sealed_by_age, 2);
+        assert_eq!(stats.sealed_by_flush, 2);
+        assert_eq!(stats.late, 0);
+    }
+
+    #[test]
+    fn late_records_drop_under_drop_policy() {
+        let mut co = Coalescer::new(cfg(2, 1, LatePolicy::Drop));
+        let mut out = Vec::new();
+        co.push(rec(1, 1.0), &mut out);
+        co.push(rec(1, 2.0), &mut out);
+        assert_eq!(co.watermark(), 1);
+        // Round 1 is sealed: this record is beyond the watermark.
+        co.push(rec(1, 3.0), &mut out);
+        let stats = co.stats();
+        assert_eq!(stats.late, 1);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.folded, 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].values, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn late_records_fold_into_next_sealed_round() {
+        let mut co = Coalescer::new(cfg(2, 3, LatePolicy::FoldIntoNext));
+        let mut out = Vec::new();
+        co.push(rec(1, 1.0), &mut out);
+        co.push(rec(1, 2.0), &mut out);
+        assert_eq!(out.len(), 1);
+        // Straggler for the sealed round 1: folds into the next seal.
+        co.push(rec(1, 99.0), &mut out);
+        assert_eq!(out.len(), 1);
+        co.push(rec(2, 3.0), &mut out);
+        co.push(rec(2, 4.0), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].round, 2);
+        assert_eq!(out[1].values, vec![99.0, 3.0, 4.0]);
+        assert_eq!(out[1].folded, 1);
+        let stats = co.stats();
+        assert_eq!(stats.late, 1);
+        assert_eq!(stats.folded, 1);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn out_of_order_within_window_reassembles_exactly() {
+        // Arrivals scrambled within a window of 3 must reconstruct the
+        // per-round batches exactly, in round order.
+        let mut co = Coalescer::new(cfg(2, 3, LatePolicy::Drop));
+        let mut out = Vec::new();
+        for (round, value) in [
+            (2, 20.0),
+            (1, 10.0),
+            (3, 30.0),
+            (1, 11.0),
+            (2, 21.0),
+            (4, 40.0),
+            (3, 31.0),
+            (4, 41.0),
+        ] {
+            co.push(rec(round, value), &mut out);
+        }
+        co.flush(&mut out);
+        let rounds: Vec<usize> = out.iter().map(|b| b.round).collect();
+        assert_eq!(rounds, vec![1, 2, 3, 4]);
+        assert_eq!(out[0].values, vec![10.0, 11.0]);
+        assert_eq!(out[1].values, vec![20.0, 21.0]);
+        assert_eq!(out[2].values, vec![30.0, 31.0]);
+        assert_eq!(out[3].values, vec![40.0, 41.0]);
+        assert_eq!(co.stats().late, 0);
+    }
+
+    #[test]
+    fn flush_is_ordered_and_idempotent() {
+        let mut co = Coalescer::new(cfg(10, 100, LatePolicy::Drop));
+        let mut out = Vec::new();
+        co.push(rec(5, 5.0), &mut out);
+        co.push(rec(2, 2.0), &mut out);
+        co.push(rec(9, 9.0), &mut out);
+        assert!(out.is_empty());
+        co.flush(&mut out);
+        assert_eq!(
+            out.iter().map(|b| b.round).collect::<Vec<_>>(),
+            vec![2, 5, 9]
+        );
+        co.flush(&mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(co.watermark(), 9);
+    }
+}

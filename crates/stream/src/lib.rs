@@ -16,17 +16,29 @@
 //! * [`quality`] — `Quality_Evaluation()` implementations.
 //! * [`board`] — the thread-safe, chunked append-only public board,
 //!   shardable per collector for contention-free concurrent venues.
+//! * [`channel`] — bounded MPSC channels with counted backpressure,
+//!   feeding the streaming collector's ingest workers.
+//! * [`coalesce`] — reorder-window batch coalescing with a watermark
+//!   rule for late/out-of-order arrivals.
 //! * [`collector`] — per-round collect → trim → record pipeline.
 //! * [`round`] — the generic round loop gluing streams, injectors and
 //!   threshold policies together.
 
 pub mod board;
+pub mod channel;
+pub mod coalesce;
 pub mod collector;
 pub mod quality;
 pub mod round;
 pub mod trim;
 
-pub use board::{BoardSnapshot, MergedHistory, PublicBoard, RoundRecord, ShardedBoard};
+pub use board::{
+    BoardSnapshot, MergedHistory, PublicBoard, RangedBoard, RangedVenue, RoundRecord, ShardedBoard,
+};
+pub use channel::{bounded, Receiver, SendError, Sender};
+pub use coalesce::{
+    CoalesceStats, Coalescer, CoalescerConfig, IngestRecord, LatePolicy, RoundBatch,
+};
 pub use collector::Collector;
 pub use quality::{MeanShiftQuality, QualityEvaluation, TailMassQuality};
 pub use round::{run_rounds, RoundOutcome};

@@ -8,6 +8,7 @@
 //! executes them.
 
 use crate::board::PublicBoard;
+use crate::coalesce::IngestRecord;
 use crate::collector::Collector;
 use crate::quality::QualityEvaluation;
 use rand::Rng;
@@ -57,6 +58,17 @@ impl RoundOutcome {
         } else {
             self.benign_trimmed as f64 / benign as f64
         }
+    }
+
+    /// Re-emits this round's retained values as [`IngestRecord`]s — the
+    /// bridge from this pull-based referee loop to the push-based
+    /// coalescing pipeline ([`crate::channel`] + [`crate::coalesce`]),
+    /// e.g. to replay a recorded game through a collector service.
+    pub fn ingest_records(&self) -> impl Iterator<Item = IngestRecord> + '_ {
+        let round = self.round;
+        self.kept
+            .iter()
+            .map(move |&value| IngestRecord { round, value })
     }
 }
 
@@ -260,6 +272,42 @@ mod tests {
             late.poison_survived,
             late.poison_received
         );
+    }
+
+    #[test]
+    fn outcomes_replay_through_the_coalescing_pipeline() {
+        use crate::coalesce::{Coalescer, CoalescerConfig, LatePolicy};
+        let (mut stream, mut collector) = setup();
+        let mut rng = seeded_rng(6);
+        let spec = PoisonSpec::new(0.1, InjectionPosition::Percentile(0.95));
+        let outcomes = run_rounds(
+            &mut stream,
+            &mut collector,
+            5,
+            &mut rng,
+            |_, _| 0.9,
+            move |_, benign, _, rng| spec.inject(benign, rng),
+        );
+        // Replaying the recorded game record-by-record through the
+        // push-based coalescer reconstructs the per-round batches.
+        let mut coalescer = Coalescer::new(CoalescerConfig {
+            batch: usize::MAX,
+            reorder_window: 1,
+            late_policy: LatePolicy::Drop,
+        });
+        let mut sealed = Vec::new();
+        for outcome in &outcomes {
+            for rec in outcome.ingest_records() {
+                coalescer.push(rec, &mut sealed);
+            }
+        }
+        coalescer.flush(&mut sealed);
+        assert_eq!(sealed.len(), outcomes.len());
+        for (batch, outcome) in sealed.iter().zip(&outcomes) {
+            assert_eq!(batch.round, outcome.round);
+            assert_eq!(batch.values, outcome.kept);
+        }
+        assert_eq!(coalescer.stats().late, 0);
     }
 
     #[test]

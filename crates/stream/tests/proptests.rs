@@ -1,7 +1,7 @@
 //! Property-based tests for the collection engine.
 
 use proptest::prelude::*;
-use trimgame_stream::board::{PublicBoard, RoundRecord};
+use trimgame_stream::board::{PublicBoard, RangedVenue, RoundRecord};
 use trimgame_stream::quality::{MeanShiftQuality, QualityEvaluation, TailMassQuality};
 use trimgame_stream::trim::{trim, TrimOp, TrimOutcome, TrimScratch, TrimScratchF32};
 
@@ -276,5 +276,99 @@ proptest! {
             prop_assert_eq!(rec.round, i + 1);
         }
         prop_assert_eq!(board.latest().unwrap().round, n);
+    }
+
+    #[test]
+    fn merged_view_under_concurrent_sharded_append_matches_sequential_reference(
+        // Per-shard round-gap sequences: lengths past several CHUNK_CAP=64
+        // seals and gaps up to 4, so cumulative rounds cross many span
+        // boundaries at span 7. One writer thread per shard, appending
+        // concurrently — the venue's contract.
+        gaps in prop::collection::vec(
+            prop::collection::vec(1_usize..=4, 0..160),
+            1..=4,
+        ),
+    ) {
+        let span = 7;
+        let venue = RangedVenue::new(gaps.len(), span);
+        // The sequential reference: every (round, shard) pair, sorted.
+        let mut reference: Vec<(usize, usize)> = Vec::new();
+        for (shard, shard_gaps) in gaps.iter().enumerate() {
+            let mut round = 0;
+            for g in shard_gaps {
+                round += g;
+                reference.push((round, shard));
+            }
+        }
+        reference.sort_unstable();
+        std::thread::scope(|s| {
+            for (shard, shard_gaps) in gaps.iter().enumerate() {
+                let board = venue.collector(shard);
+                s.spawn(move || {
+                    let mut round = 0;
+                    for g in shard_gaps {
+                        round += g;
+                        let mut rec = records(1).remove(0);
+                        rec.round = round;
+                        rec.trimmed = shard;
+                        board.post(rec);
+                    }
+                });
+            }
+        });
+        // Merged view ≡ sequential reference, ordered by (round, shard)
+        // across both shard dimensions.
+        let merged = venue.merged();
+        prop_assert_eq!(merged.len(), reference.len());
+        let order: Vec<(usize, usize)> = merged
+            .records()
+            .iter()
+            .map(|(c, r)| (r.round, *c))
+            .collect();
+        prop_assert_eq!(&order, &reference);
+        // Shard identity survives the merge.
+        prop_assert!(merged.records().iter().all(|(c, r)| r.trimmed == *c));
+        // Ranged incremental reads agree with the per-shard reference
+        // suffix from bounds at, inside, and past range boundaries.
+        for (shard, shard_gaps) in gaps.iter().enumerate() {
+            let total: usize = shard_gaps.iter().sum();
+            let board = venue.collector(shard);
+            prop_assert_eq!(board.len(), shard_gaps.len());
+            prop_assert_eq!(
+                board.last_round(),
+                (total > 0).then_some(total)
+            );
+            for from in [0, 1, span, span + 1, 2 * span, total / 2, total] {
+                let mut seen = Vec::new();
+                board.for_each_since_round(from, |r| seen.push(r.round));
+                let expect: Vec<usize> = reference
+                    .iter()
+                    .filter(|&&(r, c)| c == shard && r >= from.max(1))
+                    .map(|&(r, _)| r)
+                    .collect();
+                prop_assert_eq!(&seen, &expect, "shard {} from {}", shard, from);
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_since_agrees_with_history_across_chunk_seams(
+        n in 1_usize..200,
+        from_frac in 0.0_f64..=1.0,
+    ) {
+        let board = PublicBoard::new();
+        for r in records(n) {
+            board.post(r);
+        }
+        let from = ((n as f64) * from_frac) as usize;
+        let mut seen = Vec::new();
+        board.for_each_since(from, |r| seen.push(r.round));
+        let reference: Vec<usize> = board
+            .history()
+            .iter()
+            .skip(from)
+            .map(|r| r.round)
+            .collect();
+        prop_assert_eq!(seen, reference);
     }
 }
