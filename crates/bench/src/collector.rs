@@ -49,6 +49,7 @@ use trimgame_stream::channel::{bounded, Receiver};
 use trimgame_stream::coalesce::{
     CoalesceStats, Coalescer, CoalescerConfig, IngestRecord, LatePolicy, RoundBatch,
 };
+use trimgame_stream::compact::{Compactor, TierConfig};
 
 /// Stream tag for per-stream producer seeds.
 const PRODUCER_STREAM: u64 = 0x494E_4745_5354; // "INGEST"
@@ -57,7 +58,7 @@ const PRODUCER_STREAM: u64 = 0x494E_4745_5354; // "INGEST"
 const ENGINE_STREAM: u64 = 0x53_5445_5050; // "STEPP"
 
 /// Knobs of one collector service run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CollectorConfig {
     /// Logical ingest streams (one channel + coalescer + stepper +
     /// board shard each).
@@ -83,6 +84,11 @@ pub struct CollectorConfig {
     pub late_policy: LatePolicy,
     /// Round-range span of each board shard (rounds per sub-board).
     pub round_span: usize,
+    /// Tiered-storage policy for the venue's cold spans: each worker
+    /// runs a [`Compactor`] on its own shard between rounds, framing
+    /// sealed cold spans and (under a resident budget) spilling them.
+    /// `None` keeps every span hot and uncompacted.
+    pub tier: Option<TierConfig>,
     /// Master seed; every stream derives its own producer and engine
     /// seeds from it.
     pub seed: u64,
@@ -101,6 +107,7 @@ impl Default for CollectorConfig {
             late_every: 97,
             late_policy: LatePolicy::Drop,
             round_span: 64,
+            tier: None,
             seed: 42,
         }
     }
@@ -291,6 +298,10 @@ struct Worker<S: Scenario> {
     stepper: EngineStepper<S>,
     rng: StdRng,
     shard: trimgame_stream::board::RangedBoard,
+    /// Tiered-storage maintenance for this worker's shard, run between
+    /// rounds (after the sealed batches of a pump played) so appends are
+    /// never blocked by compaction.
+    compactor: Option<Compactor>,
     latency: LatencyHistogram,
     inbox: Vec<Stamped>,
     sealed: Vec<RoundBatch>,
@@ -318,7 +329,13 @@ impl<S: Scenario> Worker<S> {
             self.coalescer.flush(&mut self.sealed);
             self.done = true;
         }
+        let played = !self.sealed.is_empty();
         self.play_sealed();
+        if played {
+            if let Some(compactor) = &self.compactor {
+                compactor.run(&self.shard);
+            }
+        }
         !self.done
     }
 
@@ -464,6 +481,10 @@ where
                             ),
                             rng: setup.rng,
                             shard: venue.collector(stream),
+                            compactor: cfg
+                                .tier
+                                .clone()
+                                .map(|tier| Compactor::new(tier, format!("s{stream}"))),
                             latency: LatencyHistogram::new(),
                             inbox: Vec::new(),
                             sealed: Vec::new(),
@@ -509,7 +530,7 @@ where
     let rounds_played = outcomes.iter().map(|o| o.run.rounds).sum();
     let records_ingested = outcomes.iter().map(|o| o.coalesce.records).sum();
     CollectorReport {
-        cfg: *cfg,
+        cfg: cfg.clone(),
         threads,
         streams: outcomes,
         venue,
@@ -572,10 +593,26 @@ pub fn collect_report() -> String {
         .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
         .unwrap_or(false);
     let threads = crate::sweep::env_workers();
+    // Tiering is always on for the report run; `TRIMGAME_COLLECT_BUDGET`
+    // (resident bytes for cold spans) and `TRIMGAME_COLLECT_SPILL` (a
+    // directory for evicted frames) tighten it for bounded-memory runs.
+    let tier = TierConfig {
+        resident_budget: std::env::var("TRIMGAME_COLLECT_BUDGET")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok()),
+        spill_dir: std::env::var("TRIMGAME_COLLECT_SPILL")
+            .ok()
+            .map(std::path::PathBuf::from),
+        ..TierConfig::default()
+    };
     let cfg = CollectorConfig {
         streams: 8,
         threads,
         rounds: if smoke { 40 } else { 400 },
+        // Smoke runs are short; shrink the span so they still seal cold
+        // spans and exercise the compact → evict → inflate path.
+        round_span: if smoke { 8 } else { 64 },
+        tier: Some(tier),
         ..CollectorConfig::default()
     };
     let sharded = run_on(kind, &cfg);
@@ -585,7 +622,7 @@ pub fn collect_report() -> String {
         streams: 1,
         threads: 1,
         rounds: cfg.rounds * cfg.streams,
-        ..cfg
+        ..cfg.clone()
     };
     let single = run_on(kind, &single_cfg);
 
@@ -655,6 +692,30 @@ pub fn collect_report() -> String {
         sharded.venue.total_len(),
         cfg.streams,
         cfg.round_span,
+    );
+    let tier_cfg = cfg.tier.as_ref().expect("report always tiers");
+    let t = sharded.venue.tier_stats().snapshot();
+    let _ = writeln!(
+        out,
+        "  tiering: {} spans framed ({} records)  {} B raw -> {} B framed ({:.2}x)  {} inflations",
+        t.frames_built,
+        t.compacted_records,
+        t.bytes_raw,
+        t.bytes_framed,
+        t.bytes_raw as f64 / (t.bytes_framed as f64).max(1.0),
+        t.inflations,
+    );
+    let _ = writeln!(
+        out,
+        "  tiering: resident cold {} B over {} shards (budget {})  spills {} written / {} loaded  overruns {}",
+        sharded.venue.resident_cold_bytes(tier_cfg.hot_tail_spans),
+        cfg.streams,
+        tier_cfg
+            .resident_budget
+            .map_or_else(|| "none".to_string(), |b| format!("{b} B/shard")),
+        t.spill_writes,
+        t.spill_loads,
+        t.budget_overruns,
     );
     let _ = writeln!(
         out,
@@ -742,6 +803,7 @@ mod tests {
             late_every: 41,
             late_policy: LatePolicy::Drop,
             round_span: 8,
+            tier: None,
             seed: 7,
         }
     }
@@ -838,6 +900,76 @@ mod tests {
         assert!(totals.late > 0);
         assert_eq!(totals.folded, totals.late);
         assert_eq!(totals.dropped, 0);
+    }
+
+    #[test]
+    fn tiered_collector_is_bit_identical_to_untiered_across_thread_counts() {
+        let pool = standard_pool();
+        let spill = std::env::temp_dir().join(format!("trimgame-collect-{}", std::process::id()));
+        let tier = TierConfig {
+            hot_tail_spans: 1,
+            resident_budget: Some(0),
+            spill_dir: Some(spill.clone()),
+        };
+        let run = |threads: usize, tier: Option<TierConfig>| {
+            let cfg = CollectorConfig {
+                threads,
+                tier,
+                ..small_cfg()
+            };
+            run_collector(&cfg, |stream| {
+                scalar_stream_setup(&pool, cfg.rounds, cfg.seed, stream)
+            })
+        };
+        let untiered = run(1, None);
+        let tiered_1 = run(1, Some(tier.clone()));
+        let tiered_8 = run(8, Some(tier));
+        // A zero budget with a spill directory is the harshest setting:
+        // every sealed cold span is framed and evicted to disk mid-run,
+        // yet game outcomes and the merged venue view stay bit-identical
+        // to the fully-hot run, at any thread count.
+        assert_eq!(finals(&untiered), finals(&tiered_1));
+        assert_eq!(finals(&untiered), finals(&tiered_8));
+        assert_eq!(merged_rounds(&untiered), merged_rounds(&tiered_1));
+        assert_eq!(merged_rounds(&untiered), merged_rounds(&tiered_8));
+        let t = tiered_1.venue.tier_stats().snapshot();
+        assert!(t.frames_built > 0, "no span was ever compacted");
+        assert!(t.spill_writes > 0, "zero budget must evict to disk");
+        assert_eq!(t.budget_overruns, 0);
+        assert_eq!(tiered_1.venue.resident_cold_bytes(1), 0);
+        let hot = untiered.venue.tier_stats().snapshot();
+        assert_eq!(hot.frames_built, 0, "untiered run must not compact");
+        let _ = std::fs::remove_dir_all(&spill);
+    }
+
+    #[test]
+    fn representative_collector_run_compresses_at_least_4x() {
+        // The acceptance ratio rides on *real* collector history — the
+        // engine's actual per-round records, span-256 frames — not on a
+        // synthetic worst case. 540 rounds seal two spans; the hot-tail
+        // exemption leaves one, so exactly one frame is measured.
+        let pool = standard_pool();
+        let cfg = CollectorConfig {
+            streams: 1,
+            threads: 1,
+            rounds: 540,
+            batch: 32,
+            round_span: 256,
+            tier: Some(TierConfig::default()),
+            ..CollectorConfig::default()
+        };
+        let report = run_collector(&cfg, |stream| {
+            scalar_stream_setup(&pool, cfg.rounds, cfg.seed, stream)
+        });
+        let t = report.venue.tier_stats().snapshot();
+        assert!(t.frames_built >= 1);
+        assert!(
+            t.bytes_raw >= 4 * t.bytes_framed,
+            "representative compression ratio {:.2}x below 4x ({} B raw, {} B framed)",
+            t.bytes_raw as f64 / t.bytes_framed as f64,
+            t.bytes_raw,
+            t.bytes_framed,
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub struct BenchCase {
 }
 
 /// The file the JSON snapshot is written to (repo root by convention).
-pub const SNAPSHOT_FILE: &str = "BENCH_PR8.json";
+pub const SNAPSHOT_FILE: &str = "BENCH_PR9.json";
 
 fn time_ns(warmup: Duration, measure: Duration, mut routine: impl FnMut()) -> f64 {
     let warm_start = Instant::now();
@@ -114,9 +114,78 @@ pub fn run_cases(warmup: Duration, measure: Duration) -> Vec<BenchCase> {
         );
     }
     cases.extend(gk_cases(warmup, measure));
+    cases.extend(frame_cases(warmup, measure));
     cases.extend(matrix_cases(warmup, measure));
     cases.extend(engine_cases(warmup, measure));
     cases.extend(collector_cases(measure));
+    cases
+}
+
+/// The tiered-storage cases: the frame encode/decode kernels on a
+/// span-256 column set, the hot-suffix board read with every cold span
+/// compacted (the per-round attacker read — it must not pay for
+/// tiering), and the full cold scan through the inflate path.
+fn frame_cases(warmup: Duration, measure: Duration) -> Vec<BenchCase> {
+    use trimgame_numerics::stats::OnlineStats;
+    use trimgame_stream::board::{RangedBoard, RoundRecord};
+    use trimgame_stream::compact::{Compactor, TierConfig};
+    use trimgame_stream::frame::Frame;
+
+    let values = batch_values(512);
+    let record = |round: usize| {
+        let mut retained = OnlineStats::new();
+        retained.extend(&values[round % 256..round % 256 + 200]);
+        RoundRecord {
+            round,
+            threshold_percentile: 0.9,
+            threshold_value: Some(values[round % 512]),
+            received: 256,
+            trimmed: 25 + round % 7,
+            retained,
+            quality: 1.0 - values[(round * 31) % 512] * 1e-5,
+        }
+    };
+    let recs: Vec<RoundRecord> = (1..=256).map(record).collect();
+    let frame = Frame::encode(&recs);
+    let mut cases = vec![
+        BenchCase {
+            name: "frame/encode/256".into(),
+            mean_ns: time_ns(warmup, measure, || {
+                std::hint::black_box(Frame::encode(&recs).packed_bytes());
+            }),
+        },
+        BenchCase {
+            name: "frame/decode/256".into(),
+            mean_ns: time_ns(warmup, measure, || {
+                std::hint::black_box(frame.decode().len());
+            }),
+        },
+    ];
+
+    // A 4096-round board at span 64 with every cold span framed: the
+    // hot-suffix read (last span only) against the full cold scan.
+    let board = RangedBoard::new(64);
+    for round in 1..=4096 {
+        board.post(record(round));
+    }
+    Compactor::new(TierConfig::default(), "perf").run(&board);
+    let suffix_from = 4096 - 63;
+    cases.push(BenchCase {
+        name: "board/hot_suffix_read_tiered/4096".into(),
+        mean_ns: time_ns(warmup, measure, || {
+            let mut n = 0usize;
+            board.for_each_since_round(suffix_from, |r| n += r.trimmed);
+            std::hint::black_box(n);
+        }),
+    });
+    cases.push(BenchCase {
+        name: "board/cold_scan_tiered/4096".into(),
+        mean_ns: time_ns(warmup, measure, || {
+            let mut n = 0usize;
+            board.for_each_since_round(0, |r| n += r.trimmed);
+            std::hint::black_box(n);
+        }),
+    });
     cases
 }
 
@@ -146,7 +215,7 @@ fn collector_cases(measure: Duration) -> Vec<BenchCase> {
         streams: 1,
         threads: 1,
         rounds: rounds * cfg.streams,
-        ..cfg
+        ..cfg.clone()
     };
     let single = run_collector(&single_cfg, |stream| {
         scalar_stream_setup(&pool, single_cfg.rounds, single_cfg.seed, stream)
@@ -267,6 +336,18 @@ fn gk_cases(warmup: Duration, measure: Duration) -> Vec<BenchCase> {
             mean_ns: time_ns(warmup, measure, || {
                 let mut summary = primed.clone();
                 summary.insert_batch(&values, &mut scratch);
+                std::hint::black_box(summary.query(0.9));
+            }),
+        });
+        // The multi-slice sweep: four staged quarter-batches merged in
+        // one tuple-list rebuild — the coalesced-backfill shape
+        // ([`GkSummary::insert_batches`]).
+        let quarters: Vec<&[f64]> = values.chunks(n / 4).collect();
+        cases.push(BenchCase {
+            name: format!("gk/ingest_batches4_warm/{n}"),
+            mean_ns: time_ns(warmup, measure, || {
+                let mut summary = primed.clone();
+                summary.insert_batches(&quarters, &mut scratch);
                 std::hint::black_box(summary.query(0.9));
             }),
         });
@@ -586,7 +667,7 @@ mod tests {
     #[test]
     fn suite_runs_with_tiny_windows_and_serializes() {
         let cases = run_cases(Duration::from_millis(1), Duration::from_millis(2));
-        assert_eq!(cases.len(), 34);
+        assert_eq!(cases.len(), 40);
         for case in &cases {
             assert!(case.mean_ns > 0.0, "{}: {}", case.name, case.mean_ns);
         }
@@ -596,6 +677,11 @@ mod tests {
         assert_eq!(json.matches(':').count(), cases.len());
         assert!(json.contains("\"trim/in_place/1000\""));
         assert!(json.contains("\"gk/ingest_batch/100000\""));
+        assert!(json.contains("\"gk/ingest_batches4_warm/10000\""));
+        assert!(json.contains("\"frame/encode/256\""));
+        assert!(json.contains("\"frame/decode/256\""));
+        assert!(json.contains("\"board/hot_suffix_read_tiered/4096\""));
+        assert!(json.contains("\"board/cold_scan_tiered/4096\""));
         assert!(json.contains("\"gk/ingest_batch_warm/10000\""));
         assert!(json.contains("\"gk/ingest_batch_warm_skewed/10000\""));
         assert!(json.contains("\"matrix/solve_to_gap_warm/12\""));

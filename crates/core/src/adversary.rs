@@ -14,7 +14,7 @@
 
 use rand::{Rng, RngCore};
 use std::borrow::Cow;
-use trimgame_stream::board::PublicBoard;
+use trimgame_stream::board::{PublicBoard, RangedVenue};
 
 /// What the adversary observes before choosing this round's injection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -178,7 +178,7 @@ impl AttackPolicy for AdversaryPolicy {
 /// probability against injection height.
 #[derive(Debug, Clone)]
 pub struct AdaptiveAttacker {
-    board: PublicBoard,
+    feed: ThresholdFeed,
     offset: f64,
     fallback: f64,
     tol: f64,
@@ -190,6 +190,24 @@ pub struct AdaptiveAttacker {
     atoms: Vec<(f64, usize)>,
     /// Board records consumed so far.
     seen: usize,
+}
+
+/// Where an [`AdaptiveAttacker`] reads published thresholds from.
+#[derive(Debug, Clone)]
+enum ThresholdFeed {
+    /// A single collector's public board, consumed by record index.
+    Board(PublicBoard),
+    /// A sharded [`RangedVenue`], consumed through the bounded merge
+    /// ([`RangedVenue::merged_since_round`]) so fully-consumed cold spans
+    /// are skipped without being touched — under tiered storage they stay
+    /// compacted (or spilled) instead of being re-inflated every round.
+    Venue {
+        venue: RangedVenue,
+        /// Last round consumed per collector shard. The merge bound is
+        /// `min(last) + 1`: everything below it is consumed on *every*
+        /// shard, so no span holding only such rounds needs reading.
+        last: Vec<usize>,
+    },
 }
 
 impl AdaptiveAttacker {
@@ -210,7 +228,7 @@ impl AdaptiveAttacker {
             "fallback {fallback} not in [0, 1]"
         );
         Self {
-            board,
+            feed: ThresholdFeed::Board(board),
             offset,
             fallback,
             tol: 1e-9,
@@ -219,33 +237,88 @@ impl AdaptiveAttacker {
         }
     }
 
-    /// The board view this attacker reads.
+    /// Creates the attacker over a sharded [`RangedVenue`] — the white-box
+    /// channel when several collectors publish to one venue. Records are
+    /// consumed through [`RangedVenue::merged_since_round`] with the bound
+    /// advanced past fully-consumed rounds, so under tiered storage the
+    /// per-round read never inflates compacted or spilled spans it has
+    /// already folded into its threshold model.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= offset <= 1` and `0 <= fallback <= 1`.
     #[must_use]
-    pub fn board(&self) -> &PublicBoard {
-        &self.board
+    pub fn over_venue(venue: RangedVenue, offset: f64, fallback: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&offset),
+            "offset {offset} not in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&fallback),
+            "fallback {fallback} not in [0, 1]"
+        );
+        let last = vec![0; venue.collectors()];
+        Self {
+            feed: ThresholdFeed::Venue { venue, last },
+            offset,
+            fallback,
+            tol: 1e-9,
+            atoms: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    /// The board view this attacker reads, if it is board-backed (a
+    /// venue-backed attacker reads a sharded merge instead).
+    #[must_use]
+    pub fn board(&self) -> Option<&PublicBoard> {
+        match &self.feed {
+            ThresholdFeed::Board(board) => Some(board),
+            ThresholdFeed::Venue { .. } => None,
+        }
     }
 
     /// Folds records published since the last read into the atom counts
-    /// (an allocation-free visitor read of the chunked board).
+    /// (an allocation-free visitor read of the chunked board, or of the
+    /// round-bounded venue merge).
     fn ingest_new_records(&mut self) {
         let Self {
-            board,
+            feed,
             atoms,
             seen,
             tol,
             ..
         } = self;
         let tol = *tol;
-        board.for_each_since(*seen, |record| {
-            *seen += 1;
-            let t = record.threshold_percentile;
+        let mut fold = |t: f64| {
             assert!(!t.is_nan(), "NaN threshold on the public board");
             let idx = atoms.partition_point(|&(a, _)| a < t - tol);
             match atoms.get_mut(idx) {
                 Some((a, count)) if (*a - t).abs() <= tol => *count += 1,
                 _ => atoms.insert(idx, (t, 1)),
             }
-        });
+        };
+        match feed {
+            ThresholdFeed::Board(board) => {
+                board.for_each_since(*seen, |record| {
+                    *seen += 1;
+                    fold(record.threshold_percentile);
+                });
+            }
+            ThresholdFeed::Venue { venue, last } => {
+                let bound = last.iter().copied().min().unwrap_or(0) + 1;
+                venue.merged_since_round(bound).for_each(|shard, record| {
+                    // Shards advance unevenly: the bound is the min across
+                    // shards, so records a faster shard already yielded can
+                    // reappear — the per-shard watermark drops them.
+                    if record.round <= last[shard] {
+                        return;
+                    }
+                    last[shard] = record.round;
+                    *seen += 1;
+                    fold(record.threshold_percentile);
+                });
+            }
+        }
     }
 }
 
@@ -708,6 +781,75 @@ mod tests {
     #[should_panic(expected = "not in [0, 1]")]
     fn adaptive_attacker_rejects_bad_offset() {
         let _ = AdaptiveAttacker::new(PublicBoard::new(), 1.5, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn venue_attacker_rejects_bad_fallback() {
+        let _ = AdaptiveAttacker::over_venue(RangedVenue::new(1, 8), 0.01, 1.5);
+    }
+
+    fn post_ranged(board: &trimgame_stream::board::RangedBoard, round: usize, threshold: f64) {
+        board.post(trimgame_stream::board::RoundRecord {
+            round,
+            threshold_percentile: threshold,
+            threshold_value: None,
+            received: 100,
+            trimmed: 10,
+            retained: trimgame_numerics::stats::OnlineStats::new(),
+            quality: 1.0,
+        });
+    }
+
+    #[test]
+    fn venue_backed_attacker_matches_board_backed() {
+        // Two shards publishing interleaved rounds: the venue merge yields
+        // the same global threshold sequence a single board would, so both
+        // attackers must best-respond identically at every step.
+        let board = PublicBoard::new();
+        let venue = RangedVenue::new(2, 8);
+        let mut on_board = AdaptiveAttacker::new(board.clone(), 0.01, 0.99);
+        let mut on_venue = AdaptiveAttacker::over_venue(venue.clone(), 0.01, 0.99);
+        let mut rng = seeded_rng(4);
+        assert!(on_venue.board().is_none());
+        assert!(on_board.board().is_some());
+        for round in 1..=30 {
+            let t = if round % 5 == 0 { 0.85 } else { 0.95 };
+            post_threshold(&board, round, t);
+            post_ranged(&venue.collector(round % 2), round, t);
+            if round % 7 == 0 {
+                let a = on_board.next_injection(&obs(Some(t)), &mut rng);
+                let b = on_venue.next_injection(&obs(Some(t)), &mut rng);
+                assert_eq!(a, b, "diverged at round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn venue_attacker_skips_cold_spans_without_inflating() {
+        use trimgame_stream::compact::{Compactor, TierConfig};
+        let venue = RangedVenue::new(1, 8);
+        let shard = venue.collector(0);
+        let mut a = AdaptiveAttacker::over_venue(venue.clone(), 0.01, 0.99);
+        let mut rng = seeded_rng(5);
+        for round in 1..=100 {
+            post_ranged(&shard, round, 0.9);
+        }
+        let x = a.next_injection(&obs(Some(0.9)), &mut rng);
+        assert!((x - 0.89).abs() < 1e-12);
+        // Compact the consumed history, then keep playing: the bounded
+        // merge reads only from the watermark forward, so the compacted
+        // spans are never re-inflated by the attacker's per-round reads.
+        Compactor::new(TierConfig::default(), "adv").run(&shard);
+        let stats = venue.tier_stats();
+        assert!(stats.snapshot().frames_built > 0);
+        let inflations_before = stats.snapshot().inflations;
+        for round in 101..=110 {
+            post_ranged(&shard, round, 0.9);
+            let x = a.next_injection(&obs(Some(0.9)), &mut rng);
+            assert!((x - 0.89).abs() < 1e-12);
+        }
+        assert_eq!(stats.snapshot().inflations, inflations_before);
     }
 
     #[test]

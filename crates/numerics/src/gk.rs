@@ -106,11 +106,7 @@ fn radix_sort_keys(keys: &mut [u64], tmp: &mut [u64]) {
     let tmp = &mut tmp[..n];
     // One read pass builds all eight digit histograms.
     let mut hist = [[0u32; 256]; 8];
-    for &k in keys.iter() {
-        for (d, h) in hist.iter_mut().enumerate() {
-            h[((k >> (8 * d)) & 0xFF) as usize] += 1;
-        }
-    }
+    crate::simd::radix_digit_histograms(keys, &mut hist);
     let mut in_keys = true;
     for (d, h) in hist.iter_mut().enumerate() {
         // A constant digit permutes nothing: skip the pass.
@@ -145,9 +141,12 @@ fn radix_sort_keys(keys: &mut [u64], tmp: &mut [u64]) {
 /// float's total order: flip the sign bit for positives, all bits for
 /// negatives. Sorting plain integers is markedly faster than sorting
 /// floats through a comparator, and it is what lets the batch ingest use
-/// the branchless integer sort.
+/// the branchless integer sort. Public because the order-preserving
+/// integer domain is also the natural encoding domain for bit-packed
+/// `f64` columns (the stream crate's frame format packs these keys).
 #[inline]
-fn sort_key(v: f64) -> u64 {
+#[must_use]
+pub fn sort_key(v: f64) -> u64 {
     let b = v.to_bits();
     if b >> 63 == 0 {
         b ^ (1 << 63)
@@ -158,7 +157,8 @@ fn sort_key(v: f64) -> u64 {
 
 /// Inverse of [`sort_key`].
 #[inline]
-fn key_value(k: u64) -> f64 {
+#[must_use]
+pub fn key_value(k: u64) -> f64 {
     f64::from_bits(if k >> 63 == 1 { k ^ (1 << 63) } else { !k })
 }
 
@@ -293,29 +293,47 @@ impl GkSummary {
     /// # Panics
     /// Panics if the batch contains NaN.
     pub fn insert_batch(&mut self, batch: &[f64], scratch: &mut GkScratch) {
-        if batch.is_empty() {
+        self.insert_batches(&[batch], scratch);
+    }
+
+    /// Ingests several pre-staged batches in **one** merge sweep — the
+    /// collector's coalesced rounds arrive as a list of per-round slices,
+    /// and walking the tuple list once for the lot amortizes the sweep
+    /// the same way [`GkSummary::insert_batch`] amortizes per-value
+    /// insertion. Bit-identical to `insert_batch` over the concatenation
+    /// of the slices (the keys are gathered into one staged array before
+    /// sorting), and carries the same `ε·n` rank guarantee as any other
+    /// ingestion order.
+    ///
+    /// # Panics
+    /// Panics if any batch contains NaN.
+    pub fn insert_batches(&mut self, batches: &[&[f64]], scratch: &mut GkScratch) {
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        if total == 0 {
             return;
         }
         scratch.keys.clear();
-        scratch.keys.reserve(batch.len());
+        scratch.keys.reserve(total);
         let mut any_nan = false;
-        for &v in batch {
-            any_nan |= v.is_nan();
-            scratch.keys.push(sort_key(v));
+        for batch in batches {
+            for &v in *batch {
+                any_nan |= v.is_nan();
+                scratch.keys.push(sort_key(v));
+            }
         }
         assert!(!any_nan, "GkSummary cannot ingest NaN");
-        if self.tuples.is_empty() && batch.len() >= HIST_MIN {
+        if self.tuples.is_empty() && total >= HIST_MIN {
             self.bulk_first_fill(scratch);
             return;
         }
         self.stage_batch_keys(scratch);
 
-        let n_after = self.n + batch.len() as u64;
+        let n_after = self.n + total as u64;
         let cap = (2.0 * self.epsilon * n_after as f64).floor() as u64;
 
         let out = &mut scratch.merged;
         out.clear();
-        out.reserve(self.tuples.len() + batch.len());
+        out.reserve(self.tuples.len() + total);
 
         let mut news = scratch.keys.iter().map(|&k| key_value(k));
         let mut next_new = news.next();
@@ -756,6 +774,45 @@ mod tests {
                 "q={q}: rank {rank} too far"
             );
         }
+    }
+
+    #[test]
+    fn insert_batches_is_bit_identical_to_concatenated_insert_batch() {
+        // The multi-batch sweep gathers every slice's keys into one staged
+        // array, so it must produce the exact tuple list of a single
+        // `insert_batch` over the concatenation — cold-start (bulk
+        // first-fill), warm, and empty-slice shapes alike.
+        let mut rng = seeded_rng(23);
+        let big: Vec<f64> = (0..4096).map(|_| rng.gen::<f64>() * 100.0).collect();
+        let (a, b) = big.split_at(1500);
+        let shapes: Vec<Vec<&[f64]>> = vec![
+            vec![a, b],                        // cold start crossing HIST_MIN
+            vec![&big[..7], &[], &big[7..80]], // small + empty slices
+            vec![&big[..300], &big[300..900], &big[900..]],
+        ];
+        for slices in shapes {
+            let concat: Vec<f64> = slices.iter().flat_map(|s| s.iter().copied()).collect();
+            let mut warm_seed = GkSummary::new(0.02);
+            warm_seed.insert_batch(&big[..512], &mut GkScratch::new());
+            for seed in [GkSummary::new(0.02), warm_seed] {
+                let mut multi = seed.clone();
+                let mut single = seed;
+                multi.insert_batches(&slices, &mut GkScratch::new());
+                single.insert_batch(&concat, &mut GkScratch::new());
+                assert_eq!(multi, single, "{} slices", slices.len());
+            }
+        }
+        // All-empty input is a no-op.
+        let mut s = GkSummary::new(0.02);
+        s.insert_batches(&[&[], &[][..]], &mut GkScratch::new());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn insert_batches_rejects_nan_in_any_slice() {
+        let mut s = GkSummary::new(0.01);
+        s.insert_batches(&[&[1.0], &[f64::NAN][..]], &mut GkScratch::new());
     }
 
     #[test]

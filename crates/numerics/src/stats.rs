@@ -215,6 +215,30 @@ impl OnlineStats {
         (self.n > 0).then_some(self.max)
     }
 
+    /// The raw accumulator state `(n, mean, m2, min, max)` exactly as
+    /// stored — `min`/`max` are `+∞`/`−∞` before any observation and the
+    /// mean is the raw running mean, not the `0.0`-defaulted view of
+    /// [`OnlineStats::mean`]. This is the bit-exact serialization surface:
+    /// `from_raw_parts(s.raw_parts())` reconstructs a accumulator equal to
+    /// `s` under `==` and bit-for-bit in every field.
+    #[must_use]
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.n, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`OnlineStats::raw_parts`] output.
+    /// No invariants are re-derived — the caller owns round-trip fidelity.
+    #[must_use]
+    pub fn from_raw_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self {
+            n,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford merge).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.n == 0 {
@@ -344,6 +368,22 @@ mod tests {
         assert_eq!(a.count(), all.count());
         assert!((a.mean() - all.mean()).abs() < 1e-12);
         assert!((a.variance() - all.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_is_bit_exact() {
+        let mut acc = OnlineStats::new();
+        acc.extend(&[0.3, -1.2, 4.5, 2.2, 0.0]);
+        let (n, mean, m2, min, max) = acc.raw_parts();
+        let back = OnlineStats::from_raw_parts(n, mean, m2, min, max);
+        assert_eq!(back, acc);
+        assert_eq!(back.mean().to_bits(), acc.mean().to_bits());
+        // The empty accumulator round-trips its ±∞ sentinels too.
+        let empty = OnlineStats::new();
+        let (n, mean, m2, min, max) = empty.raw_parts();
+        assert_eq!(min, f64::INFINITY);
+        assert_eq!(max, f64::NEG_INFINITY);
+        assert_eq!(OnlineStats::from_raw_parts(n, mean, m2, min, max), empty);
     }
 
     #[test]

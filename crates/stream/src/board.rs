@@ -37,8 +37,11 @@
 //! within each, with [`RangedVenue::merged`] staying round-ordered across
 //! both shard dimensions.
 
+use crate::compact::TierStats;
+use crate::frame::Frame;
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use trimgame_numerics::stats::OnlineStats;
 
@@ -240,7 +243,8 @@ impl PublicBoard {
     pub fn snapshot(&self) -> BoardSnapshot {
         let guard = self.inner.read();
         BoardSnapshot {
-            sealed: guard.sealed.clone(),
+            len: guard.len(),
+            chunks: guard.sealed.clone(),
             tail: guard.tail.clone(),
         }
     }
@@ -259,24 +263,53 @@ impl PublicBoard {
 }
 
 /// A detached, immutable view of a board's history at snapshot time:
-/// shares the sealed chunks, owns only the short tail.
+/// shares the stored chunks, owns only the short tail.
+///
+/// Chunks may be **ragged**: a hot board snapshots into uniform
+/// `CHUNK_CAP` chunks, while a compacted span inflates into a single
+/// chunk holding the whole span — readers walk chunk by chunk and never
+/// assume a fixed chunk size.
 #[derive(Debug, Clone, Default)]
 pub struct BoardSnapshot {
-    sealed: Vec<Arc<[RoundRecord]>>,
+    len: usize,
+    chunks: Vec<Arc<[RoundRecord]>>,
     tail: Vec<RoundRecord>,
 }
 
 impl BoardSnapshot {
+    /// Wraps an inflated cold span as a single-chunk snapshot.
+    pub(crate) fn from_records(records: Arc<[RoundRecord]>) -> Self {
+        Self {
+            len: records.len(),
+            chunks: vec![records],
+            tail: Vec::new(),
+        }
+    }
+
     /// Number of records in the snapshot.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sealed.len() * CHUNK_CAP + self.tail.len()
+        self.len
     }
 
     /// True if the snapshot holds no records.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
+    }
+
+    /// Number of contiguous parts (chunks plus the tail).
+    fn parts(&self) -> usize {
+        self.chunks.len() + 1
+    }
+
+    /// Part `i` as a contiguous slice; the tail is always the last part.
+    fn part(&self, i: usize) -> &[RoundRecord] {
+        if i < self.chunks.len() {
+            &self.chunks[i]
+        } else {
+            &self.tail
+        }
     }
 
     /// The record at insertion index `idx`.
@@ -285,17 +318,20 @@ impl BoardSnapshot {
     /// Panics if `idx` is out of range.
     #[must_use]
     pub fn get(&self, idx: usize) -> &RoundRecord {
-        let sealed_len = self.sealed.len() * CHUNK_CAP;
-        if idx < sealed_len {
-            &self.sealed[idx / CHUNK_CAP][idx % CHUNK_CAP]
-        } else {
-            &self.tail[idx - sealed_len]
+        let mut rest = idx;
+        for i in 0..self.parts() {
+            let part = self.part(i);
+            if rest < part.len() {
+                return &part[rest];
+            }
+            rest -= part.len();
         }
+        panic!("snapshot index {idx} out of range {}", self.len)
     }
 
     /// Iterates the records in insertion order, without cloning.
     pub fn iter(&self) -> impl Iterator<Item = &RoundRecord> {
-        self.sealed
+        self.chunks
             .iter()
             .flat_map(|c| c.iter())
             .chain(self.tail.iter())
@@ -363,6 +399,7 @@ impl ShardedBoard {
     pub fn merged(&self) -> MergedHistory {
         MergedHistory {
             chains: self.shards.iter().map(|s| vec![s.snapshot()]).collect(),
+            min_round: 0,
         }
     }
 }
@@ -377,13 +414,89 @@ impl ShardedBoard {
 ///
 /// Like [`PublicBoard`], rounds must be posted in nondecreasing order for
 /// the per-span binary searches to hold.
+///
+/// **Tiering.** Each span lives in one of three tiers: *hot* (the chunked
+/// [`PublicBoard`] it was appended into), *framed* (compacted into an
+/// immutable bit-packed [`Frame`] by a [`crate::compact::Compactor`]), or
+/// *spilled* (the frame's bytes written to a disk file, nothing
+/// resident). Every read path re-inflates cold spans transparently, so
+/// tiering never changes what a reader observes — only where the bytes
+/// live. Posts must land in a hot span; compaction only ever freezes
+/// spans strictly below the live one, which the nondecreasing-round
+/// contract keeps write-free.
 #[derive(Debug, Clone)]
 pub struct RangedBoard {
     span: usize,
-    spans: Arc<RwLock<Vec<PublicBoard>>>,
+    spans: Arc<RwLock<Vec<SpanSlot>>>,
     len: Arc<AtomicUsize>,
     /// Highest posted round; 0 encodes "none" (rounds are 1-based).
     last_round: Arc<AtomicUsize>,
+    /// Tier activity counters (shared venue-wide when the board belongs
+    /// to a [`RangedVenue`]).
+    stats: Arc<TierStats>,
+    /// LRU clock: bumped per cold-capable read, stamped onto the spans
+    /// the read touches.
+    clock: Arc<AtomicU64>,
+}
+
+/// One span's storage slot: its tier plus the LRU stamp of the last read
+/// that touched it cold.
+#[derive(Debug)]
+struct SpanSlot {
+    tier: SpanTier,
+    touched: AtomicU64,
+}
+
+impl SpanSlot {
+    fn hot() -> Self {
+        Self {
+            tier: SpanTier::Hot(PublicBoard::new()),
+            touched: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Where a span's records currently live.
+#[derive(Debug)]
+enum SpanTier {
+    /// Mutable chunked storage — the append target.
+    Hot(PublicBoard),
+    /// Compacted into an immutable resident frame.
+    Framed(Arc<Frame>),
+    /// Frame bytes on disk; nothing resident.
+    Spilled(SpilledSpan),
+}
+
+/// A span whose frame lives in a disk file.
+#[derive(Debug, Clone)]
+struct SpilledSpan {
+    path: PathBuf,
+    len: usize,
+}
+
+/// A clone of one span's tier, extracted under the read lock so decoding
+/// and file IO happen outside it.
+enum TierHandle {
+    Hot(PublicBoard),
+    Framed(Arc<Frame>),
+    Spilled(SpilledSpan),
+}
+
+/// Kinds + accounting summary of one span, for the compaction policy.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpanSummary {
+    /// Span index.
+    pub idx: usize,
+    /// Resident bytes this span holds (0 when spilled).
+    pub resident_bytes: usize,
+    /// LRU stamp of the last cold read (0 = never read cold).
+    pub touched: u64,
+    /// True while the span is in hot chunked storage.
+    pub is_hot: bool,
+    /// True while the span is a resident frame.
+    pub is_framed: bool,
+    /// Records in the span.
+    pub len: usize,
 }
 
 impl RangedBoard {
@@ -393,12 +506,24 @@ impl RangedBoard {
     /// Panics if `span == 0`.
     #[must_use]
     pub fn new(span: usize) -> Self {
+        Self::with_stats(span, Arc::new(TierStats::default()))
+    }
+
+    /// Creates an empty board wired to share `stats` with other boards —
+    /// how a [`RangedVenue`] aggregates tier counters venue-wide.
+    ///
+    /// # Panics
+    /// Panics if `span == 0`.
+    #[must_use]
+    pub fn with_stats(span: usize, stats: Arc<TierStats>) -> Self {
         assert!(span > 0, "round span must be positive");
         Self {
             span,
             spans: Arc::new(RwLock::new(Vec::new())),
             len: Arc::new(AtomicUsize::new(0)),
             last_round: Arc::new(AtomicUsize::new(0)),
+            stats,
+            clock: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -408,24 +533,200 @@ impl RangedBoard {
         self.span
     }
 
+    /// The tier activity counters this board reports into.
+    #[must_use]
+    pub fn tier_stats(&self) -> Arc<TierStats> {
+        self.stats.clone()
+    }
+
     /// The span index holding `round` (1-based rounds).
     fn span_of(&self, round: usize) -> usize {
         (round.max(1) - 1) / self.span
     }
 
-    /// The span board for `idx`, growing empty spans up to it if needed.
+    /// The span index of the live (append-target) span.
+    pub(crate) fn live_span(&self) -> usize {
+        self.span_of(self.last_round.load(Ordering::Relaxed))
+    }
+
+    /// The hot span board for `idx`, growing empty spans up to it if
+    /// needed.
+    ///
+    /// # Panics
+    /// Panics if span `idx` has been compacted — posting into a frozen
+    /// span means the nondecreasing-round posting contract was broken.
     fn span_board(&self, idx: usize) -> PublicBoard {
         {
             let guard = self.spans.read();
-            if let Some(board) = guard.get(idx) {
-                return board.clone();
+            if let Some(slot) = guard.get(idx) {
+                match &slot.tier {
+                    SpanTier::Hot(board) => return board.clone(),
+                    _ => panic!("posting into compacted span {idx}"),
+                }
             }
         }
         let mut guard = self.spans.write();
         while guard.len() <= idx {
-            guard.push(PublicBoard::new());
+            guard.push(SpanSlot::hot());
         }
-        guard[idx].clone()
+        match &guard[idx].tier {
+            SpanTier::Hot(board) => board.clone(),
+            _ => panic!("posting into compacted span {idx}"),
+        }
+    }
+
+    /// Clones the tier handles of spans `first..`, stamping the LRU clock
+    /// onto every cold span the read is about to touch.
+    fn tier_handles_from(&self, first: usize) -> Vec<TierHandle> {
+        let guard = self.spans.read();
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        guard
+            .iter()
+            .skip(first)
+            .map(|slot| match &slot.tier {
+                SpanTier::Hot(board) => TierHandle::Hot(board.clone()),
+                SpanTier::Framed(frame) => {
+                    slot.touched.store(tick, Ordering::Relaxed);
+                    TierHandle::Framed(frame.clone())
+                }
+                SpanTier::Spilled(spill) => {
+                    slot.touched.store(tick, Ordering::Relaxed);
+                    TierHandle::Spilled(spill.clone())
+                }
+            })
+            .collect()
+    }
+
+    /// Decodes a cold handle back into records, counting the inflation.
+    ///
+    /// # Panics
+    /// Panics if a spilled frame's file cannot be read back — the spill
+    /// tier *is* the data; losing it is unrecoverable.
+    fn inflate(&self, handle: &TierHandle) -> Arc<[RoundRecord]> {
+        match handle {
+            TierHandle::Hot(_) => unreachable!("hot spans are never inflated"),
+            TierHandle::Framed(frame) => {
+                self.stats.count_inflation();
+                frame.decode().into()
+            }
+            TierHandle::Spilled(spill) => {
+                self.stats.count_spill_load();
+                self.stats.count_inflation();
+                let bytes = std::fs::read(&spill.path)
+                    .unwrap_or_else(|e| panic!("spilled span {} lost: {e}", spill.path.display()));
+                let frame = Frame::from_bytes(&bytes).unwrap_or_else(|e| {
+                    panic!("spilled span {} corrupt: {e}", spill.path.display())
+                });
+                frame.decode().into()
+            }
+        }
+    }
+
+    /// Resident bytes held by the spans a compactor with `hot_tail_spans`
+    /// would consider eligible — the quantity its resident budget bounds.
+    /// Hot spans account at raw record size, framed spans at packed size,
+    /// spilled spans at zero.
+    #[must_use]
+    pub fn resident_cold_bytes(&self, hot_tail_spans: usize) -> usize {
+        let live = self.live_span();
+        self.span_summaries()
+            .iter()
+            .filter(|s| s.idx + hot_tail_spans < live)
+            .map(|s| s.resident_bytes)
+            .sum()
+    }
+
+    /// Per-span tier/accounting summaries, for the compaction policy.
+    /// Hot spans account at raw record size, framed spans at their packed
+    /// size, spilled spans at zero.
+    pub(crate) fn span_summaries(&self) -> Vec<SpanSummary> {
+        let guard = self.spans.read();
+        guard
+            .iter()
+            .enumerate()
+            .map(|(idx, slot)| {
+                let (resident_bytes, is_hot, is_framed, len) = match &slot.tier {
+                    SpanTier::Hot(board) => {
+                        let len = board.len();
+                        (len * std::mem::size_of::<RoundRecord>(), true, false, len)
+                    }
+                    SpanTier::Framed(frame) => (frame.packed_bytes(), false, true, frame.len()),
+                    SpanTier::Spilled(spill) => (0, false, false, spill.len),
+                };
+                SpanSummary {
+                    idx,
+                    resident_bytes,
+                    touched: slot.touched.load(Ordering::Relaxed),
+                    is_hot,
+                    is_framed,
+                    len,
+                }
+            })
+            .collect()
+    }
+
+    /// Compacts hot span `idx` into a resident frame. Encoding runs
+    /// outside the span lock; the swap re-checks that the span is still
+    /// the hot board it encoded. Returns `(raw_bytes, framed_bytes)` on
+    /// success, `None` if the span is missing, empty, or already cold.
+    pub(crate) fn freeze_span(&self, idx: usize) -> Option<(usize, usize)> {
+        let board = {
+            let guard = self.spans.read();
+            match &guard.get(idx)?.tier {
+                SpanTier::Hot(board) if !board.is_empty() => board.clone(),
+                _ => return None,
+            }
+        };
+        let records = board.history();
+        let raw_bytes = records.len() * std::mem::size_of::<RoundRecord>();
+        let frame = Arc::new(Frame::encode(&records));
+        let framed_bytes = frame.packed_bytes();
+        let mut guard = self.spans.write();
+        let slot = guard.get_mut(idx)?;
+        match &slot.tier {
+            // A sealed span below the live one cannot grow, but re-check
+            // anyway so a racing (contract-violating) post loses cleanly.
+            SpanTier::Hot(board) if board.len() == records.len() => {
+                slot.tier = SpanTier::Framed(frame);
+                self.stats
+                    .count_frame(records.len() as u64, raw_bytes as u64, framed_bytes as u64);
+                Some((raw_bytes, framed_bytes))
+            }
+            _ => None,
+        }
+    }
+
+    /// Evicts framed span `idx` to a disk file at `path`, leaving nothing
+    /// resident. File IO runs outside the span lock. Returns the bytes
+    /// freed, or `None` if the span is not currently a resident frame.
+    ///
+    /// # Errors
+    /// Returns the IO error if the spill file cannot be written; the span
+    /// stays framed and resident.
+    pub(crate) fn spill_span(&self, idx: usize, path: PathBuf) -> std::io::Result<Option<usize>> {
+        let frame = {
+            let guard = self.spans.read();
+            match guard.get(idx).map(|s| &s.tier) {
+                Some(SpanTier::Framed(frame)) => frame.clone(),
+                _ => return Ok(None),
+            }
+        };
+        std::fs::write(&path, frame.to_bytes())?;
+        let mut guard = self.spans.write();
+        let Some(slot) = guard.get_mut(idx) else {
+            return Ok(None);
+        };
+        match &slot.tier {
+            SpanTier::Framed(f) if Arc::ptr_eq(f, &frame) => {
+                slot.tier = SpanTier::Spilled(SpilledSpan {
+                    path,
+                    len: frame.len(),
+                });
+                self.stats.count_spill_write();
+                Ok(Some(frame.packed_bytes()))
+            }
+            _ => Ok(None),
+        }
     }
 
     /// Appends a round record — O(1) routing to the live span, no scan of
@@ -464,33 +765,53 @@ impl RangedBoard {
     }
 
     /// Record of a specific round, if recorded — resolves the span in
-    /// O(1), then the span's O(log chunk) binary search.
+    /// O(1), then the span's O(log chunk) binary search (a cold span
+    /// inflates first).
     #[must_use]
     pub fn round(&self, round: usize) -> Option<RoundRecord> {
         if round == 0 {
             return None;
         }
-        let guard = self.spans.read();
-        let board = guard.get(self.span_of(round))?.clone();
-        drop(guard);
-        board.round(round)
+        let idx = self.span_of(round);
+        let handle = self.tier_handles_from(idx).into_iter().next()?;
+        match handle {
+            TierHandle::Hot(board) => board.round(round),
+            ref cold => {
+                let records = self.inflate(cold);
+                let at = records.partition_point(|r| r.round < round);
+                records.get(at).filter(|r| r.round == round).cloned()
+            }
+        }
     }
 
     /// Visits every record with round `>= round` in append order. Only
     /// the span holding `round` and the spans after it are opened; cold
     /// ranges are never touched — the incremental read an observer over a
-    /// long-lived stream uses.
+    /// long-lived stream uses. Cold spans at or after the bound inflate
+    /// transparently (and count as inflations in the tier stats).
     pub fn for_each_since_round(&self, round: usize, mut f: impl FnMut(&RoundRecord)) {
         let first = self.span_of(round);
-        let handles: Vec<PublicBoard> = {
-            let guard = self.spans.read();
-            guard.iter().skip(first).cloned().collect()
-        };
-        for (i, board) in handles.iter().enumerate() {
-            if i == 0 {
-                board.for_each_from_round(round, &mut f);
-            } else {
-                board.for_each_since(0, &mut f);
+        for (i, handle) in self.tier_handles_from(first).iter().enumerate() {
+            match handle {
+                TierHandle::Hot(board) => {
+                    if i == 0 {
+                        board.for_each_from_round(round, &mut f);
+                    } else {
+                        board.for_each_since(0, &mut f);
+                    }
+                }
+                cold => {
+                    let records = self.inflate(cold);
+                    // Only the first span can hold rounds below the bound.
+                    let start = if i == 0 {
+                        records.partition_point(|r| r.round < round)
+                    } else {
+                        0
+                    };
+                    for r in &records[start..] {
+                        f(r);
+                    }
+                }
             }
         }
     }
@@ -500,8 +821,24 @@ impl RangedBoard {
     /// [`MergedHistory`] k-way-merges across collectors.
     #[must_use]
     pub fn snapshot_chain(&self) -> Vec<BoardSnapshot> {
-        let handles: Vec<PublicBoard> = self.spans.read().iter().cloned().collect();
-        handles.iter().map(PublicBoard::snapshot).collect()
+        self.snapshot_chain_since(0)
+    }
+
+    /// Snapshots of only the spans that can hold rounds `>= round` — the
+    /// bounded variant board-driven observers use so a long cold history
+    /// is never materialized (or inflated) just to be skipped. The first
+    /// returned span may still contain earlier rounds; a
+    /// [`MergedHistory`] built over these chains applies the exact bound.
+    #[must_use]
+    pub fn snapshot_chain_since(&self, round: usize) -> Vec<BoardSnapshot> {
+        let first = self.span_of(round);
+        self.tier_handles_from(first)
+            .iter()
+            .map(|handle| match handle {
+                TierHandle::Hot(board) => board.snapshot(),
+                cold => BoardSnapshot::from_records(self.inflate(cold)),
+            })
+            .collect()
     }
 }
 
@@ -525,9 +862,41 @@ impl RangedVenue {
     #[must_use]
     pub fn new(collectors: usize, span: usize) -> Self {
         assert!(collectors > 0, "need at least one collector");
+        let stats = Arc::new(TierStats::default());
         Self {
-            shards: (0..collectors).map(|_| RangedBoard::new(span)).collect(),
+            shards: (0..collectors)
+                .map(|_| RangedBoard::with_stats(span, stats.clone()))
+                .collect(),
         }
+    }
+
+    /// The venue-wide tier activity counters (every shard reports into
+    /// the same [`TierStats`]).
+    #[must_use]
+    pub fn tier_stats(&self) -> Arc<TierStats> {
+        self.shards[0].tier_stats()
+    }
+
+    /// Total resident bytes held by spans across the venue — hot spans at
+    /// raw record size, framed spans at packed size, spilled spans free.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.span_summaries())
+            .map(|s| s.resident_bytes)
+            .sum()
+    }
+
+    /// Resident bytes across shards in spans a compactor with
+    /// `hot_tail_spans` would consider eligible — the quantity a
+    /// per-shard resident budget bounds.
+    #[must_use]
+    pub fn resident_cold_bytes(&self, hot_tail_spans: usize) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.resident_cold_bytes(hot_tail_spans))
+            .sum()
     }
 
     /// Number of worker shards.
@@ -563,12 +932,23 @@ impl RangedVenue {
     /// `(round, collector)` across both shard dimensions.
     #[must_use]
     pub fn merged(&self) -> MergedHistory {
+        self.merged_since_round(0)
+    }
+
+    /// A merged view bounded below at `round`: only the spans that can
+    /// hold rounds `>= round` are snapshotted (cold spans below the bound
+    /// are never inflated), and the k-way merge skips the sub-bound
+    /// records the first spans may still carry. This is the incremental
+    /// read path of a venue-driven observer over a long history.
+    #[must_use]
+    pub fn merged_since_round(&self, round: usize) -> MergedHistory {
         MergedHistory {
             chains: self
                 .shards
                 .iter()
-                .map(RangedBoard::snapshot_chain)
+                .map(|s| s.snapshot_chain_since(round))
                 .collect(),
+            min_round: round,
         }
     }
 }
@@ -582,32 +962,56 @@ impl RangedVenue {
 #[derive(Debug, Clone)]
 pub struct MergedHistory {
     chains: Vec<Vec<BoardSnapshot>>,
+    /// Records with `round < min_round` are skipped by the merge — the
+    /// `since_round` bound of [`RangedVenue::merged_since_round`]. 0 is
+    /// the unbounded view.
+    min_round: usize,
 }
 
-/// A per-collector merge cursor: position inside the snapshot chain.
+/// A per-collector merge cursor: snapshot, part within it, offset within
+/// the part — an O(1) walk even over ragged (inflated-span) snapshots.
 #[derive(Debug, Clone, Copy, Default)]
 struct ChainCursor {
-    chain: usize,
-    rec: usize,
+    snap: usize,
+    part: usize,
+    off: usize,
 }
 
 impl ChainCursor {
-    /// Skips exhausted (or empty) snapshots; returns the current record,
-    /// or `None` when the chain is exhausted.
-    fn current<'a>(&mut self, chain: &'a [BoardSnapshot]) -> Option<&'a RoundRecord> {
-        while let Some(snap) = chain.get(self.chain) {
-            if self.rec < snap.len() {
-                return Some(snap.get(self.rec));
+    /// Skips exhausted parts/snapshots and records below `min_round`;
+    /// returns the current record, or `None` when the chain is exhausted.
+    fn current<'a>(
+        &mut self,
+        chain: &'a [BoardSnapshot],
+        min_round: usize,
+    ) -> Option<&'a RoundRecord> {
+        while let Some(snap) = chain.get(self.snap) {
+            while self.part < snap.parts() {
+                let part = snap.part(self.part);
+                if let Some(rec) = part.get(self.off) {
+                    if rec.round >= min_round {
+                        return Some(rec);
+                    }
+                    // Sub-bound prefix of a bounded view: skip it.
+                    self.off += 1;
+                    continue;
+                }
+                self.part += 1;
+                self.off = 0;
             }
-            self.chain += 1;
-            self.rec = 0;
+            self.snap += 1;
+            self.part = 0;
+            self.off = 0;
         }
         None
     }
 }
 
 impl MergedHistory {
-    /// Total records in the view.
+    /// Total records in the underlying snapshots. For a bounded view
+    /// ([`RangedVenue::merged_since_round`]) this counts the snapshotted
+    /// spans as-is — the first span of a chain may still carry sub-bound
+    /// records the merge will skip, so the visit count can be lower.
     #[must_use]
     pub fn len(&self) -> usize {
         self.chains.iter().flatten().map(BoardSnapshot::len).sum()
@@ -621,13 +1025,14 @@ impl MergedHistory {
 
     /// Visits every record as `(collector, record)`, ordered by
     /// `(round, collector)`, cloning nothing. The cursor walk spans range
-    /// boundaries within each collector's chain transparently.
+    /// boundaries within each collector's chain transparently, and skips
+    /// records below the view's `since_round` bound.
     pub fn for_each(&self, mut f: impl FnMut(usize, &RoundRecord)) {
         let mut cursors = vec![ChainCursor::default(); self.chains.len()];
         loop {
             let mut best: Option<(usize, usize)> = None; // (round, shard)
             for (shard, chain) in self.chains.iter().enumerate() {
-                if let Some(record) = cursors[shard].current(chain) {
+                if let Some(record) = cursors[shard].current(chain, self.min_round) {
                     if best.is_none_or(|(r, _)| record.round < r) {
                         best = Some((record.round, shard));
                     }
@@ -637,9 +1042,11 @@ impl MergedHistory {
             let cursor = &mut cursors[shard];
             f(
                 shard,
-                cursor.current(&self.chains[shard]).expect("non-exhausted"),
+                cursor
+                    .current(&self.chains[shard], self.min_round)
+                    .expect("non-exhausted"),
             );
-            cursor.rec += 1;
+            cursor.off += 1;
         }
     }
 

@@ -88,6 +88,24 @@ impl<Q: QualityEvaluation> Collector<Q> {
         self.rounds_processed
     }
 
+    /// Warm-starts the streaming threshold source from a drained run of
+    /// coalesced rounds — e.g. replaying a recorded game or adopting a
+    /// backlog the coalescer sealed while this collector was offline. All
+    /// batches are ingested through one GK merge sweep
+    /// ([`SketchThreshold::observe_batches`]), so a long backlog costs
+    /// one tuple-list rebuild instead of one per round. Nothing is
+    /// trimmed or posted; a collector without a sketch ignores the call
+    /// (exact-percentile thresholds carry no cross-round state).
+    ///
+    /// # Panics
+    /// Panics on NaN in any batch.
+    pub fn backfill(&mut self, rounds: &[crate::coalesce::RoundBatch]) {
+        if let Some(source) = &mut self.sketch {
+            let batches: Vec<&[f64]> = rounds.iter().map(|r| r.values.as_slice()).collect();
+            source.observe_batches(&batches);
+        }
+    }
+
     /// Processes one round: trims `batch` at `threshold_percentile`,
     /// evaluates quality on the *received* batch (the standard judges what
     /// the adversary sent, not what survived), posts the record, and
@@ -223,6 +241,37 @@ mod tests {
             outcome.kept.contains(&500.0),
             "batch-percentile cut is expected to be draggable"
         );
+    }
+
+    #[test]
+    fn backfill_is_one_sweep_and_matches_concatenated_observation() {
+        use crate::coalesce::RoundBatch;
+        let rounds: Vec<RoundBatch> = (1..=3)
+            .map(|round| RoundBatch {
+                round,
+                values: (0..500).map(|i| (i * round) as f64 / 7.0).collect(),
+                folded: 0,
+            })
+            .collect();
+        let concat: Vec<f64> = rounds.iter().flat_map(|r| r.values.clone()).collect();
+
+        let mut warmed =
+            Collector::with_sketch(PublicBoard::new(), TailMassQuality::new(95.0, 0.05), 0.01);
+        warmed.backfill(&rounds);
+        // The multi-batch sweep is bit-identical to observing the
+        // concatenation in one batch.
+        let mut reference = SketchThreshold::new(0.01);
+        reference.observe(&concat);
+        assert_eq!(warmed.sketch().unwrap(), &reference);
+        assert_eq!(warmed.sketch().unwrap().count(), concat.len() as u64);
+        // Backfill primes history only: nothing trimmed, nothing posted.
+        assert_eq!(warmed.rounds_processed(), 0);
+        assert!(warmed.board().is_empty());
+
+        // An exact-threshold collector ignores the call.
+        let mut exact = collector();
+        exact.backfill(&rounds);
+        assert!(exact.board().is_empty());
     }
 
     #[test]

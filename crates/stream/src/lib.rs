@@ -16,6 +16,11 @@
 //! * [`quality`] — `Quality_Evaluation()` implementations.
 //! * [`board`] — the thread-safe, chunked append-only public board,
 //!   shardable per collector for contention-free concurrent venues.
+//! * [`frame`] — delta-encoded, bit-packed frames of sealed board
+//!   history: the cold tier's columnar storage format.
+//! * [`compact`] — the tiering policy over ranged boards: compacts
+//!   sealed spans into frames, evicts under a resident-bytes budget,
+//!   spills to disk.
 //! * [`channel`] — bounded MPSC channels with counted backpressure,
 //!   feeding the streaming collector's ingest workers.
 //! * [`coalesce`] — reorder-window batch coalescing with a watermark
@@ -28,6 +33,8 @@ pub mod board;
 pub mod channel;
 pub mod coalesce;
 pub mod collector;
+pub mod compact;
+pub mod frame;
 pub mod quality;
 pub mod round;
 pub mod trim;
@@ -40,6 +47,8 @@ pub use coalesce::{
     CoalesceStats, Coalescer, CoalescerConfig, IngestRecord, LatePolicy, RoundBatch,
 };
 pub use collector::Collector;
+pub use compact::{Compactor, TierConfig, TierStats, TierStatsSnapshot};
+pub use frame::{Frame, FrameCursor, FrameError};
 pub use quality::{MeanShiftQuality, QualityEvaluation, TailMassQuality};
 pub use round::{run_rounds, RoundOutcome};
 pub use trim::{

@@ -429,6 +429,17 @@ impl SketchThreshold {
         self.sketch.insert_batch(values, &mut self.scratch);
     }
 
+    /// Ingests several pre-staged batches in one merge sweep
+    /// ([`GkSummary::insert_batches`]) — the path for draining a run of
+    /// coalesced rounds at once: one tuple-list walk for the lot,
+    /// bit-identical to observing their concatenation.
+    ///
+    /// # Panics
+    /// Panics on NaN in any batch.
+    pub fn observe_batches(&mut self, batches: &[&[f64]]) {
+        self.sketch.insert_batches(batches, &mut self.scratch);
+    }
+
     /// Number of observations consumed so far.
     #[must_use]
     pub fn count(&self) -> u64 {

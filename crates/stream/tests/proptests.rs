@@ -2,6 +2,8 @@
 
 use proptest::prelude::*;
 use trimgame_stream::board::{PublicBoard, RangedVenue, RoundRecord};
+use trimgame_stream::compact::{Compactor, TierConfig};
+use trimgame_stream::frame::Frame;
 use trimgame_stream::quality::{MeanShiftQuality, QualityEvaluation, TailMassQuality};
 use trimgame_stream::trim::{trim, TrimOp, TrimOutcome, TrimScratch, TrimScratchF32};
 
@@ -370,5 +372,177 @@ proptest! {
             .map(|r| r.round)
             .collect();
         prop_assert_eq!(seen, reference);
+    }
+}
+
+/// One generated round for the tiering properties: gap to the previous
+/// round plus every payload field — absent thresholds, signed zeros,
+/// infinities, and empty retained summaries all occur.
+#[derive(Debug, Clone)]
+struct RecordSpec {
+    gap: usize,
+    pct: f64,
+    thr: Option<f64>,
+    received: usize,
+    trimmed: usize,
+    vals: Vec<f64>,
+    quality: f64,
+}
+
+fn arb_field() -> impl Strategy<Value = f64> {
+    (0_usize..9, -1.0e6_f64..1.0e6).prop_map(|(sel, v)| match sel {
+        0 => f64::INFINITY,
+        1 => f64::NEG_INFINITY,
+        2 => 0.0,
+        3 => -0.0,
+        _ => v,
+    })
+}
+
+fn arb_specs(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<RecordSpec>> {
+    let spec = (
+        (1_usize..=3, arb_field(), (0_usize..4, arb_field())),
+        (
+            0_usize..5_000,
+            0_usize..5_000,
+            prop::collection::vec(-1.0e3_f64..1.0e3, 0..4),
+            arb_field(),
+        ),
+    )
+        .prop_map(
+            |((gap, pct, (thr_sel, thr_val)), (received, trimmed, vals, quality))| RecordSpec {
+                gap,
+                pct,
+                // thr_sel == 0 models the "no threshold resolved" round.
+                thr: (thr_sel > 0).then_some(thr_val),
+                received,
+                trimmed,
+                vals,
+                quality,
+            },
+        );
+    prop::collection::vec(spec, len)
+}
+
+fn build_records(specs: &[RecordSpec]) -> Vec<RoundRecord> {
+    let mut round = 0;
+    specs
+        .iter()
+        .map(|spec| {
+            round += spec.gap;
+            let mut retained = trimgame_numerics::stats::OnlineStats::new();
+            retained.extend(&spec.vals);
+            RoundRecord {
+                round,
+                threshold_percentile: spec.pct,
+                threshold_value: spec.thr,
+                received: spec.received,
+                trimmed: spec.trimmed,
+                retained,
+                quality: spec.quality,
+            }
+        })
+        .collect()
+}
+
+/// Bit-level identity of a record: every f64 compared by its bit pattern,
+/// so `-0.0` vs `0.0` and infinity sentinels cannot silently alias.
+fn fingerprint(r: &RoundRecord) -> [u64; 11] {
+    let (n, mean, m2, min, max) = r.retained.raw_parts();
+    [
+        r.round as u64,
+        r.threshold_percentile.to_bits(),
+        u64::from(r.threshold_value.is_some()),
+        r.threshold_value.unwrap_or(0.0).to_bits(),
+        r.received as u64,
+        r.trimmed as u64,
+        n,
+        mean.to_bits(),
+        m2.to_bits(),
+        min.to_bits(),
+        max.to_bits(),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn frame_round_trips_arbitrary_records_bit_for_bit(
+        specs in arb_specs(1..120),
+    ) {
+        let recs = build_records(&specs);
+        let frame = Frame::encode(&recs);
+        let decoded = frame.decode();
+        prop_assert_eq!(decoded.len(), recs.len());
+        for (a, b) in recs.iter().zip(&decoded) {
+            prop_assert_eq!(fingerprint(a), fingerprint(b));
+        }
+        // The wire form round-trips too — spill and re-load is lossless.
+        let wire = Frame::from_bytes(&frame.to_bytes()).expect("serialized frame");
+        for (a, b) in recs.iter().zip(&wire.decode()) {
+            prop_assert_eq!(fingerprint(a), fingerprint(b));
+        }
+    }
+
+    #[test]
+    fn tiered_reads_match_uncompacted_reference_across_seams(
+        // Spans from tiny (many span seams) past CHUNK_CAP=64 (frames
+        // crossing chunk seams inside one span).
+        specs in arb_specs(1..150),
+        span in 3_usize..=80,
+    ) {
+        let venue = RangedVenue::new(1, span);
+        let board = venue.collector(0);
+        let recs = build_records(&specs);
+        for r in &recs {
+            board.post(r.clone());
+        }
+        let mut reference = Vec::new();
+        board.for_each_since_round(0, |r| reference.push(fingerprint(r)));
+        prop_assert_eq!(reference.len(), recs.len());
+
+        // Compact-only pass: sealed cold spans become frames, reads are
+        // bit-identical.
+        Compactor::new(TierConfig::default(), "prop-compact").run(&board);
+        let mut compacted = Vec::new();
+        board.for_each_since_round(0, |r| compacted.push(fingerprint(r)));
+        prop_assert_eq!(&compacted, &reference);
+
+        // Compact → evict → inflate: a zero budget with a spill directory
+        // forces every eligible span to disk, so cold reads must re-inflate.
+        let spill =
+            std::env::temp_dir().join(format!("trimgame-proptest-{}", std::process::id()));
+        let tiny = TierConfig {
+            hot_tail_spans: 0,
+            resident_budget: Some(0),
+            spill_dir: Some(spill.clone()),
+        };
+        Compactor::new(tiny, "prop-evict").run(&board);
+        prop_assert_eq!(board.resident_cold_bytes(0), 0);
+        let last = recs.last().unwrap().round;
+        for from in [0, 1, span, span + 1, 2 * span + 1, last / 2, last, last + 1] {
+            let mut seen = Vec::new();
+            board.for_each_since_round(from, |r| seen.push(fingerprint(r)));
+            let expect: Vec<[u64; 11]> = recs
+                .iter()
+                .filter(|r| r.round >= from.max(1))
+                .map(fingerprint)
+                .collect();
+            prop_assert_eq!(&seen, &expect, "from {}", from);
+        }
+        // Point lookups inflate spilled spans transparently.
+        for r in recs.iter().step_by(7) {
+            let got = board.round(r.round).expect("present round");
+            prop_assert_eq!(fingerprint(&got), fingerprint(r));
+        }
+        prop_assert_eq!(board.round(last + 1), None);
+        // The merged venue view sits on the same tiers and must agree.
+        let merged: Vec<[u64; 11]> = venue
+            .merged()
+            .records()
+            .iter()
+            .map(|(_, r)| fingerprint(r))
+            .collect();
+        prop_assert_eq!(&merged, &reference);
+        let _ = std::fs::remove_dir_all(&spill);
     }
 }
