@@ -3,6 +3,7 @@
 //! ```text
 //! USAGE: expt <experiment>... [--smoke] [--substrate scalar|ml|ldp]
 //!                              [--sketch[=EPS]] [--double-oracle] [--json]
+//!                              [--recover]
 //!        | all | tables | figures | ablations
 //!        | benchdiff <baseline.json> <current.json> [tolerance]
 //!
@@ -19,7 +20,11 @@
 //!        --double-oracle  equilibrium uses the best-response-oracle solver
 //!                         (small measured support grown by continuum best
 //!                         responses) instead of the dense payoff grid
-//!        --json           bench writes the BENCH_PR8.json snapshot
+//!        --json           bench writes the BENCH_PR10.json snapshot
+//!        --recover        collect resumes from the spill manifests left under
+//!                         TRIMGAME_COLLECT_SPILL by an interrupted run, then
+//!                         proves the result bit-identical to an uninterrupted
+//!                         reference run
 //!
 //! collect runs the streaming collector service (sharded, batch-coalescing
 //! ingest) on the --substrate of choice and reports sustained rounds/sec,
@@ -36,6 +41,10 @@
 //!      TRIMGAME_EQ_SUBSTRATE=K  equilibrium substrate (same as --substrate)
 //!      TRIMGAME_EQ_SKETCH=EPS   sketch-native defender (same as --sketch)
 //!      TRIMGAME_EQ_ORACLE=1     double-oracle solver (same as --double-oracle)
+//!      TRIMGAME_COLLECT_SPILL=DIR  collect spills cold spans (and journals
+//!                               manifests) under DIR
+//!      TRIMGAME_FAULTS=SEED:RATE deterministic fault injection in collect
+//!      TRIMGAME_COLLECT_RECOVER=1  same as --recover
 //! ```
 
 use trimgame_bench::{run_experiment, EXPERIMENTS};
@@ -132,6 +141,7 @@ fn main() {
             // Double-oracle solver; equilibrium_report_from_env branches
             // on it.
             "--double-oracle" => std::env::set_var("TRIMGAME_EQ_ORACLE", "1"),
+            "--recover" => std::env::set_var("TRIMGAME_COLLECT_RECOVER", "1"),
             "all" => ids.extend(EXPERIMENTS),
             "tables" => ids.extend(["table1", "table2", "table3", "table4"]),
             "figures" => ids.extend(["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]),

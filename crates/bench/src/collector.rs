@@ -35,7 +35,9 @@
 //! worker runs, never *what* it computes. Only the wall-clock figures
 //! (throughput, latency histogram) vary across runs.
 
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -50,12 +52,18 @@ use trimgame_stream::coalesce::{
     CoalesceStats, Coalescer, CoalescerConfig, IngestRecord, LatePolicy, RoundBatch,
 };
 use trimgame_stream::compact::{Compactor, TierConfig};
+use trimgame_stream::fault::{FaultPlan, FaultSite, FaultSpec, FaultStatsSnapshot};
+use trimgame_stream::recover::{ManifestWriter, RecoveryReport};
 
 /// Stream tag for per-stream producer seeds.
 const PRODUCER_STREAM: u64 = 0x494E_4745_5354; // "INGEST"
 
 /// Stream tag for per-stream engine seeds.
 const ENGINE_STREAM: u64 = 0x53_5445_5050; // "STEPP"
+
+/// Fault-lane id offset for shard spill lanes, keeping them disjoint
+/// from the producer lanes (which use the bare stream index).
+const SPILL_LANE_BASE: u64 = 0x1000;
 
 /// Knobs of one collector service run.
 #[derive(Debug, Clone)]
@@ -89,6 +97,10 @@ pub struct CollectorConfig {
     /// sealed cold spans and (under a resident budget) spilling them.
     /// `None` keeps every span hot and uncompacted.
     pub tier: Option<TierConfig>,
+    /// Deterministic fault injection (producer stalls/disconnects, spill
+    /// write errors and tears, read bit-flips). `None` runs fault-free;
+    /// `expt collect` wires `TRIMGAME_FAULTS=<seed:rate>` in here.
+    pub faults: Option<FaultSpec>,
     /// Master seed; every stream derives its own producer and engine
     /// seeds from it.
     pub seed: u64,
@@ -108,6 +120,7 @@ impl Default for CollectorConfig {
             late_policy: LatePolicy::Drop,
             round_span: 64,
             tier: None,
+            faults: None,
             seed: 42,
         }
     }
@@ -248,6 +261,12 @@ pub struct CollectorReport {
     pub backpressure_events: u64,
     /// Merged per-record ingest latency histogram.
     pub latency: LatencyHistogram,
+    /// Faults injected over the run (all zeros when `cfg.faults` is
+    /// `None`).
+    pub faults: FaultStatsSnapshot,
+    /// Shards whose compactor ended the run demoted to freeze-only mode
+    /// by a terminal spill-write failure.
+    pub degraded_shards: usize,
     /// Wall-clock of the ingest phase.
     pub elapsed: Duration,
 }
@@ -302,6 +321,10 @@ struct Worker<S: Scenario> {
     /// rounds (after the sealed batches of a pump played) so appends are
     /// never blocked by compaction.
     compactor: Option<Compactor>,
+    /// Recovery high-watermark: rounds at or below this are already
+    /// durable in the shard's adopted spans, so a resumed run replays
+    /// them through the engine without re-posting (0 = fresh run).
+    watermark: usize,
     latency: LatencyHistogram,
     inbox: Vec<Stamped>,
     sealed: Vec<RoundBatch>,
@@ -345,18 +368,25 @@ impl<S: Scenario> Worker<S> {
     fn play_sealed(&mut self) {
         for batch in self.sealed.drain(..) {
             let step = self.stepper.step(&mut self.rng);
-            debug_assert!(
-                self.shard.last_round().is_none_or(|r| r < step.round),
-                "stream {}: non-monotone post at round {} (batch round {})",
-                self.stream,
-                step.round,
-                batch.round,
-            );
             let mut record = step.to_record();
             // The board keys on the *logical* round the batch sealed
             // for, so venue reads line up with the ingest timeline even
             // when a fully-late round was dropped.
             record.round = batch.round.max(step.round);
+            // Resume-by-replay: rounds at or below the recovered
+            // watermark are already durable in adopted spans. The engine
+            // still steps (its state must advance exactly as the
+            // original run's did), but the post is suppressed.
+            if record.round <= self.watermark {
+                continue;
+            }
+            debug_assert!(
+                self.shard.last_round().is_none_or(|r| r < record.round),
+                "stream {}: non-monotone post at round {} (batch round {})",
+                self.stream,
+                record.round,
+                batch.round,
+            );
             self.shard.post(record);
         }
     }
@@ -376,12 +406,94 @@ where
     S: Scenario,
     F: Fn(usize) -> StreamSetup<S> + Sync,
 {
+    run_collector_inner(cfg, make, None)
+}
+
+/// Resumes a crashed run from a venue rebuilt by
+/// [`RangedVenue::recover_from_spill`]: the deterministic producers
+/// replay from round 1, every round steps through the engine exactly as
+/// the original run's did, and posts at or below each shard's recovered
+/// watermark are suppressed — the adopted cold spans plus the replayed
+/// suffix converge to the bit-identical venue of an uninterrupted run.
+/// Fresh manifests are written (adopted spans re-journaled first), so a
+/// second crash recovers too.
+///
+/// # Panics
+/// Panics if the recovered venue's geometry (shard count, round span)
+/// disagrees with `cfg`, or on a degenerate configuration.
+pub fn resume_collector<S, F>(
+    cfg: &CollectorConfig,
+    make: F,
+    venue: RangedVenue,
+    recovery: &RecoveryReport,
+) -> CollectorReport
+where
+    S: Scenario,
+    F: Fn(usize) -> StreamSetup<S> + Sync,
+{
+    run_collector_inner(cfg, make, Some((venue, recovery)))
+}
+
+fn run_collector_inner<S, F>(
+    cfg: &CollectorConfig,
+    make: F,
+    resume: Option<(RangedVenue, &RecoveryReport)>,
+) -> CollectorReport
+where
+    S: Scenario,
+    F: Fn(usize) -> StreamSetup<S> + Sync,
+{
     assert!(cfg.streams > 0, "need at least one stream");
     assert!(cfg.rounds > 0, "need at least one round");
     assert!(cfg.batch > 0, "need a positive batch");
     let threads = cfg.effective_threads();
     let backpressure = AtomicU64::new(0);
-    let venue = RangedVenue::new(cfg.streams, cfg.round_span);
+    let plan = cfg.faults.map(FaultPlan::new);
+    let watermarks: Vec<usize> = resume
+        .as_ref()
+        .map_or_else(|| vec![0; cfg.streams], |(_, r)| r.watermarks(cfg.streams));
+    let venue = match &resume {
+        Some((venue, _)) => {
+            assert_eq!(
+                venue.collectors(),
+                cfg.streams,
+                "recovered venue shard count disagrees with the config"
+            );
+            assert_eq!(
+                venue.collector(0).span(),
+                cfg.round_span,
+                "recovered venue round span disagrees with the config"
+            );
+            venue.clone()
+        }
+        None => RangedVenue::new(cfg.streams, cfg.round_span),
+    };
+    // Manifests are created eagerly for every shard (not lazily on first
+    // spill): the geometry header must be durable before any span is,
+    // and a resumed run re-journals its adopted spans so a second crash
+    // still recovers them.
+    let spill_dir = cfg.tier.as_ref().and_then(|t| t.spill_dir.clone());
+    let manifests: Vec<Option<Arc<Mutex<ManifestWriter>>>> = (0..cfg.streams)
+        .map(|stream| -> Option<Arc<Mutex<ManifestWriter>>> {
+            let dir = spill_dir.as_ref()?;
+            let mut writer = ManifestWriter::create(
+                dir,
+                &format!("s{stream}"),
+                stream as u64,
+                cfg.streams as u64,
+                cfg.round_span as u64,
+            )
+            .ok()?;
+            if let Some((_, recovery)) = &resume {
+                if let Some(shard) = recovery.shards.iter().find(|r| r.shard == stream) {
+                    for span in &shard.adopted {
+                        writer.log_spilled(span).ok()?;
+                    }
+                }
+            }
+            Some(Arc::new(Mutex::new(writer)))
+        })
+        .collect();
 
     let mut channels = Vec::with_capacity(cfg.streams);
     let mut senders = Vec::with_capacity(cfg.streams);
@@ -394,12 +506,14 @@ where
     let started = Instant::now();
     let mut outcomes: Vec<StreamOutcome> = Vec::with_capacity(cfg.streams);
     let mut latency = LatencyHistogram::new();
+    let mut degraded_shards = 0usize;
     std::thread::scope(|scope| {
         // Producers: one per stream, emitting `rounds × batch` stamped
         // records through a seeded shuffle buffer (bounded disorder),
         // plus deliberate stale duplicates every `late_every` records.
         for (stream, tx) in senders.into_iter().enumerate() {
             let backpressure = &backpressure;
+            let lane = plan.as_ref().map(|p| p.lane(stream as u64));
             scope.spawn(move || {
                 let mut rng = seeded_rng(derive_seed(
                     derive_seed(cfg.seed, PRODUCER_STREAM),
@@ -417,6 +531,20 @@ where
                     let _ = tx.send(stamped);
                 };
                 for round in 1..=cfg.rounds {
+                    if let Some(lane) = &lane {
+                        if lane.fire(FaultSite::ProducerStall) {
+                            // A transient stall: the stream pauses, the
+                            // coalescer's reorder window rides it out.
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        if lane.fire(FaultSite::Disconnect) {
+                            // The producer dies mid-stream: its shuffle
+                            // buffer is lost with it and the channel
+                            // disconnects when `tx` drops. The worker
+                            // flushes what arrived and finishes cleanly.
+                            return;
+                        }
+                    }
                     for _ in 0..cfg.batch {
                         let rec = IngestRecord {
                             round,
@@ -451,6 +579,9 @@ where
         // of scheduling, so outputs cannot depend on the thread count.
         let mut handles = Vec::with_capacity(threads);
         let make = &make;
+        let plan = &plan;
+        let manifests = &manifests;
+        let watermarks = &watermarks;
         let mut rx_slots: Vec<Option<Receiver<Stamped>>> = channels.into_iter().map(Some).collect();
         for t in 0..threads {
             let mut owned: Vec<(usize, Receiver<Stamped>)> = rx_slots
@@ -465,6 +596,10 @@ where
                     .drain(..)
                     .map(|(stream, rx)| {
                         let setup = make(stream);
+                        let shard = venue.collector(stream);
+                        if let Some(plan) = plan {
+                            shard.arm_faults(plan.lane(SPILL_LANE_BASE + stream as u64));
+                        }
                         Worker {
                             stream,
                             rx,
@@ -480,11 +615,15 @@ where
                                 setup.policy_seed,
                             ),
                             rng: setup.rng,
-                            shard: venue.collector(stream),
-                            compactor: cfg
-                                .tier
-                                .clone()
-                                .map(|tier| Compactor::new(tier, format!("s{stream}"))),
+                            shard,
+                            compactor: cfg.tier.clone().map(|tier| {
+                                let compactor = Compactor::new(tier, format!("s{stream}"));
+                                match &manifests[stream] {
+                                    Some(m) => compactor.with_manifest(m.clone()),
+                                    None => compactor,
+                                }
+                            }),
+                            watermark: watermarks[stream],
                             latency: LatencyHistogram::new(),
                             inbox: Vec::new(),
                             sealed: Vec::new(),
@@ -512,14 +651,16 @@ where
                                 coalesce: w.coalescer.stats(),
                             },
                             w.latency,
+                            w.compactor.as_ref().is_some_and(Compactor::is_degraded),
                         )
                     })
                     .collect::<Vec<_>>()
             }));
         }
         for handle in handles {
-            for (outcome, hist) in handle.join().expect("ingest thread panicked") {
+            for (outcome, hist, is_degraded) in handle.join().expect("ingest thread panicked") {
                 latency.merge(&hist);
+                degraded_shards += usize::from(is_degraded);
                 outcomes.push(outcome);
             }
         }
@@ -538,6 +679,11 @@ where
         records_ingested,
         backpressure_events: backpressure.load(Ordering::Relaxed),
         latency,
+        faults: plan
+            .as_ref()
+            .map(|p| p.stats().snapshot())
+            .unwrap_or_default(),
+        degraded_shards,
         elapsed,
     }
 }
@@ -596,13 +742,16 @@ pub fn collect_report() -> String {
     // Tiering is always on for the report run; `TRIMGAME_COLLECT_BUDGET`
     // (resident bytes for cold spans) and `TRIMGAME_COLLECT_SPILL` (a
     // directory for evicted frames) tighten it for bounded-memory runs.
+    // The sharded run and the single-stream baseline spill into separate
+    // subdirectories — their shard tags would otherwise collide.
+    let spill_root = std::env::var("TRIMGAME_COLLECT_SPILL")
+        .ok()
+        .map(std::path::PathBuf::from);
     let tier = TierConfig {
         resident_budget: std::env::var("TRIMGAME_COLLECT_BUDGET")
             .ok()
             .and_then(|v| v.parse::<usize>().ok()),
-        spill_dir: std::env::var("TRIMGAME_COLLECT_SPILL")
-            .ok()
-            .map(std::path::PathBuf::from),
+        spill_dir: spill_root.as_ref().map(|p| p.join("sharded")),
         ..TierConfig::default()
     };
     let cfg = CollectorConfig {
@@ -613,8 +762,21 @@ pub fn collect_report() -> String {
         // spans and exercise the compact → evict → inflate path.
         round_span: if smoke { 8 } else { 64 },
         tier: Some(tier),
+        // Chaos runs: TRIMGAME_FAULTS=<seed:rate> injects the seeded
+        // fault schedule into the sharded run (the baseline and the
+        // recovery reference stay clean).
+        faults: FaultSpec::from_env(),
         ..CollectorConfig::default()
     };
+
+    if std::env::var("TRIMGAME_COLLECT_RECOVER").is_ok_and(|v| v == "1") {
+        let dir = spill_root
+            .as_ref()
+            .expect("TRIMGAME_COLLECT_RECOVER needs TRIMGAME_COLLECT_SPILL")
+            .join("sharded");
+        return recover_report(kind, &cfg, &dir);
+    }
+
     let sharded = run_on(kind, &cfg);
     // The single-worker channel baseline: the same total round volume
     // through one stream, one channel, one coalescer, one shard.
@@ -622,6 +784,11 @@ pub fn collect_report() -> String {
         streams: 1,
         threads: 1,
         rounds: cfg.rounds * cfg.streams,
+        tier: Some(TierConfig {
+            spill_dir: spill_root.as_ref().map(|p| p.join("single")),
+            ..cfg.tier.clone().expect("report always tiers")
+        }),
+        faults: None,
         ..cfg.clone()
     };
     let single = run_on(kind, &single_cfg);
@@ -717,6 +884,22 @@ pub fn collect_report() -> String {
         t.spill_loads,
         t.budget_overruns,
     );
+    let f = sharded.faults;
+    let _ = writeln!(
+        out,
+        "  faults: {} injected (stall {}, disconnect {}, spill-err {}, short-write {}, read-flip {})  \
+         io-retries {}  write-failures {}  lost-reads {}  degraded shards {}",
+        f.total(),
+        f.stalls,
+        f.disconnects,
+        f.spill_write_errors,
+        f.spill_short_writes,
+        f.read_corruptions,
+        t.io_retries,
+        t.spill_write_failures,
+        t.lost_span_reads,
+        sharded.degraded_shards,
+    );
     let _ = writeln!(
         out,
         "  determinism: fixed seed + fixed coalescing boundaries are bit-identical \
@@ -725,63 +908,158 @@ pub fn collect_report() -> String {
     out
 }
 
+/// `expt collect --recover`: rebuilds the venue from the spill
+/// directory's manifests, resumes the run from the recovered
+/// watermarks, and proves bit-identical convergence against a clean
+/// uninterrupted reference run.
+///
+/// # Panics
+/// Panics if the spill directory holds no recoverable manifests, or the
+/// resumed venue diverges from the uninterrupted reference.
+fn recover_report(
+    kind: crate::empirical::SubstrateKind,
+    cfg: &CollectorConfig,
+    dir: &std::path::Path,
+) -> String {
+    use std::fmt::Write as _;
+
+    let (venue, recovery) = RangedVenue::recover_from_spill(dir)
+        .unwrap_or_else(|e| panic!("recovery from {} failed: {e}", dir.display()));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "collector recovery — substrate {} ({})",
+        kind.name(),
+        dir.display(),
+    );
+    let _ = writeln!(
+        out,
+        "  recovered: {} spans ({} rounds) across {} shards  quarantined {}  rounds lost {}",
+        recovery.spans_recovered(),
+        recovery.rounds_recovered(),
+        recovery.shards.len(),
+        recovery.spans_quarantined(),
+        recovery.rounds_lost(),
+    );
+    let _ = writeln!(out, "  watermarks: {:?}", recovery.watermarks(cfg.streams),);
+
+    // Resume fault-free from the recovered watermarks, then replay the
+    // whole run fault-free and untiered as the reference.
+    let resume_cfg = CollectorConfig {
+        faults: None,
+        ..cfg.clone()
+    };
+    let resumed = run_on_inner(kind, &resume_cfg, Some((venue, &recovery)));
+    let reference_cfg = CollectorConfig {
+        tier: None,
+        faults: None,
+        ..cfg.clone()
+    };
+    let reference = run_on(kind, &reference_cfg);
+    let resumed_records = resumed.venue.merged().records();
+    let reference_records = reference.venue.merged().records();
+    assert_eq!(
+        resumed_records.len(),
+        reference_records.len(),
+        "resumed venue holds {} records, uninterrupted reference {}",
+        resumed_records.len(),
+        reference_records.len(),
+    );
+    assert!(
+        resumed_records == reference_records,
+        "resumed venue diverges from the uninterrupted reference",
+    );
+    let _ = writeln!(
+        out,
+        "  resumed: replayed to {} records across {} shards  (suppressed re-posts at/below watermarks)",
+        resumed.venue.total_len(),
+        cfg.streams,
+    );
+    let _ = writeln!(
+        out,
+        "  recovered + resumed venue is bit-identical to the uninterrupted reference \
+         ({} merged records compared)",
+        reference_records.len(),
+    );
+    out
+}
+
 /// Runs the collector on `kind`'s standard substrate instance.
 fn run_on(kind: crate::empirical::SubstrateKind, cfg: &CollectorConfig) -> CollectorReport {
+    run_on_inner(kind, cfg, None)
+}
+
+/// [`run_on`] with an optional recovered venue to resume from.
+fn run_on_inner(
+    kind: crate::empirical::SubstrateKind,
+    cfg: &CollectorConfig,
+    resume: Option<(RangedVenue, &RecoveryReport)>,
+) -> CollectorReport {
     use crate::empirical::{
         standard_ldp_population, standard_ml_dataset, standard_pool, SubstrateKind,
     };
     match kind {
         SubstrateKind::Scalar => {
             let pool = standard_pool();
-            run_collector(cfg, |stream| {
-                scalar_stream_setup(&pool, cfg.rounds, cfg.seed, stream)
-            })
+            run_collector_inner(
+                cfg,
+                |stream| scalar_stream_setup(&pool, cfg.rounds, cfg.seed, stream),
+                resume,
+            )
         }
         SubstrateKind::Ml => {
             use trim_core::ml_sim::{MlScenario, MlSimConfig};
             use trim_core::simulation::{Scheme, POLICY_SEED_STREAM};
             let data = standard_ml_dataset();
-            run_collector(cfg, |stream| {
-                let seed = derive_seed(derive_seed(cfg.seed, ENGINE_STREAM), stream as u64);
-                let ml_cfg = MlSimConfig {
-                    rounds: cfg.rounds,
-                    seed,
-                    ..MlSimConfig::new(Scheme::TitForTat, 0.9, 0.2, seed)
-                };
-                StreamSetup {
-                    scenario: MlScenario::new(&data, &ml_cfg),
-                    defender: Box::new(ml_cfg.scheme.defender(ml_cfg.tth, 1.0, ml_cfg.red)),
-                    adversary: Box::new(ml_cfg.scheme.adversary(ml_cfg.tth)),
-                    rng: seeded_rng(seed),
-                    policy_seed: derive_seed(seed, POLICY_SEED_STREAM),
-                }
-            })
+            run_collector_inner(
+                cfg,
+                |stream| {
+                    let seed = derive_seed(derive_seed(cfg.seed, ENGINE_STREAM), stream as u64);
+                    let ml_cfg = MlSimConfig {
+                        rounds: cfg.rounds,
+                        seed,
+                        ..MlSimConfig::new(Scheme::TitForTat, 0.9, 0.2, seed)
+                    };
+                    StreamSetup {
+                        scenario: MlScenario::new(&data, &ml_cfg),
+                        defender: Box::new(ml_cfg.scheme.defender(ml_cfg.tth, 1.0, ml_cfg.red)),
+                        adversary: Box::new(ml_cfg.scheme.adversary(ml_cfg.tth)),
+                        rng: seeded_rng(seed),
+                        policy_seed: derive_seed(seed, POLICY_SEED_STREAM),
+                    }
+                },
+                resume,
+            )
         }
         SubstrateKind::Ldp => {
             use trim_core::adversary::AdversaryPolicy;
             use trim_core::ldp_sim::{ldp_defender, LdpDefense, LdpScenario, LdpSimConfig};
             use trim_core::simulation::POLICY_SEED_STREAM;
             let population = standard_ldp_population();
-            run_collector(cfg, |stream| {
-                let seed = derive_seed(derive_seed(cfg.seed, ENGINE_STREAM), stream as u64);
-                let ldp_cfg = LdpSimConfig {
-                    rounds: cfg.rounds,
-                    users_per_round: 400,
-                    ..LdpSimConfig::new(3.0, 0.2, seed)
-                };
-                let defense = LdpDefense::TitForTat;
-                // The calibration round consumes the head of the main
-                // stream, exactly as the pull-based LDP driver does.
-                let mut rng = seeded_rng(seed);
-                let scenario = LdpScenario::new(&population, defense, &ldp_cfg, &mut rng);
-                StreamSetup {
-                    scenario,
-                    defender: Box::new(ldp_defender(defense, &ldp_cfg)),
-                    adversary: Box::new(AdversaryPolicy::Fixed { percentile: 1.0 }),
-                    rng,
-                    policy_seed: derive_seed(seed, POLICY_SEED_STREAM),
-                }
-            })
+            run_collector_inner(
+                cfg,
+                |stream| {
+                    let seed = derive_seed(derive_seed(cfg.seed, ENGINE_STREAM), stream as u64);
+                    let ldp_cfg = LdpSimConfig {
+                        rounds: cfg.rounds,
+                        users_per_round: 400,
+                        ..LdpSimConfig::new(3.0, 0.2, seed)
+                    };
+                    let defense = LdpDefense::TitForTat;
+                    // The calibration round consumes the head of the main
+                    // stream, exactly as the pull-based LDP driver does.
+                    let mut rng = seeded_rng(seed);
+                    let scenario = LdpScenario::new(&population, defense, &ldp_cfg, &mut rng);
+                    StreamSetup {
+                        scenario,
+                        defender: Box::new(ldp_defender(defense, &ldp_cfg)),
+                        adversary: Box::new(AdversaryPolicy::Fixed { percentile: 1.0 }),
+                        rng,
+                        policy_seed: derive_seed(seed, POLICY_SEED_STREAM),
+                    }
+                },
+                resume,
+            )
         }
     }
 }
@@ -804,6 +1082,7 @@ mod tests {
             late_policy: LatePolicy::Drop,
             round_span: 8,
             tier: None,
+            faults: None,
             seed: 7,
         }
     }
@@ -970,6 +1249,107 @@ mod tests {
             t.bytes_raw,
             t.bytes_framed,
         );
+    }
+
+    #[test]
+    fn injected_faults_are_counted_and_survived() {
+        let pool = standard_pool();
+        let spill = std::env::temp_dir().join(format!("trimgame-chaos-{}", std::process::id()));
+        let cfg = CollectorConfig {
+            rounds: 60,
+            tier: Some(TierConfig {
+                hot_tail_spans: 1,
+                resident_budget: Some(0),
+                spill_dir: Some(spill.clone()),
+            }),
+            faults: Some(FaultSpec {
+                seed: 23,
+                rate: 0.3,
+            }),
+            ..small_cfg()
+        };
+        let report = run_collector(&cfg, |stream| {
+            scalar_stream_setup(&pool, cfg.rounds, cfg.seed, stream)
+        });
+        // Zero panics by construction (we got here); every injected
+        // fault is visible in the counters and the venue still serves
+        // reads through the corrupted/retried spill tier.
+        assert!(report.faults.total() > 0, "no fault ever fired");
+        assert!(report.faults.stalls > 0, "stall site never fired");
+        assert!(report.rounds_played > 0);
+        let merged = report.venue.merged().records();
+        assert_eq!(merged.len(), report.venue.total_len());
+        let t = report.venue.tier_stats().snapshot();
+        let spill_faults = report.faults.spill_write_errors + report.faults.spill_short_writes;
+        assert!(
+            spill_faults == 0 || t.io_retries > 0 || t.spill_write_failures > 0,
+            "spill faults fired but neither retries nor terminal failures were counted"
+        );
+        let _ = std::fs::remove_dir_all(&spill);
+    }
+
+    #[test]
+    fn killed_run_recovers_and_resumes_bit_identical() {
+        // The acceptance contract: a run killed mid-stream by injected
+        // disconnects leaves durable manifests; recovery + fault-free
+        // resume converges to the bit-identical venue and engine finals
+        // of a run that was never interrupted.
+        let pool = standard_pool();
+        let spill = std::env::temp_dir().join(format!("trimgame-recover-{}", std::process::id()));
+        let tier = TierConfig {
+            hot_tail_spans: 1,
+            resident_budget: Some(0),
+            spill_dir: Some(spill.clone()),
+        };
+        let clean_cfg = CollectorConfig {
+            rounds: 80,
+            tier: Some(tier.clone()),
+            ..small_cfg()
+        };
+        let faulted_cfg = CollectorConfig {
+            faults: Some(FaultSpec {
+                seed: 601,
+                rate: 0.25,
+            }),
+            ..clean_cfg.clone()
+        };
+        let killed = run_collector(&faulted_cfg, |stream| {
+            scalar_stream_setup(&pool, faulted_cfg.rounds, faulted_cfg.seed, stream)
+        });
+        assert!(
+            killed.faults.disconnects > 0,
+            "seed must kill at least one producer mid-stream"
+        );
+        assert!(
+            killed.rounds_played < clean_cfg.rounds * clean_cfg.streams,
+            "disconnects must actually lose rounds"
+        );
+
+        let (venue, recovery) = RangedVenue::recover_from_spill(&spill).unwrap();
+        assert!(recovery.spans_recovered() > 0, "nothing was recovered");
+        let resumed = resume_collector(
+            &clean_cfg,
+            |stream| scalar_stream_setup(&pool, clean_cfg.rounds, clean_cfg.seed, stream),
+            venue,
+            &recovery,
+        );
+        let reference = run_collector(
+            &CollectorConfig {
+                tier: None,
+                ..clean_cfg.clone()
+            },
+            |stream| scalar_stream_setup(&pool, clean_cfg.rounds, clean_cfg.seed, stream),
+        );
+        assert_eq!(finals(&resumed), finals(&reference));
+        assert!(
+            resumed.venue.merged().records() == reference.venue.merged().records(),
+            "recovered + resumed venue diverges from the uninterrupted reference"
+        );
+        // The resumed run re-journaled its adopted spans: a second
+        // recovery sees at least as much durable history.
+        let (_, second) = RangedVenue::recover_from_spill(&spill).unwrap();
+        assert!(second.rounds_recovered() >= recovery.rounds_recovered());
+        let _ = std::fs::remove_dir_all(&spill);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub struct BenchCase {
 }
 
 /// The file the JSON snapshot is written to (repo root by convention).
-pub const SNAPSHOT_FILE: &str = "BENCH_PR9.json";
+pub const SNAPSHOT_FILE: &str = "BENCH_PR10.json";
 
 fn time_ns(warmup: Duration, measure: Duration, mut routine: impl FnMut()) -> f64 {
     let warm_start = Instant::now();
@@ -161,6 +161,57 @@ fn frame_cases(warmup: Duration, measure: Duration) -> Vec<BenchCase> {
             }),
         },
     ];
+
+    // The durable wire format: serialization (delta header + checksum
+    // trailer) and the checksum-verifying parse — what every spill write
+    // and every recovery-time frame verification pays.
+    let wire = frame.to_bytes();
+    cases.push(BenchCase {
+        name: "frame/wire_encode/256".into(),
+        mean_ns: time_ns(warmup, measure, || {
+            std::hint::black_box(frame.to_bytes().len());
+        }),
+    });
+    cases.push(BenchCase {
+        name: "frame/wire_decode/256".into(),
+        mean_ns: time_ns(warmup, measure, || {
+            std::hint::black_box(Frame::from_bytes(&wire).expect("valid wire frame").len());
+        }),
+    });
+
+    // Manifest journal replay: parse a 64-span spill manifest — the
+    // fixed cost `recover_from_spill` pays per shard before any frame
+    // verification.
+    {
+        use trimgame_stream::recover::{read_manifest, ManifestWriter, SpanManifest};
+        let dir =
+            std::env::temp_dir().join(format!("trimgame-perf-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("perf manifest dir");
+        let mut writer = ManifestWriter::create(&dir, "perf", 0, 1, 64).expect("manifest writer");
+        for idx in 0..64_u64 {
+            writer
+                .log_spilled(&SpanManifest {
+                    span_idx: idx,
+                    base_round: idx * 64 + 1,
+                    last_round: (idx + 1) * 64,
+                    len: 64,
+                    frame_crc: 0xDEAD_BEEF ^ idx as u32,
+                    file_name: format!("perf-{idx:05}.tgf"),
+                })
+                .expect("log spilled span");
+        }
+        drop(writer);
+        let path = dir.join("perf.manifest");
+        cases.push(BenchCase {
+            name: "recover/manifest_read/64".into(),
+            mean_ns: time_ns(warmup, measure, || {
+                let mf = read_manifest(&path).expect("readable manifest");
+                std::hint::black_box(mf.entries.len());
+            }),
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     // A 4096-round board at span 64 with every cold span framed: the
     // hot-suffix read (last span only) against the full cold scan.
@@ -667,7 +718,7 @@ mod tests {
     #[test]
     fn suite_runs_with_tiny_windows_and_serializes() {
         let cases = run_cases(Duration::from_millis(1), Duration::from_millis(2));
-        assert_eq!(cases.len(), 40);
+        assert_eq!(cases.len(), 43);
         for case in &cases {
             assert!(case.mean_ns > 0.0, "{}: {}", case.name, case.mean_ns);
         }
@@ -680,6 +731,9 @@ mod tests {
         assert!(json.contains("\"gk/ingest_batches4_warm/10000\""));
         assert!(json.contains("\"frame/encode/256\""));
         assert!(json.contains("\"frame/decode/256\""));
+        assert!(json.contains("\"frame/wire_encode/256\""));
+        assert!(json.contains("\"frame/wire_decode/256\""));
+        assert!(json.contains("\"recover/manifest_read/64\""));
         assert!(json.contains("\"board/hot_suffix_read_tiered/4096\""));
         assert!(json.contains("\"board/cold_scan_tiered/4096\""));
         assert!(json.contains("\"gk/ingest_batch_warm/10000\""));

@@ -38,11 +38,12 @@
 //! both shard dimensions.
 
 use crate::compact::TierStats;
-use crate::frame::Frame;
+use crate::fault::{with_retry, FaultLane, FaultSite, RetryPolicy};
+use crate::frame::{crc32, Frame};
 use parking_lot::RwLock;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use trimgame_numerics::stats::OnlineStats;
 
 /// One round's public record.
@@ -437,6 +438,9 @@ pub struct RangedBoard {
     /// LRU clock: bumped per cold-capable read, stamped onto the spans
     /// the read touches.
     clock: Arc<AtomicU64>,
+    /// Injected-fault lane for this board's spill I/O (tests and chaos
+    /// smokes only; unarmed boards take the fast path).
+    faults: Arc<OnceLock<FaultLane>>,
 }
 
 /// One span's storage slot: its tier plus the LRU stamp of the last read
@@ -482,6 +486,32 @@ enum TierHandle {
     Spilled(SpilledSpan),
 }
 
+/// What a successful span freeze produced, for the spill manifest (byte
+/// accounting goes straight into [`TierStats`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FreezeReceipt {
+    /// Records in the span.
+    pub len: usize,
+    /// First round the span holds.
+    pub base_round: usize,
+    /// Last round the span holds.
+    pub last_round: usize,
+}
+
+/// What a successful span spill produced — everything the durable
+/// manifest needs to find and verify the file again after a crash.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpillReceipt {
+    /// Records in the span.
+    pub len: usize,
+    /// First round the span holds.
+    pub base_round: usize,
+    /// Last round the span holds.
+    pub last_round: usize,
+    /// CRC-32 of the complete spill file.
+    pub file_crc: u32,
+}
+
 /// Kinds + accounting summary of one span, for the compaction policy.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct SpanSummary {
@@ -524,7 +554,14 @@ impl RangedBoard {
             last_round: Arc::new(AtomicUsize::new(0)),
             stats,
             clock: Arc::new(AtomicU64::new(0)),
+            faults: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Arms this board's spill I/O with an injected-fault lane (chaos
+    /// smokes and tests). First arm wins; later calls are ignored.
+    pub fn arm_faults(&self, lane: FaultLane) {
+        let _ = self.faults.set(lane);
     }
 
     /// Rounds per range shard.
@@ -599,9 +636,13 @@ impl RangedBoard {
 
     /// Decodes a cold handle back into records, counting the inflation.
     ///
-    /// # Panics
-    /// Panics if a spilled frame's file cannot be read back — the spill
-    /// tier *is* the data; losing it is unrecoverable.
+    /// A spilled frame's file is the span's only copy, so reads go
+    /// through bounded retry-with-backoff (transient errors — including
+    /// injected bit-flips, which the frame checksum catches — get fresh
+    /// attempts). A read that stays unreadable is *quarantined*: counted
+    /// in [`TierStats`] as a lost span read and returned as an empty
+    /// span, never a panic — the venue degrades to the records it can
+    /// still serve.
     fn inflate(&self, handle: &TierHandle) -> Arc<[RoundRecord]> {
         match handle {
             TierHandle::Hot(_) => unreachable!("hot spans are never inflated"),
@@ -612,12 +653,22 @@ impl RangedBoard {
             TierHandle::Spilled(spill) => {
                 self.stats.count_spill_load();
                 self.stats.count_inflation();
-                let bytes = std::fs::read(&spill.path)
-                    .unwrap_or_else(|e| panic!("spilled span {} lost: {e}", spill.path.display()));
-                let frame = Frame::from_bytes(&bytes).unwrap_or_else(|e| {
-                    panic!("spilled span {} corrupt: {e}", spill.path.display())
-                });
-                frame.decode().into()
+                let (result, retries) =
+                    with_retry(&RetryPolicy::default(), std::thread::sleep, || {
+                        let mut bytes = std::fs::read(&spill.path).map_err(|e| e.to_string())?;
+                        if let Some(lane) = self.faults.get() {
+                            lane.corrupt_read(&mut bytes);
+                        }
+                        Frame::from_bytes(&bytes).map_err(|e| e.to_string())
+                    });
+                self.stats.add_io_retries(u64::from(retries));
+                match result {
+                    Ok(frame) => frame.decode().into(),
+                    Err(_) => {
+                        self.stats.count_lost_span_read();
+                        Vec::new().into()
+                    }
+                }
             }
         }
     }
@@ -667,9 +718,10 @@ impl RangedBoard {
 
     /// Compacts hot span `idx` into a resident frame. Encoding runs
     /// outside the span lock; the swap re-checks that the span is still
-    /// the hot board it encoded. Returns `(raw_bytes, framed_bytes)` on
-    /// success, `None` if the span is missing, empty, or already cold.
-    pub(crate) fn freeze_span(&self, idx: usize) -> Option<(usize, usize)> {
+    /// the hot board it encoded. Returns the freeze's accounting receipt
+    /// on success, `None` if the span is missing, empty, or already
+    /// cold.
+    pub(crate) fn freeze_span(&self, idx: usize) -> Option<FreezeReceipt> {
         let board = {
             let guard = self.spans.read();
             match &guard.get(idx)?.tier {
@@ -681,6 +733,11 @@ impl RangedBoard {
         let raw_bytes = records.len() * std::mem::size_of::<RoundRecord>();
         let frame = Arc::new(Frame::encode(&records));
         let framed_bytes = frame.packed_bytes();
+        let receipt = FreezeReceipt {
+            len: records.len(),
+            base_round: records[0].round,
+            last_round: records[records.len() - 1].round,
+        };
         let mut guard = self.spans.write();
         let slot = guard.get_mut(idx)?;
         match &slot.tier {
@@ -690,20 +747,26 @@ impl RangedBoard {
                 slot.tier = SpanTier::Framed(frame);
                 self.stats
                     .count_frame(records.len() as u64, raw_bytes as u64, framed_bytes as u64);
-                Some((raw_bytes, framed_bytes))
+                Some(receipt)
             }
             _ => None,
         }
     }
 
     /// Evicts framed span `idx` to a disk file at `path`, leaving nothing
-    /// resident. File IO runs outside the span lock. Returns the bytes
-    /// freed, or `None` if the span is not currently a resident frame.
+    /// resident. File IO runs outside the span lock. Returns the spill's
+    /// manifest-grade receipt, or `Ok(None)` if the span is not currently
+    /// a resident frame.
     ///
     /// # Errors
-    /// Returns the IO error if the spill file cannot be written; the span
-    /// stays framed and resident.
-    pub(crate) fn spill_span(&self, idx: usize, path: PathBuf) -> std::io::Result<Option<usize>> {
+    /// Returns the IO error if the spill file cannot be written (an armed
+    /// fault lane can inject outright failures and torn half-writes
+    /// here); the span stays framed and resident.
+    pub(crate) fn spill_span(
+        &self,
+        idx: usize,
+        path: PathBuf,
+    ) -> std::io::Result<Option<SpillReceipt>> {
         let frame = {
             let guard = self.spans.read();
             match guard.get(idx).map(|s| &s.tier) {
@@ -711,22 +774,67 @@ impl RangedBoard {
                 _ => return Ok(None),
             }
         };
-        std::fs::write(&path, frame.to_bytes())?;
+        let bytes = frame.to_bytes();
+        if let Some(lane) = self.faults.get() {
+            if lane.fire(FaultSite::SpillWriteError) {
+                return Err(std::io::Error::other("injected spill write error"));
+            }
+            if lane.fire(FaultSite::SpillShortWrite) {
+                // A torn write: half the frame lands, then the error —
+                // exactly what recovery's checksum must catch.
+                std::fs::write(&path, &bytes[..bytes.len() / 2])?;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "injected short spill write",
+                ));
+            }
+        }
+        let file_crc = crc32(&bytes);
+        std::fs::write(&path, bytes)?;
         let mut guard = self.spans.write();
         let Some(slot) = guard.get_mut(idx) else {
             return Ok(None);
         };
         match &slot.tier {
             SpanTier::Framed(f) if Arc::ptr_eq(f, &frame) => {
+                let receipt = SpillReceipt {
+                    len: frame.len(),
+                    base_round: frame.base_round(),
+                    last_round: frame.last_round(),
+                    file_crc,
+                };
                 slot.tier = SpanTier::Spilled(SpilledSpan {
                     path,
                     len: frame.len(),
                 });
                 self.stats.count_spill_write();
-                Ok(Some(frame.packed_bytes()))
+                Ok(Some(receipt))
             }
             _ => Ok(None),
         }
+    }
+
+    /// Adopts a recovered spilled span back into this (empty) board —
+    /// the rebuild path of `RangedVenue::recover_from_spill`. Spans must
+    /// adopt in index order so reads walk them contiguously.
+    ///
+    /// # Panics
+    /// Panics if `idx` is not the next span slot.
+    pub(crate) fn adopt_spilled_span(
+        &self,
+        idx: usize,
+        path: PathBuf,
+        len: usize,
+        last_round: usize,
+    ) {
+        let mut guard = self.spans.write();
+        assert_eq!(guard.len(), idx, "recovered spans adopt in order");
+        guard.push(SpanSlot {
+            tier: SpanTier::Spilled(SpilledSpan { path, len }),
+            touched: AtomicU64::new(0),
+        });
+        self.len.fetch_add(len, Ordering::Relaxed);
+        self.last_round.fetch_max(last_round, Ordering::Relaxed);
     }
 
     /// Appends a round record — O(1) routing to the live span, no scan of

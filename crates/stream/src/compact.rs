@@ -21,10 +21,24 @@
 //! module); [`TierStats`] counts frames built, bytes before/after,
 //! inflations, spill writes/loads and budget overruns, and the collector
 //! report surfaces them next to the coalesce/backpressure counters.
+//!
+//! **Fault tolerance.** Spill writes go through bounded
+//! retry-with-backoff ([`crate::fault::with_retry`]); a write that stays
+//! broken is counted as a terminal spill-write failure and flips the
+//! compactor into *degraded freeze-only mode* — spans still compact to
+//! resident frames, nothing is evicted, budget overruns are counted
+//! honestly, and the worker is never poisoned by a dying disk. When a
+//! [`crate::recover::ManifestWriter`] is attached, every freeze and
+//! spill is journaled so a crashed run's cold tiers can be rebuilt by
+//! [`crate::board::RangedVenue::recover_from_spill`].
 
 use crate::board::RangedBoard;
+use crate::fault::{with_retry, RetryPolicy};
+use crate::recover::{ManifestWriter, SpanManifest};
+use parking_lot::Mutex;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Knobs of the storage tiers.
 #[derive(Debug, Clone)]
@@ -63,6 +77,9 @@ pub struct TierStats {
     spill_writes: AtomicU64,
     spill_loads: AtomicU64,
     budget_overruns: AtomicU64,
+    io_retries: AtomicU64,
+    spill_write_failures: AtomicU64,
+    lost_span_reads: AtomicU64,
 }
 
 /// A point-in-time copy of [`TierStats`].
@@ -84,6 +101,14 @@ pub struct TierStatsSnapshot {
     pub spill_loads: u64,
     /// Maintenance passes that ended over budget with no way to evict.
     pub budget_overruns: u64,
+    /// Spill I/O attempts that failed transiently and were retried.
+    pub io_retries: u64,
+    /// Spill writes that stayed broken through the whole retry budget
+    /// (each one degrades its compactor to freeze-only mode).
+    pub spill_write_failures: u64,
+    /// Spilled spans whose file stayed unreadable through the retry
+    /// budget and were served as empty (quarantined) spans.
+    pub lost_span_reads: u64,
 }
 
 impl TierStats {
@@ -110,6 +135,18 @@ impl TierStats {
         self.budget_overruns.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_io_retries(&self, retries: u64) {
+        self.io_retries.fetch_add(retries, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_spill_write_failure(&self) {
+        self.spill_write_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_lost_span_read(&self) {
+        self.lost_span_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the counters out.
     #[must_use]
     pub fn snapshot(&self) -> TierStatsSnapshot {
@@ -122,6 +159,9 @@ impl TierStats {
             spill_writes: self.spill_writes.load(Ordering::Relaxed),
             spill_loads: self.spill_loads.load(Ordering::Relaxed),
             budget_overruns: self.budget_overruns.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            spill_write_failures: self.spill_write_failures.load(Ordering::Relaxed),
+            lost_span_reads: self.lost_span_reads.load(Ordering::Relaxed),
         }
     }
 }
@@ -138,6 +178,12 @@ const MAX_FREEZES_PER_RUN: usize = 4;
 pub struct Compactor {
     config: TierConfig,
     tag: String,
+    /// Durable journal of freezes and spills; `None` runs unjournaled
+    /// (crash recovery then has nothing to rebuild from).
+    manifest: Option<Arc<Mutex<ManifestWriter>>>,
+    /// Latches true on a terminal spill-write failure; clones share it.
+    degraded: Arc<AtomicBool>,
+    retry: RetryPolicy,
 }
 
 impl Compactor {
@@ -148,13 +194,31 @@ impl Compactor {
         Self {
             config,
             tag: tag.into(),
+            manifest: None,
+            degraded: Arc::new(AtomicBool::new(false)),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Attaches the shard's durable spill manifest: every freeze and
+    /// spill this compactor performs is journaled through it.
+    #[must_use]
+    pub fn with_manifest(mut self, manifest: Arc<Mutex<ManifestWriter>>) -> Self {
+        self.manifest = Some(manifest);
+        self
     }
 
     /// The configuration this compactor applies.
     #[must_use]
     pub fn config(&self) -> &TierConfig {
         &self.config
+    }
+
+    /// True once a terminal spill-write failure has demoted this
+    /// compactor (and its clones) to freeze-only mode.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     /// One maintenance pass over `board`: freeze up to
@@ -178,7 +242,14 @@ impl Compactor {
             if span.is_hot && span.len > 0 && eligible(span.idx) {
                 // `freeze_span` counts the frame into the stats itself;
                 // a lost race (slot no longer hot) is simply skipped.
-                if board.freeze_span(span.idx).is_some() {
+                if let Some(receipt) = board.freeze_span(span.idx) {
+                    self.log_frozen(
+                        &stats,
+                        span.idx,
+                        receipt.base_round,
+                        receipt.last_round,
+                        receipt.len,
+                    );
                     frozen += 1;
                 }
             }
@@ -187,6 +258,21 @@ impl Compactor {
         let Some(budget) = self.config.resident_budget else {
             return;
         };
+        if self.is_degraded() {
+            // Freeze-only mode: the spill tier already proved broken, so
+            // eviction is off the table. Stay honest about the overage.
+            let over = board
+                .span_summaries()
+                .iter()
+                .filter(|s| eligible(s.idx))
+                .map(|s| s.resident_bytes)
+                .sum::<usize>()
+                > budget;
+            if over {
+                stats.count_budget_overrun();
+            }
+            return;
+        }
         loop {
             let spans = board.span_summaries();
             let resident: usize = spans
@@ -213,7 +299,14 @@ impl Compactor {
                     .find(|s| s.is_hot && s.len > 0 && eligible(s.idx))
                     .map(|s| s.idx);
                 if let Some(idx) = backlog {
-                    if board.freeze_span(idx).is_some() {
+                    if let Some(receipt) = board.freeze_span(idx) {
+                        self.log_frozen(
+                            &stats,
+                            idx,
+                            receipt.base_round,
+                            receipt.last_round,
+                            receipt.len,
+                        );
                         continue;
                     }
                 }
@@ -228,15 +321,66 @@ impl Compactor {
                 stats.count_budget_overrun();
                 return;
             }
-            let path = dir.join(format!("{}-span{idx}.frame", self.tag));
-            match board.spill_span(idx, path) {
-                Ok(Some(_)) => {}
-                Ok(None) | Err(_) => {
-                    // Racing state change or IO failure: count and stop
-                    // rather than spin.
+            let name = format!("{}-span{idx}.frame", self.tag);
+            let path = dir.join(&name);
+            // Transient write failures (a flaky disk, an injected fault)
+            // get a bounded retry budget; a write that stays broken
+            // demotes the compactor to freeze-only instead of poisoning
+            // the worker.
+            let (result, retries) = with_retry(&self.retry, std::thread::sleep, || {
+                board.spill_span(idx, path.clone())
+            });
+            stats.add_io_retries(u64::from(retries));
+            match result {
+                Ok(Some(receipt)) => {
+                    if let Some(manifest) = &self.manifest {
+                        let entry = SpanManifest {
+                            span_idx: idx as u64,
+                            base_round: receipt.base_round as u64,
+                            last_round: receipt.last_round as u64,
+                            len: receipt.len as u64,
+                            frame_crc: receipt.file_crc,
+                            file_name: name,
+                        };
+                        if manifest.lock().log_spilled(&entry).is_err() {
+                            stats.count_spill_write_failure();
+                        }
+                    }
+                }
+                Ok(None) => {
+                    // Racing state change: count and stop rather than
+                    // spin.
                     stats.count_budget_overrun();
                     return;
                 }
+                Err(_) => {
+                    stats.count_spill_write_failure();
+                    self.degraded.store(true, Ordering::Relaxed);
+                    stats.count_budget_overrun();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Journals a freeze when a manifest is attached; journal failures
+    /// count as spill-write failures (the journal shares the tier's
+    /// disk).
+    fn log_frozen(
+        &self,
+        stats: &TierStats,
+        idx: usize,
+        base_round: usize,
+        last_round: usize,
+        len: usize,
+    ) {
+        if let Some(manifest) = &self.manifest {
+            let ok = manifest
+                .lock()
+                .log_frozen(idx as u64, base_round as u64, last_round as u64, len as u64)
+                .is_ok();
+            if !ok {
+                stats.count_spill_write_failure();
             }
         }
     }

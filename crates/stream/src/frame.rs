@@ -26,6 +26,15 @@
 //! reader observing the difference. [`Frame::to_bytes`] /
 //! [`Frame::from_bytes`] give the same frame a portable byte layout for
 //! the disk spill tier.
+//!
+//! **Wire format versions.** `TGF2` (written by [`Frame::to_bytes`]) is
+//! the `TGF1` layout plus a trailing [`crc32`] over every preceding byte,
+//! so a torn write or bit flip on the spill tier is detected before any
+//! structure is trusted ([`FrameError::ChecksumMismatch`]). `TGF1` files
+//! written by earlier builds still deserialize. [`Frame::from_bytes`]
+//! never panics on arbitrary input: every length, width, dictionary and
+//! round-delta invariant is validated with checked arithmetic before a
+//! single allocation is sized from untrusted bytes.
 
 use crate::board::RoundRecord;
 use std::fmt;
@@ -36,6 +45,44 @@ use trimgame_numerics::stats::OnlineStats;
 /// presence + value, received, trimmed, the five raw [`OnlineStats`]
 /// accumulator fields, and quality.
 const NUM_COLS: usize = 12;
+
+/// Format cap on rows per frame. Real spans hold at most a few thousand
+/// records; the cap exists so a corrupt length field can never size a
+/// multi-gigabyte decode allocation.
+const MAX_FRAME_ROWS: usize = 1 << 24;
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time —
+/// the workspace vendors no checksum crate.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the checksum guarding the `TGF2` frame
+/// trailer and every spill-manifest entry (see [`crate::recover`]).
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
 
 /// Bits needed to represent `residual` (0 for a zero residual — constant
 /// columns cost no row bits at all).
@@ -126,10 +173,14 @@ impl Column {
     }
 
     /// The row value at absolute bit offset `bit` (i.e. `idx * width`).
+    /// The packed reconstruction wraps: for a frame built by
+    /// [`Column::encode`] the sum never overflows (`raw = v - min`), and
+    /// wrapping keeps a deserialized-then-corrupt column from panicking
+    /// in debug builds instead of decoding to a wrong-but-typed value.
     fn value_at_bit(&self, bit: usize) -> u64 {
         let raw = read_bits(&self.words, bit, self.width);
         match &self.mode {
-            ColumnMode::Packed { min } => min + raw,
+            ColumnMode::Packed { min } => min.wrapping_add(raw),
             ColumnMode::Dict { dict } => dict[raw as usize],
         }
     }
@@ -287,7 +338,7 @@ impl Frame {
     }
 
     /// Serializes the frame to the spill tier's portable byte layout
-    /// (little-endian, magic-tagged).
+    /// (little-endian, magic-tagged, CRC-trailed `TGF2`).
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.packed_bytes() + 64);
@@ -320,24 +371,61 @@ impl Frame {
                 out.extend_from_slice(&w.to_le_bytes());
             }
         }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
         out
     }
 
-    /// Deserializes a frame written by [`Frame::to_bytes`].
+    /// Deserializes a frame written by [`Frame::to_bytes`] — either the
+    /// current CRC-trailed `TGF2` layout or the legacy `TGF1` one.
     ///
     /// # Errors
     /// Returns a [`FrameError`] if the bytes are truncated, carry the
-    /// wrong magic, or violate the format's internal invariants.
+    /// wrong magic, fail the `TGF2` checksum, or violate the format's
+    /// internal invariants. Never panics, whatever the input.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, FrameError> {
-        let mut r = ByteReader { bytes, pos: 0 };
-        if r.take(MAGIC.len())? != MAGIC {
+        let body = if bytes.starts_with(MAGIC) {
+            // TGF2: a trailing CRC-32 over everything before it. Verify
+            // before trusting any structure.
+            if bytes.len() < MAGIC.len() + 4 {
+                return Err(FrameError::Truncated);
+            }
+            let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+            let stored = u32::from_le_bytes(trailer.try_into().expect("4-byte trailer"));
+            if crc32(payload) != stored {
+                return Err(FrameError::ChecksumMismatch);
+            }
+            &payload[MAGIC.len()..]
+        } else if bytes.starts_with(MAGIC_V1) {
+            &bytes[MAGIC_V1.len()..]
+        } else if bytes.len() < MAGIC.len() {
+            return Err(FrameError::Truncated);
+        } else {
             return Err(FrameError::BadMagic);
-        }
-        let len = r.u64()? as usize;
-        let base_round = r.u64()? as usize;
-        let last_round = r.u64()? as usize;
+        };
+        Self::parse_body(body)
+    }
+
+    /// Parses the version-independent frame body (everything between the
+    /// magic and the optional checksum trailer).
+    fn parse_body(body: &[u8]) -> Result<Self, FrameError> {
+        let mut r = ByteReader {
+            bytes: body,
+            pos: 0,
+        };
+        let len = usize::try_from(r.u64()?).map_err(|_| FrameError::Corrupt("row count"))?;
+        let base_round =
+            usize::try_from(r.u64()?).map_err(|_| FrameError::Corrupt("base round"))?;
+        let last_round =
+            usize::try_from(r.u64()?).map_err(|_| FrameError::Corrupt("last round"))?;
         if len == 0 {
             return Err(FrameError::Corrupt("empty frame"));
+        }
+        if len > MAX_FRAME_ROWS {
+            return Err(FrameError::Corrupt("row count past format cap"));
+        }
+        if last_round < base_round {
+            return Err(FrameError::Corrupt("round range inverted"));
         }
         let mut columns = Vec::with_capacity(NUM_COLS);
         for _ in 0..NUM_COLS {
@@ -352,6 +440,11 @@ impl Frame {
                     let d = r.u64()? as usize;
                     if d == 0 || d > len {
                         return Err(FrameError::Corrupt("dictionary size out of range"));
+                    }
+                    // Bound the allocation by the bytes actually present
+                    // before sizing a Vec from an untrusted count.
+                    if d > r.remaining() / 8 {
+                        return Err(FrameError::Truncated);
                     }
                     let mut dict = Vec::with_capacity(d);
                     for _ in 0..d {
@@ -368,8 +461,15 @@ impl Frame {
                 _ => return Err(FrameError::Corrupt("unknown column mode")),
             };
             let word_count = r.u64()? as usize;
-            if word_count != (width as usize * len).div_ceil(64) {
+            let expect_words = (width as usize)
+                .checked_mul(len)
+                .map(|bits| bits.div_ceil(64))
+                .ok_or(FrameError::Corrupt("column bit count overflow"))?;
+            if word_count != expect_words {
                 return Err(FrameError::Corrupt("word count mismatch"));
+            }
+            if word_count > r.remaining() / 8 {
+                return Err(FrameError::Truncated);
             }
             let mut words = Vec::with_capacity(word_count);
             for _ in 0..word_count {
@@ -389,6 +489,14 @@ impl Frame {
                 }
             }
         }
+        // Round deltas must stay inside the declared round range, so
+        // `with_base` can never overflow past `last_round`.
+        let span = (last_round - base_round) as u64;
+        for idx in 0..len {
+            if columns[0].get(idx) > span {
+                return Err(FrameError::Corrupt("round delta out of range"));
+            }
+        }
         Ok(Self {
             len,
             base_round,
@@ -398,8 +506,12 @@ impl Frame {
     }
 }
 
-/// Spill-file magic: "TGF" + format version.
-const MAGIC: &[u8] = b"TGF1";
+/// Spill-file magic: "TGF" + format version (CRC-trailed).
+const MAGIC: &[u8] = b"TGF2";
+
+/// Legacy spill-file magic: the same body layout with no checksum
+/// trailer. Still readable; never written.
+const MAGIC_V1: &[u8] = b"TGF1";
 
 /// Rebuilds a record from the twelve raw column values.
 fn record_from_raw(v: [u64; NUM_COLS]) -> RawRecord {
@@ -481,6 +593,10 @@ impl<'a> ByteReader<'a> {
         Ok(out)
     }
 
+    fn remaining(&self) -> usize {
+        self.bytes.len().saturating_sub(self.pos)
+    }
+
     fn u8(&mut self) -> Result<u8, FrameError> {
         Ok(self.take(1)?[0])
     }
@@ -499,6 +615,8 @@ pub enum FrameError {
     Truncated,
     /// The leading magic/version tag is not this format's.
     BadMagic,
+    /// The `TGF2` CRC-32 trailer disagrees with the payload.
+    ChecksumMismatch,
     /// A structural invariant of the format is violated.
     Corrupt(&'static str),
 }
@@ -507,7 +625,8 @@ impl fmt::Display for FrameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Truncated => write!(f, "frame bytes truncated"),
-            Self::BadMagic => write!(f, "not a TGF1 frame"),
+            Self::BadMagic => write!(f, "not a TGF frame"),
+            Self::ChecksumMismatch => write!(f, "frame checksum mismatch"),
             Self::Corrupt(what) => write!(f, "corrupt frame: {what}"),
         }
     }
@@ -646,20 +765,63 @@ mod tests {
     fn deserialization_rejects_corruption() {
         let bytes = Frame::encode(&sample_records(20)).to_bytes();
         assert_eq!(Frame::from_bytes(&[]), Err(FrameError::Truncated));
+        // Dropping the last byte breaks the CRC trailer before any
+        // structural check runs.
         assert_eq!(
             Frame::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(FrameError::ChecksumMismatch)
+        );
+        // Truncating into the body (trailer gone entirely) is length-caught.
+        assert_eq!(
+            Frame::from_bytes(&bytes[..MAGIC.len() + 2]),
             Err(FrameError::Truncated)
         );
         let mut bad_magic = bytes.clone();
         bad_magic[0] = b'X';
         assert_eq!(Frame::from_bytes(&bad_magic), Err(FrameError::BadMagic));
-        // Flipping a tag byte lands on an unknown mode or a mismatched
-        // layout — anything but silent acceptance of wrong structure.
-        let mut bad_tag = bytes.clone();
-        bad_tag[MAGIC.len() + 24] = 7;
-        assert!(Frame::from_bytes(&bad_tag).is_err());
+        // Any single-byte flip in the payload is caught by the checksum.
+        let mut flipped = bytes.clone();
+        flipped[MAGIC.len() + 24] ^= 0x55;
+        assert_eq!(
+            Frame::from_bytes(&flipped),
+            Err(FrameError::ChecksumMismatch)
+        );
+        // A flip in the trailer itself likewise fails verification.
+        let mut bad_crc = bytes.clone();
+        *bad_crc.last_mut().unwrap() ^= 0xFF;
+        assert_eq!(
+            Frame::from_bytes(&bad_crc),
+            Err(FrameError::ChecksumMismatch)
+        );
         let shown = format!("{}", FrameError::Corrupt("word count mismatch"));
         assert!(shown.contains("word count"));
+        assert!(format!("{}", FrameError::ChecksumMismatch).contains("checksum"));
+    }
+
+    #[test]
+    fn legacy_tgf1_frames_still_deserialize() {
+        let records = sample_records(50);
+        let frame = Frame::encode(&records);
+        // Rebuild the v1 wire image: same body, v1 magic, no trailer.
+        let mut v1 = frame.to_bytes();
+        v1.truncate(v1.len() - 4);
+        v1[..MAGIC_V1.len()].copy_from_slice(MAGIC_V1);
+        let back = Frame::from_bytes(&v1).expect("TGF1 stays readable");
+        assert_eq!(frame, back);
+        // The v1 path has no checksum: corruption inside a column lands on
+        // a structural error (or decodes — never a panic), while body
+        // truncation is still length-caught.
+        assert_eq!(
+            Frame::from_bytes(&v1[..v1.len() - 1]),
+            Err(FrameError::Truncated)
+        );
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

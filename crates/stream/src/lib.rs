@@ -28,14 +28,22 @@
 //! * [`collector`] — per-round collect → trim → record pipeline.
 //! * [`round`] — the generic round loop gluing streams, injectors and
 //!   threshold policies together.
+//! * [`fault`] — deterministic seeded fault injection (stalls,
+//!   disconnects, torn spill writes, read bit-flips) plus the bounded
+//!   retry-with-backoff wrapper the spill I/O paths use.
+//! * [`recover`] — durable per-shard spill manifests and
+//!   [`RangedVenue::recover_from_spill`], the crash-recovery path that
+//!   rebuilds a venue's cold tiers from its spill directory.
 
 pub mod board;
 pub mod channel;
 pub mod coalesce;
 pub mod collector;
 pub mod compact;
+pub mod fault;
 pub mod frame;
 pub mod quality;
+pub mod recover;
 pub mod round;
 pub mod trim;
 
@@ -48,8 +56,16 @@ pub use coalesce::{
 };
 pub use collector::Collector;
 pub use compact::{Compactor, TierConfig, TierStats, TierStatsSnapshot};
+pub use fault::{
+    with_retry, FaultLane, FaultPlan, FaultSite, FaultSpec, FaultStats, FaultStatsSnapshot,
+    RetryPolicy,
+};
 pub use frame::{Frame, FrameCursor, FrameError};
 pub use quality::{MeanShiftQuality, QualityEvaluation, TailMassQuality};
+pub use recover::{
+    read_manifest, ManifestEntry, ManifestFile, ManifestWriter, RecoveryReport, ShardRecovery,
+    SpanManifest,
+};
 pub use round::{run_rounds, RoundOutcome};
 pub use trim::{
     trim, SketchThreshold, TrimOp, TrimOutcome, TrimScratch, TrimScratchF32, TrimStats,

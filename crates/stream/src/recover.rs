@@ -1,0 +1,627 @@
+//! Durable spill manifests and crash recovery for tiered venues.
+//!
+//! The spill tier *is* the data once a span is evicted, but a spill
+//! directory full of `<tag>-span<idx>.frame` files is mute about which
+//! venue they belonged to, what geometry it had, or whether a file is
+//! whole. This module adds the missing durability layer:
+//!
+//! * **Manifests** — one append-only `<tag>.manifest` file per shard.
+//!   The first entry records the venue geometry (shard index, collector
+//!   count, round span); every later entry records a span transition
+//!   (frozen into a frame, or spilled to a named file with the file's
+//!   CRC-32). Each entry is length-guarded and checksummed and written
+//!   with a single `write_all`, so a crash can tear at most the tail
+//!   entry — which [`read_manifest`] truncates away cleanly.
+//! * **Recovery** — [`RangedVenue::recover_from_spill`] rebuilds a
+//!   venue's cold tiers from the manifests plus the frame files they
+//!   name, verifying every file's checksum. Spans are adopted strictly
+//!   in order; the first unreadable or missing span *quarantines* the
+//!   rest of that shard (adopting past a hole would duplicate rounds on
+//!   resume), and the [`RecoveryReport`] accounts for every span and
+//!   round either recovered or lost.
+//!
+//! A resumed run replays its deterministic producers from round 1,
+//! suppresses re-posting of rounds at or below each shard's recovered
+//! watermark, and converges to the bit-identical board state of an
+//! uninterrupted run — the `trimgame_bench` collector wires this up and
+//! test-enforces the equivalence.
+
+use crate::board::RangedVenue;
+use crate::frame::{crc32, Frame};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Manifest entry kind tags.
+const KIND_INIT: u8 = 0;
+const KIND_FROZEN: u8 = 1;
+const KIND_SPILLED: u8 = 2;
+
+/// Largest legal entry payload — far above any real entry, low enough
+/// that a corrupt length field cannot ask for an absurd allocation.
+const MAX_ENTRY_BYTES: usize = 4096;
+
+/// The manifest file path for shard `tag` under `dir`.
+#[must_use]
+pub fn manifest_path(dir: &Path, tag: &str) -> PathBuf {
+    dir.join(format!("{tag}.manifest"))
+}
+
+/// One spilled span's durable identity: enough to find its frame file,
+/// verify it byte-for-byte, and account for its rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanManifest {
+    /// Span index within its shard.
+    pub span_idx: u64,
+    /// First round the span holds.
+    pub base_round: u64,
+    /// Last round the span holds.
+    pub last_round: u64,
+    /// Records in the span.
+    pub len: u64,
+    /// CRC-32 of the complete frame file.
+    pub frame_crc: u32,
+    /// Frame file name (relative to the spill directory; never a path).
+    pub file_name: String,
+}
+
+/// One decoded manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestEntry {
+    /// Written once at shard start: the venue geometry.
+    Init {
+        /// This shard's index.
+        shard: u64,
+        /// Venue shard count.
+        collectors: u64,
+        /// Rounds per range span.
+        span: u64,
+    },
+    /// A hot span was compacted into a resident frame.
+    Frozen {
+        /// Span index within its shard.
+        span_idx: u64,
+        /// First round the span holds.
+        base_round: u64,
+        /// Last round the span holds.
+        last_round: u64,
+        /// Records in the span.
+        len: u64,
+    },
+    /// A framed span was evicted to a named, checksummed disk file.
+    Spilled(SpanManifest),
+}
+
+/// A manifest read back from disk: the clean prefix of entries, plus
+/// whether a torn/corrupt tail was truncated away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestFile {
+    /// Entries up to the first torn or corrupt one.
+    pub entries: Vec<ManifestEntry>,
+    /// True if trailing bytes were discarded.
+    pub torn: bool,
+}
+
+/// Appends length-guarded, CRC-checksummed entries to one shard's
+/// manifest. Created eagerly at service start for every shard — the
+/// geometry is durable even for shards that never spill.
+#[derive(Debug)]
+pub struct ManifestWriter {
+    file: File,
+}
+
+impl ManifestWriter {
+    /// Creates (truncating) the manifest for shard `tag` under `dir`
+    /// and writes its `Init` geometry entry.
+    ///
+    /// # Errors
+    /// Returns the I/O error if the directory or file cannot be
+    /// created or the entry cannot be written.
+    pub fn create(
+        dir: &Path,
+        tag: &str,
+        shard: u64,
+        collectors: u64,
+        span: u64,
+    ) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let file = File::create(manifest_path(dir, tag))?;
+        let mut writer = Self { file };
+        let mut payload = vec![KIND_INIT];
+        for v in [shard, collectors, span] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        writer.append(&payload)?;
+        Ok(writer)
+    }
+
+    /// Logs a span frozen into a resident frame.
+    ///
+    /// # Errors
+    /// Returns the I/O error if the entry cannot be written.
+    pub fn log_frozen(
+        &mut self,
+        span_idx: u64,
+        base_round: u64,
+        last_round: u64,
+        len: u64,
+    ) -> io::Result<()> {
+        let mut payload = vec![KIND_FROZEN];
+        for v in [span_idx, base_round, last_round, len] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        self.append(&payload)
+    }
+
+    /// Logs a span evicted to its named, checksummed spill file.
+    ///
+    /// # Errors
+    /// Returns the I/O error if the entry cannot be written.
+    pub fn log_spilled(&mut self, span: &SpanManifest) -> io::Result<()> {
+        let mut payload = vec![KIND_SPILLED];
+        for v in [span.span_idx, span.base_round, span.last_round, span.len] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        payload.extend_from_slice(&u64::from(span.frame_crc).to_le_bytes());
+        payload.extend_from_slice(&(span.file_name.len() as u64).to_le_bytes());
+        payload.extend_from_slice(span.file_name.as_bytes());
+        self.append(&payload)
+    }
+
+    /// One entry: `[len u32][crc32 u32][payload]`, written with a
+    /// single `write_all` so a crash tears at most this entry's tail.
+    fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        debug_assert!(payload.len() <= MAX_ENTRY_BYTES);
+        let mut buf = Vec::with_capacity(8 + payload.len());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        self.file.write_all(&buf)?;
+        self.file.flush()
+    }
+}
+
+/// Reads a manifest, truncating at the first torn or corrupt entry.
+///
+/// # Errors
+/// Returns the I/O error if the file cannot be read at all. Torn or
+/// corrupt *content* is not an error — the clean prefix comes back with
+/// `torn` set.
+pub fn read_manifest(path: &Path) -> io::Result<ManifestFile> {
+    let bytes = std::fs::read(path)?;
+    let mut entries = Vec::new();
+    let mut pos = 0usize;
+    let mut torn = false;
+    while bytes.len() - pos >= 8 {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > MAX_ENTRY_BYTES || len > bytes.len() - pos - 8 {
+            torn = true;
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            torn = true;
+            break;
+        }
+        match parse_entry(payload) {
+            Some(entry) => entries.push(entry),
+            None => {
+                torn = true;
+                break;
+            }
+        }
+        pos += 8 + len;
+    }
+    if !torn && pos < bytes.len() {
+        // A header shorter than its 8 fixed bytes.
+        torn = true;
+    }
+    Ok(ManifestFile { entries, torn })
+}
+
+/// Decodes one entry payload; `None` on any structural violation.
+fn parse_entry(payload: &[u8]) -> Option<ManifestEntry> {
+    let (&kind, rest) = payload.split_first()?;
+    let mut fields = rest
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")));
+    let mut next = || fields.next();
+    match kind {
+        KIND_INIT => {
+            let entry = ManifestEntry::Init {
+                shard: next()?,
+                collectors: next()?,
+                span: next()?,
+            };
+            (rest.len() == 24).then_some(entry)
+        }
+        KIND_FROZEN => {
+            let entry = ManifestEntry::Frozen {
+                span_idx: next()?,
+                base_round: next()?,
+                last_round: next()?,
+                len: next()?,
+            };
+            (rest.len() == 32).then_some(entry)
+        }
+        KIND_SPILLED => {
+            let span_idx = next()?;
+            let base_round = next()?;
+            let last_round = next()?;
+            let len = next()?;
+            let frame_crc = u32::try_from(next()?).ok()?;
+            let name_len = usize::try_from(next()?).ok()?;
+            let name_bytes = rest.get(48..48 + name_len)?;
+            if rest.len() != 48 + name_len {
+                return None;
+            }
+            let file_name = String::from_utf8(name_bytes.to_vec()).ok()?;
+            // A file *name*, never a path — a corrupt manifest must not
+            // read outside the spill directory.
+            if file_name.is_empty() || file_name.contains(['/', '\\']) {
+                return None;
+            }
+            Some(ManifestEntry::Spilled(SpanManifest {
+                span_idx,
+                base_round,
+                last_round,
+                len,
+                frame_crc,
+                file_name,
+            }))
+        }
+        _ => None,
+    }
+}
+
+/// What recovery salvaged (and lost) for one shard.
+#[derive(Debug, Clone, Default)]
+pub struct ShardRecovery {
+    /// Shard index.
+    pub shard: usize,
+    /// Spilled spans adopted back into the venue.
+    pub spans_recovered: usize,
+    /// Manifest-listed spans dropped: unreadable, checksum-mismatched,
+    /// or stranded behind a hole (adopting past one would duplicate
+    /// rounds on resume).
+    pub spans_quarantined: usize,
+    /// Rounds the adopted spans hold.
+    pub rounds_recovered: usize,
+    /// Rounds the manifest had seen beyond the recovered watermark.
+    pub rounds_lost: usize,
+    /// Highest durable round: a resumed run replays from here.
+    pub watermark_round: usize,
+    /// True if the manifest had a torn tail truncated away.
+    pub torn_tail: bool,
+    /// The adopted spans, in order — a resumed run re-logs these into
+    /// its fresh manifest so a second crash still recovers them.
+    pub adopted: Vec<SpanManifest>,
+}
+
+/// The full outcome of [`RangedVenue::recover_from_spill`].
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Per-shard outcomes, indexed by shard.
+    pub shards: Vec<ShardRecovery>,
+}
+
+impl RecoveryReport {
+    /// Spans adopted across all shards.
+    #[must_use]
+    pub fn spans_recovered(&self) -> usize {
+        self.shards.iter().map(|s| s.spans_recovered).sum()
+    }
+
+    /// Spans dropped across all shards.
+    #[must_use]
+    pub fn spans_quarantined(&self) -> usize {
+        self.shards.iter().map(|s| s.spans_quarantined).sum()
+    }
+
+    /// Rounds recovered across all shards.
+    #[must_use]
+    pub fn rounds_recovered(&self) -> usize {
+        self.shards.iter().map(|s| s.rounds_recovered).sum()
+    }
+
+    /// Rounds lost across all shards (relative to the manifests'
+    /// high-watermarks; rounds that never reached a manifest are
+    /// invisible here and re-derived by replay).
+    #[must_use]
+    pub fn rounds_lost(&self) -> usize {
+        self.shards.iter().map(|s| s.rounds_lost).sum()
+    }
+
+    /// Per-shard resume watermarks, padded/truncated to `collectors`.
+    #[must_use]
+    pub fn watermarks(&self, collectors: usize) -> Vec<usize> {
+        (0..collectors)
+            .map(|s| {
+                self.shards
+                    .iter()
+                    .find(|r| r.shard == s)
+                    .map_or(0, |r| r.watermark_round)
+            })
+            .collect()
+    }
+}
+
+impl RangedVenue {
+    /// Rebuilds a venue's cold tiers from the spill directory's
+    /// manifests and frame files. Every adopted frame is read and
+    /// checksum-verified; unreadable spans (and everything behind them
+    /// in their shard) are quarantined, not adopted. Returns the venue
+    /// plus a full [`RecoveryReport`].
+    ///
+    /// # Errors
+    /// Returns an error if `dir` holds no readable manifests, or the
+    /// manifests disagree about the venue geometry.
+    pub fn recover_from_spill(dir: &Path) -> io::Result<(Self, RecoveryReport)> {
+        let mut manifests: Vec<(usize, ManifestFile)> = Vec::new();
+        let mut geometry: Option<(usize, usize)> = None;
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "manifest"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let mf = read_manifest(&path)?;
+            let Some(&ManifestEntry::Init {
+                shard,
+                collectors,
+                span,
+            }) = mf.entries.first()
+            else {
+                // Headerless manifest: its shard is unknown, so its
+                // spans cannot be placed. Skip the file.
+                continue;
+            };
+            let (collectors, span) = (collectors as usize, span as usize);
+            if collectors == 0 || span == 0 || shard as usize >= collectors {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("manifest {} has corrupt geometry", path.display()),
+                ));
+            }
+            match geometry {
+                None => geometry = Some((collectors, span)),
+                Some(g) if g == (collectors, span) => {}
+                Some(g) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "manifests disagree on venue geometry: {g:?} vs {:?}",
+                            (collectors, span)
+                        ),
+                    ));
+                }
+            }
+            if manifests.iter().any(|(s, _)| *s == shard as usize) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("two manifests claim shard {shard}"),
+                ));
+            }
+            manifests.push((shard as usize, mf));
+        }
+        let Some((collectors, span)) = geometry else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no spill manifests under {}", dir.display()),
+            ));
+        };
+
+        let venue = RangedVenue::new(collectors, span);
+        let mut shards: Vec<ShardRecovery> = (0..collectors)
+            .map(|shard| ShardRecovery {
+                shard,
+                ..ShardRecovery::default()
+            })
+            .collect();
+        for (shard, mf) in manifests {
+            shards[shard] = recover_shard(dir, &venue, shard, &mf);
+        }
+        Ok((venue, RecoveryReport { shards }))
+    }
+}
+
+/// Adopts one shard's intact span prefix; quarantines the rest.
+fn recover_shard(
+    dir: &Path,
+    venue: &RangedVenue,
+    shard: usize,
+    mf: &ManifestFile,
+) -> ShardRecovery {
+    let board = venue.collector(shard);
+    // Last entry wins per span index (a resumed run re-logs adopted
+    // spans into its fresh manifest, so duplicates are normal).
+    let mut spilled: BTreeMap<u64, &SpanManifest> = BTreeMap::new();
+    let mut max_seen_round = 0u64;
+    for entry in &mf.entries {
+        match entry {
+            ManifestEntry::Init { .. } => {}
+            ManifestEntry::Frozen { last_round, .. } => {
+                max_seen_round = max_seen_round.max(*last_round);
+            }
+            ManifestEntry::Spilled(m) => {
+                max_seen_round = max_seen_round.max(m.last_round);
+                spilled.insert(m.span_idx, m);
+            }
+        }
+    }
+
+    let mut out = ShardRecovery {
+        shard,
+        torn_tail: mf.torn,
+        ..ShardRecovery::default()
+    };
+    let mut next_idx = 0u64;
+    let mut broken = false;
+    for (&idx, m) in &spilled {
+        if broken || idx != next_idx || verify_frame(dir, m).is_err() {
+            broken = true;
+            out.spans_quarantined += 1;
+            continue;
+        }
+        board.adopt_spilled_span(
+            idx as usize,
+            dir.join(&m.file_name),
+            m.len as usize,
+            m.last_round as usize,
+        );
+        out.spans_recovered += 1;
+        out.rounds_recovered += m.len as usize;
+        out.watermark_round = m.last_round as usize;
+        out.adopted.push((*m).clone());
+        next_idx += 1;
+    }
+    out.rounds_lost = (max_seen_round as usize).saturating_sub(out.watermark_round);
+    out
+}
+
+/// Reads and fully verifies one spilled frame against its manifest.
+fn verify_frame(dir: &Path, m: &SpanManifest) -> Result<(), String> {
+    let path = dir.join(&m.file_name);
+    let bytes = std::fs::read(&path).map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
+    if crc32(&bytes) != m.frame_crc {
+        return Err(format!("{}: file checksum mismatch", path.display()));
+    }
+    let frame =
+        Frame::from_bytes(&bytes).map_err(|e| format!("{}: corrupt frame: {e}", path.display()))?;
+    if frame.len() as u64 != m.len
+        || frame.base_round() as u64 != m.base_round
+        || frame.last_round() as u64 != m.last_round
+    {
+        return Err(format!("{}: frame disagrees with manifest", path.display()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "trimgame-recover-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_span(idx: u64) -> SpanManifest {
+        SpanManifest {
+            span_idx: idx,
+            base_round: idx * 8 + 1,
+            last_round: (idx + 1) * 8,
+            len: 8,
+            frame_crc: 0xDEAD_BEEF ^ idx as u32,
+            file_name: format!("s0-span{idx}.frame"),
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_every_entry_kind() {
+        let dir = temp_dir("roundtrip");
+        let mut w = ManifestWriter::create(&dir, "s0", 0, 4, 8).unwrap();
+        w.log_frozen(0, 1, 8, 8).unwrap();
+        w.log_spilled(&sample_span(0)).unwrap();
+        w.log_spilled(&sample_span(1)).unwrap();
+        let mf = read_manifest(&manifest_path(&dir, "s0")).unwrap();
+        assert!(!mf.torn);
+        assert_eq!(
+            mf.entries,
+            vec![
+                ManifestEntry::Init {
+                    shard: 0,
+                    collectors: 4,
+                    span: 8
+                },
+                ManifestEntry::Frozen {
+                    span_idx: 0,
+                    base_round: 1,
+                    last_round: 8,
+                    len: 8
+                },
+                ManifestEntry::Spilled(sample_span(0)),
+                ManifestEntry::Spilled(sample_span(1)),
+            ]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tails_truncate_to_the_clean_prefix() {
+        let dir = temp_dir("torn");
+        let mut w = ManifestWriter::create(&dir, "s0", 0, 2, 8).unwrap();
+        w.log_spilled(&sample_span(0)).unwrap();
+        w.log_spilled(&sample_span(1)).unwrap();
+        drop(w);
+        let path = manifest_path(&dir, "s0");
+        let clean = std::fs::read(&path).unwrap();
+
+        // Truncating at every byte offset yields a prefix of the
+        // entries, flagged torn unless the cut lands on a boundary.
+        let mut seen_lens = Vec::new();
+        for cut in 0..clean.len() {
+            std::fs::write(&path, &clean[..cut]).unwrap();
+            let mf = read_manifest(&path).unwrap();
+            assert!(mf.entries.len() <= 3, "cut {cut}");
+            seen_lens.push(mf.entries.len());
+        }
+        assert_eq!(seen_lens[0], 0);
+        assert!(seen_lens.windows(2).all(|w| w[0] <= w[1]));
+
+        // A flipped byte inside an entry truncates from that entry on.
+        let mut corrupt = clean.clone();
+        let mid = clean.len() / 2;
+        corrupt[mid] ^= 0x40;
+        std::fs::write(&path, &corrupt).unwrap();
+        let mf = read_manifest(&path).unwrap();
+        assert!(mf.torn);
+        assert!(mf.entries.len() < 3);
+
+        // Appended garbage is discarded the same way.
+        let mut garbage = clean.clone();
+        garbage.extend_from_slice(&[0xFF; 5]);
+        std::fs::write(&path, &garbage).unwrap();
+        let mf = read_manifest(&path).unwrap();
+        assert!(mf.torn);
+        assert_eq!(mf.entries.len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_rejects_empty_and_inconsistent_directories() {
+        let dir = temp_dir("empty");
+        let err = RangedVenue::recover_from_spill(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+
+        ManifestWriter::create(&dir, "s0", 0, 2, 8).unwrap();
+        ManifestWriter::create(&dir, "s1", 1, 2, 16).unwrap();
+        let err = RangedVenue::recover_from_spill(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spilled_entries_with_path_separators_are_rejected() {
+        let dir = temp_dir("sep");
+        let mut w = ManifestWriter::create(&dir, "s0", 0, 1, 8).unwrap();
+        let mut bad = sample_span(0);
+        bad.file_name = "../escape.frame".to_string();
+        w.log_spilled(&bad).unwrap();
+        let mf = read_manifest(&manifest_path(&dir, "s0")).unwrap();
+        // The writer will happily serialize it; the *reader* refuses.
+        assert!(mf.torn);
+        assert_eq!(mf.entries.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -484,6 +484,40 @@ proptest! {
     }
 
     #[test]
+    fn mutated_wire_frames_error_instead_of_panicking(
+        specs in arb_specs(1..60),
+        // Fractions >= 1.0 mean "no truncation".
+        cut in 0.0_f64..1.5,
+        flips in prop::collection::vec((0.0_f64..1.0, 1_u8..=255), 0..4),
+    ) {
+        // A spill file that loses its tail or rots on disk must surface
+        // as `Err`, never as a panic or as silently wrong records. Any
+        // mutated TGF2 buffer (magic intact, anything after it changed)
+        // is caught by the checksum.
+        let bytes = Frame::encode(&build_records(&specs)).to_bytes();
+        let mut mutated = bytes.clone();
+        let keep = ((cut * mutated.len() as f64) as usize).min(mutated.len());
+        mutated.truncate(keep);
+        for &(pos, xor) in &flips {
+            if mutated.is_empty() {
+                break;
+            }
+            let idx = (pos * mutated.len() as f64) as usize;
+            let idx = idx.min(mutated.len() - 1);
+            mutated[idx] ^= xor;
+        }
+        // Reaching this point at all proves `from_bytes` did not panic.
+        let parsed = Frame::from_bytes(&mutated);
+        if mutated != bytes && mutated.starts_with(b"TGF2") {
+            prop_assert!(parsed.is_err(), "corrupted TGF2 buffer parsed as Ok");
+        }
+        // Mutations that destroy the magic may alias the legacy TGF1
+        // header; that path has no checksum but must still never panic —
+        // `parsed` being a value (Ok or Err) is the property.
+        drop(parsed);
+    }
+
+    #[test]
     fn tiered_reads_match_uncompacted_reference_across_seams(
         // Spans from tiny (many span seams) past CHUNK_CAP=64 (frames
         // crossing chunk seams inside one span).
